@@ -1,0 +1,82 @@
+//! Criterion ablations over the three improvement axes of §4 plus the
+//! §4.3.1 right-child prepass — the design choices DESIGN.md calls out.
+//!
+//! Run: `cargo bench -p pwd-bench --bench ablations`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwd_bench::{python_cfg, python_corpus};
+use pwd_core::{CompactionMode, NullStrategy, ParserConfig};
+use pwd_grammar::Compiled;
+
+fn bench_config(c: &mut Criterion, group: &str, label: &str, config: ParserConfig, tokens: usize) {
+    let cfg = python_cfg();
+    let corpus = python_corpus(&[tokens]);
+    let file = &corpus[0];
+    let mut pwd = Compiled::compile(&cfg, config);
+    let toks = pwd.tokens_from_lexemes(&file.lexemes).expect("terminals");
+    let start = pwd.start;
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    g.bench_with_input(BenchmarkId::new(label, file.tokens), &file.tokens, |b, _| {
+        b.iter(|| {
+            pwd.lang.reset();
+            assert!(pwd.lang.recognize(start, &toks).unwrap());
+        })
+    });
+    g.finish();
+}
+
+fn ablation_nullability(c: &mut Criterion) {
+    for (label, strategy) in [
+        ("labeled", NullStrategy::Labeled),
+        ("worklist", NullStrategy::Worklist),
+        ("naive", NullStrategy::Naive),
+    ] {
+        let config = ParserConfig { nullability: strategy, ..ParserConfig::improved() };
+        bench_config(c, "ablation_nullability", label, config, 200);
+    }
+}
+
+fn ablation_compaction(c: &mut Criterion) {
+    for (label, mode) in [
+        ("on_construction", CompactionMode::OnConstruction),
+        ("separate_pass", CompactionMode::SeparatePass),
+        ("none", CompactionMode::None),
+    ] {
+        let config = ParserConfig { compaction: mode, ..ParserConfig::improved() };
+        // Compaction off is the paper's "three minutes for 31 lines" arm:
+        // keep the input tiny.
+        let tokens = if mode == CompactionMode::None { 60 } else { 200 };
+        bench_config(c, "ablation_compaction", label, config, tokens);
+    }
+}
+
+fn ablation_memo(c: &mut Criterion) {
+    use pwd_core::MemoStrategy;
+    for (label, memo) in [
+        ("single_entry", MemoStrategy::SingleEntry),
+        ("dual_entry", MemoStrategy::DualEntry),
+        ("full_hash", MemoStrategy::FullHash),
+    ] {
+        let config = ParserConfig { memo, ..ParserConfig::improved() };
+        bench_config(c, "ablation_memo", label, config, 200);
+    }
+}
+
+fn ablation_prepass(c: &mut Criterion) {
+    for (label, prepass) in [("with_prepass", true), ("without_prepass", false)] {
+        let config = ParserConfig { prepass_right_children: prepass, ..ParserConfig::improved() };
+        bench_config(c, "ablation_prepass", label, config, 200);
+    }
+}
+
+criterion_group!(
+    benches,
+    ablation_nullability,
+    ablation_compaction,
+    ablation_memo,
+    ablation_prepass
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 12: single-entry vs full-hash memoization.
+//!
+//! Run: `cargo bench -p pwd-bench --bench fig12`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwd_bench::{python_cfg, python_corpus};
+use pwd_core::{MemoStrategy, ParserConfig};
+use pwd_grammar::Compiled;
+
+fn bench_memo(c: &mut Criterion) {
+    let cfg = python_cfg();
+    let corpus = python_corpus(&[200, 600]);
+
+    let mut group = c.benchmark_group("fig12");
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    for file in &corpus {
+        for (label, memo) in
+            [("single_entry", MemoStrategy::SingleEntry), ("full_hash", MemoStrategy::FullHash)]
+        {
+            let config = ParserConfig { memo, ..ParserConfig::improved() };
+            let mut pwd = Compiled::compile(&cfg, config);
+            let toks = pwd.tokens_from_lexemes(&file.lexemes).expect("terminals");
+            let start = pwd.start;
+            group.bench_with_input(BenchmarkId::new(label, file.tokens), &file.tokens, |b, _| {
+                b.iter(|| {
+                    pwd.lang.reset();
+                    assert!(pwd.lang.recognize(start, &toks).unwrap());
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memo);
+criterion_main!(benches);

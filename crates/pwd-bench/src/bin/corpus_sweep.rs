@@ -1,0 +1,103 @@
+//! Cross-corpus sweep: per-token parse cost of improved PWD, Earley, and
+//! GLR on every grammar of the corpus (arith, JSON, Python subset), plus
+//! the ambiguous grammars' forest statistics.
+//!
+//! Complements Figure 6 (which fixes the Python corpus) by showing the
+//! same flat per-token behavior across grammar shapes.
+//!
+//! Run: `cargo run --release -p pwd-bench --bin corpus_sweep [--full]`
+
+use pwd_bench::{csv_header, csv_row, full_flag, time_mean};
+use pwd_core::ParserConfig;
+use pwd_earley::EarleyParser;
+use pwd_glr::GlrParser;
+use pwd_grammar::{gen, grammars, Cfg, Compiled};
+use pwd_lex::Lexeme;
+use std::time::Duration;
+
+fn series(
+    label: &str,
+    cfg: &Cfg,
+    corpus: &[(usize, Vec<Lexeme>)],
+    min_total: Duration,
+) {
+    let earley = EarleyParser::new(cfg);
+    let glr = GlrParser::new(cfg);
+    for (tokens, lexemes) in corpus {
+        let n = *tokens as f64;
+        let mut pwd = Compiled::compile(cfg, ParserConfig::improved());
+        let toks = pwd.tokens_from_lexemes(lexemes).expect("terminals");
+        let start = pwd.start;
+        let t = time_mean(3, min_total, || {
+            pwd.lang.reset();
+            assert!(pwd.lang.recognize(start, &toks).expect("ok"));
+        });
+        csv_row(tokens, &format!("{label}/improved_pwd"), t.as_secs_f64() / n);
+        let t = time_mean(3, min_total, || {
+            assert!(earley.recognize_lexemes(lexemes).expect("ok"));
+        });
+        csv_row(tokens, &format!("{label}/earley"), t.as_secs_f64() / n);
+        let t = time_mean(3, min_total, || {
+            assert!(glr.recognize_lexemes(lexemes).expect("ok"));
+        });
+        csv_row(tokens, &format!("{label}/glr"), t.as_secs_f64() / n);
+    }
+}
+
+fn main() {
+    let full = full_flag();
+    let sizes: Vec<usize> =
+        if full { vec![100, 400, 1600, 6400] } else { vec![100, 400, 1600] };
+    let min_total = Duration::from_millis(if full { 500 } else { 100 });
+    println!("# corpus sweep: seconds per token across grammars/parsers");
+    csv_header();
+
+    // Arithmetic expressions.
+    let arith_cfg = grammars::arith::cfg();
+    let lexer = grammars::arith::lexer();
+    let corpus: Vec<(usize, Vec<Lexeme>)> = sizes
+        .iter()
+        .map(|&s| {
+            let lx = lexer.tokenize(&gen::arith_source(s, 0xA11)).expect("lexes");
+            (lx.len(), lx)
+        })
+        .collect();
+    series("arith", &arith_cfg, &corpus, min_total);
+
+    // JSON documents.
+    let json_cfg = grammars::json::cfg();
+    let lexer = grammars::json::lexer();
+    let corpus: Vec<(usize, Vec<Lexeme>)> = sizes
+        .iter()
+        .map(|&s| {
+            let lx = lexer.tokenize(&gen::json_source(s, 0x150)).expect("lexes");
+            (lx.len(), lx)
+        })
+        .collect();
+    series("json", &json_cfg, &corpus, min_total);
+
+    // Python subset.
+    let py_cfg = grammars::python::cfg();
+    let corpus: Vec<(usize, Vec<Lexeme>)> = sizes
+        .iter()
+        .map(|&s| {
+            let lx = pwd_lex::tokenize_python(&gen::python_source(s, 0x97)).expect("lexes");
+            (lx.len(), lx)
+        })
+        .collect();
+    series("python", &py_cfg, &corpus, min_total);
+
+    // Ambiguous forest statistics: S → S S | a on aⁿ.
+    println!();
+    println!("# ambiguity: parses and forest size for S → S S | a on a^n");
+    let cat = grammars::ambiguous::catalan();
+    for n in [4usize, 8, 12, 16] {
+        let mut pwd = Compiled::compile(&cat, ParserConfig::improved());
+        let toks: Vec<_> = (0..n).map(|_| pwd.token("a", "a").unwrap()).collect();
+        let start = pwd.start;
+        let forest = pwd.lang.parse_forest(start, &toks).expect("accepted");
+        let count = pwd.lang.count_of(forest);
+        csv_row(n, "ambiguity/parses", count.map(|c| c.to_string()).unwrap_or("inf".into()));
+        csv_row(n, "ambiguity/forest_nodes", pwd.lang.forest_count());
+    }
+}

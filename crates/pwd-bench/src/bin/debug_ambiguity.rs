@@ -1,0 +1,46 @@
+//! Diagnostic: parse-count of Python snippets (ambiguity hunt).
+//!
+//! Run: `cargo run --release -p pwd-bench --bin debug_ambiguity`
+
+use pwd_bench::python_cfg;
+use pwd_core::ParserConfig;
+use pwd_grammar::Compiled;
+
+fn main() {
+    let cfg = python_cfg();
+    let snippets = [
+        "x = 1\n",
+        "x = 1 + 2\n",
+        "x = f(1)\n",
+        "x = f(1, 2)\n",
+        "x = a.b\n",
+        "x = a[1]\n",
+        "x = a[1:2]\n",
+        "x = (1, 2)\n",
+        "x = [1, 2]\n",
+        "x = {1: 2}\n",
+        "x, y = 1, 2\n",
+        "if x:\n    pass\n",
+        "def f(a):\n    return a\n",
+        "for i in range(3):\n    pass\n",
+        "x = 'a' 'b'\n",
+        "x = lambda a: a\n",
+        "x = y if z else w\n",
+        "print(x)\n",
+        "x = a + b * c - d\n",
+        "x = f(g(h(1)))\n",
+        "pass\npass\npass\n",
+        "x = 1\ny = 2\nz = 3\n",
+    ];
+    for src in snippets {
+        let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+        let lexemes = pwd_lex::tokenize_python(src).unwrap();
+        let toks = pwd.tokens_from_lexemes(&lexemes).unwrap();
+        let start = pwd.start;
+        match pwd.lang.count_parses(start, &toks) {
+            Ok(Some(n)) => println!("{n:>6}  {src:?}"),
+            Ok(None) => println!("   inf  {src:?}"),
+            Err(e) => println!("  ERR({e})  {src:?}"),
+        }
+    }
+}

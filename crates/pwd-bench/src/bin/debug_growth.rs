@@ -1,0 +1,33 @@
+//! Diagnostic: per-token reachable-graph growth on the Python grammar.
+//!
+//! Run: `cargo run --release -p pwd-bench --bin debug_growth [tokens]`
+
+use pwd_bench::{python_cfg, python_corpus};
+use pwd_core::ParserConfig;
+use pwd_grammar::Compiled;
+
+fn main() {
+    let target: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let cfg = python_cfg();
+    let corpus = python_corpus(&[target]);
+    let file = &corpus[0];
+    let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+    let toks = pwd.tokens_from_lexemes(&file.lexemes).expect("terminals");
+    let start = pwd.start;
+    println!("initial grammar reachable: {}", pwd.lang.reachable_count(start));
+
+    for k in (10..=toks.len()).step_by((toks.len() / 12).max(10)) {
+        pwd.lang.reset();
+        let d = pwd.lang.derivative(start, &toks[..k]).expect("ok");
+        let reach = pwd.lang.reachable_count(d);
+        let m = pwd.lang.metrics();
+        println!(
+            "prefix {:>5}: reachable {:>8}  nodes_created {:>10}  per-token {:>8.0}",
+            k,
+            reach,
+            m.nodes_created,
+            m.nodes_created as f64 / k as f64,
+        );
+        println!("  census: {:?}", pwd.lang.kind_census(d));
+    }
+}

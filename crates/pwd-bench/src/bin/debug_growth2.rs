@@ -1,0 +1,48 @@
+//! Diagnostic: reachable growth on degenerate repetitive programs.
+//!
+//! Run: `cargo run --release -p pwd-bench --bin debug_growth2`
+
+use pwd_bench::python_cfg;
+use pwd_core::ParserConfig;
+use pwd_grammar::Compiled;
+
+fn main() {
+    explain();
+    let cfg = python_cfg();
+    for (label, unit) in [
+        ("pass", "pass\n"),
+        ("assign", "x = 1\n"),
+        ("call", "f(1)\n"),
+        ("binop", "x = x + 1\n"),
+    ] {
+        println!("--- unit {label:?} ---");
+        for k in [4usize, 8, 16, 32, 64] {
+            let src = unit.repeat(k);
+            let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+            let lexemes = pwd_lex::tokenize_python(&src).unwrap();
+            let toks = pwd.tokens_from_lexemes(&lexemes).unwrap();
+            let start = pwd.start;
+            let d = pwd.lang.derivative(start, &toks).unwrap();
+            println!(
+                "  k={k:>3} tokens={:>4} reachable={:>6} census={:?}",
+                toks.len(),
+                pwd.lang.reachable_count(d),
+                pwd.lang.kind_census(d),
+            );
+        }
+    }
+}
+
+/// Dump the hottest structural patterns among live nodes for pass*16.
+fn explain() {
+    let cfg = python_cfg();
+    let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+    let lexemes = pwd_lex::tokenize_python(&"pass\n".repeat(16)).unwrap();
+    let toks = pwd.tokens_from_lexemes(&lexemes).unwrap();
+    let start = pwd.start;
+    let d = pwd.lang.derivative(start, &toks).unwrap();
+    for line in pwd.lang.hot_patterns(d, 25) {
+        println!("{line}");
+    }
+    println!();
+}

@@ -1,0 +1,118 @@
+//! Minimal growth repro: stmts = ε | stmts stmt; stmt = p NL.
+//!
+//! Run: `cargo run --release -p pwd-bench --bin debug_min`
+
+use pwd_core::ParserConfig;
+use pwd_grammar::{CfgBuilder, Compiled};
+
+fn probe(label: &str, build: impl Fn(&mut CfgBuilder)) {
+    let mut g = CfgBuilder::new("S");
+    build(&mut g);
+    let cfg = g.build().unwrap();
+    let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+    print!("{label:<40}");
+    for k in [2usize, 4, 8, 16, 32] {
+        pwd.lang.reset();
+        let mut toks = Vec::new();
+        for _ in 0..k {
+            toks.push(pwd.token("p", "p").unwrap());
+            toks.push(pwd.token("n", "n").unwrap());
+        }
+        let start = pwd.start;
+        let d = pwd.lang.derivative(start, &toks).unwrap();
+        print!(" {:>6}", pwd.lang.reachable_count(d));
+    }
+    println!();
+}
+
+fn main() {
+    probe("S=ε|S T; T=p n", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["p", "n"]);
+    });
+    probe("S=ε|S T; T=U n; U=p", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["U", "n"]);
+        g.rule("U", &["p"]);
+    });
+    probe("S=T|S T; T=p n", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &["T"]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["p", "n"]);
+    });
+    probe("right rec: S=ε|T S; T=p n", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["T", "S"]);
+        g.rule("T", &["p", "n"]);
+    });
+    probe("S=ε|S T; T=A n; A=ε|p", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["A", "n"]);
+        g.rule("A", &[]);
+        g.rule("A", &["p"]);
+    });
+    probe("nested list: T=L n; L=p|L ; p", |g| {
+        g.terminals(&["p", "n", ";"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["L", "n"]);
+        g.rule("L", &["p"]);
+        g.rule("L", &["L", ";", "p"]);
+    });
+    probe("expr chain: T=E n; E=F|E + F; F=p", |g| {
+        g.terminals(&["p", "n", "+"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["E", "n"]);
+        g.rule("E", &["F"]);
+        g.rule("E", &["E", "+", "F"]);
+        g.rule("F", &["p"]);
+    });
+    probe("two stmt kinds", |g| {
+        g.terminals(&["p", "q", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["p", "n"]);
+        g.rule("T", &["q", "n"]);
+    });
+    probe("deep unary chain", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["A1", "n"]);
+        g.rule("A1", &["A2"]);
+        g.rule("A2", &["A3"]);
+        g.rule("A3", &["A4"]);
+        g.rule("A4", &["p"]);
+    });
+    probe("suite-like: T=p n|h n I S D", |g| {
+        // compound statement with a nested statement list (suite)
+        g.terminals(&["p", "n", "h", "I", "D"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["p", "n"]);
+        g.rule("T", &["h", "n", "I", "S", "D"]);
+    });
+    probe("python-like small core", |g| {
+        g.terminals(&["p", "n", ";", "=", "x", "+"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["SS", "n"]);
+        g.rule("SS", &["Sm"]);
+        g.rule("SS", &["SS", ";", "Sm"]);
+        g.rule("Sm", &["p"]);
+        g.rule("Sm", &["E"]);
+        g.rule("Sm", &["E", "=", "E"]);
+        g.rule("E", &["F"]);
+        g.rule("E", &["E", "+", "F"]);
+        g.rule("F", &["x"]);
+    });
+}

@@ -1,0 +1,56 @@
+//! Figure 10 regenerator: percentage of grammar nodes whose `derive` memo
+//! table holds exactly one entry, measured under the original nested-hash
+//! memoization across the corpus.
+//!
+//! Paper headline: the overwhelming majority of nodes hold a single entry
+//! (two visible populations, both high), which is what justifies the
+//! single-entry cache of §4.4.
+//!
+//! Run: `cargo run --release -p pwd-bench --bin fig10_memo_census [--full]`
+
+use pwd_bench::{csv_header, csv_row, default_sizes, full_flag, python_cfg, python_corpus};
+use pwd_core::{MemoStrategy, ParserConfig};
+use pwd_grammar::Compiled;
+
+fn main() {
+    let sizes = default_sizes(full_flag());
+    let cfg = python_cfg();
+    let corpus = python_corpus(&sizes);
+
+    println!("# Figure 10: % of nodes with exactly one derive-memo entry (FullHash)");
+    csv_header();
+
+    let mut fractions = Vec::new();
+    for file in &corpus {
+        let config =
+            ParserConfig { memo: MemoStrategy::FullHash, ..ParserConfig::improved() };
+        let mut pwd = Compiled::compile(&cfg, config);
+        let toks = pwd.tokens_from_lexemes(&file.lexemes).expect("terminals");
+        let start = pwd.start;
+        assert!(pwd.lang.recognize(start, &toks).expect("no engine error"));
+        let frac = pwd.lang.single_entry_fraction().unwrap_or(1.0);
+        csv_row(file.tokens, "single_entry_nodes", format!("{:.4}", 100.0 * frac));
+        fractions.push(frac);
+
+        // Also print the entry-count histogram for the largest file.
+        if file.tokens == corpus.last().map(|f| f.tokens).unwrap_or(0) {
+            let mut counts = pwd.lang.memo_entry_counts();
+            counts.sort_unstable();
+            let mut hist: Vec<(u32, usize)> = Vec::new();
+            for c in counts {
+                match hist.last_mut() {
+                    Some((v, n)) if *v == c => *n += 1,
+                    _ => hist.push((c, 1)),
+                }
+            }
+            println!("# entry-count histogram at {} tokens:", file.tokens);
+            for (entries, nodes) in hist.iter().take(12) {
+                println!("#   {entries} entries: {nodes} nodes");
+            }
+        }
+    }
+
+    let avg = 100.0 * fractions.iter().sum::<f64>() / fractions.len() as f64;
+    println!();
+    println!("# average single-entry percentage: {avg:.1}% (paper: large majority, near 100%)");
+}

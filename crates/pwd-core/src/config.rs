@@ -1,0 +1,192 @@
+//! Engine configuration: the paper's ablation axes.
+//!
+//! The PLDI 2016 paper improves on Might et al. (2011) along three axes —
+//! fixed-point computation (§4.2), compaction (§4.3), and memoization (§4.4).
+//! [`ParserConfig`] exposes each axis as a strategy knob so that the
+//! "original PWD" and "improved PWD" of the evaluation are two configurations
+//! of one audited engine, and every figure's ablation is a config diff.
+
+/// How the `nullable?` least fixed point is computed (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NullStrategy {
+    /// Might et al. (2011): repeatedly re-traverse all reachable nodes until
+    /// no nullability changes. Quadratic in the subgraph per query.
+    Naive,
+    /// Kildall-style data-flow worklist: track which nodes depend on which,
+    /// and revisit only dependents when a node becomes nullable. Values that
+    /// are still `false` at the end of a run remain *assumed*, so later
+    /// queries must re-run the fixed point over them.
+    Worklist,
+    /// The paper's algorithm: worklist propagation **plus** promotion of
+    /// assumed-not-nullable nodes to definitely-not-nullable when the run
+    /// that examined them completes (run labels, §4.2). Subsequent queries
+    /// on promoted nodes are O(1).
+    #[default]
+    Labeled,
+}
+
+/// When and how compaction rewrites are applied (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompactionMode {
+    /// No compaction at all. Still cubic (§3 holds without compaction), but
+    /// slow in practice. Required by the Figure-5 naming instrumentation.
+    None,
+    /// Might et al. (2011): a separate graph-rewriting pass between the
+    /// `derive` calls for successive tokens (traverses nodes twice/token).
+    SeparatePass,
+    /// The paper's improvement (§4.3.3): compact locally as nodes are
+    /// constructed by `derive`, never iterating to a fixed point and
+    /// punting when a child is still mid-derivation (cycle).
+    #[default]
+    OnConstruction,
+}
+
+/// How `derive` results are memoized (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemoStrategy {
+    /// Might et al. (2011): nested hash tables — node → token → result.
+    FullHash,
+    /// The paper's improvement: two fields on each node acting as a
+    /// one-entry cache that evicts on conflict. Forgetful (Figure 11) but on
+    /// average 2.04× faster (Figure 12) in the paper's measurements.
+    #[default]
+    SingleEntry,
+    /// The §4.4 extension the paper tried and abandoned: a two-entry
+    /// per-node cache with last-recently-inserted eviction. Kept here so
+    /// the ablation benches can re-run that experiment.
+    DualEntry,
+}
+
+/// Whether to build parse forests or only recognize (§2 vs §3).
+///
+/// `Recognize` uses the paper's Figure-2 derivative for `◦` (two nodes per
+/// nullable sequence derivative), which is what Definition 5's naming rules
+/// and the Figure-5 worst case count. `Parse` additionally threads null-parse
+/// forests through δ nodes to produce ASTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParseMode {
+    /// Recognition only — no parse forests, Figure-2 derivative shapes.
+    Recognize,
+    /// Full parsing with ambiguity-node forests.
+    #[default]
+    Parse,
+}
+
+/// Full engine configuration.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_core::ParserConfig;
+/// let orig = ParserConfig::original_2011();
+/// let imp = ParserConfig::improved();
+/// assert_ne!(orig.nullability, imp.nullability);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParserConfig {
+    /// Fixed-point strategy for `nullable?`.
+    pub nullability: NullStrategy,
+    /// Compaction scheduling.
+    pub compaction: CompactionMode,
+    /// Memoization strategy for `derive`.
+    pub memo: MemoStrategy,
+    /// Recognizer vs full parser.
+    pub mode: ParseMode,
+    /// Assign Definition-5 names to every node created by `derive`
+    /// (§3.2 instrumentation; adds overhead, off by default).
+    pub naming: bool,
+    /// Apply the §4.3.1 right-child reduction rules to the initial grammar
+    /// before parsing (they are never needed during parsing — Theorem 10).
+    pub prepass_right_children: bool,
+    /// Abort parsing if more than this many grammar nodes are created
+    /// (failure-injection and runaway protection).
+    pub max_nodes: Option<usize>,
+}
+
+impl ParserConfig {
+    /// The configuration matching Might et al. (2011): naive fixed points,
+    /// compaction as a separate pass, nested hash-table memoization.
+    pub fn original_2011() -> Self {
+        ParserConfig {
+            nullability: NullStrategy::Naive,
+            compaction: CompactionMode::SeparatePass,
+            memo: MemoStrategy::FullHash,
+            mode: ParseMode::Parse,
+            naming: false,
+            prepass_right_children: false,
+            max_nodes: None,
+        }
+    }
+
+    /// Might et al. (2011) **without** compaction — the configuration their
+    /// paper reports as taking three minutes for 31 lines of Python.
+    pub fn original_2011_no_compaction() -> Self {
+        ParserConfig { compaction: CompactionMode::None, ..Self::original_2011() }
+    }
+
+    /// The paper's improved configuration (the "Improved PWD" series of
+    /// Figure 6): labeled fixed points, on-construction compaction,
+    /// single-entry memoization, right-child prepass.
+    pub fn improved() -> Self {
+        ParserConfig {
+            nullability: NullStrategy::Labeled,
+            compaction: CompactionMode::OnConstruction,
+            memo: MemoStrategy::SingleEntry,
+            mode: ParseMode::Parse,
+            naming: false,
+            prepass_right_children: true,
+            max_nodes: None,
+        }
+    }
+
+    /// The instrumented configuration used to reproduce Figure 5 and check
+    /// Definition 5 / Lemma 7 / Theorem 8: recognizer-form derivatives, no
+    /// compaction, naming on.
+    pub fn named_recognizer() -> Self {
+        ParserConfig {
+            nullability: NullStrategy::Labeled,
+            compaction: CompactionMode::None,
+            memo: MemoStrategy::FullHash,
+            mode: ParseMode::Recognize,
+            naming: true,
+            prepass_right_children: false,
+            max_nodes: None,
+        }
+    }
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        Self::improved()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_on_all_axes() {
+        let o = ParserConfig::original_2011();
+        let i = ParserConfig::improved();
+        assert_eq!(o.nullability, NullStrategy::Naive);
+        assert_eq!(i.nullability, NullStrategy::Labeled);
+        assert_eq!(o.compaction, CompactionMode::SeparatePass);
+        assert_eq!(i.compaction, CompactionMode::OnConstruction);
+        assert_eq!(o.memo, MemoStrategy::FullHash);
+        assert_eq!(i.memo, MemoStrategy::SingleEntry);
+    }
+
+    #[test]
+    fn default_is_improved() {
+        assert_eq!(ParserConfig::default(), ParserConfig::improved());
+    }
+
+    #[test]
+    fn named_recognizer_disables_compaction() {
+        let c = ParserConfig::named_recognizer();
+        assert!(c.naming);
+        assert_eq!(c.compaction, CompactionMode::None);
+        assert_eq!(c.mode, ParseMode::Recognize);
+    }
+}

@@ -1,0 +1,504 @@
+//! The derivative (`derive`), the outer parse loop (`parse`), and AST
+//! extraction (`parse-null`) — the paper's four core functions, minus
+//! `nullable?` which lives in [`crate::nullable`].
+//!
+//! `derive` follows §2.5.2: before recurring into children it allocates a
+//! placeholder node of the correct shape, memoizes it, and patches the
+//! children afterwards, so cyclic grammars derive correctly. Compaction, if
+//! configured on-construction, happens at patch time via the smart
+//! constructors in [`crate::compact`] — and punts when a child is still
+//! pending, exactly as §4.3.3 prescribes.
+
+use crate::config::{CompactionMode, ParseMode};
+use crate::error::PwdError;
+use crate::expr::{ExprKind, Language, NodeId};
+use crate::forest::{EnumLimits, ForestId, ForestNode, Tree};
+use crate::token::Token;
+
+impl Language {
+    // ------------------------------------------------------------------
+    // Public parse API
+    // ------------------------------------------------------------------
+
+    /// Recognizes `tokens` against the language rooted at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PwdError::UndefinedNonterminal`] for incomplete grammars
+    /// and [`PwdError::NodeBudgetExceeded`] if the configured node budget
+    /// trips. A simple non-match is `Ok(false)`, not an error.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pwd_core::Language;
+    /// # fn main() -> Result<(), pwd_core::PwdError> {
+    /// let mut lang = Language::default();
+    /// let a = lang.terminal("a");
+    /// let ta = lang.term_node(a);
+    /// let s = lang.star(ta);
+    /// let tok = lang.token(a, "a");
+    /// assert!(lang.recognize(s, &[tok.clone(), tok])?);
+    /// assert!(lang.recognize(s, &[])?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn recognize(&mut self, start: NodeId, tokens: &[Token]) -> Result<bool, PwdError> {
+        match self.run_derivatives(start, tokens)? {
+            Err(_) => Ok(false),
+            Ok(final_node) => Ok(self.nullable(final_node)),
+        }
+    }
+
+    /// Parses `tokens` and returns the root of the shared parse forest.
+    ///
+    /// # Errors
+    ///
+    /// [`PwdError::Rejected`] when the input is not in the language, plus
+    /// the grammar/budget errors of [`recognize`](Language::recognize).
+    pub fn parse_forest(&mut self, start: NodeId, tokens: &[Token]) -> Result<ForestId, PwdError> {
+        match self.run_derivatives(start, tokens)? {
+            Err(pos) => {
+                Err(PwdError::Rejected { position: pos, token: tokens.get(pos).cloned() })
+            }
+            Ok(final_node) => {
+                if !self.nullable(final_node) {
+                    return Err(PwdError::Rejected { position: tokens.len(), token: None });
+                }
+                Ok(self.parse_null(final_node))
+            }
+        }
+    }
+
+    /// Parses `tokens` and enumerates up to `limits.max_trees` parse trees.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`parse_forest`](Language::parse_forest).
+    pub fn parse_trees(
+        &mut self,
+        start: NodeId,
+        tokens: &[Token],
+        limits: EnumLimits,
+    ) -> Result<Vec<Tree>, PwdError> {
+        let f = self.parse_forest(start, tokens)?;
+        Ok(self.forests.trees(f, limits))
+    }
+
+    /// Parses `tokens` and returns the unique parse tree, or `None` if the
+    /// parse is ambiguous.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`parse_forest`](Language::parse_forest).
+    pub fn parse_unique(&mut self, start: NodeId, tokens: &[Token]) -> Result<Option<Tree>, PwdError> {
+        let f = self.parse_forest(start, tokens)?;
+        let mut ts = self.forests.trees(f, EnumLimits { max_trees: 2, max_depth: usize::MAX });
+        if ts.len() == 1 {
+            Ok(Some(ts.swap_remove(0)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Parses `tokens` and counts the parse trees (`None` = infinitely many).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`parse_forest`](Language::parse_forest).
+    pub fn count_parses(
+        &mut self,
+        start: NodeId,
+        tokens: &[Token],
+    ) -> Result<Option<u128>, PwdError> {
+        let f = self.parse_forest(start, tokens)?;
+        Ok(self.forests.count_trees(f))
+    }
+
+    /// Enumerates trees out of a previously returned forest.
+    pub fn trees_of(&self, forest: ForestId, limits: EnumLimits) -> Vec<Tree> {
+        self.forests.trees(forest, limits)
+    }
+
+    /// Counts trees in a previously returned forest (`None` = infinite).
+    pub fn count_of(&self, forest: ForestId) -> Option<u128> {
+        self.forests.count_trees(forest)
+    }
+
+    /// Does a previously returned forest contain at least one finite tree?
+    pub fn has_tree(&self, forest: ForestId) -> bool {
+        self.forests.has_tree(forest)
+    }
+
+    /// The derivative of the whole language by a token sequence:
+    /// `D_w(L)`. Returns the final grammar node (the canonical `∅` node if
+    /// the derivative collapsed early).
+    ///
+    /// # Errors
+    ///
+    /// Same grammar/budget errors as [`recognize`](Language::recognize).
+    pub fn derivative(&mut self, start: NodeId, tokens: &[Token]) -> Result<NodeId, PwdError> {
+        match self.run_derivatives(start, tokens)? {
+            Ok(n) => Ok(n),
+            Err(_) => Ok(self.empty_node()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The outer loop (the paper's `parse`)
+    // ------------------------------------------------------------------
+
+    /// Runs the per-token derivative loop. `Ok(Err(i))` means the derivative
+    /// became syntactically `∅` after consuming token `i` (early reject).
+    fn run_derivatives(
+        &mut self,
+        start: NodeId,
+        tokens: &[Token],
+    ) -> Result<Result<NodeId, usize>, PwdError> {
+        self.validate(start)?;
+        self.mark_initial();
+        self.in_parse = false;
+        let mut cur = start;
+        // §4.3.1: apply the right-child rules (and the rest of the rule set)
+        // to the initial grammar once, before parsing.
+        if self.config.prepass_right_children
+            && self.config.compaction != CompactionMode::None
+        {
+            cur = self.compact_pass(cur);
+        }
+        if self.config.naming {
+            self.assign_initial_names(cur);
+        }
+        let pruning = self.config.compaction != CompactionMode::None;
+        if pruning {
+            // Settle productivity for the initial grammar (and prepass
+            // output) before the per-token passes build on it.
+            self.prune_empty(0);
+        }
+        self.in_parse = true;
+        for (i, tok) in tokens.iter().enumerate() {
+            let generation_start = self.nodes.len();
+            debug_assert_eq!(
+                tok.lexeme(),
+                self.interner.token_by_key(tok.key()).lexeme(),
+                "token was interned by a different Language"
+            );
+            cur = self.derive_node(cur, tok);
+            if self.config.compaction == CompactionMode::SeparatePass {
+                cur = self.compact_pass(cur);
+            }
+            if pruning {
+                self.prune_empty(generation_start);
+            }
+            if self.budget_hit {
+                self.in_parse = false;
+                return Err(PwdError::NodeBudgetExceeded {
+                    limit: self.config.max_nodes.unwrap_or(0),
+                    at_token: i,
+                });
+            }
+            if self.is_empty_node(cur) {
+                self.in_parse = false;
+                return Ok(Err(i));
+            }
+        }
+        self.in_parse = false;
+        Ok(Ok(cur))
+    }
+
+    // ------------------------------------------------------------------
+    // derive
+    // ------------------------------------------------------------------
+
+    /// `D_tok(id)` with memoize-before-recurse cycle handling.
+    pub(crate) fn derive_node(&mut self, id: NodeId, tok: &Token) -> NodeId {
+        self.metrics.derive_calls += 1;
+        let id = self.resolve(id);
+        if let Some(r) = self.memo_get(id, tok.key()) {
+            return r;
+        }
+        self.metrics.derive_uncached += 1;
+        let compact = self.config.compaction == CompactionMode::OnConstruction;
+        match self.node(id).kind.clone() {
+            // D_c(∅) = ∅, D_c(ε) = ∅, D_c(δ(L)) = ∅
+            ExprKind::Empty | ExprKind::Eps(_) | ExprKind::Delta(_) => {
+                let r = self.derived_empty(id, tok);
+                self.memo_put(id, tok.key(), r);
+                r
+            }
+            // D_c(c') = ε_c if c = c', else ∅
+            ExprKind::Term(t) => {
+                let r = if t == tok.term() {
+                    self.derived_eps(id, tok)
+                } else {
+                    self.derived_empty(id, tok)
+                };
+                self.memo_put(id, tok.key(), r);
+                r
+            }
+            // D_c(L₁ ∪ L₂) = D_c(L₁) ∪ D_c(L₂)
+            ExprKind::Alt(a, b) => {
+                let ph = self.placeholder(id, tok, false);
+                self.memo_put(id, tok.key(), ph);
+                let da = self.derive_node(a, tok);
+                let db = self.derive_node(b, tok);
+                let built = self.alt_built(da, db, compact);
+                self.patch(ph, built, ExprKind::Alt(da, db));
+                ph
+            }
+            ExprKind::Cat(a, b) => {
+                if self.nullable(a) {
+                    // D_c(L₁ ◦ L₂) with ε ∈ L₁ (Rule 5b names the ∪ node).
+                    let ph_alt = self.placeholder(id, tok, true);
+                    self.memo_put(id, tok.key(), ph_alt);
+                    let ph_cat = self.placeholder(id, tok, false);
+                    let da = self.derive_node(a, tok);
+                    let db = self.derive_node(b, tok);
+                    let built_cat = self.cat_built_for_derive(da, b, compact);
+                    self.patch(ph_cat, built_cat, ExprKind::Cat(da, b));
+                    let second = match self.config.mode {
+                        // Recognizer (Figure 2): … ∪ D_c(L₂)
+                        ParseMode::Recognize => db,
+                        // Parser (Might et al. 2011): … ∪ (δ(L₁) ◦ D_c(L₂))
+                        ParseMode::Parse => {
+                            let dl = if compact {
+                                self.delta(a)
+                            } else {
+                                let built = self.delta_built(a, false);
+                                self.build(built)
+                            };
+                            let built = self.cat_built_for_derive(dl, db, compact);
+                            self.build(built)
+                        }
+                    };
+                    let built_alt = self.alt_built(ph_cat, second, compact);
+                    self.patch(ph_alt, built_alt, ExprKind::Alt(ph_cat, second));
+                    ph_alt
+                } else {
+                    // D_c(L₁ ◦ L₂) = D_c(L₁) ◦ L₂ when ε ∉ L₁.
+                    let ph = self.placeholder(id, tok, false);
+                    self.memo_put(id, tok.key(), ph);
+                    let da = self.derive_node(a, tok);
+                    let built = self.cat_built_for_derive(da, b, compact);
+                    self.patch(ph, built, ExprKind::Cat(da, b));
+                    ph
+                }
+            }
+            // D_c(L ↪ f) = D_c(L) ↪ f
+            ExprKind::Red(x, f) => {
+                let ph = self.placeholder(id, tok, false);
+                self.memo_put(id, tok.key(), ph);
+                let dx = self.derive_node(x, tok);
+                let built = self.red_built(dx, f.clone(), compact);
+                self.patch(ph, built, ExprKind::Red(dx, f));
+                ph
+            }
+            ExprKind::Forward => {
+                unreachable!("validate() rejects grammars with undefined nonterminals")
+            }
+            ExprKind::Pending => {
+                unreachable!("derive is never called on a node of the current generation")
+            }
+            ExprKind::Ref(_) => unreachable!("resolved"),
+        }
+    }
+
+    /// `cat_built` with the derive-time fuel; kept separate so the fuel
+    /// constant stays private to the compaction module.
+    fn cat_built_for_derive(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        compact: bool,
+    ) -> crate::compact::Built {
+        self.cat_built(a, b, compact, 64)
+    }
+
+    /// A pending placeholder for a node being derived, named per Definition
+    /// 5 when naming is enabled (`bullet` selects Rule 5b vs 5c).
+    fn placeholder(&mut self, parent: NodeId, tok: &Token, bullet: bool) -> NodeId {
+        let ph = self.alloc(ExprKind::Pending);
+        if self.config.naming {
+            if let Some(name) = self.names.get(parent).cloned() {
+                let new_name = if bullet {
+                    name.extend_bullet(tok.key())
+                } else {
+                    name.extend(tok.key())
+                };
+                self.names.assign(ph, new_name);
+            }
+        }
+        ph
+    }
+
+    /// The `∅` produced by a derivative: canonical normally, or a fresh
+    /// named node under the Definition-5 instrumentation (the paper's
+    /// Figure 5 counts `∅` nodes like any other constructed node).
+    fn derived_empty(&mut self, parent: NodeId, tok: &Token) -> NodeId {
+        if self.config.naming {
+            let ph = self.placeholder(parent, tok, false);
+            self.patch(ph, crate::compact::Built::New(ExprKind::Empty), ExprKind::Empty);
+            ph
+        } else {
+            self.empty_node()
+        }
+    }
+
+    /// The `ε` produced by deriving a matching token: carries the token's
+    /// leaf forest in parse mode.
+    fn derived_eps(&mut self, parent: NodeId, tok: &Token) -> NodeId {
+        match self.config.mode {
+            ParseMode::Parse => {
+                let f = self.forests.alloc(ForestNode::Leaf(tok.clone()));
+                let ph = self.placeholder(parent, tok, false);
+                self.patch(ph, crate::compact::Built::New(ExprKind::Eps(f)), ExprKind::Eps(f));
+                ph
+            }
+            ParseMode::Recognize => {
+                if self.config.naming {
+                    let f = ForestId(1); // canonical ε-tree forest
+                    let ph = self.placeholder(parent, tok, false);
+                    self.patch(ph, crate::compact::Built::New(ExprKind::Eps(f)), ExprKind::Eps(f));
+                    ph
+                } else {
+                    self.eps_node()
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // parse-null
+    // ------------------------------------------------------------------
+
+    /// The null-parse forest of `id`: the ASTs it assigns to the empty word.
+    /// Memoized per node; cyclic grammars produce cyclic forests, via the
+    /// same placeholder discipline as `derive`.
+    pub(crate) fn parse_null(&mut self, id: NodeId) -> ForestId {
+        self.metrics.parse_null_calls += 1;
+        let id = self.resolve(id);
+        if let Some(f) = self.node(id).null_parse {
+            return f;
+        }
+        if !self.nullable(id) {
+            let f = ForestId(0); // canonical Nothing
+            self.node_mut(id).null_parse = Some(f);
+            return f;
+        }
+        match self.node(id).kind.clone() {
+            ExprKind::Eps(s) => {
+                self.node_mut(id).null_parse = Some(s);
+                s
+            }
+            ExprKind::Alt(a, b) => {
+                let ph = self.forests.alloc(ForestNode::Pending);
+                self.node_mut(id).null_parse = Some(ph);
+                let pa = self.parse_null(a);
+                let pb = self.parse_null(b);
+                self.forests.set(ph, ForestNode::Amb(vec![pa, pb]));
+                ph
+            }
+            ExprKind::Cat(a, b) => {
+                let ph = self.forests.alloc(ForestNode::Pending);
+                self.node_mut(id).null_parse = Some(ph);
+                let pa = self.parse_null(a);
+                let pb = self.parse_null(b);
+                self.forests.set(ph, ForestNode::Pair(pa, pb));
+                ph
+            }
+            ExprKind::Red(x, f) => {
+                let ph = self.forests.alloc(ForestNode::Pending);
+                self.node_mut(id).null_parse = Some(ph);
+                let px = self.parse_null(x);
+                self.forests.set(ph, ForestNode::Map(f, px));
+                ph
+            }
+            ExprKind::Delta(x) => {
+                let ph = self.forests.alloc(ForestNode::Pending);
+                self.node_mut(id).null_parse = Some(ph);
+                let px = self.parse_null(x);
+                self.forests.set(ph, ForestNode::Amb(vec![px]));
+                ph
+            }
+            // Not nullable, so handled by the guard above.
+            ExprKind::Empty | ExprKind::Term(_) => unreachable!("not nullable"),
+            ExprKind::Forward | ExprKind::Pending => {
+                unreachable!("parse_null runs on a fully patched, validated graph")
+            }
+            ExprKind::Ref(_) => unreachable!("resolved"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Definition-5 naming support
+    // ------------------------------------------------------------------
+
+    /// Rule 5a: gives every node reachable from `root` a fresh base symbol.
+    fn assign_initial_names(&mut self, root: NodeId) {
+        let mut stack = vec![root];
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(id) = stack.pop() {
+            let id = self.resolve(id);
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            if !self.names.has_base(id) {
+                let label = self
+                    .node(id)
+                    .label
+                    .as_deref()
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("N{}", self.names.base_count()));
+                self.names.assign_base(id, label);
+            }
+            match self.node(id).kind.clone() {
+                ExprKind::Alt(a, b) | ExprKind::Cat(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                ExprKind::Red(x, _) | ExprKind::Delta(x) => stack.push(x),
+                _ => {}
+            }
+        }
+    }
+
+    /// Renders the Definition-5 name of a node, e.g. `Mc1•c2c3`.
+    pub fn node_name(&self, id: NodeId) -> Option<String> {
+        let name = self.names.get(id)?;
+        Some(self.names.render(name, |k| {
+            self.interner.token_by_key(k).lexeme().to_string()
+        }))
+    }
+
+    /// Definition-5 statistics over every named node: `(named_nodes,
+    /// distinct_names, max_bullets_per_name)`.
+    pub fn name_stats(&self) -> (usize, usize, usize) {
+        let mut distinct = std::collections::HashSet::new();
+        let mut max_bullets = 0;
+        let mut total = 0;
+        for (_, name) in self.names.iter() {
+            total += 1;
+            max_bullets = max_bullets.max(name.bullets());
+            distinct.insert((name.base, name.syms.clone(), name.bullet));
+        }
+        (total, distinct.len(), max_bullets)
+    }
+
+    /// All rendered node names (diagnostics and the Figure-5 regenerator).
+    pub fn all_node_names(&self) -> Vec<(NodeId, String)> {
+        let mut out: Vec<(NodeId, String)> = self
+            .names
+            .iter()
+            .map(|(id, name)| {
+                (
+                    *id,
+                    self.names
+                        .render(name, |k| self.interner.token_by_key(k).lexeme().to_string()),
+                )
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+}

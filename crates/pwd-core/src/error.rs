@@ -1,0 +1,73 @@
+//! Error types for the PWD engine.
+
+use crate::token::Token;
+use std::fmt;
+
+/// Errors produced by parsing with derivatives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PwdError {
+    /// The input is not in the language. `position` is the index of the
+    /// first token at which the parse became impossible (or the input
+    /// length, when every token was consumed but the final language was not
+    /// nullable).
+    Rejected {
+        /// Token index where the derivative became the empty language, or
+        /// the input length if rejection was only detected at the end.
+        position: usize,
+        /// The offending token, if rejection happened mid-input.
+        token: Option<Token>,
+    },
+    /// The configured [`max_nodes`](crate::ParserConfig::max_nodes) budget
+    /// was exceeded while deriving.
+    NodeBudgetExceeded {
+        /// The configured budget.
+        limit: usize,
+        /// Index of the token being derived when the budget tripped.
+        at_token: usize,
+    },
+    /// A grammar node created with [`Language::forward`](crate::Language::forward)
+    /// was never defined with [`Language::define`](crate::Language::define).
+    UndefinedNonterminal {
+        /// The label attached to the undefined node, if any.
+        label: Option<String>,
+    },
+}
+
+impl fmt::Display for PwdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PwdError::Rejected { position, token: Some(t) } => {
+                write!(f, "input rejected at token {position} ({:?})", t.lexeme())
+            }
+            PwdError::Rejected { position, token: None } => {
+                write!(f, "input rejected at end of input (position {position})")
+            }
+            PwdError::NodeBudgetExceeded { limit, at_token } => {
+                write!(f, "node budget of {limit} exceeded while deriving token {at_token}")
+            }
+            PwdError::UndefinedNonterminal { label: Some(l) } => {
+                write!(f, "nonterminal {l:?} was declared with forward() but never defined")
+            }
+            PwdError::UndefinedNonterminal { label: None } => {
+                write!(f, "a nonterminal was declared with forward() but never defined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PwdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PwdError::Rejected { position: 3, token: None };
+        assert!(e.to_string().contains("position 3"));
+        let e = PwdError::NodeBudgetExceeded { limit: 10, at_token: 2 };
+        assert!(e.to_string().contains("budget of 10"));
+        let e = PwdError::UndefinedNonterminal { label: Some("Expr".into()) };
+        assert!(e.to_string().contains("Expr"));
+    }
+}

@@ -1,0 +1,684 @@
+//! The grammar-node arena and the [`Language`] type.
+//!
+//! Grammars in PWD are *cyclic graphs* of parsing-expression nodes (§2.5.1:
+//! non-terminals are represented by direct pointers, so `L = (L ◦ c) ∪ c`
+//! contains an edge back to itself). In Rust we represent the graph as an
+//! index-addressed arena owned by [`Language`]: nodes refer to children by
+//! [`NodeId`]. The paper's "insert a partially constructed node into the
+//! memo table before recursing" laziness trick (§2.5.2) becomes: allocate a
+//! [`Pending`](ExprKind::Pending) placeholder, memoize its id, recurse, then
+//! patch — no `Rc<RefCell<…>>` cycles anywhere.
+
+use crate::config::ParserConfig;
+use crate::error::PwdError;
+use crate::forest::{ForestId, ForestNode, ForestStore, Tree};
+use crate::metrics::Metrics;
+use crate::names::NameStore;
+use crate::reduce::Reduce;
+use crate::token::{Interner, TermId, TokKey, Token};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Index of a grammar node within a [`Language`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The parsing-expression forms of Figure 1, plus the δ node of Might et al.
+/// (2011) and the arena-specific `Ref`/`Forward`/`Pending` plumbing.
+#[derive(Debug, Clone)]
+pub(crate) enum ExprKind {
+    /// `∅` — the empty language.
+    Empty,
+    /// `ε_s` — the empty word, yielding the trees of the referenced forest.
+    Eps(ForestId),
+    /// `c` — a single terminal.
+    Term(TermId),
+    /// `L₁ ∪ L₂`.
+    Alt(NodeId, NodeId),
+    /// `L₁ ◦ L₂`.
+    Cat(NodeId, NodeId),
+    /// `L ↪ f`.
+    Red(NodeId, Reduce),
+    /// `δ(L)` — the null parses of `L` (derivative ∅, nullability of `L`).
+    Delta(NodeId),
+    /// Forwarding to another node (compaction collapse or a defined
+    /// non-terminal). Transparent to all traversals.
+    Ref(NodeId),
+    /// A declared-but-not-yet-defined non-terminal.
+    Forward,
+    /// A node mid-derivation whose children have not been patched yet.
+    Pending,
+}
+
+/// One grammar node plus its per-node mutable state: nullability lattice
+/// value, single-entry derive memo, and parse-null memo. Storing memo state
+/// *in the node* (not in hash tables) is the §4.4 optimization.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) kind: ExprKind,
+    pub(crate) label: Option<Rc<str>>,
+    // --- nullability state (§4.2) ---
+    pub(crate) null_value: bool,
+    pub(crate) null_definite: bool,
+    pub(crate) null_on_stack: bool,
+    pub(crate) null_visited_run: u32,
+    pub(crate) null_deps: Vec<NodeId>,
+    // --- single-entry derive memo (§4.4) ---
+    pub(crate) memo_key: Option<TokKey>,
+    pub(crate) memo_val: NodeId,
+    /// Second slot for the DualEntry strategy (§4.4's abandoned experiment).
+    pub(crate) memo_key2: Option<TokKey>,
+    pub(crate) memo_val2: NodeId,
+    // --- parse-null memo ---
+    pub(crate) null_parse: Option<ForestId>,
+}
+
+impl Node {
+    fn new(kind: ExprKind) -> Node {
+        Node {
+            kind,
+            label: None,
+            null_value: false,
+            null_definite: false,
+            null_on_stack: false,
+            null_visited_run: 0,
+            null_deps: Vec::new(),
+            memo_key: None,
+            memo_val: NodeId(0),
+            memo_key2: None,
+            memo_val2: NodeId(0),
+            null_parse: None,
+        }
+    }
+}
+
+/// A language: a (possibly cyclic) graph of parsing-expression nodes, an
+/// interner for terminals and tokens, a parse-forest arena, and the engine
+/// state required to take derivatives of it.
+///
+/// # Examples
+///
+/// Build the paper's left-recursive example `L = (L ◦ c) ∪ c` and parse:
+///
+/// ```
+/// use pwd_core::Language;
+///
+/// # fn main() -> Result<(), pwd_core::PwdError> {
+/// let mut lang = Language::default();
+/// let c = lang.terminal("c");
+/// let tc = lang.term_node(c);
+/// let l = lang.forward();
+/// let lc = lang.cat(l, tc);
+/// let body = lang.alt(lc, tc);
+/// lang.define(l, body);
+///
+/// let tok = lang.token(c, "c");
+/// assert!(lang.recognize(l, &[tok.clone(), tok.clone(), tok])?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Language {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) forests: ForestStore,
+    pub(crate) interner: Interner,
+    pub(crate) config: ParserConfig,
+    pub(crate) metrics: Metrics,
+    /// Global table for the FullHash memo strategy, keyed by (node, token).
+    pub(crate) full_memo: HashMap<(NodeId, TokKey), NodeId>,
+    pub(crate) names: NameStore,
+    /// Monotone counter labelling nullability fixed-point runs (§4.2).
+    pub(crate) run_label: u32,
+    /// True while `parse`/`derive` are running; gates the §4.3.1 right-child
+    /// compaction rules, which are only valid on the initial grammar.
+    pub(crate) in_parse: bool,
+    /// Set by `alloc` when `max_nodes` is exceeded; checked per token.
+    pub(crate) budget_hit: bool,
+    /// Node/forest arena sizes at the start of the first parse, for `reset`.
+    pub(crate) initial_nodes: Option<usize>,
+    pub(crate) initial_forests: Option<usize>,
+    /// Canonical `Term` nodes, one per terminal.
+    term_nodes: HashMap<TermId, NodeId>,
+    /// Productivity lattice per node (see [`crate::prune`]): parallel to
+    /// `nodes`.
+    pub(crate) productive: Vec<u8>,
+}
+
+impl Language {
+    /// Creates a language with the given engine configuration.
+    pub fn new(config: ParserConfig) -> Language {
+        let mut forests = ForestStore::default();
+        let nothing = forests.alloc(ForestNode::Nothing);
+        let eps_tree = forests.alloc(ForestNode::EpsTree);
+        debug_assert_eq!(nothing, ForestId(0));
+        debug_assert_eq!(eps_tree, ForestId(1));
+        let mut nodes = Vec::with_capacity(64);
+        nodes.push(Node::new(ExprKind::Empty)); // NodeId(0): canonical ∅
+        nodes.push(Node::new(ExprKind::Eps(eps_tree))); // NodeId(1): canonical ε
+        let mut empty = Node::new(ExprKind::Empty);
+        empty.null_definite = true;
+        nodes[0] = empty;
+        let mut eps = Node::new(ExprKind::Eps(eps_tree));
+        eps.null_value = true;
+        eps.null_definite = true;
+        nodes[1] = eps;
+        Language {
+            nodes,
+            forests,
+            interner: Interner::default(),
+            config,
+            metrics: Metrics::default(),
+            full_memo: HashMap::new(),
+            names: NameStore::default(),
+            run_label: 0,
+            in_parse: false,
+            budget_hit: false,
+            initial_nodes: None,
+            initial_forests: None,
+            term_nodes: HashMap::new(),
+            productive: vec![0, 0],
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ParserConfig {
+        &self.config
+    }
+
+    /// Accumulated instrumentation counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Clears the instrumentation counters.
+    pub fn reset_metrics(&mut self) {
+        self.metrics = Metrics::default();
+    }
+
+    /// Interns a terminal (token kind) by name.
+    pub fn terminal(&mut self, name: &str) -> TermId {
+        self.interner.terminal(name)
+    }
+
+    /// The display name of a terminal.
+    pub fn terminal_name(&self, id: TermId) -> &str {
+        self.interner.term_name(id)
+    }
+
+    /// Creates (and interns) a token of the given kind with the given lexeme.
+    pub fn token(&mut self, term: TermId, lexeme: &str) -> Token {
+        self.interner.token(term, lexeme)
+    }
+
+    /// Number of grammar nodes currently allocated (the paper's `G + g`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of interned terminals.
+    pub fn terminal_count(&self) -> usize {
+        self.interner.term_count()
+    }
+
+    /// Number of interned distinct token values.
+    pub fn token_count(&self) -> usize {
+        self.interner.tok_count()
+    }
+
+    /// Number of nodes carrying a Definition-5 name.
+    pub fn named_node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of parse-forest nodes currently allocated.
+    pub fn forest_count(&self) -> usize {
+        self.forests.len()
+    }
+
+    pub(crate) fn alloc(&mut self, kind: ExprKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(kind));
+        self.productive.push(0);
+        self.metrics.nodes_created += 1;
+        if let Some(limit) = self.config.max_nodes {
+            if self.nodes.len() > limit {
+                self.budget_hit = true;
+            }
+        }
+        id
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Follows `Ref` forwarding to the representative node.
+    pub(crate) fn resolve(&self, mut id: NodeId) -> NodeId {
+        loop {
+            match &self.node(id).kind {
+                ExprKind::Ref(t) => id = *t,
+                _ => return id,
+            }
+        }
+    }
+
+    /// The resolved kind of a node.
+    pub(crate) fn kind(&self, id: NodeId) -> &ExprKind {
+        &self.node(self.resolve(id)).kind
+    }
+
+    /// The canonical `∅` node.
+    pub fn empty_node(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The canonical `ε` node (yielding the single empty tree).
+    pub fn eps_node(&self) -> NodeId {
+        NodeId(1)
+    }
+
+    /// An `ε_s` node yielding the given constant tree.
+    pub fn eps_tree(&mut self, tree: Tree) -> NodeId {
+        let f = self.forests.alloc(ForestNode::Const(tree));
+        let id = self.alloc(ExprKind::Eps(f));
+        let n = self.node_mut(id);
+        n.null_value = true;
+        n.null_definite = true;
+        id
+    }
+
+    /// The canonical single-terminal node for `term`.
+    pub fn term_node(&mut self, term: TermId) -> NodeId {
+        if let Some(&id) = self.term_nodes.get(&term) {
+            return id;
+        }
+        let id = self.alloc(ExprKind::Term(term));
+        self.node_mut(id).null_definite = true; // a token is never nullable
+        self.term_nodes.insert(term, id);
+        id
+    }
+
+    /// Declares a non-terminal whose body will be supplied later with
+    /// [`define`](Language::define) — the mechanism for building cyclic
+    /// grammars.
+    pub fn forward(&mut self) -> NodeId {
+        self.alloc(ExprKind::Forward)
+    }
+
+    /// Defines a previously [`forward`](Language::forward)-declared node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fwd` was not created by `forward` or is already defined.
+    pub fn define(&mut self, fwd: NodeId, body: NodeId) {
+        match self.node(fwd).kind {
+            ExprKind::Forward => {}
+            ref other => panic!("define() on a non-forward node {fwd:?} ({other:?})"),
+        }
+        self.node_mut(fwd).kind = ExprKind::Ref(body);
+    }
+
+    /// Attaches a display label (e.g. a non-terminal name) to a node.
+    pub fn set_label(&mut self, id: NodeId, label: &str) {
+        self.node_mut(id).label = Some(Rc::from(label));
+    }
+
+    /// The display label of a node, if any.
+    pub fn label(&self, id: NodeId) -> Option<&str> {
+        self.node(id).label.as_deref()
+    }
+
+    /// Is this node (after resolution) the empty language *syntactically*?
+    ///
+    /// With compaction enabled, a derivative that becomes `∅` collapses to
+    /// the canonical empty node, so this is the paper's cheap early-reject
+    /// check. Without compaction it may return `false` for semantically
+    /// empty languages.
+    pub fn is_empty_node(&self, id: NodeId) -> bool {
+        matches!(self.kind(id), ExprKind::Empty)
+    }
+
+    /// Checks that every node reachable from `start` is fully defined (no
+    /// [`forward`](Language::forward) declarations missing their
+    /// [`define`](Language::define)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PwdError::UndefinedNonterminal`] naming the first undefined
+    /// node found.
+    pub fn validate(&self, start: NodeId) -> Result<(), PwdError> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        while let Some(id) = stack.pop() {
+            let id = self.resolve(id);
+            if seen[id.0 as usize] {
+                continue;
+            }
+            seen[id.0 as usize] = true;
+            match &self.node(id).kind {
+                ExprKind::Forward => {
+                    return Err(PwdError::UndefinedNonterminal {
+                        label: self.node(id).label.as_deref().map(str::to_owned),
+                    });
+                }
+                ExprKind::Alt(a, b) | ExprKind::Cat(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                ExprKind::Red(a, _) | ExprKind::Delta(a) => stack.push(*a),
+                ExprKind::Empty | ExprKind::Eps(_) | ExprKind::Term(_) | ExprKind::Pending => {}
+                ExprKind::Ref(_) => unreachable!("resolved"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes reachable from `start` (following `Ref`s, counting
+    /// representatives only).
+    pub fn reachable_count(&self, start: NodeId) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        let mut count = 0;
+        while let Some(id) = stack.pop() {
+            let id = self.resolve(id);
+            if seen[id.0 as usize] {
+                continue;
+            }
+            seen[id.0 as usize] = true;
+            count += 1;
+            match &self.node(id).kind {
+                ExprKind::Alt(a, b) | ExprKind::Cat(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                ExprKind::Red(a, _) | ExprKind::Delta(a) => stack.push(*a),
+                _ => {}
+            }
+        }
+        count
+    }
+
+    /// Census of reachable node kinds from `start`: `(kind name, count)`,
+    /// sorted descending. A diagnostic for graph-growth investigations.
+    pub fn kind_census(&self, start: NodeId) -> Vec<(&'static str, usize)> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        let mut counts: HashMap<&'static str, usize> = HashMap::new();
+        while let Some(id) = stack.pop() {
+            let id = self.resolve(id);
+            if seen[id.0 as usize] {
+                continue;
+            }
+            seen[id.0 as usize] = true;
+            let name = match &self.node(id).kind {
+                ExprKind::Empty => "empty",
+                ExprKind::Eps(_) => "eps",
+                ExprKind::Term(_) => "term",
+                ExprKind::Alt(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                    "alt"
+                }
+                ExprKind::Cat(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                    "cat"
+                }
+                ExprKind::Red(a, _) => {
+                    stack.push(*a);
+                    "red"
+                }
+                ExprKind::Delta(a) => {
+                    stack.push(*a);
+                    "delta"
+                }
+                ExprKind::Forward => "forward",
+                ExprKind::Pending => "pending",
+                ExprKind::Ref(_) => unreachable!("resolved"),
+            };
+            *counts.entry(name).or_insert(0) += 1;
+        }
+        let mut v: Vec<(&'static str, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// Diagnostic: the most frequent structural patterns among nodes
+    /// reachable from `start` (kind + labeled/original children), sorted by
+    /// frequency. Used to investigate graph-growth pathologies.
+    pub fn hot_patterns(&self, start: NodeId, top: usize) -> Vec<String> {
+        let initial = self.initial_nodes.unwrap_or(usize::MAX);
+        let describe_child = |id: NodeId| -> String {
+            let id = self.resolve(id);
+            let n = self.node(id);
+            let age = if id.index() < initial { "orig" } else { "new" };
+            let kind = match &n.kind {
+                ExprKind::Empty => "∅",
+                ExprKind::Eps(_) => "ε",
+                ExprKind::Term(_) => "tok",
+                ExprKind::Alt(..) => "∪",
+                ExprKind::Cat(..) => "◦",
+                ExprKind::Red(..) => "↪",
+                ExprKind::Delta(_) => "δ",
+                ExprKind::Forward => "fwd",
+                ExprKind::Pending => "pend",
+                ExprKind::Ref(_) => "ref",
+            };
+            match &n.label {
+                Some(l) => format!("{age}:{kind}:{l}"),
+                None => format!("{age}:{kind}"),
+            }
+        };
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        while let Some(id) = stack.pop() {
+            let id = self.resolve(id);
+            if seen[id.0 as usize] {
+                continue;
+            }
+            seen[id.0 as usize] = true;
+            let pat = match &self.node(id).kind {
+                ExprKind::Alt(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                    format!("∪({}, {})", describe_child(*a), describe_child(*b))
+                }
+                ExprKind::Cat(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                    format!("◦({}, {})", describe_child(*a), describe_child(*b))
+                }
+                ExprKind::Red(a, _) => {
+                    stack.push(*a);
+                    format!("↪({})", describe_child(*a))
+                }
+                ExprKind::Delta(a) => {
+                    stack.push(*a);
+                    format!("δ({})", describe_child(*a))
+                }
+                _ => continue,
+            };
+            *counts.entry(pat).or_insert(0) += 1;
+        }
+        let mut v: Vec<(String, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.truncate(top);
+        v.into_iter().map(|(p, c)| format!("{c:>6}  {p}")).collect()
+    }
+
+    /// Discards every node and forest created by parsing, clears all memo
+    /// tables and counters, and returns the language to its pristine
+    /// pre-parse state (the paper clears memo tables between benchmark
+    /// rounds the same way).
+    pub fn reset(&mut self) {
+        let (Some(n), Some(f)) = (self.initial_nodes, self.initial_forests) else {
+            return; // never parsed; nothing to reset
+        };
+        self.nodes.truncate(n);
+        self.forests.truncate(f);
+        // Productivity of initial nodes is language-determined and stays
+        // valid across parses; just drop the derived suffix.
+        self.productive.truncate(n);
+        for node in &mut self.nodes {
+            node.null_value = false;
+            node.null_definite = false;
+            node.null_on_stack = false;
+            node.null_visited_run = 0;
+            node.null_deps.clear();
+            node.memo_key = None;
+            node.memo_val = NodeId(0);
+            node.memo_key2 = None;
+            node.memo_val2 = NodeId(0);
+            node.null_parse = None;
+            // Constant kinds get their definite nullability back.
+            match node.kind {
+                ExprKind::Empty | ExprKind::Term(_) => node.null_definite = true,
+                ExprKind::Eps(_) => {
+                    node.null_value = true;
+                    node.null_definite = true;
+                }
+                _ => {}
+            }
+        }
+        self.full_memo.clear();
+        self.names.clear_derived();
+        self.metrics = Metrics::default();
+        self.run_label = 0;
+        self.in_parse = false;
+        self.budget_hit = false;
+    }
+
+    /// Records the current arena sizes as the "initial grammar" boundary.
+    /// Called automatically at the start of the first parse.
+    pub(crate) fn mark_initial(&mut self) {
+        if self.initial_nodes.is_none() {
+            self.initial_nodes = Some(self.nodes.len());
+            self.initial_forests = Some(self.forests.len());
+        }
+    }
+
+    /// Size of the initial grammar (the paper's `G`), if a parse has run.
+    pub fn initial_size(&self) -> Option<usize> {
+        self.initial_nodes
+    }
+
+    /// Test-only hook to flip the compaction mode on an existing language.
+    #[doc(hidden)]
+    pub fn set_config_compaction_for_test(&mut self, mode: crate::config::CompactionMode) {
+        self.config.compaction = mode;
+    }
+
+    /// Renders a node for debugging: kind, children ids, label.
+    pub fn describe(&self, id: NodeId) -> String {
+        let r = self.resolve(id);
+        let n = self.node(r);
+        let head = match &n.kind {
+            ExprKind::Empty => "∅".to_string(),
+            ExprKind::Eps(f) => format!("ε[{}]", f.0),
+            ExprKind::Term(t) => format!("tok {}", self.interner.term_name(*t)),
+            ExprKind::Alt(a, b) => format!("∪({}, {})", a.0, b.0),
+            ExprKind::Cat(a, b) => format!("◦({}, {})", a.0, b.0),
+            ExprKind::Red(a, f) => format!("↪({}, {f:?})", a.0),
+            ExprKind::Delta(a) => format!("δ({})", a.0),
+            ExprKind::Forward => "forward".to_string(),
+            ExprKind::Pending => "pending".to_string(),
+            ExprKind::Ref(_) => unreachable!("resolved"),
+        };
+        match &n.label {
+            Some(l) => format!("{l}: {head}"),
+            None => head,
+        }
+    }
+}
+
+impl Default for Language {
+    fn default() -> Self {
+        Language::new(ParserConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_nodes() {
+        let lang = Language::default();
+        assert!(lang.is_empty_node(lang.empty_node()));
+        assert!(matches!(lang.kind(lang.eps_node()), ExprKind::Eps(_)));
+    }
+
+    #[test]
+    fn term_nodes_are_canonical() {
+        let mut lang = Language::default();
+        let a = lang.terminal("a");
+        let n1 = lang.term_node(a);
+        let n2 = lang.term_node(a);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn forward_define_resolves() {
+        let mut lang = Language::default();
+        let f = lang.forward();
+        let a = lang.terminal("a");
+        let body = lang.term_node(a);
+        lang.define(f, body);
+        assert_eq!(lang.resolve(f), body);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-forward")]
+    fn double_define_panics() {
+        let mut lang = Language::default();
+        let f = lang.forward();
+        let e = lang.eps_node();
+        lang.define(f, e);
+        lang.define(f, e);
+    }
+
+    #[test]
+    fn validate_catches_undefined_forward() {
+        let mut lang = Language::default();
+        let f = lang.forward();
+        lang.set_label(f, "Expr");
+        let err = lang.validate(f).unwrap_err();
+        assert_eq!(err, PwdError::UndefinedNonterminal { label: Some("Expr".into()) });
+    }
+
+    #[test]
+    fn reachable_count_on_cycle() {
+        let mut lang = Language::new(ParserConfig {
+            compaction: crate::config::CompactionMode::None,
+            ..ParserConfig::improved()
+        });
+        let c = lang.terminal("c");
+        let tc = lang.term_node(c);
+        let l = lang.forward();
+        let lc = lang.cat(l, tc);
+        let body = lang.alt(lc, tc);
+        lang.define(l, body);
+        // Nodes: Term(c), Cat, Alt — the forward resolves away.
+        assert_eq!(lang.reachable_count(l), 3);
+    }
+
+    #[test]
+    fn labels_render_in_describe() {
+        let mut lang = Language::default();
+        let f = lang.forward();
+        lang.set_label(f, "S");
+        assert!(lang.describe(f).starts_with("S:"));
+    }
+}

@@ -1,0 +1,557 @@
+//! Parse forests with ambiguity nodes.
+//!
+//! The paper's complexity result (Lemma 3) assumes ASTs use *ambiguity nodes*
+//! and a potentially cyclic graph representation — the standard assumption
+//! under which GLR and Earley are cubic. This module provides that
+//! representation: a forest arena whose nodes may form cycles (for grammars
+//! with infinitely many parses of the empty word), plus bounded enumeration
+//! and counting of concrete parse trees.
+
+use crate::reduce::{Reduce, ReduceKind};
+use crate::token::Token;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Index of a node in a [`Language`](crate::Language)'s forest arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ForestId(pub(crate) u32);
+
+/// A node of the shared parse forest.
+#[derive(Debug, Clone)]
+pub(crate) enum ForestNode {
+    /// No parses.
+    Nothing,
+    /// Exactly one parse: the empty tree `ε`.
+    EpsTree,
+    /// Exactly one parse: a token leaf.
+    Leaf(Token),
+    /// Exactly one parse: a user-supplied constant tree (the `s` of `ε_s`).
+    Const(Tree),
+    /// The cross product of two forests (from `◦`).
+    Pair(ForestId, ForestId),
+    /// An ambiguity node: the union of the alternatives.
+    Amb(Vec<ForestId>),
+    /// A reduction mapped over a forest (from `↪`).
+    Map(Reduce, ForestId),
+    /// Placeholder while `parse-null` is mid-construction on a cycle.
+    Pending,
+}
+
+/// Arena of forest nodes. Cycles are permitted.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ForestStore {
+    nodes: Vec<ForestNode>,
+}
+
+/// Limits for enumerating trees out of a (possibly cyclic, possibly
+/// exponentially ambiguous) forest.
+///
+/// Enumeration is *bounded*: it returns at most `max_trees` trees and
+/// explores the forest graph to at most `max_depth` unrollings, so it always
+/// terminates even on cyclic forests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumLimits {
+    /// Maximum number of trees to produce.
+    pub max_trees: usize,
+    /// Maximum graph depth to unroll (guards against cyclic forests).
+    pub max_depth: usize,
+}
+
+impl Default for EnumLimits {
+    fn default() -> Self {
+        EnumLimits { max_trees: 64, max_depth: 256 }
+    }
+}
+
+/// A concrete parse tree.
+///
+/// `◦` produces [`Tree::Pair`], tokens produce [`Tree::Leaf`], `ε` produces
+/// [`Tree::Empty`], and user reductions may build arbitrary labeled
+/// [`Tree::Node`]s.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_core::Tree;
+/// let t = Tree::node("expr", vec![Tree::Empty]);
+/// assert_eq!(t.to_string(), "(expr ε)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Tree {
+    /// The empty (`ε`) tree.
+    Empty,
+    /// A token leaf.
+    Leaf(Token),
+    /// A pair produced by concatenation.
+    Pair(Rc<Tree>, Rc<Tree>),
+    /// A labeled node produced by a user reduction.
+    Node(Rc<str>, Rc<[Tree]>),
+}
+
+impl Tree {
+    /// Builds a pair tree.
+    pub fn pair(a: Tree, b: Tree) -> Tree {
+        Tree::Pair(Rc::new(a), Rc::new(b))
+    }
+
+    /// Builds a labeled node.
+    pub fn node(label: &str, children: Vec<Tree>) -> Tree {
+        Tree::Node(Rc::from(label), Rc::from(children))
+    }
+
+    /// Builds a token leaf.
+    pub fn leaf(t: Token) -> Tree {
+        Tree::Leaf(t)
+    }
+
+    /// Number of token leaves in the tree.
+    pub fn leaves(&self) -> usize {
+        match self {
+            Tree::Empty => 0,
+            Tree::Leaf(_) => 1,
+            Tree::Pair(a, b) => a.leaves() + b.leaves(),
+            Tree::Node(_, kids) => kids.iter().map(Tree::leaves).sum(),
+        }
+    }
+
+    /// The left-to-right sequence of leaf lexemes (the *yield*).
+    pub fn fringe(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.fringe_into(&mut out);
+        out
+    }
+
+    fn fringe_into(&self, out: &mut Vec<String>) {
+        match self {
+            Tree::Empty => {}
+            Tree::Leaf(t) => out.push(t.lexeme().to_string()),
+            Tree::Pair(a, b) => {
+                a.fringe_into(out);
+                b.fringe_into(out);
+            }
+            Tree::Node(_, kids) => {
+                for k in kids.iter() {
+                    k.fringe_into(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tree::Empty => write!(f, "ε"),
+            Tree::Leaf(t) => write!(f, "{}", t.lexeme()),
+            Tree::Pair(a, b) => write!(f, "({a} . {b})"),
+            Tree::Node(label, kids) => {
+                write!(f, "({label}")?;
+                for k in kids.iter() {
+                    write!(f, " {k}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl ForestStore {
+    pub(crate) fn alloc(&mut self, node: ForestNode) -> ForestId {
+        let id = ForestId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    pub(crate) fn get(&self, id: ForestId) -> &ForestNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    pub(crate) fn set(&mut self, id: ForestId, node: ForestNode) {
+        self.nodes[id.0 as usize] = node;
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.nodes.truncate(len);
+    }
+
+    /// Enumerates up to `limits.max_trees` trees from `f`.
+    pub(crate) fn trees(&self, f: ForestId, limits: EnumLimits) -> Vec<Tree> {
+        self.enumerate(f, limits.max_depth, limits.max_trees)
+    }
+
+    fn enumerate(&self, f: ForestId, depth: usize, cap: usize) -> Vec<Tree> {
+        if depth == 0 || cap == 0 {
+            return Vec::new();
+        }
+        match self.get(f) {
+            ForestNode::Nothing | ForestNode::Pending => Vec::new(),
+            ForestNode::EpsTree => vec![Tree::Empty],
+            ForestNode::Leaf(t) => vec![Tree::Leaf(t.clone())],
+            ForestNode::Const(t) => vec![t.clone()],
+            ForestNode::Pair(a, b) => {
+                let left = self.enumerate(*a, depth - 1, cap);
+                if left.is_empty() {
+                    return Vec::new();
+                }
+                let right = self.enumerate(*b, depth - 1, cap);
+                let mut out = Vec::new();
+                'outer: for l in &left {
+                    for r in &right {
+                        out.push(Tree::pair(l.clone(), r.clone()));
+                        if out.len() >= cap {
+                            break 'outer;
+                        }
+                    }
+                }
+                out
+            }
+            ForestNode::Amb(alts) => {
+                let mut out = Vec::new();
+                for a in alts {
+                    let remaining = cap - out.len();
+                    if remaining == 0 {
+                        break;
+                    }
+                    out.extend(self.enumerate(*a, depth - 1, remaining));
+                }
+                out
+            }
+            ForestNode::Map(red, inner) => {
+                let mut out = Vec::new();
+                for t in self.enumerate(*inner, depth - 1, cap) {
+                    self.apply(red, t, depth - 1, &mut out);
+                    if out.len() >= cap {
+                        out.truncate(cap);
+                        break;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Applies a reduction to a tree, producing zero or more trees (reductions
+    /// that pair with a null-parse *forest* are one-to-many).
+    fn apply(&self, red: &Reduce, t: Tree, depth: usize, out: &mut Vec<Tree>) {
+        match &*red.0 {
+            ReduceKind::Compose(g, h) => {
+                let mut mid = Vec::new();
+                self.apply(h, t, depth, &mut mid);
+                for m in mid {
+                    self.apply(g, m, depth, out);
+                }
+            }
+            ReduceKind::PairLeft(s) => {
+                for l in self.enumerate(*s, depth, usize::MAX) {
+                    out.push(Tree::pair(l, t.clone()));
+                }
+            }
+            ReduceKind::PairRight(s) => {
+                for r in self.enumerate(*s, depth, usize::MAX) {
+                    out.push(Tree::pair(t.clone(), r));
+                }
+            }
+            ReduceKind::Reassoc => match t {
+                Tree::Pair(t1, rest) => match &*rest {
+                    Tree::Pair(t2, t3) => out.push(Tree::Pair(
+                        Rc::new(Tree::Pair(t1, t2.clone())),
+                        t3.clone(),
+                    )),
+                    _ => out.push(Tree::Pair(t1, rest)),
+                },
+                other => out.push(other),
+            },
+            ReduceKind::MapFirst(g) => match t {
+                Tree::Pair(a, b) => {
+                    let mut firsts = Vec::new();
+                    self.apply(g, (*a).clone(), depth, &mut firsts);
+                    for a2 in firsts {
+                        out.push(Tree::Pair(Rc::new(a2), b.clone()));
+                    }
+                }
+                other => out.push(other),
+            },
+            ReduceKind::MapSecond(g) => match t {
+                Tree::Pair(a, b) => {
+                    let mut seconds = Vec::new();
+                    self.apply(g, (*b).clone(), depth, &mut seconds);
+                    for b2 in seconds {
+                        out.push(Tree::Pair(a.clone(), Rc::new(b2)));
+                    }
+                }
+                other => out.push(other),
+            },
+            ReduceKind::Func(_, f) => out.push(f(t)),
+        }
+    }
+
+    /// Does the forest contain at least one (finite) tree?
+    ///
+    /// Computed as a least fixed point: nodes currently on the DFS stack
+    /// contribute `false`, so a bare cycle with no grounded alternative has
+    /// no finite tree.
+    pub(crate) fn has_tree(&self, f: ForestId) -> bool {
+        let mut on_stack = vec![false; self.nodes.len()];
+        let mut memo: HashMap<ForestId, bool> = HashMap::new();
+        self.has_tree_rec(f, &mut on_stack, &mut memo)
+    }
+
+    fn has_tree_rec(
+        &self,
+        f: ForestId,
+        on_stack: &mut Vec<bool>,
+        memo: &mut HashMap<ForestId, bool>,
+    ) -> bool {
+        if let Some(&v) = memo.get(&f) {
+            return v;
+        }
+        if on_stack[f.0 as usize] {
+            return false;
+        }
+        on_stack[f.0 as usize] = true;
+        let v = match self.get(f) {
+            ForestNode::Nothing | ForestNode::Pending => false,
+            ForestNode::EpsTree | ForestNode::Leaf(_) | ForestNode::Const(_) => true,
+            ForestNode::Pair(a, b) => {
+                self.has_tree_rec(*a, on_stack, memo) && self.has_tree_rec(*b, on_stack, memo)
+            }
+            ForestNode::Amb(alts) => alts
+                .clone()
+                .iter()
+                .any(|a| self.has_tree_rec(*a, on_stack, memo)),
+            ForestNode::Map(_, inner) => self.has_tree_rec(*inner, on_stack, memo),
+        };
+        on_stack[f.0 as usize] = false;
+        // Only cache positive results: a `false` here may be an artifact of
+        // the on-stack cut, not a ground truth about the node.
+        if v {
+            memo.insert(f, v);
+        }
+        v
+    }
+
+    /// Counts the number of distinct parse trees, or `None` if the count is
+    /// infinite (the forest has a productive cycle).
+    ///
+    /// Counts saturate at `u128::MAX`.
+    pub(crate) fn count_trees(&self, f: ForestId) -> Option<u128> {
+        let mut on_stack = vec![false; self.nodes.len()];
+        let mut memo: HashMap<ForestId, Option<u128>> = HashMap::new();
+        self.count_rec(f, &mut on_stack, &mut memo)
+    }
+
+    fn count_rec(
+        &self,
+        f: ForestId,
+        on_stack: &mut Vec<bool>,
+        memo: &mut HashMap<ForestId, Option<u128>>,
+    ) -> Option<u128> {
+        if let Some(v) = memo.get(&f) {
+            return *v;
+        }
+        if on_stack[f.0 as usize] {
+            // A cycle reached during counting. If the cycle is productive the
+            // count is infinite; report None conservatively.
+            return None;
+        }
+        on_stack[f.0 as usize] = true;
+        let v = match self.get(f).clone() {
+            ForestNode::Nothing | ForestNode::Pending => Some(0),
+            ForestNode::EpsTree | ForestNode::Leaf(_) | ForestNode::Const(_) => Some(1),
+            ForestNode::Pair(a, b) => {
+                let ca = self.count_rec(a, on_stack, memo);
+                let cb = self.count_rec(b, on_stack, memo);
+                match (ca, cb) {
+                    (Some(0), _) | (_, Some(0)) => Some(0),
+                    (Some(x), Some(y)) => Some(x.saturating_mul(y)),
+                    _ => None,
+                }
+            }
+            ForestNode::Amb(alts) => {
+                let mut total: u128 = 0;
+                let mut infinite = false;
+                for a in alts {
+                    match self.count_rec(a, on_stack, memo) {
+                        Some(c) => total = total.saturating_add(c),
+                        None => infinite = true,
+                    }
+                }
+                if infinite {
+                    None
+                } else {
+                    Some(total)
+                }
+            }
+            ForestNode::Map(red, inner) => {
+                let base = self.count_rec(inner, on_stack, memo);
+                let mult = self.reduce_multiplier(&red, on_stack, memo);
+                match (base, mult) {
+                    (Some(0), _) => Some(0),
+                    (Some(b), Some(m)) => Some(b.saturating_mul(m)),
+                    _ => None,
+                }
+            }
+        };
+        on_stack[f.0 as usize] = false;
+        memo.insert(f, v);
+        v
+    }
+
+    /// How many output trees a reduction produces per input tree.
+    fn reduce_multiplier(
+        &self,
+        red: &Reduce,
+        on_stack: &mut Vec<bool>,
+        memo: &mut HashMap<ForestId, Option<u128>>,
+    ) -> Option<u128> {
+        match &*red.0 {
+            ReduceKind::Compose(g, h) => {
+                let a = self.reduce_multiplier(g, on_stack, memo)?;
+                let b = self.reduce_multiplier(h, on_stack, memo)?;
+                Some(a.saturating_mul(b))
+            }
+            ReduceKind::PairLeft(s) | ReduceKind::PairRight(s) => {
+                self.count_rec(*s, on_stack, memo)
+            }
+            ReduceKind::Reassoc | ReduceKind::Func(..) => Some(1),
+            ReduceKind::MapFirst(g) | ReduceKind::MapSecond(g) => {
+                self.reduce_multiplier(g, on_stack, memo)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Interner;
+
+    fn tok(i: &mut Interner, s: &str) -> Token {
+        let t = i.terminal(s);
+        i.token(t, s)
+    }
+
+    #[test]
+    fn enumerate_leaf_and_pair() {
+        let mut i = Interner::default();
+        let mut fs = ForestStore::default();
+        let a = fs.alloc(ForestNode::Leaf(tok(&mut i, "a")));
+        let b = fs.alloc(ForestNode::Leaf(tok(&mut i, "b")));
+        let p = fs.alloc(ForestNode::Pair(a, b));
+        let ts = fs.trees(p, EnumLimits::default());
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].to_string(), "(a . b)");
+        assert_eq!(ts[0].leaves(), 2);
+    }
+
+    #[test]
+    fn ambiguity_node_unions() {
+        let mut i = Interner::default();
+        let mut fs = ForestStore::default();
+        let a = fs.alloc(ForestNode::Leaf(tok(&mut i, "a")));
+        let b = fs.alloc(ForestNode::Leaf(tok(&mut i, "b")));
+        let amb = fs.alloc(ForestNode::Amb(vec![a, b]));
+        let ts = fs.trees(amb, EnumLimits::default());
+        assert_eq!(ts.len(), 2);
+        assert_eq!(fs.count_trees(amb), Some(2));
+    }
+
+    #[test]
+    fn map_applies_reduction() {
+        let mut i = Interner::default();
+        let mut fs = ForestStore::default();
+        let a = fs.alloc(ForestNode::Leaf(tok(&mut i, "a")));
+        let red = Reduce::func("wrap", |t| Tree::node("w", vec![t]));
+        let m = fs.alloc(ForestNode::Map(red, a));
+        let ts = fs.trees(m, EnumLimits::default());
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].to_string(), "(w a)");
+    }
+
+    #[test]
+    fn pair_left_reduction_is_one_to_many() {
+        let mut i = Interner::default();
+        let mut fs = ForestStore::default();
+        let s1 = fs.alloc(ForestNode::Leaf(tok(&mut i, "x")));
+        let s2 = fs.alloc(ForestNode::Leaf(tok(&mut i, "y")));
+        let s = fs.alloc(ForestNode::Amb(vec![s1, s2]));
+        let u = fs.alloc(ForestNode::Leaf(tok(&mut i, "u")));
+        let m = fs.alloc(ForestNode::Map(Reduce::pair_left(s), u));
+        let mut strs: Vec<String> = fs
+            .trees(m, EnumLimits::default())
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        strs.sort();
+        assert_eq!(strs, ["(x . u)", "(y . u)"]);
+        assert_eq!(fs.count_trees(m), Some(2));
+    }
+
+    #[test]
+    fn reassoc_rotates_pairs() {
+        let mut i = Interner::default();
+        let mut fs = ForestStore::default();
+        let mk = |fs: &mut ForestStore, i: &mut Interner, s: &str| {
+            let t = tok(i, s);
+            fs.alloc(ForestNode::Leaf(t))
+        };
+        let a = mk(&mut fs, &mut i, "1");
+        let b = mk(&mut fs, &mut i, "2");
+        let c = mk(&mut fs, &mut i, "3");
+        let bc = fs.alloc(ForestNode::Pair(b, c));
+        let abc = fs.alloc(ForestNode::Pair(a, bc));
+        let m = fs.alloc(ForestNode::Map(Reduce::reassoc(), abc));
+        let ts = fs.trees(m, EnumLimits::default());
+        assert_eq!(ts[0].to_string(), "((1 . 2) . 3)");
+    }
+
+    #[test]
+    fn cyclic_forest_enumeration_terminates() {
+        let mut i = Interner::default();
+        let mut fs = ForestStore::default();
+        let leaf = fs.alloc(ForestNode::Leaf(tok(&mut i, "a")));
+        let amb = fs.alloc(ForestNode::Pending);
+        let pair = fs.alloc(ForestNode::Pair(amb, leaf));
+        fs.set(amb, ForestNode::Amb(vec![leaf, pair]));
+        // Infinitely many trees: a, (a . a), ((a . a) . a), …
+        let ts = fs.trees(amb, EnumLimits { max_trees: 5, max_depth: 64 });
+        assert_eq!(ts.len(), 5);
+        assert_eq!(fs.count_trees(amb), None, "productive cycle is infinite");
+        assert!(fs.has_tree(amb));
+    }
+
+    #[test]
+    fn unproductive_cycle_has_no_tree() {
+        let mut fs = ForestStore::default();
+        let amb = fs.alloc(ForestNode::Pending);
+        let pair = fs.alloc(ForestNode::Pair(amb, amb));
+        fs.set(amb, ForestNode::Amb(vec![pair]));
+        assert!(!fs.has_tree(amb));
+        let ts = fs.trees(amb, EnumLimits::default());
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn nothing_has_no_trees() {
+        let mut fs = ForestStore::default();
+        let n = fs.alloc(ForestNode::Nothing);
+        assert!(!fs.has_tree(n));
+        assert_eq!(fs.count_trees(n), Some(0));
+        assert!(fs.trees(n, EnumLimits::default()).is_empty());
+    }
+
+    #[test]
+    fn tree_fringe() {
+        let mut i = Interner::default();
+        let a = Tree::leaf(tok(&mut i, "a"));
+        let b = Tree::leaf(tok(&mut i, "b"));
+        let t = Tree::node("top", vec![Tree::pair(a, Tree::Empty), b]);
+        assert_eq!(t.fringe(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(t.leaves(), 2);
+    }
+}

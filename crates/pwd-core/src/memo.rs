@@ -1,0 +1,225 @@
+//! Memoization of `derive` (§4.4).
+//!
+//! Two strategies:
+//!
+//! * [`MemoStrategy::FullHash`](crate::MemoStrategy::FullHash) — the nested
+//!   hash tables of Might et al. (2011), realized here as one global map
+//!   keyed by `(node, token)`.
+//! * [`MemoStrategy::SingleEntry`](crate::MemoStrategy::SingleEntry) — the
+//!   paper's improvement: two fields on each node acting as a one-entry
+//!   cache that evicts on conflict. Forgetful (Figure 11), but avoids all
+//!   hashing on the hot path (Figure 12).
+//!
+//! The memo is keyed by token *value* ([`TokKey`]), not input position, so a
+//! recurring token can hit an entry created earlier in the input — the exact
+//! effect Figures 10–12 measure.
+
+use crate::config::MemoStrategy;
+use crate::expr::{Language, NodeId};
+use crate::token::TokKey;
+use std::collections::HashMap;
+
+impl Language {
+    /// Looks up the memoized derivative of `id` by token `key`.
+    pub(crate) fn memo_get(&self, id: NodeId, key: TokKey) -> Option<NodeId> {
+        match self.config.memo {
+            MemoStrategy::SingleEntry => {
+                let n = self.node(id);
+                if n.memo_key == Some(key) {
+                    Some(n.memo_val)
+                } else {
+                    None
+                }
+            }
+            MemoStrategy::DualEntry => {
+                let n = self.node(id);
+                if n.memo_key == Some(key) {
+                    Some(n.memo_val)
+                } else if n.memo_key2 == Some(key) {
+                    Some(n.memo_val2)
+                } else {
+                    None
+                }
+            }
+            MemoStrategy::FullHash => self.full_memo.get(&(id, key)).copied(),
+        }
+    }
+
+    /// Records the derivative of `id` by token `key`.
+    pub(crate) fn memo_put(&mut self, id: NodeId, key: TokKey, val: NodeId) {
+        match self.config.memo {
+            MemoStrategy::SingleEntry => {
+                let evicted = {
+                    let n = self.node_mut(id);
+                    let evicted = n.memo_key.is_some() && n.memo_key != Some(key);
+                    n.memo_key = Some(key);
+                    n.memo_val = val;
+                    evicted
+                };
+                if evicted {
+                    self.metrics.memo_evictions += 1;
+                }
+            }
+            MemoStrategy::DualEntry => {
+                let evicted = {
+                    let n = self.node_mut(id);
+                    if n.memo_key == Some(key) {
+                        n.memo_val = val;
+                        false
+                    } else {
+                        // Demote the newest entry to the second slot,
+                        // dropping the oldest.
+                        let evicted = n.memo_key2.is_some() && n.memo_key2 != Some(key);
+                        n.memo_key2 = n.memo_key;
+                        n.memo_val2 = n.memo_val;
+                        n.memo_key = Some(key);
+                        n.memo_val = val;
+                        evicted
+                    }
+                };
+                if evicted {
+                    self.metrics.memo_evictions += 1;
+                }
+            }
+            MemoStrategy::FullHash => {
+                self.full_memo.insert((id, key), val);
+            }
+        }
+    }
+
+    /// Census of derive-memo entries per node (Figure 10): for every node
+    /// holding at least one memo entry, how many entries it holds.
+    ///
+    /// Under `SingleEntry` every occupied node reports exactly 1 by
+    /// construction, so the census is only informative under `FullHash`.
+    pub fn memo_entry_counts(&self) -> Vec<u32> {
+        match self.config.memo {
+            MemoStrategy::SingleEntry => self
+                .nodes
+                .iter()
+                .filter(|n| n.memo_key.is_some())
+                .map(|_| 1)
+                .collect(),
+            MemoStrategy::DualEntry => self
+                .nodes
+                .iter()
+                .filter(|n| n.memo_key.is_some())
+                .map(|n| if n.memo_key2.is_some() { 2 } else { 1 })
+                .collect(),
+            MemoStrategy::FullHash => {
+                let mut per_node: HashMap<NodeId, u32> = HashMap::new();
+                for (node, _) in self.full_memo.keys() {
+                    *per_node.entry(*node).or_insert(0) += 1;
+                }
+                per_node.into_values().collect()
+            }
+        }
+    }
+
+    /// Fraction of memoized nodes holding exactly one entry (the quantity
+    /// Figure 10 plots), or `None` when nothing is memoized yet.
+    pub fn single_entry_fraction(&self) -> Option<f64> {
+        let counts = self.memo_entry_counts();
+        if counts.is_empty() {
+            return None;
+        }
+        let singles = counts.iter().filter(|&&c| c == 1).count();
+        Some(singles as f64 / counts.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParserConfig;
+
+    #[test]
+    fn single_entry_evicts() {
+        let mut lang = Language::new(ParserConfig::improved());
+        let a = lang.terminal("a");
+        let n = lang.term_node(a);
+        let (k1, k2) = (TokKey(0), TokKey(1));
+        let (v1, v2) = (NodeId(0), NodeId(1));
+        lang.memo_put(n, k1, v1);
+        assert_eq!(lang.memo_get(n, k1), Some(v1));
+        lang.memo_put(n, k2, v2);
+        assert_eq!(lang.memo_get(n, k2), Some(v2));
+        assert_eq!(lang.memo_get(n, k1), None, "first entry evicted");
+        assert_eq!(lang.metrics().memo_evictions, 1);
+    }
+
+    #[test]
+    fn full_hash_remembers_everything() {
+        let mut lang = Language::new(ParserConfig::original_2011());
+        let a = lang.terminal("a");
+        let n = lang.term_node(a);
+        let (k1, k2) = (TokKey(0), TokKey(1));
+        lang.memo_put(n, k1, NodeId(0));
+        lang.memo_put(n, k2, NodeId(1));
+        assert_eq!(lang.memo_get(n, k1), Some(NodeId(0)));
+        assert_eq!(lang.memo_get(n, k2), Some(NodeId(1)));
+        assert_eq!(lang.metrics().memo_evictions, 0);
+    }
+
+    #[test]
+    fn census_counts_entries_per_node() {
+        let mut lang = Language::new(ParserConfig::original_2011());
+        let a = lang.terminal("a");
+        let n1 = lang.term_node(a);
+        let b = lang.terminal("b");
+        let n2 = lang.term_node(b);
+        lang.memo_put(n1, TokKey(0), NodeId(0));
+        lang.memo_put(n1, TokKey(1), NodeId(0));
+        lang.memo_put(n2, TokKey(0), NodeId(0));
+        let mut counts = lang.memo_entry_counts();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2]);
+        let frac = lang.single_entry_fraction().unwrap();
+        assert!((frac - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_entry_keeps_two() {
+        let mut lang = Language::new(ParserConfig {
+            memo: MemoStrategy::DualEntry,
+            ..ParserConfig::improved()
+        });
+        let a = lang.terminal("a");
+        let n = lang.term_node(a);
+        let (k1, k2, k3) = (TokKey(0), TokKey(1), TokKey(2));
+        lang.memo_put(n, k1, NodeId(0));
+        lang.memo_put(n, k2, NodeId(1));
+        assert_eq!(lang.memo_get(n, k1), Some(NodeId(0)), "both entries retained");
+        assert_eq!(lang.memo_get(n, k2), Some(NodeId(1)));
+        assert_eq!(lang.metrics().memo_evictions, 0);
+        lang.memo_put(n, k3, NodeId(2));
+        assert_eq!(lang.memo_get(n, k3), Some(NodeId(2)));
+        assert_eq!(lang.memo_get(n, k2), Some(NodeId(1)), "newest demoted, kept");
+        assert_eq!(lang.memo_get(n, k1), None, "oldest evicted");
+        assert_eq!(lang.metrics().memo_evictions, 1);
+        let mut counts = lang.memo_entry_counts();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![2]);
+    }
+
+    #[test]
+    fn dual_entry_update_in_place() {
+        let mut lang = Language::new(ParserConfig {
+            memo: MemoStrategy::DualEntry,
+            ..ParserConfig::improved()
+        });
+        let a = lang.terminal("a");
+        let n = lang.term_node(a);
+        lang.memo_put(n, TokKey(0), NodeId(0));
+        lang.memo_put(n, TokKey(0), NodeId(1));
+        assert_eq!(lang.memo_get(n, TokKey(0)), Some(NodeId(1)));
+        assert_eq!(lang.metrics().memo_evictions, 0);
+    }
+
+    #[test]
+    fn empty_census() {
+        let lang = Language::new(ParserConfig::improved());
+        assert!(lang.memo_entry_counts().is_empty());
+        assert_eq!(lang.single_entry_fraction(), None);
+    }
+}

@@ -1,0 +1,63 @@
+//! Instrumentation counters.
+//!
+//! Figures 7, 10, and 11 of the paper are counter-based (calls to
+//! `nullable?`, memo-entry census, uncached calls to `derive`); this module
+//! holds those counters. They are plain fields updated on the hot path with
+//! no atomic or hashing cost.
+
+/// Counters accumulated while parsing.
+///
+/// Reset with [`Language::reset_metrics`](crate::Language::reset_metrics) or
+/// [`Language::reset`](crate::Language::reset).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Metrics {
+    /// Total calls to `derive` (cached and uncached).
+    pub derive_calls: u64,
+    /// Calls to `derive` that missed the memo table and did real work.
+    pub derive_uncached: u64,
+    /// Total calls to `nullable?` (one per node visit, as in Figure 7).
+    pub nullable_calls: u64,
+    /// Number of fixed-point runs started by `nullable?` queries.
+    pub nullable_runs: u64,
+    /// Grammar nodes created (the paper's `g`).
+    pub nodes_created: u64,
+    /// Single-entry memo evictions (a second token displaced a first).
+    pub memo_evictions: u64,
+    /// Calls to `parse-null` (cached and uncached).
+    pub parse_null_calls: u64,
+    /// Separate compaction passes executed (original-2011 mode).
+    pub compaction_passes: u64,
+    /// Nodes rewritten to something smaller by a compaction rule.
+    pub compactions_applied: u64,
+    /// Nodes proven empty by the productivity pass and rewritten to `∅`.
+    pub empty_prunes: u64,
+}
+
+impl Metrics {
+    /// Fraction of `derive` calls that were uncached, in `[0, 1]`.
+    pub fn uncached_ratio(&self) -> f64 {
+        if self.derive_calls == 0 {
+            0.0
+        } else {
+            self.derive_uncached as f64 / self.derive_calls as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncached_ratio_handles_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.uncached_ratio(), 0.0);
+    }
+
+    #[test]
+    fn uncached_ratio_computes() {
+        let m = Metrics { derive_calls: 10, derive_uncached: 4, ..Metrics::default() };
+        assert!((m.uncached_ratio() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,170 @@
+//! Definition-5 node naming (§3.2).
+//!
+//! The paper's cubic bound is proved by assigning each node a *unique name*:
+//!
+//! * **Rule 5a** — initial grammar nodes get a single fresh symbol;
+//! * **Rule 5b** — the `∪` node produced by deriving a `◦` node with a
+//!   nullable left child by token `c` is named `w•c` (where `w` names the
+//!   `◦` node);
+//! * **Rule 5c** — every other node created by `derive` is named `wc`.
+//!
+//! Lemma 7 shows every name has at most one `•`; Theorem 8 bounds the number
+//! of possible names — and therefore nodes — by `O(G·n³)`. This module
+//! implements the naming so tests and the Figure-5 regenerator can check
+//! those statements on real executions.
+
+use crate::expr::NodeId;
+use crate::token::TokKey;
+use std::collections::HashMap;
+
+/// A Definition-5 node name: an initial symbol, a sequence of token symbols,
+/// and at most one `•` position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Name {
+    /// Index of the Rule-5a initial symbol.
+    pub base: u32,
+    /// Token symbols appended by successive derivations (Rules 5b/5c).
+    pub syms: Vec<TokKey>,
+    /// If present, the `•` sits immediately before `syms[i]` for `bullet ==
+    /// Some(i)` (Rule 5b appends `•c`, so the bullet always precedes the
+    /// token it was created with).
+    pub bullet: Option<usize>,
+}
+
+impl Name {
+    /// Number of `•` symbols in the name (0 or 1 by construction; tests use
+    /// this to check Lemma 7 holds dynamically).
+    pub fn bullets(&self) -> usize {
+        usize::from(self.bullet.is_some())
+    }
+
+    /// Rule 5c: the name `wc`.
+    pub fn extend(&self, c: TokKey) -> Name {
+        let mut syms = self.syms.clone();
+        syms.push(c);
+        Name { base: self.base, syms, bullet: self.bullet }
+    }
+
+    /// Rule 5b: the name `w•c`.
+    pub fn extend_bullet(&self, c: TokKey) -> Name {
+        debug_assert!(self.bullet.is_none(), "Lemma 7: a second • can never be added");
+        let mut syms = self.syms.clone();
+        let bullet = Some(syms.len());
+        syms.push(c);
+        Name { base: self.base, syms, bullet }
+    }
+}
+
+/// Storage of node names plus the base-symbol labels used for display.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct NameStore {
+    names: HashMap<NodeId, Name>,
+    base_labels: Vec<String>,
+}
+
+impl NameStore {
+    /// Rule 5a: mint a fresh base symbol for an initial-grammar node.
+    pub(crate) fn assign_base(&mut self, node: NodeId, label: String) {
+        let base = self.base_labels.len() as u32;
+        self.base_labels.push(label);
+        self.names.insert(node, Name { base, syms: Vec::new(), bullet: None });
+    }
+
+    pub(crate) fn assign(&mut self, node: NodeId, name: Name) {
+        self.names.insert(node, name);
+    }
+
+    pub(crate) fn get(&self, node: NodeId) -> Option<&Name> {
+        self.names.get(&node)
+    }
+
+    pub(crate) fn has_base(&self, node: NodeId) -> bool {
+        self.names.get(&node).is_some_and(|n| n.syms.is_empty())
+    }
+
+    pub(crate) fn base_count(&self) -> usize {
+        self.base_labels.len()
+    }
+
+    /// Render a name like `Mc1•c2c3`, with token symbols shown via `show`.
+    pub(crate) fn render(&self, name: &Name, show: impl Fn(TokKey) -> String) -> String {
+        let mut s = self.base_labels[name.base as usize].clone();
+        for (i, k) in name.syms.iter().enumerate() {
+            if name.bullet == Some(i) {
+                s.push('•');
+            }
+            s.push_str(&show(*k));
+        }
+        s
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&NodeId, &Name)> {
+        self.names.iter()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub(crate) fn clear_derived(&mut self) {
+        self.names.retain(|_, n| n.syms.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> TokKey {
+        TokKey(i)
+    }
+
+    #[test]
+    fn extend_appends_symbols() {
+        let mut store = NameStore::default();
+        store.assign_base(NodeId(0), "L".into());
+        let n = store.get(NodeId(0)).unwrap().clone();
+        let n1 = n.extend(k(1));
+        let n2 = n1.extend_bullet(k(2));
+        let n3 = n2.extend(k(3));
+        assert_eq!(n3.syms, vec![k(1), k(2), k(3)]);
+        assert_eq!(n3.bullet, Some(1));
+        assert_eq!(n3.bullets(), 1);
+    }
+
+    #[test]
+    fn render_places_bullet() {
+        let mut store = NameStore::default();
+        store.assign_base(NodeId(0), "M".into());
+        let n = store
+            .get(NodeId(0))
+            .unwrap()
+            .clone()
+            .extend(k(1))
+            .extend_bullet(k(2))
+            .extend(k(3));
+        let s = store.render(&n, |t| format!("c{}", t.0 + 1));
+        assert_eq!(s, "Mc2•c3c4");
+    }
+
+    #[test]
+    #[should_panic(expected = "Lemma 7")]
+    #[cfg(debug_assertions)]
+    fn second_bullet_is_rejected() {
+        let n = Name { base: 0, syms: vec![], bullet: None };
+        let n = n.extend_bullet(k(0));
+        let _ = n.extend_bullet(k(1));
+    }
+
+    #[test]
+    fn clear_derived_keeps_bases() {
+        let mut store = NameStore::default();
+        store.assign_base(NodeId(0), "L".into());
+        let derived = store.get(NodeId(0)).unwrap().clone().extend(k(0));
+        store.assign(NodeId(1), derived);
+        assert_eq!(store.len(), 2);
+        store.clear_derived();
+        assert_eq!(store.len(), 1);
+        assert!(store.has_base(NodeId(0)));
+    }
+}

@@ -1,0 +1,447 @@
+//! Nullability (`δ(L)` / `nullable?`) as a least fixed point (§2.4, §4.2).
+//!
+//! Three strategies are implemented behind
+//! [`NullStrategy`](crate::NullStrategy):
+//!
+//! * **Naive** — Might et al. (2011): re-traverse everything reachable until
+//!   a traversal changes nothing. Quadratic per query.
+//! * **Worklist** — Kildall-style: record which parents depend on which
+//!   children; when a node is discovered nullable, revisit only its
+//!   dependents. Still must re-run over assumed-not-nullable nodes on the
+//!   next query.
+//! * **Labeled** — the paper's algorithm: Worklist *plus* the observation
+//!   that when a fixed-point run completes, every node it examined that is
+//!   still assumed-not-nullable is in fact **definitely** not nullable,
+//!   because everything it depends on is at a fixed point (§4.2). Each run
+//!   gets a fresh label; nodes visited under an older label short-circuit.
+//!
+//! In all strategies `true` is final the moment it is discovered (the
+//! lattice is monotone), and constant nodes (`∅`, `ε`, tokens) are definite
+//! from birth.
+
+use crate::config::NullStrategy;
+use crate::expr::{ExprKind, Language, NodeId};
+
+impl Language {
+    /// Is the language of `id` nullable (does it accept the empty word)?
+    ///
+    /// This is the engine's `nullable?`; every invocation (including
+    /// recursive ones) increments
+    /// [`Metrics::nullable_calls`](crate::Metrics::nullable_calls), which is
+    /// exactly the quantity Figure 7 of the paper plots.
+    pub fn nullable(&mut self, id: NodeId) -> bool {
+        match self.config.nullability {
+            NullStrategy::Naive => self.nullable_naive(id),
+            NullStrategy::Worklist => self.nullable_fix(id, false),
+            NullStrategy::Labeled => self.nullable_fix(id, true),
+        }
+    }
+
+    /// Resolved current lattice value without recomputation.
+    fn val(&self, id: NodeId) -> bool {
+        self.node(self.resolve(id)).null_value
+    }
+
+    // ------------------------------------------------------------------
+    // Naive strategy
+    // ------------------------------------------------------------------
+
+    fn nullable_naive(&mut self, id: NodeId) -> bool {
+        let id = self.resolve(id);
+        self.metrics.nullable_calls += 1;
+        if self.node(id).null_definite {
+            return self.node(id).null_value;
+        }
+        self.metrics.nullable_runs += 1;
+        loop {
+            self.run_label += 1;
+            let mut changed = false;
+            self.naive_visit(id, &mut changed);
+            if !changed {
+                break;
+            }
+        }
+        self.node(id).null_value
+    }
+
+    fn naive_visit(&mut self, id: NodeId, changed: &mut bool) -> bool {
+        self.metrics.nullable_calls += 1;
+        let id = self.resolve(id);
+        {
+            let n = self.node(id);
+            if n.null_definite {
+                return n.null_value;
+            }
+            if n.null_visited_run == self.run_label {
+                return n.null_value;
+            }
+        }
+        self.node_mut(id).null_visited_run = self.run_label;
+        let v = match self.node(id).kind.clone() {
+            ExprKind::Empty | ExprKind::Term(_) | ExprKind::Pending | ExprKind::Forward => false,
+            ExprKind::Eps(_) => true,
+            ExprKind::Alt(a, b) => {
+                // Evaluate both sides: the naive algorithm traverses the
+                // whole reachable subgraph on every pass.
+                let va = self.naive_visit(a, changed);
+                let vb = self.naive_visit(b, changed);
+                va || vb
+            }
+            ExprKind::Cat(a, b) => {
+                let va = self.naive_visit(a, changed);
+                let vb = self.naive_visit(b, changed);
+                va && vb
+            }
+            ExprKind::Red(x, _) | ExprKind::Delta(x) => self.naive_visit(x, changed),
+            ExprKind::Ref(_) => unreachable!("resolved"),
+        };
+        if v && !self.node(id).null_value {
+            let n = self.node_mut(id);
+            n.null_value = true;
+            n.null_definite = true; // monotone: true is final
+            *changed = true;
+        }
+        self.node(id).null_value
+    }
+
+    // ------------------------------------------------------------------
+    // Worklist / Labeled strategies
+    // ------------------------------------------------------------------
+
+    fn nullable_fix(&mut self, id: NodeId, promote: bool) -> bool {
+        let id = self.resolve(id);
+        self.metrics.nullable_calls += 1;
+        if self.node(id).null_definite {
+            return self.node(id).null_value;
+        }
+        self.metrics.nullable_runs += 1;
+        self.run_label += 1;
+        let mut queue: Vec<NodeId> = Vec::new();
+        let mut visited: Vec<NodeId> = Vec::new();
+        self.fix_visit(id, &mut queue, &mut visited);
+        // Propagate discovered-nullable facts along recorded dependencies.
+        while let Some(n) = queue.pop() {
+            let deps = std::mem::take(&mut self.node_mut(n).null_deps);
+            for d in deps {
+                self.fix_recompute(d, &mut queue);
+            }
+        }
+        if promote {
+            // §4.2: the run is complete, so everything it examined is at a
+            // fixed point; assumed-not-nullable becomes definitely-not.
+            for v in visited {
+                self.node_mut(v).null_definite = true;
+            }
+        }
+        self.node(id).null_value
+    }
+
+    fn fix_visit(&mut self, id: NodeId, queue: &mut Vec<NodeId>, visited: &mut Vec<NodeId>) -> bool {
+        self.metrics.nullable_calls += 1;
+        let id = self.resolve(id);
+        {
+            let n = self.node(id);
+            if n.null_definite {
+                return n.null_value;
+            }
+            if n.null_visited_run == self.run_label {
+                // Already seen this run (possibly still on the DFS stack):
+                // use the current assumption.
+                return n.null_value;
+            }
+        }
+        self.node_mut(id).null_visited_run = self.run_label;
+        visited.push(id);
+        let v = match self.node(id).kind.clone() {
+            ExprKind::Empty | ExprKind::Term(_) => false,
+            ExprKind::Eps(_) => true,
+            ExprKind::Pending | ExprKind::Forward => {
+                debug_assert!(
+                    false,
+                    "nullability queried on an unpatched node; parse() should prevent this"
+                );
+                false
+            }
+            ExprKind::Alt(a, b) => {
+                let va = self.fix_child(id, a, queue, visited);
+                if va {
+                    true
+                } else {
+                    self.fix_child(id, b, queue, visited)
+                }
+            }
+            ExprKind::Cat(a, b) => {
+                let va = self.fix_child(id, a, queue, visited);
+                if va {
+                    self.fix_child(id, b, queue, visited)
+                } else {
+                    false
+                }
+            }
+            ExprKind::Red(x, _) | ExprKind::Delta(x) => self.fix_child(id, x, queue, visited),
+            ExprKind::Ref(_) => unreachable!("resolved"),
+        };
+        if v {
+            self.set_nullable(id, queue);
+        }
+        self.node(id).null_value
+    }
+
+    /// Visits a child and subscribes `parent` to it when the child's value
+    /// is still an assumption that might change.
+    fn fix_child(
+        &mut self,
+        parent: NodeId,
+        child: NodeId,
+        queue: &mut Vec<NodeId>,
+        visited: &mut Vec<NodeId>,
+    ) -> bool {
+        let v = self.fix_visit(child, queue, visited);
+        let c = self.resolve(child);
+        if !v && !self.node(c).null_definite {
+            let deps = &mut self.node_mut(c).null_deps;
+            if deps.last() != Some(&parent) {
+                deps.push(parent);
+            }
+        }
+        v
+    }
+
+    fn set_nullable(&mut self, id: NodeId, queue: &mut Vec<NodeId>) {
+        let n = self.node_mut(id);
+        if !n.null_value {
+            n.null_value = true;
+            n.null_definite = true;
+            queue.push(id);
+        }
+    }
+
+    /// Recomputes a node from its children's current values after one of
+    /// them became nullable.
+    fn fix_recompute(&mut self, id: NodeId, queue: &mut Vec<NodeId>) {
+        self.metrics.nullable_calls += 1;
+        let id = self.resolve(id);
+        if self.node(id).null_value {
+            return;
+        }
+        let v = match self.node(id).kind.clone() {
+            ExprKind::Alt(a, b) => self.val(a) || self.val(b),
+            ExprKind::Cat(a, b) => self.val(a) && self.val(b),
+            ExprKind::Red(x, _) | ExprKind::Delta(x) => self.val(x),
+            _ => return,
+        };
+        if v {
+            self.set_nullable(id, queue);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompactionMode, ParserConfig};
+
+    fn with_strategy(s: NullStrategy) -> Language {
+        Language::new(ParserConfig {
+            nullability: s,
+            compaction: CompactionMode::None,
+            ..ParserConfig::improved()
+        })
+    }
+
+    fn strategies() -> [NullStrategy; 3] {
+        [NullStrategy::Naive, NullStrategy::Worklist, NullStrategy::Labeled]
+    }
+
+    #[test]
+    fn constants() {
+        for s in strategies() {
+            let mut lang = with_strategy(s);
+            let e = lang.empty_node();
+            let eps = lang.eps_node();
+            let a = lang.terminal("a");
+            let ta = lang.term_node(a);
+            assert!(!lang.nullable(e), "{s:?}: ∅ not nullable");
+            assert!(lang.nullable(eps), "{s:?}: ε nullable");
+            assert!(!lang.nullable(ta), "{s:?}: token not nullable");
+        }
+    }
+
+    #[test]
+    fn alt_and_cat() {
+        for s in strategies() {
+            let mut lang = with_strategy(s);
+            let a = lang.terminal("a");
+            let ta = lang.term_node(a);
+            let eps = lang.eps_node();
+            let u = lang.alt(ta, eps);
+            let k1 = lang.cat(ta, eps);
+            let k2 = lang.cat(eps, eps);
+            assert!(lang.nullable(u), "{s:?}: a ∪ ε nullable");
+            assert!(!lang.nullable(k1), "{s:?}: a ◦ ε not nullable");
+            assert!(lang.nullable(k2), "{s:?}: ε ◦ ε nullable");
+        }
+    }
+
+    /// The cyclic grammar `L = (L ◦ c) ∪ c` is not nullable; `S = ε ∪ (c ◦ S)`
+    /// is. Both require the fixed point to handle cycles.
+    #[test]
+    fn cyclic_grammars() {
+        for s in strategies() {
+            let mut lang = with_strategy(s);
+            let c = lang.terminal("c");
+            let tc = lang.term_node(c);
+
+            let l = lang.forward();
+            let lc = lang.cat(l, tc);
+            let lbody = lang.alt(lc, tc);
+            lang.define(l, lbody);
+            assert!(!lang.nullable(l), "{s:?}: left-recursive L not nullable");
+
+            let st = lang.forward();
+            let cs = lang.cat(tc, st);
+            let eps = lang.eps_node();
+            let sbody = lang.alt(eps, cs);
+            lang.define(st, sbody);
+            assert!(lang.nullable(st), "{s:?}: ε ∪ (c ◦ S) nullable");
+        }
+    }
+
+    /// A nullability fact that needs propagation *through* a cycle:
+    /// `A = B, B = ε ∪ (A ◦ A)` — A nullable via B.
+    #[test]
+    fn mutual_recursion() {
+        for s in strategies() {
+            let mut lang = with_strategy(s);
+            let a = lang.forward();
+            let b = lang.forward();
+            lang.define(a, b);
+            let aa = lang.cat(a, a);
+            let eps = lang.eps_node();
+            let bbody = lang.alt(eps, aa);
+            lang.define(b, bbody);
+            assert!(lang.nullable(a), "{s:?}");
+            assert!(lang.nullable(b), "{s:?}");
+        }
+    }
+
+    /// The three strategies must agree on randomized grammar graphs.
+    #[test]
+    fn strategies_agree_on_random_graphs() {
+        // Deterministic pseudo-random graph built from a simple LCG so the
+        // test needs no external crates here.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _case in 0..50 {
+            let n_nodes = 3 + (rng() % 20) as usize;
+            let mut answers: Vec<Vec<bool>> = Vec::new();
+            for s in strategies() {
+                let mut lang = with_strategy(s);
+                let t = lang.terminal("t");
+                let tt = lang.term_node(t);
+                let eps = lang.eps_node();
+                let fwds: Vec<_> = (0..n_nodes).map(|_| lang.forward()).collect();
+                // Rebuild the same structure for each strategy by replaying
+                // the same RNG stream: stash choices first.
+                let choices: Vec<(u32, usize, usize)> = {
+                    // Derive choices deterministically from the case index
+                    // and node index, not the shared RNG, so all three
+                    // strategies see identical graphs.
+                    (0..n_nodes)
+                        .map(|i| {
+                            let h = (_case as u64 * 31 + i as u64)
+                                .wrapping_mul(0x2545F4914F6CDD1D);
+                            ((h >> 60) as u32 % 4, (h as usize >> 8) % n_nodes, (h as usize >> 24) % n_nodes)
+                        })
+                        .collect()
+                };
+                for (i, &(kind, x, y)) in choices.iter().enumerate() {
+                    let body = match kind {
+                        0 => lang.alt(fwds[x], fwds[y]),
+                        1 => lang.cat(fwds[x], fwds[y]),
+                        2 => lang.alt(tt, fwds[x]),
+                        _ => {
+                            let c = lang.cat(tt, fwds[x]);
+                            lang.alt(eps, c)
+                        }
+                    };
+                    lang.define(fwds[i], body);
+                }
+                answers.push(fwds.iter().map(|&f| lang.nullable(f)).collect());
+            }
+            assert_eq!(answers[0], answers[1], "naive vs worklist");
+            assert_eq!(answers[1], answers[2], "worklist vs labeled");
+        }
+        let _ = rng();
+    }
+
+    /// Labeled strategy: the second query over the same region must be O(1)
+    /// (far fewer calls), because assumed-not was promoted to definite.
+    #[test]
+    fn labeled_promotes_assumed_not_nullable() {
+        let mut lang = with_strategy(NullStrategy::Labeled);
+        let c = lang.terminal("c");
+        let tc = lang.term_node(c);
+        let l = lang.forward();
+        let lc = lang.cat(l, tc);
+        let body = lang.alt(lc, tc);
+        lang.define(l, body);
+
+        assert!(!lang.nullable(l));
+        let after_first = lang.metrics().nullable_calls;
+        assert!(!lang.nullable(l));
+        let after_second = lang.metrics().nullable_calls;
+        assert_eq!(after_second - after_first, 1, "promoted node answers in one call");
+    }
+
+    /// Worklist strategy re-runs the fixed point over still-assumed nodes.
+    #[test]
+    fn worklist_does_not_promote() {
+        let mut lang = with_strategy(NullStrategy::Worklist);
+        let c = lang.terminal("c");
+        let tc = lang.term_node(c);
+        let l = lang.forward();
+        let lc = lang.cat(l, tc);
+        let body = lang.alt(lc, tc);
+        lang.define(l, body);
+
+        assert!(!lang.nullable(l));
+        let after_first = lang.metrics().nullable_calls;
+        assert!(!lang.nullable(l));
+        let after_second = lang.metrics().nullable_calls;
+        assert!(
+            after_second - after_first > 1,
+            "worklist must revisit assumed-not-nullable nodes"
+        );
+    }
+
+    #[test]
+    fn naive_costs_more_calls_than_labeled() {
+        let build = |lang: &mut Language| {
+            let c = lang.terminal("c");
+            let tc = lang.term_node(c);
+            let l = lang.forward();
+            let lc = lang.cat(l, tc);
+            let body = lang.alt(lc, tc);
+            lang.define(l, body);
+            l
+        };
+        let mut naive = with_strategy(NullStrategy::Naive);
+        let l1 = build(&mut naive);
+        let mut labeled = with_strategy(NullStrategy::Labeled);
+        let l2 = build(&mut labeled);
+        for _ in 0..10 {
+            assert!(!naive.nullable(l1));
+            assert!(!labeled.nullable(l2));
+        }
+        assert!(
+            naive.metrics().nullable_calls > labeled.metrics().nullable_calls,
+            "naive {} vs labeled {}",
+            naive.metrics().nullable_calls,
+            labeled.metrics().nullable_calls
+        );
+    }
+}

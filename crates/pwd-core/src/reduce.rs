@@ -1,0 +1,130 @@
+//! Reduction functions (`L ↪ f`).
+//!
+//! The paper's compaction rules insert specific, structured reductions —
+//! pairing with a known tree, reassociation, mapping over one component of a
+//! pair, and composition (§4.3). Representing those as enum variants instead
+//! of opaque closures keeps compaction rewrites inspectable and testable;
+//! arbitrary user semantic actions are still supported via [`Reduce::func`].
+
+use crate::forest::{ForestId, Tree};
+use std::fmt;
+use std::rc::Rc;
+
+/// A reduction function from trees to trees, applied by `L ↪ f` nodes.
+///
+/// Reductions are cheap to clone (`Rc` internally).
+#[derive(Clone)]
+pub struct Reduce(pub(crate) Rc<ReduceKind>);
+
+/// The structural variants of a reduction.
+pub(crate) enum ReduceKind {
+    /// `g ∘ f`: apply `f` first, then `g`.
+    Compose(Reduce, Reduce),
+    /// `u ↦ (s, u)` for each `s` in the referenced null-parse forest.
+    ///
+    /// Introduced by the compaction rule `ε_s ◦ p ⇒ p ↪ λu.(s, u)`.
+    PairLeft(ForestId),
+    /// `u ↦ (u, s)` for each `s` in the referenced null-parse forest.
+    ///
+    /// Introduced by the pre-parse rule `p ◦ ε_s ⇒ p ↪ λu.(u, s)` (§4.3.1).
+    PairRight(ForestId),
+    /// `(t1, (t2, t3)) ↦ ((t1, t2), t3)`.
+    ///
+    /// Introduced by the associativity canonicalization rule (§4.3.2).
+    Reassoc,
+    /// `(t1, t2) ↦ (f t1, t2)` — floats a reduction above a sequence (§4.3.2).
+    MapFirst(Reduce),
+    /// `(t1, t2) ↦ (t1, f t2)` — right-child version, pre-parse only (§4.3.2).
+    MapSecond(Reduce),
+    /// An arbitrary user function, tagged with a display name.
+    Func(Rc<str>, Rc<dyn Fn(Tree) -> Tree>),
+}
+
+impl Reduce {
+    /// Composition `self ∘ other`: applies `other` first, then `self`.
+    ///
+    /// Used by the compaction rule `(p ↪ f) ↪ g ⇒ p ↪ (g ∘ f)`.
+    pub fn compose(self, other: Reduce) -> Reduce {
+        Reduce(Rc::new(ReduceKind::Compose(self, other)))
+    }
+
+    /// The reassociation reduction `(t1, (t2, t3)) ↦ ((t1, t2), t3)`.
+    pub fn reassoc() -> Reduce {
+        Reduce(Rc::new(ReduceKind::Reassoc))
+    }
+
+    /// Maps `f` over the first component of a pair.
+    pub fn map_first(f: Reduce) -> Reduce {
+        Reduce(Rc::new(ReduceKind::MapFirst(f)))
+    }
+
+    /// Maps `f` over the second component of a pair.
+    pub fn map_second(f: Reduce) -> Reduce {
+        Reduce(Rc::new(ReduceKind::MapSecond(f)))
+    }
+
+    pub(crate) fn pair_left(s: ForestId) -> Reduce {
+        Reduce(Rc::new(ReduceKind::PairLeft(s)))
+    }
+
+    pub(crate) fn pair_right(s: ForestId) -> Reduce {
+        Reduce(Rc::new(ReduceKind::PairRight(s)))
+    }
+
+    /// An arbitrary user reduction with a display `name`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pwd_core::{Reduce, Tree};
+    /// let wrap = Reduce::func("wrap", |t| Tree::node("expr", vec![t]));
+    /// assert_eq!(format!("{wrap:?}"), "wrap");
+    /// ```
+    pub fn func(name: &str, f: impl Fn(Tree) -> Tree + 'static) -> Reduce {
+        Reduce(Rc::new(ReduceKind::Func(Rc::from(name), Rc::new(f))))
+    }
+
+    /// Returns `true` if the two reductions are the same object (pointer
+    /// equality); used by tests and graph printing, not by compaction.
+    pub fn same(&self, other: &Reduce) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl fmt::Debug for Reduce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.0 {
+            ReduceKind::Compose(g, h) => write!(f, "({g:?} ∘ {h:?})"),
+            ReduceKind::PairLeft(s) => write!(f, "pair-left({s:?})"),
+            ReduceKind::PairRight(s) => write!(f, "pair-right({s:?})"),
+            ReduceKind::Reassoc => write!(f, "reassoc"),
+            ReduceKind::MapFirst(g) => write!(f, "map-first({g:?})"),
+            ReduceKind::MapSecond(g) => write!(f, "map-second({g:?})"),
+            ReduceKind::Func(name, _) => write!(f, "{name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats() {
+        let f = Reduce::func("f", |t| t);
+        let g = Reduce::func("g", |t| t);
+        let c = g.clone().compose(f.clone());
+        assert_eq!(format!("{c:?}"), "(g ∘ f)");
+        assert_eq!(format!("{:?}", Reduce::reassoc()), "reassoc");
+        assert_eq!(format!("{:?}", Reduce::map_first(f)), "map-first(f)");
+    }
+
+    #[test]
+    fn same_is_pointer_equality() {
+        let f = Reduce::func("f", |t| t);
+        let f2 = f.clone();
+        let g = Reduce::func("f", |t| t);
+        assert!(f.same(&f2));
+        assert!(!f.same(&g));
+    }
+}

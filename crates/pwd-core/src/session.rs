@@ -1,0 +1,302 @@
+//! Incremental parsing sessions.
+//!
+//! PWD's outer loop is naturally *incremental*: the parser state after `k`
+//! tokens is just the derivative `D_{t1…tk}(L)`, a first-class language. A
+//! [`ParseSession`] exposes that loop one token at a time — feed tokens as
+//! they arrive (e.g. from a REPL), query acceptance of the prefix so far,
+//! inspect per-token costs, and extract a forest whenever the prefix is a
+//! sentence. This is an API the batch `parse` functions cannot offer and a
+//! natural extension of the paper's design (its §3.1 `parse` is exactly
+//! `feed*; parse-null`).
+
+use crate::config::CompactionMode;
+use crate::error::PwdError;
+use crate::expr::{Language, NodeId};
+use crate::forest::ForestId;
+use crate::token::Token;
+
+/// The observable state of a session after feeding a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedOutcome {
+    /// Some continuation of the input can still reach a sentence.
+    Viable {
+        /// Is the *current* prefix itself a sentence?
+        prefix_is_sentence: bool,
+    },
+    /// The derivative is the empty language: no continuation can succeed.
+    Dead,
+}
+
+/// An incremental parse over a [`Language`].
+///
+/// # Examples
+///
+/// ```
+/// use pwd_core::{Language, ParseSession};
+///
+/// # fn main() -> Result<(), pwd_core::PwdError> {
+/// let mut lang = Language::default();
+/// let a = lang.terminal("a");
+/// let ta = lang.term_node(a);
+/// let s = lang.star(ta);
+/// let tok = lang.token(a, "a");
+///
+/// let mut session = ParseSession::start(&mut lang, s)?;
+/// assert!(session.prefix_is_sentence()); // ε ∈ a*
+/// session.feed(&tok)?;
+/// session.feed(&tok)?;
+/// assert!(session.prefix_is_sentence());
+/// assert_eq!(session.tokens_fed(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ParseSession<'a> {
+    lang: &'a mut Language,
+    current: NodeId,
+    fed: usize,
+    dead: bool,
+    pruning: bool,
+}
+
+impl<'a> ParseSession<'a> {
+    /// Starts a session at the given start node.
+    ///
+    /// # Errors
+    ///
+    /// [`PwdError::UndefinedNonterminal`] for incomplete grammars.
+    pub fn start(lang: &'a mut Language, start: NodeId) -> Result<ParseSession<'a>, PwdError> {
+        lang.validate(start)?;
+        lang.mark_initial();
+        lang.in_parse = false;
+        let mut current = start;
+        if lang.config.prepass_right_children && lang.config.compaction != CompactionMode::None {
+            current = lang.compact_pass(current);
+        }
+        let pruning = lang.config.compaction != CompactionMode::None;
+        if pruning {
+            lang.prune_empty(0);
+        }
+        lang.in_parse = true;
+        Ok(ParseSession { lang, current, fed: 0, dead: false, pruning })
+    }
+
+    /// Feeds one token, advancing the derivative.
+    ///
+    /// # Errors
+    ///
+    /// [`PwdError::NodeBudgetExceeded`] if the node budget trips. Feeding a
+    /// token that kills the language is *not* an error; it returns
+    /// [`FeedOutcome::Dead`] (and further feeds stay dead).
+    pub fn feed(&mut self, tok: &Token) -> Result<FeedOutcome, PwdError> {
+        if self.dead {
+            self.fed += 1;
+            return Ok(FeedOutcome::Dead);
+        }
+        let generation_start = self.lang.nodes.len();
+        self.current = self.lang.derive_node(self.current, tok);
+        if self.lang.config.compaction == CompactionMode::SeparatePass {
+            self.current = self.lang.compact_pass(self.current);
+        }
+        if self.pruning {
+            self.lang.prune_empty(generation_start);
+        }
+        self.fed += 1;
+        if self.lang.budget_hit {
+            self.lang.in_parse = false;
+            self.dead = true; // the arena overflowed; the session is over
+            return Err(PwdError::NodeBudgetExceeded {
+                limit: self.lang.config.max_nodes.unwrap_or(0),
+                at_token: self.fed - 1,
+            });
+        }
+        if self.lang.is_empty_node(self.current) {
+            self.dead = true;
+            return Ok(FeedOutcome::Dead);
+        }
+        Ok(FeedOutcome::Viable { prefix_is_sentence: self.lang.nullable(self.current) })
+    }
+
+    /// Feeds a slice of tokens; stops early if the language dies.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`feed`](ParseSession::feed).
+    pub fn feed_all(&mut self, toks: &[Token]) -> Result<FeedOutcome, PwdError> {
+        let mut last = FeedOutcome::Viable { prefix_is_sentence: self.prefix_is_sentence() };
+        for t in toks {
+            last = self.feed(t)?;
+            if last == FeedOutcome::Dead {
+                break;
+            }
+        }
+        Ok(last)
+    }
+
+    /// Is the prefix fed so far a complete sentence?
+    pub fn prefix_is_sentence(&mut self) -> bool {
+        !self.dead && {
+            let cur = self.current;
+            self.lang.nullable(cur)
+        }
+    }
+
+    /// Can any continuation still reach a sentence?
+    pub fn is_viable(&self) -> bool {
+        !self.dead
+    }
+
+    /// Number of tokens fed (including any fed after death).
+    pub fn tokens_fed(&self) -> usize {
+        self.fed
+    }
+
+    /// The current derivative language `D_{t1…tk}(L)` as a node — usable
+    /// with every `Language` API (even as the start of further parses).
+    pub fn current(&self) -> NodeId {
+        self.current
+    }
+
+    /// Extracts the forest of parses of the prefix fed so far.
+    ///
+    /// # Errors
+    ///
+    /// [`PwdError::Rejected`] if the prefix is not a sentence.
+    pub fn forest(&mut self) -> Result<ForestId, PwdError> {
+        if !self.prefix_is_sentence() {
+            return Err(PwdError::Rejected { position: self.fed, token: None });
+        }
+        let cur = self.current;
+        Ok(self.lang.parse_null(cur))
+    }
+
+    /// Number of nodes reachable from the current derivative — the live
+    /// parser state size (stays bounded for LL-ish prefixes thanks to
+    /// compaction and emptiness pruning).
+    pub fn live_nodes(&self) -> usize {
+        self.lang.reachable_count(self.current)
+    }
+
+    /// Ends the session, returning the final derivative node.
+    pub fn finish(self) -> NodeId {
+        self.lang.in_parse = false;
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::EnumLimits;
+    use crate::ParserConfig;
+
+    fn ab_language() -> (Language, NodeId, Token, Token) {
+        // S = a b | a S b  (matched pairs a^n b^n)
+        let mut lang = Language::new(ParserConfig::improved());
+        let a = lang.terminal("a");
+        let b = lang.terminal("b");
+        let (ta, tb) = (lang.term_node(a), lang.term_node(b));
+        let s = lang.forward();
+        let ab = lang.cat(ta, tb);
+        let asb = lang.seq(&[ta, s, tb]);
+        let body = lang.alt(ab, asb);
+        lang.define(s, body);
+        let tok_a = lang.token(a, "a");
+        let tok_b = lang.token(b, "b");
+        (lang, s, tok_a, tok_b)
+    }
+
+    #[test]
+    fn incremental_matched_pairs() {
+        let (mut lang, s, a, b) = ab_language();
+        let mut sess = ParseSession::start(&mut lang, s).unwrap();
+        assert!(!sess.prefix_is_sentence());
+        assert_eq!(sess.feed(&a).unwrap(), FeedOutcome::Viable { prefix_is_sentence: false });
+        assert_eq!(sess.feed(&a).unwrap(), FeedOutcome::Viable { prefix_is_sentence: false });
+        assert_eq!(sess.feed(&b).unwrap(), FeedOutcome::Viable { prefix_is_sentence: false });
+        assert_eq!(sess.feed(&b).unwrap(), FeedOutcome::Viable { prefix_is_sentence: true });
+        // aabb is a sentence; the forest is extractable mid-session.
+        let f = sess.forest().unwrap();
+        let lang = {
+            let _ = sess.finish();
+            lang
+        };
+        let trees = lang.trees_of(f, EnumLimits::default());
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].fringe(), vec!["a", "a", "b", "b"]);
+    }
+
+    #[test]
+    fn death_is_detected_and_sticky() {
+        let (mut lang, s, a, b) = ab_language();
+        let mut sess = ParseSession::start(&mut lang, s).unwrap();
+        sess.feed(&b).unwrap(); // no sentence starts with b
+        assert!(!sess.is_viable());
+        assert_eq!(sess.feed(&a).unwrap(), FeedOutcome::Dead);
+        assert!(sess.forest().is_err());
+        assert_eq!(sess.tokens_fed(), 2);
+    }
+
+    #[test]
+    fn session_agrees_with_batch_parse() {
+        let (mut lang, s, a, b) = ab_language();
+        let inputs: Vec<Vec<&Token>> = vec![
+            vec![&a, &b],
+            vec![&a, &a, &b, &b],
+            vec![&a, &b, &b],
+            vec![&a, &a],
+            vec![],
+        ];
+        for input in inputs {
+            let toks: Vec<Token> = input.iter().map(|t| (*t).clone()).collect();
+            lang.reset();
+            let batch = lang.recognize(s, &toks).unwrap();
+            lang.reset();
+            let mut sess = ParseSession::start(&mut lang, s).unwrap();
+            for t in &toks {
+                let _ = sess.feed(t).unwrap();
+            }
+            let incremental = sess.prefix_is_sentence();
+            assert_eq!(batch, incremental, "{toks:?}");
+        }
+    }
+
+    #[test]
+    fn current_derivative_is_a_first_class_language() {
+        let (mut lang, s, a, b) = ab_language();
+        let mut sess = ParseSession::start(&mut lang, s).unwrap();
+        sess.feed(&a).unwrap();
+        sess.feed(&a).unwrap();
+        let d = sess.finish();
+        // After "aa", the remaining language is exactly { b b, a^k b^(k+2) }…
+        // check two members and a non-member.
+        assert!(lang.recognize(d, &[b.clone(), b.clone()]).unwrap());
+        assert!(lang
+            .recognize(d, &[a.clone(), b.clone(), b.clone(), b.clone()])
+            .unwrap());
+        lang.reset();
+        // reset() drops derived nodes, so re-derive for the negative case.
+        let d = lang.derivative(s, &[a.clone(), a.clone()]).unwrap();
+        assert!(!lang.recognize(d, &[b.clone()]).unwrap());
+    }
+
+    #[test]
+    fn budget_error_reports_token_index() {
+        let (mut lang, s, a, b) = ab_language();
+        lang.config.max_nodes = Some(lang.node_count() + 4);
+        let mut sess = ParseSession::start(&mut lang, s).unwrap();
+        let mut hit = None;
+        for (i, t) in [&a, &a, &a, &a, &b, &b].iter().enumerate() {
+            match sess.feed(t) {
+                Ok(_) => {}
+                Err(PwdError::NodeBudgetExceeded { at_token, .. }) => {
+                    hit = Some((i, at_token));
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        let (i, at) = hit.expect("budget must trip");
+        assert_eq!(i, at);
+    }
+}

@@ -1,0 +1,180 @@
+//! Tokens and interning.
+//!
+//! Terminals are interned to [`TermId`]s and whole tokens (terminal kind plus
+//! lexeme) to [`TokKey`]s. Keying the `derive` memo tables by token *value*
+//! (not input position) is what gives the paper's Figure 10–12 cache
+//! dynamics: a token that recurs in the input can hit a full-hash memo entry
+//! created at an earlier position, while the forgetful single-entry cache may
+//! have evicted it.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Interned identifier of a terminal (token kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// The raw index of this terminal.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interned identifier of a token value `(TermId, lexeme)`.
+///
+/// Two tokens with the same kind and lexeme — even at different input
+/// positions — intern to the same key, and therefore the same memoized
+/// derivative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokKey(pub(crate) u32);
+
+impl TokKey {
+    /// The raw index of this token value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A concrete input token: a terminal kind plus its lexeme.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_core::Language;
+/// let mut lang = Language::default();
+/// let num = lang.terminal("NUM");
+/// let tok = lang.token(num, "42");
+/// assert_eq!(tok.lexeme(), "42");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    pub(crate) term: TermId,
+    pub(crate) key: TokKey,
+    pub(crate) lexeme: Rc<str>,
+}
+
+impl Token {
+    /// The terminal kind of this token.
+    pub fn term(&self) -> TermId {
+        self.term
+    }
+
+    /// The interned key of this token value.
+    pub fn key(&self) -> TokKey {
+        self.key
+    }
+
+    /// The lexeme text.
+    pub fn lexeme(&self) -> &str {
+        &self.lexeme
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.lexeme)
+    }
+}
+
+/// Interner for terminal names and token values.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Interner {
+    term_names: Vec<Rc<str>>,
+    term_ids: HashMap<Rc<str>, TermId>,
+    tok_keys: HashMap<(TermId, Rc<str>), TokKey>,
+    toks: Vec<Token>,
+}
+
+impl Interner {
+    pub(crate) fn terminal(&mut self, name: &str) -> TermId {
+        if let Some(&id) = self.term_ids.get(name) {
+            return id;
+        }
+        let rc: Rc<str> = Rc::from(name);
+        let id = TermId(self.term_names.len() as u32);
+        self.term_names.push(rc.clone());
+        self.term_ids.insert(rc, id);
+        id
+    }
+
+    pub(crate) fn term_name(&self, id: TermId) -> &str {
+        &self.term_names[id.0 as usize]
+    }
+
+    pub(crate) fn term_count(&self) -> usize {
+        self.term_names.len()
+    }
+
+    pub(crate) fn token(&mut self, term: TermId, lexeme: &str) -> Token {
+        assert!(
+            (term.0 as usize) < self.term_names.len(),
+            "terminal {term:?} does not belong to this language"
+        );
+        let rc: Rc<str> = Rc::from(lexeme);
+        if let Some(&key) = self.tok_keys.get(&(term, rc.clone())) {
+            return self.toks[key.0 as usize].clone();
+        }
+        let key = TokKey(self.toks.len() as u32);
+        let tok = Token { term, key, lexeme: rc.clone() };
+        self.tok_keys.insert((term, rc), key);
+        self.toks.push(tok.clone());
+        tok
+    }
+
+    pub(crate) fn tok_count(&self) -> usize {
+        self.toks.len()
+    }
+
+    pub(crate) fn token_by_key(&self, key: TokKey) -> &Token {
+        &self.toks[key.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_deduplicated() {
+        let mut i = Interner::default();
+        let a = i.terminal("NUM");
+        let b = i.terminal("NUM");
+        let c = i.terminal("ID");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.term_name(a), "NUM");
+        assert_eq!(i.term_count(), 2);
+    }
+
+    #[test]
+    fn tokens_intern_by_value() {
+        let mut i = Interner::default();
+        let num = i.terminal("NUM");
+        let id = i.terminal("ID");
+        let a = i.token(num, "42");
+        let b = i.token(num, "42");
+        let c = i.token(num, "43");
+        let d = i.token(id, "42");
+        assert_eq!(a.key(), b.key(), "same kind+lexeme interns to same key");
+        assert_ne!(a.key(), c.key(), "different lexeme, different key");
+        assert_ne!(a.key(), d.key(), "different kind, different key");
+        assert_eq!(i.tok_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_terminal_panics() {
+        let mut i = Interner::default();
+        i.token(TermId(7), "x");
+    }
+
+    #[test]
+    fn token_display_is_lexeme() {
+        let mut i = Interner::default();
+        let num = i.terminal("NUM");
+        let t = i.token(num, "99");
+        assert_eq!(t.to_string(), "99");
+    }
+}

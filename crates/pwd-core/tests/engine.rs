@@ -1,0 +1,512 @@
+//! Behavioral tests of the PWD engine across every configuration axis.
+
+use pwd_core::{
+    CompactionMode, EnumLimits, Language, MemoStrategy, NodeId, NullStrategy, ParseMode,
+    ParserConfig, PwdError, Reduce, TermId, Token, Tree,
+};
+
+/// Every meaningful engine configuration: 3 nullability × 3 compaction ×
+/// 2 memo strategies (prepass toggled with compaction).
+fn all_configs() -> Vec<ParserConfig> {
+    let mut out = Vec::new();
+    for nullability in [NullStrategy::Naive, NullStrategy::Worklist, NullStrategy::Labeled] {
+        for compaction in
+            [CompactionMode::None, CompactionMode::SeparatePass, CompactionMode::OnConstruction]
+        {
+            for memo in [MemoStrategy::FullHash, MemoStrategy::SingleEntry] {
+                for prepass in [false, true] {
+                    out.push(ParserConfig {
+                        nullability,
+                        compaction,
+                        memo,
+                        mode: ParseMode::Parse,
+                        naming: false,
+                        prepass_right_children: prepass,
+                        max_nodes: None,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A tiny grammar workbench: builds a language over single-char terminals.
+struct Bench {
+    lang: Language,
+    terms: Vec<(char, TermId)>,
+}
+
+impl Bench {
+    fn new(config: ParserConfig) -> Bench {
+        Bench { lang: Language::new(config), terms: Vec::new() }
+    }
+
+    fn t(&mut self, c: char) -> NodeId {
+        let id = self.term(c);
+        self.lang.term_node(id)
+    }
+
+    fn term(&mut self, c: char) -> TermId {
+        if let Some(&(_, id)) = self.terms.iter().find(|(k, _)| *k == c) {
+            return id;
+        }
+        let id = self.lang.terminal(&c.to_string());
+        self.terms.push((c, id));
+        id
+    }
+
+    fn toks(&mut self, s: &str) -> Vec<Token> {
+        s.chars()
+            .map(|c| {
+                let id = self.term(c);
+                self.lang.token(id, &c.to_string())
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixed grammars, all configurations
+// ---------------------------------------------------------------------
+
+/// Simple sequence `S = a b c`.
+#[test]
+fn sequence_all_configs() {
+    for cfg in all_configs() {
+        let mut b = Bench::new(cfg);
+        let (a, bb, c) = (b.t('a'), b.t('b'), b.t('c'));
+        let s = b.lang.seq(&[a, bb, c]);
+        let good = b.toks("abc");
+        let bad1 = b.toks("ab");
+        let bad2 = b.toks("abcb");
+        let bad3 = b.toks("xbc");
+        assert!(b.lang.recognize(s, &good).unwrap(), "{cfg:?}");
+        assert!(!b.lang.recognize(s, &bad1).unwrap(), "{cfg:?}");
+        assert!(!b.lang.recognize(s, &bad2).unwrap(), "{cfg:?}");
+        assert!(!b.lang.recognize(s, &bad3).unwrap(), "{cfg:?}");
+    }
+}
+
+/// Left recursion `L = (L c) | c` accepts c⁺.
+#[test]
+fn left_recursion_all_configs() {
+    for cfg in all_configs() {
+        let mut b = Bench::new(cfg);
+        let c = b.t('c');
+        let l = b.lang.forward();
+        let lc = b.lang.cat(l, c);
+        let body = b.lang.alt(lc, c);
+        b.lang.define(l, body);
+        for n in 1..8usize {
+            let toks = b.toks(&"c".repeat(n));
+            assert!(b.lang.recognize(l, &toks).unwrap(), "{cfg:?} n={n}");
+            b.lang.reset();
+        }
+        let empty: Vec<Token> = Vec::new();
+        assert!(!b.lang.recognize(l, &empty).unwrap(), "{cfg:?} empty");
+    }
+}
+
+/// Right recursion with ε: `S = ε | a S` accepts a*.
+#[test]
+fn right_recursion_with_epsilon_all_configs() {
+    for cfg in all_configs() {
+        let mut b = Bench::new(cfg);
+        let a = b.t('a');
+        let s = b.lang.forward();
+        let as_ = b.lang.cat(a, s);
+        let eps = b.lang.eps_node();
+        let body = b.lang.alt(eps, as_);
+        b.lang.define(s, body);
+        for n in 0..6usize {
+            let toks = b.toks(&"a".repeat(n));
+            assert!(b.lang.recognize(s, &toks).unwrap(), "{cfg:?} n={n}");
+            b.lang.reset();
+        }
+        let toks = b.toks("ab");
+        assert!(!b.lang.recognize(s, &toks).unwrap(), "{cfg:?}");
+    }
+}
+
+/// Ambiguous `S = S S | a`: number of parses of aⁿ is Catalan(n−1).
+#[test]
+fn catalan_parse_counts_all_configs() {
+    let catalan = [1u128, 1, 2, 5, 14, 42];
+    for cfg in all_configs() {
+        let mut b = Bench::new(cfg);
+        let a = b.t('a');
+        let s = b.lang.forward();
+        let ss = b.lang.cat(s, s);
+        let body = b.lang.alt(ss, a);
+        b.lang.define(s, body);
+        for n in 1..=5usize {
+            let toks = b.toks(&"a".repeat(n));
+            let count = b.lang.count_parses(s, &toks).unwrap();
+            assert_eq!(count, Some(catalan[n - 1]), "{cfg:?} n={n}");
+            b.lang.reset();
+        }
+    }
+}
+
+/// Paper's worst case `L = (L ◦ L) ∪ c` recognizes c⁺ and has Catalan
+/// ambiguity.
+#[test]
+fn worst_case_grammar_all_configs() {
+    for cfg in all_configs() {
+        let mut b = Bench::new(cfg);
+        let c = b.t('c');
+        let l = b.lang.forward();
+        let ll = b.lang.cat(l, l);
+        let body = b.lang.alt(ll, c);
+        b.lang.define(l, body);
+        let toks = b.toks("cccc");
+        assert_eq!(b.lang.count_parses(l, &toks).unwrap(), Some(5), "{cfg:?}");
+    }
+}
+
+/// Grammar with infinitely many null parses: `S = ε | S S`. Counting must
+/// report None (infinite) on the empty input but recognition succeeds.
+#[test]
+fn infinite_null_parses() {
+    for cfg in all_configs() {
+        let mut b = Bench::new(cfg);
+        let s = b.lang.forward();
+        let ss = b.lang.cat(s, s);
+        let eps = b.lang.eps_node();
+        let body = b.lang.alt(eps, ss);
+        b.lang.define(s, body);
+        let empty: Vec<Token> = Vec::new();
+        assert!(b.lang.recognize(s, &empty).unwrap(), "{cfg:?}");
+        b.lang.reset();
+        let count = b.lang.count_parses(s, &empty).unwrap();
+        assert_eq!(count, None, "{cfg:?}: infinitely many parses of ε");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parse trees and reductions
+// ---------------------------------------------------------------------
+
+#[test]
+fn parse_tree_structure_pairs() {
+    let mut b = Bench::new(ParserConfig::improved());
+    let (a, bb) = (b.t('a'), b.t('b'));
+    let s = b.lang.cat(a, bb);
+    let toks = b.toks("ab");
+    let tree = b.lang.parse_unique(s, &toks).unwrap().expect("unambiguous");
+    assert_eq!(tree.to_string(), "(a . b)");
+    assert_eq!(tree.fringe(), vec!["a", "b"]);
+}
+
+#[test]
+fn user_reduction_builds_ast() {
+    let mut b = Bench::new(ParserConfig::improved());
+    let (a, bb) = (b.t('a'), b.t('b'));
+    let ab = b.lang.cat(a, bb);
+    let s = b.lang.reduce(
+        ab,
+        Reduce::func("mk", |t| Tree::node("pair", vec![t])),
+    );
+    let toks = b.toks("ab");
+    let tree = b.lang.parse_unique(s, &toks).unwrap().expect("unambiguous");
+    assert_eq!(tree.to_string(), "(pair (a . b))");
+}
+
+/// The same grammar must yield the same parse-tree multiset in every
+/// configuration — compaction preserves parse trees (its rules insert
+/// compensating reductions).
+#[test]
+fn compaction_preserves_parse_trees() {
+    let build = |cfg: ParserConfig| {
+        let mut b = Bench::new(cfg);
+        // S = (a | ε) (b | a b)
+        let a = b.t('a');
+        let bb = b.t('b');
+        let eps = b.lang.eps_node();
+        let left = b.lang.alt(a, eps);
+        let ab = b.lang.cat(a, bb);
+        let right = b.lang.alt(bb, ab);
+        let s = b.lang.cat(left, right);
+        (b, s)
+    };
+    let inputs = ["b", "ab", "aab", "a", ""];
+    for input in inputs {
+        let mut results: Vec<(bool, Option<u128>)> = Vec::new();
+        for cfg in all_configs() {
+            let (mut b, s) = build(cfg);
+            let toks = b.toks(input);
+            let ok = b.lang.recognize(s, &toks).unwrap();
+            b.lang.reset();
+            let count = if ok { b.lang.count_parses(s, &toks).unwrap() } else { Some(0) };
+            results.push((ok, count));
+        }
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "configs disagree on {input:?}: {results:?}"
+        );
+    }
+}
+
+/// Tree shape must match the uncompacted reference shape: ((a.b).c) for a
+/// left-nested grammar even though compaction reassociates internally.
+#[test]
+fn reassociation_preserves_tree_shape() {
+    for cfg in [
+        ParserConfig { compaction: CompactionMode::None, ..ParserConfig::improved() },
+        ParserConfig::improved(),
+        ParserConfig::original_2011(),
+    ] {
+        let mut b = Bench::new(cfg);
+        let (a, bb, c) = (b.t('a'), b.t('b'), b.t('c'));
+        let ab = b.lang.cat(a, bb);
+        let abc = b.lang.cat(ab, c); // ((a ◦ b) ◦ c)
+        let toks = b.toks("abc");
+        let tree = b.lang.parse_unique(abc, &toks).unwrap().expect("unambiguous");
+        assert_eq!(tree.to_string(), "((a . b) . c)", "{cfg:?}");
+    }
+}
+
+/// ε_s ◦ p must pair the constant tree on the left.
+#[test]
+fn eps_cat_pairs_constant_left() {
+    for cfg in [ParserConfig::improved(), ParserConfig::original_2011()] {
+        let mut b = Bench::new(cfg);
+        let a = b.t('a');
+        let e = b.lang.eps_tree(Tree::node("k", vec![]));
+        let s = b.lang.cat(e, a);
+        let toks = b.toks("a");
+        let tree = b.lang.parse_unique(s, &toks).unwrap().expect("unambiguous");
+        assert_eq!(tree.to_string(), "((k) . a)", "{cfg:?}");
+    }
+}
+
+/// p ◦ ε_s (right-child rule, §4.3.1) pairs the constant on the right.
+#[test]
+fn cat_eps_pairs_constant_right() {
+    for cfg in [
+        ParserConfig { compaction: CompactionMode::None, ..ParserConfig::improved() },
+        ParserConfig::improved(),
+    ] {
+        let mut b = Bench::new(cfg);
+        let a = b.t('a');
+        let e = b.lang.eps_tree(Tree::node("k", vec![]));
+        let s = b.lang.cat(a, e);
+        let toks = b.toks("a");
+        let tree = b.lang.parse_unique(s, &toks).unwrap().expect("unambiguous");
+        assert_eq!(tree.to_string(), "(a . (k))", "{cfg:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors and edge cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn rejection_reports_position() {
+    let mut b = Bench::new(ParserConfig::improved());
+    let (a, bb, c) = (b.t('a'), b.t('b'), b.t('c'));
+    let s = b.lang.seq(&[a, bb, c]);
+    let toks = b.toks("abx");
+    let err = b.lang.parse_forest(s, &toks).unwrap_err();
+    match err {
+        PwdError::Rejected { position, token } => {
+            assert_eq!(position, 2);
+            assert_eq!(token.unwrap().lexeme(), "x");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn rejection_at_end_of_input() {
+    let mut b = Bench::new(ParserConfig::improved());
+    let (a, bb) = (b.t('a'), b.t('b'));
+    let s = b.lang.cat(a, bb);
+    let toks = b.toks("a");
+    let err = b.lang.parse_forest(s, &toks).unwrap_err();
+    assert_eq!(err, PwdError::Rejected { position: 1, token: None });
+}
+
+#[test]
+fn node_budget_trips() {
+    let cfg = ParserConfig { max_nodes: Some(16), ..ParserConfig::improved() };
+    let mut b = Bench::new(cfg);
+    let c = b.t('c');
+    let l = b.lang.forward();
+    let ll = b.lang.cat(l, l);
+    let body = b.lang.alt(ll, c);
+    b.lang.define(l, body);
+    let toks = b.toks(&"c".repeat(50));
+    let err = b.lang.recognize(l, &toks).unwrap_err();
+    assert!(matches!(err, PwdError::NodeBudgetExceeded { limit: 16, .. }), "{err:?}");
+}
+
+#[test]
+fn undefined_forward_is_reported() {
+    let mut lang = Language::default();
+    let f = lang.forward();
+    lang.set_label(f, "Expr");
+    let a = lang.terminal("a");
+    let tok = lang.token(a, "a");
+    let err = lang.recognize(f, &[tok]).unwrap_err();
+    assert_eq!(err, PwdError::UndefinedNonterminal { label: Some("Expr".into()) });
+}
+
+#[test]
+fn empty_language_rejects_everything() {
+    let mut b = Bench::new(ParserConfig::improved());
+    let e = b.lang.empty_node();
+    let toks = b.toks("a");
+    assert!(!b.lang.recognize(e, &toks).unwrap());
+    let empty: Vec<Token> = Vec::new();
+    assert!(!b.lang.recognize(e, &empty).unwrap());
+}
+
+#[test]
+fn epsilon_language_accepts_only_empty() {
+    let mut b = Bench::new(ParserConfig::improved());
+    let e = b.lang.eps_node();
+    let empty: Vec<Token> = Vec::new();
+    assert!(b.lang.recognize(e, &empty).unwrap());
+    let toks = b.toks("a");
+    assert!(!b.lang.recognize(e, &toks).unwrap());
+}
+
+#[test]
+fn reset_allows_reparsing() {
+    let mut b = Bench::new(ParserConfig::improved());
+    let c = b.t('c');
+    let l = b.lang.forward();
+    let lc = b.lang.cat(l, c);
+    let body = b.lang.alt(lc, c);
+    b.lang.define(l, body);
+    for round in 0..5 {
+        let toks = b.toks("ccc");
+        assert!(b.lang.recognize(l, &toks).unwrap(), "round {round}");
+        let nodes_after = b.lang.node_count();
+        b.lang.reset();
+        assert!(b.lang.node_count() < nodes_after, "reset must shrink the arena");
+        assert_eq!(b.lang.metrics().derive_calls, 0);
+    }
+}
+
+#[test]
+fn reset_is_idempotent_and_safe_before_parse() {
+    let mut lang = Language::default();
+    lang.reset(); // never parsed: no-op
+    let a = lang.terminal("a");
+    let ta = lang.term_node(a);
+    let tok = lang.token(a, "a");
+    assert!(lang.recognize(ta, &[tok.clone()]).unwrap());
+    lang.reset();
+    lang.reset();
+    assert!(lang.recognize(ta, &[tok]).unwrap());
+}
+
+/// Tokens of the same terminal but different lexemes are distinct values:
+/// the single-entry memo can evict, but results must stay correct.
+#[test]
+fn distinct_lexemes_state_correct() {
+    for cfg in [ParserConfig::improved(), ParserConfig::original_2011()] {
+        let mut lang = Language::new(cfg);
+        let num = lang.terminal("NUM");
+        let plus = lang.terminal("+");
+        let tn = lang.term_node(num);
+        let tp = lang.term_node(plus);
+        // E = NUM | E + NUM (left recursive)
+        let e = lang.forward();
+        let ep = lang.cat(e, tp);
+        let epn = lang.cat(ep, tn);
+        let body = lang.alt(epn, tn);
+        lang.define(e, body);
+        let toks = vec![
+            lang.token(num, "1"),
+            lang.token(plus, "+"),
+            lang.token(num, "2"),
+            lang.token(plus, "+"),
+            lang.token(num, "1"), // repeated lexeme "1"
+        ];
+        let tree = lang.parse_unique(e, &toks).unwrap().expect("unambiguous");
+        assert_eq!(tree.fringe(), vec!["1", "+", "2", "+", "1"], "{cfg:?}");
+    }
+}
+
+/// Single-token inputs exercise the derive → parse-null pipeline minimally.
+#[test]
+fn single_token_parse_tree_is_leaf() {
+    let mut b = Bench::new(ParserConfig::improved());
+    let a = b.t('a');
+    let toks = b.toks("a");
+    let tree = b.lang.parse_unique(a, &toks).unwrap().expect("unambiguous");
+    assert_eq!(tree, Tree::Leaf(toks[0].clone()));
+}
+
+// ---------------------------------------------------------------------
+// Recognize mode vs parse mode agreement
+// ---------------------------------------------------------------------
+
+#[test]
+fn recognizer_mode_agrees_with_parser_mode() {
+    let inputs = ["", "c", "cc", "ccc", "cccc", "ccccc"];
+    for input in inputs {
+        let mut answers = Vec::new();
+        for mode in [ParseMode::Recognize, ParseMode::Parse] {
+            let cfg = ParserConfig { mode, ..ParserConfig::improved() };
+            let mut b = Bench::new(cfg);
+            let c = b.t('c');
+            let l = b.lang.forward();
+            let ll = b.lang.cat(l, l);
+            let body = b.lang.alt(ll, c);
+            b.lang.define(l, body);
+            let toks = b.toks(input);
+            answers.push(b.lang.recognize(l, &toks).unwrap());
+        }
+        assert_eq!(answers[0], answers[1], "modes disagree on {input:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics sanity
+// ---------------------------------------------------------------------
+
+#[test]
+fn metrics_accumulate_and_reset() {
+    let mut b = Bench::new(ParserConfig::improved());
+    let c = b.t('c');
+    let l = b.lang.forward();
+    let lc = b.lang.cat(l, c);
+    let body = b.lang.alt(lc, c);
+    b.lang.define(l, body);
+    let toks = b.toks("cccc");
+    assert!(b.lang.recognize(l, &toks).unwrap());
+    let m = *b.lang.metrics();
+    assert!(m.derive_calls > 0);
+    assert!(m.derive_uncached > 0);
+    assert!(m.derive_uncached <= m.derive_calls);
+    assert!(m.nullable_calls > 0);
+    assert!(m.nodes_created > 0);
+    b.lang.reset_metrics();
+    assert_eq!(b.lang.metrics().derive_calls, 0);
+}
+
+#[test]
+fn full_hash_memo_caches_repeated_tokens() {
+    // With FullHash, re-deriving by the same token value hits the cache;
+    // SingleEntry may recompute. Both must parse correctly, and FullHash
+    // must do no more uncached derives than SingleEntry.
+    let build = |memo: MemoStrategy| {
+        let cfg = ParserConfig { memo, ..ParserConfig::improved() };
+        let mut b = Bench::new(cfg);
+        let a = b.t('a');
+        let bb = b.t('b');
+        let inner = b.lang.alt(a, bb);
+        let s = b.lang.star(inner);
+        let toks = b.toks("abababab");
+        assert!(b.lang.recognize(s, &toks).unwrap());
+        b.lang.metrics().derive_uncached
+    };
+    let full = build(MemoStrategy::FullHash);
+    let single = build(MemoStrategy::SingleEntry);
+    assert!(full <= single, "full {full} vs single {single}");
+}

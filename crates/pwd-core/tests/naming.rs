@@ -1,0 +1,167 @@
+//! Tests of the §3 complexity machinery: Definition-5 naming, Lemma 7,
+//! Theorem 8's node-count bound, and the Figure-5 worst case.
+
+use pwd_core::{Language, NodeId, ParserConfig, Token};
+
+/// Builds the Figure-5 grammar `L = (L ◦ L) ∪ c` in the named-recognizer
+/// configuration and returns `(lang, L, tokens c1…cn)`.
+///
+/// The paper's `c` "accepts any token"; we model that with a single terminal
+/// kind whose lexemes `c1…cn` differ, so every token is unique — the
+/// worst case for memoization, as §4.4 notes the complexity proof assumes.
+fn figure5(n: usize) -> (Language, NodeId, Vec<Token>) {
+    let mut lang = Language::new(ParserConfig::named_recognizer());
+    let c = lang.terminal("c");
+    let tc = lang.term_node(c);
+    lang.set_label(tc, "N");
+    let l = lang.forward();
+    let ll = lang.cat(l, l);
+    lang.set_label(ll, "M");
+    let body = lang.alt(ll, tc);
+    lang.set_label(body, "L");
+    lang.define(l, body);
+    let toks = (1..=n).map(|i| lang.token(c, &format!("c{i}"))).collect();
+    (lang, l, toks)
+}
+
+#[test]
+fn figure5_recognizes() {
+    let (mut lang, l, toks) = figure5(4);
+    assert!(lang.recognize(l, &toks).unwrap());
+}
+
+/// Lemma 7: every Definition-5 name contains at most one `•`.
+#[test]
+fn lemma7_at_most_one_bullet() {
+    for n in 1..=6 {
+        let (mut lang, l, toks) = figure5(n);
+        assert!(lang.recognize(l, &toks).unwrap());
+        let (_, _, max_bullets) = lang.name_stats();
+        assert!(max_bullets <= 1, "n={n}: some name has {max_bullets} bullets");
+    }
+}
+
+/// Memoization ⇒ names are unique: two nodes never share a name.
+#[test]
+fn names_are_unique_per_node() {
+    for n in 1..=6 {
+        let (mut lang, l, toks) = figure5(n);
+        assert!(lang.recognize(l, &toks).unwrap());
+        let (total, distinct, _) = lang.name_stats();
+        assert_eq!(total, distinct, "n={n}: duplicate names exist");
+    }
+}
+
+/// Theorem 8: the number of nodes constructed during parsing is O(G·n³).
+/// We check the concrete bound G · (count of names of the form Nw or Nu•v):
+/// names drop their base symbol to substrings of the input (O(n²) of them)
+/// with an optional bullet position (O(n)).
+#[test]
+fn theorem8_node_count_within_cubic_bound() {
+    for n in [2usize, 4, 6, 8, 10] {
+        let (mut lang, l, toks) = figure5(n);
+        assert!(lang.recognize(l, &toks).unwrap());
+        let g_initial = 3u64; // L, M, N
+        // Substrings: n(n+1)/2 nonempty + 1 empty; bullet positions ≤ n+1.
+        let substrings = (n as u64 * (n as u64 + 1)) / 2 + 1;
+        let bound = g_initial * substrings * (n as u64 + 2);
+        let created = lang.named_node_count() as u64;
+        assert!(
+            created <= bound,
+            "n={n}: created {created} nodes, cubic bound {bound}"
+        );
+    }
+}
+
+/// Node growth for the worst-case grammar must be polynomial (cubic), not
+/// exponential: growing n by 2× must grow nodes by at most ~8×(1+slack).
+#[test]
+fn node_growth_is_polynomial_not_exponential() {
+    let count_nodes = |n: usize| {
+        let (mut lang, l, toks) = figure5(n);
+        assert!(lang.recognize(l, &toks).unwrap());
+        lang.named_node_count() as f64
+    };
+    let n8 = count_nodes(8);
+    let n16 = count_nodes(16);
+    let n32 = count_nodes(32);
+    let ratio1 = n16 / n8;
+    let ratio2 = n32 / n16;
+    // Cubic growth gives ratios near 8; exponential would explode past this.
+    assert!(ratio1 < 10.0, "n8={n8} n16={n16} ratio={ratio1}");
+    assert!(ratio2 < 10.0, "n16={n16} n32={n32} ratio={ratio2}");
+    // And the log-log slope should be ≥ 2: the worst case really is
+    // superlinear (it would be ~1 for an easy grammar).
+    let slope = (n32 / n8).log2() / 2.0;
+    assert!((1.5..=3.5).contains(&slope), "log-log slope {slope}");
+}
+
+/// Figure 5's first derivative: deriving `L = (L∘L) ∪ c` by c1 produces
+/// nodes named Lc1, Mc1, Nc1 (and the derivative accepts what it should).
+#[test]
+fn figure5_first_derivative_names() {
+    let (mut lang, l, toks) = figure5(1);
+    assert!(lang.recognize(l, &toks).unwrap());
+    let names: Vec<String> = lang.all_node_names().into_iter().map(|(_, n)| n).collect();
+    for expected in ["L", "M", "N", "Lc1", "Mc1", "Nc1"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing name {expected:?} in {names:?}"
+        );
+    }
+}
+
+/// After two tokens the duplication kicks in: Mc1•c2 (Rule 5b) must exist,
+/// alongside Lc2/Mc2/Nc2 (the duplicated right-child derivatives) and
+/// Lc1c2/Mc1c2/Nc1c2.
+#[test]
+fn figure5_second_derivative_names() {
+    let (mut lang, l, toks) = figure5(2);
+    assert!(lang.recognize(l, &toks).unwrap());
+    let names: Vec<String> = lang.all_node_names().into_iter().map(|(_, n)| n).collect();
+    for expected in ["Mc1•c2", "Lc1c2", "Mc1c2", "Nc1c2", "Lc2", "Mc2", "Nc2"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing name {expected:?} in {names:?}"
+        );
+    }
+}
+
+/// Every bullet-containing name in any run belongs to a ∪ node created from
+/// a nullable-◦ derivative — it can never gain a second bullet in deeper
+/// derivatives (the dynamic content of Lemma 7's proof).
+#[test]
+fn bullets_never_stack_across_derivatives() {
+    let (mut lang, l, toks) = figure5(8);
+    assert!(lang.recognize(l, &toks).unwrap());
+    for (_, name) in lang.all_node_names() {
+        let bullets = name.matches('•').count();
+        assert!(bullets <= 1, "name {name} has {bullets} bullets");
+    }
+}
+
+/// Name symbols (with base and • removed) must be *contiguous* substrings of
+/// the input (the observation behind Lemma 6).
+#[test]
+fn name_symbols_are_input_substrings() {
+    let n = 6;
+    let (mut lang, l, toks) = figure5(n);
+    assert!(lang.recognize(l, &toks).unwrap());
+    let input: Vec<String> = toks.iter().map(|t| t.lexeme().to_string()).collect();
+    for (_, rendered) in lang.all_node_names() {
+        // Strip base (everything before the first 'c') and bullets.
+        let stripped: String = rendered.replace('•', "");
+        let Some(pos) = stripped.find('c') else { continue };
+        let syms: Vec<String> = stripped[pos..]
+            .split_inclusive(|ch: char| ch.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if syms.is_empty() {
+            continue;
+        }
+        // Find the window in the input.
+        let found = input.windows(syms.len()).any(|w| w == syms.as_slice());
+        assert!(found, "name {rendered} symbols {syms:?} not contiguous in input");
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests: differential testing of the PWD engine against a
+//! Brzozowski regex oracle on regular grammars, plus invariants over random
+//! inputs and configurations.
+
+use proptest::prelude::*;
+use pwd_core::{
+    CompactionMode, Language, MemoStrategy, NodeId, NullStrategy, ParserConfig, TermId, Token,
+};
+
+/// A regular expression over a two-letter alphabet, used both as a PWD
+/// grammar and as a directly-evaluated oracle.
+#[derive(Debug, Clone)]
+enum Rx {
+    Eps,
+    Chr(u8), // 0 => 'a', 1 => 'b'
+    Cat(Box<Rx>, Box<Rx>),
+    Alt(Box<Rx>, Box<Rx>),
+    Star(Box<Rx>),
+}
+
+impl Rx {
+    fn nullable(&self) -> bool {
+        match self {
+            Rx::Eps | Rx::Star(_) => true,
+            Rx::Chr(_) => false,
+            Rx::Cat(a, b) => a.nullable() && b.nullable(),
+            Rx::Alt(a, b) => a.nullable() || b.nullable(),
+        }
+    }
+
+    /// Oracle matcher by direct Brzozowski derivation over the enum.
+    fn matches(&self, s: &[u8]) -> bool {
+        match s.split_first() {
+            None => self.nullable(),
+            Some((&c, rest)) => self.deriv(c).matches(rest),
+        }
+    }
+
+    fn deriv(&self, c: u8) -> Rx {
+        match self {
+            Rx::Eps => Rx::Alt(Box::new(Rx::Chr(9)), Box::new(Rx::Chr(9))), // ∅ encoded as unmatchable
+            Rx::Chr(k) if *k == c => Rx::Eps,
+            Rx::Chr(_) => Rx::Alt(Box::new(Rx::Chr(9)), Box::new(Rx::Chr(9))),
+            Rx::Cat(a, b) => {
+                let first = Rx::Cat(Box::new(a.deriv(c)), b.clone());
+                if a.nullable() {
+                    Rx::Alt(Box::new(first), Box::new(b.deriv(c)))
+                } else {
+                    first
+                }
+            }
+            Rx::Alt(a, b) => Rx::Alt(Box::new(a.deriv(c)), Box::new(b.deriv(c))),
+            Rx::Star(a) => Rx::Cat(Box::new(a.deriv(c)), Box::new(self.clone())),
+        }
+    }
+
+    /// Builds the same language as a PWD grammar.
+    fn to_lang(&self, lang: &mut Language, terms: &[NodeId; 2]) -> NodeId {
+        match self {
+            Rx::Eps => lang.eps_node(),
+            Rx::Chr(k) if *k < 2 => terms[*k as usize],
+            Rx::Chr(_) => lang.empty_node(),
+            Rx::Cat(a, b) => {
+                let na = a.to_lang(lang, terms);
+                let nb = b.to_lang(lang, terms);
+                lang.cat(na, nb)
+            }
+            Rx::Alt(a, b) => {
+                let na = a.to_lang(lang, terms);
+                let nb = b.to_lang(lang, terms);
+                lang.alt(na, nb)
+            }
+            Rx::Star(a) => {
+                let na = a.to_lang(lang, terms);
+                lang.star(na)
+            }
+        }
+    }
+}
+
+fn rx_strategy() -> impl Strategy<Value = Rx> {
+    let leaf = prop_oneof![Just(Rx::Eps), (0u8..2).prop_map(Rx::Chr)];
+    leaf.prop_recursive(5, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rx::Cat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rx::Alt(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Rx::Star(Box::new(a))),
+        ]
+    })
+}
+
+fn setup(config: ParserConfig, rx: &Rx) -> (Language, NodeId, TermId, TermId) {
+    let mut lang = Language::new(config);
+    let ta = lang.terminal("a");
+    let tb = lang.terminal("b");
+    let na = lang.term_node(ta);
+    let nb = lang.term_node(tb);
+    let root = rx.to_lang(&mut lang, &[na, nb]);
+    (lang, root, ta, tb)
+}
+
+fn tokens(lang: &mut Language, ta: TermId, tb: TermId, s: &[u8]) -> Vec<Token> {
+    s.iter()
+        .map(|&c| if c == 0 { lang.token(ta, "a") } else { lang.token(tb, "b") })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// PWD recognition agrees with the regex oracle on random regular
+    /// grammars and random inputs, for the improved configuration.
+    #[test]
+    fn pwd_matches_regex_oracle_improved(rx in rx_strategy(), s in proptest::collection::vec(0u8..2, 0..12)) {
+        let (mut lang, root, ta, tb) = setup(ParserConfig::improved(), &rx);
+        let toks = tokens(&mut lang, ta, tb, &s);
+        let got = lang.recognize(root, &toks).unwrap();
+        let want = rx.matches(&s);
+        prop_assert_eq!(got, want, "rx={:?} s={:?}", rx, s);
+    }
+
+    /// …and for the original-2011 configuration.
+    #[test]
+    fn pwd_matches_regex_oracle_original(rx in rx_strategy(), s in proptest::collection::vec(0u8..2, 0..10)) {
+        let (mut lang, root, ta, tb) = setup(ParserConfig::original_2011(), &rx);
+        let toks = tokens(&mut lang, ta, tb, &s);
+        let got = lang.recognize(root, &toks).unwrap();
+        prop_assert_eq!(got, rx.matches(&s));
+    }
+
+    /// …and with compaction fully disabled.
+    #[test]
+    fn pwd_matches_regex_oracle_no_compaction(rx in rx_strategy(), s in proptest::collection::vec(0u8..2, 0..10)) {
+        let cfg = ParserConfig { compaction: CompactionMode::None, ..ParserConfig::improved() };
+        let (mut lang, root, ta, tb) = setup(cfg, &rx);
+        let toks = tokens(&mut lang, ta, tb, &s);
+        let got = lang.recognize(root, &toks).unwrap();
+        prop_assert_eq!(got, rx.matches(&s));
+    }
+
+    /// Nullability strategies agree pairwise on random regular grammars.
+    #[test]
+    fn nullability_strategies_agree(rx in rx_strategy()) {
+        let mut answers = Vec::new();
+        for s in [NullStrategy::Naive, NullStrategy::Worklist, NullStrategy::Labeled] {
+            let cfg = ParserConfig { nullability: s, ..ParserConfig::improved() };
+            let (mut lang, root, _, _) = setup(cfg, &rx);
+            answers.push(lang.nullable(root));
+        }
+        prop_assert_eq!(answers[0], answers[1]);
+        prop_assert_eq!(answers[1], answers[2]);
+        prop_assert_eq!(answers[0], rx.nullable());
+    }
+
+    /// Memo strategies yield identical accept/reject answers *and* identical
+    /// parse counts (forgetfulness affects cost only, never results).
+    #[test]
+    fn memo_strategies_agree(rx in rx_strategy(), s in proptest::collection::vec(0u8..2, 0..10)) {
+        let mut answers = Vec::new();
+        for m in [MemoStrategy::FullHash, MemoStrategy::SingleEntry] {
+            let cfg = ParserConfig { memo: m, ..ParserConfig::improved() };
+            let (mut lang, root, ta, tb) = setup(cfg, &rx);
+            let toks = tokens(&mut lang, ta, tb, &s);
+            let ok = lang.recognize(root, &toks).unwrap();
+            lang.reset();
+            let count = if ok { lang.count_parses(root, &toks).unwrap() } else { Some(0) };
+            answers.push((ok, count));
+        }
+        prop_assert_eq!(answers[0].clone(), answers[1].clone());
+    }
+
+    /// `w ∈ L ⇒` every parse tree's fringe equals `w` (soundness of ASTs).
+    #[test]
+    fn parse_tree_fringes_equal_input(rx in rx_strategy(), s in proptest::collection::vec(0u8..2, 0..8)) {
+        let (mut lang, root, ta, tb) = setup(ParserConfig::improved(), &rx);
+        let toks = tokens(&mut lang, ta, tb, &s);
+        if let Ok(trees) = lang.parse_trees(root, &toks, pwd_core::EnumLimits { max_trees: 8, max_depth: 128 }) {
+            let want: Vec<String> = toks.iter().map(|t| t.lexeme().to_string()).collect();
+            for t in trees {
+                prop_assert_eq!(t.fringe(), want.clone());
+            }
+        }
+    }
+
+    /// Reset + reparse is deterministic: same metrics, same outcome.
+    #[test]
+    fn reset_reparse_is_deterministic(rx in rx_strategy(), s in proptest::collection::vec(0u8..2, 0..8)) {
+        let (mut lang, root, ta, tb) = setup(ParserConfig::improved(), &rx);
+        let toks = tokens(&mut lang, ta, tb, &s);
+        lang.reset_metrics();
+        let r1 = lang.recognize(root, &toks).unwrap();
+        let m1 = *lang.metrics();
+        lang.reset();
+        let toks2 = tokens(&mut lang, ta, tb, &s);
+        let r2 = lang.recognize(root, &toks2).unwrap();
+        let m2 = *lang.metrics();
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// Reachable node count never decreases wrongly and nodes created is
+    /// consistent with the arena growth.
+    #[test]
+    fn node_accounting_consistent(rx in rx_strategy(), s in proptest::collection::vec(0u8..2, 0..8)) {
+        let (mut lang, root, ta, tb) = setup(ParserConfig::improved(), &rx);
+        let toks = tokens(&mut lang, ta, tb, &s);
+        let before = lang.node_count();
+        lang.reset_metrics();
+        let _ = lang.recognize(root, &toks).unwrap();
+        let after = lang.node_count();
+        let created = lang.metrics().nodes_created as usize;
+        prop_assert_eq!(after - before, created);
+    }
+}

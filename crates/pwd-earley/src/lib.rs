@@ -1,0 +1,623 @@
+//! An Earley parser: the baseline standing in for Racket's
+//! `parser-tools/cfg-parser` (itself an Earley variant) in the paper's
+//! Figure-6 comparison.
+//!
+//! Standard Earley (1970) with the Aycock–Horspool nullable-prediction fix:
+//! when the predictor introduces a nullable nonterminal, the item's dot is
+//! also advanced over it immediately, which makes ε-rules sound without
+//! repeated completer passes. The recognizer is `O(n³)` for arbitrary CFGs,
+//! `O(n²)` for unambiguous ones.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pwd_earley::EarleyParser;
+//! use pwd_grammar::CfgBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = CfgBuilder::new("S");
+//! g.terminal("a");
+//! g.rule("S", &["S", "S"]);
+//! g.rule("S", &["a"]);
+//! let parser = EarleyParser::new(&g.build()?);
+//! assert!(parser.recognize_kinds(&["a", "a", "a"])?);
+//! assert!(!parser.recognize_kinds(&[])?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pwd_grammar::{analysis, Cfg, Symbol};
+use std::collections::HashSet;
+use std::fmt;
+
+/// An Earley item: production, dot position, origin set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Item {
+    prod: u32,
+    dot: u32,
+    origin: u32,
+}
+
+/// Error for token kinds outside the grammar's terminal alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownKind {
+    /// The offending kind name.
+    pub kind: String,
+    /// Its position in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for UnknownKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "token {} has kind {:?} outside the grammar", self.position, self.kind)
+    }
+}
+
+impl std::error::Error for UnknownKind {}
+
+/// An Earley parser compiled from a [`Cfg`].
+#[derive(Debug, Clone)]
+pub struct EarleyParser {
+    cfg: Cfg,
+    nullable: Vec<bool>,
+}
+
+/// Statistics from a recognition run (chart sizes drive the complexity
+/// comparison tests).
+#[derive(Debug, Clone, Default)]
+pub struct EarleyStats {
+    /// Number of items in each chart set.
+    pub set_sizes: Vec<usize>,
+    /// Total items across the chart.
+    pub total_items: usize,
+}
+
+impl EarleyParser {
+    /// Compiles the parser (precomputes the nullable set).
+    pub fn new(cfg: &Cfg) -> EarleyParser {
+        EarleyParser { cfg: cfg.clone(), nullable: analysis::nullable_nonterminals(cfg) }
+    }
+
+    /// The underlying grammar.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// Recognizes a sequence of terminal indices.
+    pub fn recognize(&self, tokens: &[u32]) -> bool {
+        self.run(tokens).0
+    }
+
+    /// Recognizes a sequence of terminal kinds by name.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownKind`] if a kind is not a terminal of the grammar.
+    pub fn recognize_kinds(&self, kinds: &[&str]) -> Result<bool, UnknownKind> {
+        let toks = self.kinds_to_tokens(kinds)?;
+        Ok(self.recognize(&toks))
+    }
+
+    /// Recognizes a lexeme stream (e.g. from `pwd_lex`).
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownKind`] if a lexeme kind is not a terminal of the grammar.
+    pub fn recognize_lexemes(&self, lexemes: &[pwd_lex::Lexeme]) -> Result<bool, UnknownKind> {
+        let toks: Result<Vec<u32>, UnknownKind> = lexemes
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                self.cfg.terminal_index(&l.kind).ok_or_else(|| UnknownKind {
+                    kind: l.kind.clone(),
+                    position: i,
+                })
+            })
+            .collect();
+        Ok(self.recognize(&toks?))
+    }
+
+    /// Recognition plus chart statistics.
+    pub fn recognize_with_stats(&self, tokens: &[u32]) -> (bool, EarleyStats) {
+        self.run(tokens)
+    }
+
+    /// Converts kind names to terminal indices.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownKind`] for kinds outside the grammar.
+    pub fn kinds_to_tokens(&self, kinds: &[&str]) -> Result<Vec<u32>, UnknownKind> {
+        kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                self.cfg.terminal_index(k).ok_or_else(|| UnknownKind {
+                    kind: (*k).to_string(),
+                    position: i,
+                })
+            })
+            .collect()
+    }
+
+    fn run(&self, tokens: &[u32]) -> (bool, EarleyStats) {
+        let n = tokens.len();
+        let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
+        let mut seen: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
+
+        // Seed with the start nonterminal's productions.
+        for &pi in self.cfg.productions_of(self.cfg.start()) {
+            add(Item { prod: pi as u32, dot: 0, origin: 0 }, 0, &mut sets, &mut seen);
+        }
+
+        for i in 0..=n {
+            let mut idx = 0;
+            while idx < sets[i].len() {
+                let item = sets[i][idx];
+                idx += 1;
+                let p = &self.cfg.productions()[item.prod as usize];
+                match p.rhs.get(item.dot as usize) {
+                    Some(Symbol::T(t)) => {
+                        // Scanner.
+                        if i < n && tokens[i] == *t {
+                            add(Item { dot: item.dot + 1, ..item }, i + 1, &mut sets, &mut seen);
+                        }
+                    }
+                    Some(Symbol::N(nt)) => {
+                        // Predictor.
+                        for &pi in self.cfg.productions_of(*nt) {
+                            add(
+                                Item { prod: pi as u32, dot: 0, origin: i as u32 },
+                                i,
+                                &mut sets,
+                                &mut seen,
+                            );
+                        }
+                        // Aycock–Horspool: skip over nullable nonterminals.
+                        if self.nullable[*nt as usize] {
+                            add(Item { dot: item.dot + 1, ..item }, i, &mut sets, &mut seen);
+                        }
+                    }
+                    None => {
+                        // Completer.
+                        let lhs = p.lhs;
+                        let origin = item.origin as usize;
+                        // Iterate by index: sets[origin] grows while we scan
+                        // when origin == i (ε-cycles).
+                        let mut j = 0;
+                        while j < sets[origin].len() {
+                            let cand = sets[origin][j];
+                            j += 1;
+                            let cp = &self.cfg.productions()[cand.prod as usize];
+                            if cp.rhs.get(cand.dot as usize) == Some(&Symbol::N(lhs)) {
+                                add(Item { dot: cand.dot + 1, ..cand }, i, &mut sets, &mut seen);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let accepted = sets[n].iter().any(|item| {
+            let p = &self.cfg.productions()[item.prod as usize];
+            p.lhs == self.cfg.start() && item.origin == 0 && item.dot as usize == p.rhs.len()
+        });
+        let stats = EarleyStats {
+            set_sizes: sets.iter().map(Vec::len).collect(),
+            total_items: sets.iter().map(Vec::len).sum(),
+        };
+        (accepted, stats)
+    }
+}
+
+fn add(item: Item, at: usize, sets: &mut [Vec<Item>], seen: &mut [HashSet<Item>]) {
+    if seen[at].insert(item) {
+        sets[at].push(item);
+    }
+}
+
+/// A derivation tree extracted from the Earley chart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DerivTree {
+    /// A terminal leaf: `(terminal index, input position)`.
+    Leaf(u32, usize),
+    /// A nonterminal node: production index and children.
+    Node {
+        /// Index into [`Cfg::productions`].
+        prod: usize,
+        /// One child per right-hand-side symbol.
+        children: Vec<DerivTree>,
+    },
+}
+
+impl DerivTree {
+    /// Renders the tree with grammar names, s-expression style.
+    pub fn render(&self, cfg: &Cfg) -> String {
+        match self {
+            DerivTree::Leaf(t, _) => cfg.terminal_name(*t).to_string(),
+            DerivTree::Node { prod, children } => {
+                let p = &cfg.productions()[*prod];
+                let mut s = format!("({}", cfg.nonterminal_name(p.lhs));
+                for c in children {
+                    s.push(' ');
+                    s.push_str(&c.render(cfg));
+                }
+                s.push(')');
+                s
+            }
+        }
+    }
+
+    /// Number of terminal leaves.
+    pub fn leaves(&self) -> usize {
+        match self {
+            DerivTree::Leaf(..) => 1,
+            DerivTree::Node { children, .. } => children.iter().map(DerivTree::leaves).sum(),
+        }
+    }
+}
+
+impl EarleyParser {
+    /// Extracts **one** derivation tree for an accepted input by walking the
+    /// completed chart right to left (any derivation if ambiguous).
+    ///
+    /// Returns `None` if the input is not in the language.
+    pub fn parse_tree(&self, tokens: &[u32]) -> Option<DerivTree> {
+        let n = tokens.len();
+        // Re-run the recognizer, keeping the chart.
+        let chart = self.chart(tokens);
+        // A completed item (prod, origin, end) derives tokens[origin..end].
+        // Find the start production completing the whole input.
+        for &pi in self.cfg.productions_of(self.cfg.start()) {
+            if self.completed(&chart, pi, 0, n) {
+                return self.build(tokens, &chart, pi, 0, n, 0);
+            }
+        }
+        None
+    }
+
+    /// Full chart: for each end position, the set of items.
+    fn chart(&self, tokens: &[u32]) -> Vec<HashSet<Item>> {
+        let n = tokens.len();
+        let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
+        let mut seen: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
+        for &pi in self.cfg.productions_of(self.cfg.start()) {
+            add(Item { prod: pi as u32, dot: 0, origin: 0 }, 0, &mut sets, &mut seen);
+        }
+        for i in 0..=n {
+            let mut idx = 0;
+            while idx < sets[i].len() {
+                let item = sets[i][idx];
+                idx += 1;
+                let p = &self.cfg.productions()[item.prod as usize];
+                match p.rhs.get(item.dot as usize) {
+                    Some(Symbol::T(t)) => {
+                        if i < n && tokens[i] == *t {
+                            add(Item { dot: item.dot + 1, ..item }, i + 1, &mut sets, &mut seen);
+                        }
+                    }
+                    Some(Symbol::N(nt)) => {
+                        for &pi in self.cfg.productions_of(*nt) {
+                            add(
+                                Item { prod: pi as u32, dot: 0, origin: i as u32 },
+                                i,
+                                &mut sets,
+                                &mut seen,
+                            );
+                        }
+                        if self.nullable[*nt as usize] {
+                            add(Item { dot: item.dot + 1, ..item }, i, &mut sets, &mut seen);
+                        }
+                    }
+                    None => {
+                        let lhs = p.lhs;
+                        let origin = item.origin as usize;
+                        let mut j = 0;
+                        while j < sets[origin].len() {
+                            let cand = sets[origin][j];
+                            j += 1;
+                            let cp = &self.cfg.productions()[cand.prod as usize];
+                            if cp.rhs.get(cand.dot as usize) == Some(&Symbol::N(lhs)) {
+                                add(Item { dot: cand.dot + 1, ..cand }, i, &mut sets, &mut seen);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Is production `pi` completed over `[from, to)`?
+    fn completed(&self, chart: &[HashSet<Item>], pi: usize, from: usize, to: usize) -> bool {
+        let p = &self.cfg.productions()[pi];
+        chart[to].contains(&Item {
+            prod: pi as u32,
+            dot: p.rhs.len() as u32,
+            origin: from as u32,
+        })
+    }
+
+    /// Can nonterminal `nt` derive `tokens[from..to)` (some production
+    /// completed over that span)?
+    fn derives(&self, chart: &[HashSet<Item>], nt: u32, from: usize, to: usize) -> Option<usize> {
+        self.cfg
+            .productions_of(nt)
+            .iter()
+            .copied()
+            .find(|&pi| self.completed(chart, pi, from, to))
+    }
+
+    /// Builds a derivation for production `pi` spanning `[from, to)` by
+    /// splitting the span right-to-left over the RHS symbols. `depth` guards
+    /// against pathological cyclic unit chains.
+    fn build(
+        &self,
+        tokens: &[u32],
+        chart: &[HashSet<Item>],
+        pi: usize,
+        from: usize,
+        to: usize,
+        depth: usize,
+    ) -> Option<DerivTree> {
+        if depth > 2 * (tokens.len() + self.cfg.nonterminal_count() + 2) {
+            return None;
+        }
+        let p = &self.cfg.productions()[pi];
+        let mut children = vec![None; p.rhs.len()];
+        if self.split(tokens, chart, &p.rhs.to_vec(), from, to, &mut children, 0, depth)? {
+            let children = children.into_iter().map(|c| c.expect("filled")).collect();
+            Some(DerivTree::Node { prod: pi, children })
+        } else {
+            None
+        }
+    }
+
+    /// Recursively assigns spans to `rhs[k..]` over `[from, to)`.
+    #[allow(clippy::too_many_arguments)]
+    fn split(
+        &self,
+        tokens: &[u32],
+        chart: &[HashSet<Item>],
+        rhs: &[Symbol],
+        from: usize,
+        to: usize,
+        out: &mut [Option<DerivTree>],
+        k: usize,
+        depth: usize,
+    ) -> Option<bool> {
+        if k == rhs.len() {
+            return Some(from == to);
+        }
+        match rhs[k] {
+            Symbol::T(t) => {
+                if from < to && tokens[from] == t {
+                    let leaf = DerivTree::Leaf(t, from);
+                    out[k] = Some(leaf);
+                    if self.split(tokens, chart, rhs, from + 1, to, out, k + 1, depth)? {
+                        return Some(true);
+                    }
+                    out[k] = None;
+                }
+                Some(false)
+            }
+            Symbol::N(nt) => {
+                for mid in from..=to {
+                    if let Some(pi) = self.derives(chart, nt, from, mid) {
+                        // Avoid infinite recursion on zero-width unit cycles:
+                        // only recurse with a depth budget.
+                        if let Some(sub) = self.build(tokens, chart, pi, from, mid, depth + 1) {
+                            out[k] = Some(sub);
+                            if self.split(tokens, chart, rhs, mid, to, out, k + 1, depth)? {
+                                return Some(true);
+                            }
+                            out[k] = None;
+                        }
+                    }
+                }
+                Some(false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tree_tests {
+    use super::*;
+
+    #[test]
+    fn extracts_arithmetic_tree() {
+        let cfg = pwd_grammar::grammars::arith::cfg();
+        let p = EarleyParser::new(&cfg);
+        let toks = p.kinds_to_tokens(&["NUM", "+", "NUM", "*", "NUM"]).unwrap();
+        let tree = p.parse_tree(&toks).expect("accepted");
+        assert_eq!(tree.leaves(), 5);
+        let rendered = tree.render(&cfg);
+        // Precedence: the multiplication nests under the right T.
+        assert_eq!(rendered, "(E (E (T (F NUM))) + (T (T (F NUM)) * (F NUM)))");
+    }
+
+    #[test]
+    fn extracts_tree_with_epsilon() {
+        let mut g = pwd_grammar::CfgBuilder::new("S");
+        g.terminals(&["a", "b"]);
+        g.rule("S", &["A", "b"]);
+        g.rule("A", &[]);
+        g.rule("A", &["a"]);
+        let cfg = g.build().unwrap();
+        let p = EarleyParser::new(&cfg);
+        let toks = p.kinds_to_tokens(&["b"]).unwrap();
+        let tree = p.parse_tree(&toks).expect("accepted");
+        assert_eq!(tree.render(&cfg), "(S (A) b)");
+    }
+
+    #[test]
+    fn left_recursive_tree() {
+        let mut g = pwd_grammar::CfgBuilder::new("L");
+        g.terminal("c");
+        g.rule("L", &["L", "c"]);
+        g.rule("L", &["c"]);
+        let cfg = g.build().unwrap();
+        let p = EarleyParser::new(&cfg);
+        let toks = p.kinds_to_tokens(&["c", "c", "c"]).unwrap();
+        let tree = p.parse_tree(&toks).expect("accepted");
+        assert_eq!(tree.render(&cfg), "(L (L (L c) c) c)");
+    }
+
+    #[test]
+    fn rejected_input_has_no_tree() {
+        let cfg = pwd_grammar::grammars::arith::cfg();
+        let p = EarleyParser::new(&cfg);
+        let toks = p.kinds_to_tokens(&["NUM", "+"]).unwrap();
+        assert!(p.parse_tree(&toks).is_none());
+    }
+
+    #[test]
+    fn ambiguous_grammar_yields_some_tree() {
+        let cfg = pwd_grammar::grammars::ambiguous::catalan();
+        let p = EarleyParser::new(&cfg);
+        let toks = p.kinds_to_tokens(&["a", "a", "a"]).unwrap();
+        let tree = p.parse_tree(&toks).expect("accepted");
+        assert_eq!(tree.leaves(), 3);
+    }
+
+    #[test]
+    fn python_statement_tree() {
+        let cfg = pwd_grammar::grammars::python::cfg();
+        let p = EarleyParser::new(&cfg);
+        let lexemes = pwd_lex::tokenize_python("x = 1\n").unwrap();
+        let toks: Vec<u32> = lexemes
+            .iter()
+            .map(|l| cfg.terminal_index(&l.kind).unwrap())
+            .collect();
+        let tree = p.parse_tree(&toks).expect("accepted");
+        assert_eq!(tree.leaves(), toks.len());
+        assert!(tree.render(&cfg).starts_with("(file_input"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwd_grammar::CfgBuilder;
+
+    fn arith() -> EarleyParser {
+        EarleyParser::new(&pwd_grammar::grammars::arith::cfg())
+    }
+
+    #[test]
+    fn arithmetic() {
+        let p = arith();
+        assert!(p.recognize_kinds(&["NUM", "+", "NUM", "*", "NUM"]).unwrap());
+        assert!(p.recognize_kinds(&["(", "NUM", ")", "*", "NUM"]).unwrap());
+        assert!(!p.recognize_kinds(&["NUM", "+"]).unwrap());
+        assert!(!p.recognize_kinds(&["+", "NUM"]).unwrap());
+        assert!(!p.recognize_kinds(&[]).unwrap());
+    }
+
+    #[test]
+    fn left_and_right_recursion() {
+        let mut g = CfgBuilder::new("L");
+        g.terminal("c");
+        g.rule("L", &["L", "c"]);
+        g.rule("L", &["c"]);
+        let left = EarleyParser::new(&g.build().unwrap());
+        assert!(left.recognize_kinds(&["c", "c", "c"]).unwrap());
+
+        let mut g = CfgBuilder::new("R");
+        g.terminal("c");
+        g.rule("R", &["c", "R"]);
+        g.rule("R", &["c"]);
+        let right = EarleyParser::new(&g.build().unwrap());
+        assert!(right.recognize_kinds(&["c", "c", "c"]).unwrap());
+        assert!(!right.recognize_kinds(&[]).unwrap());
+    }
+
+    #[test]
+    fn nullable_rules() {
+        // S → A B, A → ε | 'a', B → 'b'.
+        let mut g = CfgBuilder::new("S");
+        g.terminals(&["a", "b"]);
+        g.rule("S", &["A", "B"]);
+        g.rule("A", &[]);
+        g.rule("A", &["a"]);
+        g.rule("B", &["b"]);
+        let p = EarleyParser::new(&g.build().unwrap());
+        assert!(p.recognize_kinds(&["b"]).unwrap());
+        assert!(p.recognize_kinds(&["a", "b"]).unwrap());
+        assert!(!p.recognize_kinds(&["a"]).unwrap());
+    }
+
+    #[test]
+    fn deeply_nullable_chain() {
+        // S → A A A, A → ε | 'a' — stresses the nullable fix.
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["A", "A", "A"]);
+        g.rule("A", &[]);
+        g.rule("A", &["a"]);
+        let p = EarleyParser::new(&g.build().unwrap());
+        for n in 0..=3 {
+            let kinds: Vec<&str> = std::iter::repeat_n("a", n).collect();
+            assert!(p.recognize_kinds(&kinds).unwrap(), "n={n}");
+        }
+        assert!(!p.recognize_kinds(&["a", "a", "a", "a"]).unwrap());
+    }
+
+    #[test]
+    fn hidden_left_recursion() {
+        // S → A S 'b' | 'b', A → ε — hidden left recursion via nullable A.
+        let mut g = CfgBuilder::new("S");
+        g.terminal("b");
+        g.rule("S", &["A", "S", "b"]);
+        g.rule("S", &["b"]);
+        g.rule("A", &[]);
+        let p = EarleyParser::new(&g.build().unwrap());
+        for n in 1..=6 {
+            let kinds: Vec<&str> = std::iter::repeat_n("b", n).collect();
+            assert!(p.recognize_kinds(&kinds).unwrap(), "n={n}");
+        }
+        assert!(!p.recognize_kinds(&[]).unwrap());
+    }
+
+    #[test]
+    fn ambiguous_grammar() {
+        let p = EarleyParser::new(&pwd_grammar::grammars::ambiguous::catalan());
+        for n in 1..8 {
+            let kinds: Vec<&str> = std::iter::repeat_n("a", n).collect();
+            assert!(p.recognize_kinds(&kinds).unwrap(), "n={n}");
+        }
+        assert!(!p.recognize_kinds(&[]).unwrap());
+    }
+
+    #[test]
+    fn python_module() {
+        let p = EarleyParser::new(&pwd_grammar::grammars::python::cfg());
+        let src = "def f(x):\n    return x + 1\n\ny = f(41)\n";
+        let lexemes = pwd_lex::tokenize_python(src).unwrap();
+        assert!(p.recognize_lexemes(&lexemes).unwrap());
+        let bad = pwd_lex::tokenize_python("def f(:\n    pass\n").unwrap();
+        assert!(!p.recognize_lexemes(&bad).unwrap());
+    }
+
+    #[test]
+    fn unknown_kind_error() {
+        let p = arith();
+        let err = p.recognize_kinds(&["NUM", "WAT"]).unwrap_err();
+        assert_eq!(err.kind, "WAT");
+        assert_eq!(err.position, 1);
+    }
+
+    #[test]
+    fn stats_report_chart_sizes() {
+        let p = arith();
+        let toks = p.kinds_to_tokens(&["NUM", "+", "NUM"]).unwrap();
+        let (ok, stats) = p.recognize_with_stats(&toks);
+        assert!(ok);
+        assert_eq!(stats.set_sizes.len(), 4);
+        assert!(stats.total_items > 0);
+    }
+}

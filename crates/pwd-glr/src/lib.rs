@@ -1,0 +1,517 @@
+//! A GLR parser: the baseline standing in for Bison's `%glr-parser` in the
+//! paper's Figure-6 comparison.
+//!
+//! Builds an SLR(1) automaton (LR(0) item sets + FOLLOW-gated reductions)
+//! and drives it with a graph-structured stack (Tomita 1985, with Farshi's
+//! fix for reductions through edges created by ε-rules). Conflicts are kept,
+//! not resolved — like Bison in GLR mode, all actions are explored and
+//! stacks merge on equal states. The paper's Python grammar had 92
+//! shift/reduce and 4 reduce/reduce conflicts; [`GlrParser::conflicts`]
+//! reports ours.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pwd_glr::GlrParser;
+//! use pwd_grammar::CfgBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = CfgBuilder::new("E");
+//! g.terminals(&["+", "n"]);
+//! g.rule("E", &["E", "+", "E"]); // ambiguous: GLR explores both
+//! g.rule("E", &["n"]);
+//! let parser = GlrParser::new(&g.build()?);
+//! assert!(parser.recognize_kinds(&["n", "+", "n", "+", "n"])?);
+//! assert!(!parser.recognize_kinds(&["n", "+"])?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pwd_grammar::{analysis, Cfg, Production, Symbol};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Error for token kinds outside the grammar's terminal alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownKind {
+    /// The offending kind name.
+    pub kind: String,
+    /// Its position in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for UnknownKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "token {} has kind {:?} outside the grammar", self.position, self.kind)
+    }
+}
+
+impl std::error::Error for UnknownKind {}
+
+/// An LR(0) item over the augmented grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct Item {
+    prod: u32,
+    dot: u32,
+}
+
+/// A parse action in a table cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Shift(u32),
+    Reduce(u32),
+    Accept,
+}
+
+/// A GLR parser with SLR(1) tables over a graph-structured stack.
+#[derive(Debug, Clone)]
+pub struct GlrParser {
+    /// Productions of the augmented grammar; the last one is `S' → S`.
+    prods: Vec<Production>,
+    /// ACTION[state][lookahead]; `None` lookahead = end of input.
+    action: Vec<HashMap<Option<u32>, Vec<Action>>>,
+    /// GOTO[state][nonterminal].
+    goto_nt: Vec<HashMap<u32, u32>>,
+    term_names: Vec<String>,
+}
+
+/// Statistics from a GLR run.
+#[derive(Debug, Clone, Default)]
+pub struct GlrStats {
+    /// Total GSS nodes created.
+    pub gss_nodes: usize,
+    /// Total GSS edges created.
+    pub gss_edges: usize,
+}
+
+impl GlrParser {
+    /// Builds the SLR(1) tables for a grammar.
+    pub fn new(cfg: &Cfg) -> GlrParser {
+        // Augment: S' → S. The fresh nonterminal gets index nt_count.
+        let aug_nt = cfg.nonterminal_count() as u32;
+        let mut prods: Vec<Production> = cfg.productions().to_vec();
+        let start_prod = prods.len() as u32;
+        prods.push(Production { lhs: aug_nt, rhs: vec![Symbol::N(cfg.start())] });
+
+        let by_lhs: Vec<Vec<usize>> = {
+            let mut v = vec![Vec::new(); aug_nt as usize + 1];
+            for (i, p) in prods.iter().enumerate() {
+                v[p.lhs as usize].push(i);
+            }
+            v
+        };
+
+        let closure = |kernel: &BTreeSet<Item>| -> BTreeSet<Item> {
+            let mut set = kernel.clone();
+            let mut work: Vec<Item> = set.iter().copied().collect();
+            while let Some(item) = work.pop() {
+                let p = &prods[item.prod as usize];
+                if let Some(Symbol::N(nt)) = p.rhs.get(item.dot as usize) {
+                    for &pi in &by_lhs[*nt as usize] {
+                        let new = Item { prod: pi as u32, dot: 0 };
+                        if set.insert(new) {
+                            work.push(new);
+                        }
+                    }
+                }
+            }
+            set
+        };
+
+        // Canonical LR(0) collection.
+        let mut states: Vec<BTreeSet<Item>> = Vec::new();
+        let mut index: HashMap<BTreeSet<Item>, u32> = HashMap::new();
+        let mut kernel0 = BTreeSet::new();
+        kernel0.insert(Item { prod: start_prod, dot: 0 });
+        let s0 = closure(&kernel0);
+        index.insert(s0.clone(), 0);
+        states.push(s0);
+        let mut trans: Vec<HashMap<Symbol, u32>> = vec![HashMap::new()];
+        let mut work = vec![0u32];
+        while let Some(si) = work.pop() {
+            // Group items by the symbol after the dot.
+            let mut by_sym: HashMap<Symbol, BTreeSet<Item>> = HashMap::new();
+            for item in &states[si as usize] {
+                let p = &prods[item.prod as usize];
+                if let Some(sym) = p.rhs.get(item.dot as usize) {
+                    by_sym
+                        .entry(*sym)
+                        .or_default()
+                        .insert(Item { prod: item.prod, dot: item.dot + 1 });
+                }
+            }
+            let mut entries: Vec<(Symbol, BTreeSet<Item>)> = by_sym.into_iter().collect();
+            entries.sort_by_key(|(s, _)| *s);
+            for (sym, kernel) in entries {
+                let target = closure(&kernel);
+                let ti = match index.get(&target) {
+                    Some(&t) => t,
+                    None => {
+                        let t = states.len() as u32;
+                        index.insert(target.clone(), t);
+                        states.push(target);
+                        trans.push(HashMap::new());
+                        work.push(t);
+                        t
+                    }
+                };
+                trans[si as usize].insert(sym, ti);
+            }
+        }
+
+        // SLR: FOLLOW sets of the base grammar gate reductions.
+        let follow = analysis::follow_sets(cfg);
+        let mut action: Vec<HashMap<Option<u32>, Vec<Action>>> =
+            vec![HashMap::new(); states.len()];
+        let mut goto_nt: Vec<HashMap<u32, u32>> = vec![HashMap::new(); states.len()];
+        for (si, state) in states.iter().enumerate() {
+            for (sym, &ti) in &trans[si] {
+                match sym {
+                    Symbol::T(t) => {
+                        action[si].entry(Some(*t)).or_default().push(Action::Shift(ti));
+                    }
+                    Symbol::N(n) => {
+                        goto_nt[si].insert(*n, ti);
+                    }
+                }
+            }
+            for item in state {
+                let p = &prods[item.prod as usize];
+                if item.dot as usize == p.rhs.len() {
+                    if item.prod == start_prod {
+                        action[si].entry(None).or_default().push(Action::Accept);
+                    } else {
+                        for la in &follow[p.lhs as usize] {
+                            action[si].entry(*la).or_default().push(Action::Reduce(item.prod));
+                        }
+                    }
+                }
+            }
+        }
+
+        GlrParser {
+            prods,
+            action,
+            goto_nt,
+            term_names: (0..cfg.terminal_count())
+                .map(|t| cfg.terminal_name(t as u32).to_string())
+                .collect(),
+        }
+    }
+
+    /// Number of LR(0) states.
+    pub fn state_count(&self) -> usize {
+        self.action.len()
+    }
+
+    /// `(shift_reduce, reduce_reduce)` conflict counts in the SLR table —
+    /// the quantities Bison reported as 92 and 4 for the paper's grammar.
+    pub fn conflicts(&self) -> (usize, usize) {
+        let mut sr = 0;
+        let mut rr = 0;
+        for state in &self.action {
+            for acts in state.values() {
+                let shifts = acts.iter().filter(|a| matches!(a, Action::Shift(_))).count();
+                let reduces = acts.iter().filter(|a| matches!(a, Action::Reduce(_))).count();
+                if shifts > 0 && reduces > 0 {
+                    sr += 1;
+                }
+                if reduces > 1 {
+                    rr += reduces - 1;
+                }
+            }
+        }
+        (sr, rr)
+    }
+
+    /// Recognizes a sequence of terminal indices.
+    pub fn recognize(&self, tokens: &[u32]) -> bool {
+        self.run(tokens).0
+    }
+
+    /// Recognizes terminal kinds by name.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownKind`] for kinds outside the grammar.
+    pub fn recognize_kinds(&self, kinds: &[&str]) -> Result<bool, UnknownKind> {
+        let toks = self.kinds_to_tokens(kinds)?;
+        Ok(self.recognize(&toks))
+    }
+
+    /// Recognizes a lexeme stream.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownKind`] for lexeme kinds outside the grammar.
+    pub fn recognize_lexemes(&self, lexemes: &[pwd_lex::Lexeme]) -> Result<bool, UnknownKind> {
+        let toks: Result<Vec<u32>, UnknownKind> = lexemes
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                self.terminal_index(&l.kind)
+                    .ok_or_else(|| UnknownKind { kind: l.kind.clone(), position: i })
+            })
+            .collect();
+        Ok(self.recognize(&toks?))
+    }
+
+    /// Recognition plus GSS statistics.
+    pub fn recognize_with_stats(&self, tokens: &[u32]) -> (bool, GlrStats) {
+        self.run(tokens)
+    }
+
+    /// Converts kind names to terminal indices.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownKind`] for kinds outside the grammar.
+    pub fn kinds_to_tokens(&self, kinds: &[&str]) -> Result<Vec<u32>, UnknownKind> {
+        kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                self.terminal_index(k)
+                    .ok_or_else(|| UnknownKind { kind: (*k).to_string(), position: i })
+            })
+            .collect()
+    }
+
+    fn terminal_index(&self, name: &str) -> Option<u32> {
+        self.term_names.iter().position(|t| t == name).map(|i| i as u32)
+    }
+
+    fn run(&self, tokens: &[u32]) -> (bool, GlrStats) {
+        // Graph-structured stack.
+        struct Gss {
+            states: Vec<u32>,
+            edges: Vec<Vec<usize>>,
+        }
+        impl Gss {
+            fn push(&mut self, state: u32) -> usize {
+                self.states.push(state);
+                self.edges.push(Vec::new());
+                self.states.len() - 1
+            }
+        }
+        let mut gss = Gss { states: vec![0], edges: vec![Vec::new()] };
+        let mut frontier: HashMap<u32, usize> = HashMap::new();
+        frontier.insert(0, 0);
+        let mut edge_count = 0usize;
+
+        for i in 0..=tokens.len() {
+            let lookahead = tokens.get(i).copied();
+
+            // ---- reduce phase (to fixed point) ----
+            let mut queue: Vec<(usize, u32)> = Vec::new();
+            let mut done: HashSet<(usize, u32, usize)> = HashSet::new();
+            let enqueue_all = |frontier: &HashMap<u32, usize>,
+                               queue: &mut Vec<(usize, u32)>,
+                               action: &[HashMap<Option<u32>, Vec<Action>>],
+                               la: Option<u32>| {
+                for (&st, &node) in frontier {
+                    if let Some(acts) = action[st as usize].get(&la) {
+                        for a in acts {
+                            if let Action::Reduce(p) = a {
+                                queue.push((node, *p));
+                            }
+                        }
+                    }
+                }
+            };
+            enqueue_all(&frontier, &mut queue, &self.action, lookahead);
+            while let Some((node, prod)) = queue.pop() {
+                let k = self.prods[prod as usize].rhs.len();
+                // All endpoints of length-k paths from `node`.
+                let mut endpoints: Vec<usize> = Vec::new();
+                let mut layer = vec![node];
+                for _ in 0..k {
+                    let mut next = Vec::new();
+                    for v in layer {
+                        next.extend_from_slice(&gss.edges[v]);
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    layer = next;
+                }
+                endpoints.extend(layer);
+                for u in endpoints {
+                    if !done.insert((node, prod, u)) {
+                        continue;
+                    }
+                    let lhs = self.prods[prod as usize].lhs;
+                    let Some(&target) = self.goto_nt[gss.states[u] as usize].get(&lhs) else {
+                        continue;
+                    };
+                    let w = match frontier.get(&target) {
+                        Some(&w) => {
+                            if !gss.edges[w].contains(&u) {
+                                gss.edges[w].push(u);
+                                edge_count += 1;
+                                // New path through an existing node: re-run
+                                // frontier reductions (Farshi's fix — needed
+                                // for ε-rules and hidden left recursion).
+                                enqueue_all(&frontier, &mut queue, &self.action, lookahead);
+                            }
+                            w
+                        }
+                        None => {
+                            let w = gss.push(target);
+                            gss.edges[w].push(u);
+                            edge_count += 1;
+                            frontier.insert(target, w);
+                            if let Some(acts) = self.action[target as usize].get(&lookahead) {
+                                for a in acts {
+                                    if let Action::Reduce(p) = a {
+                                        queue.push((w, *p));
+                                    }
+                                }
+                            }
+                            w
+                        }
+                    };
+                    let _ = w;
+                }
+            }
+
+            // ---- accept / shift phase ----
+            match lookahead {
+                None => {
+                    let accepted = frontier.keys().any(|&st| {
+                        self.action[st as usize]
+                            .get(&None)
+                            .is_some_and(|acts| acts.contains(&Action::Accept))
+                    });
+                    let stats =
+                        GlrStats { gss_nodes: gss.states.len(), gss_edges: edge_count };
+                    return (accepted, stats);
+                }
+                Some(t) => {
+                    let mut next: HashMap<u32, usize> = HashMap::new();
+                    for (&st, &node) in &frontier {
+                        if let Some(acts) = self.action[st as usize].get(&Some(t)) {
+                            for a in acts {
+                                if let Action::Shift(s) = a {
+                                    let w = *next
+                                        .entry(*s)
+                                        .or_insert_with(|| gss.push(*s));
+                                    if !gss.edges[w].contains(&node) {
+                                        gss.edges[w].push(node);
+                                        edge_count += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if next.is_empty() {
+                        let stats =
+                            GlrStats { gss_nodes: gss.states.len(), gss_edges: edge_count };
+                        return (false, stats);
+                    }
+                    frontier = next;
+                }
+            }
+        }
+        unreachable!("loop returns at EOF");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwd_grammar::CfgBuilder;
+
+    fn arith() -> GlrParser {
+        GlrParser::new(&pwd_grammar::grammars::arith::cfg())
+    }
+
+    #[test]
+    fn slr_arithmetic() {
+        let p = arith();
+        assert!(p.recognize_kinds(&["NUM", "+", "NUM", "*", "NUM"]).unwrap());
+        assert!(p.recognize_kinds(&["(", "NUM", "+", "NUM", ")", "*", "NUM"]).unwrap());
+        assert!(!p.recognize_kinds(&["NUM", "+"]).unwrap());
+        assert!(!p.recognize_kinds(&["(", "NUM"]).unwrap());
+        assert!(!p.recognize_kinds(&[]).unwrap());
+        // The arith grammar is SLR(1): no conflicts.
+        assert_eq!(p.conflicts(), (0, 0));
+    }
+
+    #[test]
+    fn ambiguous_expression_grammar() {
+        let p = GlrParser::new(&pwd_grammar::grammars::ambiguous::expr());
+        let (sr, _) = p.conflicts();
+        assert!(sr > 0, "E → E+E | E*E must have shift/reduce conflicts");
+        assert!(p.recognize_kinds(&["n", "+", "n", "*", "n"]).unwrap());
+        assert!(!p.recognize_kinds(&["n", "+", "*"]).unwrap());
+    }
+
+    #[test]
+    fn catalan_grammar() {
+        let p = GlrParser::new(&pwd_grammar::grammars::ambiguous::catalan());
+        for n in 1..8 {
+            let kinds: Vec<&str> = std::iter::repeat_n("a", n).collect();
+            assert!(p.recognize_kinds(&kinds).unwrap(), "n={n}");
+        }
+        assert!(!p.recognize_kinds(&[]).unwrap());
+    }
+
+    #[test]
+    fn epsilon_rules() {
+        let mut g = CfgBuilder::new("S");
+        g.terminals(&["a", "b"]);
+        g.rule("S", &["A", "B"]);
+        g.rule("A", &[]);
+        g.rule("A", &["a"]);
+        g.rule("B", &["b"]);
+        let p = GlrParser::new(&g.build().unwrap());
+        assert!(p.recognize_kinds(&["b"]).unwrap());
+        assert!(p.recognize_kinds(&["a", "b"]).unwrap());
+        assert!(!p.recognize_kinds(&["a"]).unwrap());
+    }
+
+    #[test]
+    fn hidden_left_recursion() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("b");
+        g.rule("S", &["A", "S", "b"]);
+        g.rule("S", &["b"]);
+        g.rule("A", &[]);
+        let p = GlrParser::new(&g.build().unwrap());
+        for n in 1..=6 {
+            let kinds: Vec<&str> = std::iter::repeat_n("b", n).collect();
+            assert!(p.recognize_kinds(&kinds).unwrap(), "n={n}");
+        }
+        assert!(!p.recognize_kinds(&[]).unwrap());
+    }
+
+    #[test]
+    fn python_module() {
+        let p = GlrParser::new(&pwd_grammar::grammars::python::cfg());
+        let src = "def f(x):\n    return x + 1\n\ny = f(41)\n";
+        let lexemes = pwd_lex::tokenize_python(src).unwrap();
+        assert!(p.recognize_lexemes(&lexemes).unwrap());
+        let bad = pwd_lex::tokenize_python("def f(:\n    pass\n").unwrap();
+        assert!(!p.recognize_lexemes(&bad).unwrap());
+    }
+
+    #[test]
+    fn unknown_kind_error() {
+        let p = arith();
+        let err = p.recognize_kinds(&["NUM", "WAT"]).unwrap_err();
+        assert_eq!(err.kind, "WAT");
+    }
+
+    #[test]
+    fn stats_populated() {
+        let p = arith();
+        let toks = p.kinds_to_tokens(&["NUM", "+", "NUM"]).unwrap();
+        let (ok, stats) = p.recognize_with_stats(&toks);
+        assert!(ok);
+        assert!(stats.gss_nodes > 0);
+        assert!(stats.gss_edges > 0);
+    }
+}

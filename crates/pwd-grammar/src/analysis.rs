@@ -1,0 +1,222 @@
+//! Classic grammar analyses: nullability, FIRST, FOLLOW, reachability.
+//!
+//! The Earley baseline uses the nullable set (for the ε-completion fix) and
+//! the GLR baseline builds SLR(1) tables from FIRST/FOLLOW. All are the
+//! standard worklist fixed points.
+
+use crate::cfg::{Cfg, Symbol};
+use std::collections::BTreeSet;
+
+/// Per-nonterminal boolean: does it derive ε?
+pub fn nullable_nonterminals(cfg: &Cfg) -> Vec<bool> {
+    let mut nullable = vec![false; cfg.nonterminal_count()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in cfg.productions() {
+            if nullable[p.lhs as usize] {
+                continue;
+            }
+            let all = p.rhs.iter().all(|s| match s {
+                Symbol::T(_) => false,
+                Symbol::N(n) => nullable[*n as usize],
+            });
+            if all {
+                nullable[p.lhs as usize] = true;
+                changed = true;
+            }
+        }
+    }
+    nullable
+}
+
+/// FIRST sets per nonterminal (sets of terminal indices; ε-membership is
+/// given by [`nullable_nonterminals`]).
+pub fn first_sets(cfg: &Cfg) -> Vec<BTreeSet<u32>> {
+    let nullable = nullable_nonterminals(cfg);
+    let mut first: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); cfg.nonterminal_count()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in cfg.productions() {
+            let lhs = p.lhs as usize;
+            for sym in &p.rhs {
+                match sym {
+                    Symbol::T(t) => {
+                        if first[lhs].insert(*t) {
+                            changed = true;
+                        }
+                        break;
+                    }
+                    Symbol::N(n) => {
+                        let add: Vec<u32> = first[*n as usize].iter().copied().collect();
+                        for t in add {
+                            if first[lhs].insert(t) {
+                                changed = true;
+                            }
+                        }
+                        if !nullable[*n as usize] {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    first
+}
+
+/// FIRST of a sentential-form suffix: `(terminals, derives_epsilon)`.
+pub fn first_of_seq(
+    cfg: &Cfg,
+    seq: &[Symbol],
+    nullable: &[bool],
+    first: &[BTreeSet<u32>],
+) -> (BTreeSet<u32>, bool) {
+    let _ = cfg;
+    let mut out = BTreeSet::new();
+    for sym in seq {
+        match sym {
+            Symbol::T(t) => {
+                out.insert(*t);
+                return (out, false);
+            }
+            Symbol::N(n) => {
+                out.extend(first[*n as usize].iter().copied());
+                if !nullable[*n as usize] {
+                    return (out, false);
+                }
+            }
+        }
+    }
+    (out, true)
+}
+
+/// FOLLOW sets per nonterminal. The start symbol's FOLLOW contains the
+/// end-of-input marker, represented as `None`; terminal indices as `Some`.
+pub fn follow_sets(cfg: &Cfg) -> Vec<BTreeSet<Option<u32>>> {
+    let nullable = nullable_nonterminals(cfg);
+    let first = first_sets(cfg);
+    let mut follow: Vec<BTreeSet<Option<u32>>> = vec![BTreeSet::new(); cfg.nonterminal_count()];
+    follow[cfg.start() as usize].insert(None);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in cfg.productions() {
+            for (i, sym) in p.rhs.iter().enumerate() {
+                let Symbol::N(n) = sym else { continue };
+                let n = *n as usize;
+                let (fst, eps) = first_of_seq(cfg, &p.rhs[i + 1..], &nullable, &first);
+                for t in fst {
+                    if follow[n].insert(Some(t)) {
+                        changed = true;
+                    }
+                }
+                if eps {
+                    let add: Vec<Option<u32>> =
+                        follow[p.lhs as usize].iter().copied().collect();
+                    for t in add {
+                        if follow[n].insert(t) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    follow
+}
+
+/// Nonterminals reachable from the start symbol.
+pub fn reachable_nonterminals(cfg: &Cfg) -> Vec<bool> {
+    let mut reach = vec![false; cfg.nonterminal_count()];
+    let mut stack = vec![cfg.start()];
+    reach[cfg.start() as usize] = true;
+    while let Some(n) = stack.pop() {
+        for &pi in cfg.productions_of(n) {
+            for sym in &cfg.productions()[pi].rhs {
+                if let Symbol::N(m) = sym {
+                    if !reach[*m as usize] {
+                        reach[*m as usize] = true;
+                        stack.push(*m);
+                    }
+                }
+            }
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::CfgBuilder;
+
+    fn sample() -> Cfg {
+        // S → A B, A → ε | 'a' A, B → 'b'
+        let mut g = CfgBuilder::new("S");
+        g.terminals(&["a", "b"]);
+        g.rule("S", &["A", "B"]);
+        g.rule("A", &[]);
+        g.rule("A", &["a", "A"]);
+        g.rule("B", &["b"]);
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn nullable_computation() {
+        let g = sample();
+        let n = nullable_nonterminals(&g);
+        let idx = |name: &str| g.nonterminal_index(name).unwrap() as usize;
+        assert!(!n[idx("S")], "S needs a b");
+        assert!(n[idx("A")]);
+        assert!(!n[idx("B")]);
+    }
+
+    #[test]
+    fn first_computation() {
+        let g = sample();
+        let first = first_sets(&g);
+        let idx = |name: &str| g.nonterminal_index(name).unwrap() as usize;
+        let t = |name: &str| g.terminal_index(name).unwrap();
+        assert!(first[idx("A")].contains(&t("a")));
+        assert!(first[idx("S")].contains(&t("a")), "via A");
+        assert!(first[idx("S")].contains(&t("b")), "A nullable, so b too");
+        assert!(!first[idx("B")].contains(&t("a")));
+    }
+
+    #[test]
+    fn follow_computation() {
+        let g = sample();
+        let follow = follow_sets(&g);
+        let idx = |name: &str| g.nonterminal_index(name).unwrap() as usize;
+        let t = |name: &str| g.terminal_index(name).unwrap();
+        assert!(follow[idx("S")].contains(&None), "start has EOF in FOLLOW");
+        assert!(follow[idx("A")].contains(&Some(t("b"))));
+        assert!(follow[idx("B")].contains(&None));
+    }
+
+    #[test]
+    fn reachability() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["a"]);
+        g.rule("Dead", &["a"]);
+        let g = g.build().unwrap();
+        let r = reachable_nonterminals(&g);
+        assert!(r[g.nonterminal_index("S").unwrap() as usize]);
+        assert!(!r[g.nonterminal_index("Dead").unwrap() as usize]);
+    }
+
+    #[test]
+    fn left_recursive_first_terminates() {
+        let mut g = CfgBuilder::new("E");
+        g.terminals(&["+", "n"]);
+        g.rule("E", &["E", "+", "E"]);
+        g.rule("E", &["n"]);
+        let g = g.build().unwrap();
+        let first = first_sets(&g);
+        assert!(first[0].contains(&g.terminal_index("n").unwrap()));
+        assert!(!first[0].contains(&g.terminal_index("+").unwrap()));
+    }
+}

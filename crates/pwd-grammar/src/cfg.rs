@@ -1,0 +1,372 @@
+//! Context-free grammar representation.
+//!
+//! The paper converts traditional CFG productions into nested parsing
+//! expressions (§2.5.1); this module is the "traditional CFG" side of that
+//! conversion, shared by the PWD compiler ([`crate::compile`]) and the
+//! Earley/GLR baselines (which, like Bison and `parser-tools/cfg-parser`,
+//! consume plain productions).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A grammar symbol: terminal or nonterminal, by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Symbol {
+    /// Terminal index (into [`Cfg::terminal_name`]).
+    T(u32),
+    /// Nonterminal index (into [`Cfg::nonterminal_name`]).
+    N(u32),
+}
+
+/// A production `lhs → rhs₀ rhs₁ …` (empty `rhs` = ε-production).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Production {
+    /// Nonterminal index of the left-hand side.
+    pub lhs: u32,
+    /// Right-hand side symbols, possibly empty.
+    pub rhs: Vec<Symbol>,
+}
+
+/// An immutable context-free grammar.
+///
+/// Build with [`CfgBuilder`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    terminals: Vec<String>,
+    nonterminals: Vec<String>,
+    productions: Vec<Production>,
+    by_lhs: Vec<Vec<usize>>,
+    start: u32,
+}
+
+/// Errors from grammar construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    /// A nonterminal is used but has no productions.
+    MissingProductions {
+        /// Name of the production-less nonterminal.
+        nonterminal: String,
+    },
+    /// The declared start symbol has no productions.
+    UndefinedStart {
+        /// The start symbol's name.
+        start: String,
+    },
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::MissingProductions { nonterminal } => {
+                write!(f, "nonterminal {nonterminal:?} has no productions")
+            }
+            CfgError::UndefinedStart { start } => {
+                write!(f, "start symbol {start:?} has no productions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+impl Cfg {
+    /// The start nonterminal's index.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Number of terminals.
+    pub fn terminal_count(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// Number of nonterminals.
+    pub fn nonterminal_count(&self) -> usize {
+        self.nonterminals.len()
+    }
+
+    /// Number of productions (the paper reports 722 for its Python CFG).
+    pub fn production_count(&self) -> usize {
+        self.productions.len()
+    }
+
+    /// Display name of a terminal.
+    pub fn terminal_name(&self, t: u32) -> &str {
+        &self.terminals[t as usize]
+    }
+
+    /// Display name of a nonterminal.
+    pub fn nonterminal_name(&self, n: u32) -> &str {
+        &self.nonterminals[n as usize]
+    }
+
+    /// Index of a terminal by name.
+    pub fn terminal_index(&self, name: &str) -> Option<u32> {
+        self.terminals.iter().position(|t| t == name).map(|i| i as u32)
+    }
+
+    /// Index of a nonterminal by name.
+    pub fn nonterminal_index(&self, name: &str) -> Option<u32> {
+        self.nonterminals.iter().position(|t| t == name).map(|i| i as u32)
+    }
+
+    /// All productions.
+    pub fn productions(&self) -> &[Production] {
+        &self.productions
+    }
+
+    /// Indices of the productions with the given left-hand side.
+    pub fn productions_of(&self, nt: u32) -> &[usize] {
+        &self.by_lhs[nt as usize]
+    }
+
+    /// Renders a production like `E → E "+" T`.
+    pub fn render_production(&self, p: &Production) -> String {
+        let mut s = format!("{} →", self.nonterminal_name(p.lhs));
+        if p.rhs.is_empty() {
+            s.push_str(" ε");
+        }
+        for sym in &p.rhs {
+            match sym {
+                Symbol::T(t) => s.push_str(&format!(" {:?}", self.terminal_name(*t))),
+                Symbol::N(n) => s.push_str(&format!(" {}", self.nonterminal_name(*n))),
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CFG: start {}, {} nonterminals, {} terminals, {} productions",
+            self.nonterminal_name(self.start),
+            self.nonterminals.len(),
+            self.terminals.len(),
+            self.productions.len()
+        )?;
+        for p in &self.productions {
+            writeln!(f, "  {}", self.render_production(p))?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Cfg`]. Terminals must be declared before use; any symbol in
+/// a rule body that is not a declared terminal becomes a nonterminal.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_grammar::CfgBuilder;
+///
+/// # fn main() -> Result<(), pwd_grammar::CfgError> {
+/// let mut g = CfgBuilder::new("E");
+/// g.terminals(&["+", "NUM"]);
+/// g.rule("E", &["E", "+", "T"]);
+/// g.rule("E", &["T"]);
+/// g.rule("T", &["NUM"]);
+/// let cfg = g.build()?;
+/// assert_eq!(cfg.production_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CfgBuilder {
+    start: String,
+    terminals: Vec<String>,
+    tmap: HashMap<String, u32>,
+    nonterminals: Vec<String>,
+    nmap: HashMap<String, u32>,
+    productions: Vec<Production>,
+}
+
+impl CfgBuilder {
+    /// Creates a builder with the given start nonterminal.
+    pub fn new(start: &str) -> CfgBuilder {
+        CfgBuilder {
+            start: start.to_string(),
+            terminals: Vec::new(),
+            tmap: HashMap::new(),
+            nonterminals: Vec::new(),
+            nmap: HashMap::new(),
+            productions: Vec::new(),
+        }
+    }
+
+    /// Declares one terminal.
+    pub fn terminal(&mut self, name: &str) -> &mut Self {
+        if !self.tmap.contains_key(name) {
+            let id = self.terminals.len() as u32;
+            self.terminals.push(name.to_string());
+            self.tmap.insert(name.to_string(), id);
+        }
+        self
+    }
+
+    /// Declares several terminals.
+    pub fn terminals(&mut self, names: &[&str]) -> &mut Self {
+        for n in names {
+            self.terminal(n);
+        }
+        self
+    }
+
+    fn nonterminal(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.nmap.get(name) {
+            return id;
+        }
+        let id = self.nonterminals.len() as u32;
+        self.nonterminals.push(name.to_string());
+        self.nmap.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds a production. Symbols naming declared terminals are terminals;
+    /// everything else is a nonterminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lhs` was declared as a terminal.
+    pub fn rule(&mut self, lhs: &str, rhs: &[&str]) -> &mut Self {
+        assert!(
+            !self.tmap.contains_key(lhs),
+            "rule head {lhs:?} was declared as a terminal"
+        );
+        let lhs = self.nonterminal(lhs);
+        let rhs = rhs
+            .iter()
+            .map(|s| match self.tmap.get(*s) {
+                Some(&t) => Symbol::T(t),
+                None => Symbol::N(self.nonterminal(s)),
+            })
+            .collect();
+        self.productions.push(Production { lhs, rhs });
+        self
+    }
+
+    /// Adds several productions for one nonterminal (one per alternative).
+    pub fn rules(&mut self, lhs: &str, alternatives: &[&[&str]]) -> &mut Self {
+        for alt in alternatives {
+            self.rule(lhs, alt);
+        }
+        self
+    }
+
+    /// Finalizes the grammar.
+    ///
+    /// # Errors
+    ///
+    /// [`CfgError::UndefinedStart`] if the start symbol has no productions;
+    /// [`CfgError::MissingProductions`] if any referenced nonterminal has no
+    /// productions.
+    pub fn build(self) -> Result<Cfg, CfgError> {
+        let Some(&start) = self.nmap.get(&self.start) else {
+            return Err(CfgError::UndefinedStart { start: self.start });
+        };
+        let mut by_lhs: Vec<Vec<usize>> = vec![Vec::new(); self.nonterminals.len()];
+        for (i, p) in self.productions.iter().enumerate() {
+            by_lhs[p.lhs as usize].push(i);
+        }
+        for (i, prods) in by_lhs.iter().enumerate() {
+            if prods.is_empty() {
+                return Err(CfgError::MissingProductions {
+                    nonterminal: self.nonterminals[i].clone(),
+                });
+            }
+        }
+        Ok(Cfg {
+            terminals: self.terminals,
+            nonterminals: self.nonterminals,
+            productions: self.productions,
+            by_lhs,
+            start,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arith() -> Cfg {
+        let mut g = CfgBuilder::new("E");
+        g.terminals(&["+", "*", "(", ")", "NUM"]);
+        g.rule("E", &["E", "+", "T"]);
+        g.rule("E", &["T"]);
+        g.rule("T", &["T", "*", "F"]);
+        g.rule("T", &["F"]);
+        g.rule("F", &["(", "E", ")"]);
+        g.rule("F", &["NUM"]);
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let g = arith();
+        assert_eq!(g.production_count(), 6);
+        assert_eq!(g.nonterminal_count(), 3);
+        assert_eq!(g.terminal_count(), 5);
+        assert_eq!(g.nonterminal_name(g.start()), "E");
+        assert_eq!(g.terminal_index("NUM"), Some(4));
+        assert_eq!(g.productions_of(g.start()).len(), 2);
+    }
+
+    #[test]
+    fn epsilon_productions_allowed() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &[]);
+        g.rule("S", &["a", "S"]);
+        let g = g.build().unwrap();
+        assert!(g.productions()[0].rhs.is_empty());
+    }
+
+    #[test]
+    fn missing_productions_error() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["Undefined", "a"]);
+        match g.build() {
+            Err(CfgError::MissingProductions { nonterminal }) => {
+                assert_eq!(nonterminal, "Undefined");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_start_error() {
+        let g = CfgBuilder::new("S");
+        assert!(matches!(g.build(), Err(CfgError::UndefinedStart { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "declared as a terminal")]
+    fn terminal_as_lhs_panics() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("a", &[]);
+    }
+
+    #[test]
+    fn rules_helper() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rules("S", &[&["a"], &["S", "S"]]);
+        let g = g.build().unwrap();
+        assert_eq!(g.production_count(), 2);
+    }
+
+    #[test]
+    fn render_production_shows_epsilon() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &[]);
+        g.rule("S", &["a"]);
+        let g = g.build().unwrap();
+        assert!(g.render_production(&g.productions()[0]).contains('ε'));
+        assert!(g.to_string().contains("2 productions"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Compiling a [`Cfg`] into a PWD expression graph (§2.5.1).
+//!
+//! Each production `N ::= X₁ … Xₖ` becomes the nested concatenation
+//! `X₁ ◦ (X₂ ◦ (… ◦ Xₖ))` wrapped in a reduction that flattens the pair
+//! spine into a labeled AST node `(N X₁ … Xₖ)`; a nonterminal's
+//! alternatives are joined with `∪`, and nonterminal references become
+//! direct pointers into the (cyclic) graph via `forward`/`define`.
+
+use crate::cfg::{Cfg, Symbol};
+use pwd_core::{Language, NodeId, ParserConfig, PwdError, Reduce, TermId, Token, Tree};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A grammar compiled into a [`Language`], ready to parse token streams.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The underlying PWD engine; exposed for metrics, reset, and advanced
+    /// use.
+    pub lang: Language,
+    /// The start node.
+    pub start: NodeId,
+    term_ids: Vec<TermId>,
+    term_by_name: HashMap<String, TermId>,
+}
+
+/// Error produced when a token kind is not a terminal of the grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTerminal {
+    /// The unknown kind.
+    pub kind: String,
+    /// Index in the input lexeme stream.
+    pub position: usize,
+}
+
+impl fmt::Display for UnknownTerminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lexeme {} has kind {:?}, which is not a terminal of this grammar",
+            self.position, self.kind
+        )
+    }
+}
+
+impl std::error::Error for UnknownTerminal {}
+
+impl Compiled {
+    /// Compiles a grammar with the given engine configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pwd_grammar::{CfgBuilder, Compiled};
+    /// use pwd_core::ParserConfig;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut g = CfgBuilder::new("S");
+    /// g.terminal("a");
+    /// g.rule("S", &["a", "S"]);
+    /// g.rule("S", &[]);
+    /// let mut c = Compiled::compile(&g.build()?, ParserConfig::improved());
+    /// let toks = vec![c.token("a", "a").unwrap(); 3];
+    /// assert!(c.lang.recognize(c.start, &toks)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compile(cfg: &Cfg, config: ParserConfig) -> Compiled {
+        let mut lang = Language::new(config);
+        let term_ids: Vec<TermId> =
+            (0..cfg.terminal_count()).map(|t| lang.terminal(cfg.terminal_name(t as u32))).collect();
+        let term_by_name: HashMap<String, TermId> = (0..cfg.terminal_count())
+            .map(|t| (cfg.terminal_name(t as u32).to_string(), term_ids[t]))
+            .collect();
+
+        // Forward-declare every nonterminal so cycles resolve.
+        let nts: Vec<NodeId> = (0..cfg.nonterminal_count())
+            .map(|n| {
+                let f = lang.forward();
+                lang.set_label(f, cfg.nonterminal_name(n as u32));
+                f
+            })
+            .collect();
+
+        for (n, &fwd) in nts.iter().enumerate() {
+            let mut alternatives: Vec<NodeId> = Vec::new();
+            for &pi in cfg.productions_of(n as u32) {
+                let p = &cfg.productions()[pi];
+                let parts: Vec<NodeId> = p
+                    .rhs
+                    .iter()
+                    .map(|s| match s {
+                        Symbol::T(t) => lang.term_node(term_ids[*t as usize]),
+                        Symbol::N(m) => nts[*m as usize],
+                    })
+                    .collect();
+                let body = lang.seq(&parts);
+                let name = cfg.nonterminal_name(p.lhs).to_string();
+                let arity = parts.len();
+                let node = lang.reduce(
+                    body,
+                    Reduce::func(&format!("{name}#{pi}"), move |t| flatten(t, arity, &name)),
+                );
+                alternatives.push(node);
+            }
+            let body = lang.alts(&alternatives);
+            lang.define(fwd, body);
+        }
+
+        let start = nts[cfg.start() as usize];
+        Compiled { lang, start, term_ids, term_by_name }
+    }
+
+    /// Creates a token of the named terminal kind, or `None` if the kind is
+    /// not part of this grammar.
+    pub fn token(&mut self, kind: &str, lexeme: &str) -> Option<Token> {
+        let id = *self.term_by_name.get(kind)?;
+        Some(self.lang.token(id, lexeme))
+    }
+
+    /// The engine terminal for a CFG terminal index.
+    pub fn term_id(&self, t: u32) -> TermId {
+        self.term_ids[t as usize]
+    }
+
+    /// Converts a lexer output stream into engine tokens.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownTerminal`] if a lexeme kind is not a grammar terminal.
+    pub fn tokens_from_lexemes(
+        &mut self,
+        lexemes: &[pwd_lex::Lexeme],
+    ) -> Result<Vec<Token>, UnknownTerminal> {
+        lexemes
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                self.token(&l.kind, &l.text).ok_or_else(|| UnknownTerminal {
+                    kind: l.kind.clone(),
+                    position: i,
+                })
+            })
+            .collect()
+    }
+
+    /// Convenience: recognize a lexeme stream.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors from [`Language::recognize`]; unknown terminals are
+    /// reported as `Ok(false)` would be wrong, so they surface as
+    /// [`PwdError::Rejected`] at the offending position.
+    pub fn recognize_lexemes(&mut self, lexemes: &[pwd_lex::Lexeme]) -> Result<bool, PwdError> {
+        match self.tokens_from_lexemes(lexemes) {
+            Ok(toks) => self.lang.recognize(self.start, &toks),
+            Err(e) => Err(PwdError::Rejected { position: e.position, token: None }),
+        }
+    }
+}
+
+/// Flattens the right-nested pair spine of a production body into a labeled
+/// node: `(t1 . (t2 . t3))` with arity 3 becomes `(N t1 t2 t3)`.
+fn flatten(t: Tree, arity: usize, name: &str) -> Tree {
+    if arity == 0 {
+        return Tree::node(name, vec![]);
+    }
+    let mut kids = Vec::with_capacity(arity);
+    let mut cur = t;
+    for _ in 0..arity.saturating_sub(1) {
+        match cur {
+            Tree::Pair(a, b) => {
+                kids.push((*a).clone());
+                cur = (*b).clone();
+            }
+            other => {
+                cur = other;
+                break;
+            }
+        }
+    }
+    kids.push(cur);
+    Tree::node(name, kids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::CfgBuilder;
+    use pwd_core::EnumLimits;
+
+    fn arith() -> Cfg {
+        let mut g = CfgBuilder::new("E");
+        g.terminals(&["+", "*", "(", ")", "NUM"]);
+        g.rule("E", &["E", "+", "T"]);
+        g.rule("E", &["T"]);
+        g.rule("T", &["T", "*", "F"]);
+        g.rule("T", &["F"]);
+        g.rule("F", &["(", "E", ")"]);
+        g.rule("F", &["NUM"]);
+        g.build().unwrap()
+    }
+
+    fn toks(c: &mut Compiled, spec: &str) -> Vec<Token> {
+        // spec: space-separated "kind" or "kind:lexeme"
+        spec.split_whitespace()
+            .map(|s| {
+                let (kind, lex) = match s.split_once(':') {
+                    Some((k, l)) => (k, l),
+                    None => (s, s),
+                };
+                c.token(kind, lex).unwrap_or_else(|| panic!("unknown terminal {kind}"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_recognition() {
+        let mut c = Compiled::compile(&arith(), ParserConfig::improved());
+        let good = toks(&mut c, "NUM:1 + NUM:2 * NUM:3");
+        assert!(c.lang.recognize(c.start, &good).unwrap());
+        c.lang.reset();
+        let bad = toks(&mut c, "NUM:1 + *");
+        assert!(!c.lang.recognize(c.start, &bad).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_tree_respects_precedence() {
+        let mut c = Compiled::compile(&arith(), ParserConfig::improved());
+        let input = toks(&mut c, "NUM:1 + NUM:2 * NUM:3");
+        let start = c.start;
+        let tree = c.lang.parse_unique(start, &input).unwrap().expect("unambiguous");
+        // E → E + T with the T containing the multiplication.
+        let s = tree.to_string();
+        assert_eq!(s, "(E (E (T (F 1))) + (T (T (F 2)) * (F 3)))");
+    }
+
+    #[test]
+    fn epsilon_productions_compile() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["a", "S"]);
+        g.rule("S", &[]);
+        let mut c = Compiled::compile(&g.build().unwrap(), ParserConfig::improved());
+        let start = c.start;
+        let empty: Vec<Token> = Vec::new();
+        assert!(c.lang.recognize(start, &empty).unwrap());
+        c.lang.reset();
+        let input = toks(&mut c, "a a a");
+        let tree = c.lang.parse_unique(start, &input).unwrap().expect("unambiguous");
+        assert_eq!(tree.to_string(), "(S a (S a (S a (S))))");
+    }
+
+    #[test]
+    fn ambiguous_grammar_counts() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["S", "S"]);
+        g.rule("S", &["a"]);
+        let mut c = Compiled::compile(&g.build().unwrap(), ParserConfig::improved());
+        let start = c.start;
+        let input = toks(&mut c, "a a a a");
+        assert_eq!(c.lang.count_parses(start, &input).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn ambiguous_trees_are_distinct(){
+        let mut g = CfgBuilder::new("E");
+        g.terminals(&["+", "n"]);
+        g.rule("E", &["E", "+", "E"]);
+        g.rule("E", &["n"]);
+        let mut c = Compiled::compile(&g.build().unwrap(), ParserConfig::improved());
+        let start = c.start;
+        let input = toks(&mut c, "n + n + n");
+        let trees = c
+            .lang
+            .parse_trees(start, &input, EnumLimits::default())
+            .unwrap();
+        assert_eq!(trees.len(), 2, "left- and right-association");
+        let strs: std::collections::HashSet<String> =
+            trees.iter().map(|t| t.to_string()).collect();
+        assert_eq!(strs.len(), 2);
+    }
+
+    #[test]
+    fn unknown_terminal_reported() {
+        let mut c = Compiled::compile(&arith(), ParserConfig::improved());
+        assert!(c.token("NOPE", "x").is_none());
+        let lexemes = vec![pwd_lex::Lexeme { kind: "NOPE".into(), text: "x".into(), offset: 0 }];
+        let err = c.tokens_from_lexemes(&lexemes).unwrap_err();
+        assert_eq!(err.kind, "NOPE");
+        assert_eq!(err.position, 0);
+    }
+
+    #[test]
+    fn lexer_to_parser_pipeline() {
+        let lexer = pwd_lex::LexerBuilder::new()
+            .rule("NUM", r"[0-9]+")
+            .unwrap()
+            .rule("+", r"\+")
+            .unwrap()
+            .rule("*", r"\*")
+            .unwrap()
+            .rule("(", r"\(")
+            .unwrap()
+            .rule(")", r"\)")
+            .unwrap()
+            .skip("WS", r" +")
+            .unwrap()
+            .build();
+        let lexemes = lexer.tokenize("(1 + 2) * 3").unwrap();
+        let mut c = Compiled::compile(&arith(), ParserConfig::improved());
+        assert!(c.recognize_lexemes(&lexemes).unwrap());
+    }
+}

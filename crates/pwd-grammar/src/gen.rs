@@ -1,0 +1,291 @@
+//! Workload generators: the synthetic stand-in for the paper's corpus.
+//!
+//! The paper benchmarks on the 663 files of the Python 3.4.3 Standard
+//! Library, up to 26,125 tokens each (§4.1). We cannot redistribute that
+//! corpus, so [`python_source`] generates realistic Python-like modules at a
+//! requested token count: nested function/class definitions, control flow,
+//! and expression statements with call/attribute/subscript trailers — the
+//! constructs that dominate real Python token streams. Generators for the
+//! other corpus grammars ([`arith_source`], [`json_source`],
+//! [`ambiguous_input`]) support the complexity sweeps.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a Python-like module of roughly `target_tokens` tokens
+/// (within ~15% above; the generator appends whole top-level items).
+///
+/// Deterministic in `seed`.
+pub fn python_source(target_tokens: usize, seed: u64) -> String {
+    let mut g = PyGen { rng: StdRng::seed_from_u64(seed), names: 0 };
+    let mut out = String::new();
+    let mut emitted = 0usize;
+    while emitted < target_tokens {
+        let item = g.top_level_item();
+        // Fast token estimate: words + punctuation; exact enough to stop
+        // near the target (callers re-tokenize for exact counts).
+        emitted += estimate_tokens(&item);
+        out.push_str(&item);
+        out.push('\n');
+    }
+    out
+}
+
+fn estimate_tokens(s: &str) -> usize {
+    s.split_whitespace().map(|w| 1 + w.chars().filter(|c| "()[]{},.:".contains(*c)).count()).sum()
+}
+
+struct PyGen {
+    rng: StdRng,
+    names: usize,
+}
+
+impl PyGen {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.names += 1;
+        format!("{prefix}{}", self.names)
+    }
+
+    fn name(&mut self) -> String {
+        const POOL: &[&str] = &[
+            "x", "y", "z", "data", "item", "count", "total", "result", "value", "node", "key",
+            "acc", "idx", "obj", "buf",
+        ];
+        // Mix a hot pool (like real code's `self`, `i`, …) with a long tail
+        // of distinct identifiers, approximating the lexeme diversity of the
+        // paper's Python Standard Library corpus.
+        if self.rng.random_bool(0.4) {
+            POOL[self.rng.random_range(0..POOL.len())].to_string()
+        } else {
+            format!("{}{}", POOL[self.rng.random_range(0..POOL.len())], self.rng.random_range(0..500u32))
+        }
+    }
+
+    fn number(&mut self) -> String {
+        self.rng.random_range(0..100_000u32).to_string()
+    }
+
+    fn top_level_item(&mut self) -> String {
+        match self.rng.random_range(0..12u32) {
+            0..=3 => self.funcdef(0),
+            4..=5 => self.classdef(0),
+            6 => format!("import {}\n", self.fresh("mod")),
+            7 => format!("@{}\n{}", self.name(), self.funcdef(0)),
+            _ => self.statement(0),
+        }
+    }
+
+    fn funcdef(&mut self, indent: usize) -> String {
+        let pad = "    ".repeat(indent);
+        let name = self.fresh("fn");
+        let nparams = self.rng.random_range(0..4usize);
+        let params: Vec<String> = (0..nparams)
+            .map(|i| {
+                let p = format!("p{i}");
+                if self.rng.random_range(0..3u32) == 0 {
+                    format!("{p}={}", self.number())
+                } else {
+                    p
+                }
+            })
+            .collect();
+        let mut body = format!("{pad}def {name}({}):\n", params.join(", "));
+        let n = self.rng.random_range(1..5usize);
+        for _ in 0..n {
+            body.push_str(&self.statement(indent + 1));
+        }
+        body.push_str(&format!("{}return {}\n", "    ".repeat(indent + 1), self.expr(2)));
+        body
+    }
+
+    fn classdef(&mut self, indent: usize) -> String {
+        let pad = "    ".repeat(indent);
+        let name = self.fresh("Cls");
+        let mut body = format!("{pad}class {name}:\n");
+        let n = self.rng.random_range(1..4usize);
+        for _ in 0..n {
+            body.push_str(&self.funcdef(indent + 1));
+        }
+        body
+    }
+
+    fn statement(&mut self, indent: usize) -> String {
+        let pad = "    ".repeat(indent);
+        match self.rng.random_range(0..12u32) {
+            0..=4 => format!("{pad}{} = {}\n", self.name(), self.expr(3)),
+            5 => format!("{pad}{} += {}\n", self.name(), self.expr(2)),
+            6 => {
+                let mut s = format!("{pad}if {}:\n", self.expr(2));
+                s.push_str(&self.statement(indent + 1));
+                if self.rng.random_bool(0.4) {
+                    s.push_str(&format!("{pad}else:\n"));
+                    s.push_str(&self.statement(indent + 1));
+                }
+                s
+            }
+            7 => {
+                let mut s = format!(
+                    "{pad}for {} in range({}):\n",
+                    self.name(),
+                    self.number()
+                );
+                s.push_str(&self.statement(indent + 1));
+                s
+            }
+            8 => {
+                let mut s = format!("{pad}while {} < {}:\n", self.name(), self.number());
+                s.push_str(&self.statement(indent + 1));
+                s
+            }
+            9 => format!("{pad}print({})\n", self.expr(2)),
+            10 => format!("{pad}assert {}, \"invariant\"\n", self.expr(2)),
+            _ => format!("{pad}pass\n"),
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 {
+            return match self.rng.random_range(0..4u32) {
+                0 => self.number(),
+                1 => format!("\"s{}\"", self.rng.random_range(0..50u32)),
+                2 => "None".to_string(),
+                _ => self.name(),
+            };
+        }
+        match self.rng.random_range(0..10u32) {
+            0..=3 => {
+                let op = ["+", "-", "*", "//", "%"][self.rng.random_range(0..5usize)];
+                format!("{} {op} {}", self.expr(depth - 1), self.expr(depth - 1))
+            }
+            4 => {
+                let op = ["==", "!=", "<", ">", "<=", ">="][self.rng.random_range(0..6usize)];
+                format!("{} {op} {}", self.expr(depth - 1), self.expr(depth - 1))
+            }
+            5 => format!("{}.{}({})", self.name(), self.name(), self.expr(depth - 1)),
+            6 => format!("{}[{}]", self.name(), self.expr(depth - 1)),
+            7 => format!("({})", self.expr(depth - 1)),
+            8 => format!("[{}, {}]", self.expr(depth - 1), self.expr(depth - 1)),
+            _ => format!("{}({})", self.name(), self.expr(depth - 1)),
+        }
+    }
+}
+
+/// Generates a random arithmetic expression (for the `arith` grammar) with
+/// roughly `target_tokens` tokens.
+pub fn arith_source(target_tokens: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    let mut tokens = 1;
+    out.push_str(&rng.random_range(0..100u32).to_string());
+    while tokens + 2 <= target_tokens {
+        let op = ["+", "-", "*", "/"][rng.random_range(0..4usize)];
+        // Occasionally parenthesize a sub-expression for nesting.
+        if rng.random_bool(0.15) && tokens + 4 <= target_tokens {
+            out = format!("({out})");
+            tokens += 2;
+        }
+        out.push_str(op);
+        out.push_str(&rng.random_range(0..100u32).to_string());
+        tokens += 2;
+    }
+    out
+}
+
+/// Generates a JSON document (for the `json` grammar) with roughly
+/// `target_tokens` tokens.
+pub fn json_source(target_tokens: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut budget = target_tokens as isize;
+    json_value(&mut rng, 4, &mut budget)
+}
+
+fn json_value(rng: &mut StdRng, depth: usize, budget: &mut isize) -> String {
+    *budget -= 1;
+    if depth == 0 || *budget <= 2 {
+        return match rng.random_range(0..4u32) {
+            0 => format!("\"k{}\"", rng.random_range(0..100u32)),
+            1 => rng.random_range(0..1000u32).to_string(),
+            2 => "true".to_string(),
+            _ => "null".to_string(),
+        };
+    }
+    if rng.random_bool(0.5) {
+        let n = rng.random_range(1..5usize);
+        let items: Vec<String> = (0..n)
+            .map(|i| {
+                *budget -= 3;
+                format!("\"f{i}\": {}", json_value(rng, depth - 1, budget))
+            })
+            .collect();
+        format!("{{{}}}", items.join(", "))
+    } else {
+        let n = rng.random_range(1..5usize);
+        let items: Vec<String> =
+            (0..n).map(|_| {
+                *budget -= 1;
+                json_value(rng, depth - 1, budget)
+            }).collect();
+        format!("[{}]", items.join(", "))
+    }
+}
+
+/// The input `aⁿ` for the ambiguous grammars.
+pub fn ambiguous_input(n: usize) -> String {
+    "a".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiled;
+    use crate::grammars;
+    use pwd_core::ParserConfig;
+
+    #[test]
+    fn python_generator_is_deterministic() {
+        assert_eq!(python_source(200, 7), python_source(200, 7));
+        assert_ne!(python_source(200, 7), python_source(200, 8));
+    }
+
+    #[test]
+    fn python_generator_tokenizes_and_parses() {
+        let src = python_source(300, 42);
+        let lexemes = pwd_lex::tokenize_python(&src)
+            .unwrap_or_else(|e| panic!("generated source must tokenize: {e}\n{src}"));
+        assert!(lexemes.len() >= 200, "got {} tokens", lexemes.len());
+        let mut c = Compiled::compile(&grammars::python::cfg(), ParserConfig::improved());
+        assert!(
+            c.recognize_lexemes(&lexemes).unwrap(),
+            "generated source must parse:\n{src}"
+        );
+    }
+
+    #[test]
+    fn python_generator_scales_with_target() {
+        let small = pwd_lex::tokenize_python(&python_source(100, 1)).unwrap().len();
+        let large = pwd_lex::tokenize_python(&python_source(2000, 1)).unwrap().len();
+        assert!(large > small * 5, "small={small} large={large}");
+    }
+
+    #[test]
+    fn arith_generator_parses() {
+        let src = arith_source(99, 3);
+        let lexemes = grammars::arith::lexer().tokenize(&src).unwrap();
+        let mut c = Compiled::compile(&grammars::arith::cfg(), ParserConfig::improved());
+        assert!(c.recognize_lexemes(&lexemes).unwrap(), "{src}");
+    }
+
+    #[test]
+    fn json_generator_parses() {
+        let src = json_source(150, 5);
+        let lexemes = grammars::json::lexer().tokenize(&src).unwrap();
+        let mut c = Compiled::compile(&grammars::json::cfg(), ParserConfig::improved());
+        assert!(c.recognize_lexemes(&lexemes).unwrap(), "{src}");
+    }
+
+    #[test]
+    fn ambiguous_input_shape() {
+        assert_eq!(ambiguous_input(3), "aaa");
+        assert_eq!(ambiguous_input(0), "");
+    }
+}

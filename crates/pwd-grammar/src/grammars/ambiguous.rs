@@ -1,0 +1,77 @@
+//! Highly ambiguous grammars used by the paper's complexity discussion
+//! (§3.1 mentions `S → S S | a | b` exploding without ambiguity nodes).
+
+use crate::cfg::{Cfg, CfgBuilder};
+
+/// `S → S S | a`: `aⁿ` has Catalan(n−1) parses.
+pub fn catalan() -> Cfg {
+    let mut g = CfgBuilder::new("S");
+    g.terminal("a");
+    g.rule("S", &["S", "S"]);
+    g.rule("S", &["a"]);
+    g.build().expect("well-formed")
+}
+
+/// The paper's §3.1 grammar `S → S S | a | b`, exponential without
+/// ambiguity nodes.
+pub fn catalan_ab() -> Cfg {
+    let mut g = CfgBuilder::new("S");
+    g.terminals(&["a", "b"]);
+    g.rule("S", &["S", "S"]);
+    g.rule("S", &["a"]);
+    g.rule("S", &["b"]);
+    g.build().expect("well-formed")
+}
+
+/// Doubly ambiguous expressions: `E → E + E | E * E | n`.
+pub fn expr() -> Cfg {
+    let mut g = CfgBuilder::new("E");
+    g.terminals(&["+", "*", "n"]);
+    g.rule("E", &["E", "+", "E"]);
+    g.rule("E", &["E", "*", "E"]);
+    g.rule("E", &["n"]);
+    g.build().expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiled;
+    use pwd_core::ParserConfig;
+
+    #[test]
+    fn catalan_counts() {
+        let mut c = Compiled::compile(&catalan(), ParserConfig::improved());
+        let catalan_numbers = [1u128, 1, 2, 5, 14, 42, 132];
+        for n in 1..=7usize {
+            let toks: Vec<_> = (0..n).map(|_| c.token("a", "a").unwrap()).collect();
+            let start = c.start;
+            assert_eq!(
+                c.lang.count_parses(start, &toks).unwrap(),
+                Some(catalan_numbers[n - 1]),
+                "n={n}"
+            );
+            c.lang.reset();
+        }
+    }
+
+    #[test]
+    fn expr_ambiguity_grows() {
+        let mut c = Compiled::compile(&expr(), ParserConfig::improved());
+        // n + n * n has 2 parses; n+n*n+n has 5 (Catalan(3)).
+        let mk = |c: &mut Compiled, ops: &[&str]| {
+            let mut toks = vec![c.token("n", "n").unwrap()];
+            for op in ops {
+                toks.push(c.token(op, op).unwrap());
+                toks.push(c.token("n", "n").unwrap());
+            }
+            toks
+        };
+        let t2 = mk(&mut c, &["+", "*"]);
+        let start = c.start;
+        assert_eq!(c.lang.count_parses(start, &t2).unwrap(), Some(2));
+        c.lang.reset();
+        let t3 = mk(&mut c, &["+", "*", "+"]);
+        assert_eq!(c.lang.count_parses(start, &t3).unwrap(), Some(5));
+    }
+}

@@ -1,0 +1,75 @@
+//! Unambiguous, left-recursive arithmetic expressions.
+
+use crate::cfg::{Cfg, CfgBuilder};
+
+/// `E → E + T | E - T | T`, `T → T * F | T / F | F`,
+/// `F → ( E ) | NUM | - F`.
+///
+/// Left recursion encodes left associativity; PWD handles it natively.
+pub fn cfg() -> Cfg {
+    let mut g = CfgBuilder::new("E");
+    g.terminals(&["+", "-", "*", "/", "(", ")", "NUM"]);
+    g.rule("E", &["E", "+", "T"]);
+    g.rule("E", &["E", "-", "T"]);
+    g.rule("E", &["T"]);
+    g.rule("T", &["T", "*", "F"]);
+    g.rule("T", &["T", "/", "F"]);
+    g.rule("T", &["F"]);
+    g.rule("F", &["(", "E", ")"]);
+    g.rule("F", &["NUM"]);
+    g.rule("F", &["-", "F"]);
+    g.build().expect("arith grammar is well-formed")
+}
+
+/// A lexer matching the grammar's terminals.
+pub fn lexer() -> pwd_lex::Lexer {
+    pwd_lex::LexerBuilder::new()
+        .rule("NUM", r"[0-9]+")
+        .expect("static pattern")
+        .rule("+", r"\+")
+        .expect("static pattern")
+        .rule("-", r"-")
+        .expect("static pattern")
+        .rule("*", r"\*")
+        .expect("static pattern")
+        .rule("/", r"/")
+        .expect("static pattern")
+        .rule("(", r"\(")
+        .expect("static pattern")
+        .rule(")", r"\)")
+        .expect("static pattern")
+        .skip("WS", r"[ \t\n]+")
+        .expect("static pattern")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiled;
+    use pwd_core::ParserConfig;
+
+    #[test]
+    fn grammar_builds() {
+        let g = cfg();
+        assert_eq!(g.production_count(), 9);
+    }
+
+    #[test]
+    fn parses_via_lexer() {
+        let mut c = Compiled::compile(&cfg(), ParserConfig::improved());
+        let lx = lexer();
+        for (src, want) in [
+            ("1+2*3", true),
+            ("(1+2)*3", true),
+            ("-(4/2)-1", true),
+            ("1++2", false), // '+' is binary-only except unary minus
+            ("()", false),
+            ("1+", false),
+        ] {
+            let lexemes = lx.tokenize(src).unwrap();
+            assert_eq!(c.recognize_lexemes(&lexemes).unwrap(), want, "{src}");
+            c.lang.reset();
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! A JSON grammar (unambiguous, realistic nesting).
+
+use crate::cfg::{Cfg, CfgBuilder};
+
+/// JSON values: objects, arrays, strings, numbers, `true`/`false`/`null`.
+pub fn cfg() -> Cfg {
+    let mut g = CfgBuilder::new("Value");
+    g.terminals(&["{", "}", "[", "]", ",", ":", "STRING", "NUMBER", "true", "false", "null"]);
+    g.rule("Value", &["Object"]);
+    g.rule("Value", &["Array"]);
+    g.rule("Value", &["STRING"]);
+    g.rule("Value", &["NUMBER"]);
+    g.rule("Value", &["true"]);
+    g.rule("Value", &["false"]);
+    g.rule("Value", &["null"]);
+    g.rule("Object", &["{", "}"]);
+    g.rule("Object", &["{", "Members", "}"]);
+    g.rule("Members", &["Pair"]);
+    g.rule("Members", &["Pair", ",", "Members"]);
+    g.rule("Pair", &["STRING", ":", "Value"]);
+    g.rule("Array", &["[", "]"]);
+    g.rule("Array", &["[", "Elements", "]"]);
+    g.rule("Elements", &["Value"]);
+    g.rule("Elements", &["Value", ",", "Elements"]);
+    g.build().expect("json grammar is well-formed")
+}
+
+/// A lexer matching the grammar's terminals.
+pub fn lexer() -> pwd_lex::Lexer {
+    pwd_lex::LexerBuilder::new()
+        .rule("true", "true")
+        .expect("static pattern")
+        .rule("false", "false")
+        .expect("static pattern")
+        .rule("null", "null")
+        .expect("static pattern")
+        .rule("STRING", r#""([^"\\]|\\.)*""#)
+        .expect("static pattern")
+        .rule("NUMBER", r"-?[0-9]+(\.[0-9]+)?([eE](\+|-)?[0-9]+)?")
+        .expect("static pattern")
+        .rule("{", r"\{")
+        .expect("static pattern")
+        .rule("}", r"\}")
+        .expect("static pattern")
+        .rule("[", r"\[")
+        .expect("static pattern")
+        .rule("]", r"\]")
+        .expect("static pattern")
+        .rule(",", ",")
+        .expect("static pattern")
+        .rule(":", ":")
+        .expect("static pattern")
+        .skip("WS", r"[ \t\r\n]+")
+        .expect("static pattern")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiled;
+    use pwd_core::ParserConfig;
+
+    #[test]
+    fn parses_json_documents() {
+        let mut c = Compiled::compile(&cfg(), ParserConfig::improved());
+        let lx = lexer();
+        for (src, want) in [
+            (r#"{}"#, true),
+            (r#"{"a": 1, "b": [true, null, -2.5e3]}"#, true),
+            (r#"[[[]]]"#, true),
+            (r#"{"nested": {"deep": {"x": "y"}}}"#, true),
+            (r#"{,}"#, false),
+            (r#"[1, ]"#, false),
+            (r#"{"a" 1}"#, false),
+        ] {
+            let lexemes = lx.tokenize(src).unwrap();
+            assert_eq!(c.recognize_lexemes(&lexemes).unwrap(), want, "{src}");
+            c.lang.reset();
+        }
+    }
+
+    #[test]
+    fn json_parse_is_unambiguous() {
+        let mut c = Compiled::compile(&cfg(), ParserConfig::improved());
+        let lx = lexer();
+        let lexemes = lx.tokenize(r#"{"a": [1, 2], "b": {"c": true}}"#).unwrap();
+        let toks = c.tokens_from_lexemes(&lexemes).unwrap();
+        let start = c.start;
+        assert_eq!(c.lang.count_parses(start, &toks).unwrap(), Some(1));
+    }
+}

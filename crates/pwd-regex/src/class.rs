@@ -1,0 +1,323 @@
+//! Character classes represented as sorted, disjoint, non-adjacent ranges of
+//! Unicode scalar values.
+//!
+//! Classes are the alphabet-partitioning currency of derivative-based DFA
+//! construction (Owens et al. 2009): instead of deriving by every character,
+//! we derive once per *derivative class*, each of which is a [`CharClass`].
+
+use std::fmt;
+
+/// Maximum Unicode scalar value.
+const MAX_CP: u32 = 0x10FFFF;
+
+/// A set of characters, stored as sorted, disjoint, non-adjacent inclusive
+/// ranges of code points.
+///
+/// The representation is canonical: two classes denote the same set if and
+/// only if they compare equal.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_regex::CharClass;
+/// let digits = CharClass::range('0', '9');
+/// assert!(digits.contains('7'));
+/// assert!(!digits.contains('a'));
+/// let not_digits = digits.complement();
+/// assert!(not_digits.contains('a'));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CharClass {
+    /// Sorted, disjoint, non-adjacent inclusive ranges.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl CharClass {
+    /// The empty class (matches no character).
+    pub fn empty() -> Self {
+        CharClass { ranges: Vec::new() }
+    }
+
+    /// The class of every Unicode scalar value (`Σ`).
+    ///
+    /// Surrogate code points are included in the internal representation for
+    /// simplicity of range arithmetic; they can never be produced by a `char`
+    /// so this is unobservable through the public API.
+    pub fn any() -> Self {
+        CharClass { ranges: vec![(0, MAX_CP)] }
+    }
+
+    /// The class containing exactly one character.
+    pub fn singleton(c: char) -> Self {
+        let v = c as u32;
+        CharClass { ranges: vec![(v, v)] }
+    }
+
+    /// The class containing the inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(lo: char, hi: char) -> Self {
+        assert!(lo <= hi, "invalid character range {lo:?}..={hi:?}");
+        CharClass { ranges: vec![(lo as u32, hi as u32)] }
+    }
+
+    /// Builds a class from arbitrary (possibly overlapping, unsorted) ranges.
+    pub fn from_ranges<I: IntoIterator<Item = (char, char)>>(iter: I) -> Self {
+        let mut c = CharClass::empty();
+        for (lo, hi) in iter {
+            c = c.union(&CharClass::range(lo, hi));
+        }
+        c
+    }
+
+    /// Builds a class containing exactly the given characters.
+    pub fn from_chars<I: IntoIterator<Item = char>>(iter: I) -> Self {
+        let mut c = CharClass::empty();
+        for ch in iter {
+            c = c.union(&CharClass::singleton(ch));
+        }
+        c
+    }
+
+    /// Returns `true` if the class contains no characters.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Returns `true` if the class contains every scalar value.
+    pub fn is_any(&self) -> bool {
+        self.ranges == [(0, MAX_CP)]
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: char) -> bool {
+        let v = c as u32;
+        self.ranges
+            .binary_search_by(|&(lo, hi)| {
+                if v < lo {
+                    std::cmp::Ordering::Greater
+                } else if v > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Number of code points in the class.
+    pub fn len(&self) -> u64 {
+        self.ranges.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).sum()
+    }
+
+    /// The underlying sorted, disjoint ranges.
+    pub fn ranges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.ranges.iter().copied()
+    }
+
+    /// Some character in the class, if nonempty.
+    ///
+    /// Skips the surrogate gap so the result is always a valid `char`.
+    pub fn representative(&self) -> Option<char> {
+        for &(lo, hi) in &self.ranges {
+            let mut v = lo;
+            while v <= hi {
+                if let Some(c) = char::from_u32(v) {
+                    return Some(c);
+                }
+                // Jump over the surrogate block.
+                v = 0xE000;
+                if v < lo {
+                    break;
+                }
+            }
+        }
+        None
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &CharClass) -> CharClass {
+        let mut all: Vec<(u32, u32)> = Vec::with_capacity(self.ranges.len() + other.ranges.len());
+        all.extend_from_slice(&self.ranges);
+        all.extend_from_slice(&other.ranges);
+        all.sort_unstable();
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(all.len());
+        for (lo, hi) in all {
+            match out.last_mut() {
+                // Merge overlapping or adjacent ranges to keep canonicity.
+                Some(last) if lo <= last.1.saturating_add(1) => {
+                    last.1 = last.1.max(hi);
+                }
+                _ => out.push((lo, hi)),
+            }
+        }
+        CharClass { ranges: out }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &CharClass) -> CharClass {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (alo, ahi) = self.ranges[i];
+            let (blo, bhi) = other.ranges[j];
+            let lo = alo.max(blo);
+            let hi = ahi.min(bhi);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if ahi < bhi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        CharClass { ranges: out }
+    }
+
+    /// Set complement with respect to `Σ`.
+    pub fn complement(&self) -> CharClass {
+        let mut out = Vec::new();
+        let mut next = 0u32;
+        for &(lo, hi) in &self.ranges {
+            if lo > next {
+                out.push((next, lo - 1));
+            }
+            next = hi.saturating_add(1);
+            if next > MAX_CP {
+                return CharClass { ranges: out };
+            }
+        }
+        if next <= MAX_CP {
+            out.push((next, MAX_CP));
+        }
+        CharClass { ranges: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &CharClass) -> CharClass {
+        self.intersect(&other.complement())
+    }
+
+    /// Returns `true` if the two classes share no characters.
+    pub fn is_disjoint(&self, other: &CharClass) -> bool {
+        self.intersect(other).is_empty()
+    }
+}
+
+impl fmt::Debug for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "[∅]");
+        }
+        if self.is_any() {
+            return write!(f, "[Σ]");
+        }
+        write!(f, "[")?;
+        for &(lo, hi) in &self.ranges {
+            let show = |v: u32| -> String {
+                match char::from_u32(v) {
+                    Some(c) if !c.is_control() && (c as u32) < 0xD800 => format!("{c}"),
+                    _ => format!("\\u{{{v:x}}}"),
+                }
+            };
+            if lo == hi {
+                write!(f, "{}", show(lo))?;
+            } else {
+                write!(f, "{}-{}", show(lo), show(hi))?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<char> for CharClass {
+    fn from(c: char) -> Self {
+        CharClass::singleton(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_any() {
+        assert!(CharClass::empty().is_empty());
+        assert!(!CharClass::any().is_empty());
+        assert!(CharClass::any().is_any());
+        assert!(CharClass::any().contains('x'));
+        assert!(!CharClass::empty().contains('x'));
+    }
+
+    #[test]
+    fn union_merges_adjacent() {
+        let ab = CharClass::range('a', 'b').union(&CharClass::range('c', 'd'));
+        assert_eq!(ab.ranges.len(), 1, "adjacent ranges must merge: {ab:?}");
+        assert!(ab.contains('b') && ab.contains('c'));
+    }
+
+    #[test]
+    fn union_is_commutative_on_samples() {
+        let a = CharClass::from_chars("axz09".chars());
+        let b = CharClass::range('0', 'z');
+        assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let a = CharClass::range('a', 'm');
+        let b = CharClass::range('g', 'z');
+        let i = a.intersect(&b);
+        assert!(i.contains('g') && i.contains('m'));
+        assert!(!i.contains('f') && !i.contains('n'));
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let a = CharClass::from_ranges([('a', 'f'), ('0', '4')]);
+        assert_eq!(a.complement().complement(), a);
+        assert!(a.complement().contains('z'));
+        assert!(!a.complement().contains('c'));
+    }
+
+    #[test]
+    fn complement_of_any_is_empty() {
+        assert!(CharClass::any().complement().is_empty());
+        assert!(CharClass::empty().complement().is_any());
+    }
+
+    #[test]
+    fn difference_and_disjoint() {
+        let letters = CharClass::range('a', 'z');
+        let vowels = CharClass::from_chars("aeiou".chars());
+        let consonants = letters.difference(&vowels);
+        assert!(consonants.contains('b'));
+        assert!(!consonants.contains('e'));
+        assert!(consonants.is_disjoint(&vowels));
+    }
+
+    #[test]
+    fn representative_skips_surrogates() {
+        // A class that (internally) covers the surrogate block still yields a
+        // valid char.
+        let c = CharClass::any();
+        assert!(c.representative().is_some());
+        let tail = CharClass { ranges: vec![(0xD800, 0xE001)] };
+        assert_eq!(tail.representative(), Some('\u{E000}'));
+    }
+
+    #[test]
+    fn len_counts_codepoints() {
+        assert_eq!(CharClass::range('a', 'c').len(), 3);
+        assert_eq!(CharClass::empty().len(), 0);
+    }
+}

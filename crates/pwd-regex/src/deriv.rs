@@ -1,0 +1,271 @@
+//! Brzozowski derivatives of regular expressions and derivative classes.
+//!
+//! This is the §2.1 background machinery of the paper, in its modern,
+//! character-class form (Owens et al. 2009). It also serves as the executable
+//! *oracle* for the context-free engine's property tests: on regular
+//! grammars, `pwd-core` must agree with this module.
+
+use crate::class::CharClass;
+use crate::syntax::{alt, and, cat, empty, eps, not, Re, Regex};
+
+/// Nullability `ν(r)`: does the language of `r` contain the empty word?
+///
+/// # Examples
+///
+/// ```
+/// use pwd_regex::{lit, star, nullable};
+/// assert!(nullable(&star(lit("ab"))));
+/// assert!(!nullable(&lit("ab")));
+/// ```
+pub fn nullable(r: &Regex) -> bool {
+    match &**r {
+        Re::Empty | Re::Class(_) => false,
+        Re::Eps | Re::Star(_) => true,
+        Re::Cat(a, b) | Re::And(a, b) => nullable(a) && nullable(b),
+        Re::Alt(a, b) => nullable(a) || nullable(b),
+        Re::Not(a) => !nullable(a),
+    }
+}
+
+/// The Brzozowski derivative `D_c(r)`: the language of words `w` such that
+/// `cw` is in the language of `r`.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_regex::{derive, lit, nullable};
+/// let r = lit("ab");
+/// let d = derive(&r, 'a');
+/// assert!(nullable(&derive(&d, 'b')));
+/// ```
+pub fn derive(r: &Regex, c: char) -> Regex {
+    match &**r {
+        Re::Empty | Re::Eps => empty(),
+        Re::Class(cls) => {
+            if cls.contains(c) {
+                eps()
+            } else {
+                empty()
+            }
+        }
+        Re::Cat(a, b) => {
+            let first = cat(derive(a, c), b.clone());
+            if nullable(a) {
+                alt(first, derive(b, c))
+            } else {
+                first
+            }
+        }
+        Re::Alt(a, b) => alt(derive(a, c), derive(b, c)),
+        Re::Star(a) => cat(derive(a, c), r.clone()),
+        Re::And(a, b) => and(derive(a, c), derive(b, c)),
+        Re::Not(a) => not(derive(a, c)),
+    }
+}
+
+/// Derivative with respect to a whole string: `D_w(r)`.
+pub fn derive_str(r: &Regex, s: &str) -> Regex {
+    let mut cur = r.clone();
+    for c in s.chars() {
+        cur = derive(&cur, c);
+    }
+    cur
+}
+
+/// Word membership by repeated derivation: `w ∈ L(r) ⇔ ν(D_w(r))`.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_regex::{alt, lit, matches, star};
+/// let r = star(alt(lit("ab"), lit("c")));
+/// assert!(matches(&r, "abcab"));
+/// assert!(!matches(&r, "abca"));
+/// ```
+pub fn matches(r: &Regex, s: &str) -> bool {
+    nullable(&derive_str(r, s))
+}
+
+/// A partition of the alphabet into classes on which `derive` is constant.
+///
+/// Invariant: the classes are pairwise disjoint and cover `Σ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition(Vec<CharClass>);
+
+impl Partition {
+    /// The trivial partition `{Σ}`.
+    pub fn trivial() -> Self {
+        Partition(vec![CharClass::any()])
+    }
+
+    /// The partition `{S, Σ∖S}` induced by one class.
+    pub fn of_class(c: &CharClass) -> Self {
+        let comp = c.complement();
+        let mut v = Vec::with_capacity(2);
+        if !c.is_empty() {
+            v.push(c.clone());
+        }
+        if !comp.is_empty() {
+            v.push(comp);
+        }
+        Partition(v)
+    }
+
+    /// The coarsest common refinement of two partitions: all nonempty
+    /// pairwise intersections.
+    pub fn refine(&self, other: &Partition) -> Partition {
+        let mut out = Vec::with_capacity(self.0.len() * other.0.len());
+        for a in &self.0 {
+            for b in &other.0 {
+                let i = a.intersect(b);
+                if !i.is_empty() {
+                    out.push(i);
+                }
+            }
+        }
+        Partition(out)
+    }
+
+    /// The classes of the partition.
+    pub fn classes(&self) -> &[CharClass] {
+        &self.0
+    }
+}
+
+/// Computes the *derivative classes* `C(r)` of a regex: a partition of the
+/// alphabet such that `D_a(r) = D_b(r)` whenever `a` and `b` fall in the same
+/// class (Owens et al. 2009, Definition 4.1). This is what makes DFA
+/// construction over a Unicode-sized alphabet feasible.
+pub fn derivative_classes(r: &Regex) -> Partition {
+    match &**r {
+        Re::Empty | Re::Eps => Partition::trivial(),
+        Re::Class(c) => Partition::of_class(c),
+        Re::Cat(a, b) => {
+            if nullable(a) {
+                derivative_classes(a).refine(&derivative_classes(b))
+            } else {
+                derivative_classes(a)
+            }
+        }
+        Re::Alt(a, b) | Re::And(a, b) => derivative_classes(a).refine(&derivative_classes(b)),
+        Re::Star(a) | Re::Not(a) => derivative_classes(a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{alts, ch, class, lit, opt, plus, star};
+
+    #[test]
+    fn derivative_of_literal() {
+        let r = lit("foo");
+        assert!(matches(&r, "foo"));
+        assert!(!matches(&r, "fo"));
+        assert!(!matches(&r, "fooo"));
+    }
+
+    #[test]
+    fn paper_example_foo_frak_bar() {
+        // D_f({foo, frak, bar}) = {oo, rak} — §2.1 of the paper.
+        let lang = alts([lit("foo"), lit("frak"), lit("bar")]);
+        let d = derive(&lang, 'f');
+        assert!(matches(&d, "oo"));
+        assert!(matches(&d, "rak"));
+        assert!(!matches(&d, "ar"));
+        assert!(!matches(&d, "foo"));
+    }
+
+    #[test]
+    fn star_matches_repetitions() {
+        let r = star(lit("ab"));
+        for (s, want) in [("", true), ("ab", true), ("abab", true), ("aba", false)] {
+            assert_eq!(matches(&r, s), want, "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn plus_and_opt() {
+        let p = plus(ch('a'));
+        assert!(!matches(&p, ""));
+        assert!(matches(&p, "aaa"));
+        let o = opt(ch('a'));
+        assert!(matches(&o, ""));
+        assert!(matches(&o, "a"));
+        assert!(!matches(&o, "aa"));
+    }
+
+    #[test]
+    fn intersection_semantics() {
+        // (a|b)* & words-containing-'a' … approximate: & with !( b* ) means
+        // "has at least one a".
+        let all_ab = star(alt(ch('a'), ch('b')));
+        let only_b = star(ch('b'));
+        let has_a = and(all_ab, not(only_b));
+        assert!(matches(&has_a, "bba"));
+        assert!(!matches(&has_a, "bbb"));
+        assert!(!matches(&has_a, ""));
+    }
+
+    #[test]
+    fn complement_semantics() {
+        let r = not(lit("x"));
+        assert!(matches(&r, ""));
+        assert!(matches(&r, "xx"));
+        assert!(!matches(&r, "x"));
+    }
+
+    #[test]
+    fn nullable_cases() {
+        assert!(nullable(&eps()));
+        assert!(!nullable(&empty()));
+        assert!(!nullable(&ch('a')));
+        assert!(nullable(&alt(ch('a'), eps())));
+        assert!(!nullable(&cat(ch('a'), star(ch('b')))));
+        assert!(nullable(&not(ch('a'))));
+    }
+
+    #[test]
+    fn derivative_classes_partition_alphabet() {
+        let r = alt(cat(ch('a'), lit("x")), cat(CharClass::range('0', '9').pipe_class(), lit("y")));
+        let p = derivative_classes(&r);
+        // Classes must be pairwise disjoint and cover Σ.
+        let mut total = CharClass::empty();
+        for (i, a) in p.classes().iter().enumerate() {
+            for b in &p.classes()[i + 1..] {
+                assert!(a.is_disjoint(b), "classes overlap: {a:?} {b:?}");
+            }
+            total = total.union(a);
+        }
+        assert!(total.is_any(), "classes must cover the alphabet");
+    }
+
+    #[test]
+    fn derivative_constant_on_classes() {
+        let r = alts([lit("if"), lit("in"), plus(CharClass::range('a', 'z').pipe_class())]);
+        let p = derivative_classes(&r);
+        for cls in p.classes() {
+            if let Some(rep) = cls.representative() {
+                let d = derive(&r, rep);
+                // Sample a few members of the class and check equal derivatives.
+                for (lo, hi) in cls.ranges().take(3) {
+                    for v in [lo, (lo + hi) / 2, hi] {
+                        if let Some(c) = char::from_u32(v) {
+                            assert_eq!(derive(&r, c), d, "derivative differs within class at {c:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Helper to turn a CharClass into a Regex tersely in tests.
+    trait PipeClass {
+        fn pipe_class(self) -> Regex;
+    }
+    impl PipeClass for CharClass {
+        fn pipe_class(self) -> Regex {
+            class(self)
+        }
+    }
+}

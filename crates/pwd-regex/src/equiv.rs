@@ -1,0 +1,160 @@
+//! Language-level decision procedures: emptiness, equivalence, inclusion.
+//!
+//! All are decided by exploring pairs of simultaneous derivatives (the
+//! standard bisimulation-by-derivatives construction), with derivative
+//! classes keeping the branching finite over the Unicode alphabet. These
+//! procedures power the differential tests between `pwd-regex` and the
+//! context-free engine, and make the crate a complete regular-language
+//! toolkit rather than just a matcher.
+
+use crate::deriv::{derivative_classes, derive, nullable};
+use crate::syntax::{and, not, Regex};
+use std::collections::HashSet;
+
+/// Does `r` denote the empty language?
+///
+/// # Examples
+///
+/// ```
+/// use pwd_regex::{and, ch, is_empty_lang, lit, star};
+/// assert!(is_empty_lang(&and(lit("a"), lit("b"))));
+/// assert!(!is_empty_lang(&star(ch('a'))));
+/// ```
+pub fn is_empty_lang(r: &Regex) -> bool {
+    // Explore canonical derivatives; the language is nonempty iff some
+    // reachable derivative is nullable.
+    let mut seen: HashSet<Regex> = HashSet::new();
+    let mut work = vec![r.clone()];
+    while let Some(cur) = work.pop() {
+        if nullable(&cur) {
+            return false;
+        }
+        if !seen.insert(cur.clone()) {
+            continue;
+        }
+        for cls in derivative_classes(&cur).classes() {
+            if let Some(rep) = cls.representative() {
+                let d = derive(&cur, rep);
+                if !seen.contains(&d) {
+                    work.push(d);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Do `a` and `b` denote the same language?
+///
+/// Decided by bisimulation over pairs of derivatives: the languages differ
+/// iff some reachable pair disagrees on nullability.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_regex::{alt, cat, ch, equivalent, star};
+/// // (a|b)* ≡ (a* b*)*
+/// let lhs = star(alt(ch('a'), ch('b')));
+/// let rhs = star(cat(star(ch('a')), star(ch('b'))));
+/// assert!(equivalent(&lhs, &rhs));
+/// assert!(!equivalent(&lhs, &star(ch('a'))));
+/// ```
+pub fn equivalent(a: &Regex, b: &Regex) -> bool {
+    let mut seen: HashSet<(Regex, Regex)> = HashSet::new();
+    let mut work = vec![(a.clone(), b.clone())];
+    while let Some((ra, rb)) = work.pop() {
+        if nullable(&ra) != nullable(&rb) {
+            return false;
+        }
+        if !seen.insert((ra.clone(), rb.clone())) {
+            continue;
+        }
+        let classes = derivative_classes(&ra).refine(&derivative_classes(&rb));
+        for cls in classes.classes() {
+            if let Some(rep) = cls.representative() {
+                let pair = (derive(&ra, rep), derive(&rb, rep));
+                if !seen.contains(&pair) {
+                    work.push(pair);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Is `L(a) ⊆ L(b)`? Decided as emptiness of `a & ¬b`.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_regex::{includes, lit, alt, star, ch};
+/// let words = alt(lit("ab"), lit("abab"));
+/// let all = star(lit("ab"));
+/// assert!(includes(&all, &words), "every word is (ab)^k");
+/// assert!(!includes(&words, &all));
+/// ```
+pub fn includes(b: &Regex, a: &Regex) -> bool {
+    is_empty_lang(&and(a.clone(), not(b.clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{alt, cat, ch, empty, eps, lit, opt, plus, star};
+
+    #[test]
+    fn emptiness_basics() {
+        assert!(is_empty_lang(&empty()));
+        assert!(!is_empty_lang(&eps()));
+        assert!(!is_empty_lang(&lit("abc")));
+        assert!(is_empty_lang(&cat(lit("a"), empty())));
+        assert!(is_empty_lang(&and(lit("a"), lit("aa"))));
+        assert!(is_empty_lang(&not(not(empty()))));
+    }
+
+    #[test]
+    fn equivalence_algebraic_laws() {
+        let a = ch('a');
+        let b = ch('b');
+        // Idempotence, commutativity (already canonical, but check semantics)
+        assert!(equivalent(&alt(a.clone(), b.clone()), &alt(b.clone(), a.clone())));
+        // a(ba)* ≡ (ab)*a
+        let lhs = cat(a.clone(), star(cat(b.clone(), a.clone())));
+        let rhs = cat(star(cat(a.clone(), b.clone())), a.clone());
+        assert!(equivalent(&lhs, &rhs));
+        // (a|b)* ≢ a*|b*
+        assert!(!equivalent(
+            &star(alt(a.clone(), b.clone())),
+            &alt(star(a.clone()), star(b.clone()))
+        ));
+    }
+
+    #[test]
+    fn equivalence_with_opt_plus() {
+        let a = ch('a');
+        // a+ | ε ≡ a*
+        assert!(equivalent(&opt(plus(a.clone())), &star(a.clone())));
+        // a? a* ≡ a*
+        assert!(equivalent(&cat(opt(a.clone()), star(a.clone())), &star(a)));
+    }
+
+    #[test]
+    fn inclusion() {
+        let a = ch('a');
+        assert!(includes(&star(a.clone()), &plus(a.clone())));
+        assert!(!includes(&plus(a.clone()), &star(a.clone())), "ε ∈ a* \\ a+");
+        assert!(includes(&star(a.clone()), &empty()));
+        assert!(includes(&not(empty()), &lit("anything")));
+    }
+
+    #[test]
+    fn keyword_subset_of_identifier() {
+        let ident = cat(
+            crate::syntax::class(crate::CharClass::from_ranges([('a', 'z')])),
+            star(crate::syntax::class(crate::CharClass::from_ranges([('a', 'z'), ('0', '9')]))),
+        );
+        let kw = alt(lit("if"), lit("while"));
+        assert!(includes(&ident, &kw));
+        assert!(!includes(&kw, &ident));
+    }
+}

@@ -1,0 +1,313 @@
+//! A small concrete syntax for regexes, used to write lexer rules tersely.
+//!
+//! Supported syntax: literals, `.` (any char), `[a-z_]` and `[^…]` classes,
+//! grouping `(…)`, alternation `|`, postfix `*`, `+`, `?`, and escapes
+//! (`\n`, `\t`, `\r`, `\\`, `\.`, `\[`, … plus `\d`, `\w`, `\s` and their
+//! negations `\D`, `\W`, `\S`).
+
+use crate::class::CharClass;
+use crate::syntax::{alt, cat, class, empty, eps, opt, plus, star, Regex};
+use std::fmt;
+
+/// Error produced when a regex pattern fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    /// Byte offset in the pattern where the error was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseRegexError {}
+
+/// Parses a regex pattern into a canonicalized [`Regex`].
+///
+/// # Errors
+///
+/// Returns [`ParseRegexError`] on malformed patterns (unbalanced parentheses,
+/// dangling postfix operators, unterminated classes, bad escapes).
+///
+/// # Examples
+///
+/// ```
+/// use pwd_regex::{parse, matches};
+/// let r = parse(r"[a-z_][a-z0-9_]*").unwrap();
+/// assert!(matches(&r, "snake_case2"));
+/// assert!(!matches(&r, "2snake"));
+/// ```
+pub fn parse(pattern: &str) -> Result<Regex, ParseRegexError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    let re = p.alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(re)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> ParseRegexError {
+        ParseRegexError { at: self.pos, msg: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn alternation(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut re = self.concatenation()?;
+        while self.peek() == Some('|') {
+            self.bump();
+            let rhs = self.concatenation()?;
+            re = alt(re, rhs);
+        }
+        Ok(re)
+    }
+
+    fn concatenation(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut re = eps();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.postfix()?;
+            re = cat(re, atom);
+        }
+        Ok(re)
+    }
+
+    fn postfix(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut re = self.atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    re = star(re);
+                }
+                Some('+') => {
+                    self.bump();
+                    re = plus(re);
+                }
+                Some('?') => {
+                    self.bump();
+                    re = opt(re);
+                }
+                _ => break,
+            }
+        }
+        Ok(re)
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseRegexError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some('(') => {
+                let re = self.alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(re)
+            }
+            Some(')') => Err(self.err("unmatched ')'")),
+            Some('*') | Some('+') | Some('?') => Err(self.err("dangling postfix operator")),
+            Some('.') => Ok(class(CharClass::any())),
+            Some('[') => self.char_class(),
+            Some('\\') => {
+                let cls = self.escape()?;
+                Ok(class(cls))
+            }
+            Some(c) => Ok(class(CharClass::singleton(c))),
+        }
+    }
+
+    fn escape(&mut self) -> Result<CharClass, ParseRegexError> {
+        let Some(c) = self.bump() else {
+            return Err(self.err("dangling escape"));
+        };
+        Ok(match c {
+            'n' => CharClass::singleton('\n'),
+            't' => CharClass::singleton('\t'),
+            'r' => CharClass::singleton('\r'),
+            '0' => CharClass::singleton('\0'),
+            'd' => CharClass::range('0', '9'),
+            'D' => CharClass::range('0', '9').complement(),
+            'w' => word_class(),
+            'W' => word_class().complement(),
+            's' => space_class(),
+            'S' => space_class().complement(),
+            other => CharClass::singleton(other),
+        })
+    }
+
+    fn char_class(&mut self) -> Result<Regex, ParseRegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut cls = CharClass::empty();
+        let mut first = true;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated character class")),
+                Some(']') if !first => {
+                    self.bump();
+                    break;
+                }
+                _ => {}
+            }
+            first = false;
+            let lo = match self.bump().expect("peeked") {
+                '\\' => {
+                    let c = self.escape()?;
+                    // Multi-char escapes can't participate in ranges.
+                    if c.len() != 1 {
+                        cls = cls.union(&c);
+                        continue;
+                    }
+                    let (v, _) = c.ranges().next().expect("singleton");
+                    char::from_u32(v).expect("valid scalar")
+                }
+                c => c,
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    None => return Err(self.err("unterminated range")),
+                    Some('\\') => {
+                        let c = self.escape()?;
+                        if c.len() != 1 {
+                            return Err(self.err("class escape not allowed as range bound"));
+                        }
+                        let (v, _) = c.ranges().next().expect("singleton");
+                        char::from_u32(v).expect("valid scalar")
+                    }
+                    Some(c) => c,
+                };
+                if lo > hi {
+                    return Err(self.err("inverted character range"));
+                }
+                cls = cls.union(&CharClass::range(lo, hi));
+            } else {
+                cls = cls.union(&CharClass::singleton(lo));
+            }
+        }
+        let cls = if negated { cls.complement() } else { cls };
+        if cls.is_empty() {
+            Ok(empty())
+        } else {
+            Ok(class(cls))
+        }
+    }
+}
+
+fn word_class() -> CharClass {
+    CharClass::from_ranges([('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])
+}
+
+fn space_class() -> CharClass {
+    CharClass::from_chars([' ', '\t', '\n', '\r', '\u{0b}', '\u{0c}'])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deriv::matches;
+
+    fn ok(p: &str) -> Regex {
+        parse(p).unwrap_or_else(|e| panic!("pattern {p:?} should parse: {e}"))
+    }
+
+    #[test]
+    fn literal_and_alternation() {
+        let r = ok("foo|bar");
+        assert!(matches(&r, "foo"));
+        assert!(matches(&r, "bar"));
+        assert!(!matches(&r, "baz"));
+    }
+
+    #[test]
+    fn postfix_operators() {
+        let r = ok("ab*c+d?");
+        assert!(matches(&r, "ac"));
+        assert!(matches(&r, "abbbccd"));
+        assert!(!matches(&r, "ad"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        let r = ok("[a-c]+");
+        assert!(matches(&r, "abcba"));
+        assert!(!matches(&r, "abd"));
+        let neg = ok("[^0-9]");
+        assert!(matches(&neg, "x"));
+        assert!(!matches(&neg, "5"));
+    }
+
+    #[test]
+    fn dash_literal_at_end_of_class() {
+        let r = ok("[a-]");
+        assert!(matches(&r, "a"));
+        assert!(matches(&r, "-"));
+        assert!(!matches(&r, "b"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(matches(&ok(r"\d+"), "123"));
+        assert!(matches(&ok(r"\w+"), "a_1"));
+        assert!(matches(&ok(r"\s"), " "));
+        assert!(matches(&ok(r"\."), "."));
+        assert!(!matches(&ok(r"\."), "x"));
+        assert!(matches(&ok(r"[\d_]+"), "1_2"));
+    }
+
+    #[test]
+    fn grouping() {
+        let r = ok("(ab)+");
+        assert!(matches(&r, "abab"));
+        assert!(!matches(&r, "aba"));
+    }
+
+    #[test]
+    fn dot_matches_any() {
+        let r = ok("a.c");
+        assert!(matches(&r, "axc"));
+        assert!(matches(&r, "a.c"));
+        assert!(!matches(&r, "ac"));
+    }
+
+    #[test]
+    fn empty_pattern_is_epsilon() {
+        let r = ok("");
+        assert!(matches(&r, ""));
+        assert!(!matches(&r, "a"));
+    }
+
+    #[test]
+    fn errors() {
+        for bad in ["(", ")", "a)", "*", "a|*", "[abc", "[z-a]", "\\"] {
+            assert!(parse(bad).is_err(), "pattern {bad:?} should fail");
+        }
+    }
+}

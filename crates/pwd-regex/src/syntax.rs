@@ -1,0 +1,363 @@
+//! Regular-expression abstract syntax with canonicalizing smart constructors.
+//!
+//! Brzozowski's DFA construction only terminates (with finitely many states)
+//! when regexes are kept in a canonical form modulo associativity,
+//! commutativity, and idempotence of `|` (and `&`), plus the unit/annihilator
+//! laws. The constructors here maintain exactly the normal form of
+//! Owens, Reppy & Turon, *Regular-expression derivatives re-examined* (2009).
+
+use crate::class::CharClass;
+use std::fmt;
+use std::rc::Rc;
+
+/// A reference-counted, canonicalized regular expression.
+pub type Regex = Rc<Re>;
+
+/// Regular-expression syntax, including the extended operators `&`
+/// (intersection) and `!` (complement) from Owens et al.
+///
+/// Construct values with the smart constructors ([`empty`], [`eps`],
+/// [`class`], [`cat`], [`alt`], [`star`], [`and`], [`not`]) rather than the
+/// enum variants directly; the constructors maintain the canonical form that
+/// makes DFA construction terminate.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Re {
+    /// `∅` — the empty language.
+    Empty,
+    /// `ε` — the language of the empty word.
+    Eps,
+    /// A character class: one-character words drawn from the class.
+    Class(CharClass),
+    /// Concatenation, kept right-associated: `Cat(a, Cat(b, c))`.
+    Cat(Regex, Regex),
+    /// Union, kept right-associated with sorted, deduplicated alternatives.
+    Alt(Regex, Regex),
+    /// Kleene star.
+    Star(Regex),
+    /// Intersection, canonicalized like `Alt`.
+    And(Regex, Regex),
+    /// Complement.
+    Not(Regex),
+}
+
+/// The empty language `∅`.
+pub fn empty() -> Regex {
+    Rc::new(Re::Empty)
+}
+
+/// The empty-word language `ε`.
+pub fn eps() -> Regex {
+    Rc::new(Re::Eps)
+}
+
+/// A single-character-class language. Collapses the empty class to `∅`.
+pub fn class(c: CharClass) -> Regex {
+    if c.is_empty() {
+        empty()
+    } else {
+        Rc::new(Re::Class(c))
+    }
+}
+
+/// A single-character language.
+pub fn ch(c: char) -> Regex {
+    class(CharClass::singleton(c))
+}
+
+/// The language of exactly the string `s`.
+pub fn lit(s: &str) -> Regex {
+    let mut re = eps();
+    for c in s.chars().rev() {
+        re = cat(ch(c), re);
+    }
+    re
+}
+
+/// Any single character (`.` over the whole alphabet).
+pub fn any_char() -> Regex {
+    class(CharClass::any())
+}
+
+/// Concatenation with unit/annihilator laws and right-association:
+///
+/// * `∅ · r = r · ∅ = ∅`
+/// * `ε · r = r`, `r · ε = r`
+/// * `(r · s) · t = r · (s · t)`
+pub fn cat(a: Regex, b: Regex) -> Regex {
+    match (&*a, &*b) {
+        (Re::Empty, _) | (_, Re::Empty) => empty(),
+        (Re::Eps, _) => b,
+        (_, Re::Eps) => a,
+        (Re::Cat(x, y), _) => cat(x.clone(), cat(y.clone(), b)),
+        _ => Rc::new(Re::Cat(a, b)),
+    }
+}
+
+/// Concatenation of several parts in order.
+pub fn seq<I: IntoIterator<Item = Regex>>(parts: I) -> Regex {
+    let mut items: Vec<Regex> = parts.into_iter().collect();
+    let mut re = eps();
+    while let Some(last) = items.pop() {
+        re = cat(last, re);
+    }
+    re
+}
+
+fn flatten_alt(r: &Regex, out: &mut Vec<Regex>) {
+    match &**r {
+        Re::Alt(a, b) => {
+            flatten_alt(a, out);
+            flatten_alt(b, out);
+        }
+        _ => out.push(r.clone()),
+    }
+}
+
+/// Union with identity, absorption, idempotence, commutativity
+/// (via sorting), and merging of adjacent character classes:
+///
+/// * `∅ | r = r`
+/// * `¬∅ | r = ¬∅` (the universal language absorbs)
+/// * `r | r = r`
+/// * alternatives are flattened, sorted, and deduplicated
+/// * `Class(a) | Class(b) = Class(a ∪ b)`
+pub fn alt(a: Regex, b: Regex) -> Regex {
+    let mut items = Vec::new();
+    flatten_alt(&a, &mut items);
+    flatten_alt(&b, &mut items);
+    // Merge all character classes into one.
+    let mut cls = CharClass::empty();
+    let mut rest: Vec<Regex> = Vec::with_capacity(items.len());
+    for it in items {
+        match &*it {
+            Re::Empty => {}
+            Re::Not(inner) if matches!(**inner, Re::Empty) => return not(empty()),
+            Re::Class(c) => cls = cls.union(c),
+            _ => rest.push(it),
+        }
+    }
+    if !cls.is_empty() {
+        rest.push(class(cls));
+    }
+    rest.sort();
+    rest.dedup();
+    match rest.len() {
+        0 => empty(),
+        _ => {
+            let mut iter = rest.into_iter().rev();
+            let mut re = iter.next().expect("nonempty");
+            for item in iter {
+                re = Rc::new(Re::Alt(item, re));
+            }
+            re
+        }
+    }
+}
+
+/// Union of several alternatives.
+pub fn alts<I: IntoIterator<Item = Regex>>(items: I) -> Regex {
+    items.into_iter().fold(empty(), alt)
+}
+
+/// Kleene star with `(r*)* = r*`, `ε* = ε`, `∅* = ε`.
+pub fn star(r: Regex) -> Regex {
+    match &*r {
+        Re::Empty | Re::Eps => eps(),
+        Re::Star(_) => r,
+        _ => Rc::new(Re::Star(r)),
+    }
+}
+
+/// One-or-more repetitions: `r+ = r · r*`.
+pub fn plus(r: Regex) -> Regex {
+    cat(r.clone(), star(r))
+}
+
+/// Zero-or-one: `r? = ε | r`.
+pub fn opt(r: Regex) -> Regex {
+    alt(eps(), r)
+}
+
+/// Exactly `n` repetitions.
+pub fn repeat(r: Regex, n: usize) -> Regex {
+    seq(std::iter::repeat_n(r, n))
+}
+
+fn flatten_and(r: &Regex, out: &mut Vec<Regex>) {
+    match &**r {
+        Re::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        _ => out.push(r.clone()),
+    }
+}
+
+/// Intersection with `∅ & r = ∅`, `¬∅ & r = r`, idempotence and sorting.
+pub fn and(a: Regex, b: Regex) -> Regex {
+    let mut items = Vec::new();
+    flatten_and(&a, &mut items);
+    flatten_and(&b, &mut items);
+    let mut rest: Vec<Regex> = Vec::with_capacity(items.len());
+    for it in items {
+        match &*it {
+            Re::Empty => return empty(),
+            Re::Not(inner) if matches!(**inner, Re::Empty) => {}
+            _ => rest.push(it),
+        }
+    }
+    rest.sort();
+    rest.dedup();
+    match rest.len() {
+        0 => not(empty()),
+        _ => {
+            let mut iter = rest.into_iter().rev();
+            let mut re = iter.next().expect("nonempty");
+            for item in iter {
+                re = Rc::new(Re::And(item, re));
+            }
+            re
+        }
+    }
+}
+
+/// Complement with double-negation elimination.
+pub fn not(r: Regex) -> Regex {
+    match &*r {
+        Re::Not(inner) => inner.clone(),
+        _ => Rc::new(Re::Not(r)),
+    }
+}
+
+/// Pretty-printer used by `Display`; parenthesizes conservatively.
+fn fmt_re(r: &Re, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match r {
+        Re::Empty => write!(f, "∅"),
+        Re::Eps => write!(f, "ε"),
+        Re::Class(c) => write!(f, "{c}"),
+        Re::Cat(a, b) => {
+            fmt_group(a, f)?;
+            fmt_group(b, f)
+        }
+        Re::Alt(a, b) => {
+            fmt_group(a, f)?;
+            write!(f, "|")?;
+            fmt_group(b, f)
+        }
+        Re::Star(a) => {
+            fmt_group(a, f)?;
+            write!(f, "*")
+        }
+        Re::And(a, b) => {
+            fmt_group(a, f)?;
+            write!(f, "&")?;
+            fmt_group(b, f)
+        }
+        Re::Not(a) => {
+            write!(f, "!")?;
+            fmt_group(a, f)
+        }
+    }
+}
+
+fn fmt_group(r: &Re, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let atomic = matches!(r, Re::Empty | Re::Eps | Re::Class(_) | Re::Star(_) | Re::Not(_));
+    if atomic {
+        fmt_re(r, f)
+    } else {
+        write!(f, "(")?;
+        fmt_re(r, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Re {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_re(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cat_units_and_annihilators() {
+        let a = ch('a');
+        assert_eq!(cat(empty(), a.clone()), empty());
+        assert_eq!(cat(a.clone(), empty()), empty());
+        assert_eq!(cat(eps(), a.clone()), a);
+        assert_eq!(cat(a.clone(), eps()), a);
+    }
+
+    #[test]
+    fn cat_right_associates() {
+        let (a, b, c) = (ch('a'), ch('b'), ch('c'));
+        let left = cat(cat(a.clone(), b.clone()), c.clone());
+        let right = cat(a, cat(b, c));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn alt_is_aci() {
+        let (a, b) = (ch('a'), lit("xy"));
+        assert_eq!(alt(a.clone(), b.clone()), alt(b.clone(), a.clone()));
+        assert_eq!(alt(a.clone(), a.clone()), a);
+        assert_eq!(alt(empty(), a.clone()), a);
+        let nested1 = alt(alt(a.clone(), b.clone()), lit("z"));
+        let nested2 = alt(a, alt(lit("z"), b));
+        assert_eq!(nested1, nested2);
+    }
+
+    #[test]
+    fn alt_merges_classes() {
+        let r = alt(ch('a'), ch('b'));
+        match &*r {
+            Re::Class(c) => {
+                assert!(c.contains('a') && c.contains('b'));
+            }
+            other => panic!("expected merged class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_collapses() {
+        assert_eq!(star(empty()), eps());
+        assert_eq!(star(eps()), eps());
+        let s = star(ch('a'));
+        assert_eq!(star(s.clone()), s);
+    }
+
+    #[test]
+    fn not_double_negation() {
+        let a = ch('a');
+        assert_eq!(not(not(a.clone())), a);
+    }
+
+    #[test]
+    fn and_laws() {
+        let a = ch('a');
+        assert_eq!(and(empty(), a.clone()), empty());
+        assert_eq!(and(not(empty()), a.clone()), a);
+        assert_eq!(and(a.clone(), a.clone()), a);
+    }
+
+    #[test]
+    fn universal_absorbs_union() {
+        assert_eq!(alt(not(empty()), ch('q')), not(empty()));
+    }
+
+    #[test]
+    fn lit_builds_concatenation() {
+        let r = lit("ab");
+        assert_eq!(r, cat(ch('a'), ch('b')));
+        assert_eq!(lit(""), eps());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for r in [empty(), eps(), lit("ab"), alt(lit("a"), lit("bc")), star(ch('x'))] {
+            assert!(!format!("{r}").is_empty());
+        }
+    }
+}

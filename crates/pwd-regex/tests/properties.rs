@@ -1,0 +1,82 @@
+//! Property tests: Kleene-algebra laws hold semantically (via the
+//! equivalence decision procedure and the matcher), DFA construction agrees
+//! with direct derivation, and minimization is sound.
+
+use proptest::prelude::*;
+use pwd_regex::{alt, cat, ch, empty, eps, equivalent, matches, star, Dfa, Regex};
+
+fn rx_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(eps()),
+        Just(empty()),
+        (0u8..3).prop_map(|k| ch((b'a' + k) as char)),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| cat(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| alt(a, b)),
+            inner.prop_map(star),
+        ]
+    })
+}
+
+fn input_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..3, 0..10)
+        .prop_map(|v| v.into_iter().map(|k| (b'a' + k) as char).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kleene algebra: distributivity r(s|t) ≡ rs | rt.
+    #[test]
+    fn distributivity(r in rx_strategy(), s in rx_strategy(), t in rx_strategy()) {
+        let lhs = cat(r.clone(), alt(s.clone(), t.clone()));
+        let rhs = alt(cat(r.clone(), s), cat(r, t));
+        prop_assert!(equivalent(&lhs, &rhs));
+    }
+
+    /// Kleene algebra: star unrolling r* ≡ ε | r r*.
+    #[test]
+    fn star_unrolling(r in rx_strategy()) {
+        let lhs = star(r.clone());
+        let rhs = alt(eps(), cat(r.clone(), star(r)));
+        prop_assert!(equivalent(&lhs, &rhs));
+    }
+
+    /// (r*)* ≡ r* and (r|s)* ≡ (r* s*)*.
+    #[test]
+    fn star_laws(r in rx_strategy(), s in rx_strategy()) {
+        prop_assert!(equivalent(&star(star(r.clone())), &star(r.clone())));
+        let lhs = star(alt(r.clone(), s.clone()));
+        let rhs = star(cat(star(r), star(s)));
+        prop_assert!(equivalent(&lhs, &rhs));
+    }
+
+    /// The DFA accepts exactly what direct derivation matches.
+    #[test]
+    fn dfa_agrees_with_matcher(r in rx_strategy(), s in input_strategy()) {
+        let dfa = Dfa::build(&r);
+        prop_assert_eq!(dfa.accepts(&s), matches(&r, &s));
+    }
+
+    /// Minimization preserves the language and never grows the automaton.
+    #[test]
+    fn minimization_sound(r in rx_strategy(), s in input_strategy()) {
+        let dfa = Dfa::build(&r);
+        let min = dfa.minimize();
+        prop_assert!(min.len() <= dfa.len());
+        prop_assert_eq!(min.accepts(&s), dfa.accepts(&s));
+    }
+
+    /// Equivalence is reflexive and respects the matcher: if equivalent
+    /// says languages differ, some probe distinguishes them only in the
+    /// consistent direction.
+    #[test]
+    fn equivalence_consistent_with_matcher(a in rx_strategy(), b in rx_strategy(), s in input_strategy()) {
+        prop_assert!(equivalent(&a, &a));
+        if equivalent(&a, &b) {
+            prop_assert_eq!(matches(&a, &s), matches(&b, &s), "equivalent regexes disagree on {:?}", s);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Exploring ambiguity: parse forests, ambiguity nodes, and why the paper's
+//! complexity result needs them (§3.1).
+//!
+//! Run with: `cargo run --example ambiguity`
+
+use derp::core::{EnumLimits, ParserConfig};
+use derp::grammar::{grammars, Compiled};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // S → S S | a: the number of parses of aⁿ is the Catalan number Cₙ₋₁,
+    // which grows exponentially — but the *forest* stays polynomial because
+    // ambiguity nodes share subtrees.
+    println!("S → S S | a   (parse counts = Catalan numbers)");
+    let mut parser = Compiled::compile(&grammars::ambiguous::catalan(), ParserConfig::improved());
+    for n in 1..=12usize {
+        let toks: Vec<_> = (0..n).map(|_| parser.token("a", "a").unwrap()).collect();
+        let start = parser.start;
+        let forest = parser.lang.parse_forest(start, &toks)?;
+        let count = parser.lang.count_of(forest).unwrap();
+        let forest_nodes = parser.lang.forest_count();
+        println!("  n={n:>2}: {count:>8} parses, forest arena {forest_nodes:>6} nodes");
+        parser.lang.reset();
+    }
+
+    // E → E + E | E * E | n: enumerate the distinct readings of n+n*n.
+    println!("\nE → E + E | E * E | n   on n + n * n:");
+    let mut parser = Compiled::compile(&grammars::ambiguous::expr(), ParserConfig::improved());
+    let toks = vec![
+        parser.token("n", "1").unwrap(),
+        parser.token("+", "+").unwrap(),
+        parser.token("n", "2").unwrap(),
+        parser.token("*", "*").unwrap(),
+        parser.token("n", "3").unwrap(),
+    ];
+    let start = parser.start;
+    let trees = parser.lang.parse_trees(start, &toks, EnumLimits::default())?;
+    for t in &trees {
+        println!("  {t}");
+    }
+    println!("  ({} readings)", trees.len());
+
+    // An infinitely ambiguous grammar: S → ε | S S. The forest is cyclic;
+    // counting reports "infinite" and enumeration is fuel-bounded.
+    println!("\nS → ε | S S   on the empty input:");
+    let mut g = derp::grammar::CfgBuilder::new("S");
+    g.terminal("a");
+    g.rule("S", &[]);
+    g.rule("S", &["S", "S"]);
+    g.rule("S", &["a"]);
+    let mut parser = Compiled::compile(&g.build()?, ParserConfig::improved());
+    let start = parser.start;
+    let forest = parser.lang.parse_forest(start, &[])?;
+    match parser.lang.count_of(forest) {
+        None => println!("  infinitely many parses (cyclic forest), as expected"),
+        Some(c) => println!("  unexpectedly finite: {c}"),
+    }
+    let sample = parser.lang.trees_of(forest, EnumLimits { max_trees: 3, max_depth: 8 });
+    for t in sample {
+        println!("  sample: {t}");
+    }
+    Ok(())
+}

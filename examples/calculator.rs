@@ -1,0 +1,59 @@
+//! A calculator: lex with derivative DFAs, parse with PWD, evaluate the AST.
+//!
+//! Run with: `cargo run --example calculator -- "1 + 2 * (3 - 4) / 2"`
+
+use derp::core::{ParserConfig, Tree};
+use derp::grammar::{grammars, Compiled};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let expr = std::env::args().nth(1).unwrap_or_else(|| "(1 + 2) * 3 - 10 / 2".to_string());
+
+    let lexer = grammars::arith::lexer();
+    let lexemes = lexer.tokenize(&expr)?;
+    println!("tokens: {:?}", lexemes.iter().map(|l| l.text.as_str()).collect::<Vec<_>>());
+
+    let mut parser = Compiled::compile(&grammars::arith::cfg(), ParserConfig::improved());
+    let tokens = parser.tokens_from_lexemes(&lexemes)?;
+    let start = parser.start;
+    let tree = parser
+        .lang
+        .parse_unique(start, &tokens)?
+        .expect("the arithmetic grammar is unambiguous");
+    println!("tree:   {tree}");
+    println!("value:  {}", eval(&tree));
+    Ok(())
+}
+
+/// Evaluates the labeled AST produced by the CFG compiler: nodes look like
+/// `(E lhs op rhs)`, `(T lhs op rhs)`, `(F "(" e ")")`, `(F num)`, `(F - f)`.
+fn eval(t: &Tree) -> f64 {
+    match t {
+        Tree::Leaf(tok) => tok.lexeme().parse().unwrap_or(0.0),
+        Tree::Node(label, kids) => match (label.as_ref(), kids.len()) {
+            (_, 1) => eval(&kids[0]),
+            ("E" | "T", 3) => {
+                let (l, op, r) = (&kids[0], &kids[1], &kids[2]);
+                let (l, r) = (eval(l), eval(r));
+                match op_text(op) {
+                    "+" => l + r,
+                    "-" => l - r,
+                    "*" => l * r,
+                    "/" => l / r,
+                    other => panic!("unexpected operator {other}"),
+                }
+            }
+            ("F", 3) => eval(&kids[1]), // ( E )
+            ("F", 2) => -eval(&kids[1]), // - F
+            _ => panic!("unexpected node {t}"),
+        },
+        Tree::Pair(a, b) => eval(a) + eval(b),
+        Tree::Empty => 0.0,
+    }
+}
+
+fn op_text(t: &Tree) -> &str {
+    match t {
+        Tree::Leaf(tok) => tok.lexeme(),
+        _ => "?",
+    }
+}

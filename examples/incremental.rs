@@ -1,0 +1,59 @@
+//! Incremental parsing with `ParseSession`: feed tokens one at a time and
+//! watch the derivative evolve — viability, sentence-hood, graph size.
+//!
+//! Run with: `cargo run --example incremental -- "1+(2*3)+4"`
+
+use derp::core::{FeedOutcome, ParseSession, ParserConfig};
+use derp::grammar::{grammars, Compiled};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = std::env::args().nth(1).unwrap_or_else(|| "1+(2*3)+4*".to_string());
+    let lexer = grammars::arith::lexer();
+    let lexemes = lexer.tokenize(&input)?;
+
+    let mut parser = Compiled::compile(&grammars::arith::cfg(), ParserConfig::improved());
+    let tokens = parser.tokens_from_lexemes(&lexemes)?;
+    let start = parser.start;
+
+    println!("feeding {:?} token by token:\n", input);
+    println!("{:<8} {:<10} {:<10} {:<12} {}", "token", "viable?", "sentence?", "live nodes", "note");
+    let mut session = ParseSession::start(&mut parser.lang, start)?;
+    for tok in &tokens {
+        let outcome = session.feed(tok)?;
+        let (viable, sentence, note) = match outcome {
+            FeedOutcome::Viable { prefix_is_sentence } => {
+                ("yes", if prefix_is_sentence { "yes" } else { "no" }, "")
+            }
+            FeedOutcome::Dead => ("no", "no", "← no continuation can succeed"),
+        };
+        let current = session.current();
+        println!(
+            "{:<8} {:<10} {:<10} {:<12} {}",
+            tok.lexeme(),
+            viable,
+            sentence,
+            // The live derivative stays small thanks to compaction+pruning.
+            format!("{}", session_live(&session, current)),
+            note,
+        );
+        if outcome == FeedOutcome::Dead {
+            break;
+        }
+    }
+    if session.prefix_is_sentence() {
+        let forest = session.forest()?;
+        let d = session.finish();
+        let _ = d;
+        let trees =
+            parser.lang.trees_of(forest, derp::core::EnumLimits { max_trees: 1, max_depth: 4096 });
+        println!("\ncomplete expression, parse tree:\n  {}", trees[0]);
+    } else {
+        println!("\nprefix is not (yet) a complete expression");
+    }
+    Ok(())
+}
+
+fn session_live(session: &ParseSession<'_>, _current: derp::core::NodeId) -> usize {
+    // Live node count of the current derivative (read-only peek).
+    session.live_nodes()
+}

@@ -1,0 +1,58 @@
+//! The paper's evaluation pipeline end to end: generate a Python-like
+//! module, tokenize it (NEWLINE/INDENT/DEDENT and all), parse it with the
+//! improved PWD engine, and report the engine metrics that drive the
+//! paper's Figures 7–12.
+//!
+//! Run with: `cargo run --release --example python_pipeline -- [tokens] [seed]`
+
+use derp::core::ParserConfig;
+use derp::grammar::{gen, grammars, Compiled};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let src = gen::python_source(target, seed);
+    let lexemes = derp::lex::tokenize_python(&src)?;
+    println!("generated {} bytes of Python-like source, {} tokens", src.len(), lexemes.len());
+    println!("--- first lines ---");
+    for line in src.lines().take(8) {
+        println!("| {line}");
+    }
+    println!("-------------------");
+
+    let cfg = grammars::python::cfg();
+    println!(
+        "grammar: {} productions, {} nonterminals, {} terminals",
+        cfg.production_count(),
+        cfg.nonterminal_count(),
+        cfg.terminal_count()
+    );
+
+    let mut parser = Compiled::compile(&cfg, ParserConfig::improved());
+    let tokens = parser.tokens_from_lexemes(&lexemes)?;
+    let start_node = parser.start;
+    parser.lang.reset_metrics();
+
+    let t0 = Instant::now();
+    let accepted = parser.lang.recognize(start_node, &tokens)?;
+    let dt = t0.elapsed();
+
+    println!("accepted: {accepted}");
+    println!(
+        "parse time: {:?} total, {:.2} µs/token",
+        dt,
+        dt.as_secs_f64() * 1e6 / tokens.len() as f64
+    );
+    let m = parser.lang.metrics();
+    println!("engine metrics:");
+    println!("  derive calls        {:>12}", m.derive_calls);
+    println!("  derive uncached     {:>12} ({:.1}%)", m.derive_uncached, 100.0 * m.uncached_ratio());
+    println!("  nullable? calls     {:>12}", m.nullable_calls);
+    println!("  fixed-point runs    {:>12}", m.nullable_runs);
+    println!("  nodes created       {:>12}", m.nodes_created);
+    println!("  memo evictions      {:>12}", m.memo_evictions);
+    println!("  compactions applied {:>12}", m.compactions_applied);
+    Ok(())
+}

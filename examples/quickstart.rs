@@ -1,0 +1,82 @@
+//! Quickstart: build a small cyclic grammar by hand, parse, print the tree.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use derp::core::{EnumLimits, Language, Reduce, Tree};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example: L = (L ◦ c) ∪ c — left-recursive,
+    // something classic parser generators reject outright.
+    let mut lang = Language::default();
+    let c = lang.terminal("c");
+    let tc = lang.term_node(c);
+    let l = lang.forward();
+    lang.set_label(l, "L");
+    let lc = lang.cat(l, tc);
+    let body = lang.alt(lc, tc);
+    lang.define(l, body);
+
+    let tok = lang.token(c, "c");
+    let input = vec![tok; 5];
+    println!("recognize c^5 with L = (L ◦ c) ∪ c: {}", lang.recognize(l, &input)?);
+
+    lang.reset();
+    let tree = lang.parse_unique(l, &input)?.expect("unambiguous");
+    println!("parse tree: {tree}");
+
+    // Reductions build real ASTs: wrap each step in a labeled node.
+    let mut lang = Language::default();
+    let num = lang.terminal("NUM");
+    let plus = lang.terminal("+");
+    let tn = lang.term_node(num);
+    let tp = lang.term_node(plus);
+    // E = NUM | (E + NUM) ↪ mk-add
+    let e = lang.forward();
+    lang.set_label(e, "E");
+    let e_plus = lang.cat(e, tp);
+    let e_plus_num = lang.cat(e_plus, tn);
+    let add = lang.reduce(
+        e_plus_num,
+        Reduce::func("mk-add", |t| match &t {
+            Tree::Pair(lhs_op, rhs) => match &**lhs_op {
+                Tree::Pair(lhs, _) => {
+                    Tree::node("add", vec![(**lhs).clone(), (**rhs).clone()])
+                }
+                _ => t.clone(),
+            },
+            _ => t,
+        }),
+    );
+    let body = lang.alt(add, tn);
+    lang.define(e, body);
+
+    let toks = vec![
+        lang.token(num, "1"),
+        lang.token(plus, "+"),
+        lang.token(num, "2"),
+        lang.token(plus, "+"),
+        lang.token(num, "3"),
+    ];
+    let tree = lang.parse_unique(e, &toks)?.expect("unambiguous");
+    println!("1+2+3 with semantic actions: {tree}");
+
+    // Ambiguity is first-class: parse forests with ambiguity nodes.
+    let mut lang = Language::default();
+    let a = lang.terminal("a");
+    let ta = lang.term_node(a);
+    let s = lang.forward();
+    lang.set_label(s, "S");
+    let ss = lang.cat(s, s);
+    let body = lang.alt(ss, ta);
+    lang.define(s, body);
+    let toks = vec![lang.token(a, "a"); 4];
+    let forest = lang.parse_forest(s, &toks)?;
+    println!(
+        "S = (S ◦ S) ∪ a on a^4: {} parse trees (Catalan number C₃)",
+        lang.count_of(forest).unwrap()
+    );
+    for t in lang.trees_of(forest, EnumLimits { max_trees: 5, max_depth: 64 }) {
+        println!("  {t}");
+    }
+    Ok(())
+}

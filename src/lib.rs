@@ -1,0 +1,40 @@
+//! `derp` — parsing with derivatives, reproduced.
+//!
+//! An umbrella crate for the reproduction of *On the Complexity and
+//! Performance of Parsing with Derivatives* (Adams, Hollenbeck & Might,
+//! PLDI 2016), named after the authors' Racket artifact `derp-3`. It
+//! re-exports the workspace crates:
+//!
+//! * [`core`] (`pwd-core`) — the PWD engine: derivatives, nullability fixed
+//!   points, compaction, memoization, parse forests;
+//! * [`grammar`] (`pwd-grammar`) — CFGs, compilation to expression graphs,
+//!   the benchmark grammar corpus, workload generators;
+//! * [`regex`] (`pwd-regex`) — Brzozowski regex derivatives and DFAs;
+//! * [`lex`] (`pwd-lex`) — longest-match lexers and the Python tokenizer;
+//! * [`earley`] (`pwd-earley`) and [`glr`] (`pwd-glr`) — the baseline
+//!   parsers of the paper's evaluation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use derp::grammar::{gen, grammars, Compiled};
+//! use derp::core::ParserConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = gen::python_source(100, 1);
+//! let lexemes = derp::lex::tokenize_python(&src)?;
+//! let mut parser = Compiled::compile(&grammars::python::cfg(), ParserConfig::improved());
+//! assert!(parser.recognize_lexemes(&lexemes)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pwd_core as core;
+pub use pwd_earley as earley;
+pub use pwd_glr as glr;
+pub use pwd_grammar as grammar;
+pub use pwd_lex as lex;
+pub use pwd_regex as regex;

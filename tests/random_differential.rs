@@ -1,0 +1,108 @@
+//! Randomized differential testing: PWD (two configurations), Earley, and
+//! GLR over machine-generated grammars and inputs.
+
+use derp::core::ParserConfig;
+use derp::earley::EarleyParser;
+use derp::glr::GlrParser;
+use derp::grammar::{random_cfg, random_input, remove_useless, Compiled, RandomCfgConfig};
+
+#[test]
+fn four_parsers_agree_on_random_grammars() {
+    let shape = RandomCfgConfig::default();
+    let mut checked = 0usize;
+    let mut accepted = 0usize;
+    for seed in 0..60 {
+        let raw = random_cfg(&shape, seed);
+        // GLR requires a productive grammar for meaningful FOLLOW sets;
+        // clean first and skip the rare empty language.
+        let Ok(cfg) = remove_useless(&raw) else { continue };
+        let earley = EarleyParser::new(&cfg);
+        let glr = GlrParser::new(&cfg);
+        let mut improved = Compiled::compile(&cfg, ParserConfig::improved());
+        let mut original = Compiled::compile(&cfg, ParserConfig::original_2011());
+        for input_seed in 0..25 {
+            let input = random_input(&cfg, 8, seed * 1000 + input_seed);
+            let kinds: Vec<&str> = input.iter().map(String::as_str).collect();
+
+            let e = earley.recognize_kinds(&kinds).unwrap();
+            let g = glr.recognize_kinds(&kinds).unwrap();
+
+            improved.lang.reset();
+            let toks: Vec<_> = kinds.iter().map(|k| improved.token(k, k).unwrap()).collect();
+            let pi = improved.lang.recognize(improved.start, &toks).unwrap();
+
+            original.lang.reset();
+            let toks: Vec<_> = kinds.iter().map(|k| original.token(k, k).unwrap()).collect();
+            let po = original.lang.recognize(original.start, &toks).unwrap();
+
+            assert_eq!(e, g, "Earley vs GLR on seed {seed}, input {kinds:?}\n{cfg}");
+            assert_eq!(e, pi, "Earley vs PWD-improved on seed {seed}, input {kinds:?}\n{cfg}");
+            assert_eq!(pi, po, "PWD improved vs original on seed {seed}, input {kinds:?}");
+            checked += 1;
+            if e {
+                accepted += 1;
+            }
+        }
+    }
+    assert!(checked > 1000, "coverage sanity: {checked} cases");
+    assert!(accepted > 20, "acceptance sanity: {accepted} accepted of {checked}");
+}
+
+#[test]
+fn parse_counts_agree_across_memo_strategies_on_random_grammars() {
+    use derp::core::MemoStrategy;
+    let shape = RandomCfgConfig {
+        nonterminals: 3,
+        terminals: 2,
+        extra_productions: 4,
+        max_rhs: 3,
+        terminal_bias: 0.6,
+        epsilon_chance: 0.25,
+    };
+    for seed in 100..130 {
+        let Ok(cfg) = remove_useless(&random_cfg(&shape, seed)) else { continue };
+        for input_seed in 0..8 {
+            let input = random_input(&cfg, 6, seed * 77 + input_seed);
+            let kinds: Vec<&str> = input.iter().map(String::as_str).collect();
+            let mut counts = Vec::new();
+            for memo in
+                [MemoStrategy::FullHash, MemoStrategy::SingleEntry, MemoStrategy::DualEntry]
+            {
+                let config = ParserConfig { memo, ..ParserConfig::improved() };
+                let mut c = Compiled::compile(&cfg, config);
+                let toks: Vec<_> = kinds.iter().map(|k| c.token(k, k).unwrap()).collect();
+                let count = match c.lang.count_parses(c.start, &toks) {
+                    Ok(n) => Some(n),
+                    Err(derp::core::PwdError::Rejected { .. }) => None,
+                    Err(e) => panic!("engine error: {e}"),
+                };
+                counts.push(count);
+            }
+            assert_eq!(counts[0], counts[1], "seed {seed}, input {kinds:?}\n{cfg}");
+            assert_eq!(counts[1], counts[2], "dual-entry: seed {seed}, input {kinds:?}");
+        }
+    }
+}
+
+/// Earley's extracted derivation tree must cover exactly the input for
+/// accepted random sentences.
+#[test]
+fn earley_trees_cover_input_on_random_grammars() {
+    let shape = RandomCfgConfig::default();
+    let mut trees = 0;
+    for seed in 200..240 {
+        let Ok(cfg) = remove_useless(&random_cfg(&shape, seed)) else { continue };
+        let earley = EarleyParser::new(&cfg);
+        for input_seed in 0..15 {
+            let input = random_input(&cfg, 6, seed * 31 + input_seed);
+            let kinds: Vec<&str> = input.iter().map(String::as_str).collect();
+            let toks = earley.kinds_to_tokens(&kinds).unwrap();
+            if let Some(tree) = earley.parse_tree(&toks) {
+                assert!(earley.recognize(&toks), "tree implies acceptance");
+                assert_eq!(tree.leaves(), toks.len(), "{kinds:?}\n{cfg}");
+                trees += 1;
+            }
+        }
+    }
+    assert!(trees > 10, "tree-extraction coverage: {trees}");
+}
