@@ -11,11 +11,8 @@ use pwd_core::{ParseMode, ParserConfig};
 use pwd_grammar::grammars::worst_case;
 
 fn main() {
-    let ns: Vec<usize> = if full_flag() {
-        vec![4, 8, 16, 32, 64, 128, 256]
-    } else {
-        vec![4, 8, 16, 32, 64]
-    };
+    let ns: Vec<usize> =
+        if full_flag() { vec![4, 8, 16, 32, 64, 128, 256] } else { vec![4, 8, 16, 32, 64] };
     println!("# Theorem 8/9: node growth and time on the worst-case grammar");
     csv_header();
 
@@ -23,10 +20,7 @@ fn main() {
     let mut time_points = Vec::new();
     for &n in &ns {
         // Recognizer mode matches the §3 analysis exactly.
-        let cfg = ParserConfig {
-            mode: ParseMode::Recognize,
-            ..ParserConfig::improved()
-        };
+        let cfg = ParserConfig { mode: ParseMode::Recognize, ..ParserConfig::improved() };
         let (mut lang, l, toks) = worst_case::language(cfg, n);
         lang.reset_metrics();
         let (dt, ok) = time_once(|| lang.recognize(l, &toks).expect("valid grammar"));
@@ -43,9 +37,6 @@ fn main() {
     println!();
     println!("# node-count log-log slope: {node_slope:.2} (Theorem 8: ≤ 3 + o(1))");
     println!("# wall-time  log-log slope: {time_slope:.2} (Theorem 9: ≤ ~3, not exponential)");
-    assert!(
-        node_slope < 3.5,
-        "node growth slope {node_slope:.2} exceeds the cubic bound regime"
-    );
+    assert!(node_slope < 3.5, "node growth slope {node_slope:.2} exceeds the cubic bound regime");
     println!("# PASS: growth is polynomial (cubic-bounded), not exponential");
 }

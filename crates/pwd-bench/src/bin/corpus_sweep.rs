@@ -15,12 +15,7 @@ use pwd_grammar::{gen, grammars, Cfg, Compiled};
 use pwd_lex::Lexeme;
 use std::time::Duration;
 
-fn series(
-    label: &str,
-    cfg: &Cfg,
-    corpus: &[(usize, Vec<Lexeme>)],
-    min_total: Duration,
-) {
+fn series(label: &str, cfg: &Cfg, corpus: &[(usize, Vec<Lexeme>)], min_total: Duration) {
     let earley = EarleyParser::new(cfg);
     let glr = GlrParser::new(cfg);
     for (tokens, lexemes) in corpus {
@@ -46,8 +41,7 @@ fn series(
 
 fn main() {
     let full = full_flag();
-    let sizes: Vec<usize> =
-        if full { vec![100, 400, 1600, 6400] } else { vec![100, 400, 1600] };
+    let sizes: Vec<usize> = if full { vec![100, 400, 1600, 6400] } else { vec![100, 400, 1600] };
     let min_total = Duration::from_millis(if full { 500 } else { 100 });
     println!("# corpus sweep: seconds per token across grammars/parsers");
     csv_header();

@@ -9,12 +9,9 @@ use pwd_grammar::Compiled;
 fn main() {
     explain();
     let cfg = python_cfg();
-    for (label, unit) in [
-        ("pass", "pass\n"),
-        ("assign", "x = 1\n"),
-        ("call", "f(1)\n"),
-        ("binop", "x = x + 1\n"),
-    ] {
+    for (label, unit) in
+        [("pass", "pass\n"), ("assign", "x = 1\n"), ("call", "f(1)\n"), ("binop", "x = x + 1\n")]
+    {
         println!("--- unit {label:?} ---");
         for k in [4usize, 8, 16, 32, 64] {
             let src = unit.repeat(k);

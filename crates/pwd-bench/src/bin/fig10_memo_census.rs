@@ -22,8 +22,7 @@ fn main() {
 
     let mut fractions = Vec::new();
     for file in &corpus {
-        let config =
-            ParserConfig { memo: MemoStrategy::FullHash, ..ParserConfig::improved() };
+        let config = ParserConfig { memo: MemoStrategy::FullHash, ..ParserConfig::improved() };
         let mut pwd = Compiled::compile(&cfg, config);
         let toks = pwd.tokens_from_lexemes(&file.lexemes).expect("terminals");
         let start = pwd.start;

@@ -6,7 +6,9 @@
 //!
 //! Run: `cargo run --release -p pwd-bench --bin fig11_uncached_calls [--full]`
 
-use pwd_bench::{csv_header, csv_row, default_sizes, full_flag, geomean, python_cfg, python_corpus};
+use pwd_bench::{
+    csv_header, csv_row, default_sizes, full_flag, geomean, python_cfg, python_corpus,
+};
 use pwd_core::{MemoStrategy, ParserConfig};
 use pwd_grammar::Compiled;
 

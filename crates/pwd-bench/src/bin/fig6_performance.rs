@@ -13,7 +13,7 @@
 //! Run: `cargo run --release -p pwd-bench --bin fig6_performance [--full]`
 
 use pwd_bench::{
-    csv_header, csv_row, default_sizes, full_flag, geomean, python_corpus, python_cfg, time_mean,
+    csv_header, csv_row, default_sizes, full_flag, geomean, python_cfg, python_corpus, time_mean,
 };
 use pwd_core::ParserConfig;
 use pwd_earley::EarleyParser;

@@ -7,7 +7,9 @@
 //!
 //! Run: `cargo run --release -p pwd-bench --bin fig7_nullable_calls [--full]`
 
-use pwd_bench::{csv_header, csv_row, default_sizes, full_flag, geomean, python_corpus, python_cfg};
+use pwd_bench::{
+    csv_header, csv_row, default_sizes, full_flag, geomean, python_cfg, python_corpus,
+};
 use pwd_core::{NullStrategy, ParserConfig};
 use pwd_grammar::Compiled;
 

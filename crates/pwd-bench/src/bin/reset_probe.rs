@@ -1,0 +1,53 @@
+//! Micro-probe separating the costs behind the `reset_reuse` bench:
+//! grammar compile alone, `reset()` alone, reset+parse, and fresh+parse.
+//!
+//! Run: `cargo run --release -p pwd-bench --bin reset_probe`
+
+use pwd_bench::{python_cfg, python_corpus};
+use pwd_core::ParserConfig;
+use pwd_grammar::Compiled;
+use std::time::Instant;
+
+fn main() {
+    let cfg = python_cfg();
+    let corpus = python_corpus(&[200]);
+    let file = &corpus[0];
+
+    // compile-only cost
+    let t0 = Instant::now();
+    for _ in 0..50 {
+        let c = Compiled::compile(&cfg, ParserConfig::improved());
+        std::hint::black_box(&c);
+    }
+    println!("compile-only: {:?}/round", t0.elapsed() / 50);
+
+    let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+    let toks = pwd.tokens_from_lexemes(&file.lexemes).unwrap();
+    let start = pwd.start;
+    // warmup
+    for _ in 0..3 {
+        pwd.lang.reset();
+        assert!(pwd.lang.recognize(start, &toks).unwrap());
+    }
+    // reset cost alone
+    let t0 = Instant::now();
+    for _ in 0..1000 {
+        pwd.lang.reset();
+    }
+    println!("reset-only: {:?}/round", t0.elapsed() / 1000);
+    // reset+parse
+    let t0 = Instant::now();
+    for _ in 0..30 {
+        pwd.lang.reset();
+        assert!(pwd.lang.recognize(start, &toks).unwrap());
+    }
+    println!("reset+parse: {:?}/round", t0.elapsed() / 30);
+    // fresh compile+parse
+    let t0 = Instant::now();
+    for _ in 0..30 {
+        let mut p = Compiled::compile(&cfg, ParserConfig::improved());
+        let tk = p.tokens_from_lexemes(&file.lexemes).unwrap();
+        assert!(p.lang.recognize(p.start, &tk).unwrap());
+    }
+    println!("fresh+parse: {:?}/round", t0.elapsed() / 30);
+}

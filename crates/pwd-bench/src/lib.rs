@@ -138,10 +138,12 @@ mod tests {
 
     #[test]
     fn loglog_slope_of_cubic() {
-        let pts: Vec<(f64, f64)> = (1..6).map(|i| {
-            let x = (1 << i) as f64;
-            (x, x * x * x)
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..6)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, x * x * x)
+            })
+            .collect();
         let s = loglog_slope(&pts);
         assert!((s - 3.0).abs() < 1e-9, "slope {s}");
     }

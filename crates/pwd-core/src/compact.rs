@@ -52,15 +52,13 @@ impl Language {
         !self.in_parse || !self.config.prepass_right_children
     }
 
-    /// Materializes a [`Built`], either reusing or allocating.
+    /// Materializes a [`Built`], either reusing or allocating. (Freshly
+    /// allocated nodes start with stale epoch stamps, so their nullability
+    /// defaults are derived lazily from the kind on first access.)
     pub(crate) fn build(&mut self, built: Built) -> NodeId {
         match built {
             Built::Reuse(id) => id,
-            Built::New(kind) => {
-                let id = self.alloc(kind);
-                self.init_constant_flags(id);
-                id
-            }
+            Built::New(kind) => self.alloc(kind),
         }
     }
 
@@ -82,26 +80,11 @@ impl Language {
             }
             Built::New(kind) => {
                 self.node_mut(ph).kind = kind;
-                self.init_constant_flags(ph);
             }
         }
-    }
-
-    /// Sets the definite nullability flags for constant node kinds.
-    fn init_constant_flags(&mut self, id: NodeId) {
-        match self.node(id).kind {
-            ExprKind::Empty | ExprKind::Term(_) => {
-                let n = self.node_mut(id);
-                n.null_value = false;
-                n.null_definite = true;
-            }
-            ExprKind::Eps(_) => {
-                let n = self.node_mut(id);
-                n.null_value = true;
-                n.null_definite = true;
-            }
-            _ => {}
-        }
+        // The kind changed; epoch-stamped state computed for `Pending` (if
+        // any) must not survive into the patched node.
+        self.invalidate_parse_state(ph);
     }
 
     // ------------------------------------------------------------------

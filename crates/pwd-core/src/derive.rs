@@ -58,9 +58,7 @@ impl Language {
     /// the grammar/budget errors of [`recognize`](Language::recognize).
     pub fn parse_forest(&mut self, start: NodeId, tokens: &[Token]) -> Result<ForestId, PwdError> {
         match self.run_derivatives(start, tokens)? {
-            Err(pos) => {
-                Err(PwdError::Rejected { position: pos, token: tokens.get(pos).cloned() })
-            }
+            Err(pos) => Err(PwdError::Rejected { position: pos, token: tokens.get(pos).cloned() }),
             Ok(final_node) => {
                 if !self.nullable(final_node) {
                     return Err(PwdError::Rejected { position: tokens.len(), token: None });
@@ -91,7 +89,11 @@ impl Language {
     /// # Errors
     ///
     /// Same as [`parse_forest`](Language::parse_forest).
-    pub fn parse_unique(&mut self, start: NodeId, tokens: &[Token]) -> Result<Option<Tree>, PwdError> {
+    pub fn parse_unique(
+        &mut self,
+        start: NodeId,
+        tokens: &[Token],
+    ) -> Result<Option<Tree>, PwdError> {
         let f = self.parse_forest(start, tokens)?;
         let mut ts = self.forests.trees(f, EnumLimits { max_trees: 2, max_depth: usize::MAX });
         if ts.len() == 1 {
@@ -161,9 +163,7 @@ impl Language {
         let mut cur = start;
         // §4.3.1: apply the right-child rules (and the rest of the rule set)
         // to the initial grammar once, before parsing.
-        if self.config.prepass_right_children
-            && self.config.compaction != CompactionMode::None
-        {
+        if self.config.prepass_right_children && self.config.compaction != CompactionMode::None {
             cur = self.compact_pass(cur);
         }
         if self.config.naming {
@@ -320,11 +320,8 @@ impl Language {
         let ph = self.alloc(ExprKind::Pending);
         if self.config.naming {
             if let Some(name) = self.names.get(parent).cloned() {
-                let new_name = if bullet {
-                    name.extend_bullet(tok.key())
-                } else {
-                    name.extend(tok.key())
-                };
+                let new_name =
+                    if bullet { name.extend_bullet(tok.key()) } else { name.extend(tok.key()) };
                 self.names.assign(ph, new_name);
             }
         }
@@ -377,22 +374,22 @@ impl Language {
     pub(crate) fn parse_null(&mut self, id: NodeId) -> ForestId {
         self.metrics.parse_null_calls += 1;
         let id = self.resolve(id);
-        if let Some(f) = self.node(id).null_parse {
+        if let Some(f) = self.null_parse_get(id) {
             return f;
         }
         if !self.nullable(id) {
             let f = ForestId(0); // canonical Nothing
-            self.node_mut(id).null_parse = Some(f);
+            self.null_parse_set(id, f);
             return f;
         }
         match self.node(id).kind.clone() {
             ExprKind::Eps(s) => {
-                self.node_mut(id).null_parse = Some(s);
+                self.null_parse_set(id, s);
                 s
             }
             ExprKind::Alt(a, b) => {
                 let ph = self.forests.alloc(ForestNode::Pending);
-                self.node_mut(id).null_parse = Some(ph);
+                self.null_parse_set(id, ph);
                 let pa = self.parse_null(a);
                 let pb = self.parse_null(b);
                 self.forests.set(ph, ForestNode::Amb(vec![pa, pb]));
@@ -400,7 +397,7 @@ impl Language {
             }
             ExprKind::Cat(a, b) => {
                 let ph = self.forests.alloc(ForestNode::Pending);
-                self.node_mut(id).null_parse = Some(ph);
+                self.null_parse_set(id, ph);
                 let pa = self.parse_null(a);
                 let pb = self.parse_null(b);
                 self.forests.set(ph, ForestNode::Pair(pa, pb));
@@ -408,14 +405,14 @@ impl Language {
             }
             ExprKind::Red(x, f) => {
                 let ph = self.forests.alloc(ForestNode::Pending);
-                self.node_mut(id).null_parse = Some(ph);
+                self.null_parse_set(id, ph);
                 let px = self.parse_null(x);
                 self.forests.set(ph, ForestNode::Map(f, px));
                 ph
             }
             ExprKind::Delta(x) => {
                 let ph = self.forests.alloc(ForestNode::Pending);
-                self.node_mut(id).null_parse = Some(ph);
+                self.null_parse_set(id, ph);
                 let px = self.parse_null(x);
                 self.forests.set(ph, ForestNode::Amb(vec![px]));
                 ph
@@ -466,9 +463,7 @@ impl Language {
     /// Renders the Definition-5 name of a node, e.g. `Mc1•c2c3`.
     pub fn node_name(&self, id: NodeId) -> Option<String> {
         let name = self.names.get(id)?;
-        Some(self.names.render(name, |k| {
-            self.interner.token_by_key(k).lexeme().to_string()
-        }))
+        Some(self.names.render(name, |k| self.interner.token_by_key(k).lexeme().to_string()))
     }
 
     /// Definition-5 statistics over every named node: `(named_nodes,
@@ -493,8 +488,7 @@ impl Language {
             .map(|(id, name)| {
                 (
                     *id,
-                    self.names
-                        .render(name, |k| self.interner.token_by_key(k).lexeme().to_string()),
+                    self.names.render(name, |k| self.interner.token_by_key(k).lexeme().to_string()),
                 )
             })
             .collect();

@@ -27,7 +27,8 @@ impl Language {
     /// assert!(dot.contains("∪"));
     /// ```
     pub fn to_dot(&self, start: NodeId) -> String {
-        let mut out = String::from("digraph grammar {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
+        let mut out =
+            String::from("digraph grammar {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
         let mut seen = vec![false; self.node_count()];
         let mut stack = vec![start];
         while let Some(id) = stack.pop() {
@@ -91,17 +92,17 @@ impl Language {
                 continue;
             }
             seen[id.0 as usize] = true;
-            let (label, shape, children): (String, &str, Vec<ForestId>) =
-                match self.forests.get(id) {
-                    ForestNode::Nothing => ("·".into(), "plaintext", vec![]),
-                    ForestNode::Pending => ("…".into(), "plaintext", vec![]),
-                    ForestNode::EpsTree => ("ε".into(), "plaintext", vec![]),
-                    ForestNode::Leaf(t) => (format!("{:?}", t.lexeme()), "box", vec![]),
-                    ForestNode::Const(t) => (format!("{t}"), "box", vec![]),
-                    ForestNode::Pair(a, b) => ("•".into(), "circle", vec![*a, *b]),
-                    ForestNode::Amb(alts) => ("amb".into(), "doublecircle", alts.clone()),
-                    ForestNode::Map(f, x) => (format!("↪ {f:?}"), "diamond", vec![*x]),
-                };
+            let (label, shape, children): (String, &str, Vec<ForestId>) = match self.forests.get(id)
+            {
+                ForestNode::Nothing => ("·".into(), "plaintext", vec![]),
+                ForestNode::Pending => ("…".into(), "plaintext", vec![]),
+                ForestNode::EpsTree => ("ε".into(), "plaintext", vec![]),
+                ForestNode::Leaf(t) => (format!("{:?}", t.lexeme()), "box", vec![]),
+                ForestNode::Const(t) => (format!("{t}"), "box", vec![]),
+                ForestNode::Pair(a, b) => ("•".into(), "circle", vec![*a, *b]),
+                ForestNode::Amb(alts) => ("amb".into(), "doublecircle", alts.clone()),
+                ForestNode::Map(f, x) => (format!("↪ {f:?}"), "diamond", vec![*x]),
+            };
             let _ = writeln!(
                 out,
                 "  f{} [shape={shape} label=\"{}\"];",

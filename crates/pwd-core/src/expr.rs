@@ -57,26 +57,65 @@ pub(crate) enum ExprKind {
     Pending,
 }
 
+/// Sentinel for "no entry" in the pooled linked lists ([`Language::dep_pool`]
+/// and [`Language::memo_pool`]).
+pub(crate) const NO_LINK: u32 = u32::MAX;
+
+/// One entry of the pooled nullability-dependency lists: `parent` must be
+/// recomputed when the owning node becomes nullable.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DepEntry {
+    pub(crate) parent: NodeId,
+    pub(crate) next: u32,
+}
+
+/// One entry of the pooled `FullHash` memo overflow lists.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MemoEntry {
+    pub(crate) key: TokKey,
+    pub(crate) val: NodeId,
+    pub(crate) next: u32,
+}
+
 /// One grammar node plus its per-node mutable state: nullability lattice
-/// value, single-entry derive memo, and parse-null memo. Storing memo state
-/// *in the node* (not in hash tables) is the §4.4 optimization.
+/// value, derive memo, parse-null memo, productivity mark. Storing this state
+/// *in the node* (not in hash tables) is the §4.4 optimization, generalized
+/// here to every per-parse side table.
+///
+/// All per-parse fields are `Copy` and guarded by an epoch stamp: a field
+/// group is only meaningful while its `*_epoch` equals the owning
+/// [`Language`]'s current parse epoch. [`Language::reset`] therefore never
+/// touches nodes — bumping the epoch invalidates everything at once.
 #[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub(crate) kind: ExprKind,
     pub(crate) label: Option<Rc<str>>,
-    // --- nullability state (§4.2) ---
+    /// Productivity lattice value (see [`crate::prune`]). Not epoch-stamped:
+    /// for initial-grammar nodes productivity is a language-level fact that
+    /// stays valid across parses, and derived nodes die at reset.
+    pub(crate) productive: u8,
+    // --- nullability state (§4.2), valid while `null_epoch` is current ---
+    pub(crate) null_epoch: u32,
     pub(crate) null_value: bool,
     pub(crate) null_definite: bool,
-    pub(crate) null_on_stack: bool,
     pub(crate) null_visited_run: u32,
-    pub(crate) null_deps: Vec<NodeId>,
-    // --- single-entry derive memo (§4.4) ---
+    /// Head of this node's dependency list in [`Language::dep_pool`], valid
+    /// while `deps_run` equals the current fixed-point run label.
+    pub(crate) deps_head: u32,
+    pub(crate) deps_run: u32,
+    // --- derive memo (§4.4), valid while `memo_epoch` is current ---
+    pub(crate) memo_epoch: u32,
     pub(crate) memo_key: Option<TokKey>,
     pub(crate) memo_val: NodeId,
-    /// Second slot for the DualEntry strategy (§4.4's abandoned experiment).
+    /// Second slot: the overflow entry for `DualEntry` (§4.4's abandoned
+    /// experiment) and the second inline entry for `FullHash`.
     pub(crate) memo_key2: Option<TokKey>,
     pub(crate) memo_val2: NodeId,
-    // --- parse-null memo ---
+    /// Head of this node's overflow list in [`Language::memo_pool`]
+    /// (`FullHash` only; entries beyond the two inline slots).
+    pub(crate) memo_over: u32,
+    // --- parse-null memo, valid while `null_parse_epoch` is current ---
+    pub(crate) null_parse_epoch: u32,
     pub(crate) null_parse: Option<ForestId>,
 }
 
@@ -85,16 +124,32 @@ impl Node {
         Node {
             kind,
             label: None,
+            productive: 0,
+            null_epoch: 0,
             null_value: false,
             null_definite: false,
-            null_on_stack: false,
             null_visited_run: 0,
-            null_deps: Vec::new(),
+            deps_head: NO_LINK,
+            deps_run: 0,
+            memo_epoch: 0,
             memo_key: None,
             memo_val: NodeId(0),
             memo_key2: None,
             memo_val2: NodeId(0),
+            memo_over: NO_LINK,
+            null_parse_epoch: 0,
             null_parse: None,
+        }
+    }
+
+    /// The nullability lattice values a node of this kind starts a parse
+    /// with: constants (`∅`, tokens, `ε`) are definite from birth, everything
+    /// else is assumed-not-nullable.
+    pub(crate) fn null_defaults(kind: &ExprKind) -> (bool, bool) {
+        match kind {
+            ExprKind::Empty | ExprKind::Term(_) => (false, true),
+            ExprKind::Eps(_) => (true, true),
+            _ => (false, false),
         }
     }
 }
@@ -131,11 +186,20 @@ pub struct Language {
     pub(crate) interner: Interner,
     pub(crate) config: ParserConfig,
     pub(crate) metrics: Metrics,
-    /// Global table for the FullHash memo strategy, keyed by (node, token).
-    pub(crate) full_memo: HashMap<(NodeId, TokKey), NodeId>,
     pub(crate) names: NameStore,
+    /// The current parse epoch. Every per-parse field on a [`Node`] is
+    /// stamped with the epoch it was written under; [`reset`](Language::reset)
+    /// bumps this counter and thereby invalidates all of them in O(1).
+    pub(crate) epoch: u32,
     /// Monotone counter labelling nullability fixed-point runs (§4.2).
     pub(crate) run_label: u32,
+    /// Pooled storage for per-run nullability dependency lists (replaces a
+    /// per-node `Vec`, so dropping derived nodes frees no heap and clearing
+    /// between parses is O(1)).
+    pub(crate) dep_pool: Vec<DepEntry>,
+    /// Pooled storage for `FullHash` memo overflow lists (replaces the global
+    /// `(node, token)` hash map: the hot path never hashes).
+    pub(crate) memo_pool: Vec<MemoEntry>,
     /// True while `parse`/`derive` are running; gates the §4.3.1 right-child
     /// compaction rules, which are only valid on the initial grammar.
     pub(crate) in_parse: bool,
@@ -146,9 +210,6 @@ pub struct Language {
     pub(crate) initial_forests: Option<usize>,
     /// Canonical `Term` nodes, one per terminal.
     term_nodes: HashMap<TermId, NodeId>,
-    /// Productivity lattice per node (see [`crate::prune`]): parallel to
-    /// `nodes`.
-    pub(crate) productive: Vec<u8>,
 }
 
 impl Language {
@@ -162,29 +223,29 @@ impl Language {
         let mut nodes = Vec::with_capacity(64);
         nodes.push(Node::new(ExprKind::Empty)); // NodeId(0): canonical ∅
         nodes.push(Node::new(ExprKind::Eps(eps_tree))); // NodeId(1): canonical ε
-        let mut empty = Node::new(ExprKind::Empty);
-        empty.null_definite = true;
-        nodes[0] = empty;
-        let mut eps = Node::new(ExprKind::Eps(eps_tree));
-        eps.null_value = true;
-        eps.null_definite = true;
-        nodes[1] = eps;
         Language {
             nodes,
             forests,
             interner: Interner::default(),
             config,
             metrics: Metrics::default(),
-            full_memo: HashMap::new(),
             names: NameStore::default(),
+            epoch: 1,
             run_label: 0,
+            dep_pool: Vec::new(),
+            memo_pool: Vec::new(),
             in_parse: false,
             budget_hit: false,
             initial_nodes: None,
             initial_forests: None,
             term_nodes: HashMap::new(),
-            productive: vec![0, 0],
         }
+    }
+
+    /// The current parse epoch (bumped by [`reset`](Language::reset); useful
+    /// for diagnostics and for asserting that reuse actually resets).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// The engine configuration.
@@ -245,7 +306,6 @@ impl Language {
     pub(crate) fn alloc(&mut self, kind: ExprKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::new(kind));
-        self.productive.push(0);
         self.metrics.nodes_created += 1;
         if let Some(limit) = self.config.max_nodes {
             if self.nodes.len() > limit {
@@ -261,6 +321,68 @@ impl Language {
 
     pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
         &mut self.nodes[id.0 as usize]
+    }
+
+    /// The node's nullability lattice values `(value, definite)`, reading
+    /// epoch-stale state as the kind-determined start-of-parse defaults.
+    #[inline]
+    pub(crate) fn null_state(&self, id: NodeId) -> (bool, bool) {
+        let n = &self.nodes[id.index()];
+        if n.null_epoch == self.epoch {
+            (n.null_value, n.null_definite)
+        } else {
+            Node::null_defaults(&n.kind)
+        }
+    }
+
+    /// Mutable access to a node's nullability state, re-initializing it for
+    /// the current epoch first if it is stale. This is the only write path
+    /// for nullability fields, so stale state can never leak across parses.
+    #[inline]
+    pub(crate) fn null_mut(&mut self, id: NodeId) -> &mut Node {
+        let epoch = self.epoch;
+        let n = &mut self.nodes[id.index()];
+        if n.null_epoch != epoch {
+            n.null_epoch = epoch;
+            n.null_visited_run = 0;
+            n.deps_head = NO_LINK;
+            n.deps_run = 0;
+            let (value, definite) = Node::null_defaults(&n.kind);
+            n.null_value = value;
+            n.null_definite = definite;
+        }
+        n
+    }
+
+    /// The node's memoized null-parse forest, if computed this epoch.
+    #[inline]
+    pub(crate) fn null_parse_get(&self, id: NodeId) -> Option<ForestId> {
+        let n = &self.nodes[id.index()];
+        if n.null_parse_epoch == self.epoch {
+            n.null_parse
+        } else {
+            None
+        }
+    }
+
+    /// Memoizes the node's null-parse forest for the current epoch.
+    #[inline]
+    pub(crate) fn null_parse_set(&mut self, id: NodeId, f: ForestId) {
+        let epoch = self.epoch;
+        let n = &mut self.nodes[id.index()];
+        n.null_parse_epoch = epoch;
+        n.null_parse = Some(f);
+    }
+
+    /// Invalidates every epoch-stamped field of one node. Called whenever a
+    /// node's `kind` is rewritten in place (placeholder patching, `define`,
+    /// emptiness pruning) so derived state is recomputed for the new kind.
+    #[inline]
+    pub(crate) fn invalidate_parse_state(&mut self, id: NodeId) {
+        let n = &mut self.nodes[id.index()];
+        n.null_epoch = 0;
+        n.memo_epoch = 0;
+        n.null_parse_epoch = 0;
     }
 
     /// Follows `Ref` forwarding to the representative node.
@@ -288,14 +410,11 @@ impl Language {
         NodeId(1)
     }
 
-    /// An `ε_s` node yielding the given constant tree.
+    /// An `ε_s` node yielding the given constant tree. (Its definite
+    /// nullability follows from its kind; see [`Node::null_defaults`].)
     pub fn eps_tree(&mut self, tree: Tree) -> NodeId {
         let f = self.forests.alloc(ForestNode::Const(tree));
-        let id = self.alloc(ExprKind::Eps(f));
-        let n = self.node_mut(id);
-        n.null_value = true;
-        n.null_definite = true;
-        id
+        self.alloc(ExprKind::Eps(f))
     }
 
     /// The canonical single-terminal node for `term`.
@@ -304,7 +423,6 @@ impl Language {
             return id;
         }
         let id = self.alloc(ExprKind::Term(term));
-        self.node_mut(id).null_definite = true; // a token is never nullable
         self.term_nodes.insert(term, id);
         id
     }
@@ -327,6 +445,7 @@ impl Language {
             ref other => panic!("define() on a non-forward node {fwd:?} ({other:?})"),
         }
         self.node_mut(fwd).kind = ExprKind::Ref(body);
+        self.invalidate_parse_state(fwd);
     }
 
     /// Attaches a display label (e.g. a non-terminal name) to a node.
@@ -450,7 +569,7 @@ impl Language {
             *counts.entry(name).or_insert(0) += 1;
         }
         let mut v: Vec<(&'static str, usize)> = counts.into_iter().collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         v
     }
 
@@ -513,49 +632,50 @@ impl Language {
             *counts.entry(pat).or_insert(0) += 1;
         }
         let mut v: Vec<(String, usize)> = counts.into_iter().collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         v.truncate(top);
         v.into_iter().map(|(p, c)| format!("{c:>6}  {p}")).collect()
     }
 
-    /// Discards every node and forest created by parsing, clears all memo
-    /// tables and counters, and returns the language to its pristine
-    /// pre-parse state (the paper clears memo tables between benchmark
-    /// rounds the same way).
+    /// Returns the language to its pristine pre-parse state: discards the
+    /// nodes and forests created by parsing and invalidates every memo table
+    /// and lattice value.
+    ///
+    /// This is a **single epoch bump**, not a sweep: per-node parse state
+    /// (derive memos, nullability values, null-parse forests) is stamped
+    /// with the epoch it was written under, so bumping the counter
+    /// invalidates all of it at once. No per-node clearing loop runs, no
+    /// hash table is rehashed, and no buffer is deallocated — arenas and
+    /// pools keep their capacity for the next parse. (The paper clears its
+    /// memo hash tables between benchmark rounds; this achieves the same
+    /// effect in O(1).)
     pub fn reset(&mut self) {
         let (Some(n), Some(f)) = (self.initial_nodes, self.initial_forests) else {
             return; // never parsed; nothing to reset
         };
+        // Roll the arenas back to the initial grammar. Capacity is retained;
+        // derived nodes own no per-parse heap (their dependency and memo
+        // lists live in the shared pools below), so this drops only
+        // reference counts on shared grammar structure.
         self.nodes.truncate(n);
         self.forests.truncate(f);
-        // Productivity of initial nodes is language-determined and stays
-        // valid across parses; just drop the derived suffix.
-        self.productive.truncate(n);
-        for node in &mut self.nodes {
-            node.null_value = false;
-            node.null_definite = false;
-            node.null_on_stack = false;
-            node.null_visited_run = 0;
-            node.null_deps.clear();
-            node.memo_key = None;
-            node.memo_val = NodeId(0);
-            node.memo_key2 = None;
-            node.memo_val2 = NodeId(0);
-            node.null_parse = None;
-            // Constant kinds get their definite nullability back.
-            match node.kind {
-                ExprKind::Empty | ExprKind::Term(_) => node.null_definite = true,
-                ExprKind::Eps(_) => {
-                    node.null_value = true;
-                    node.null_definite = true;
-                }
-                _ => {}
+        // O(1): the pool entries are `Copy`, so `clear` is a length store.
+        self.dep_pool.clear();
+        self.memo_pool.clear();
+        if self.epoch == u32::MAX {
+            // Epoch wrap (once every 2³² resets): hard-invalidate all stamps
+            // so no node from epoch 1 can alias the new epoch 1.
+            for node in &mut self.nodes {
+                node.null_epoch = 0;
+                node.memo_epoch = 0;
+                node.null_parse_epoch = 0;
             }
+            self.epoch = 0;
         }
-        self.full_memo.clear();
+        self.epoch += 1;
+        self.run_label = 0;
         self.names.clear_derived();
         self.metrics = Metrics::default();
-        self.run_label = 0;
         self.in_parse = false;
         self.budget_hit = false;
     }

@@ -258,10 +258,9 @@ impl ForestStore {
             }
             ReduceKind::Reassoc => match t {
                 Tree::Pair(t1, rest) => match &*rest {
-                    Tree::Pair(t2, t3) => out.push(Tree::Pair(
-                        Rc::new(Tree::Pair(t1, t2.clone())),
-                        t3.clone(),
-                    )),
+                    Tree::Pair(t2, t3) => {
+                        out.push(Tree::Pair(Rc::new(Tree::Pair(t1, t2.clone())), t3.clone()))
+                    }
                     _ => out.push(Tree::Pair(t1, rest)),
                 },
                 other => out.push(other),
@@ -320,10 +319,9 @@ impl ForestStore {
             ForestNode::Pair(a, b) => {
                 self.has_tree_rec(*a, on_stack, memo) && self.has_tree_rec(*b, on_stack, memo)
             }
-            ForestNode::Amb(alts) => alts
-                .clone()
-                .iter()
-                .any(|a| self.has_tree_rec(*a, on_stack, memo)),
+            ForestNode::Amb(alts) => {
+                alts.clone().iter().any(|a| self.has_tree_rec(*a, on_stack, memo))
+            }
             ForestNode::Map(_, inner) => self.has_tree_rec(*inner, on_stack, memo),
         };
         on_stack[f.0 as usize] = false;
@@ -482,11 +480,8 @@ mod tests {
         let s = fs.alloc(ForestNode::Amb(vec![s1, s2]));
         let u = fs.alloc(ForestNode::Leaf(tok(&mut i, "u")));
         let m = fs.alloc(ForestNode::Map(Reduce::pair_left(s), u));
-        let mut strs: Vec<String> = fs
-            .trees(m, EnumLimits::default())
-            .iter()
-            .map(|t| t.to_string())
-            .collect();
+        let mut strs: Vec<String> =
+            fs.trees(m, EnumLimits::default()).iter().map(|t| t.to_string()).collect();
         strs.sort();
         assert_eq!(strs, ["(x . u)", "(y . u)"]);
         assert_eq!(fs.count_trees(m), Some(2));

@@ -61,8 +61,8 @@ mod metrics;
 mod names;
 mod nullable;
 mod prune;
-mod session;
 mod reduce;
+mod session;
 mod token;
 
 pub use config::{CompactionMode, MemoStrategy, NullStrategy, ParseMode, ParserConfig};

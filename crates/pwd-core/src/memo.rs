@@ -1,30 +1,56 @@
 //! Memoization of `derive` (§4.4).
 //!
-//! Two strategies:
+//! Strategies:
 //!
-//! * [`MemoStrategy::FullHash`](crate::MemoStrategy::FullHash) — the nested
-//!   hash tables of Might et al. (2011), realized here as one global map
-//!   keyed by `(node, token)`.
+//! * [`MemoStrategy::FullHash`](crate::MemoStrategy::FullHash) — the
+//!   remember-everything semantics of Might et al. (2011)'s nested hash
+//!   tables, realized here **without a hash table**: two inline slots on
+//!   each node plus a pooled per-node overflow list. Figure 10's observation
+//!   (nearly every node holds exactly one entry) is what makes the linear
+//!   overflow scan cheap.
 //! * [`MemoStrategy::SingleEntry`](crate::MemoStrategy::SingleEntry) — the
-//!   paper's improvement: two fields on each node acting as a one-entry
-//!   cache that evicts on conflict. Forgetful (Figure 11), but avoids all
-//!   hashing on the hot path (Figure 12).
+//!   paper's improvement: fields on each node acting as a one-entry cache
+//!   that evicts on conflict. Forgetful (Figure 11), but avoids all hashing
+//!   on the hot path (Figure 12).
+//! * [`MemoStrategy::DualEntry`](crate::MemoStrategy::DualEntry) — the §4.4
+//!   extension the paper tried and abandoned; kept for the ablation benches.
+//!
+//! Every entry is guarded by the node's `memo_epoch` stamp, so
+//! [`Language::reset`] invalidates all strategies' state with one counter
+//! bump — no strategy re-hashes, clears, or walks anything between parses.
 //!
 //! The memo is keyed by token *value* ([`TokKey`]), not input position, so a
 //! recurring token can hit an entry created earlier in the input — the exact
 //! effect Figures 10–12 measure.
 
 use crate::config::MemoStrategy;
-use crate::expr::{Language, NodeId};
+use crate::expr::{Language, MemoEntry, Node, NodeId, NO_LINK};
 use crate::token::TokKey;
-use std::collections::HashMap;
 
 impl Language {
+    /// Mutable access to a node's memo state, re-initializing it for the
+    /// current epoch first if it is stale.
+    #[inline]
+    fn memo_mut(&mut self, id: NodeId) -> &mut Node {
+        let epoch = self.epoch;
+        let n = &mut self.nodes[id.index()];
+        if n.memo_epoch != epoch {
+            n.memo_epoch = epoch;
+            n.memo_key = None;
+            n.memo_key2 = None;
+            n.memo_over = NO_LINK;
+        }
+        n
+    }
+
     /// Looks up the memoized derivative of `id` by token `key`.
     pub(crate) fn memo_get(&self, id: NodeId, key: TokKey) -> Option<NodeId> {
+        let n = self.node(id);
+        if n.memo_epoch != self.epoch {
+            return None;
+        }
         match self.config.memo {
             MemoStrategy::SingleEntry => {
-                let n = self.node(id);
                 if n.memo_key == Some(key) {
                     Some(n.memo_val)
                 } else {
@@ -32,7 +58,6 @@ impl Language {
                 }
             }
             MemoStrategy::DualEntry => {
-                let n = self.node(id);
                 if n.memo_key == Some(key) {
                     Some(n.memo_val)
                 } else if n.memo_key2 == Some(key) {
@@ -41,7 +66,23 @@ impl Language {
                     None
                 }
             }
-            MemoStrategy::FullHash => self.full_memo.get(&(id, key)).copied(),
+            MemoStrategy::FullHash => {
+                if n.memo_key == Some(key) {
+                    return Some(n.memo_val);
+                }
+                if n.memo_key2 == Some(key) {
+                    return Some(n.memo_val2);
+                }
+                let mut cur = n.memo_over;
+                while cur != NO_LINK {
+                    let e = &self.memo_pool[cur as usize];
+                    if e.key == key {
+                        return Some(e.val);
+                    }
+                    cur = e.next;
+                }
+                None
+            }
         }
     }
 
@@ -50,7 +91,7 @@ impl Language {
         match self.config.memo {
             MemoStrategy::SingleEntry => {
                 let evicted = {
-                    let n = self.node_mut(id);
+                    let n = self.memo_mut(id);
                     let evicted = n.memo_key.is_some() && n.memo_key != Some(key);
                     n.memo_key = Some(key);
                     n.memo_val = val;
@@ -62,7 +103,7 @@ impl Language {
             }
             MemoStrategy::DualEntry => {
                 let evicted = {
-                    let n = self.node_mut(id);
+                    let n = self.memo_mut(id);
                     if n.memo_key == Some(key) {
                         n.memo_val = val;
                         false
@@ -82,9 +123,52 @@ impl Language {
                 }
             }
             MemoStrategy::FullHash => {
-                self.full_memo.insert((id, key), val);
+                let over_head = {
+                    let n = self.memo_mut(id);
+                    if n.memo_key.is_none() || n.memo_key == Some(key) {
+                        n.memo_key = Some(key);
+                        n.memo_val = val;
+                        return;
+                    }
+                    if n.memo_key2.is_none() || n.memo_key2 == Some(key) {
+                        n.memo_key2 = Some(key);
+                        n.memo_val2 = val;
+                        return;
+                    }
+                    n.memo_over
+                };
+                // Update in place if present; otherwise push a new entry.
+                let mut cur = over_head;
+                while cur != NO_LINK {
+                    let e = &mut self.memo_pool[cur as usize];
+                    if e.key == key {
+                        e.val = val;
+                        return;
+                    }
+                    cur = e.next;
+                }
+                let idx = self.memo_pool.len() as u32;
+                self.memo_pool.push(MemoEntry { key, val, next: over_head });
+                self.nodes[id.index()].memo_over = idx;
             }
         }
+    }
+
+    /// Number of memo entries a node currently holds (0 if its state is from
+    /// an earlier epoch).
+    fn memo_entries_of(&self, n: &Node) -> u32 {
+        if n.memo_epoch != self.epoch {
+            return 0;
+        }
+        let mut count = u32::from(n.memo_key.is_some()) + u32::from(n.memo_key2.is_some());
+        if self.config.memo == MemoStrategy::FullHash {
+            let mut cur = n.memo_over;
+            while cur != NO_LINK {
+                count += 1;
+                cur = self.memo_pool[cur as usize].next;
+            }
+        }
+        count
     }
 
     /// Census of derive-memo entries per node (Figure 10): for every node
@@ -93,27 +177,7 @@ impl Language {
     /// Under `SingleEntry` every occupied node reports exactly 1 by
     /// construction, so the census is only informative under `FullHash`.
     pub fn memo_entry_counts(&self) -> Vec<u32> {
-        match self.config.memo {
-            MemoStrategy::SingleEntry => self
-                .nodes
-                .iter()
-                .filter(|n| n.memo_key.is_some())
-                .map(|_| 1)
-                .collect(),
-            MemoStrategy::DualEntry => self
-                .nodes
-                .iter()
-                .filter(|n| n.memo_key.is_some())
-                .map(|n| if n.memo_key2.is_some() { 2 } else { 1 })
-                .collect(),
-            MemoStrategy::FullHash => {
-                let mut per_node: HashMap<NodeId, u32> = HashMap::new();
-                for (node, _) in self.full_memo.keys() {
-                    *per_node.entry(*node).or_insert(0) += 1;
-                }
-                per_node.into_values().collect()
-            }
-        }
+        self.nodes.iter().map(|n| self.memo_entries_of(n)).filter(|&c| c > 0).collect()
     }
 
     /// Fraction of memoized nodes holding exactly one entry (the quantity
@@ -153,12 +217,31 @@ mod tests {
         let mut lang = Language::new(ParserConfig::original_2011());
         let a = lang.terminal("a");
         let n = lang.term_node(a);
-        let (k1, k2) = (TokKey(0), TokKey(1));
-        lang.memo_put(n, k1, NodeId(0));
-        lang.memo_put(n, k2, NodeId(1));
-        assert_eq!(lang.memo_get(n, k1), Some(NodeId(0)));
-        assert_eq!(lang.memo_get(n, k2), Some(NodeId(1)));
+        // Enough keys to overflow both inline slots into the pool.
+        for k in 0..6u32 {
+            lang.memo_put(n, TokKey(k), NodeId(k));
+        }
+        for k in 0..6u32 {
+            assert_eq!(lang.memo_get(n, TokKey(k)), Some(NodeId(k)), "key {k}");
+        }
+        assert_eq!(lang.memo_get(n, TokKey(99)), None);
         assert_eq!(lang.metrics().memo_evictions, 0);
+    }
+
+    #[test]
+    fn full_hash_updates_in_place() {
+        let mut lang = Language::new(ParserConfig::original_2011());
+        let a = lang.terminal("a");
+        let n = lang.term_node(a);
+        for k in 0..4u32 {
+            lang.memo_put(n, TokKey(k), NodeId(k));
+        }
+        // Overwrite an inline and an overflow entry.
+        lang.memo_put(n, TokKey(0), NodeId(40));
+        lang.memo_put(n, TokKey(3), NodeId(43));
+        assert_eq!(lang.memo_get(n, TokKey(0)), Some(NodeId(40)));
+        assert_eq!(lang.memo_get(n, TokKey(3)), Some(NodeId(43)));
+        assert_eq!(lang.memo_entry_counts(), vec![4], "no duplicate entries");
     }
 
     #[test]

@@ -136,13 +136,7 @@ mod tests {
     fn render_places_bullet() {
         let mut store = NameStore::default();
         store.assign_base(NodeId(0), "M".into());
-        let n = store
-            .get(NodeId(0))
-            .unwrap()
-            .clone()
-            .extend(k(1))
-            .extend_bullet(k(2))
-            .extend(k(3));
+        let n = store.get(NodeId(0)).unwrap().clone().extend(k(1)).extend_bullet(k(2)).extend(k(3));
         let s = store.render(&n, |t| format!("c{}", t.0 + 1));
         assert_eq!(s, "Mc2•c3c4");
     }

@@ -18,9 +18,18 @@
 //! In all strategies `true` is final the moment it is discovered (the
 //! lattice is monotone), and constant nodes (`∅`, `ε`, tokens) are definite
 //! from birth.
+//!
+//! All lattice values live in epoch-stamped node fields and the dependency
+//! lists live in one pooled arena ([`Language::dep_pool`]), stamped with the
+//! run label that recorded them: a [`Language::reset`] (epoch bump) or a new
+//! fixed-point run invalidates them without any clearing sweep. Dependencies
+//! recorded by an *earlier* run are deliberately dropped — under `Worklist`
+//! nothing is definite so parents recompute on their next query anyway, and
+//! under `Labeled` a completed run has promoted everything it examined, so a
+//! cross-run wake-up can never fire.
 
 use crate::config::NullStrategy;
-use crate::expr::{ExprKind, Language, NodeId};
+use crate::expr::{DepEntry, ExprKind, Language, NodeId, NO_LINK};
 
 impl Language {
     /// Is the language of `id` nullable (does it accept the empty word)?
@@ -39,7 +48,7 @@ impl Language {
 
     /// Resolved current lattice value without recomputation.
     fn val(&self, id: NodeId) -> bool {
-        self.node(self.resolve(id)).null_value
+        self.null_state(self.resolve(id)).0
     }
 
     // ------------------------------------------------------------------
@@ -49,8 +58,9 @@ impl Language {
     fn nullable_naive(&mut self, id: NodeId) -> bool {
         let id = self.resolve(id);
         self.metrics.nullable_calls += 1;
-        if self.node(id).null_definite {
-            return self.node(id).null_value;
+        let (value, definite) = self.null_state(id);
+        if definite {
+            return value;
         }
         self.metrics.nullable_runs += 1;
         loop {
@@ -61,22 +71,23 @@ impl Language {
                 break;
             }
         }
-        self.node(id).null_value
+        self.null_state(id).0
     }
 
     fn naive_visit(&mut self, id: NodeId, changed: &mut bool) -> bool {
         self.metrics.nullable_calls += 1;
         let id = self.resolve(id);
+        let run = self.run_label;
         {
-            let n = self.node(id);
+            let n = self.null_mut(id);
             if n.null_definite {
                 return n.null_value;
             }
-            if n.null_visited_run == self.run_label {
+            if n.null_visited_run == run {
                 return n.null_value;
             }
+            n.null_visited_run = run;
         }
-        self.node_mut(id).null_visited_run = self.run_label;
         let v = match self.node(id).kind.clone() {
             ExprKind::Empty | ExprKind::Term(_) | ExprKind::Pending | ExprKind::Forward => false,
             ExprKind::Eps(_) => true,
@@ -95,13 +106,13 @@ impl Language {
             ExprKind::Red(x, _) | ExprKind::Delta(x) => self.naive_visit(x, changed),
             ExprKind::Ref(_) => unreachable!("resolved"),
         };
-        if v && !self.node(id).null_value {
-            let n = self.node_mut(id);
+        if v && !self.null_state(id).0 {
+            let n = self.null_mut(id);
             n.null_value = true;
             n.null_definite = true; // monotone: true is final
             *changed = true;
         }
-        self.node(id).null_value
+        self.null_state(id).0
     }
 
     // ------------------------------------------------------------------
@@ -111,8 +122,9 @@ impl Language {
     fn nullable_fix(&mut self, id: NodeId, promote: bool) -> bool {
         let id = self.resolve(id);
         self.metrics.nullable_calls += 1;
-        if self.node(id).null_definite {
-            return self.node(id).null_value;
+        let (value, definite) = self.null_state(id);
+        if definite {
+            return value;
         }
         self.metrics.nullable_runs += 1;
         self.run_label += 1;
@@ -121,36 +133,44 @@ impl Language {
         self.fix_visit(id, &mut queue, &mut visited);
         // Propagate discovered-nullable facts along recorded dependencies.
         while let Some(n) = queue.pop() {
-            let deps = std::mem::take(&mut self.node_mut(n).null_deps);
-            for d in deps {
-                self.fix_recompute(d, &mut queue);
+            let mut cur = self.take_deps(n);
+            while cur != NO_LINK {
+                let entry = self.dep_pool[cur as usize];
+                self.fix_recompute(entry.parent, &mut queue);
+                cur = entry.next;
             }
         }
         if promote {
             // §4.2: the run is complete, so everything it examined is at a
             // fixed point; assumed-not-nullable becomes definitely-not.
             for v in visited {
-                self.node_mut(v).null_definite = true;
+                self.null_mut(v).null_definite = true;
             }
         }
-        self.node(id).null_value
+        self.null_state(id).0
     }
 
-    fn fix_visit(&mut self, id: NodeId, queue: &mut Vec<NodeId>, visited: &mut Vec<NodeId>) -> bool {
+    fn fix_visit(
+        &mut self,
+        id: NodeId,
+        queue: &mut Vec<NodeId>,
+        visited: &mut Vec<NodeId>,
+    ) -> bool {
         self.metrics.nullable_calls += 1;
         let id = self.resolve(id);
+        let run = self.run_label;
         {
-            let n = self.node(id);
+            let n = self.null_mut(id);
             if n.null_definite {
                 return n.null_value;
             }
-            if n.null_visited_run == self.run_label {
+            if n.null_visited_run == run {
                 // Already seen this run (possibly still on the DFS stack):
                 // use the current assumption.
                 return n.null_value;
             }
+            n.null_visited_run = run;
         }
-        self.node_mut(id).null_visited_run = self.run_label;
         visited.push(id);
         let v = match self.node(id).kind.clone() {
             ExprKind::Empty | ExprKind::Term(_) => false,
@@ -184,7 +204,7 @@ impl Language {
         if v {
             self.set_nullable(id, queue);
         }
-        self.node(id).null_value
+        self.null_state(id).0
     }
 
     /// Visits a child and subscribes `parent` to it when the child's value
@@ -198,17 +218,46 @@ impl Language {
     ) -> bool {
         let v = self.fix_visit(child, queue, visited);
         let c = self.resolve(child);
-        if !v && !self.node(c).null_definite {
-            let deps = &mut self.node_mut(c).null_deps;
-            if deps.last() != Some(&parent) {
-                deps.push(parent);
-            }
+        if !v && !self.null_state(c).1 {
+            self.push_dep(c, parent);
         }
         v
     }
 
+    /// Records `parent` in `child`'s dependency list for the current run.
+    fn push_dep(&mut self, child: NodeId, parent: NodeId) {
+        let run = self.run_label;
+        let head = {
+            let n = self.null_mut(child);
+            if n.deps_run != run {
+                // A stale list from an earlier run: abandon it in the pool.
+                n.deps_head = NO_LINK;
+                n.deps_run = run;
+            }
+            n.deps_head
+        };
+        // Cheap de-duplication of immediate re-subscription.
+        if head != NO_LINK && self.dep_pool[head as usize].parent == parent {
+            return;
+        }
+        let idx = self.dep_pool.len() as u32;
+        self.dep_pool.push(DepEntry { parent, next: head });
+        self.null_mut(child).deps_head = idx;
+    }
+
+    /// Detaches and returns the head of `id`'s current-run dependency list
+    /// (`NO_LINK` if it has none or the list is from an earlier run).
+    fn take_deps(&mut self, id: NodeId) -> u32 {
+        let run = self.run_label;
+        let n = self.null_mut(id);
+        if n.deps_run != run {
+            return NO_LINK;
+        }
+        std::mem::replace(&mut n.deps_head, NO_LINK)
+    }
+
     fn set_nullable(&mut self, id: NodeId, queue: &mut Vec<NodeId>) {
-        let n = self.node_mut(id);
+        let n = self.null_mut(id);
         if !n.null_value {
             n.null_value = true;
             n.null_definite = true;
@@ -221,7 +270,7 @@ impl Language {
     fn fix_recompute(&mut self, id: NodeId, queue: &mut Vec<NodeId>) {
         self.metrics.nullable_calls += 1;
         let id = self.resolve(id);
-        if self.node(id).null_value {
+        if self.null_state(id).0 {
             return;
         }
         let v = match self.node(id).kind.clone() {
@@ -352,9 +401,12 @@ mod tests {
                     // strategies see identical graphs.
                     (0..n_nodes)
                         .map(|i| {
-                            let h = (_case as u64 * 31 + i as u64)
-                                .wrapping_mul(0x2545F4914F6CDD1D);
-                            ((h >> 60) as u32 % 4, (h as usize >> 8) % n_nodes, (h as usize >> 24) % n_nodes)
+                            let h = (_case as u64 * 31 + i as u64).wrapping_mul(0x2545F4914F6CDD1D);
+                            (
+                                (h >> 60) as u32 % 4,
+                                (h as usize >> 8) % n_nodes,
+                                (h as usize >> 24) % n_nodes,
+                            )
                         })
                         .collect()
                 };
@@ -412,10 +464,7 @@ mod tests {
         let after_first = lang.metrics().nullable_calls;
         assert!(!lang.nullable(l));
         let after_second = lang.metrics().nullable_calls;
-        assert!(
-            after_second - after_first > 1,
-            "worklist must revisit assumed-not-nullable nodes"
-        );
+        assert!(after_second - after_first > 1, "worklist must revisit assumed-not-nullable nodes");
     }
 
     #[test]
@@ -443,5 +492,28 @@ mod tests {
             naive.metrics().nullable_calls,
             labeled.metrics().nullable_calls
         );
+    }
+
+    /// After an epoch reset, promoted lattice values must be forgotten: the
+    /// same query re-runs the fixed point and answers identically.
+    #[test]
+    fn epoch_reset_forgets_promotions() {
+        let mut lang = with_strategy(NullStrategy::Labeled);
+        let c = lang.terminal("c");
+        let tc = lang.term_node(c);
+        let l = lang.forward();
+        let lc = lang.cat(l, tc);
+        let body = lang.alt(lc, tc);
+        lang.define(l, body);
+
+        let tok = lang.token(c, "c");
+        assert!(lang.recognize(l, std::slice::from_ref(&tok)).unwrap());
+        let epoch_before = lang.epoch();
+        lang.reset();
+        assert_eq!(lang.epoch(), epoch_before + 1);
+        // The promoted "L not nullable" fact must have been invalidated, so
+        // this query starts a fresh run (and still answers false).
+        assert!(!lang.nullable(l));
+        assert!(lang.metrics().nullable_runs > 0, "reset must force a fresh run");
     }
 }

@@ -22,7 +22,10 @@
 
 use crate::expr::{ExprKind, Language, NodeId};
 
-/// Productivity lattice values stored per node (in a side table).
+/// Productivity lattice values, stored as a dense per-node slot
+/// (`Node::productive`). The mark is *not* epoch-stamped: for initial-grammar
+/// nodes productivity is a language-level fact that stays valid across
+/// parses, and derived nodes are discarded by `reset()` anyway.
 pub(crate) const PROD_UNKNOWN: u8 = 0;
 pub(crate) const PROD_YES: u8 = 1;
 pub(crate) const PROD_EMPTY: u8 = 2;
@@ -36,18 +39,17 @@ impl Language {
     /// is genuinely empty.
     pub(crate) fn prune_empty(&mut self, lo: usize) {
         let hi = self.nodes.len();
-        debug_assert_eq!(self.productive.len(), hi);
         if lo >= hi {
             return;
         }
         loop {
             let mut changed = false;
             for i in lo..hi {
-                if self.productive[i] != PROD_UNKNOWN {
+                if self.nodes[i].productive != PROD_UNKNOWN {
                     continue;
                 }
                 if self.eval_productive(NodeId(i as u32)) {
-                    self.productive[i] = PROD_YES;
+                    self.nodes[i].productive = PROD_YES;
                     changed = true;
                 }
             }
@@ -60,13 +62,14 @@ impl Language {
         // PROD_EMPTY value already stops them from keeping zombies alive.
         let rewrite_from = self.initial_nodes.unwrap_or(0).max(lo);
         for i in lo..hi {
-            if self.productive[i] == PROD_UNKNOWN {
-                self.productive[i] = PROD_EMPTY;
+            if self.nodes[i].productive == PROD_UNKNOWN {
+                self.nodes[i].productive = PROD_EMPTY;
                 if i >= rewrite_from {
-                    let n = &mut self.nodes[i];
-                    n.kind = ExprKind::Empty;
-                    n.null_value = false;
-                    n.null_definite = true;
+                    let id = NodeId(i as u32);
+                    self.nodes[i].kind = ExprKind::Empty;
+                    // The kind changed, so epoch-stamped state derived from
+                    // the old kind (nullability above all) must not survive.
+                    self.invalidate_parse_state(id);
                     self.metrics.empty_prunes += 1;
                 }
             }
@@ -78,7 +81,7 @@ impl Language {
     fn eval_productive(&self, id: NodeId) -> bool {
         let read = |c: NodeId| -> bool {
             let c = self.resolve(c);
-            self.productive[c.index()] == PROD_YES
+            self.node(c).productive == PROD_YES
         };
         match &self.node(id).kind {
             ExprKind::Empty => false,
@@ -93,9 +96,9 @@ impl Language {
                 // nullability when final; otherwise stay conservative
                 // (productive) rather than compute a nested fixed point.
                 let x = self.resolve(*x);
-                let n = self.node(x);
-                if n.null_definite {
-                    n.null_value
+                let (value, definite) = self.null_state(x);
+                if definite {
+                    value
                 } else {
                     true
                 }

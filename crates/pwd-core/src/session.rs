@@ -240,13 +240,8 @@ mod tests {
     #[test]
     fn session_agrees_with_batch_parse() {
         let (mut lang, s, a, b) = ab_language();
-        let inputs: Vec<Vec<&Token>> = vec![
-            vec![&a, &b],
-            vec![&a, &a, &b, &b],
-            vec![&a, &b, &b],
-            vec![&a, &a],
-            vec![],
-        ];
+        let inputs: Vec<Vec<&Token>> =
+            vec![vec![&a, &b], vec![&a, &a, &b, &b], vec![&a, &b, &b], vec![&a, &a], vec![]];
         for input in inputs {
             let toks: Vec<Token> = input.iter().map(|t| (*t).clone()).collect();
             lang.reset();
@@ -271,13 +266,11 @@ mod tests {
         // After "aa", the remaining language is exactly { b b, a^k b^(k+2) }…
         // check two members and a non-member.
         assert!(lang.recognize(d, &[b.clone(), b.clone()]).unwrap());
-        assert!(lang
-            .recognize(d, &[a.clone(), b.clone(), b.clone(), b.clone()])
-            .unwrap());
+        assert!(lang.recognize(d, &[a.clone(), b.clone(), b.clone(), b.clone()]).unwrap());
         lang.reset();
         // reset() drops derived nodes, so re-derive for the negative case.
         let d = lang.derivative(s, &[a.clone(), a.clone()]).unwrap();
-        assert!(!lang.recognize(d, &[b.clone()]).unwrap());
+        assert!(!lang.recognize(d, std::slice::from_ref(&b)).unwrap());
     }
 
     #[test]

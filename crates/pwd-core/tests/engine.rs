@@ -1,8 +1,8 @@
 //! Behavioral tests of the PWD engine across every configuration axis.
 
 use pwd_core::{
-    CompactionMode, EnumLimits, Language, MemoStrategy, NodeId, NullStrategy, ParseMode,
-    ParserConfig, PwdError, Reduce, TermId, Token, Tree,
+    CompactionMode, Language, MemoStrategy, NodeId, NullStrategy, ParseMode, ParserConfig,
+    PwdError, Reduce, TermId, Token, Tree,
 };
 
 /// Every meaningful engine configuration: 3 nullability × 3 compaction ×
@@ -204,10 +204,7 @@ fn user_reduction_builds_ast() {
     let mut b = Bench::new(ParserConfig::improved());
     let (a, bb) = (b.t('a'), b.t('b'));
     let ab = b.lang.cat(a, bb);
-    let s = b.lang.reduce(
-        ab,
-        Reduce::func("mk", |t| Tree::node("pair", vec![t])),
-    );
+    let s = b.lang.reduce(ab, Reduce::func("mk", |t| Tree::node("pair", vec![t])));
     let toks = b.toks("ab");
     let tree = b.lang.parse_unique(s, &toks).unwrap().expect("unambiguous");
     assert_eq!(tree.to_string(), "(pair (a . b))");
@@ -398,7 +395,7 @@ fn reset_is_idempotent_and_safe_before_parse() {
     let a = lang.terminal("a");
     let ta = lang.term_node(a);
     let tok = lang.token(a, "a");
-    assert!(lang.recognize(ta, &[tok.clone()]).unwrap());
+    assert!(lang.recognize(ta, std::slice::from_ref(&tok)).unwrap());
     lang.reset();
     lang.reset();
     assert!(lang.recognize(ta, &[tok]).unwrap());

@@ -62,14 +62,11 @@ fn theorem8_node_count_within_cubic_bound() {
         let (mut lang, l, toks) = figure5(n);
         assert!(lang.recognize(l, &toks).unwrap());
         let g_initial = 3u64; // L, M, N
-        // Substrings: n(n+1)/2 nonempty + 1 empty; bullet positions ≤ n+1.
+                              // Substrings: n(n+1)/2 nonempty + 1 empty; bullet positions ≤ n+1.
         let substrings = (n as u64 * (n as u64 + 1)) / 2 + 1;
         let bound = g_initial * substrings * (n as u64 + 2);
         let created = lang.named_node_count() as u64;
-        assert!(
-            created <= bound,
-            "n={n}: created {created} nodes, cubic bound {bound}"
-        );
+        assert!(created <= bound, "n={n}: created {created} nodes, cubic bound {bound}");
     }
 }
 
@@ -104,10 +101,7 @@ fn figure5_first_derivative_names() {
     assert!(lang.recognize(l, &toks).unwrap());
     let names: Vec<String> = lang.all_node_names().into_iter().map(|(_, n)| n).collect();
     for expected in ["L", "M", "N", "Lc1", "Mc1", "Nc1"] {
-        assert!(
-            names.iter().any(|n| n == expected),
-            "missing name {expected:?} in {names:?}"
-        );
+        assert!(names.iter().any(|n| n == expected), "missing name {expected:?} in {names:?}");
     }
 }
 
@@ -120,10 +114,7 @@ fn figure5_second_derivative_names() {
     assert!(lang.recognize(l, &toks).unwrap());
     let names: Vec<String> = lang.all_node_names().into_iter().map(|(_, n)| n).collect();
     for expected in ["Mc1•c2", "Lc1c2", "Mc1c2", "Nc1c2", "Lc2", "Mc2", "Nc2"] {
-        assert!(
-            names.iter().any(|n| n == expected),
-            "missing name {expected:?} in {names:?}"
-        );
+        assert!(names.iter().any(|n| n == expected), "missing name {expected:?} in {names:?}");
     }
 }
 

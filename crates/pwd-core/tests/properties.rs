@@ -100,9 +100,7 @@ fn setup(config: ParserConfig, rx: &Rx) -> (Language, NodeId, TermId, TermId) {
 }
 
 fn tokens(lang: &mut Language, ta: TermId, tb: TermId, s: &[u8]) -> Vec<Token> {
-    s.iter()
-        .map(|&c| if c == 0 { lang.token(ta, "a") } else { lang.token(tb, "b") })
-        .collect()
+    s.iter().map(|&c| if c == 0 { lang.token(ta, "a") } else { lang.token(tb, "b") }).collect()
 }
 
 proptest! {
@@ -196,6 +194,53 @@ proptest! {
         let m2 = *lang.metrics();
         prop_assert_eq!(r1, r2);
         prop_assert_eq!(m1, m2);
+    }
+
+    /// Epoch reset is indistinguishable from a fresh compile: a `Language`
+    /// that has parsed and been `reset()` answers recognition *and* parse
+    /// counting identically to one that was never used, across random
+    /// grammars, random inputs, and every configuration preset.
+    #[test]
+    fn reset_language_equals_fresh_language(
+        rx in rx_strategy(),
+        first in proptest::collection::vec(0u8..2, 0..10),
+        inputs in proptest::collection::vec(proptest::collection::vec(0u8..2, 0..8), 1..4),
+    ) {
+        for config in [
+            ParserConfig::improved(),
+            ParserConfig::original_2011(),
+            ParserConfig { compaction: CompactionMode::None, ..ParserConfig::improved() },
+        ] {
+            // The reused engine: dirty it with one parse, then epoch-reset
+            // before every query.
+            let (mut reused, root_r, ta_r, tb_r) = setup(config, &rx);
+            let warmup = tokens(&mut reused, ta_r, tb_r, &first);
+            let _ = reused.recognize(root_r, &warmup).unwrap();
+            for s in &inputs {
+                reused.reset();
+                let toks = tokens(&mut reused, ta_r, tb_r, s);
+                let got = reused.recognize(root_r, &toks).unwrap();
+
+                let (mut fresh, root_f, ta_f, tb_f) = setup(config, &rx);
+                let toks_f = tokens(&mut fresh, ta_f, tb_f, s);
+                let want = fresh.recognize(root_f, &toks_f).unwrap();
+                prop_assert_eq!(got, want, "recognize after reset: rx={:?} s={:?}", rx, s);
+
+                reused.reset();
+                let toks = tokens(&mut reused, ta_r, tb_r, s);
+                let count_reused = match reused.parse_forest(root_r, &toks) {
+                    Ok(f) => Some(reused.count_of(f)),
+                    Err(_) => None,
+                };
+                let (mut fresh, root_f, ta_f, tb_f) = setup(config, &rx);
+                let toks_f = tokens(&mut fresh, ta_f, tb_f, s);
+                let count_fresh = match fresh.parse_forest(root_f, &toks_f) {
+                    Ok(f) => Some(fresh.count_of(f)),
+                    Err(_) => None,
+                };
+                prop_assert_eq!(count_reused, count_fresh, "count after reset: rx={:?} s={:?}", rx, s);
+            }
+        }
     }
 
     /// Reachable node count never decreases wrongly and nodes created is

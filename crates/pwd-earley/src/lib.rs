@@ -111,10 +111,9 @@ impl EarleyParser {
             .iter()
             .enumerate()
             .map(|(i, l)| {
-                self.cfg.terminal_index(&l.kind).ok_or_else(|| UnknownKind {
-                    kind: l.kind.clone(),
-                    position: i,
-                })
+                self.cfg
+                    .terminal_index(&l.kind)
+                    .ok_or_else(|| UnknownKind { kind: l.kind.clone(), position: i })
             })
             .collect();
         Ok(self.recognize(&toks?))
@@ -135,10 +134,9 @@ impl EarleyParser {
             .iter()
             .enumerate()
             .map(|(i, k)| {
-                self.cfg.terminal_index(k).ok_or_else(|| UnknownKind {
-                    kind: (*k).to_string(),
-                    position: i,
-                })
+                self.cfg
+                    .terminal_index(k)
+                    .ok_or_else(|| UnknownKind { kind: (*k).to_string(), position: i })
             })
             .collect()
     }
@@ -334,21 +332,13 @@ impl EarleyParser {
     /// Is production `pi` completed over `[from, to)`?
     fn completed(&self, chart: &[HashSet<Item>], pi: usize, from: usize, to: usize) -> bool {
         let p = &self.cfg.productions()[pi];
-        chart[to].contains(&Item {
-            prod: pi as u32,
-            dot: p.rhs.len() as u32,
-            origin: from as u32,
-        })
+        chart[to].contains(&Item { prod: pi as u32, dot: p.rhs.len() as u32, origin: from as u32 })
     }
 
     /// Can nonterminal `nt` derive `tokens[from..to)` (some production
     /// completed over that span)?
     fn derives(&self, chart: &[HashSet<Item>], nt: u32, from: usize, to: usize) -> Option<usize> {
-        self.cfg
-            .productions_of(nt)
-            .iter()
-            .copied()
-            .find(|&pi| self.completed(chart, pi, from, to))
+        self.cfg.productions_of(nt).iter().copied().find(|&pi| self.completed(chart, pi, from, to))
     }
 
     /// Builds a derivation for production `pi` spanning `[from, to)` by
@@ -489,10 +479,7 @@ mod tree_tests {
         let cfg = pwd_grammar::grammars::python::cfg();
         let p = EarleyParser::new(&cfg);
         let lexemes = pwd_lex::tokenize_python("x = 1\n").unwrap();
-        let toks: Vec<u32> = lexemes
-            .iter()
-            .map(|l| cfg.terminal_index(&l.kind).unwrap())
-            .collect();
+        let toks: Vec<u32> = lexemes.iter().map(|l| cfg.terminal_index(&l.kind).unwrap()).collect();
         let tree = p.parse_tree(&toks).expect("accepted");
         assert_eq!(tree.leaves(), toks.len());
         assert!(tree.render(&cfg).starts_with("(file_input"));

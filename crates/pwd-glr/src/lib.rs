@@ -164,8 +164,7 @@ impl GlrParser {
 
         // SLR: FOLLOW sets of the base grammar gate reductions.
         let follow = analysis::follow_sets(cfg);
-        let mut action: Vec<HashMap<Option<u32>, Vec<Action>>> =
-            vec![HashMap::new(); states.len()];
+        let mut action: Vec<HashMap<Option<u32>, Vec<Action>>> = vec![HashMap::new(); states.len()];
         let mut goto_nt: Vec<HashMap<u32, u32>> = vec![HashMap::new(); states.len()];
         for (si, state) in states.iter().enumerate() {
             for (sym, &ti) in &trans[si] {
@@ -385,8 +384,7 @@ impl GlrParser {
                             .get(&None)
                             .is_some_and(|acts| acts.contains(&Action::Accept))
                     });
-                    let stats =
-                        GlrStats { gss_nodes: gss.states.len(), gss_edges: edge_count };
+                    let stats = GlrStats { gss_nodes: gss.states.len(), gss_edges: edge_count };
                     return (accepted, stats);
                 }
                 Some(t) => {
@@ -395,9 +393,7 @@ impl GlrParser {
                         if let Some(acts) = self.action[st as usize].get(&Some(t)) {
                             for a in acts {
                                 if let Action::Shift(s) = a {
-                                    let w = *next
-                                        .entry(*s)
-                                        .or_insert_with(|| gss.push(*s));
+                                    let w = *next.entry(*s).or_insert_with(|| gss.push(*s));
                                     if !gss.edges[w].contains(&node) {
                                         gss.edges[w].push(node);
                                         edge_count += 1;
@@ -407,8 +403,7 @@ impl GlrParser {
                         }
                     }
                     if next.is_empty() {
-                        let stats =
-                            GlrStats { gss_nodes: gss.states.len(), gss_edges: edge_count };
+                        let stats = GlrStats { gss_nodes: gss.states.len(), gss_edges: edge_count };
                         return (false, stats);
                     }
                     frontier = next;

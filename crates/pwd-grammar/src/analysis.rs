@@ -113,8 +113,7 @@ pub fn follow_sets(cfg: &Cfg) -> Vec<BTreeSet<Option<u32>>> {
                     }
                 }
                 if eps {
-                    let add: Vec<Option<u32>> =
-                        follow[p.lhs as usize].iter().copied().collect();
+                    let add: Vec<Option<u32>> = follow[p.lhs as usize].iter().copied().collect();
                     for t in add {
                         if follow[n].insert(t) {
                             changed = true;

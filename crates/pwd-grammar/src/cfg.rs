@@ -230,10 +230,7 @@ impl CfgBuilder {
     ///
     /// Panics if `lhs` was declared as a terminal.
     pub fn rule(&mut self, lhs: &str, rhs: &[&str]) -> &mut Self {
-        assert!(
-            !self.tmap.contains_key(lhs),
-            "rule head {lhs:?} was declared as a terminal"
-        );
+        assert!(!self.tmap.contains_key(lhs), "rule head {lhs:?} was declared as a terminal");
         let lhs = self.nonterminal(lhs);
         let rhs = rhs
             .iter()

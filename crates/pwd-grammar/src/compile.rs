@@ -135,10 +135,8 @@ impl Compiled {
             .iter()
             .enumerate()
             .map(|(i, l)| {
-                self.token(&l.kind, &l.text).ok_or_else(|| UnknownTerminal {
-                    kind: l.kind.clone(),
-                    position: i,
-                })
+                self.token(&l.kind, &l.text)
+                    .ok_or_else(|| UnknownTerminal { kind: l.kind.clone(), position: i })
             })
             .collect()
     }
@@ -263,7 +261,7 @@ mod tests {
     }
 
     #[test]
-    fn ambiguous_trees_are_distinct(){
+    fn ambiguous_trees_are_distinct() {
         let mut g = CfgBuilder::new("E");
         g.terminals(&["+", "n"]);
         g.rule("E", &["E", "+", "E"]);
@@ -271,13 +269,9 @@ mod tests {
         let mut c = Compiled::compile(&g.build().unwrap(), ParserConfig::improved());
         let start = c.start;
         let input = toks(&mut c, "n + n + n");
-        let trees = c
-            .lang
-            .parse_trees(start, &input, EnumLimits::default())
-            .unwrap();
+        let trees = c.lang.parse_trees(start, &input, EnumLimits::default()).unwrap();
         assert_eq!(trees.len(), 2, "left- and right-association");
-        let strs: std::collections::HashSet<String> =
-            trees.iter().map(|t| t.to_string()).collect();
+        let strs: std::collections::HashSet<String> = trees.iter().map(|t| t.to_string()).collect();
         assert_eq!(strs.len(), 2);
     }
 

@@ -57,7 +57,11 @@ impl PyGen {
         if self.rng.random_bool(0.4) {
             POOL[self.rng.random_range(0..POOL.len())].to_string()
         } else {
-            format!("{}{}", POOL[self.rng.random_range(0..POOL.len())], self.rng.random_range(0..500u32))
+            format!(
+                "{}{}",
+                POOL[self.rng.random_range(0..POOL.len())],
+                self.rng.random_range(0..500u32)
+            )
         }
     }
 
@@ -124,11 +128,7 @@ impl PyGen {
                 s
             }
             7 => {
-                let mut s = format!(
-                    "{pad}for {} in range({}):\n",
-                    self.name(),
-                    self.number()
-                );
+                let mut s = format!("{pad}for {} in range({}):\n", self.name(), self.number());
                 s.push_str(&self.statement(indent + 1));
                 s
             }
@@ -220,11 +220,12 @@ fn json_value(rng: &mut StdRng, depth: usize, budget: &mut isize) -> String {
         format!("{{{}}}", items.join(", "))
     } else {
         let n = rng.random_range(1..5usize);
-        let items: Vec<String> =
-            (0..n).map(|_| {
+        let items: Vec<String> = (0..n)
+            .map(|_| {
                 *budget -= 1;
                 json_value(rng, depth - 1, budget)
-            }).collect();
+            })
+            .collect();
         format!("[{}]", items.join(", "))
     }
 }
@@ -254,10 +255,7 @@ mod tests {
             .unwrap_or_else(|e| panic!("generated source must tokenize: {e}\n{src}"));
         assert!(lexemes.len() >= 200, "got {} tokens", lexemes.len());
         let mut c = Compiled::compile(&grammars::python::cfg(), ParserConfig::improved());
-        assert!(
-            c.recognize_lexemes(&lexemes).unwrap(),
-            "generated source must parse:\n{src}"
-        );
+        assert!(c.recognize_lexemes(&lexemes).unwrap(), "generated source must parse:\n{src}");
     }
 
     #[test]

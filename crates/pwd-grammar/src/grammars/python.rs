@@ -26,16 +26,16 @@ pub fn cfg() -> Cfg {
     g.terminals(&["NAME", "NUMBER", "STRING", "NEWLINE", "INDENT", "DEDENT", "ENDMARKER"]);
     // Keywords (as their own token kinds, matching the tokenizer).
     g.terminals(&[
-        "False", "None", "True", "and", "as", "assert", "break", "class", "continue", "def",
-        "del", "elif", "else", "except", "finally", "for", "from", "global", "if", "import",
-        "in", "is", "lambda", "nonlocal", "not", "or", "pass", "raise", "return", "try",
-        "while", "with", "yield",
+        "False", "None", "True", "and", "as", "assert", "break", "class", "continue", "def", "del",
+        "elif", "else", "except", "finally", "for", "from", "global", "if", "import", "in", "is",
+        "lambda", "nonlocal", "not", "or", "pass", "raise", "return", "try", "while", "with",
+        "yield",
     ]);
     // Operators and delimiters.
     g.terminals(&[
         "**=", "//=", ">>=", "<<=", "==", "!=", "<=", ">=", "->", "**", "//", "<<", ">>", "+=",
-        "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "@", "&", "|", "^",
-        "~", "<", ">", "(", ")", "[", "]", "{", "}", ",", ":", ".", ";", "=",
+        "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "@", "&", "|", "^", "~",
+        "<", ">", "(", ")", "[", "]", "{", "}", ",", ":", ".", ";", "=",
     ]);
 
     // ----- module structure -----
@@ -48,7 +48,12 @@ pub fn cfg() -> Cfg {
     g.rule("small_stmts", &["small_stmt"]);
     g.rule("small_stmts", &["small_stmts", ";", "small_stmt"]);
     for alt in [
-        "expr_stmt", "del_stmt", "pass_stmt", "flow_stmt", "import_stmt", "global_stmt",
+        "expr_stmt",
+        "del_stmt",
+        "pass_stmt",
+        "flow_stmt",
+        "import_stmt",
+        "global_stmt",
         "assert_stmt",
     ] {
         g.rule("small_stmt", &[alt]);
@@ -318,7 +323,9 @@ mod tests {
         assert!(recognizes("f = lambda a, b: a + b\n"));
         assert!(recognizes("x = a.b.c(1)[2:3].d\n"));
         assert!(recognizes("x = [i * 2 for i in y if i > 0]\n"));
-        assert!(recognizes("d = {'k': v for k in ks}\n") || true); // dict comp not in subset
+        // Dict comprehensions are not in the subset: exercised for
+        // tokenizer coverage, verdict deliberately unasserted.
+        let _ = recognizes("d = {'k': v for k in ks}\n");
         assert!(recognizes("d = {'a': 1, 'b': 2}\n"));
         assert!(recognizes("s = {1, 2, 3}\n"));
         assert!(recognizes("t = (1, 2, 3)\n"));

@@ -45,8 +45,7 @@ mod tests {
             let direct = lang.count_parses(l, &toks).unwrap();
 
             let mut c = Compiled::compile(&cfg(), ParserConfig::improved());
-            let ctoks: Vec<_> =
-                (1..=n).map(|i| c.token("c", &format!("c{i}")).unwrap()).collect();
+            let ctoks: Vec<_> = (1..=n).map(|i| c.token("c", &format!("c{i}")).unwrap()).collect();
             let start = c.start;
             let compiled = c.lang.count_parses(start, &ctoks).unwrap();
             assert_eq!(direct, compiled, "n={n}");

@@ -104,10 +104,10 @@ pub fn eliminate_units(cfg: &Cfg) -> Result<Cfg, TransformError> {
         for p in cfg.productions() {
             if let [Symbol::N(b_nt)] = p.rhs.as_slice() {
                 let reach: Vec<u32> = closure[*b_nt as usize].iter().copied().collect();
-                for a in 0..n {
-                    if closure[a].contains(&p.lhs) {
+                for set in &mut closure {
+                    if set.contains(&p.lhs) {
                         for r in &reach {
-                            if closure[a].insert(*r) {
+                            if set.insert(*r) {
                                 changed = true;
                             }
                         }
@@ -122,8 +122,8 @@ pub fn eliminate_units(cfg: &Cfg) -> Result<Cfg, TransformError> {
         b.terminal(cfg.terminal_name(t as u32));
     }
     let mut emitted: BTreeSet<(u32, Vec<Symbol>)> = BTreeSet::new();
-    for a in 0..n {
-        for &via in &closure[a] {
+    for (a, reachable) in closure.iter().enumerate() {
+        for &via in reachable {
             for &pi in cfg.productions_of(via) {
                 let p: &Production = &cfg.productions()[pi];
                 if matches!(p.rhs.as_slice(), [Symbol::N(_)]) {
@@ -173,13 +173,9 @@ mod tests {
         let cfg = g.build().unwrap();
         let cfg2 = eliminate_epsilon(&cfg).unwrap();
         assert!(cfg2.productions().iter().all(|p| !p.rhs.is_empty()));
-        for input in [
-            &["b"][..],
-            &["a", "b"][..],
-            &["a", "a", "b", "b"][..],
-            &["a"][..],
-            &["b", "a"][..],
-        ] {
+        for input in
+            [&["b"][..], &["a", "b"][..], &["a", "a", "b", "b"][..], &["a"][..], &["b", "a"][..]]
+        {
             assert_eq!(accepts(&cfg, input), accepts(&cfg2, input), "{input:?}");
         }
     }
@@ -204,10 +200,7 @@ mod tests {
     fn unit_elimination_preserves_language() {
         let cfg = grammars::arith::cfg();
         let cfg2 = eliminate_units(&cfg).unwrap();
-        assert!(cfg2
-            .productions()
-            .iter()
-            .all(|p| !matches!(p.rhs.as_slice(), [Symbol::N(_)])));
+        assert!(cfg2.productions().iter().all(|p| !matches!(p.rhs.as_slice(), [Symbol::N(_)])));
         for input in [
             &["NUM"][..],
             &["NUM", "+", "NUM"][..],

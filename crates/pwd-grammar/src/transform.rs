@@ -195,10 +195,7 @@ mod tests {
         let mut g = CfgBuilder::new("S");
         g.terminal("a");
         g.rule("S", &["S", "a"]); // no base case
-        assert!(matches!(
-            remove_useless(&g.build().unwrap()),
-            Err(TransformError::EmptyLanguage)
-        ));
+        assert!(matches!(remove_useless(&g.build().unwrap()), Err(TransformError::EmptyLanguage)));
     }
 
     #[test]
@@ -240,8 +237,7 @@ mod tests {
     fn pwd_earley_like(cfg: &Cfg) -> impl Fn(&[&str]) -> bool {
         let cfg = cfg.clone();
         move |kinds: &[&str]| {
-            let mut c =
-                crate::compile::Compiled::compile(&cfg, pwd_core::ParserConfig::improved());
+            let mut c = crate::compile::Compiled::compile(&cfg, pwd_core::ParserConfig::improved());
             let toks: Vec<_> = kinds.iter().map(|k| c.token(k, k).unwrap()).collect();
             c.lang.recognize(c.start, &toks).unwrap()
         }

@@ -136,10 +136,7 @@ impl Lexer {
             }
             match best {
                 None => {
-                    return Err(LexError {
-                        offset: pos,
-                        snippet: rest.chars().take(12).collect(),
-                    });
+                    return Err(LexError { offset: pos, snippet: rest.chars().take(12).collect() });
                 }
                 Some((len, i)) => {
                     let rule = &self.rules[i];
@@ -190,12 +187,8 @@ mod tests {
 
     #[test]
     fn longest_match_wins() {
-        let lexer = LexerBuilder::new()
-            .rule("EQ", r"=")
-            .unwrap()
-            .rule("EQEQ", r"==")
-            .unwrap()
-            .build();
+        let lexer =
+            LexerBuilder::new().rule("EQ", r"=").unwrap().rule("EQEQ", r"==").unwrap().build();
         let toks = lexer.tokenize("===").unwrap();
         let kinds: Vec<&str> = toks.iter().map(|t| t.kind.as_str()).collect();
         assert_eq!(kinds, ["EQEQ", "EQ"], "maximal munch");

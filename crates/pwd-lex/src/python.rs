@@ -22,15 +22,14 @@ use std::sync::OnceLock;
 pub const KEYWORDS: &[&str] = &[
     "False", "None", "True", "and", "as", "assert", "break", "class", "continue", "def", "del",
     "elif", "else", "except", "finally", "for", "from", "global", "if", "import", "in", "is",
-    "lambda", "nonlocal", "not", "or", "pass", "raise", "return", "try", "while", "with",
-    "yield",
+    "lambda", "nonlocal", "not", "or", "pass", "raise", "return", "try", "while", "with", "yield",
 ];
 
 /// Multi- and single-character operators/delimiters, longest first.
 const OPERATORS: &[&str] = &[
     "**=", "//=", ">>=", "<<=", "==", "!=", "<=", ">=", "->", "**", "//", "<<", ">>", "+=", "-=",
-    "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "@", "&", "|", "^", "~", "<",
-    ">", "(", ")", "[", "]", "{", "}", ",", ":", ".", ";", "=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "@", "&", "|", "^", "~", "<", ">",
+    "(", ")", "[", "]", "{", "}", ",", ":", ".", ";", "=",
 ];
 
 /// Errors from Python-like tokenization.
@@ -186,9 +185,7 @@ pub fn tokenize_python(src: &str) -> Result<Vec<Lexeme>, PyLexError> {
         }
     }
     // Final NEWLINE if the file didn't end with one.
-    if out.last().is_some_and(|t| {
-        t.kind != "NEWLINE" && t.kind != "INDENT" && t.kind != "DEDENT"
-    }) {
+    if out.last().is_some_and(|t| t.kind != "NEWLINE" && t.kind != "INDENT" && t.kind != "DEDENT") {
         out.push(Lexeme { kind: "NEWLINE".into(), text: "\n".into(), offset: src.len() });
     }
     while indents.len() > 1 {
@@ -270,11 +267,8 @@ mod tests {
     #[test]
     fn strings_with_escapes() {
         let toks = tokenize_python("s = \"a\\\"b\" + 'c\\'d'\n").unwrap();
-        let strings: Vec<&str> = toks
-            .iter()
-            .filter(|t| t.kind == "STRING")
-            .map(|t| t.text.as_str())
-            .collect();
+        let strings: Vec<&str> =
+            toks.iter().filter(|t| t.kind == "STRING").map(|t| t.text.as_str()).collect();
         assert_eq!(strings, ["\"a\\\"b\"", "'c\\'d'"]);
     }
 

@@ -251,7 +251,11 @@ mod tests {
                 for (lo, hi) in cls.ranges().take(3) {
                     for v in [lo, (lo + hi) / 2, hi] {
                         if let Some(c) = char::from_u32(v) {
-                            assert_eq!(derive(&r, c), d, "derivative differs within class at {c:?}");
+                            assert_eq!(
+                                derive(&r, c),
+                                d,
+                                "derivative differs within class at {c:?}"
+                            );
                         }
                     }
                 }

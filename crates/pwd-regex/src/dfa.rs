@@ -155,18 +155,12 @@ impl Dfa {
 
     /// Is `state` accepting?
     pub fn is_accepting(&self, state: StateId) -> bool {
-        self.states
-            .get(state as usize)
-            .map(|s| s.accepting)
-            .unwrap_or(false)
+        self.states.get(state as usize).map(|s| s.accepting).unwrap_or(false)
     }
 
     /// Is `state` dead (no suffix can lead to acceptance)?
     pub fn is_dead(&self, state: StateId) -> bool {
-        self.states
-            .get(state as usize)
-            .map(|s| s.dead)
-            .unwrap_or(true)
+        self.states.get(state as usize).map(|s| s.dead).unwrap_or(true)
     }
 
     /// Runs the automaton over `input` and reports acceptance.
@@ -256,8 +250,11 @@ impl Dfa {
             }
             done[b] = true;
             states[b].accepting = s.accepting;
-            states[b].trans =
-                s.trans.iter().map(|(cls, t)| (cls.clone(), block[*t as usize] as StateId)).collect();
+            states[b].trans = s
+                .trans
+                .iter()
+                .map(|(cls, t)| (cls.clone(), block[*t as usize] as StateId))
+                .collect();
         }
         let mut dfa = Dfa { states, start: block[self.start as usize] as StateId };
         dfa.mark_dead();
@@ -374,7 +371,14 @@ mod tests {
         let min = dfa.minimize();
         assert!(min.len() <= dfa.len());
         assert!(min.len() <= 5, "minimal DFA is 4 live states, got {}", min.len());
-        for (s, want) in [("abb", true), ("aabb", true), ("bbabb", true), ("ab", false), ("abba", false), ("", false)] {
+        for (s, want) in [
+            ("abb", true),
+            ("aabb", true),
+            ("bbabb", true),
+            ("ab", false),
+            ("abba", false),
+            ("", false),
+        ] {
             assert_eq!(min.accepts(s), want, "{s:?}");
         }
     }

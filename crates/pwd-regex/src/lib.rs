@@ -41,8 +41,8 @@ mod syntax;
 
 pub use class::CharClass;
 pub use deriv::{derivative_classes, derive, derive_str, matches, nullable, Partition};
-pub use equiv::{equivalent, includes, is_empty_lang};
 pub use dfa::{Dfa, StateId};
+pub use equiv::{equivalent, includes, is_empty_lang};
 pub use parse::{parse, ParseRegexError};
 pub use syntax::{
     alt, alts, and, any_char, cat, ch, class, empty, eps, lit, not, opt, plus, repeat, seq, star,

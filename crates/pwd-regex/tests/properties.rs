@@ -6,11 +6,8 @@ use proptest::prelude::*;
 use pwd_regex::{alt, cat, ch, empty, eps, equivalent, matches, star, Dfa, Regex};
 
 fn rx_strategy() -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        Just(eps()),
-        Just(empty()),
-        (0u8..3).prop_map(|k| ch((b'a' + k) as char)),
-    ];
+    let leaf =
+        prop_oneof![Just(eps()), Just(empty()), (0u8..3).prop_map(|k| ch((b'a' + k) as char)),];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| cat(a, b)),

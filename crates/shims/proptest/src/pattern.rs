@@ -1,0 +1,243 @@
+//! A sampler for the regex subset proptest string strategies use here:
+//! literals, escapes (`\t` `\n` `\r` `\\`), character classes with ranges
+//! (`[a-z0-9+]`), groups with alternation (`(foo|bar)`), and the quantifiers
+//! `?`, `*`, `+`, `{n}`, `{m,n}` (`*`/`+` are bounded at 8 repetitions).
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// A sequence of alternatives, each a concatenation of nodes.
+    Alt(Vec<Vec<Node>>),
+    Lit(char),
+    Class(Vec<(char, char)>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Samples a string matching `pattern`.
+pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let node = parse_alt(&chars, &mut pos);
+    assert!(pos == chars.len(), "trailing junk in pattern {pattern:?} at {pos}");
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(arms) => {
+            let arm = &arms[rng.below(arms.len() as u64) as usize];
+            for n in arm {
+                emit(n, rng, out);
+            }
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+            let mut k = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if k < span {
+                    out.push(char::from_u32(*lo as u32 + k as u32).expect("valid class char"));
+                    return;
+                }
+                k -= span;
+            }
+            unreachable!("class sampling is exhaustive");
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = lo + rng.below((hi - lo + 1) as u64) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Node {
+    let mut arms = vec![Vec::new()];
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' => break,
+            '|' => {
+                *pos += 1;
+                arms.push(Vec::new());
+            }
+            _ => {
+                let atom = parse_atom(chars, pos);
+                let atom = parse_quantifier(chars, pos, atom);
+                arms.last_mut().expect("nonempty arms").push(atom);
+            }
+        }
+    }
+    Node::Alt(arms)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let inner = parse_alt(chars, pos);
+            assert!(chars.get(*pos) == Some(&')'), "unclosed group");
+            *pos += 1;
+            inner
+        }
+        '[' => {
+            *pos += 1;
+            let mut ranges = Vec::new();
+            while *pos < chars.len() && chars[*pos] != ']' {
+                let lo = parse_class_char(chars, pos);
+                if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+                    *pos += 1;
+                    let hi = parse_class_char(chars, pos);
+                    assert!(lo <= hi, "inverted class range");
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            assert!(chars.get(*pos) == Some(&']'), "unclosed class");
+            *pos += 1;
+            assert!(!ranges.is_empty(), "empty character class");
+            Node::Class(ranges)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = escape(chars[*pos]);
+            *pos += 1;
+            Node::Lit(c)
+        }
+        c => {
+            *pos += 1;
+            Node::Lit(c)
+        }
+    }
+}
+
+fn parse_class_char(chars: &[char], pos: &mut usize) -> char {
+    if chars[*pos] == '\\' {
+        *pos += 1;
+        let c = escape(chars[*pos]);
+        *pos += 1;
+        c
+    } else {
+        let c = chars[*pos];
+        *pos += 1;
+        c
+    }
+}
+
+fn escape(c: char) -> char {
+    match c {
+        't' => '\t',
+        'n' => '\n',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, 8)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut lo = 0u32;
+            while chars[*pos].is_ascii_digit() {
+                lo = lo * 10 + chars[*pos].to_digit(10).expect("digit");
+                *pos += 1;
+            }
+            let hi = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut hi = 0u32;
+                while chars[*pos].is_ascii_digit() {
+                    hi = hi * 10 + chars[*pos].to_digit(10).expect("digit");
+                    *pos += 1;
+                }
+                hi
+            } else {
+                lo
+            };
+            assert!(chars[*pos] == '}', "unclosed repetition");
+            *pos += 1;
+            assert!(lo <= hi, "inverted repetition bounds");
+            Node::Repeat(Box::new(atom), lo, hi)
+        }
+        _ => atom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample;
+    use crate::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(0xDEC0DE)
+    }
+
+    #[test]
+    fn class_with_counts() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample("[a-z0-9+*() \t\n]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "+*() \t\n".contains(c)));
+        }
+    }
+
+    #[test]
+    fn groups_alternation_and_opt() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample("(    |        )?", &mut rng);
+            assert!(s.is_empty() || s == "    " || s == "        ");
+        }
+    }
+
+    #[test]
+    fn nested_optional_group() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample("[a-z]{1,6}( = [0-9]{1,3})?", &mut rng);
+            let head: String = s.chars().take_while(|c| c.is_ascii_lowercase()).collect();
+            assert!((1..=6).contains(&head.len()), "{s:?}");
+            let rest = &s[head.len()..];
+            if !rest.is_empty() {
+                assert!(rest.starts_with(" = "), "{s:?}");
+                assert!(rest[3..].chars().all(|c| c.is_ascii_digit()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_and_plus_are_bounded() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert!(sample("a*", &mut rng).len() <= 8);
+            let p = sample("b+", &mut rng);
+            assert!((1..=8).contains(&p.len()));
+        }
+    }
+
+    #[test]
+    fn escapes_in_and_out_of_classes() {
+        let mut rng = rng();
+        let s = sample(r"\t\n", &mut rng);
+        assert_eq!(s, "\t\n");
+    }
+}

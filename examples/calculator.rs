@@ -15,10 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut parser = Compiled::compile(&grammars::arith::cfg(), ParserConfig::improved());
     let tokens = parser.tokens_from_lexemes(&lexemes)?;
     let start = parser.start;
-    let tree = parser
-        .lang
-        .parse_unique(start, &tokens)?
-        .expect("the arithmetic grammar is unambiguous");
+    let tree =
+        parser.lang.parse_unique(start, &tokens)?.expect("the arithmetic grammar is unambiguous");
     println!("tree:   {tree}");
     println!("value:  {}", eval(&tree));
     Ok(())
@@ -42,7 +40,7 @@ fn eval(t: &Tree) -> f64 {
                     other => panic!("unexpected operator {other}"),
                 }
             }
-            ("F", 3) => eval(&kids[1]), // ( E )
+            ("F", 3) => eval(&kids[1]),  // ( E )
             ("F", 2) => -eval(&kids[1]), // - F
             _ => panic!("unexpected node {t}"),
         },

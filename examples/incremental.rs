@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let start = parser.start;
 
     println!("feeding {:?} token by token:\n", input);
-    println!("{:<8} {:<10} {:<10} {:<12} {}", "token", "viable?", "sentence?", "live nodes", "note");
+    println!("{:<8} {:<10} {:<10} {:<12} note", "token", "viable?", "sentence?", "live nodes");
     let mut session = ParseSession::start(&mut parser.lang, start)?;
     for tok in &tokens {
         let outcome = session.feed(tok)?;

@@ -1,13 +1,16 @@
-//! A miniature Figure 6: race improved PWD, original-2011 PWD, Earley, and
-//! GLR on the same Python-like corpus and print seconds-per-token.
+//! A miniature Figure 6: race every backend behind the shared
+//! [`derp::api::Parser`] trait on the same Python-like corpus and print
+//! seconds-per-token — no per-backend driver code.
+//!
+//! The timed window includes lexeme→token conversion for every arm
+//! uniformly (a few interner lookups per token, noise next to parse cost),
+//! so the printed ratios compare parsers, not drivers.
 //!
 //! Run with: `cargo run --release --example parser_race -- [tokens]`
 
-use derp::core::ParserConfig;
-use derp::earley::EarleyParser;
-use derp::glr::GlrParser;
-use derp::grammar::{gen, grammars, Compiled};
-use std::time::Instant;
+use derp::api::backends;
+use derp::grammar::{gen, grammars};
+use std::time::{Duration, Instant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500);
@@ -17,47 +20,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = lexemes.len();
     println!("corpus: {n} tokens of Python-like source\n");
 
-    let time = |label: &str, mut f: Box<dyn FnMut() -> bool>| {
+    let mut times: Vec<(&'static str, Duration)> = Vec::new();
+    for backend in &mut backends(&cfg) {
         let t0 = Instant::now();
-        let ok = f();
+        let ok = backend.recognize_lexemes(&lexemes)?;
         let dt = t0.elapsed();
+        let m = backend.metrics();
         println!(
-            "{label:<18} {:>10.3} ms total  {:>9.3} µs/token  accepted={ok}",
+            "{:<14} {:>10.3} ms total  {:>9.3} µs/token  accepted={ok}  work={}",
+            backend.name(),
             dt.as_secs_f64() * 1e3,
-            dt.as_secs_f64() * 1e6 / n as f64
+            dt.as_secs_f64() * 1e6 / n as f64,
+            m.work,
         );
-        dt
+        times.push((backend.name(), dt));
+    }
+
+    let t = |name: &str| {
+        times.iter().find(|(n, _)| *n == name).map(|(_, d)| *d).expect("backend raced")
     };
-
-    let mut improved = Compiled::compile(&cfg, ParserConfig::improved());
-    let toks = improved.tokens_from_lexemes(&lexemes)?;
-    let start = improved.start;
-    let t_improved = time(
-        "improved PWD",
-        Box::new(move || improved.lang.recognize(start, &toks).unwrap()),
-    );
-
-    let mut original = Compiled::compile(&cfg, ParserConfig::original_2011());
-    let toks = original.tokens_from_lexemes(&lexemes)?;
-    let start = original.start;
-    let t_original = time(
-        "original PWD",
-        Box::new(move || original.lang.recognize(start, &toks).unwrap()),
-    );
-
-    let earley = EarleyParser::new(&cfg);
-    let lx = lexemes.clone();
-    let t_earley = time("Earley", Box::new(move || earley.recognize_lexemes(&lx).unwrap()));
-
-    let glr = GlrParser::new(&cfg);
-    let lx = lexemes.clone();
-    let t_glr = time("GLR (SLR tables)", Box::new(move || glr.recognize_lexemes(&lx).unwrap()));
-
     println!("\nspeedups (the paper reports 951× over original, 64.6× over Earley,");
     println!("0.04× vs Bison — our GLR is Rust, not C, so expect a smaller gap):");
-    let r = |a: std::time::Duration, b: std::time::Duration| a.as_secs_f64() / b.as_secs_f64();
-    println!("  improved vs original PWD : {:>8.1}×", r(t_original, t_improved));
-    println!("  improved vs Earley       : {:>8.1}×", r(t_earley, t_improved));
-    println!("  improved vs GLR          : {:>8.2}×", r(t_glr, t_improved));
+    let improved = t("pwd-improved");
+    let r = |a: Duration, b: Duration| a.as_secs_f64() / b.as_secs_f64();
+    println!("  improved vs original PWD : {:>8.1}×", r(t("pwd-original"), improved));
+    println!("  improved vs Earley       : {:>8.1}×", r(t("earley"), improved));
+    println!("  improved vs GLR          : {:>8.2}×", r(t("glr"), improved));
     Ok(())
 }

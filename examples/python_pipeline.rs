@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = parser.lang.metrics();
     println!("engine metrics:");
     println!("  derive calls        {:>12}", m.derive_calls);
-    println!("  derive uncached     {:>12} ({:.1}%)", m.derive_uncached, 100.0 * m.uncached_ratio());
+    println!(
+        "  derive uncached     {:>12} ({:.1}%)",
+        m.derive_uncached,
+        100.0 * m.uncached_ratio()
+    );
     println!("  nullable? calls     {:>12}", m.nullable_calls);
     println!("  fixed-point runs    {:>12}", m.nullable_runs);
     println!("  nodes created       {:>12}", m.nodes_created);

@@ -39,9 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         e_plus_num,
         Reduce::func("mk-add", |t| match &t {
             Tree::Pair(lhs_op, rhs) => match &**lhs_op {
-                Tree::Pair(lhs, _) => {
-                    Tree::node("add", vec![(**lhs).clone(), (**rhs).clone()])
-                }
+                Tree::Pair(lhs, _) => Tree::node("add", vec![(**lhs).clone(), (**rhs).clone()]),
                 _ => t.clone(),
             },
             _ => t,

@@ -1,0 +1,476 @@
+//! A backend-agnostic parser API over the three parser families.
+//!
+//! The PWD engine ([`Compiled`] + [`ParseSession`]), the Earley baseline
+//! ([`EarleyParser`]) and the GLR baseline ([`GlrParser`]) historically
+//! exposed ad-hoc, incompatible interfaces, forcing every differential test
+//! and benchmark to carry per-backend driver code. This module gives all of
+//! them one lifecycle:
+//!
+//! 1. [`Recognizer::prepare`] — compile a backend from a [`Cfg`];
+//! 2. [`Recognizer::recognize`] / [`Recognizer::recognize_lexemes`] — run one
+//!    input (each run starts from a clean slate);
+//! 3. [`Parser::parse_count`] — count derivations, where supported;
+//! 4. [`Recognizer::reset`] — return to the post-compile state. For the PWD
+//!    backend this is the engine's O(1) epoch bump, so one compiled backend
+//!    can serve an arbitrary stream of inputs without rebuild cost; the
+//!    baselines are stateless and reset for free;
+//! 5. [`Recognizer::metrics`] — uniform work counters for comparison.
+//!
+//! # Examples
+//!
+//! Race every backend on one input through the trait object interface:
+//!
+//! ```
+//! use derp::api::{backends, Parser};
+//! use derp::grammar::CfgBuilder;
+//!
+//! # fn main() -> Result<(), derp::api::BackendError> {
+//! let mut g = CfgBuilder::new("S");
+//! g.terminal("a");
+//! g.rule("S", &["S", "S"]);
+//! g.rule("S", &["a"]);
+//! let cfg = g.build().expect("valid grammar");
+//!
+//! for backend in &mut backends(&cfg) {
+//!     assert!(backend.recognize(&["a", "a", "a"])?);
+//!     assert!(!backend.recognize(&[])?);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::core::{ParserConfig, PwdError};
+use crate::earley::{EarleyParser, EarleyStats};
+use crate::glr::{GlrParser, GlrStats};
+use crate::grammar::{Cfg, Compiled};
+use crate::lex::Lexeme;
+use pwd_core::{ParseSession, Token};
+use std::fmt;
+
+/// An error from a parser backend: a malformed grammar, an input token
+/// outside the grammar's alphabet, or an engine resource limit.
+///
+/// A plain non-match is **not** an error — it is `Ok(false)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError {
+    /// The backend that produced the error.
+    pub backend: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl BackendError {
+    fn new(backend: &'static str, message: impl fmt::Display) -> BackendError {
+        BackendError { backend, message: message.to_string() }
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.backend, self.message)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// The result of counting derivations of an input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseCount {
+    /// The input has exactly this many parse trees (0 = rejected).
+    Finite(u128),
+    /// The grammar assigns infinitely many trees to this input.
+    Infinite,
+    /// The backend recognizes but cannot count (Earley and GLR here build no
+    /// shared parse forest).
+    Unsupported,
+}
+
+/// Uniform per-backend instrumentation.
+///
+/// `work` and `live_state` are backend-specific units — PWD counts `derive`
+/// calls and grammar nodes, Earley counts chart items, GLR counts
+/// graph-structured-stack nodes and edges — so they compare *growth*, not
+/// absolute cost, across backends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendMetrics {
+    /// Inputs run through `recognize`/`parse_count` since `prepare`.
+    pub runs: u64,
+    /// Work units spent on the most recent input.
+    pub work: u64,
+    /// Live state after the most recent input.
+    pub live_state: u64,
+}
+
+/// A compiled recognizer with a uniform lifecycle.
+///
+/// Implementations must make every `recognize*` call independent: each run
+/// observes the backend as freshly [`reset`](Recognizer::reset).
+pub trait Recognizer {
+    /// Compiles a backend for a grammar with its default configuration.
+    fn prepare(cfg: &Cfg) -> Self
+    where
+        Self: Sized;
+
+    /// A stable display name (`"pwd-improved"`, `"earley"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Does the grammar accept this sequence of terminal kinds?
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] for kinds outside the grammar's alphabet or engine
+    /// resource limits; rejection is `Ok(false)`.
+    fn recognize(&mut self, kinds: &[&str]) -> Result<bool, BackendError>;
+
+    /// Does the grammar accept this lexeme stream?
+    ///
+    /// The default forwards the lexeme *kinds* to
+    /// [`recognize`](Recognizer::recognize); backends that key work on
+    /// lexeme text (PWD's memo is keyed by token value) override this.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`recognize`](Recognizer::recognize).
+    fn recognize_lexemes(&mut self, lexemes: &[Lexeme]) -> Result<bool, BackendError> {
+        let kinds: Vec<&str> = lexemes.iter().map(|l| l.kind.as_str()).collect();
+        self.recognize(&kinds)
+    }
+
+    /// Returns the backend to its freshly-[`prepare`](Recognizer::prepare)d
+    /// state. Cheap for every backend; for PWD it is a single epoch bump.
+    fn reset(&mut self);
+
+    /// Instrumentation for the most recent run.
+    fn metrics(&self) -> BackendMetrics;
+}
+
+/// A [`Recognizer`] that can also count derivations.
+pub trait Parser: Recognizer {
+    /// Counts the parse trees of an input.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Recognizer::recognize`]; a rejected input is
+    /// `Ok(ParseCount::Finite(0))`.
+    fn parse_count(&mut self, kinds: &[&str]) -> Result<ParseCount, BackendError>;
+}
+
+// ---------------------------------------------------------------------
+// PWD
+// ---------------------------------------------------------------------
+
+/// The PWD engine behind the uniform API: a [`Compiled`] grammar driven
+/// through [`ParseSession`], reusing one arena across runs via epoch reset.
+pub struct PwdBackend {
+    compiled: Compiled,
+    label: &'static str,
+    runs: u64,
+}
+
+impl PwdBackend {
+    /// Compiles the paper's improved configuration.
+    pub fn improved(cfg: &Cfg) -> PwdBackend {
+        PwdBackend::with_config(cfg, ParserConfig::improved(), "pwd-improved")
+    }
+
+    /// Compiles the Might et al. (2011) configuration.
+    pub fn original_2011(cfg: &Cfg) -> PwdBackend {
+        PwdBackend::with_config(cfg, ParserConfig::original_2011(), "pwd-original")
+    }
+
+    /// Compiles an arbitrary engine configuration under a display label.
+    pub fn with_config(cfg: &Cfg, config: ParserConfig, label: &'static str) -> PwdBackend {
+        PwdBackend { compiled: Compiled::compile(cfg, config), label, runs: 0 }
+    }
+
+    /// The underlying compiled engine, for backend-specific inspection.
+    pub fn compiled(&self) -> &Compiled {
+        &self.compiled
+    }
+
+    fn tokens(&mut self, kinds: &[&str]) -> Result<Vec<Token>, BackendError> {
+        let label = self.label;
+        kinds
+            .iter()
+            .map(|k| {
+                self.compiled
+                    .token(k, k)
+                    .ok_or_else(|| BackendError::new(label, format!("unknown terminal {k:?}")))
+            })
+            .collect()
+    }
+
+    fn err(&self, e: PwdError) -> BackendError {
+        BackendError::new(self.label, e)
+    }
+}
+
+impl Recognizer for PwdBackend {
+    fn prepare(cfg: &Cfg) -> PwdBackend {
+        PwdBackend::improved(cfg)
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn recognize(&mut self, kinds: &[&str]) -> Result<bool, BackendError> {
+        let toks = self.tokens(kinds)?;
+        self.recognize_tokens(&toks)
+    }
+
+    fn recognize_lexemes(&mut self, lexemes: &[Lexeme]) -> Result<bool, BackendError> {
+        // Keep lexeme text: PWD memoizes derivatives by token *value*.
+        let toks = self
+            .compiled
+            .tokens_from_lexemes(lexemes)
+            .map_err(|e| BackendError::new(self.label, e))?;
+        self.recognize_tokens(&toks)
+    }
+
+    fn reset(&mut self) {
+        self.compiled.lang.reset();
+    }
+
+    fn metrics(&self) -> BackendMetrics {
+        let m = self.compiled.lang.metrics();
+        BackendMetrics {
+            runs: self.runs,
+            work: m.derive_calls,
+            live_state: self.compiled.lang.node_count() as u64,
+        }
+    }
+}
+
+impl PwdBackend {
+    /// The shared run path: epoch-reset, then drive one incremental session
+    /// over the tokens.
+    fn recognize_tokens(&mut self, toks: &[Token]) -> Result<bool, BackendError> {
+        self.compiled.lang.reset();
+        self.runs += 1;
+        let (label, start) = (self.label, self.compiled.start);
+        let mut session = ParseSession::start(&mut self.compiled.lang, start)
+            .map_err(|e| BackendError::new(label, e))?;
+        session.feed_all(toks).map_err(|e| BackendError::new(label, e))?;
+        let accepted = session.prefix_is_sentence();
+        session.finish();
+        Ok(accepted)
+    }
+}
+
+impl Parser for PwdBackend {
+    fn parse_count(&mut self, kinds: &[&str]) -> Result<ParseCount, BackendError> {
+        let toks = self.tokens(kinds)?;
+        self.compiled.lang.reset();
+        self.runs += 1;
+        let start = self.compiled.start;
+        match self.compiled.lang.count_parses(start, &toks) {
+            Ok(Some(n)) => Ok(ParseCount::Finite(n)),
+            Ok(None) => Ok(ParseCount::Infinite),
+            Err(PwdError::Rejected { .. }) => Ok(ParseCount::Finite(0)),
+            Err(e) => Err(self.err(e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Earley
+// ---------------------------------------------------------------------
+
+/// The Earley baseline behind the uniform API.
+pub struct EarleyBackend {
+    parser: EarleyParser,
+    runs: u64,
+    last: EarleyStats,
+}
+
+impl Recognizer for EarleyBackend {
+    fn prepare(cfg: &Cfg) -> EarleyBackend {
+        EarleyBackend { parser: EarleyParser::new(cfg), runs: 0, last: EarleyStats::default() }
+    }
+
+    fn name(&self) -> &'static str {
+        "earley"
+    }
+
+    fn recognize(&mut self, kinds: &[&str]) -> Result<bool, BackendError> {
+        let toks =
+            self.parser.kinds_to_tokens(kinds).map_err(|e| BackendError::new("earley", e))?;
+        self.runs += 1;
+        let (ok, stats) = self.parser.recognize_with_stats(&toks);
+        self.last = stats;
+        Ok(ok)
+    }
+
+    fn reset(&mut self) {
+        // Stateless between runs: the chart is rebuilt per input.
+    }
+
+    fn metrics(&self) -> BackendMetrics {
+        BackendMetrics {
+            runs: self.runs,
+            work: self.last.total_items as u64,
+            live_state: self.last.set_sizes.iter().copied().max().unwrap_or(0) as u64,
+        }
+    }
+}
+
+impl Parser for EarleyBackend {
+    fn parse_count(&mut self, _kinds: &[&str]) -> Result<ParseCount, BackendError> {
+        Ok(ParseCount::Unsupported)
+    }
+}
+
+// ---------------------------------------------------------------------
+// GLR
+// ---------------------------------------------------------------------
+
+/// The GLR baseline behind the uniform API.
+pub struct GlrBackend {
+    parser: GlrParser,
+    runs: u64,
+    last: GlrStats,
+}
+
+impl Recognizer for GlrBackend {
+    fn prepare(cfg: &Cfg) -> GlrBackend {
+        GlrBackend { parser: GlrParser::new(cfg), runs: 0, last: GlrStats::default() }
+    }
+
+    fn name(&self) -> &'static str {
+        "glr"
+    }
+
+    fn recognize(&mut self, kinds: &[&str]) -> Result<bool, BackendError> {
+        let toks = self.parser.kinds_to_tokens(kinds).map_err(|e| BackendError::new("glr", e))?;
+        self.runs += 1;
+        let (ok, stats) = self.parser.recognize_with_stats(&toks);
+        self.last = stats;
+        Ok(ok)
+    }
+
+    fn reset(&mut self) {
+        // Stateless between runs: the GSS is rebuilt per input.
+    }
+
+    fn metrics(&self) -> BackendMetrics {
+        BackendMetrics {
+            runs: self.runs,
+            work: self.last.gss_nodes as u64,
+            live_state: self.last.gss_edges as u64,
+        }
+    }
+}
+
+impl Parser for GlrBackend {
+    fn parse_count(&mut self, _kinds: &[&str]) -> Result<ParseCount, BackendError> {
+        Ok(ParseCount::Unsupported)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------
+
+/// Prepares the standard backend roster for a grammar: improved PWD,
+/// original-2011 PWD, Earley, and GLR — the four parsers of the paper's
+/// Figure 6 — behind `dyn` [`Parser`].
+pub fn backends(cfg: &Cfg) -> Vec<Box<dyn Parser>> {
+    vec![
+        Box::new(PwdBackend::improved(cfg)),
+        Box::new(PwdBackend::original_2011(cfg)),
+        Box::new(EarleyBackend::prepare(cfg)),
+        Box::new(GlrBackend::prepare(cfg)),
+    ]
+}
+
+/// Runs one input through every backend and asserts they agree — the shared
+/// driver of the differential tests.
+///
+/// Returns the unanimous verdict.
+///
+/// # Panics
+///
+/// Panics (with both backend names and the input) if any backend errors or
+/// two backends disagree.
+pub fn unanimous(backends: &mut [Box<dyn Parser>], kinds: &[&str], label: &str) -> bool {
+    let mut verdicts: Vec<(&'static str, bool)> = Vec::with_capacity(backends.len());
+    for b in backends.iter_mut() {
+        let ans = b
+            .recognize(kinds)
+            .unwrap_or_else(|e| panic!("{label}: backend failed on {kinds:?}: {e}"));
+        verdicts.push((b.name(), ans));
+    }
+    let (first_name, first) = verdicts[0];
+    for &(name, ans) in &verdicts[1..] {
+        assert_eq!(first, ans, "{label}: {first_name} and {name} disagree on {kinds:?}");
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::CfgBuilder;
+
+    fn catalan() -> Cfg {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["S", "S"]);
+        g.rule("S", &["a"]);
+        g.build().expect("valid grammar")
+    }
+
+    #[test]
+    fn all_backends_share_one_lifecycle() {
+        let cfg = catalan();
+        for backend in &mut backends(&cfg) {
+            assert!(!backend.recognize(&[]).unwrap(), "{}", backend.name());
+            assert!(backend.recognize(&["a", "a"]).unwrap(), "{}", backend.name());
+            backend.reset();
+            assert!(backend.recognize(&["a"]).unwrap(), "{}", backend.name());
+            let m = backend.metrics();
+            assert_eq!(m.runs, 3, "{}", backend.name());
+            assert!(m.work > 0, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn runs_are_independent_without_explicit_reset() {
+        let cfg = catalan();
+        for backend in &mut backends(&cfg) {
+            // Same verdicts in any order, no resets in between.
+            assert!(backend.recognize(&["a", "a", "a"]).unwrap(), "{}", backend.name());
+            assert!(!backend.recognize(&[]).unwrap(), "{}", backend.name());
+            assert!(backend.recognize(&["a", "a", "a"]).unwrap(), "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn parse_counts_where_supported() {
+        let cfg = catalan();
+        let mut pwd = PwdBackend::improved(&cfg);
+        // 4 leaves => Catalan number C3 = 5 trees.
+        assert_eq!(pwd.parse_count(&["a", "a", "a", "a"]).unwrap(), ParseCount::Finite(5));
+        assert_eq!(pwd.parse_count(&[]).unwrap(), ParseCount::Finite(0));
+        let mut earley = EarleyBackend::prepare(&cfg);
+        assert_eq!(earley.parse_count(&["a"]).unwrap(), ParseCount::Unsupported);
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error_not_a_rejection() {
+        let cfg = catalan();
+        for backend in &mut backends(&cfg) {
+            let err = backend.recognize(&["a", "WAT"]).unwrap_err();
+            assert!(err.message.contains("WAT"), "{}: {err}", backend.name());
+        }
+    }
+
+    #[test]
+    fn unanimous_driver_agrees_on_corpus() {
+        let cfg = catalan();
+        let mut bs = backends(&cfg);
+        assert!(unanimous(&mut bs, &["a", "a"], "catalan"));
+        assert!(!unanimous(&mut bs, &[], "catalan"));
+    }
+}

@@ -14,6 +14,10 @@
 //! * [`earley`] (`pwd-earley`) and [`glr`] (`pwd-glr`) — the baseline
 //!   parsers of the paper's evaluation.
 //!
+//! On top of the re-exports, [`api`] defines the backend-agnostic
+//! [`Parser`]/[`Recognizer`] trait layer that drives all three parser
+//! families through one lifecycle (`prepare` → `recognize` → `reset`).
+//!
 //! # Quick start
 //!
 //! ```
@@ -32,6 +36,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
+
+pub use api::{BackendError, BackendMetrics, ParseCount, Parser, Recognizer};
 pub use pwd_core as core;
 pub use pwd_earley as earley;
 pub use pwd_glr as glr;

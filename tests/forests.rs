@@ -2,9 +2,7 @@
 //! are configuration-invariant, fringes equal inputs, and cyclic forests
 //! behave.
 
-use derp::core::{
-    CompactionMode, EnumLimits, MemoStrategy, NullStrategy, ParseMode, ParserConfig,
-};
+use derp::core::{CompactionMode, EnumLimits, MemoStrategy, NullStrategy, ParseMode, ParserConfig};
 use derp::grammar::{gen, grammars, Compiled};
 
 fn tree_strings(
@@ -31,15 +29,14 @@ fn tree_strings(
 #[test]
 fn tree_sets_invariant_across_configs() {
     let cfg = grammars::ambiguous::expr();
-    let input = [("n", "1"), ("+", "+"), ("n", "2"), ("*", "*"), ("n", "3"), ("+", "+"), ("n", "4")];
+    let input =
+        [("n", "1"), ("+", "+"), ("n", "2"), ("*", "*"), ("n", "3"), ("+", "+"), ("n", "4")];
     let reference = tree_strings(&cfg, ParserConfig::improved(), &input).expect("accepted");
     assert!(reference.len() >= 4, "C₃ = 5 readings expected, got {}", reference.len());
     for nullability in [NullStrategy::Naive, NullStrategy::Worklist, NullStrategy::Labeled] {
-        for compaction in [
-            CompactionMode::None,
-            CompactionMode::SeparatePass,
-            CompactionMode::OnConstruction,
-        ] {
+        for compaction in
+            [CompactionMode::None, CompactionMode::SeparatePass, CompactionMode::OnConstruction]
+        {
             for memo in [MemoStrategy::FullHash, MemoStrategy::SingleEntry] {
                 let config = ParserConfig {
                     nullability,
@@ -97,8 +94,7 @@ fn json_unique_tree_stability() {
 /// Catalan counting at larger n with forest-size polynomiality.
 #[test]
 fn catalan_counts_and_polynomial_forests() {
-    let catalan: [u128; 13] =
-        [1, 1, 2, 5, 14, 42, 132, 429, 1430, 4862, 16796, 58786, 208012];
+    let catalan: [u128; 13] = [1, 1, 2, 5, 14, 42, 132, 429, 1430, 4862, 16796, 58786, 208012];
     let cfg = grammars::ambiguous::catalan();
     let mut forest_sizes = Vec::new();
     for n in 1..=13usize {
@@ -161,10 +157,8 @@ fn budget_trip_then_reset_recovers() {
 fn derivative_api_is_compositional() {
     let cfg = grammars::arith::cfg();
     let mut c = Compiled::compile(&cfg, ParserConfig::improved());
-    let w: Vec<_> = [("NUM", "1"), ("+", "+")]
-        .iter()
-        .map(|(k, l)| c.token(k, l).unwrap())
-        .collect();
+    let w: Vec<_> =
+        [("NUM", "1"), ("+", "+")].iter().map(|(k, l)| c.token(k, l).unwrap()).collect();
     let v: Vec<_> = [("NUM", "2"), ("*", "*"), ("NUM", "3")]
         .iter()
         .map(|(k, l)| c.token(k, l).unwrap())

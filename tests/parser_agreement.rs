@@ -1,49 +1,21 @@
-//! Cross-crate integration: the three parser families (PWD, Earley, GLR)
-//! must agree on membership for every grammar in the corpus, over both
-//! generated-valid and randomly mutated inputs.
+//! Cross-crate integration: the parser families (improved PWD, original-2011
+//! PWD, Earley, GLR) must agree on membership for every grammar in the
+//! corpus, over both generated-valid and randomly mutated inputs.
+//!
+//! All four backends are driven through the shared [`derp::api::Parser`]
+//! trait: one roster is prepared per grammar and reused across inputs (the
+//! PWD arms lean on the engine's O(1) epoch reset), so there is no
+//! per-backend driver code anywhere in this file.
 
-use derp::core::ParserConfig;
-use derp::earley::EarleyParser;
-use derp::glr::GlrParser;
-use derp::grammar::{gen, grammars, Cfg, CfgBuilder, Compiled};
+use derp::api::{backends, unanimous};
+use derp::grammar::{gen, grammars, CfgBuilder};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-
-/// Runs all three parsers on a kind sequence and asserts agreement;
-/// returns the verdict.
-fn verdict(cfg: &Cfg, kinds: &[&str], label: &str) -> bool {
-    let mut pwd = Compiled::compile(cfg, ParserConfig::improved());
-    let toks: Vec<_> = kinds
-        .iter()
-        .map(|k| pwd.token(k, k).unwrap_or_else(|| panic!("unknown terminal {k}")))
-        .collect();
-    let pwd_ans = pwd.lang.recognize(pwd.start, &toks).unwrap();
-
-    let earley = EarleyParser::new(cfg);
-    let earley_ans = earley.recognize_kinds(kinds).unwrap();
-
-    let glr = GlrParser::new(cfg);
-    let glr_ans = glr.recognize_kinds(kinds).unwrap();
-
-    assert_eq!(pwd_ans, earley_ans, "{label}: PWD vs Earley on {kinds:?}");
-    assert_eq!(earley_ans, glr_ans, "{label}: Earley vs GLR on {kinds:?}");
-    pwd_ans
-}
-
-/// Also checks the original-2011 PWD configuration agrees with improved.
-fn pwd_configs_agree(cfg: &Cfg, kinds: &[&str], label: &str) {
-    let mut answers = Vec::new();
-    for config in [ParserConfig::improved(), ParserConfig::original_2011()] {
-        let mut pwd = Compiled::compile(cfg, config);
-        let toks: Vec<_> = kinds.iter().map(|k| pwd.token(k, k).unwrap()).collect();
-        answers.push(pwd.lang.recognize(pwd.start, &toks).unwrap());
-    }
-    assert_eq!(answers[0], answers[1], "{label}: improved vs original on {kinds:?}");
-}
 
 #[test]
 fn agreement_on_arith_random_strings() {
     let cfg = grammars::arith::cfg();
+    let mut bs = backends(&cfg);
     let alphabet = ["NUM", "+", "-", "*", "/", "(", ")"];
     let mut rng = StdRng::seed_from_u64(11);
     let mut accepted = 0;
@@ -51,7 +23,7 @@ fn agreement_on_arith_random_strings() {
         let len = rng.random_range(0..10usize);
         let kinds: Vec<&str> =
             (0..len).map(|_| alphabet[rng.random_range(0..alphabet.len())]).collect();
-        if verdict(&cfg, &kinds, "arith") {
+        if unanimous(&mut bs, &kinds, "arith") {
             accepted += 1;
         }
     }
@@ -61,25 +33,26 @@ fn agreement_on_arith_random_strings() {
 #[test]
 fn agreement_on_arith_generated_valid() {
     let cfg = grammars::arith::cfg();
+    let mut bs = backends(&cfg);
     let lexer = grammars::arith::lexer();
     for seed in 0..20 {
         let src = gen::arith_source(31, seed);
         let lexemes = lexer.tokenize(&src).unwrap();
         let kinds: Vec<&str> = lexemes.iter().map(|l| l.kind.as_str()).collect();
-        assert!(verdict(&cfg, &kinds, "arith-valid"), "{src}");
-        pwd_configs_agree(&cfg, &kinds, "arith-valid");
+        assert!(unanimous(&mut bs, &kinds, "arith-valid"), "{src}");
     }
 }
 
 #[test]
 fn agreement_on_json() {
     let cfg = grammars::json::cfg();
+    let mut bs = backends(&cfg);
     let lexer = grammars::json::lexer();
     for seed in 0..10 {
         let src = gen::json_source(60, seed);
         let lexemes = lexer.tokenize(&src).unwrap();
         let kinds: Vec<&str> = lexemes.iter().map(|l| l.kind.as_str()).collect();
-        assert!(verdict(&cfg, &kinds, "json-valid"), "{src}");
+        assert!(unanimous(&mut bs, &kinds, "json-valid"), "{src}");
     }
     // Mutations: drop/duplicate a token.
     let src = gen::json_source(40, 99);
@@ -88,17 +61,19 @@ fn agreement_on_json() {
     for i in 0..kinds.len().min(12) {
         let mut dropped = kinds.clone();
         dropped.remove(i);
-        verdict(&cfg, &dropped, "json-drop");
+        unanimous(&mut bs, &dropped, "json-drop");
         let mut dup = kinds.clone();
         dup.insert(i, kinds[i]);
-        verdict(&cfg, &dup, "json-dup");
+        unanimous(&mut bs, &dup, "json-dup");
     }
 }
 
 #[test]
 fn agreement_on_ambiguous_grammars() {
-    for cfg in [grammars::ambiguous::catalan(), grammars::ambiguous::expr(), grammars::worst_case::cfg()]
+    for cfg in
+        [grammars::ambiguous::catalan(), grammars::ambiguous::expr(), grammars::worst_case::cfg()]
     {
+        let mut bs = backends(&cfg);
         let terms: Vec<String> =
             (0..cfg.terminal_count()).map(|t| cfg.terminal_name(t as u32).to_string()).collect();
         let mut rng = StdRng::seed_from_u64(5);
@@ -106,7 +81,7 @@ fn agreement_on_ambiguous_grammars() {
             let len = rng.random_range(0..8usize);
             let kinds: Vec<&str> =
                 (0..len).map(|_| terms[rng.random_range(0..terms.len())].as_str()).collect();
-            verdict(&cfg, &kinds, "ambiguous");
+            unanimous(&mut bs, &kinds, "ambiguous");
         }
     }
 }
@@ -134,21 +109,27 @@ fn agreement_on_random_grammars() {
             b.rule(&lhs, &refs);
         }
         let cfg = b.build().unwrap();
+        let mut bs = backends(&cfg);
         for _ in 0..20 {
             let len = rng.random_range(0..7usize);
             let kinds: Vec<&str> =
                 (0..len).map(|_| if rng.random_bool(0.5) { "a" } else { "b" }).collect();
-            verdict(&cfg, &kinds, &format!("random-{case}"));
+            unanimous(&mut bs, &kinds, &format!("random-{case}"));
         }
     }
 }
 
 fn random_body(rng: &mut StdRng, nts: &[String], terminal_biased: bool) -> Vec<String> {
-    let len = if terminal_biased { rng.random_range(0..3usize) } else { rng.random_range(0..4usize) };
+    let len =
+        if terminal_biased { rng.random_range(0..3usize) } else { rng.random_range(0..4usize) };
     (0..len)
         .map(|_| {
             if terminal_biased || rng.random_bool(0.5) {
-                if rng.random_bool(0.5) { "a".to_string() } else { "b".to_string() }
+                if rng.random_bool(0.5) {
+                    "a".to_string()
+                } else {
+                    "b".to_string()
+                }
             } else {
                 nts[rng.random_range(0..nts.len())].clone()
             }
@@ -159,28 +140,22 @@ fn random_body(rng: &mut StdRng, nts: &[String], terminal_biased: bool) -> Vec<S
 #[test]
 fn agreement_on_python_corpus() {
     let cfg = grammars::python::cfg();
-    let earley = EarleyParser::new(&cfg);
-    let glr = GlrParser::new(&cfg);
-    let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+    let mut bs = backends(&cfg);
     for seed in 0..4 {
         let src = gen::python_source(150, seed);
         let lexemes = derp::lex::tokenize_python(&src).unwrap();
-        let pwd_ans = pwd.recognize_lexemes(&lexemes).unwrap();
-        pwd.lang.reset();
-        let earley_ans = earley.recognize_lexemes(&lexemes).unwrap();
-        let glr_ans = glr.recognize_lexemes(&lexemes).unwrap();
-        assert!(pwd_ans, "seed {seed}: corpus must be valid\n{src}");
-        assert_eq!(pwd_ans, earley_ans, "seed {seed}");
-        assert_eq!(earley_ans, glr_ans, "seed {seed}");
+        let answers: Vec<(&str, bool)> =
+            bs.iter_mut().map(|b| (b.name(), b.recognize_lexemes(&lexemes).unwrap())).collect();
+        for &(name, ans) in &answers {
+            assert!(ans, "seed {seed}: corpus must be valid per {name}\n{src}");
+        }
     }
 }
 
 #[test]
 fn python_rejections_agree() {
     let cfg = grammars::python::cfg();
-    let earley = EarleyParser::new(&cfg);
-    let glr = GlrParser::new(&cfg);
-    let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+    let mut bs = backends(&cfg);
     for src in [
         "def f(:\n    pass\n",
         "x = = 1\n",
@@ -189,10 +164,9 @@ fn python_rejections_agree() {
         "class :\n    pass\n",
     ] {
         let lexemes = derp::lex::tokenize_python(src).unwrap();
-        let pwd_ans = pwd.recognize_lexemes(&lexemes).unwrap();
-        pwd.lang.reset();
-        assert!(!pwd_ans, "{src:?} should be rejected");
-        assert_eq!(pwd_ans, earley.recognize_lexemes(&lexemes).unwrap(), "{src:?}");
-        assert_eq!(pwd_ans, glr.recognize_lexemes(&lexemes).unwrap(), "{src:?}");
+        for b in bs.iter_mut() {
+            let ans = b.recognize_lexemes(&lexemes).unwrap();
+            assert!(!ans, "{src:?} should be rejected by {}", b.name());
+        }
     }
 }
