@@ -17,7 +17,7 @@ use crate::names::NameStore;
 use crate::reduce::Reduce;
 use crate::token::{Interner, TermId, TokKey, Token};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Index of a grammar node within a [`Language`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -89,7 +89,7 @@ pub(crate) struct MemoEntry {
 #[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub(crate) kind: ExprKind,
-    pub(crate) label: Option<Rc<str>>,
+    pub(crate) label: Option<Arc<str>>,
     /// Productivity lattice value (see [`crate::prune`]). Not epoch-stamped:
     /// for initial-grammar nodes productivity is a language-level fact that
     /// stays valid across parses, and derived nodes die at reset.
@@ -450,7 +450,7 @@ impl Language {
 
     /// Attaches a display label (e.g. a non-terminal name) to a node.
     pub fn set_label(&mut self, id: NodeId, label: &str) {
-        self.node_mut(id).label = Some(Rc::from(label));
+        self.node_mut(id).label = Some(Arc::from(label));
     }
 
     /// The display label of a node, if any.

@@ -11,7 +11,7 @@ use crate::reduce::{Reduce, ReduceKind};
 use crate::token::Token;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Index of a node in a [`Language`](crate::Language)'s forest arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -84,20 +84,20 @@ pub enum Tree {
     /// A token leaf.
     Leaf(Token),
     /// A pair produced by concatenation.
-    Pair(Rc<Tree>, Rc<Tree>),
+    Pair(Arc<Tree>, Arc<Tree>),
     /// A labeled node produced by a user reduction.
-    Node(Rc<str>, Rc<[Tree]>),
+    Node(Arc<str>, Arc<[Tree]>),
 }
 
 impl Tree {
     /// Builds a pair tree.
     pub fn pair(a: Tree, b: Tree) -> Tree {
-        Tree::Pair(Rc::new(a), Rc::new(b))
+        Tree::Pair(Arc::new(a), Arc::new(b))
     }
 
     /// Builds a labeled node.
     pub fn node(label: &str, children: Vec<Tree>) -> Tree {
-        Tree::Node(Rc::from(label), Rc::from(children))
+        Tree::Node(Arc::from(label), Arc::from(children))
     }
 
     /// Builds a token leaf.
@@ -259,7 +259,7 @@ impl ForestStore {
             ReduceKind::Reassoc => match t {
                 Tree::Pair(t1, rest) => match &*rest {
                     Tree::Pair(t2, t3) => {
-                        out.push(Tree::Pair(Rc::new(Tree::Pair(t1, t2.clone())), t3.clone()))
+                        out.push(Tree::Pair(Arc::new(Tree::Pair(t1, t2.clone())), t3.clone()))
                     }
                     _ => out.push(Tree::Pair(t1, rest)),
                 },
@@ -270,7 +270,7 @@ impl ForestStore {
                     let mut firsts = Vec::new();
                     self.apply(g, (*a).clone(), depth, &mut firsts);
                     for a2 in firsts {
-                        out.push(Tree::Pair(Rc::new(a2), b.clone()));
+                        out.push(Tree::Pair(Arc::new(a2), b.clone()));
                     }
                 }
                 other => out.push(other),
@@ -280,7 +280,7 @@ impl ForestStore {
                     let mut seconds = Vec::new();
                     self.apply(g, (*b).clone(), depth, &mut seconds);
                     for b2 in seconds {
-                        out.push(Tree::Pair(a.clone(), Rc::new(b2)));
+                        out.push(Tree::Pair(a.clone(), Arc::new(b2)));
                     }
                 }
                 other => out.push(other),

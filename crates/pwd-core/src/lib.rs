@@ -74,3 +74,19 @@ pub use names::Name;
 pub use reduce::Reduce;
 pub use session::{FeedOutcome, ParseSession};
 pub use token::{TermId, TokKey, Token};
+
+// Compile-time guarantee that the engine is thread-safe: a compiled
+// `Language` (and everything reachable from it — reductions, tokens, parse
+// trees) can be shared behind `Arc` and moved into worker threads. The
+// serving layer (`pwd-serve`) builds its compiled-grammar cache and session
+// pools on exactly this property, so losing it (e.g. by reintroducing an
+// `Rc` in a node payload) must fail the build, not a test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Language>();
+    assert_send_sync::<Token>();
+    assert_send_sync::<Reduce>();
+    assert_send_sync::<Tree>();
+    assert_send_sync::<PwdError>();
+    assert_send_sync::<Metrics>();
+};

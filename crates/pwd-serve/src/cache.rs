@@ -1,0 +1,227 @@
+//! The sharded compiled-grammar cache.
+//!
+//! Compiling a grammar (graph construction, hash-consing, nullability
+//! analysis — or SLR table construction for GLR) is the expensive,
+//! once-per-grammar step; running an input is the cheap, per-request step.
+//! This cache makes the expensive step happen once per grammar *per
+//! process*: entries are keyed by [`Cfg::fingerprint`] and shared as
+//! `Arc<CachedGrammar>`, so every worker thread sees the same compiled
+//! prototype. Sharding bounds lock contention — two requests for different
+//! grammars only serialize when their fingerprints land in the same shard.
+
+use derp::api::{backend_by_name, Parser};
+use pwd_grammar::Cfg;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::service::ServeError;
+
+/// One compiled grammar, shared immutably across threads.
+///
+/// The prototype backend is compiled once and never runs an input itself;
+/// worker sessions are created from it with [`Parser::fork`], which
+/// duplicates the compiled arena (a flat memcpy) without repeating
+/// compilation.
+pub struct CachedGrammar {
+    fingerprint: u64,
+    backend: String,
+    prototype: Box<dyn Parser>,
+}
+
+impl CachedGrammar {
+    /// The grammar fingerprint this entry is keyed by.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The backend name this grammar was compiled for.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// Creates an independent, freshly-reset session from the shared
+    /// prototype without recompiling.
+    pub fn fork_session(&self) -> Box<dyn Parser> {
+        self.prototype.fork()
+    }
+}
+
+impl std::fmt::Debug for CachedGrammar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedGrammar")
+            .field("fingerprint", &format_args!("{:#018x}", self.fingerprint))
+            .field("backend", &self.backend)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Cache hit/miss counters (process-lifetime totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Lookups answered from a shard without compiling.
+    pub hits: u64,
+    /// Lookups that compiled a new entry.
+    pub misses: u64,
+}
+
+/// One independently locked slice of the cache.
+type Shard = Mutex<HashMap<u64, Arc<CachedGrammar>>>;
+
+/// A sharded `fingerprint → Arc<CachedGrammar>` map.
+///
+/// All entries of one cache are compiled for a single backend (the owning
+/// service's); the fingerprint alone is therefore a complete key.
+pub struct GrammarCache {
+    shards: Box<[Shard]>,
+    backend: String,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GrammarCache {
+    /// Creates a cache with `shards` independently locked shards for the
+    /// named backend (shard counts are clamped to ≥ 1).
+    pub fn new(shards: usize, backend: &str) -> GrammarCache {
+        let shards = shards.max(1);
+        GrammarCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            backend: backend.to_string(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Looks up the compiled entry for `cfg`, compiling and inserting it on
+    /// a miss. The boolean is `true` on a hit — reported per call, not
+    /// derived from the global counters, so concurrent callers each learn
+    /// what *their* lookup did.
+    ///
+    /// Compilation happens *outside* the shard lock so a slow compile of one
+    /// grammar never blocks hits on other grammars in the same shard; if two
+    /// threads race to compile the same grammar, one compile is dropped and
+    /// both get the inserted entry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownBackend`] if the cache's backend name is not in
+    /// the [`derp::api`] roster.
+    pub fn get_or_compile(&self, cfg: &Cfg) -> Result<(Arc<CachedGrammar>, bool), ServeError> {
+        let fingerprint = cfg.fingerprint();
+        let shard = &self.shards[(fingerprint % self.shards.len() as u64) as usize];
+        if let Some(entry) = shard.lock().expect("cache shard poisoned").get(&fingerprint) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(entry), true));
+        }
+
+        let prototype = backend_by_name(&self.backend, cfg)
+            .ok_or_else(|| ServeError::UnknownBackend { name: self.backend.clone() })?;
+        let compiled =
+            Arc::new(CachedGrammar { fingerprint, backend: self.backend.clone(), prototype });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = shard.lock().expect("cache shard poisoned");
+        Ok((Arc::clone(map.entry(fingerprint).or_insert(compiled)), false))
+    }
+
+    /// Hit/miss totals so far.
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total number of cached grammars across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for GrammarCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrammarCache")
+            .field("shards", &self.shards.len())
+            .field("backend", &self.backend)
+            .field("entries", &self.len())
+            .field("metrics", &self.metrics())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwd_grammar::CfgBuilder;
+
+    fn catalan(start: &str) -> Cfg {
+        let mut g = CfgBuilder::new(start);
+        g.terminal("a");
+        g.rule(start, &[start, start]);
+        g.rule(start, &["a"]);
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let cache = GrammarCache::new(4, "pwd-improved");
+        let cfg = catalan("S");
+        let (a, first_hit) = cache.get_or_compile(&cfg).unwrap();
+        let (b, second_hit) = cache.get_or_compile(&cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "both lookups must share one compile");
+        assert!(!first_hit && second_hit, "per-call hit flags must match reality");
+        assert_eq!(cache.metrics(), CacheMetrics { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn renamed_grammar_shares_the_entry() {
+        // fingerprint() is nonterminal-renaming-invariant, so a renamed
+        // grammar is the same language and reuses the compile.
+        let cache = GrammarCache::new(4, "pwd-improved");
+        let (a, _) = cache.get_or_compile(&catalan("S")).unwrap();
+        let (b, hit) = cache.get_or_compile(&catalan("Expr")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b) && hit);
+        assert_eq!(cache.metrics(), CacheMetrics { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_grammars_get_distinct_entries() {
+        let cache = GrammarCache::new(1, "pwd-improved"); // force one shard
+        let _ = cache.get_or_compile(&catalan("S")).unwrap();
+        let mut g = CfgBuilder::new("S");
+        g.terminal("b");
+        g.rule("S", &["b"]);
+        let _ = cache.get_or_compile(&g.build().unwrap()).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.metrics(), CacheMetrics { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn unknown_backend_is_reported() {
+        let cache = GrammarCache::new(2, "yacc");
+        let err = cache.get_or_compile(&catalan("S")).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownBackend { ref name } if name == "yacc"));
+    }
+
+    #[test]
+    fn forked_sessions_are_independent() {
+        let cache = GrammarCache::new(2, "pwd-improved");
+        let (entry, _) = cache.get_or_compile(&catalan("S")).unwrap();
+        let mut s1 = entry.fork_session();
+        let mut s2 = entry.fork_session();
+        assert!(s1.recognize(&["a", "a"]).unwrap());
+        assert!(!s2.recognize(&[]).unwrap());
+        assert_eq!(s1.metrics().runs, 1);
+        assert_eq!(s2.metrics().runs, 1, "forks must not share run state");
+    }
+}

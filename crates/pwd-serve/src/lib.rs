@@ -1,0 +1,92 @@
+//! `pwd-serve` — a thread-safe, batched parse service over the unified
+//! parser backends.
+//!
+//! PR 1 made `Language::reset()` an O(1) epoch bump, so one compiled PWD
+//! engine can serve an unbounded stream of inputs with zero rebuild cost.
+//! This crate is the subsystem that actually drives that at scale: it
+//! multiplexes many grammars and many concurrent inputs over pooled engine
+//! sessions, hosting any backend of `derp::api` (PWD improved/original,
+//! Earley, GLR) behind one service API.
+//!
+//! # Architecture
+//!
+//! Three layers, one per module:
+//!
+//! * [`cache`] — a **sharded compiled-grammar cache**. Grammars are keyed by
+//!   the stable 64-bit [`Cfg::fingerprint`](pwd_grammar::Cfg::fingerprint);
+//!   each shard is an independently locked map, so compiles of distinct
+//!   grammars do not serialize. A hit hands back an `Arc<CachedGrammar>`
+//!   whose compiled prototype is shared, immutably, by every thread.
+//! * [`pool`] — a **per-worker session pool**. Parsing mutates engine state,
+//!   so each run needs an exclusive session; the pool turns the one shared
+//!   compile into per-thread sessions via [`Parser::fork`] (an arena memcpy,
+//!   not a recompile) and recycles them with
+//!   [`Recognizer::reset`] — for PWD the O(1) epoch bump — instead of
+//!   reallocating arenas between inputs.
+//! * [`service`] — the **batch front end**. [`ParseService::submit_batch`]
+//!   fans a slice of inputs across a fixed worker pool (work-stealing over
+//!   an atomic cursor, so stragglers do not idle the other workers) and
+//!   collects per-input results *in input order* plus batch metrics.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//!   Cfg ── fingerprint() ──► shard = fp mod S ──► GrammarCache[shard]
+//!                                │ hit  ──────────────► Arc<CachedGrammar>
+//!                                │ miss ── compile ───► insert, then share
+//!                                ▼
+//!   worker w ──► SessionPool[w].checkout(entry)
+//!                  │ idle session for fp?  reuse it            (epoch-clean)
+//!                  │ none?                 prototype.fork()    (memcpy only)
+//!                  ▼
+//!               session.recognize / parse_count  ──► ParseOutcome
+//!                  ▼
+//!               SessionPool[w].checkin ──► Recognizer::reset()  (O(1) epoch
+//!                                          bump: arena kept, state cleared)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use pwd_serve::{Input, ParseService, ServiceConfig};
+//! use pwd_grammar::CfgBuilder;
+//!
+//! # fn main() -> Result<(), pwd_serve::ServeError> {
+//! let mut g = CfgBuilder::new("S");
+//! g.terminal("a");
+//! g.rule("S", &["S", "S"]);
+//! g.rule("S", &["a"]);
+//! let cfg = g.build().expect("valid grammar");
+//!
+//! let service = ParseService::new(ServiceConfig { workers: 2, ..Default::default() });
+//! let inputs: Vec<Input> = (1..5).map(|n| Input::from_kinds(&vec!["a"; n])).collect();
+//! let report = service.submit_batch(&cfg, &inputs)?;
+//! assert!(report.outcomes.iter().all(|o| o.as_ref().unwrap().accepted));
+//! assert_eq!(report.metrics.inputs, 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod pool;
+pub mod service;
+
+pub use cache::{CacheMetrics, CachedGrammar, GrammarCache};
+pub use pool::{PoolMetrics, PooledSession, SessionPool};
+pub use service::{
+    BatchMetrics, BatchReport, Input, ParseOutcome, ParseService, ServeError, ServiceConfig,
+    ServiceMetrics,
+};
+
+// Everything the service shares across threads must be Send + Sync; checked
+// here so a regression in any layer below (core arena, backend traits,
+// cache entries) breaks the build instead of a stress test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CachedGrammar>();
+    assert_send_sync::<GrammarCache>();
+    assert_send_sync::<ParseService>();
+};

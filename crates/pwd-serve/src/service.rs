@@ -1,0 +1,480 @@
+//! The batch parse service.
+//!
+//! [`ParseService`] owns the sharded grammar cache and one session pool per
+//! worker. [`ParseService::submit_batch`] is the throughput API: it fans a
+//! slice of inputs across the fixed worker pool, letting workers steal work
+//! over an atomic cursor (so one pathological input does not idle the other
+//! workers), and returns per-input results in input order together with
+//! batch metrics.
+
+use derp::api::{BackendError, ParseCount};
+use pwd_grammar::Cfg;
+use pwd_lex::Lexeme;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cache::{CacheMetrics, GrammarCache};
+use crate::pool::{PoolMetrics, SessionPool};
+
+/// Service-level errors (per-input parse errors are reported per input in
+/// [`BatchReport::outcomes`], not here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The configured backend name is not in the `derp::api` roster.
+    UnknownBackend {
+        /// The rejected name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownBackend { name } => {
+                write!(f, "unknown parser backend {name:?} (expected one of {:?})", {
+                    derp::api::BACKEND_NAMES
+                })
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One input to parse: terminal kinds, or a lexeme stream when lexeme text
+/// matters (PWD memoizes derivatives by token *value*).
+#[derive(Debug, Clone)]
+pub enum Input {
+    /// A sequence of terminal kind names.
+    Kinds(Vec<String>),
+    /// A lexer output stream (kind + text per token).
+    Lexemes(Vec<Lexeme>),
+}
+
+impl Input {
+    /// Builds a kinds input from string slices.
+    pub fn from_kinds(kinds: &[&str]) -> Input {
+        Input::Kinds(kinds.iter().map(|k| k.to_string()).collect())
+    }
+
+    /// Builds a lexeme-stream input.
+    pub fn from_lexemes(lexemes: Vec<Lexeme>) -> Input {
+        Input::Lexemes(lexemes)
+    }
+
+    /// Number of tokens in this input.
+    pub fn len(&self) -> usize {
+        match self {
+            Input::Kinds(k) => k.len(),
+            Input::Lexemes(l) => l.len(),
+        }
+    }
+
+    /// Is the input empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn kind_refs(&self) -> Vec<&str> {
+        match self {
+            Input::Kinds(k) => k.iter().map(String::as_str).collect(),
+            Input::Lexemes(l) => l.iter().map(|x| x.kind.as_str()).collect(),
+        }
+    }
+}
+
+/// Runs one input on a checked-out backend. Kind slices are only
+/// materialized where a trait call needs them — the hot lexeme path
+/// (`count_parses` off) does no per-input allocation here.
+fn run_input(
+    backend: &mut dyn derp::api::Parser,
+    input: &Input,
+    count_parses: bool,
+) -> Result<ParseOutcome, BackendError> {
+    let accepted = match input {
+        Input::Kinds(_) => backend.recognize(&input.kind_refs())?,
+        Input::Lexemes(l) => backend.recognize_lexemes(l)?,
+    };
+    let parse_count = count_parses.then(|| backend.parse_count(&input.kind_refs())).transpose()?;
+    Ok(ParseOutcome { accepted, parse_count })
+}
+
+/// The result of parsing one input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOutcome {
+    /// Did the grammar accept the input?
+    pub accepted: bool,
+    /// Derivation count, when [`ServiceConfig::count_parses`] is set.
+    pub parse_count: Option<ParseCount>,
+}
+
+/// Batch-level throughput and reuse metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchMetrics {
+    /// Inputs in the batch.
+    pub inputs: usize,
+    /// Inputs accepted.
+    pub accepted: usize,
+    /// Inputs that errored (unknown terminals, engine limits).
+    pub errors: usize,
+    /// Wall-clock for the whole batch (cache lookup included).
+    pub elapsed: Duration,
+    /// Workers that actually ran (≤ configured workers for small batches).
+    pub workers_used: usize,
+    /// Inputs processed by each worker that ran; the spread shows how well
+    /// work-stealing balanced the batch.
+    pub per_worker_inputs: Vec<usize>,
+    /// Was the grammar already compiled when the batch arrived?
+    pub cache_hit: bool,
+}
+
+/// Results of one batch: per-input outcomes in input order, plus metrics.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One entry per input, in the order submitted. A rejected input is
+    /// `Ok(ParseOutcome { accepted: false, .. })`; `Err` is reserved for
+    /// malformed inputs (unknown terminal kinds) and engine resource limits.
+    pub outcomes: Vec<Result<ParseOutcome, BackendError>>,
+    /// Batch-level metrics.
+    pub metrics: BatchMetrics,
+}
+
+/// Configuration of a [`ParseService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Fixed number of worker threads batches fan out over (≥ 1).
+    pub workers: usize,
+    /// Shards of the compiled-grammar cache (≥ 1).
+    pub shards: usize,
+    /// Backend name from the [`derp::api`] roster (`"pwd"` aliases
+    /// `"pwd-improved"`); validated lazily at first use.
+    pub backend: String,
+    /// Also count derivations per input (a second engine pass; backends
+    /// without forest support report [`ParseCount::Unsupported`]).
+    pub count_parses: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            shards: 8,
+            backend: "pwd-improved".to_string(),
+            count_parses: false,
+        }
+    }
+}
+
+/// Service-lifetime counters aggregated over the cache and all worker pools.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Compiled-grammar cache hits/misses.
+    pub cache: CacheMetrics,
+    /// Session fork/reuse totals summed over workers.
+    pub sessions: PoolMetrics,
+    /// Total inputs served.
+    pub inputs: u64,
+}
+
+/// A thread-safe, batched parse service: sharded compiled-grammar cache +
+/// per-worker session pools + a work-stealing batch runner.
+///
+/// See the [crate docs](crate) for the request lifecycle diagram.
+pub struct ParseService {
+    config: ServiceConfig,
+    cache: GrammarCache,
+    /// One slot per worker. A batch's worker `w` locks slot `w` for the
+    /// whole batch — concurrent batches queue on the slots rather than
+    /// stampeding session creation.
+    slots: Vec<Mutex<SessionPool>>,
+    /// Rotates which slot a small batch starts on, so concurrent small
+    /// submitters spread over the pools instead of all queueing on slot 0.
+    next_slot: AtomicUsize,
+    inputs_served: AtomicUsize,
+}
+
+impl ParseService {
+    /// Creates a service with the given configuration (worker and shard
+    /// counts are clamped to ≥ 1).
+    pub fn new(mut config: ServiceConfig) -> ParseService {
+        config.workers = config.workers.max(1);
+        config.shards = config.shards.max(1);
+        let cache = GrammarCache::new(config.shards, &config.backend);
+        let slots = (0..config.workers).map(|_| Mutex::new(SessionPool::new())).collect();
+        ParseService {
+            config,
+            cache,
+            slots,
+            next_slot: AtomicUsize::new(0),
+            inputs_served: AtomicUsize::new(0),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Parses one input (a batch of one; slots are assigned round-robin, so
+    /// concurrent single submitters use different pools).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] for service-level failures; per-input parse errors
+    /// surface in the returned outcome.
+    pub fn submit(
+        &self,
+        cfg: &Cfg,
+        input: &Input,
+    ) -> Result<Result<ParseOutcome, BackendError>, ServeError> {
+        let mut report = self.submit_batch(cfg, std::slice::from_ref(input))?;
+        Ok(report.outcomes.pop().expect("batch of one has one outcome"))
+    }
+
+    /// Fans `inputs` across the worker pool and returns per-input results in
+    /// input order.
+    ///
+    /// The grammar is compiled at most once (per service) and shared; each
+    /// worker checks sessions out of its own pool, so a warm batch does no
+    /// compilation and no arena allocation — only epoch resets.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] for service-level failures (unknown backend). Per-input
+    /// failures (unknown terminal kind, engine budget) are reported in
+    /// [`BatchReport::outcomes`] without failing the batch.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from worker threads (a panicking backend is a bug,
+    /// not an input error).
+    pub fn submit_batch(&self, cfg: &Cfg, inputs: &[Input]) -> Result<BatchReport, ServeError> {
+        let t0 = Instant::now();
+        let (entry, cache_hit) = self.cache.get_or_compile(cfg)?;
+
+        let n = inputs.len();
+        let workers_used = self.config.workers.min(n).max(1);
+        let count_parses = self.config.count_parses;
+        let cursor = AtomicUsize::new(0);
+        // Full batches take all slots anyway; smaller ones start at a
+        // rotating offset so concurrent small batches use different pools.
+        let slot_base = if workers_used < self.slots.len() {
+            self.next_slot.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
+
+        let mut per_worker: Vec<Vec<(usize, Result<ParseOutcome, BackendError>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers_used)
+                    .map(|w| {
+                        let (entry, cursor) = (&entry, &cursor);
+                        let slot = &self.slots[(slot_base + w) % self.slots.len()];
+                        scope.spawn(move || {
+                            let mut pool = slot.lock().expect("worker pool poisoned");
+                            let mut out = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                let mut session = pool.checkout(entry);
+                                let res = run_input(session.backend(), &inputs[i], count_parses);
+                                pool.checkin(session);
+                                out.push((i, res));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("parse worker panicked")).collect()
+            });
+
+        let per_worker_inputs: Vec<usize> = per_worker.iter().map(Vec::len).collect();
+        let mut outcomes: Vec<Option<Result<ParseOutcome, BackendError>>> = vec![None; n];
+        for chunk in &mut per_worker {
+            for (i, res) in chunk.drain(..) {
+                outcomes[i] = Some(res);
+            }
+        }
+        let outcomes: Vec<_> =
+            outcomes.into_iter().map(|o| o.expect("every input was assigned")).collect();
+
+        self.inputs_served.fetch_add(n, Ordering::Relaxed);
+        let accepted = outcomes.iter().filter(|r| matches!(r, Ok(o) if o.accepted)).count();
+        let errors = outcomes.iter().filter(|r| r.is_err()).count();
+        Ok(BatchReport {
+            outcomes,
+            metrics: BatchMetrics {
+                inputs: n,
+                accepted,
+                errors,
+                elapsed: t0.elapsed(),
+                workers_used,
+                per_worker_inputs,
+                cache_hit,
+            },
+        })
+    }
+
+    /// Service-lifetime counters: cache hits/misses, session forks/reuses,
+    /// inputs served.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let sessions = self
+            .slots
+            .iter()
+            .map(|s| s.lock().expect("worker pool poisoned").metrics())
+            .fold(PoolMetrics::default(), |acc, m| PoolMetrics {
+                forked: acc.forked + m.forked,
+                reused: acc.reused + m.reused,
+            });
+        ServiceMetrics {
+            cache: self.cache.metrics(),
+            sessions,
+            inputs: self.inputs_served.load(Ordering::Relaxed) as u64,
+        }
+    }
+}
+
+impl fmt::Debug for ParseService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParseService")
+            .field("config", &self.config)
+            .field("metrics", &self.metrics())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwd_grammar::CfgBuilder;
+
+    fn catalan() -> Cfg {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["S", "S"]);
+        g.rule("S", &["a"]);
+        g.build().unwrap()
+    }
+
+    fn a_inputs(lens: &[usize]) -> Vec<Input> {
+        lens.iter().map(|&n| Input::from_kinds(&vec!["a"; n])).collect()
+    }
+
+    #[test]
+    fn batch_results_come_back_in_input_order() {
+        let service = ParseService::new(ServiceConfig {
+            workers: 3,
+            count_parses: true,
+            ..Default::default()
+        });
+        let cfg = catalan();
+        // Mix sizes so work-stealing actually interleaves completion order.
+        let lens = [4, 0, 7, 1, 6, 2, 5, 3, 8, 1, 4, 0];
+        let report = service.submit_batch(&cfg, &a_inputs(&lens)).unwrap();
+        assert_eq!(report.outcomes.len(), lens.len());
+        for (i, (&len, out)) in lens.iter().zip(&report.outcomes).enumerate() {
+            let out = out.as_ref().unwrap();
+            assert_eq!(out.accepted, len > 0, "input {i} (length {len})");
+            // Catalan counts pin the slot to the right input, not just the
+            // right verdict: C(n-1) parse trees for n ≥ 1 leaves.
+            let expect = match len as u128 {
+                0 => 0,
+                n => (0..n - 1).fold(1, |c, k| c * 2 * (2 * k + 1) / (k + 2)),
+            };
+            assert_eq!(out.parse_count, Some(ParseCount::Finite(expect)), "input {i}");
+        }
+        assert_eq!(report.metrics.inputs, lens.len());
+        assert_eq!(report.metrics.accepted, lens.iter().filter(|&&l| l > 0).count());
+        assert_eq!(report.metrics.workers_used, 3);
+        assert_eq!(report.metrics.per_worker_inputs.iter().sum::<usize>(), lens.len());
+    }
+
+    #[test]
+    fn second_batch_hits_cache_and_reuses_sessions() {
+        let service = ParseService::new(ServiceConfig { workers: 2, ..Default::default() });
+        let cfg = catalan();
+        let first = service.submit_batch(&cfg, &a_inputs(&[1, 2, 3, 4])).unwrap();
+        assert!(!first.metrics.cache_hit);
+        let second = service.submit_batch(&cfg, &a_inputs(&[2, 2, 2, 2])).unwrap();
+        assert!(second.metrics.cache_hit, "same grammar must not recompile");
+        let m = service.metrics();
+        assert_eq!(m.cache, CacheMetrics { hits: 1, misses: 1 });
+        assert_eq!(m.inputs, 8);
+        assert!(
+            m.sessions.reused >= m.sessions.forked,
+            "pooled sessions must dominate forks on a warm service: {:?}",
+            m.sessions
+        );
+    }
+
+    #[test]
+    fn per_input_errors_do_not_fail_the_batch() {
+        let service = ParseService::new(ServiceConfig { workers: 2, ..Default::default() });
+        let cfg = catalan();
+        let inputs =
+            vec![Input::from_kinds(&["a"]), Input::from_kinds(&["NOPE"]), Input::from_kinds(&[])];
+        let report = service.submit_batch(&cfg, &inputs).unwrap();
+        assert!(report.outcomes[0].as_ref().unwrap().accepted);
+        assert!(report.outcomes[1].as_ref().unwrap_err().message.contains("NOPE"));
+        assert!(!report.outcomes[2].as_ref().unwrap().accepted);
+        assert_eq!(report.metrics.errors, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let service = ParseService::new(ServiceConfig::default());
+        let report = service.submit_batch(&catalan(), &[]).unwrap();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.metrics.inputs, 0);
+    }
+
+    #[test]
+    fn unknown_backend_fails_the_batch() {
+        let service =
+            ParseService::new(ServiceConfig { backend: "bison".to_string(), ..Default::default() });
+        let err = service.submit_batch(&catalan(), &a_inputs(&[1])).unwrap_err();
+        assert!(err.to_string().contains("bison"));
+    }
+
+    #[test]
+    fn every_roster_backend_serves() {
+        let cfg = catalan();
+        for &name in derp::api::BACKEND_NAMES {
+            let service = ParseService::new(ServiceConfig {
+                workers: 2,
+                backend: name.to_string(),
+                ..Default::default()
+            });
+            let report = service.submit_batch(&cfg, &a_inputs(&[0, 1, 3])).unwrap();
+            let verdicts: Vec<bool> =
+                report.outcomes.iter().map(|o| o.as_ref().unwrap().accepted).collect();
+            assert_eq!(verdicts, vec![false, true, true], "{name}");
+        }
+    }
+
+    #[test]
+    fn lexeme_inputs_reach_the_engine_with_text() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("NUM");
+        g.rule("S", &["NUM", "S"]);
+        g.rule("S", &["NUM"]);
+        let cfg = g.build().unwrap();
+        let service = ParseService::new(ServiceConfig { workers: 2, ..Default::default() });
+        let lex = |texts: &[&str]| {
+            Input::from_lexemes(
+                texts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| Lexeme { kind: "NUM".into(), text: t.to_string(), offset: i })
+                    .collect(),
+            )
+        };
+        let report = service.submit_batch(&cfg, &[lex(&["1", "2", "3"]), lex(&[])]).unwrap();
+        assert!(report.outcomes[0].as_ref().unwrap().accepted);
+        assert!(!report.outcomes[1].as_ref().unwrap().accepted);
+    }
+}

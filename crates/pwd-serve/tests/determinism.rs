@@ -1,0 +1,149 @@
+//! Cross-thread determinism: concurrency must be invisible in results.
+//!
+//! The serving subsystem shares one compiled grammar across threads and
+//! recycles sessions through epoch resets; none of that may change what a
+//! parse *returns*. These tests drive randomized grammars and inputs through
+//! (a) the batch service at several worker counts and (b) hand-rolled
+//! threads hammering one shared `CachedGrammar`, and require byte-identical
+//! accept/parse-count results against a fresh single-threaded baseline.
+
+use derp::api::{backend_by_name, ParseCount};
+use pwd_grammar::{random_cfg, random_input, remove_useless, Cfg, RandomCfgConfig};
+use pwd_serve::{GrammarCache, Input, ParseService, ServiceConfig, SessionPool};
+use std::sync::Arc;
+
+/// One input's observable result, rendered to a comparable string: accept
+/// verdict and parse count on success, the backend error message otherwise.
+/// String form keeps the comparison strictly byte-for-byte.
+fn render(res: &Result<(bool, ParseCount), String>) -> String {
+    match res {
+        Ok((accepted, count)) => format!("ok accepted={accepted} count={count:?}"),
+        Err(e) => format!("err {e}"),
+    }
+}
+
+/// The ground truth: a fresh single-threaded engine per input — no cache, no
+/// pool, no reset reuse, no threads.
+fn fresh_baseline(cfg: &Cfg, inputs: &[Vec<String>]) -> Vec<String> {
+    inputs
+        .iter()
+        .map(|kinds| {
+            let kinds: Vec<&str> = kinds.iter().map(String::as_str).collect();
+            let mut backend = backend_by_name("pwd-improved", cfg).expect("roster name");
+            let res = backend
+                .recognize(&kinds)
+                .and_then(|accepted| Ok((accepted, backend.parse_count(&kinds)?)))
+                .map_err(|e| e.to_string());
+            render(&res)
+        })
+        .collect()
+}
+
+fn random_case(seed: u64) -> (Cfg, Vec<Vec<String>>) {
+    let shape = RandomCfgConfig::default();
+    let raw = random_cfg(&shape, seed);
+    // Useless-symbol removal keeps the engine off degenerate empty languages
+    // (those are covered by the rejected-input cases anyway).
+    let cfg = remove_useless(&raw).unwrap_or(raw);
+    let inputs: Vec<Vec<String>> =
+        (0..12).map(|i| random_input(&cfg, 8, seed.wrapping_mul(1000).wrapping_add(i))).collect();
+    (cfg, inputs)
+}
+
+/// Property: for random grammars and inputs, the batch service at 1, 2, and
+/// 4 workers returns byte-identical results to the fresh single-threaded
+/// baseline — on a cold cache, and again on a warm cache with pooled
+/// (epoch-reset) sessions.
+#[test]
+fn service_results_match_single_threaded_baseline() {
+    for seed in 0..24u64 {
+        let (cfg, inputs) = random_case(seed);
+        let baseline = fresh_baseline(&cfg, &inputs);
+        let batch: Vec<Input> = inputs.iter().map(|k| Input::Kinds(k.clone())).collect();
+
+        for workers in [1, 2, 4] {
+            let service = ParseService::new(ServiceConfig {
+                workers,
+                count_parses: true,
+                ..Default::default()
+            });
+            for round in 0..2 {
+                let report = service.submit_batch(&cfg, &batch).expect("service accepts batch");
+                let got: Vec<String> = report
+                    .outcomes
+                    .iter()
+                    .map(|o| {
+                        let res = o
+                            .as_ref()
+                            .map(|out| (out.accepted, out.parse_count.expect("count_parses is on")))
+                            .map_err(|e| e.to_string());
+                        render(&res)
+                    })
+                    .collect();
+                assert_eq!(
+                    got, baseline,
+                    "seed {seed}, {workers} workers, round {round}: \
+                     concurrent results diverged from the fresh baseline"
+                );
+            }
+        }
+    }
+}
+
+/// Directed stress: N threads share one cached compiled grammar and their
+/// own session pools, interleaving inputs (including holding two sessions at
+/// once); every thread must observe exactly the baseline results.
+#[test]
+fn threads_sharing_one_compiled_grammar_agree() {
+    for seed in [3u64, 11, 19] {
+        let (cfg, inputs) = random_case(seed);
+        let baseline = fresh_baseline(&cfg, &inputs);
+
+        let cache = GrammarCache::new(4, "pwd-improved");
+        let (entry, _) = cache.get_or_compile(&cfg).expect("compiles");
+        let entry: &Arc<_> = &entry;
+
+        let per_thread: Vec<Vec<String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t: u64| {
+                    let (entry, inputs) = (Arc::clone(entry), &inputs);
+                    scope.spawn(move || {
+                        let mut pool = SessionPool::new();
+                        let mut out = Vec::new();
+                        // Each thread walks the inputs from a different
+                        // offset so sessions are reused under different
+                        // histories on every thread.
+                        for i in 0..inputs.len() {
+                            let idx = (i + t as usize) % inputs.len();
+                            let kinds: Vec<&str> = inputs[idx].iter().map(String::as_str).collect();
+                            let mut session = pool.checkout(&entry);
+                            // Hold a second session across the run on odd
+                            // steps: pools must not alias state.
+                            let extra = (i % 2 == 1).then(|| pool.checkout(&entry));
+                            let backend = session.backend();
+                            let res = backend
+                                .recognize(&kinds)
+                                .and_then(|acc| Ok((acc, backend.parse_count(&kinds)?)))
+                                .map_err(|e| e.to_string());
+                            out.push((idx, render(&res)));
+                            pool.checkin(session);
+                            if let Some(extra) = extra {
+                                pool.checkin(extra);
+                            }
+                        }
+                        out.sort();
+                        out.into_iter().map(|(_, r)| r).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("thread panicked")).collect()
+        });
+
+        for (t, got) in per_thread.iter().enumerate() {
+            assert_eq!(
+                got, &baseline,
+                "seed {seed}, thread {t}: shared-compile results diverged from baseline"
+            );
+        }
+    }
+}

@@ -1,39 +1,69 @@
-//! A miniature Figure 6: race every backend behind the shared
-//! [`derp::api::Parser`] trait on the same Python-like corpus and print
-//! seconds-per-token — no per-backend driver code.
+//! A miniature Figure 6, served: race every backend on the same Python-like
+//! corpus by hosting each one behind the `pwd-serve` batch API — the service
+//! compiles each grammar once per backend, pools sessions per worker, and
+//! fans the corpus across threads; this example carries no per-backend
+//! driver code at all.
 //!
-//! The timed window includes lexeme→token conversion for every arm
-//! uniformly (a few interner lookups per token, noise next to parse cost),
-//! so the printed ratios compare parsers, not drivers.
+//! The timed window includes the service's own overhead (cache lookup,
+//! session checkout, result collection) uniformly for every arm, so the
+//! printed ratios compare parsers, not drivers.
 //!
-//! Run with: `cargo run --release --example parser_race -- [tokens]`
+//! Run with: `cargo run --release --example parser_race -- [tokens] [files]`
 
-use derp::api::backends;
+use derp::api::BACKEND_NAMES;
 use derp::grammar::{gen, grammars};
+use pwd_serve::{Input, ParseService, ServiceConfig};
 use std::time::{Duration, Instant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let target: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let mut args = std::env::args().skip(1);
+    let target: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+    let files: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
     let cfg = grammars::python::cfg();
-    let src = gen::python_source(target, 7);
-    let lexemes = derp::lex::tokenize_python(&src)?;
-    let n = lexemes.len();
-    println!("corpus: {n} tokens of Python-like source\n");
+    let inputs: Vec<Input> = (0..files)
+        .map(|i| {
+            let src = gen::python_source(target, 7 + i as u64);
+            Ok(Input::from_lexemes(derp::lex::tokenize_python(&src)?))
+        })
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    let n: usize = inputs.iter().map(Input::len).sum();
+    let workers = std::thread::available_parallelism().map_or(2, usize::from);
+    println!("corpus: {files} files, {n} tokens of Python-like source, {workers} workers\n");
+
+    // A tiny warm-up batch per backend compiles the grammar into the cache
+    // *outside* the timed window, so the printed ratios compare parsing,
+    // not one-time compilation (session forks are memcpys, noise next to
+    // parse cost).
+    let warmup_src = gen::python_source(20, 99);
+    let warmup: Vec<Input> =
+        vec![Input::from_lexemes(derp::lex::tokenize_python(&warmup_src)?); workers];
 
     let mut times: Vec<(&'static str, Duration)> = Vec::new();
-    for backend in &mut backends(&cfg) {
+    for &name in BACKEND_NAMES {
+        let service = ParseService::new(ServiceConfig {
+            workers,
+            backend: name.to_string(),
+            ..Default::default()
+        });
+        service.submit_batch(&cfg, &warmup)?;
         let t0 = Instant::now();
-        let ok = backend.recognize_lexemes(&lexemes)?;
+        let report = service.submit_batch(&cfg, &inputs)?;
         let dt = t0.elapsed();
-        let m = backend.metrics();
+        for out in &report.outcomes {
+            let out = out.as_ref().map_err(|e| e.clone())?;
+            assert!(out.accepted, "{name}: generated corpus must parse");
+        }
+        let m = service.metrics();
         println!(
-            "{:<14} {:>10.3} ms total  {:>9.3} µs/token  accepted={ok}  work={}",
-            backend.name(),
+            "{:<14} {:>10.3} ms total  {:>9.3} µs/token  sessions forked={} reused={}",
+            name,
             dt.as_secs_f64() * 1e3,
             dt.as_secs_f64() * 1e6 / n as f64,
-            m.work,
+            m.sessions.forked,
+            m.sessions.reused,
         );
-        times.push((backend.name(), dt));
+        times.push((name, dt));
     }
 
     let t = |name: &str| {

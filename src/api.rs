@@ -105,7 +105,13 @@ pub struct BackendMetrics {
 ///
 /// Implementations must make every `recognize*` call independent: each run
 /// observes the backend as freshly [`reset`](Recognizer::reset).
-pub trait Recognizer {
+///
+/// `Send + Sync` is a supertrait bound: a backend must be movable into a
+/// worker thread and shareable behind `Arc` (all mutation goes through
+/// `&mut self`, so `Sync` costs implementations nothing — it just rules out
+/// un-shareable interior mutability). The `pwd-serve` subsystem pools
+/// backends across threads on exactly this guarantee.
+pub trait Recognizer: Send + Sync {
     /// Compiles a backend for a grammar with its default configuration.
     fn prepare(cfg: &Cfg) -> Self
     where
@@ -153,6 +159,16 @@ pub trait Parser: Recognizer {
     /// Same as [`Recognizer::recognize`]; a rejected input is
     /// `Ok(ParseCount::Finite(0))`.
     fn parse_count(&mut self, kinds: &[&str]) -> Result<ParseCount, BackendError>;
+
+    /// Clones this backend into an independent, freshly-reset instance
+    /// without recompiling the grammar.
+    ///
+    /// The fork shares no mutable state with `self`: for PWD it duplicates
+    /// the compiled arena (a flat memcpy — the expensive graph construction
+    /// and hash-consing of [`Recognizer::prepare`] are *not* repeated), and
+    /// for the stateless baselines it clones their tables. This is how a
+    /// session pool turns one cached compile into N per-thread sessions.
+    fn fork(&self) -> Box<dyn Parser>;
 }
 
 // ---------------------------------------------------------------------
@@ -181,6 +197,13 @@ impl PwdBackend {
     /// Compiles an arbitrary engine configuration under a display label.
     pub fn with_config(cfg: &Cfg, config: ParserConfig, label: &'static str) -> PwdBackend {
         PwdBackend { compiled: Compiled::compile(cfg, config), label, runs: 0 }
+    }
+
+    /// Wraps an already-compiled engine (e.g. a clone of a cached
+    /// [`Compiled`] template) without paying compilation again.
+    pub fn from_compiled(mut compiled: Compiled, label: &'static str) -> PwdBackend {
+        compiled.lang.reset();
+        PwdBackend { compiled, label, runs: 0 }
     }
 
     /// The underlying compiled engine, for backend-specific inspection.
@@ -259,6 +282,10 @@ impl PwdBackend {
 }
 
 impl Parser for PwdBackend {
+    fn fork(&self) -> Box<dyn Parser> {
+        Box::new(PwdBackend::from_compiled(self.compiled.clone(), self.label))
+    }
+
     fn parse_count(&mut self, kinds: &[&str]) -> Result<ParseCount, BackendError> {
         let toks = self.tokens(kinds)?;
         self.compiled.lang.reset();
@@ -316,6 +343,14 @@ impl Recognizer for EarleyBackend {
 }
 
 impl Parser for EarleyBackend {
+    fn fork(&self) -> Box<dyn Parser> {
+        Box::new(EarleyBackend {
+            parser: self.parser.clone(),
+            runs: 0,
+            last: EarleyStats::default(),
+        })
+    }
+
     fn parse_count(&mut self, _kinds: &[&str]) -> Result<ParseCount, BackendError> {
         Ok(ParseCount::Unsupported)
     }
@@ -363,6 +398,10 @@ impl Recognizer for GlrBackend {
 }
 
 impl Parser for GlrBackend {
+    fn fork(&self) -> Box<dyn Parser> {
+        Box::new(GlrBackend { parser: self.parser.clone(), runs: 0, last: GlrStats::default() })
+    }
+
     fn parse_count(&mut self, _kinds: &[&str]) -> Result<ParseCount, BackendError> {
         Ok(ParseCount::Unsupported)
     }
@@ -372,17 +411,46 @@ impl Parser for GlrBackend {
 // Drivers
 // ---------------------------------------------------------------------
 
+/// The stable names accepted by [`backend_by_name`], in roster order.
+pub const BACKEND_NAMES: &[&str] = &["pwd-improved", "pwd-original", "earley", "glr"];
+
+/// Prepares one backend by its stable name (`"pwd"` is accepted as an alias
+/// for `"pwd-improved"`), or `None` for an unknown name.
+///
+/// This is the selector services and CLIs use to host any parser family —
+/// PWD or the Earley/GLR baselines — behind one `dyn` [`Parser`] without
+/// compiling the whole roster.
+pub fn backend_by_name(name: &str, cfg: &Cfg) -> Option<Box<dyn Parser>> {
+    match name {
+        "pwd" | "pwd-improved" => Some(Box::new(PwdBackend::improved(cfg))),
+        "pwd-original" => Some(Box::new(PwdBackend::original_2011(cfg))),
+        "earley" => Some(Box::new(EarleyBackend::prepare(cfg))),
+        "glr" => Some(Box::new(GlrBackend::prepare(cfg))),
+        _ => None,
+    }
+}
+
 /// Prepares the standard backend roster for a grammar: improved PWD,
 /// original-2011 PWD, Earley, and GLR — the four parsers of the paper's
 /// Figure 6 — behind `dyn` [`Parser`].
 pub fn backends(cfg: &Cfg) -> Vec<Box<dyn Parser>> {
-    vec![
-        Box::new(PwdBackend::improved(cfg)),
-        Box::new(PwdBackend::original_2011(cfg)),
-        Box::new(EarleyBackend::prepare(cfg)),
-        Box::new(GlrBackend::prepare(cfg)),
-    ]
+    BACKEND_NAMES
+        .iter()
+        .map(|name| backend_by_name(name, cfg).expect("roster names are always valid"))
+        .collect()
 }
+
+// The whole point of the `Send + Sync` supertrait: compiled backends (and
+// boxed trait objects of them) can cross threads. Checked at compile time so
+// a regression fails the build.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PwdBackend>();
+    assert_send_sync::<EarleyBackend>();
+    assert_send_sync::<GlrBackend>();
+    assert_send_sync::<Box<dyn Parser>>();
+    assert_send_sync::<Compiled>();
+};
 
 /// Runs one input through every backend and asserts they agree — the shared
 /// driver of the differential tests.
