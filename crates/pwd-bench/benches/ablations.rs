@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pwd_bench::{python_cfg, python_corpus};
-use pwd_core::{CompactionMode, NullStrategy, ParserConfig};
+use pwd_core::{CompactionMode, MemoKeying, NullStrategy, ParserConfig};
 use pwd_grammar::Compiled;
 
 fn bench_config(c: &mut Criterion, group: &str, label: &str, config: ParserConfig, tokens: usize) {
@@ -60,7 +60,7 @@ fn ablation_memo(c: &mut Criterion) {
         ("dual_entry", MemoStrategy::DualEntry),
         ("full_hash", MemoStrategy::FullHash),
     ] {
-        let config = ParserConfig { memo, ..ParserConfig::improved() };
+        let config = ParserConfig { memo, keying: MemoKeying::ByValue, ..ParserConfig::improved() };
         bench_config(c, "ablation_memo", label, config, 200);
     }
 }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pwd_bench::{python_cfg, python_corpus};
-use pwd_core::{MemoStrategy, ParserConfig};
+use pwd_core::{MemoKeying, MemoStrategy, ParserConfig};
 use pwd_grammar::Compiled;
 
 fn bench_memo(c: &mut Criterion) {
@@ -20,7 +20,8 @@ fn bench_memo(c: &mut Criterion) {
         for (label, memo) in
             [("single_entry", MemoStrategy::SingleEntry), ("full_hash", MemoStrategy::FullHash)]
         {
-            let config = ParserConfig { memo, ..ParserConfig::improved() };
+            let config =
+                ParserConfig { memo, keying: MemoKeying::ByValue, ..ParserConfig::improved() };
             let mut pwd = Compiled::compile(&cfg, config);
             let toks = pwd.tokens_from_lexemes(&file.lexemes).expect("terminals");
             let start = pwd.start;

@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p pwd-bench --bin fig10_memo_census [--full]`
 
 use pwd_bench::{csv_header, csv_row, default_sizes, full_flag, python_cfg, python_corpus};
-use pwd_core::{MemoStrategy, ParserConfig};
+use pwd_core::{MemoKeying, MemoStrategy, ParserConfig};
 use pwd_grammar::Compiled;
 
 fn main() {
@@ -22,7 +22,11 @@ fn main() {
 
     let mut fractions = Vec::new();
     for file in &corpus {
-        let config = ParserConfig { memo: MemoStrategy::FullHash, ..ParserConfig::improved() };
+        let config = ParserConfig {
+            memo: MemoStrategy::FullHash,
+            keying: MemoKeying::ByValue,
+            ..ParserConfig::improved()
+        };
         let mut pwd = Compiled::compile(&cfg, config);
         let toks = pwd.tokens_from_lexemes(&file.lexemes).expect("terminals");
         let start = pwd.start;

@@ -9,7 +9,7 @@
 use pwd_bench::{
     csv_header, csv_row, default_sizes, full_flag, geomean, python_cfg, python_corpus,
 };
-use pwd_core::{MemoStrategy, ParserConfig};
+use pwd_core::{MemoKeying, MemoStrategy, ParserConfig};
 use pwd_grammar::Compiled;
 
 fn main() {
@@ -23,7 +23,8 @@ fn main() {
     let mut ratios = Vec::new();
     for file in &corpus {
         let count = |memo: MemoStrategy| -> u64 {
-            let config = ParserConfig { memo, ..ParserConfig::improved() };
+            let config =
+                ParserConfig { memo, keying: MemoKeying::ByValue, ..ParserConfig::improved() };
             let mut pwd = Compiled::compile(&cfg, config);
             let toks = pwd.tokens_from_lexemes(&file.lexemes).expect("terminals");
             let start = pwd.start;

@@ -9,7 +9,7 @@
 use pwd_bench::{
     csv_header, csv_row, default_sizes, full_flag, geomean, python_cfg, python_corpus, time_mean,
 };
-use pwd_core::{MemoStrategy, ParserConfig};
+use pwd_core::{MemoKeying, MemoStrategy, ParserConfig};
 use pwd_grammar::Compiled;
 use std::time::Duration;
 
@@ -26,7 +26,8 @@ fn main() {
     let mut speedups = Vec::new();
     for file in &corpus {
         let measure = |memo: MemoStrategy| -> Duration {
-            let config = ParserConfig { memo, ..ParserConfig::improved() };
+            let config =
+                ParserConfig { memo, keying: MemoKeying::ByValue, ..ParserConfig::improved() };
             let mut pwd = Compiled::compile(&cfg, config);
             let toks = pwd.tokens_from_lexemes(&file.lexemes).expect("terminals");
             let start = pwd.start;

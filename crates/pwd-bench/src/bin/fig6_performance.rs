@@ -15,7 +15,7 @@
 use pwd_bench::{
     csv_header, csv_row, default_sizes, full_flag, geomean, python_cfg, python_corpus, time_mean,
 };
-use pwd_core::ParserConfig;
+use pwd_core::{MemoKeying, ParserConfig};
 use pwd_earley::EarleyParser;
 use pwd_glr::GlrParser;
 use pwd_grammar::Compiled;
@@ -45,7 +45,9 @@ fn main() {
         let n = file.tokens as f64;
 
         // Improved PWD.
-        let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+        let improved_config =
+            ParserConfig { keying: MemoKeying::ByValue, ..ParserConfig::improved() };
+        let mut pwd = Compiled::compile(&cfg, improved_config);
         let toks = pwd.tokens_from_lexemes(&file.lexemes).expect("grammar terminals");
         let start = pwd.start;
         let improved = time_mean(3, min_total, || {

@@ -1,0 +1,56 @@
+//! Diagnostic: memo-keying effectiveness matrix on the lexeme-diverse PL/0
+//! corpus — wall time, derive-call, and template counters for every
+//! `(mode × memo strategy × keying)` cell.
+//!
+//! Run: `cargo run --release -p pwd-bench --bin probe_keying [target_tokens]`
+
+use pwd_core::{MemoKeying, MemoStrategy, ParseMode, ParserConfig};
+use pwd_grammar::{gen, grammars, Compiled};
+
+fn main() {
+    let target: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let lx = grammars::pl0::lexer();
+    let src = gen::pl0_source(target, 0xD1CE, 0.1);
+    let lexemes = lx.tokenize(&src).unwrap();
+    println!("tokens: {}", lexemes.len());
+    for mode in [ParseMode::Recognize, ParseMode::Parse] {
+        for memo in [MemoStrategy::SingleEntry, MemoStrategy::DualEntry, MemoStrategy::FullHash] {
+            for keying in [MemoKeying::ByValue, MemoKeying::ByClass] {
+                let cfg = ParserConfig { mode, keying, memo, ..ParserConfig::improved() };
+                let mut pwd = Compiled::compile(&grammars::pl0::cfg(), cfg);
+                let toks = pwd.tokens_from_lexemes(&lexemes).unwrap();
+                let start = pwd.start;
+                let run = |pwd: &mut Compiled| {
+                    pwd.lang.reset();
+                    match mode {
+                        ParseMode::Recognize => {
+                            assert!(pwd.lang.recognize(start, &toks).unwrap());
+                        }
+                        ParseMode::Parse => {
+                            pwd.lang.parse_forest(start, &toks).unwrap();
+                        }
+                    }
+                };
+                run(&mut pwd); // warm the prepass cache and template rows
+                let rounds = 20u32;
+                let t0 = std::time::Instant::now();
+                for _ in 0..rounds {
+                    run(&mut pwd);
+                }
+                let ns = t0.elapsed().as_nanos() / rounds as u128;
+                let m = *pwd.lang.metrics();
+                println!(
+                    "{mode:?}/{memo:?}/{keying:?}: ns={ns} calls={} uncached={} nodes={} \
+                     evict={} tmpl_rec={} tmpl_inst={} tmpl_share={}",
+                    m.derive_calls,
+                    m.derive_uncached,
+                    m.nodes_created,
+                    m.memo_evictions,
+                    m.templates_recorded,
+                    m.template_instantiations,
+                    m.template_shares,
+                );
+            }
+        }
+    }
+}

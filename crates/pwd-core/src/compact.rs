@@ -339,6 +339,21 @@ impl Language {
     // prepass (§4.3.1).
     // ------------------------------------------------------------------
 
+    /// The §4.3.1 prepass output for `start`, computed once and cached: the
+    /// compacted initial grammar is a pure function of the immutable input
+    /// graph, so repeated parses share one copy instead of re-running the
+    /// pass per parse. When the first parse computes it before the initial
+    /// boundary is recorded, the copy becomes part of the persistent grammar
+    /// (template rows included) and survives [`Language::reset`].
+    pub(crate) fn prepass_root(&mut self, start: NodeId) -> NodeId {
+        if let Some(&(_, out)) = self.prepass_cache.iter().find(|&&(s, _)| s == start) {
+            return out;
+        }
+        let out = self.compact_pass(start);
+        self.prepass_cache.push((start, out));
+        out
+    }
+
     /// Rewrites the graph reachable from `root`, applying the full local
     /// rule set once per node (no fixed-point iteration), and returns the
     /// root of the rewritten graph.

@@ -57,6 +57,40 @@ pub enum MemoStrategy {
     DualEntry,
 }
 
+/// What identifies a token in the `derive` memo tables (the lexeme-sharing
+/// axis; goes beyond the paper).
+///
+/// The paper keys the memo by token *value* — `(kind, lexeme)` — so on
+/// identifier-heavy inputs where nearly every token is a fresh lexeme the
+/// memo misses constantly and the engine re-derives the full grammar graph
+/// per token. But a derivative depends on the lexeme only through the `ε`
+/// leaf it embeds, so `D_tok(n)` is shareable across all lexemes of one
+/// terminal class:
+///
+/// * in [`ParseMode::Recognize`] no forests are built and the derivative is
+///   a pure function of the terminal kind, so class keying replaces the
+///   [`TokKey`](crate::TokKey) memo key with the [`TermId`](crate::TermId)
+///   outright — turning identifier-diverse inputs from all-miss to all-hit;
+/// * in [`ParseMode::Parse`] the memo stays value-keyed (forests embed the
+///   lexeme), and class keying instead adds a per-`(node, TermId)`
+///   *template* slot that lets a repeat terminal share every
+///   lexeme-independent subgraph of a previous derivative and re-derive
+///   only the patch path down to the fresh `ε` leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemoKeying {
+    /// The paper's scheme: key by token value `(kind, lexeme)`. Kept as the
+    /// ablation baseline and for the faithful figure reproductions.
+    ByValue,
+    /// Share derivatives across lexemes of the same terminal class (full
+    /// sharing in recognize mode, template sharing in parse mode).
+    ///
+    /// Automatically falls back to value keying while Definition-5
+    /// [`naming`](ParserConfig::naming) is on, because names embed token
+    /// values.
+    #[default]
+    ByClass,
+}
+
 /// Whether to build parse forests or only recognize (§2 vs §3).
 ///
 /// `Recognize` uses the paper's Figure-2 derivative for `◦` (two nodes per
@@ -90,6 +124,8 @@ pub struct ParserConfig {
     pub compaction: CompactionMode,
     /// Memoization strategy for `derive`.
     pub memo: MemoStrategy,
+    /// What identifies a token in the `derive` memo (value vs class keying).
+    pub keying: MemoKeying,
     /// Recognizer vs full parser.
     pub mode: ParseMode,
     /// Assign Definition-5 names to every node created by `derive`
@@ -111,6 +147,7 @@ impl ParserConfig {
             nullability: NullStrategy::Naive,
             compaction: CompactionMode::SeparatePass,
             memo: MemoStrategy::FullHash,
+            keying: MemoKeying::ByValue,
             mode: ParseMode::Parse,
             naming: false,
             prepass_right_children: false,
@@ -132,6 +169,7 @@ impl ParserConfig {
             nullability: NullStrategy::Labeled,
             compaction: CompactionMode::OnConstruction,
             memo: MemoStrategy::SingleEntry,
+            keying: MemoKeying::ByClass,
             mode: ParseMode::Parse,
             naming: false,
             prepass_right_children: true,
@@ -147,6 +185,7 @@ impl ParserConfig {
             nullability: NullStrategy::Labeled,
             compaction: CompactionMode::None,
             memo: MemoStrategy::FullHash,
+            keying: MemoKeying::ByValue,
             mode: ParseMode::Recognize,
             naming: true,
             prepass_right_children: false,
@@ -175,6 +214,8 @@ mod tests {
         assert_eq!(i.compaction, CompactionMode::OnConstruction);
         assert_eq!(o.memo, MemoStrategy::FullHash);
         assert_eq!(i.memo, MemoStrategy::SingleEntry);
+        assert_eq!(o.keying, MemoKeying::ByValue);
+        assert_eq!(i.keying, MemoKeying::ByClass);
     }
 
     #[test]

@@ -9,11 +9,11 @@
 //! constructors in [`crate::compact`] — and punts when a child is still
 //! pending, exactly as §4.3.3 prescribes.
 
-use crate::config::{CompactionMode, ParseMode};
+use crate::config::{CompactionMode, MemoKeying, ParseMode};
 use crate::error::PwdError;
 use crate::expr::{ExprKind, Language, NodeId};
 use crate::forest::{EnumLimits, ForestId, ForestNode, Tree};
-use crate::token::Token;
+use crate::token::{DeriveKey, Token};
 
 impl Language {
     // ------------------------------------------------------------------
@@ -158,14 +158,15 @@ impl Language {
         tokens: &[Token],
     ) -> Result<Result<NodeId, usize>, PwdError> {
         self.validate(start)?;
-        self.mark_initial();
         self.in_parse = false;
         let mut cur = start;
         // §4.3.1: apply the right-child rules (and the rest of the rule set)
-        // to the initial grammar once, before parsing.
+        // to the initial grammar once — cached, and run *before* the initial
+        // boundary is recorded so the compacted copy persists across resets.
         if self.config.prepass_right_children && self.config.compaction != CompactionMode::None {
-            cur = self.compact_pass(cur);
+            cur = self.prepass_root(cur);
         }
+        self.mark_initial();
         if self.config.naming {
             self.assign_initial_names(cur);
         }
@@ -210,50 +211,119 @@ impl Language {
     // derive
     // ------------------------------------------------------------------
 
+    /// Is the derive memo keyed by terminal class outright? Only sound when
+    /// no lexeme can reach the derivative: recognize mode (no forests) with
+    /// Definition-5 naming off (names embed token values).
+    #[inline]
+    fn class_keyed(&self) -> bool {
+        self.config.keying == MemoKeying::ByClass
+            && self.config.mode == ParseMode::Recognize
+            && !self.config.naming
+    }
+
+    /// Are the class-template slots active? In parse mode they carry the
+    /// whole class-sharing scheme (memo entries stay value-keyed — forests
+    /// embed lexemes); in recognize mode they back the class-keyed memo
+    /// with an eviction-proof second level (the single-entry strategy
+    /// otherwise thrashes when successive tokens of different classes
+    /// revisit the same grammar node).
+    #[inline]
+    fn templates_enabled(&self) -> bool {
+        self.config.keying == MemoKeying::ByClass && !self.config.naming
+    }
+
+    /// The memo key identifying `tok` under the configured keying.
+    #[inline]
+    fn derive_key(&self, tok: &Token) -> DeriveKey {
+        if self.class_keyed() {
+            DeriveKey::class(tok.term())
+        } else {
+            DeriveKey::value(tok.key())
+        }
+    }
+
     /// `D_tok(id)` with memoize-before-recurse cycle handling.
     pub(crate) fn derive_node(&mut self, id: NodeId, tok: &Token) -> NodeId {
+        self.derive_node_t(id, tok).0
+    }
+
+    /// `D_tok(id)` plus its lexeme *taint*: does the derivative embed an `ε`
+    /// leaf of `tok` (and therefore its lexeme)? Untainted derivatives are a
+    /// pure function of `(id, tok.term())`, which is what lets the class
+    /// templates share them verbatim with other lexemes of the class. Taint
+    /// is over-approximated (any derived child's taint propagates even if
+    /// compaction dropped that child; cycles and evicted slots read as
+    /// tainted), which costs sharing, never soundness.
+    fn derive_node_t(&mut self, id: NodeId, tok: &Token) -> (NodeId, bool) {
         self.metrics.derive_calls += 1;
         let id = self.resolve(id);
-        if let Some(r) = self.memo_get(id, tok.key()) {
-            return r;
+        let key = self.derive_key(tok);
+        let templates = self.templates_enabled();
+        if let Some(r) = self.memo_get(id, key) {
+            // Taint only exists in parse mode (recognize builds no lexeme
+            // -carrying leaves, so its derivatives are never tainted — and
+            // skipping the row lookup keeps the class-keyed hit path to the
+            // memo read alone). In parse mode, a mid-derivation placeholder
+            // (cycle) or an absent template reads as tainted.
+            let taint = templates
+                && self.config.mode == ParseMode::Parse
+                && self.template_taint(id, tok.term());
+            return (r, taint);
+        }
+        if templates {
+            match self.template_get(id, tok.term()) {
+                // A lexeme-independent derivative of this class exists:
+                // share it verbatim, skipping the recursive derive.
+                Some((val, false)) => {
+                    self.metrics.template_shares += 1;
+                    self.memo_put(id, key, val);
+                    return (val, false);
+                }
+                // Lexeme-dependent: fall through and re-derive. Untainted
+                // subgraphs below still share, so allocation is confined to
+                // the patch path reaching the fresh `ε` leaves.
+                Some((_, true)) => self.metrics.template_instantiations += 1,
+                None => {}
+            }
         }
         self.metrics.derive_uncached += 1;
         let compact = self.config.compaction == CompactionMode::OnConstruction;
-        match self.node(id).kind.clone() {
+        let (r, taint) = match self.node(id).kind.clone() {
             // D_c(∅) = ∅, D_c(ε) = ∅, D_c(δ(L)) = ∅
             ExprKind::Empty | ExprKind::Eps(_) | ExprKind::Delta(_) => {
                 let r = self.derived_empty(id, tok);
-                self.memo_put(id, tok.key(), r);
-                r
+                self.memo_put(id, key, r);
+                (r, false)
             }
             // D_c(c') = ε_c if c = c', else ∅
             ExprKind::Term(t) => {
-                let r = if t == tok.term() {
-                    self.derived_eps(id, tok)
+                let (r, taint) = if t == tok.term() {
+                    // The parse-mode ε leaf is the one lexeme carrier.
+                    (self.derived_eps(id, tok), self.config.mode == ParseMode::Parse)
                 } else {
-                    self.derived_empty(id, tok)
+                    (self.derived_empty(id, tok), false)
                 };
-                self.memo_put(id, tok.key(), r);
-                r
+                self.memo_put(id, key, r);
+                (r, taint)
             }
             // D_c(L₁ ∪ L₂) = D_c(L₁) ∪ D_c(L₂)
             ExprKind::Alt(a, b) => {
                 let ph = self.placeholder(id, tok, false);
-                self.memo_put(id, tok.key(), ph);
-                let da = self.derive_node(a, tok);
-                let db = self.derive_node(b, tok);
+                self.memo_put(id, key, ph);
+                let (da, ta) = self.derive_node_t(a, tok);
+                let (db, tb) = self.derive_node_t(b, tok);
                 let built = self.alt_built(da, db, compact);
                 self.patch(ph, built, ExprKind::Alt(da, db));
-                ph
+                (ph, ta || tb)
             }
             ExprKind::Cat(a, b) => {
                 if self.nullable(a) {
                     // D_c(L₁ ◦ L₂) with ε ∈ L₁ (Rule 5b names the ∪ node).
                     let ph_alt = self.placeholder(id, tok, true);
-                    self.memo_put(id, tok.key(), ph_alt);
+                    self.memo_put(id, key, ph_alt);
                     let ph_cat = self.placeholder(id, tok, false);
-                    let da = self.derive_node(a, tok);
-                    let db = self.derive_node(b, tok);
+                    let (da, ta) = self.derive_node_t(a, tok);
+                    let (db, tb) = self.derive_node_t(b, tok);
                     let built_cat = self.cat_built_for_derive(da, b, compact);
                     self.patch(ph_cat, built_cat, ExprKind::Cat(da, b));
                     let second = match self.config.mode {
@@ -273,25 +343,25 @@ impl Language {
                     };
                     let built_alt = self.alt_built(ph_cat, second, compact);
                     self.patch(ph_alt, built_alt, ExprKind::Alt(ph_cat, second));
-                    ph_alt
+                    (ph_alt, ta || tb)
                 } else {
                     // D_c(L₁ ◦ L₂) = D_c(L₁) ◦ L₂ when ε ∉ L₁.
                     let ph = self.placeholder(id, tok, false);
-                    self.memo_put(id, tok.key(), ph);
-                    let da = self.derive_node(a, tok);
+                    self.memo_put(id, key, ph);
+                    let (da, ta) = self.derive_node_t(a, tok);
                     let built = self.cat_built_for_derive(da, b, compact);
                     self.patch(ph, built, ExprKind::Cat(da, b));
-                    ph
+                    (ph, ta)
                 }
             }
             // D_c(L ↪ f) = D_c(L) ↪ f
             ExprKind::Red(x, f) => {
                 let ph = self.placeholder(id, tok, false);
-                self.memo_put(id, tok.key(), ph);
-                let dx = self.derive_node(x, tok);
+                self.memo_put(id, key, ph);
+                let (dx, tx) = self.derive_node_t(x, tok);
                 let built = self.red_built(dx, f.clone(), compact);
                 self.patch(ph, built, ExprKind::Red(dx, f));
-                ph
+                (ph, tx)
             }
             ExprKind::Forward => {
                 unreachable!("validate() rejects grammars with undefined nonterminals")
@@ -300,7 +370,11 @@ impl Language {
                 unreachable!("derive is never called on a node of the current generation")
             }
             ExprKind::Ref(_) => unreachable!("resolved"),
+        };
+        if templates {
+            self.template_put(id, tok.term(), r, taint);
         }
+        (r, taint)
     }
 
     /// `cat_built` with the derive-time fuel; kept separate so the fuel

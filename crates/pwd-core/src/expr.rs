@@ -15,7 +15,7 @@ use crate::forest::{ForestId, ForestNode, ForestStore, Tree};
 use crate::metrics::Metrics;
 use crate::names::NameStore;
 use crate::reduce::Reduce;
-use crate::token::{Interner, TermId, TokKey, Token};
+use crate::token::{DeriveKey, Interner, TermId, Token};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -72,9 +72,19 @@ pub(crate) struct DepEntry {
 /// One entry of the pooled `FullHash` memo overflow lists.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct MemoEntry {
-    pub(crate) key: TokKey,
+    pub(crate) key: DeriveKey,
     pub(crate) val: NodeId,
     pub(crate) next: u32,
+}
+
+/// One entry of the pooled per-class template rows ([`Language::class_pool`]):
+/// the derivative an initial-grammar node last produced for one terminal
+/// class, plus its lexeme taint. Valid while `epoch` is current.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClassEntry {
+    pub(crate) epoch: u32,
+    pub(crate) val: NodeId,
+    pub(crate) taint: bool,
 }
 
 /// One grammar node plus its per-node mutable state: nullability lattice
@@ -105,15 +115,26 @@ pub(crate) struct Node {
     pub(crate) deps_run: u32,
     // --- derive memo (§4.4), valid while `memo_epoch` is current ---
     pub(crate) memo_epoch: u32,
-    pub(crate) memo_key: Option<TokKey>,
+    pub(crate) memo_key: Option<DeriveKey>,
     pub(crate) memo_val: NodeId,
     /// Second slot: the overflow entry for `DualEntry` (§4.4's abandoned
     /// experiment) and the second inline entry for `FullHash`.
-    pub(crate) memo_key2: Option<TokKey>,
+    pub(crate) memo_key2: Option<DeriveKey>,
     pub(crate) memo_val2: NodeId,
     /// Head of this node's overflow list in [`Language::memo_pool`]
     /// (`FullHash` only; entries beyond the two inline slots).
     pub(crate) memo_over: u32,
+    // --- class-template row (lexeme sharing), entries individually
+    // --- epoch-stamped ---
+    /// Start of this node's dense per-class template row in
+    /// [`Language::class_pool`] (`NO_LINK` when the node has none).
+    /// Initial-grammar nodes — the ones every token's derivation revisits —
+    /// get a row on their first record, indexed by `TermId` and never
+    /// evicted; derived nodes are transient and carry no template state.
+    pub(crate) tmpl_row: u32,
+    /// Length of the row (the terminal count at allocation time; terminals
+    /// interned later are simply not templated).
+    pub(crate) tmpl_row_len: u32,
     // --- parse-null memo, valid while `null_parse_epoch` is current ---
     pub(crate) null_parse_epoch: u32,
     pub(crate) null_parse: Option<ForestId>,
@@ -137,6 +158,8 @@ impl Node {
             memo_key2: None,
             memo_val2: NodeId(0),
             memo_over: NO_LINK,
+            tmpl_row: NO_LINK,
+            tmpl_row_len: 0,
             null_parse_epoch: 0,
             null_parse: None,
         }
@@ -200,6 +223,17 @@ pub struct Language {
     /// Pooled storage for `FullHash` memo overflow lists (replaces the global
     /// `(node, token)` hash map: the hot path never hashes).
     pub(crate) memo_pool: Vec<MemoEntry>,
+    /// Pooled storage for the dense per-class template rows of
+    /// initial-grammar nodes. Row *allocation* is warm state that survives
+    /// [`reset`](Language::reset) (rows belong to initial nodes, which
+    /// survive too); row *entries* are per-entry epoch-stamped, so the same
+    /// O(1) epoch bump invalidates them.
+    pub(crate) class_pool: Vec<ClassEntry>,
+    /// Cached §4.3.1 prepass results, `(start, compacted root)`. The prepass
+    /// is a pure function of the immutable input graph, so one copy serves
+    /// every parse; entries whose nodes die at [`reset`](Language::reset)
+    /// are dropped there.
+    pub(crate) prepass_cache: Vec<(NodeId, NodeId)>,
     /// True while `parse`/`derive` are running; gates the §4.3.1 right-child
     /// compaction rules, which are only valid on the initial grammar.
     pub(crate) in_parse: bool,
@@ -234,6 +268,8 @@ impl Language {
             run_label: 0,
             dep_pool: Vec::new(),
             memo_pool: Vec::new(),
+            class_pool: Vec::new(),
+            prepass_cache: Vec::new(),
             in_parse: false,
             budget_hit: false,
             initial_nodes: None,
@@ -383,6 +419,14 @@ impl Language {
         n.null_epoch = 0;
         n.memo_epoch = 0;
         n.null_parse_epoch = 0;
+        let (row, len) = (n.tmpl_row, n.tmpl_row_len);
+        if row != NO_LINK {
+            // Kind rewrites are rare (placeholder patching, pruning), so an
+            // O(classes) row sweep here keeps the hot-path reads stamp-only.
+            for e in &mut self.class_pool[row as usize..(row + len) as usize] {
+                e.epoch = 0;
+            }
+        }
     }
 
     /// Follows `Ref` forwarding to the representative node.
@@ -662,6 +706,11 @@ impl Language {
         // O(1): the pool entries are `Copy`, so `clear` is a length store.
         self.dep_pool.clear();
         self.memo_pool.clear();
+        // `class_pool` is intentionally NOT cleared: template rows belong to
+        // initial-grammar nodes, which survive the truncation, and their
+        // entries are epoch-stamped. Prepass results whose nodes just died
+        // are dropped; the first-parse entry (inside the boundary) survives.
+        self.prepass_cache.retain(|&(s, out)| s.index() < n && out.index() < n);
         if self.epoch == u32::MAX {
             // Epoch wrap (once every 2³² resets): hard-invalidate all stamps
             // so no node from epoch 1 can alias the new epoch 1.
@@ -669,6 +718,9 @@ impl Language {
                 node.null_epoch = 0;
                 node.memo_epoch = 0;
                 node.null_parse_epoch = 0;
+            }
+            for entry in &mut self.class_pool {
+                entry.epoch = 0;
             }
             self.epoch = 0;
         }

@@ -15,6 +15,11 @@
 //! * **Single-entry memoization** of `derive` stored in node fields instead
 //!   of hash tables (§4.4) — [`MemoStrategy`].
 //!
+//! Beyond the paper, the memo can be keyed by terminal *class* instead of
+//! token value ([`MemoKeying`]), sharing derivatives across distinct lexemes
+//! — the difference between all-miss and all-hit caching on identifier-heavy
+//! inputs.
+//!
 //! It also carries the §3 complexity instrumentation: Definition-5 node
 //! naming, node-census metrics, and the recognizer-form derivative used by
 //! the cubic-bound proof.
@@ -65,7 +70,7 @@ mod reduce;
 mod session;
 mod token;
 
-pub use config::{CompactionMode, MemoStrategy, NullStrategy, ParseMode, ParserConfig};
+pub use config::{CompactionMode, MemoKeying, MemoStrategy, NullStrategy, ParseMode, ParserConfig};
 pub use error::PwdError;
 pub use expr::{Language, NodeId};
 pub use forest::{EnumLimits, ForestId, Tree};

@@ -1,6 +1,7 @@
-//! Memoization of `derive` (§4.4).
+//! Memoization of `derive` (§4.4), plus the class-template layer that
+//! shares derivatives across lexemes.
 //!
-//! Strategies:
+//! # Entry storage: the three strategies
 //!
 //! * [`MemoStrategy::FullHash`](crate::MemoStrategy::FullHash) — the
 //!   remember-everything semantics of Might et al. (2011)'s nested hash
@@ -15,17 +16,44 @@
 //! * [`MemoStrategy::DualEntry`](crate::MemoStrategy::DualEntry) — the §4.4
 //!   extension the paper tried and abandoned; kept for the ablation benches.
 //!
-//! Every entry is guarded by the node's `memo_epoch` stamp, so
-//! [`Language::reset`] invalidates all strategies' state with one counter
-//! bump — no strategy re-hashes, clears, or walks anything between parses.
+//! # Entry identity: value keys vs class keys
 //!
-//! The memo is keyed by token *value* ([`TokKey`]), not input position, so a
-//! recurring token can hit an entry created earlier in the input — the exact
-//! effect Figures 10–12 measure.
+//! Orthogonal to *where* entries live is *what* identifies them, the
+//! [`MemoKeying`](crate::MemoKeying) axis. The paper (and
+//! [`MemoKeying::ByValue`](crate::MemoKeying::ByValue)) keys entries by
+//! token **value** — the interned `(kind, lexeme)` pair — not input
+//! position, so a recurring token can hit an entry created earlier in the
+//! input: the exact effect Figures 10–12 measure. Value keying wins on
+//! inputs dominated by a small token vocabulary (punctuation, keywords,
+//! repeated literals), where reuse is exact and frequent. It collapses on
+//! realistic identifier-heavy programs: every fresh lexeme is a fresh key,
+//! the memo never hits, and the engine re-derives the whole grammar graph
+//! per token.
+//!
+//! [`MemoKeying::ByClass`](crate::MemoKeying::ByClass) exploits the fact
+//! that a derivative depends on the lexeme only through the `ε` leaf it
+//! embeds:
+//!
+//! * in recognize mode no leaf is ever built, so entries are keyed by
+//!   [`TermId`](crate::TermId) outright and all lexemes of one terminal
+//!   share one derivative — identifier-diverse inputs go from all-miss to
+//!   all-hit;
+//! * in parse mode entries stay value-keyed (forests embed lexemes), and
+//!   each node additionally carries a **class-template slot**: the last
+//!   derivative computed for `(node, TermId)` plus a *taint* bit recording
+//!   whether that derivative embeds a fresh `ε` leaf. A repeat terminal
+//!   with a new lexeme shares untainted derivatives verbatim and re-derives
+//!   only tainted ones — so allocation is confined to the patch path from
+//!   the root to the new leaves instead of the whole graph.
+//!
+//! Both layers are guarded by per-node epoch stamps, so
+//! [`Language::reset`] invalidates every strategy's state (and all
+//! templates) with one counter bump — nothing re-hashes, clears, or walks
+//! anything between parses.
 
 use crate::config::MemoStrategy;
-use crate::expr::{Language, MemoEntry, Node, NodeId, NO_LINK};
-use crate::token::TokKey;
+use crate::expr::{ClassEntry, Language, MemoEntry, Node, NodeId, NO_LINK};
+use crate::token::{DeriveKey, TermId};
 
 impl Language {
     /// Mutable access to a node's memo state, re-initializing it for the
@@ -44,7 +72,7 @@ impl Language {
     }
 
     /// Looks up the memoized derivative of `id` by token `key`.
-    pub(crate) fn memo_get(&self, id: NodeId, key: TokKey) -> Option<NodeId> {
+    pub(crate) fn memo_get(&self, id: NodeId, key: DeriveKey) -> Option<NodeId> {
         let n = self.node(id);
         if n.memo_epoch != self.epoch {
             return None;
@@ -87,7 +115,7 @@ impl Language {
     }
 
     /// Records the derivative of `id` by token `key`.
-    pub(crate) fn memo_put(&mut self, id: NodeId, key: TokKey, val: NodeId) {
+    pub(crate) fn memo_put(&mut self, id: NodeId, key: DeriveKey, val: NodeId) {
         match self.config.memo {
             MemoStrategy::SingleEntry => {
                 let evicted = {
@@ -154,6 +182,65 @@ impl Language {
         }
     }
 
+    /// Looks up the class template of `id` for terminal class `term`: the
+    /// last derivative computed for that class and whether it embeds a
+    /// lexeme (`taint`).
+    ///
+    /// Templates exist only on initial-grammar nodes — the nodes every
+    /// token's derivation revisits. Each holds a dense per-class row indexed
+    /// by `TermId` that is never evicted (this is what survives the
+    /// single-entry memo's cross-class thrash). Derived nodes carry no
+    /// template state at all: they are transient (most are derived at most
+    /// once per class), so for them the bookkeeping costs more than the
+    /// sharing recovers.
+    pub(crate) fn template_get(&self, id: NodeId, term: TermId) -> Option<(NodeId, bool)> {
+        let n = self.node(id);
+        if n.tmpl_row != NO_LINK && (term.index() as u32) < n.tmpl_row_len {
+            let e = &self.class_pool[n.tmpl_row as usize + term.index()];
+            if e.epoch == self.epoch {
+                return Some((e.val, e.taint));
+            }
+        }
+        None
+    }
+
+    /// The recorded taint of `id`'s class template for `term`, or
+    /// conservatively `true` when no template is recorded (an unknown
+    /// derivative must be assumed lexeme-dependent).
+    pub(crate) fn template_taint(&self, id: NodeId, term: TermId) -> bool {
+        self.template_get(id, term).is_none_or(|(_, taint)| taint)
+    }
+
+    /// Records the class template of `id` for terminal class `term`,
+    /// allocating the dense per-class row on an initial-grammar node's first
+    /// record; a no-op for derived nodes. (Row allocation is warm state: it
+    /// survives `reset`, so a pooled session re-serving the same grammar
+    /// never re-allocates.)
+    pub(crate) fn template_put(&mut self, id: NodeId, term: TermId, val: NodeId, taint: bool) {
+        let initial = self.initial_nodes.unwrap_or(usize::MAX);
+        if id.index() >= initial {
+            return;
+        }
+        let epoch = self.epoch;
+        let terms = self.interner.term_count() as u32;
+        if self.nodes[id.index()].tmpl_row == NO_LINK && terms > 0 {
+            let start = self.class_pool.len() as u32;
+            self.class_pool.extend(std::iter::repeat_n(
+                ClassEntry { epoch: 0, val: NodeId(0), taint: false },
+                terms as usize,
+            ));
+            let n = &mut self.nodes[id.index()];
+            n.tmpl_row = start;
+            n.tmpl_row_len = terms;
+        }
+        let n = self.node(id);
+        if n.tmpl_row != NO_LINK && (term.index() as u32) < n.tmpl_row_len {
+            let slot = n.tmpl_row as usize + term.index();
+            self.class_pool[slot] = ClassEntry { epoch, val, taint };
+            self.metrics.templates_recorded += 1;
+        }
+    }
+
     /// Number of memo entries a node currently holds (0 if its state is from
     /// an earlier epoch).
     fn memo_entries_of(&self, n: &Node) -> u32 {
@@ -196,13 +283,20 @@ impl Language {
 mod tests {
     use super::*;
     use crate::config::ParserConfig;
+    use crate::token::TokKey;
+
+    /// A value-keyed [`DeriveKey`] (the tests exercise entry storage, which
+    /// is keying-agnostic).
+    fn key(k: u32) -> DeriveKey {
+        DeriveKey::value(TokKey(k))
+    }
 
     #[test]
     fn single_entry_evicts() {
         let mut lang = Language::new(ParserConfig::improved());
         let a = lang.terminal("a");
         let n = lang.term_node(a);
-        let (k1, k2) = (TokKey(0), TokKey(1));
+        let (k1, k2) = (key(0), key(1));
         let (v1, v2) = (NodeId(0), NodeId(1));
         lang.memo_put(n, k1, v1);
         assert_eq!(lang.memo_get(n, k1), Some(v1));
@@ -219,12 +313,12 @@ mod tests {
         let n = lang.term_node(a);
         // Enough keys to overflow both inline slots into the pool.
         for k in 0..6u32 {
-            lang.memo_put(n, TokKey(k), NodeId(k));
+            lang.memo_put(n, key(k), NodeId(k));
         }
         for k in 0..6u32 {
-            assert_eq!(lang.memo_get(n, TokKey(k)), Some(NodeId(k)), "key {k}");
+            assert_eq!(lang.memo_get(n, key(k)), Some(NodeId(k)), "key {k}");
         }
-        assert_eq!(lang.memo_get(n, TokKey(99)), None);
+        assert_eq!(lang.memo_get(n, key(99)), None);
         assert_eq!(lang.metrics().memo_evictions, 0);
     }
 
@@ -234,13 +328,13 @@ mod tests {
         let a = lang.terminal("a");
         let n = lang.term_node(a);
         for k in 0..4u32 {
-            lang.memo_put(n, TokKey(k), NodeId(k));
+            lang.memo_put(n, key(k), NodeId(k));
         }
         // Overwrite an inline and an overflow entry.
-        lang.memo_put(n, TokKey(0), NodeId(40));
-        lang.memo_put(n, TokKey(3), NodeId(43));
-        assert_eq!(lang.memo_get(n, TokKey(0)), Some(NodeId(40)));
-        assert_eq!(lang.memo_get(n, TokKey(3)), Some(NodeId(43)));
+        lang.memo_put(n, key(0), NodeId(40));
+        lang.memo_put(n, key(3), NodeId(43));
+        assert_eq!(lang.memo_get(n, key(0)), Some(NodeId(40)));
+        assert_eq!(lang.memo_get(n, key(3)), Some(NodeId(43)));
         assert_eq!(lang.memo_entry_counts(), vec![4], "no duplicate entries");
     }
 
@@ -251,9 +345,9 @@ mod tests {
         let n1 = lang.term_node(a);
         let b = lang.terminal("b");
         let n2 = lang.term_node(b);
-        lang.memo_put(n1, TokKey(0), NodeId(0));
-        lang.memo_put(n1, TokKey(1), NodeId(0));
-        lang.memo_put(n2, TokKey(0), NodeId(0));
+        lang.memo_put(n1, key(0), NodeId(0));
+        lang.memo_put(n1, key(1), NodeId(0));
+        lang.memo_put(n2, key(0), NodeId(0));
         let mut counts = lang.memo_entry_counts();
         counts.sort_unstable();
         assert_eq!(counts, vec![1, 2]);
@@ -269,7 +363,7 @@ mod tests {
         });
         let a = lang.terminal("a");
         let n = lang.term_node(a);
-        let (k1, k2, k3) = (TokKey(0), TokKey(1), TokKey(2));
+        let (k1, k2, k3) = (key(0), key(1), key(2));
         lang.memo_put(n, k1, NodeId(0));
         lang.memo_put(n, k2, NodeId(1));
         assert_eq!(lang.memo_get(n, k1), Some(NodeId(0)), "both entries retained");
@@ -293,10 +387,33 @@ mod tests {
         });
         let a = lang.terminal("a");
         let n = lang.term_node(a);
-        lang.memo_put(n, TokKey(0), NodeId(0));
-        lang.memo_put(n, TokKey(0), NodeId(1));
-        assert_eq!(lang.memo_get(n, TokKey(0)), Some(NodeId(1)));
+        lang.memo_put(n, key(0), NodeId(0));
+        lang.memo_put(n, key(0), NodeId(1));
+        assert_eq!(lang.memo_get(n, key(0)), Some(NodeId(1)));
         assert_eq!(lang.metrics().memo_evictions, 0);
+    }
+
+    #[test]
+    fn template_rows_hold_every_class_without_eviction() {
+        let mut lang = Language::new(ParserConfig::improved());
+        let a = lang.terminal("a");
+        let b = lang.terminal("b");
+        let n = lang.term_node(a);
+        assert_eq!(lang.template_get(n, a), None);
+        assert!(lang.template_taint(n, a), "unknown templates are conservatively tainted");
+        lang.template_put(n, a, NodeId(7), false);
+        assert_eq!(lang.template_get(n, a), Some((NodeId(7), false)));
+        assert!(!lang.template_taint(n, a));
+        // The row is indexed by class: recording `b` does not evict `a`.
+        lang.template_put(n, b, NodeId(8), true);
+        assert_eq!(lang.template_get(n, a), Some((NodeId(7), false)));
+        assert_eq!(lang.template_get(n, b), Some((NodeId(8), true)));
+        assert_eq!(lang.metrics().templates_recorded, 2);
+        // Kind rewrites (patching, pruning) kill the row entries with the
+        // rest of the per-parse state.
+        lang.invalidate_parse_state(n);
+        assert_eq!(lang.template_get(n, a), None);
+        assert_eq!(lang.template_get(n, b), None);
     }
 
     #[test]

@@ -32,9 +32,24 @@ pub struct Metrics {
     pub compactions_applied: u64,
     /// Nodes proven empty by the productivity pass and rewritten to `∅`.
     pub empty_prunes: u64,
+    /// Class-template slots recorded (one per completed uncached `derive`
+    /// under `MemoKeying::ByClass` in parse mode).
+    pub templates_recorded: u64,
+    /// Tainted template hits: the derivative of a repeat terminal class was
+    /// re-instantiated along the patch path to its fresh `ε` leaves.
+    pub template_instantiations: u64,
+    /// Untainted template hits: a lexeme-independent derivative subgraph was
+    /// shared verbatim with a new lexeme of the same terminal class.
+    pub template_shares: u64,
 }
 
 impl Metrics {
+    /// Calls to `derive` answered from the memo tables (including the
+    /// class-template fast path).
+    pub fn derive_hits(&self) -> u64 {
+        self.derive_calls - self.derive_uncached
+    }
+
     /// Fraction of `derive` calls that were uncached, in `[0, 1]`.
     pub fn uncached_ratio(&self) -> f64 {
         if self.derive_calls == 0 {

@@ -67,12 +67,12 @@ impl<'a> ParseSession<'a> {
     /// [`PwdError::UndefinedNonterminal`] for incomplete grammars.
     pub fn start(lang: &'a mut Language, start: NodeId) -> Result<ParseSession<'a>, PwdError> {
         lang.validate(start)?;
-        lang.mark_initial();
         lang.in_parse = false;
         let mut current = start;
         if lang.config.prepass_right_children && lang.config.compaction != CompactionMode::None {
-            current = lang.compact_pass(current);
+            current = lang.prepass_root(current);
         }
+        lang.mark_initial();
         let pruning = lang.config.compaction != CompactionMode::None;
         if pruning {
             lang.prune_empty(0);

@@ -6,6 +6,11 @@
 //! dynamics: a token that recurs in the input can hit a full-hash memo entry
 //! created at an earlier position, while the forgetful single-entry cache may
 //! have evicted it.
+//!
+//! [`DeriveKey`] is the unit actually stored in the memo slots: depending on
+//! the engine's [`MemoKeying`](crate::MemoKeying) it wraps either a [`TokKey`]
+//! (the paper's value keying) or a [`TermId`] (class keying, which lets all
+//! lexemes of one terminal share a recognize-mode derivative).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -34,6 +39,28 @@ impl TokKey {
     /// The raw index of this token value.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+/// The key a `derive` memo entry is stored under.
+///
+/// A parse uses one keying uniformly (it is fixed by the engine
+/// configuration before the first token), so the wrapped `u32` is never
+/// ambiguous: under value keying it is a [`TokKey`] index, under class
+/// keying a [`TermId`] index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct DeriveKey(u32);
+
+impl DeriveKey {
+    /// Value keying: one memo entry per distinct `(kind, lexeme)`.
+    pub(crate) fn value(key: TokKey) -> DeriveKey {
+        DeriveKey(key.0)
+    }
+
+    /// Class keying: one memo entry per terminal kind, shared by every
+    /// lexeme of that kind.
+    pub(crate) fn class(term: TermId) -> DeriveKey {
+        DeriveKey(term.0)
     }
 }
 

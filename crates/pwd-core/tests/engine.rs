@@ -1,12 +1,12 @@
 //! Behavioral tests of the PWD engine across every configuration axis.
 
 use pwd_core::{
-    CompactionMode, Language, MemoStrategy, NodeId, NullStrategy, ParseMode, ParserConfig,
-    PwdError, Reduce, TermId, Token, Tree,
+    CompactionMode, Language, MemoKeying, MemoStrategy, NodeId, NullStrategy, ParseMode,
+    ParserConfig, PwdError, Reduce, TermId, Token, Tree,
 };
 
 /// Every meaningful engine configuration: 3 nullability × 3 compaction ×
-/// 2 memo strategies (prepass toggled with compaction).
+/// 2 memo strategies × 2 memo keyings (prepass toggled with compaction).
 fn all_configs() -> Vec<ParserConfig> {
     let mut out = Vec::new();
     for nullability in [NullStrategy::Naive, NullStrategy::Worklist, NullStrategy::Labeled] {
@@ -14,16 +14,19 @@ fn all_configs() -> Vec<ParserConfig> {
             [CompactionMode::None, CompactionMode::SeparatePass, CompactionMode::OnConstruction]
         {
             for memo in [MemoStrategy::FullHash, MemoStrategy::SingleEntry] {
-                for prepass in [false, true] {
-                    out.push(ParserConfig {
-                        nullability,
-                        compaction,
-                        memo,
-                        mode: ParseMode::Parse,
-                        naming: false,
-                        prepass_right_children: prepass,
-                        max_nodes: None,
-                    });
+                for keying in [MemoKeying::ByValue, MemoKeying::ByClass] {
+                    for prepass in [false, true] {
+                        out.push(ParserConfig {
+                            nullability,
+                            compaction,
+                            memo,
+                            keying,
+                            mode: ParseMode::Parse,
+                            naming: false,
+                            prepass_right_children: prepass,
+                            max_nodes: None,
+                        });
+                    }
                 }
             }
         }

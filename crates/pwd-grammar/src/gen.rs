@@ -235,6 +235,111 @@ pub fn ambiguous_input(n: usize) -> String {
     "a".repeat(n)
 }
 
+/// Generates a PL/0 program (for the [`pl0`](crate::grammars::pl0) grammar)
+/// of roughly `target_tokens` tokens whose identifiers and literals are
+/// **mostly unique** — the lexeme-diversity profile of real programs, where
+/// value-keyed derive memoization degenerates to all-miss.
+///
+/// Identifier lexemes are drawn fresh from a serial counter with
+/// probability `1 - reuse`, so `reuse = 0.1` means ~90% of identifier
+/// occurrences are first occurrences. Deterministic in `seed`.
+pub fn pl0_source(target_tokens: usize, seed: u64, reuse: f64) -> String {
+    let mut g = Pl0Gen { rng: StdRng::seed_from_u64(seed), names: 0, reuse };
+    // A var header exercises the declaration rules and seeds the name pool.
+    let decls: Vec<String> = (0..4).map(|_| g.fresh()).collect();
+    let mut out = format!("var {};\nbegin\n", decls.join(", "));
+    let mut emitted = estimate_tokens(&out);
+    let mut first = true;
+    while emitted < target_tokens {
+        let stmt = g.statement(2);
+        emitted += estimate_tokens(&stmt) + 1;
+        if !first {
+            out.push_str(";\n");
+        }
+        first = false;
+        out.push_str("  ");
+        out.push_str(&stmt);
+    }
+    out.push_str("\nend.");
+    out
+}
+
+struct Pl0Gen {
+    rng: StdRng,
+    names: usize,
+    reuse: f64,
+}
+
+impl Pl0Gen {
+    fn fresh(&mut self) -> String {
+        self.names += 1;
+        format!("v{}", self.names)
+    }
+
+    fn ident(&mut self) -> String {
+        if self.names > 0 && self.rng.random_bool(self.reuse) {
+            format!("v{}", self.rng.random_range(1..=self.names))
+        } else {
+            self.fresh()
+        }
+    }
+
+    fn number(&mut self) -> String {
+        self.rng.random_range(0..1_000_000u32).to_string()
+    }
+
+    fn statement(&mut self, depth: usize) -> String {
+        match self.rng.random_range(0..14u32) {
+            0..=6 => format!("{} := {}", self.ident(), self.expr(2)),
+            7 if depth > 0 => {
+                format!("if {} then {}", self.cond(), self.statement(depth - 1))
+            }
+            8 if depth > 0 => {
+                format!("while {} do {}", self.cond(), self.statement(depth - 1))
+            }
+            9 if depth > 0 => {
+                format!("repeat {} until {}", self.statement(depth - 1), self.cond())
+            }
+            10 => format!("call {}", self.ident()),
+            11 => format!("read {}", self.ident()),
+            12 => format!("write {}", self.expr(2)),
+            _ => {
+                let first = format!("{} := {}", self.ident(), self.expr(1));
+                let second = format!("{} := {}", self.ident(), self.expr(1));
+                format!("begin {first}; {second} end")
+            }
+        }
+    }
+
+    fn cond(&mut self) -> String {
+        if self.rng.random_bool(0.25) {
+            format!("odd {}", self.expr(1))
+        } else {
+            let rel = ["=", "#", "<", "<=", ">", ">="][self.rng.random_range(0..6usize)];
+            format!("{} {rel} {}", self.expr(1), self.expr(1))
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 {
+            return if self.rng.random_bool(0.6) { self.ident() } else { self.number() };
+        }
+        match self.rng.random_range(0..9u32) {
+            0..=3 => {
+                let op = ["+", "-", "*", "/", "mod", "div"][self.rng.random_range(0..6usize)];
+                format!("{} {op} {}", self.expr(depth - 1), self.expr(depth - 1))
+            }
+            4 => format!("({})", self.expr(depth - 1)),
+            // Parenthesized so the leading sign is valid in any position
+            // (PL/0 allows a sign only at the head of a unary chain).
+            5 => format!("(-{})", self.expr(depth - 1)),
+            6 => format!("{}[{}]", self.ident(), self.expr(depth - 1)),
+            7 => format!("{}({})", self.ident(), self.expr(depth - 1)),
+            _ => self.expr(0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +384,29 @@ mod tests {
         let lexemes = grammars::json::lexer().tokenize(&src).unwrap();
         let mut c = Compiled::compile(&grammars::json::cfg(), ParserConfig::improved());
         assert!(c.recognize_lexemes(&lexemes).unwrap(), "{src}");
+    }
+
+    #[test]
+    fn pl0_generator_parses_and_is_lexeme_diverse() {
+        let src = pl0_source(400, 11, 0.1);
+        let lexemes = grammars::pl0::lexer()
+            .tokenize(&src)
+            .unwrap_or_else(|e| panic!("generated PL/0 must tokenize: {e}\n{src}"));
+        assert!(lexemes.len() >= 300, "got {} tokens", lexemes.len());
+        let mut c = Compiled::compile(&grammars::pl0::cfg(), ParserConfig::improved());
+        assert!(c.recognize_lexemes(&lexemes).unwrap(), "generated PL/0 must parse:\n{src}");
+        // The point of the workload: identifier occurrences are mostly
+        // distinct lexemes.
+        let ids: Vec<&str> =
+            lexemes.iter().filter(|l| l.kind == "ID").map(|l| l.text.as_str()).collect();
+        let distinct: std::collections::HashSet<&str> = ids.iter().copied().collect();
+        assert!(
+            distinct.len() * 10 >= ids.len() * 8,
+            "wanted ≥80% unique identifiers, got {}/{}",
+            distinct.len(),
+            ids.len()
+        );
+        assert_eq!(pl0_source(400, 11, 0.1), src, "deterministic in the seed");
     }
 
     #[test]

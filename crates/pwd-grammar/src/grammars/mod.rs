@@ -6,10 +6,13 @@
 //!   grammar (stress tests for forests and the cubic bound);
 //! * [`worst_case`] — the paper's Figure-5 grammar `L = (L ◦ L) ∪ c`;
 //! * [`python`] — the Python-subset grammar standing in for the paper's
-//!   722-production Python 3.4 grammar (§4.1).
+//!   722-production Python 3.4 grammar (§4.1);
+//! * [`pl0`] — a PL/0-style teaching language, the lexeme-diversity
+//!   workload for the memo-keying benchmarks.
 
 pub mod ambiguous;
 pub mod arith;
 pub mod json;
+pub mod pl0;
 pub mod python;
 pub mod worst_case;

@@ -1,0 +1,239 @@
+//! A PL/0-superset teaching language (Wirth's compiler-course classic plus
+//! the extensions didactic compilers bolt on: `repeat`/`read`/`write`
+//! statements, call arguments, indexing, and a full operator-precedence
+//! chain).
+//!
+//! This is the lexeme-diversity workload: realistic programs in it are
+//! dominated by *distinct* identifiers and numeric literals, so under
+//! value-keyed memoization nearly every operand token is a fresh memo key
+//! and the engine re-walks the expression grammar per token. The
+//! `lexeme_diverse` bench drives this grammar with a mostly-unique
+//! identifier corpus to measure exactly that effect (and the class-keyed
+//! fix).
+
+use crate::cfg::{Cfg, CfgBuilder};
+
+/// The PL/0-superset grammar: `const`/`var` declarations, nested
+/// `procedure`s, nine statement forms, relational conditions, and a
+/// five-level expression chain (`Sum → Prod → Unary → Postfix → Atom`) with
+/// call and index postfix operators.
+///
+/// Unambiguous; lists use right-recursive rest rules, and unary sign lives
+/// only in `Unary` (no top-level sign rule, which would make `-x` doubly
+/// derivable).
+pub fn cfg() -> Cfg {
+    let mut g = CfgBuilder::new("Program");
+    g.terminals(&[
+        "const",
+        "var",
+        "procedure",
+        "call",
+        "begin",
+        "end",
+        "if",
+        "then",
+        "while",
+        "do",
+        "repeat",
+        "until",
+        "read",
+        "write",
+        "odd",
+        "mod",
+        "div",
+        "ID",
+        "NUM",
+        ":=",
+        ";",
+        ",",
+        ".",
+        "=",
+        "#",
+        "<",
+        "<=",
+        ">",
+        ">=",
+        "+",
+        "-",
+        "*",
+        "/",
+        "(",
+        ")",
+        "[",
+        "]",
+    ]);
+    g.rule("Program", &["Block", "."]);
+    g.rule("Block", &["Consts", "Vars", "Procs", "Stmt"]);
+    g.rule("Consts", &[]);
+    g.rule("Consts", &["const", "ConstDecl", "ConstRest", ";"]);
+    g.rule("ConstDecl", &["ID", "=", "NUM"]);
+    g.rule("ConstRest", &[]);
+    g.rule("ConstRest", &[",", "ConstDecl", "ConstRest"]);
+    g.rule("Vars", &[]);
+    g.rule("Vars", &["var", "ID", "VarRest", ";"]);
+    g.rule("VarRest", &[]);
+    g.rule("VarRest", &[",", "ID", "VarRest"]);
+    g.rule("Procs", &[]);
+    g.rule("Procs", &["procedure", "ID", ";", "Block", ";", "Procs"]);
+    g.rule("Stmt", &[]);
+    g.rule("Stmt", &["ID", ":=", "Expr"]);
+    g.rule("Stmt", &["call", "ID"]);
+    g.rule("Stmt", &["begin", "Stmt", "StmtRest", "end"]);
+    g.rule("Stmt", &["if", "Cond", "then", "Stmt"]);
+    g.rule("Stmt", &["while", "Cond", "do", "Stmt"]);
+    g.rule("Stmt", &["repeat", "Stmt", "until", "Cond"]);
+    g.rule("Stmt", &["read", "ID"]);
+    g.rule("Stmt", &["write", "Expr"]);
+    g.rule("StmtRest", &[]);
+    g.rule("StmtRest", &[";", "Stmt", "StmtRest"]);
+    g.rule("Cond", &["odd", "Expr"]);
+    for rel in ["=", "#", "<", "<=", ">", ">="] {
+        g.rule("Cond", &["Expr", rel, "Expr"]);
+    }
+    // The precedence chain. `Expr` is an alias level so conditions and
+    // statements read naturally.
+    g.rule("Expr", &["Sum"]);
+    g.rule("Sum", &["Prod", "SumRest"]);
+    g.rule("SumRest", &[]);
+    g.rule("SumRest", &["+", "Prod", "SumRest"]);
+    g.rule("SumRest", &["-", "Prod", "SumRest"]);
+    g.rule("Prod", &["Unary", "ProdRest"]);
+    g.rule("ProdRest", &[]);
+    for op in ["*", "/", "mod", "div"] {
+        g.rule("ProdRest", &[op, "Unary", "ProdRest"]);
+    }
+    g.rule("Unary", &["Postfix"]);
+    g.rule("Unary", &["-", "Unary"]);
+    g.rule("Unary", &["+", "Unary"]);
+    g.rule("Postfix", &["Atom", "PostRest"]);
+    g.rule("PostRest", &[]);
+    g.rule("PostRest", &["[", "Expr", "]", "PostRest"]);
+    g.rule("PostRest", &["(", "ArgList", ")", "PostRest"]);
+    g.rule("ArgList", &[]);
+    g.rule("ArgList", &["Expr", "ArgRest"]);
+    g.rule("ArgRest", &[]);
+    g.rule("ArgRest", &[",", "Expr", "ArgRest"]);
+    g.rule("Atom", &["ID"]);
+    g.rule("Atom", &["NUM"]);
+    g.rule("Atom", &["(", "Expr", ")"]);
+    g.build().expect("PL/0 grammar is well-formed")
+}
+
+/// A lexer matching the grammar's terminals (keywords before `ID`, so ties
+/// go to the keyword; maximal munch keeps `constant1` an identifier).
+pub fn lexer() -> pwd_lex::Lexer {
+    let mut b = pwd_lex::LexerBuilder::new();
+    for kw in [
+        "const",
+        "var",
+        "procedure",
+        "call",
+        "begin",
+        "end",
+        "if",
+        "then",
+        "while",
+        "do",
+        "repeat",
+        "until",
+        "read",
+        "write",
+        "odd",
+        "mod",
+        "div",
+    ] {
+        b = b.rule(kw, kw).expect("static pattern");
+    }
+    for (name, pat) in [
+        (":=", r":="),
+        (";", r";"),
+        (",", r","),
+        (".", r"\."),
+        ("<=", r"<="),
+        (">=", r">="),
+        ("<", r"<"),
+        (">", r">"),
+        ("=", r"="),
+        ("#", r"#"),
+        ("+", r"\+"),
+        ("-", r"-"),
+        ("*", r"\*"),
+        ("/", r"/"),
+        ("(", r"\("),
+        (")", r"\)"),
+        ("[", r"\["),
+        ("]", r"\]"),
+    ] {
+        b = b.rule(name, pat).expect("static pattern");
+    }
+    b.rule("ID", r"[a-z][a-z0-9]*")
+        .expect("static pattern")
+        .rule("NUM", r"[0-9]+")
+        .expect("static pattern")
+        .skip("WS", r"[ \t\n]+")
+        .expect("static pattern")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiled;
+    use pwd_core::ParserConfig;
+
+    #[test]
+    fn grammar_builds() {
+        let g = cfg();
+        assert!(g.production_count() >= 45);
+    }
+
+    #[test]
+    fn parses_classic_programs() {
+        let mut c = Compiled::compile(&cfg(), ParserConfig::improved());
+        let lx = lexer();
+        for (src, want) in [
+            ("begin x1 := 1; x2 := x1 + 2 end.", true),
+            ("var a, b; begin a := 1; b := a * (a + 2) end.", true),
+            ("const k = 7; var n; while n > k do n := n - 1.", true),
+            ("procedure p; call q; begin call p end.", true),
+            ("if odd x then y := -y.", true),
+            ("repeat read x until x # 0.", true),
+            ("write f(x, g[i] + 1) mod 2.", true),
+            ("x := a[i][j] * h() div -3.", true),
+            (".", true),                 // the empty program: empty block, then '.'
+            ("begin x := 1 end", false), // missing final '.'
+            ("x := .", false),
+            ("if x then y := 1.", false), // condition needs a relation or odd
+            ("x := a + * b.", false),
+        ] {
+            let lexemes = lx.tokenize(src).unwrap();
+            assert_eq!(c.recognize_lexemes(&lexemes).unwrap(), want, "{src}");
+            c.lang.reset();
+        }
+    }
+
+    #[test]
+    fn expression_chain_is_unambiguous() {
+        let mut c = Compiled::compile(&cfg(), ParserConfig::improved());
+        let lx = lexer();
+        for src in ["x := -a + b * c[i] - f(1, 2) div 3.", "write (a) (b) [c].", "x := +-+1."] {
+            let lexemes = lx.tokenize(src).unwrap();
+            let toks = c.tokens_from_lexemes(&lexemes).unwrap();
+            let start = c.start;
+            assert_eq!(
+                c.lang.count_parses(start, &toks).unwrap(),
+                Some(1),
+                "exactly one parse for {src}"
+            );
+            c.lang.reset();
+        }
+    }
+
+    #[test]
+    fn keywords_beat_identifier_prefixes() {
+        let lx = lexer();
+        let toks = lx.tokenize("variable var odd odder").unwrap();
+        let kinds: Vec<&str> = toks.iter().map(|t| t.kind.as_str()).collect();
+        assert_eq!(kinds, ["ID", "var", "odd", "ID"]);
+    }
+}

@@ -77,8 +77,8 @@ pub mod service;
 pub use cache::{CacheMetrics, CachedGrammar, GrammarCache};
 pub use pool::{PoolMetrics, PooledSession, SessionPool};
 pub use service::{
-    BatchMetrics, BatchReport, Input, ParseOutcome, ParseService, ServeError, ServiceConfig,
-    ServiceMetrics,
+    BatchMetrics, BatchReport, Input, MemoEffectiveness, ParseOutcome, ParseService, ServeError,
+    ServiceConfig, ServiceMetrics,
 };
 
 // Everything the service shares across threads must be Send + Sync; checked

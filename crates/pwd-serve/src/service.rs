@@ -7,7 +7,7 @@
 //! workers), and returns per-input results in input order together with
 //! batch metrics.
 
-use derp::api::{BackendError, ParseCount};
+use derp::api::{BackendError, BackendMetrics, ParseCount};
 use pwd_grammar::Cfg;
 use pwd_lex::Lexeme;
 use std::fmt;
@@ -85,19 +85,30 @@ impl Input {
     }
 }
 
-/// Runs one input on a checked-out backend. Kind slices are only
-/// materialized where a trait call needs them — the hot lexeme path
-/// (`count_parses` off) does no per-input allocation here.
+/// Runs one input on a checked-out backend, folding each engine run's cache
+/// counters into `memo` (every run resets the engine's metrics, so they must
+/// be read between runs, not after). Kind slices are only materialized where
+/// a trait call needs them — the hot lexeme path (`count_parses` off) does
+/// no per-input allocation here.
 fn run_input(
     backend: &mut dyn derp::api::Parser,
     input: &Input,
     count_parses: bool,
+    memo: &mut MemoEffectiveness,
 ) -> Result<ParseOutcome, BackendError> {
     let accepted = match input {
         Input::Kinds(_) => backend.recognize(&input.kind_refs())?,
         Input::Lexemes(l) => backend.recognize_lexemes(l)?,
     };
-    let parse_count = count_parses.then(|| backend.parse_count(&input.kind_refs())).transpose()?;
+    memo.absorb(&backend.metrics());
+    let parse_count = match count_parses {
+        false => None,
+        true => {
+            let count = backend.parse_count(&input.kind_refs())?;
+            memo.absorb(&backend.metrics());
+            Some(count)
+        }
+    };
     Ok(ParseOutcome { accepted, parse_count })
 }
 
@@ -108,6 +119,52 @@ pub struct ParseOutcome {
     pub accepted: bool,
     /// Derivation count, when [`ServiceConfig::count_parses`] is set.
     pub parse_count: Option<ParseCount>,
+}
+
+/// Engine cache-effectiveness counters summed over the inputs of a batch
+/// (or the lifetime of a service): how well the derive memo and the
+/// class-template layer served the traffic for a grammar. Zero for
+/// memo-less backends (Earley, GLR).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoEffectiveness {
+    /// Derive calls answered from the memo tables (including the
+    /// class-template fast path).
+    pub memo_hits: u64,
+    /// Derive calls that missed every cache and did real work.
+    pub memo_misses: u64,
+    /// Lexeme-independent derivative subgraphs shared verbatim with a new
+    /// lexeme of the same terminal class.
+    pub template_shares: u64,
+    /// Derivatives of a repeat terminal class re-instantiated along the
+    /// patch path to fresh leaves (parse mode).
+    pub template_instantiations: u64,
+}
+
+impl MemoEffectiveness {
+    fn absorb(&mut self, m: &BackendMetrics) {
+        self.memo_hits += m.memo_hits;
+        self.memo_misses += m.memo_misses;
+        self.template_shares += m.template_shares;
+        self.template_instantiations += m.template_instantiations;
+    }
+
+    fn merge(&mut self, other: MemoEffectiveness) {
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.template_shares += other.template_shares;
+        self.template_instantiations += other.template_instantiations;
+    }
+
+    /// Fraction of derive calls served from a cache, in `[0, 1]` (0 when
+    /// nothing ran).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Batch-level throughput and reuse metrics.
@@ -128,6 +185,11 @@ pub struct BatchMetrics {
     pub per_worker_inputs: Vec<usize>,
     /// Was the grammar already compiled when the batch arrived?
     pub cache_hit: bool,
+    /// Engine cache effectiveness summed over the batch's inputs: memo
+    /// hits/misses and class-template activity. This is the per-grammar
+    /// signal for whether the derive cache is earning its keep on the
+    /// traffic actually being served.
+    pub memo: MemoEffectiveness,
 }
 
 /// Results of one batch: per-input outcomes in input order, plus metrics.
@@ -176,6 +238,8 @@ pub struct ServiceMetrics {
     pub sessions: PoolMetrics,
     /// Total inputs served.
     pub inputs: u64,
+    /// Engine cache effectiveness summed over every input ever served.
+    pub memo: MemoEffectiveness,
 }
 
 /// A thread-safe, batched parse service: sharded compiled-grammar cache +
@@ -193,6 +257,8 @@ pub struct ParseService {
     /// submitters spread over the pools instead of all queueing on slot 0.
     next_slot: AtomicUsize,
     inputs_served: AtomicUsize,
+    /// Lifetime engine cache-effectiveness totals (merged once per batch).
+    memo_totals: Mutex<MemoEffectiveness>,
 }
 
 impl ParseService {
@@ -209,6 +275,7 @@ impl ParseService {
             slots,
             next_slot: AtomicUsize::new(0),
             inputs_served: AtomicUsize::new(0),
+            memo_totals: Mutex::new(MemoEffectiveness::default()),
         }
     }
 
@@ -266,35 +333,39 @@ impl ParseService {
             0
         };
 
-        let mut per_worker: Vec<Vec<(usize, Result<ParseOutcome, BackendError>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers_used)
-                    .map(|w| {
-                        let (entry, cursor) = (&entry, &cursor);
-                        let slot = &self.slots[(slot_base + w) % self.slots.len()];
-                        scope.spawn(move || {
-                            let mut pool = slot.lock().expect("worker pool poisoned");
-                            let mut out = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                if i >= n {
-                                    break;
-                                }
-                                let mut session = pool.checkout(entry);
-                                let res = run_input(session.backend(), &inputs[i], count_parses);
-                                pool.checkin(session);
-                                out.push((i, res));
+        type WorkerOut = (Vec<(usize, Result<ParseOutcome, BackendError>)>, MemoEffectiveness);
+        let mut per_worker: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers_used)
+                .map(|w| {
+                    let (entry, cursor) = (&entry, &cursor);
+                    let slot = &self.slots[(slot_base + w) % self.slots.len()];
+                    scope.spawn(move || {
+                        let mut pool = slot.lock().expect("worker pool poisoned");
+                        let mut out = Vec::new();
+                        let mut memo = MemoEffectiveness::default();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
                             }
-                            out
-                        })
+                            let mut session = pool.checkout(entry);
+                            let res =
+                                run_input(session.backend(), &inputs[i], count_parses, &mut memo);
+                            pool.checkin(session);
+                            out.push((i, res));
+                        }
+                        (out, memo)
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("parse worker panicked")).collect()
-            });
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("parse worker panicked")).collect()
+        });
 
-        let per_worker_inputs: Vec<usize> = per_worker.iter().map(Vec::len).collect();
+        let per_worker_inputs: Vec<usize> = per_worker.iter().map(|(c, _)| c.len()).collect();
+        let mut memo = MemoEffectiveness::default();
         let mut outcomes: Vec<Option<Result<ParseOutcome, BackendError>>> = vec![None; n];
-        for chunk in &mut per_worker {
+        for (chunk, worker_memo) in &mut per_worker {
+            memo.merge(*worker_memo);
             for (i, res) in chunk.drain(..) {
                 outcomes[i] = Some(res);
             }
@@ -303,6 +374,7 @@ impl ParseService {
             outcomes.into_iter().map(|o| o.expect("every input was assigned")).collect();
 
         self.inputs_served.fetch_add(n, Ordering::Relaxed);
+        self.memo_totals.lock().expect("memo totals poisoned").merge(memo);
         let accepted = outcomes.iter().filter(|r| matches!(r, Ok(o) if o.accepted)).count();
         let errors = outcomes.iter().filter(|r| r.is_err()).count();
         Ok(BatchReport {
@@ -315,6 +387,7 @@ impl ParseService {
                 workers_used,
                 per_worker_inputs,
                 cache_hit,
+                memo,
             },
         })
     }
@@ -334,6 +407,7 @@ impl ParseService {
             cache: self.cache.metrics(),
             sessions,
             inputs: self.inputs_served.load(Ordering::Relaxed) as u64,
+            memo: *self.memo_totals.lock().expect("memo totals poisoned"),
         }
     }
 }
@@ -454,6 +528,58 @@ mod tests {
                 report.outcomes.iter().map(|o| o.as_ref().unwrap().accepted).collect();
             assert_eq!(verdicts, vec![false, true, true], "{name}");
         }
+    }
+
+    #[test]
+    fn batch_metrics_expose_memo_effectiveness() {
+        let service = ParseService::new(ServiceConfig { workers: 2, ..Default::default() });
+        let report = service.submit_batch(&catalan(), &a_inputs(&[3, 4, 5, 6])).unwrap();
+        let memo = report.metrics.memo;
+        assert!(memo.memo_misses > 0, "real derivation work happened: {memo:?}");
+        assert!(memo.memo_hits > 0, "repeated tokens must hit the memo: {memo:?}");
+        assert!(memo.hit_ratio() > 0.0 && memo.hit_ratio() < 1.0, "{memo:?}");
+        let lifetime = service.metrics().memo;
+        assert_eq!(lifetime, memo, "one batch served, so lifetime == batch");
+
+        // Memo-less baselines report zeros rather than garbage.
+        let earley = ParseService::new(ServiceConfig {
+            workers: 2,
+            backend: "earley".to_string(),
+            ..Default::default()
+        });
+        let report = earley.submit_batch(&catalan(), &a_inputs(&[3, 4])).unwrap();
+        assert_eq!(report.metrics.memo, MemoEffectiveness::default());
+    }
+
+    #[test]
+    fn lexeme_diverse_traffic_reports_template_activity() {
+        // A grammar where identifiers recur as a class but never as a
+        // lexeme: the class-template layer must show up in batch metrics.
+        let mut g = CfgBuilder::new("S");
+        g.terminal("ID");
+        g.terminal(";");
+        g.rule("S", &["ID", ";", "S"]);
+        g.rule("S", &["ID"]);
+        let cfg = g.build().unwrap();
+        let service = ParseService::new(ServiceConfig { workers: 2, ..Default::default() });
+        let input = Input::from_lexemes(
+            (0..40)
+                .flat_map(|i| {
+                    [
+                        Lexeme { kind: "ID".into(), text: format!("v{i}"), offset: 2 * i },
+                        Lexeme { kind: ";".into(), text: ";".into(), offset: 2 * i + 1 },
+                    ]
+                })
+                .take(79) // trailing ID, no trailing ';'
+                .collect(),
+        );
+        let report = service.submit_batch(&cfg, std::slice::from_ref(&input)).unwrap();
+        assert!(report.outcomes[0].as_ref().unwrap().accepted);
+        let memo = report.metrics.memo;
+        assert!(
+            memo.template_shares + memo.template_instantiations > 0,
+            "fresh lexemes of a repeated class must exercise the templates: {memo:?}"
+        );
     }
 
     #[test]

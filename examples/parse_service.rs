@@ -64,5 +64,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  session pools:  {} forked (≤ workers), {} reused via O(1) epoch reset",
         m.sessions.forked, m.sessions.reused
     );
+    println!(
+        "  derive memo:    {:.1}% hit ({} hits / {} misses), templates: {} shared, {} instantiated",
+        m.memo.hit_ratio() * 100.0,
+        m.memo.memo_hits,
+        m.memo.memo_misses,
+        m.memo.template_shares,
+        m.memo.template_instantiations
+    );
     Ok(())
 }

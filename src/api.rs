@@ -99,6 +99,19 @@ pub struct BackendMetrics {
     pub work: u64,
     /// Live state after the most recent input.
     pub live_state: u64,
+    /// Work units answered from a memo/cache on the most recent input
+    /// (PWD: `derive` calls served by the memo tables, including the
+    /// class-template fast path). Zero for backends without a memo.
+    pub memo_hits: u64,
+    /// Work units that missed every cache and did real work on the most
+    /// recent input (PWD: uncached `derive` calls).
+    pub memo_misses: u64,
+    /// Lexeme-independent derivative subgraphs shared verbatim with a new
+    /// lexeme of the same terminal class (PWD class templates only).
+    pub template_shares: u64,
+    /// Derivatives of a repeat terminal class re-instantiated along the
+    /// patch path to fresh leaves (PWD class templates, parse mode only).
+    pub template_instantiations: u64,
 }
 
 /// A compiled recognizer with a uniform lifecycle.
@@ -261,6 +274,10 @@ impl Recognizer for PwdBackend {
             runs: self.runs,
             work: m.derive_calls,
             live_state: self.compiled.lang.node_count() as u64,
+            memo_hits: m.derive_hits(),
+            memo_misses: m.derive_uncached,
+            template_shares: m.template_shares,
+            template_instantiations: m.template_instantiations,
         }
     }
 }
@@ -338,6 +355,7 @@ impl Recognizer for EarleyBackend {
             runs: self.runs,
             work: self.last.total_items as u64,
             live_state: self.last.set_sizes.iter().copied().max().unwrap_or(0) as u64,
+            ..BackendMetrics::default()
         }
     }
 }
@@ -393,6 +411,7 @@ impl Recognizer for GlrBackend {
             runs: self.runs,
             work: self.last.gss_nodes as u64,
             live_state: self.last.gss_edges as u64,
+            ..BackendMetrics::default()
         }
     }
 }

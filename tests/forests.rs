@@ -2,7 +2,9 @@
 //! are configuration-invariant, fringes equal inputs, and cyclic forests
 //! behave.
 
-use derp::core::{CompactionMode, EnumLimits, MemoStrategy, NullStrategy, ParseMode, ParserConfig};
+use derp::core::{
+    CompactionMode, EnumLimits, MemoKeying, MemoStrategy, NullStrategy, ParseMode, ParserConfig,
+};
 use derp::grammar::{gen, grammars, Compiled};
 
 fn tree_strings(
@@ -38,17 +40,20 @@ fn tree_sets_invariant_across_configs() {
             [CompactionMode::None, CompactionMode::SeparatePass, CompactionMode::OnConstruction]
         {
             for memo in [MemoStrategy::FullHash, MemoStrategy::SingleEntry] {
-                let config = ParserConfig {
-                    nullability,
-                    compaction,
-                    memo,
-                    mode: ParseMode::Parse,
-                    naming: false,
-                    prepass_right_children: true,
-                    max_nodes: None,
-                };
-                let got = tree_strings(&cfg, config, &input).expect("accepted");
-                assert_eq!(got, reference, "{config:?}");
+                for keying in [MemoKeying::ByValue, MemoKeying::ByClass] {
+                    let config = ParserConfig {
+                        nullability,
+                        compaction,
+                        memo,
+                        keying,
+                        mode: ParseMode::Parse,
+                        naming: false,
+                        prepass_right_children: true,
+                        max_nodes: None,
+                    };
+                    let got = tree_strings(&cfg, config, &input).expect("accepted");
+                    assert_eq!(got, reference, "{config:?}");
+                }
             }
         }
     }

@@ -3,9 +3,10 @@
 //! shared [`derp::api::Parser`] trait.
 
 use derp::api::{backends, unanimous, ParseCount, Parser, PwdBackend};
-use derp::core::{MemoStrategy, ParserConfig};
+use derp::core::{EnumLimits, MemoKeying, MemoStrategy, ParseMode, ParserConfig};
 use derp::earley::EarleyParser;
-use derp::grammar::{random_cfg, random_input, remove_useless, RandomCfgConfig};
+use derp::grammar::{random_cfg, random_input, remove_useless, Compiled, RandomCfgConfig};
+use derp::lex::Lexeme;
 
 #[test]
 fn four_parsers_agree_on_random_grammars() {
@@ -66,6 +67,105 @@ fn parse_counts_agree_across_memo_strategies_on_random_grammars() {
             assert_eq!(counts[1], counts[2], "dual-entry: seed {seed}, input {kinds:?}");
         }
     }
+}
+
+/// Class-keyed and value-keyed engines are observationally identical: on
+/// random grammars and inputs whose lexemes are all *distinct* (the
+/// adversarial case for class sharing — every token is a fresh value key
+/// but a repeated class key), both keyings produce byte-identical recognize
+/// verdicts, parse counts, and enumerated tree sets in both parse modes,
+/// under every memo strategy.
+#[test]
+fn memo_keyings_are_observationally_identical_on_random_grammars() {
+    let shape = RandomCfgConfig::default();
+    let mut accepted = 0usize;
+    for seed in 300..340 {
+        let Ok(cfg) = remove_useless(&random_cfg(&shape, seed)) else { continue };
+        for mode in [ParseMode::Recognize, ParseMode::Parse] {
+            for memo in [MemoStrategy::SingleEntry, MemoStrategy::DualEntry, MemoStrategy::FullHash]
+            {
+                let mut arms: Vec<Compiled> = [MemoKeying::ByValue, MemoKeying::ByClass]
+                    .map(|keying| {
+                        let config =
+                            ParserConfig { mode, memo, keying, ..ParserConfig::improved() };
+                        Compiled::compile(&cfg, config)
+                    })
+                    .into_iter()
+                    .collect();
+                for input_seed in 0..8 {
+                    let input = random_input(&cfg, 7, seed * 131 + input_seed);
+                    // Give every occurrence a unique lexeme.
+                    let lexemes: Vec<Lexeme> = input
+                        .iter()
+                        .enumerate()
+                        .map(|(i, k)| Lexeme {
+                            kind: k.clone(),
+                            text: format!("{k}_{i}"),
+                            offset: i,
+                        })
+                        .collect();
+                    let mut results = Vec::new();
+                    for arm in &mut arms {
+                        arm.lang.reset();
+                        let toks = arm.tokens_from_lexemes(&lexemes).unwrap();
+                        let start = arm.start;
+                        let ok = arm.lang.recognize(start, &toks).unwrap();
+                        let (count, trees) = if mode == ParseMode::Parse && ok {
+                            arm.lang.reset();
+                            let count = arm.lang.count_parses(start, &toks).unwrap();
+                            arm.lang.reset();
+                            let limits = EnumLimits { max_trees: 16, max_depth: 64 };
+                            let mut trees: Vec<String> = arm
+                                .lang
+                                .parse_trees(start, &toks, limits)
+                                .unwrap()
+                                .iter()
+                                .map(|t| t.to_string())
+                                .collect();
+                            trees.sort();
+                            (count, trees)
+                        } else {
+                            (None, Vec::new())
+                        };
+                        results.push((ok, count, trees));
+                    }
+                    assert_eq!(
+                        results[0], results[1],
+                        "keyings disagree: seed {seed}, {mode:?}, {memo:?}, input {input:?}\n{cfg}"
+                    );
+                    if results[0].0 {
+                        accepted += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(accepted > 30, "acceptance sanity: {accepted}");
+}
+
+/// Both keyings agree with the Earley and GLR baselines through the shared
+/// differential driver, with the keying arms added to the standard roster.
+#[test]
+fn keyed_backends_agree_with_baselines_on_random_grammars() {
+    let shape = RandomCfgConfig::default();
+    let mut checked = 0usize;
+    for seed in 400..430 {
+        let Ok(cfg) = remove_useless(&random_cfg(&shape, seed)) else { continue };
+        let mut bs = backends(&cfg);
+        for (keying, label) in
+            [(MemoKeying::ByValue, "pwd-value-keyed"), (MemoKeying::ByClass, "pwd-class-keyed")]
+        {
+            let config = ParserConfig { keying, ..ParserConfig::improved() };
+            bs.push(Box::new(PwdBackend::with_config(&cfg, config, label)));
+        }
+        for input_seed in 0..15 {
+            let input = random_input(&cfg, 8, seed * 513 + input_seed);
+            let kinds: Vec<&str> = input.iter().map(String::as_str).collect();
+            unanimous(&mut bs, &kinds, &format!("seed {seed}"));
+            checked += 1;
+        }
+    }
+    assert!(checked > 300, "coverage sanity: {checked} cases");
 }
 
 /// Earley's extracted derivation tree must cover exactly the input for
