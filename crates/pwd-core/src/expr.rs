@@ -319,6 +319,13 @@ impl Language {
         self.nodes.len()
     }
 
+    /// Has the configured node budget tripped? Once hit, the arena is full
+    /// and no further derivation can run until [`reset`](Language::reset)
+    /// (which clears the flag along with the derived nodes).
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_hit
+    }
+
     /// Number of interned terminals.
     pub fn terminal_count(&self) -> usize {
         self.interner.term_count()

@@ -77,7 +77,7 @@ pub use forest::{EnumLimits, ForestId, Tree};
 pub use metrics::Metrics;
 pub use names::Name;
 pub use reduce::Reduce;
-pub use session::{FeedOutcome, ParseSession};
+pub use session::{FeedOutcome, ParseSession, SessionCheckpoint, SessionState};
 pub use token::{TermId, TokKey, Token};
 
 // Compile-time guarantee that the engine is thread-safe: a compiled

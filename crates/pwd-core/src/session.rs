@@ -8,6 +8,23 @@
 //! sentence. This is an API the batch `parse` functions cannot offer and a
 //! natural extension of the paper's design (its §3.1 `parse` is exactly
 //! `feed*; parse-null`).
+//!
+//! Because the state after `k` tokens *is* a language (a [`NodeId`]), a
+//! session is also **checkpointable**: [`SessionState::checkpoint`] saves
+//! the current derivative node, and [`SessionState::rollback`] restores it.
+//! Nothing is copied — the derivative graph is append-only within a parse
+//! (compaction rewrites are semantics-preserving, and emptiness pruning only
+//! collapses provably-empty nodes), so an earlier derivative stays valid
+//! however far the session has advanced past it. Rollback therefore composes
+//! with the epoch-stamped memo/nullability state and the never-evicted
+//! class-template rows for free: all of it is keyed by node, and the nodes
+//! survive.
+//!
+//! Two layers are provided. [`SessionState`] is the *ownable* state machine
+//! (no borrow of the [`Language`]; every method takes `&mut Language`), the
+//! shape long-lived holders such as pooled service sessions need.
+//! [`ParseSession`] borrows the language once and wraps a `SessionState`
+//! for ergonomic linear use.
 
 use crate::config::CompactionMode;
 use crate::error::PwdError;
@@ -53,19 +70,52 @@ pub enum FeedOutcome {
 #[derive(Debug)]
 pub struct ParseSession<'a> {
     lang: &'a mut Language,
+    state: SessionState,
+}
+
+/// A saved session position: the derivative node after `k` tokens.
+///
+/// The paper's central observation made operational — the parser state after
+/// a prefix *is* the language `D_{t1…tk}(L)`, so saving it is saving one
+/// `NodeId`. A checkpoint is valid for the session (and epoch) it was taken
+/// in: [`Language::reset`] discards derived nodes, so checkpoints never
+/// outlive their session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionCheckpoint {
+    current: NodeId,
+    fed: usize,
+    dead: bool,
+}
+
+impl SessionCheckpoint {
+    /// Number of tokens fed when this checkpoint was taken.
+    pub fn tokens_fed(&self) -> usize {
+        self.fed
+    }
+}
+
+/// The ownable state of an incremental parse: no borrow of the
+/// [`Language`], every method takes `&mut Language` explicitly.
+///
+/// This is the state machine under [`ParseSession`], split out so a
+/// long-lived holder (a pooled service session, a backend object) can own
+/// the session state alongside the engine instead of borrowing it for the
+/// whole session lifetime.
+#[derive(Debug, Clone)]
+pub struct SessionState {
     current: NodeId,
     fed: usize,
     dead: bool,
     pruning: bool,
 }
 
-impl<'a> ParseSession<'a> {
+impl SessionState {
     /// Starts a session at the given start node.
     ///
     /// # Errors
     ///
     /// [`PwdError::UndefinedNonterminal`] for incomplete grammars.
-    pub fn start(lang: &'a mut Language, start: NodeId) -> Result<ParseSession<'a>, PwdError> {
+    pub fn start(lang: &mut Language, start: NodeId) -> Result<SessionState, PwdError> {
         lang.validate(start)?;
         lang.in_parse = false;
         let mut current = start;
@@ -78,7 +128,7 @@ impl<'a> ParseSession<'a> {
             lang.prune_empty(0);
         }
         lang.in_parse = true;
-        Ok(ParseSession { lang, current, fed: 0, dead: false, pruning })
+        Ok(SessionState { current, fed: 0, dead: false, pruning })
     }
 
     /// Feeds one token, advancing the derivative.
@@ -88,44 +138,48 @@ impl<'a> ParseSession<'a> {
     /// [`PwdError::NodeBudgetExceeded`] if the node budget trips. Feeding a
     /// token that kills the language is *not* an error; it returns
     /// [`FeedOutcome::Dead`] (and further feeds stay dead).
-    pub fn feed(&mut self, tok: &Token) -> Result<FeedOutcome, PwdError> {
+    pub fn feed(&mut self, lang: &mut Language, tok: &Token) -> Result<FeedOutcome, PwdError> {
         if self.dead {
             self.fed += 1;
             return Ok(FeedOutcome::Dead);
         }
-        let generation_start = self.lang.nodes.len();
-        self.current = self.lang.derive_node(self.current, tok);
-        if self.lang.config.compaction == CompactionMode::SeparatePass {
-            self.current = self.lang.compact_pass(self.current);
+        let generation_start = lang.nodes.len();
+        self.current = lang.derive_node(self.current, tok);
+        if lang.config.compaction == CompactionMode::SeparatePass {
+            self.current = lang.compact_pass(self.current);
         }
         if self.pruning {
-            self.lang.prune_empty(generation_start);
+            lang.prune_empty(generation_start);
         }
         self.fed += 1;
-        if self.lang.budget_hit {
-            self.lang.in_parse = false;
+        if lang.budget_hit {
+            lang.in_parse = false;
             self.dead = true; // the arena overflowed; the session is over
             return Err(PwdError::NodeBudgetExceeded {
-                limit: self.lang.config.max_nodes.unwrap_or(0),
+                limit: lang.config.max_nodes.unwrap_or(0),
                 at_token: self.fed - 1,
             });
         }
-        if self.lang.is_empty_node(self.current) {
+        if lang.is_empty_node(self.current) {
             self.dead = true;
             return Ok(FeedOutcome::Dead);
         }
-        Ok(FeedOutcome::Viable { prefix_is_sentence: self.lang.nullable(self.current) })
+        Ok(FeedOutcome::Viable { prefix_is_sentence: lang.nullable(self.current) })
     }
 
     /// Feeds a slice of tokens; stops early if the language dies.
     ///
     /// # Errors
     ///
-    /// Same as [`feed`](ParseSession::feed).
-    pub fn feed_all(&mut self, toks: &[Token]) -> Result<FeedOutcome, PwdError> {
-        let mut last = FeedOutcome::Viable { prefix_is_sentence: self.prefix_is_sentence() };
+    /// Same as [`feed`](SessionState::feed).
+    pub fn feed_all(
+        &mut self,
+        lang: &mut Language,
+        toks: &[Token],
+    ) -> Result<FeedOutcome, PwdError> {
+        let mut last = FeedOutcome::Viable { prefix_is_sentence: self.prefix_is_sentence(lang) };
         for t in toks {
-            last = self.feed(t)?;
+            last = self.feed(lang, t)?;
             if last == FeedOutcome::Dead {
                 break;
             }
@@ -133,11 +187,35 @@ impl<'a> ParseSession<'a> {
         Ok(last)
     }
 
+    /// Saves the current position: one `NodeId`, no state is copied.
+    ///
+    /// The checkpoint composes with the engine's sharing machinery because
+    /// everything a resumed parse will consult — derive memos, nullability
+    /// values, class-template rows — is keyed by node and epoch, and both
+    /// survive: rollback neither bumps the epoch nor removes nodes.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint { current: self.current, fed: self.fed, dead: self.dead }
+    }
+
+    /// Restores a position saved by [`checkpoint`](SessionState::checkpoint)
+    /// earlier in **this** session.
+    ///
+    /// O(1): the derivative graph is append-only within a parse, so the
+    /// saved node is still valid; nodes derived after the checkpoint become
+    /// garbage (reclaimed by the next [`Language::reset`]) but stay inert.
+    /// Rollback cannot recover from a tripped node budget — the arena is
+    /// still full, so the next feed re-reports the budget error.
+    pub fn rollback(&mut self, cp: &SessionCheckpoint) {
+        self.current = cp.current;
+        self.fed = cp.fed;
+        self.dead = cp.dead;
+    }
+
     /// Is the prefix fed so far a complete sentence?
-    pub fn prefix_is_sentence(&mut self) -> bool {
+    pub fn prefix_is_sentence(&self, lang: &mut Language) -> bool {
         !self.dead && {
             let cur = self.current;
-            self.lang.nullable(cur)
+            lang.nullable(cur)
         }
     }
 
@@ -151,8 +229,7 @@ impl<'a> ParseSession<'a> {
         self.fed
     }
 
-    /// The current derivative language `D_{t1…tk}(L)` as a node — usable
-    /// with every `Language` API (even as the start of further parses).
+    /// The current derivative language `D_{t1…tk}(L)` as a node.
     pub fn current(&self) -> NodeId {
         self.current
     }
@@ -162,25 +239,106 @@ impl<'a> ParseSession<'a> {
     /// # Errors
     ///
     /// [`PwdError::Rejected`] if the prefix is not a sentence.
-    pub fn forest(&mut self) -> Result<ForestId, PwdError> {
-        if !self.prefix_is_sentence() {
+    pub fn forest(&self, lang: &mut Language) -> Result<ForestId, PwdError> {
+        if !self.prefix_is_sentence(lang) {
             return Err(PwdError::Rejected { position: self.fed, token: None });
         }
-        let cur = self.current;
-        Ok(self.lang.parse_null(cur))
+        Ok(lang.parse_null(self.current))
+    }
+
+    /// Number of nodes reachable from the current derivative.
+    pub fn live_nodes(&self, lang: &Language) -> usize {
+        lang.reachable_count(self.current)
+    }
+
+    /// Ends the session, returning the final derivative node.
+    pub fn finish(self, lang: &mut Language) -> NodeId {
+        lang.in_parse = false;
+        self.current
+    }
+}
+
+impl<'a> ParseSession<'a> {
+    /// Starts a session at the given start node.
+    ///
+    /// # Errors
+    ///
+    /// [`PwdError::UndefinedNonterminal`] for incomplete grammars.
+    pub fn start(lang: &'a mut Language, start: NodeId) -> Result<ParseSession<'a>, PwdError> {
+        let state = SessionState::start(lang, start)?;
+        Ok(ParseSession { lang, state })
+    }
+
+    /// Feeds one token, advancing the derivative.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionState::feed`].
+    pub fn feed(&mut self, tok: &Token) -> Result<FeedOutcome, PwdError> {
+        self.state.feed(self.lang, tok)
+    }
+
+    /// Feeds a slice of tokens; stops early if the language dies.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`feed`](ParseSession::feed).
+    pub fn feed_all(&mut self, toks: &[Token]) -> Result<FeedOutcome, PwdError> {
+        self.state.feed_all(self.lang, toks)
+    }
+
+    /// Saves the current position — see [`SessionState::checkpoint`]
+    /// (checkpoint = the saved derivative, the paper's `D_{t1…tk}(L)`).
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        self.state.checkpoint()
+    }
+
+    /// Restores a checkpoint taken earlier in this session — see
+    /// [`SessionState::rollback`].
+    pub fn rollback(&mut self, cp: &SessionCheckpoint) {
+        self.state.rollback(cp);
+    }
+
+    /// Is the prefix fed so far a complete sentence?
+    pub fn prefix_is_sentence(&mut self) -> bool {
+        self.state.prefix_is_sentence(self.lang)
+    }
+
+    /// Can any continuation still reach a sentence?
+    pub fn is_viable(&self) -> bool {
+        self.state.is_viable()
+    }
+
+    /// Number of tokens fed (including any fed after death).
+    pub fn tokens_fed(&self) -> usize {
+        self.state.tokens_fed()
+    }
+
+    /// The current derivative language `D_{t1…tk}(L)` as a node — usable
+    /// with every `Language` API (even as the start of further parses).
+    pub fn current(&self) -> NodeId {
+        self.state.current()
+    }
+
+    /// Extracts the forest of parses of the prefix fed so far.
+    ///
+    /// # Errors
+    ///
+    /// [`PwdError::Rejected`] if the prefix is not a sentence.
+    pub fn forest(&mut self) -> Result<ForestId, PwdError> {
+        self.state.forest(self.lang)
     }
 
     /// Number of nodes reachable from the current derivative — the live
     /// parser state size (stays bounded for LL-ish prefixes thanks to
     /// compaction and emptiness pruning).
     pub fn live_nodes(&self) -> usize {
-        self.lang.reachable_count(self.current)
+        self.state.live_nodes(self.lang)
     }
 
     /// Ends the session, returning the final derivative node.
     pub fn finish(self) -> NodeId {
-        self.lang.in_parse = false;
-        self.current
+        self.state.finish(self.lang)
     }
 }
 
@@ -271,6 +429,83 @@ mod tests {
         // reset() drops derived nodes, so re-derive for the negative case.
         let d = lang.derivative(s, &[a.clone(), a.clone()]).unwrap();
         assert!(!lang.recognize(d, std::slice::from_ref(&b)).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_rollback_replays_exactly() {
+        let (mut lang, s, a, b) = ab_language();
+        let mut sess = ParseSession::start(&mut lang, s).unwrap();
+        sess.feed(&a).unwrap();
+        sess.feed(&a).unwrap();
+        let cp = sess.checkpoint();
+        assert_eq!(cp.tokens_fed(), 2);
+        // Speculate down a doomed path…
+        sess.feed(&a).unwrap();
+        sess.feed(&b).unwrap();
+        sess.feed(&a).unwrap(); // aaba… dead
+        assert!(!sess.is_viable());
+        // …and rewind: the saved derivative is still the language after aa.
+        sess.rollback(&cp);
+        assert!(sess.is_viable());
+        assert_eq!(sess.tokens_fed(), 2);
+        assert!(!sess.prefix_is_sentence());
+        sess.feed(&b).unwrap();
+        sess.feed(&b).unwrap();
+        assert!(sess.prefix_is_sentence(), "aa + bb is a sentence after rollback");
+        let f = sess.forest().unwrap();
+        let _ = sess.finish();
+        let trees = lang.trees_of(f, EnumLimits::default());
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].fringe(), vec!["a", "a", "b", "b"]);
+    }
+
+    #[test]
+    fn rollback_out_of_death_is_sound() {
+        let (mut lang, s, a, b) = ab_language();
+        let mut sess = ParseSession::start(&mut lang, s).unwrap();
+        let cp0 = sess.checkpoint();
+        sess.feed(&b).unwrap(); // dead immediately
+        assert!(!sess.is_viable());
+        sess.rollback(&cp0);
+        assert!(sess.is_viable());
+        assert_eq!(sess.feed(&a).unwrap(), FeedOutcome::Viable { prefix_is_sentence: false });
+        assert_eq!(sess.feed(&b).unwrap(), FeedOutcome::Viable { prefix_is_sentence: true });
+    }
+
+    #[test]
+    fn nested_checkpoints_restore_in_any_order() {
+        let (mut lang, s, a, b) = ab_language();
+        let mut sess = ParseSession::start(&mut lang, s).unwrap();
+        sess.feed(&a).unwrap();
+        let cp1 = sess.checkpoint();
+        sess.feed(&a).unwrap();
+        let cp2 = sess.checkpoint();
+        sess.feed(&b).unwrap();
+        // Roll past cp2 down to cp1, then forward again to cp2: both nodes
+        // remain valid because the graph is append-only within a parse.
+        sess.rollback(&cp1);
+        assert_eq!(sess.tokens_fed(), 1);
+        sess.rollback(&cp2);
+        assert_eq!(sess.tokens_fed(), 2);
+        sess.feed(&b).unwrap();
+        sess.feed(&b).unwrap();
+        assert!(sess.prefix_is_sentence());
+    }
+
+    #[test]
+    fn ownable_session_state_drives_without_borrowing() {
+        // The SessionState layer: holder owns the state, the language is
+        // passed per call — the shape pooled service sessions use.
+        let (mut lang, s, a, b) = ab_language();
+        let mut st = SessionState::start(&mut lang, s).unwrap();
+        st.feed(&mut lang, &a).unwrap();
+        let cp = st.checkpoint();
+        st.feed(&mut lang, &a).unwrap();
+        st.rollback(&cp);
+        st.feed(&mut lang, &b).unwrap();
+        assert!(st.prefix_is_sentence(&mut lang));
+        let d = st.finish(&mut lang);
+        assert!(lang.nullable(d));
     }
 
     #[test]

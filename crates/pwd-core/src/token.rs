@@ -106,11 +106,17 @@ impl fmt::Display for Token {
 }
 
 /// Interner for terminal names and token values.
+///
+/// The token table is nested per terminal (`tok_keys[term] : lexeme → key`)
+/// so the hot path — re-interning a token value already seen — is a single
+/// `&str` lookup with **no allocation**; this is the memo boundary the
+/// streaming lexer feeds borrowed text into, once per token.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct Interner {
     term_names: Vec<Arc<str>>,
     term_ids: HashMap<Arc<str>, TermId>,
-    tok_keys: HashMap<(TermId, Arc<str>), TokKey>,
+    /// Per-terminal lexeme → key maps (indexed by `TermId`).
+    tok_keys: Vec<HashMap<Arc<str>, TokKey>>,
     toks: Vec<Token>,
 }
 
@@ -123,6 +129,7 @@ impl Interner {
         let id = TermId(self.term_names.len() as u32);
         self.term_names.push(rc.clone());
         self.term_ids.insert(rc, id);
+        self.tok_keys.push(HashMap::new());
         id
     }
 
@@ -139,13 +146,14 @@ impl Interner {
             (term.0 as usize) < self.term_names.len(),
             "terminal {term:?} does not belong to this language"
         );
-        let rc: Arc<str> = Arc::from(lexeme);
-        if let Some(&key) = self.tok_keys.get(&(term, rc.clone())) {
+        // Hit path: borrow-only lookup, no Arc allocated.
+        if let Some(&key) = self.tok_keys[term.0 as usize].get(lexeme) {
             return self.toks[key.0 as usize].clone();
         }
+        let rc: Arc<str> = Arc::from(lexeme);
         let key = TokKey(self.toks.len() as u32);
         let tok = Token { term, key, lexeme: rc.clone() };
-        self.tok_keys.insert((term, rc), key);
+        self.tok_keys[term.0 as usize].insert(rc, key);
         self.toks.push(tok.clone());
         tok
     }

@@ -142,78 +142,191 @@ impl EarleyParser {
     }
 
     fn run(&self, tokens: &[u32]) -> (bool, EarleyStats) {
-        let n = tokens.len();
-        let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
-        let mut seen: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
-
-        // Seed with the start nonterminal's productions.
-        for &pi in self.cfg.productions_of(self.cfg.start()) {
-            add(Item { prod: pi as u32, dot: 0, origin: 0 }, 0, &mut sets, &mut seen);
+        let mut chart = self.begin();
+        for &t in tokens {
+            self.feed(&mut chart, t);
         }
+        let accepted = self.accepted(&chart);
+        (accepted, chart.stats())
+    }
 
-        for i in 0..=n {
-            let mut idx = 0;
-            while idx < sets[i].len() {
-                let item = sets[i][idx];
-                idx += 1;
-                let p = &self.cfg.productions()[item.prod as usize];
-                match p.rhs.get(item.dot as usize) {
-                    Some(Symbol::T(t)) => {
-                        // Scanner.
-                        if i < n && tokens[i] == *t {
-                            add(Item { dot: item.dot + 1, ..item }, i + 1, &mut sets, &mut seen);
-                        }
+    // ------------------------------------------------------------------
+    // Incremental (streaming) recognition
+    // ------------------------------------------------------------------
+
+    /// Opens an incremental chart: Earley set 0, seeded with the start
+    /// nonterminal's productions and closed under prediction/completion.
+    ///
+    /// Earley recognition is naturally left-to-right — set `i` depends only
+    /// on sets `0..i` and token `i-1` — so the chart doubles as a streaming
+    /// session: [`feed`](EarleyParser::feed) one token at a time, query
+    /// [`accepted`](EarleyParser::accepted) between tokens, and snapshot a
+    /// prefix with [`EarleyChart::checkpoint`] (rollback simply truncates
+    /// the chart back to that prefix — earlier sets are never mutated by
+    /// later feeds).
+    pub fn begin(&self) -> EarleyChart {
+        let mut chart = EarleyChart { sets: vec![Vec::new()], seen: vec![HashSet::new()] };
+        for &pi in self.cfg.productions_of(self.cfg.start()) {
+            chart.add(Item { prod: pi as u32, dot: 0, origin: 0 }, 0);
+        }
+        self.close(&mut chart, 0);
+        chart
+    }
+
+    /// Feeds one token: scans the (already closed) frontier set over `tok`
+    /// into a new set, then closes it. Returns `false` when the new set is
+    /// empty — no continuation of the input can be accepted.
+    ///
+    /// Feeding a dead chart is permitted and stays dead (the empty set
+    /// scans to another empty set), so a driver can keep feeding and let
+    /// the final [`accepted`](EarleyParser::accepted) answer.
+    pub fn feed(&self, chart: &mut EarleyChart, tok: u32) -> bool {
+        let i = chart.sets.len() - 1;
+        chart.sets.push(Vec::new());
+        chart.seen.push(HashSet::new());
+        // Scanner over the closed set i.
+        for idx in 0..chart.sets[i].len() {
+            let item = chart.sets[i][idx];
+            let p = &self.cfg.productions()[item.prod as usize];
+            if p.rhs.get(item.dot as usize) == Some(&Symbol::T(tok)) {
+                chart.add(Item { dot: item.dot + 1, ..item }, i + 1);
+            }
+        }
+        self.close(chart, i + 1);
+        !chart.sets[i + 1].is_empty()
+    }
+
+    /// Does the chart's current frontier accept the prefix fed so far?
+    pub fn accepted(&self, chart: &EarleyChart) -> bool {
+        chart.sets.last().expect("chart has a frontier").iter().any(|item| {
+            let p = &self.cfg.productions()[item.prod as usize];
+            p.lhs == self.cfg.start() && item.origin == 0 && item.dot as usize == p.rhs.len()
+        })
+    }
+
+    /// Closes set `i` under prediction and completion (the scanner runs at
+    /// [`feed`](EarleyParser::feed) time, when the next token is known).
+    fn close(&self, chart: &mut EarleyChart, i: usize) {
+        let mut idx = 0;
+        while idx < chart.sets[i].len() {
+            let item = chart.sets[i][idx];
+            idx += 1;
+            let p = &self.cfg.productions()[item.prod as usize];
+            match p.rhs.get(item.dot as usize) {
+                Some(Symbol::T(_)) => {
+                    // Scanner — deferred to the next feed.
+                }
+                Some(Symbol::N(nt)) => {
+                    // Predictor.
+                    for &pi in self.cfg.productions_of(*nt) {
+                        chart.add(Item { prod: pi as u32, dot: 0, origin: i as u32 }, i);
                     }
-                    Some(Symbol::N(nt)) => {
-                        // Predictor.
-                        for &pi in self.cfg.productions_of(*nt) {
-                            add(
-                                Item { prod: pi as u32, dot: 0, origin: i as u32 },
-                                i,
-                                &mut sets,
-                                &mut seen,
-                            );
-                        }
-                        // Aycock–Horspool: skip over nullable nonterminals.
-                        if self.nullable[*nt as usize] {
-                            add(Item { dot: item.dot + 1, ..item }, i, &mut sets, &mut seen);
-                        }
+                    // Aycock–Horspool: skip over nullable nonterminals.
+                    if self.nullable[*nt as usize] {
+                        chart.add(Item { dot: item.dot + 1, ..item }, i);
                     }
-                    None => {
-                        // Completer.
-                        let lhs = p.lhs;
-                        let origin = item.origin as usize;
-                        // Iterate by index: sets[origin] grows while we scan
-                        // when origin == i (ε-cycles).
-                        let mut j = 0;
-                        while j < sets[origin].len() {
-                            let cand = sets[origin][j];
-                            j += 1;
-                            let cp = &self.cfg.productions()[cand.prod as usize];
-                            if cp.rhs.get(cand.dot as usize) == Some(&Symbol::N(lhs)) {
-                                add(Item { dot: cand.dot + 1, ..cand }, i, &mut sets, &mut seen);
-                            }
+                }
+                None => {
+                    // Completer. Iterate by index: sets[origin] grows while
+                    // we scan when origin == i (ε-cycles).
+                    let lhs = p.lhs;
+                    let origin = item.origin as usize;
+                    let mut j = 0;
+                    while j < chart.sets[origin].len() {
+                        let cand = chart.sets[origin][j];
+                        j += 1;
+                        let cp = &self.cfg.productions()[cand.prod as usize];
+                        if cp.rhs.get(cand.dot as usize) == Some(&Symbol::N(lhs)) {
+                            chart.add(Item { dot: cand.dot + 1, ..cand }, i);
                         }
                     }
                 }
             }
         }
-
-        let accepted = sets[n].iter().any(|item| {
-            let p = &self.cfg.productions()[item.prod as usize];
-            p.lhs == self.cfg.start() && item.origin == 0 && item.dot as usize == p.rhs.len()
-        });
-        let stats = EarleyStats {
-            set_sizes: sets.iter().map(Vec::len).collect(),
-            total_items: sets.iter().map(Vec::len).sum(),
-        };
-        (accepted, stats)
     }
 }
 
-fn add(item: Item, at: usize, sets: &mut [Vec<Item>], seen: &mut [HashSet<Item>]) {
-    if seen[at].insert(item) {
-        sets[at].push(item);
+/// The owned state of an incremental Earley recognition: the chart prefix
+/// built so far. Opaque, and only constructible through
+/// [`EarleyParser::begin`] (which seeds set 0 — an empty chart would
+/// violate the "there is always a frontier set" invariant); drive it with
+/// [`EarleyParser::feed`] and [`EarleyParser::accepted`].
+#[derive(Debug, Clone)]
+pub struct EarleyChart {
+    sets: Vec<Vec<Item>>,
+    seen: Vec<HashSet<Item>>,
+}
+
+/// A saved chart position: rollback truncates the chart to this prefix.
+///
+/// Later feeds never mutate earlier sets (the closure of set `i` only adds
+/// to set `i`, and the scanner only adds to set `i+1`), so truncation
+/// restores the state after `tokens_fed` tokens exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EarleyCheckpoint {
+    sets: usize,
+}
+
+impl EarleyCheckpoint {
+    /// Number of tokens fed when this checkpoint was taken.
+    pub fn tokens_fed(&self) -> usize {
+        self.sets - 1
+    }
+}
+
+impl EarleyChart {
+    /// Number of tokens fed so far.
+    pub fn tokens_fed(&self) -> usize {
+        self.sets.len() - 1
+    }
+
+    /// Is the frontier empty (no continuation can be accepted)?
+    pub fn is_dead(&self) -> bool {
+        self.sets.last().is_none_or(Vec::is_empty)
+    }
+
+    /// Saves the current position (the chart prefix length).
+    pub fn checkpoint(&self) -> EarleyCheckpoint {
+        EarleyCheckpoint { sets: self.sets.len() }
+    }
+
+    /// Restores a checkpoint by truncating back to its prefix length.
+    ///
+    /// The restore is exact **only** for a checkpoint taken on this chart's
+    /// current timeline (no rollback past its position since it was taken).
+    /// This layer cannot tell a stale or foreign checkpoint with a
+    /// plausible length from a valid one — it would silently truncate to a
+    /// prefix describing different tokens; callers that need that
+    /// validation use the `derp::api` session layer, whose timeline guard
+    /// rejects invalidated checkpoints exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's prefix is longer than the chart currently
+    /// holds.
+    pub fn rollback(&mut self, cp: &EarleyCheckpoint) {
+        assert!(
+            cp.sets <= self.sets.len(),
+            "checkpoint for {} sets cannot restore a chart of {}",
+            cp.sets,
+            self.sets.len()
+        );
+        self.sets.truncate(cp.sets);
+        self.seen.truncate(cp.sets);
+    }
+
+    /// Chart-size statistics for the prefix fed so far.
+    pub fn stats(&self) -> EarleyStats {
+        EarleyStats {
+            set_sizes: self.sets.iter().map(Vec::len).collect(),
+            total_items: self.sets.iter().map(Vec::len).sum(),
+        }
+    }
+
+    fn add(&mut self, item: Item, at: usize) {
+        if self.seen[at].insert(item) {
+            self.sets[at].push(item);
+        }
     }
 }
 
@@ -277,56 +390,14 @@ impl EarleyParser {
         None
     }
 
-    /// Full chart: for each end position, the set of items.
+    /// Full chart: for each end position, the set of items. One drive of
+    /// the incremental recognizer, keeping the membership sets.
     fn chart(&self, tokens: &[u32]) -> Vec<HashSet<Item>> {
-        let n = tokens.len();
-        let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
-        let mut seen: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
-        for &pi in self.cfg.productions_of(self.cfg.start()) {
-            add(Item { prod: pi as u32, dot: 0, origin: 0 }, 0, &mut sets, &mut seen);
+        let mut chart = self.begin();
+        for &t in tokens {
+            self.feed(&mut chart, t);
         }
-        for i in 0..=n {
-            let mut idx = 0;
-            while idx < sets[i].len() {
-                let item = sets[i][idx];
-                idx += 1;
-                let p = &self.cfg.productions()[item.prod as usize];
-                match p.rhs.get(item.dot as usize) {
-                    Some(Symbol::T(t)) => {
-                        if i < n && tokens[i] == *t {
-                            add(Item { dot: item.dot + 1, ..item }, i + 1, &mut sets, &mut seen);
-                        }
-                    }
-                    Some(Symbol::N(nt)) => {
-                        for &pi in self.cfg.productions_of(*nt) {
-                            add(
-                                Item { prod: pi as u32, dot: 0, origin: i as u32 },
-                                i,
-                                &mut sets,
-                                &mut seen,
-                            );
-                        }
-                        if self.nullable[*nt as usize] {
-                            add(Item { dot: item.dot + 1, ..item }, i, &mut sets, &mut seen);
-                        }
-                    }
-                    None => {
-                        let lhs = p.lhs;
-                        let origin = item.origin as usize;
-                        let mut j = 0;
-                        while j < sets[origin].len() {
-                            let cand = sets[origin][j];
-                            j += 1;
-                            let cp = &self.cfg.productions()[cand.prod as usize];
-                            if cp.rhs.get(cand.dot as usize) == Some(&Symbol::N(lhs)) {
-                                add(Item { dot: cand.dot + 1, ..cand }, i, &mut sets, &mut seen);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        seen
+        chart.seen
     }
 
     /// Is production `pi` completed over `[from, to)`?
@@ -606,5 +677,75 @@ mod tests {
         assert!(ok);
         assert_eq!(stats.set_sizes.len(), 4);
         assert!(stats.total_items > 0);
+    }
+
+    #[test]
+    fn incremental_feed_matches_batch() {
+        let p = arith();
+        for kinds in [
+            vec!["NUM", "+", "NUM", "*", "NUM"],
+            vec!["NUM", "+"],
+            vec!["(", "NUM", ")"],
+            vec![],
+            vec!["+", "NUM"],
+        ] {
+            let toks = p.kinds_to_tokens(&kinds).unwrap();
+            let batch = p.recognize(&toks);
+            let mut chart = p.begin();
+            for &t in &toks {
+                p.feed(&mut chart, t);
+            }
+            assert_eq!(p.accepted(&chart), batch, "{kinds:?}");
+            assert_eq!(chart.tokens_fed(), toks.len());
+        }
+    }
+
+    #[test]
+    fn dead_chart_stays_dead_and_reports_it() {
+        let p = arith();
+        let toks = p.kinds_to_tokens(&["NUM", ")", "NUM"]).unwrap();
+        let mut chart = p.begin();
+        assert!(p.feed(&mut chart, toks[0]));
+        assert!(!p.feed(&mut chart, toks[1]), "NUM ) is a dead prefix");
+        assert!(chart.is_dead());
+        assert!(!p.feed(&mut chart, toks[2]));
+        assert!(!p.accepted(&chart));
+    }
+
+    #[test]
+    fn checkpoint_rollback_truncates_to_prefix() {
+        let p = arith();
+        let toks = p.kinds_to_tokens(&["NUM", "+", "NUM", "*", "NUM"]).unwrap();
+        let mut chart = p.begin();
+        p.feed(&mut chart, toks[0]);
+        assert!(p.accepted(&chart), "NUM alone is a sentence");
+        let cp = chart.checkpoint();
+        assert_eq!(cp.tokens_fed(), 1);
+        // Speculate: NUM + NUM, then a dead continuation.
+        p.feed(&mut chart, toks[1]);
+        p.feed(&mut chart, toks[1]); // NUM + + → dead
+        assert!(chart.is_dead());
+        chart.rollback(&cp);
+        assert_eq!(chart.tokens_fed(), 1);
+        assert!(p.accepted(&chart));
+        // The restored prefix continues exactly like a fresh parse.
+        for &t in &toks[1..] {
+            assert!(p.feed(&mut chart, t));
+        }
+        assert!(p.accepted(&chart));
+        assert_eq!(chart.stats().set_sizes.len(), toks.len() + 1);
+    }
+
+    #[test]
+    fn incremental_acceptance_tracks_every_prefix() {
+        // Matched against the batch recognizer at every prefix length.
+        let p = arith();
+        let toks = p.kinds_to_tokens(&["NUM", "*", "(", "NUM", "+", "NUM", ")"]).unwrap();
+        let mut chart = p.begin();
+        assert_eq!(p.accepted(&chart), p.recognize(&[]));
+        for (i, &t) in toks.iter().enumerate() {
+            p.feed(&mut chart, t);
+            assert_eq!(p.accepted(&chart), p.recognize(&toks[..=i]), "prefix {}", i + 1);
+        }
     }
 }

@@ -279,138 +279,279 @@ impl GlrParser {
             .collect()
     }
 
-    fn terminal_index(&self, name: &str) -> Option<u32> {
+    /// The terminal index of a kind name, or `None` if the kind is not in
+    /// the grammar. The single-token lookup streaming feeds use (no
+    /// per-token vector).
+    pub fn terminal_index(&self, name: &str) -> Option<u32> {
         self.term_names.iter().position(|t| t == name).map(|i| i as u32)
     }
 
     fn run(&self, tokens: &[u32]) -> (bool, GlrStats) {
-        // Graph-structured stack.
-        struct Gss {
-            states: Vec<u32>,
-            edges: Vec<Vec<usize>>,
+        let mut session = self.begin();
+        for &t in tokens {
+            self.feed(&mut session, t);
         }
-        impl Gss {
-            fn push(&mut self, state: u32) -> usize {
-                self.states.push(state);
-                self.edges.push(Vec::new());
-                self.states.len() - 1
+        let accepted = self.accepted(&mut session);
+        (accepted, session.stats())
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental (streaming) recognition
+    // ------------------------------------------------------------------
+
+    /// Opens an incremental GLR session: a one-node graph-structured stack
+    /// in the initial LR state.
+    ///
+    /// GLR shifts strictly left to right, so the GSS doubles as a streaming
+    /// session: [`feed`](GlrParser::feed) one token at a time, query
+    /// [`accepted`](GlrParser::accepted) between tokens, and snapshot the
+    /// frontier with [`GlrSession::checkpoint`].
+    pub fn begin(&self) -> GlrSession {
+        GlrSession {
+            states: vec![0],
+            edges: vec![Vec::new()],
+            frontier: HashMap::from([(0, 0)]),
+            edge_count: 0,
+            fed: 0,
+            dead: false,
+        }
+    }
+
+    /// Feeds one token: runs the reduce phase to a fixed point under `tok`
+    /// as lookahead, then shifts. Returns `false` when no stack survives —
+    /// the session is dead (sticky until a rollback past the killing token).
+    pub fn feed(&self, s: &mut GlrSession, tok: u32) -> bool {
+        s.fed += 1;
+        if s.dead {
+            return false;
+        }
+        self.reduce_phase(s, Some(tok));
+
+        // ---- shift phase ----
+        let mut next: HashMap<u32, usize> = HashMap::new();
+        for (&st, &node) in &s.frontier {
+            if let Some(acts) = self.action[st as usize].get(&Some(tok)) {
+                for a in acts {
+                    if let Action::Shift(target) = a {
+                        let w = *next.entry(*target).or_insert_with(|| {
+                            s.states.push(*target);
+                            s.edges.push(Vec::new());
+                            s.states.len() - 1
+                        });
+                        if !s.edges[w].contains(&node) {
+                            s.edges[w].push(node);
+                            s.edge_count += 1;
+                        }
+                    }
+                }
             }
         }
-        let mut gss = Gss { states: vec![0], edges: vec![Vec::new()] };
-        let mut frontier: HashMap<u32, usize> = HashMap::new();
-        frontier.insert(0, 0);
-        let mut edge_count = 0usize;
+        if next.is_empty() {
+            // Keep the pre-shift frontier intact: a checkpoint taken before
+            // the killing token must be able to restore it.
+            s.dead = true;
+            return false;
+        }
+        s.frontier = next;
+        true
+    }
 
-        for i in 0..=tokens.len() {
-            let lookahead = tokens.get(i).copied();
+    /// Does the session accept the prefix fed so far?
+    ///
+    /// Runs the end-of-input reduce phase on a frontier snapshot and rolls
+    /// the GSS back afterwards, so the probe leaves no trace — reductions
+    /// gated on the EOF lookahead must not leak into later feeds.
+    pub fn accepted(&self, s: &mut GlrSession) -> bool {
+        if s.dead {
+            return false;
+        }
+        let cp = s.checkpoint();
+        self.reduce_phase(s, None);
+        let accepted = s.frontier.keys().any(|&st| {
+            self.action[st as usize].get(&None).is_some_and(|acts| acts.contains(&Action::Accept))
+        });
+        s.rollback(&cp);
+        accepted
+    }
 
-            // ---- reduce phase (to fixed point) ----
-            let mut queue: Vec<(usize, u32)> = Vec::new();
-            let mut done: HashSet<(usize, u32, usize)> = HashSet::new();
-            let enqueue_all = |frontier: &HashMap<u32, usize>,
-                               queue: &mut Vec<(usize, u32)>,
-                               action: &[HashMap<Option<u32>, Vec<Action>>],
-                               la: Option<u32>| {
-                for (&st, &node) in frontier {
-                    if let Some(acts) = action[st as usize].get(&la) {
-                        for a in acts {
-                            if let Action::Reduce(p) = a {
-                                queue.push((node, *p));
-                            }
+    /// The reduce phase at one input position: apply every reduction the
+    /// lookahead admits, to a fixed point, growing the GSS frontier in
+    /// place (Tomita with Farshi's fix).
+    fn reduce_phase(&self, s: &mut GlrSession, lookahead: Option<u32>) {
+        let mut queue: Vec<(usize, u32)> = Vec::new();
+        let mut done: HashSet<(usize, u32, usize)> = HashSet::new();
+        let enqueue_all = |frontier: &HashMap<u32, usize>,
+                           queue: &mut Vec<(usize, u32)>,
+                           action: &[HashMap<Option<u32>, Vec<Action>>]| {
+            for (&st, &node) in frontier {
+                if let Some(acts) = action[st as usize].get(&lookahead) {
+                    for a in acts {
+                        if let Action::Reduce(p) = a {
+                            queue.push((node, *p));
                         }
                     }
-                }
-            };
-            enqueue_all(&frontier, &mut queue, &self.action, lookahead);
-            while let Some((node, prod)) = queue.pop() {
-                let k = self.prods[prod as usize].rhs.len();
-                // All endpoints of length-k paths from `node`.
-                let mut endpoints: Vec<usize> = Vec::new();
-                let mut layer = vec![node];
-                for _ in 0..k {
-                    let mut next = Vec::new();
-                    for v in layer {
-                        next.extend_from_slice(&gss.edges[v]);
-                    }
-                    next.sort_unstable();
-                    next.dedup();
-                    layer = next;
-                }
-                endpoints.extend(layer);
-                for u in endpoints {
-                    if !done.insert((node, prod, u)) {
-                        continue;
-                    }
-                    let lhs = self.prods[prod as usize].lhs;
-                    let Some(&target) = self.goto_nt[gss.states[u] as usize].get(&lhs) else {
-                        continue;
-                    };
-                    let w = match frontier.get(&target) {
-                        Some(&w) => {
-                            if !gss.edges[w].contains(&u) {
-                                gss.edges[w].push(u);
-                                edge_count += 1;
-                                // New path through an existing node: re-run
-                                // frontier reductions (Farshi's fix — needed
-                                // for ε-rules and hidden left recursion).
-                                enqueue_all(&frontier, &mut queue, &self.action, lookahead);
-                            }
-                            w
-                        }
-                        None => {
-                            let w = gss.push(target);
-                            gss.edges[w].push(u);
-                            edge_count += 1;
-                            frontier.insert(target, w);
-                            if let Some(acts) = self.action[target as usize].get(&lookahead) {
-                                for a in acts {
-                                    if let Action::Reduce(p) = a {
-                                        queue.push((w, *p));
-                                    }
-                                }
-                            }
-                            w
-                        }
-                    };
-                    let _ = w;
                 }
             }
-
-            // ---- accept / shift phase ----
-            match lookahead {
-                None => {
-                    let accepted = frontier.keys().any(|&st| {
-                        self.action[st as usize]
-                            .get(&None)
-                            .is_some_and(|acts| acts.contains(&Action::Accept))
-                    });
-                    let stats = GlrStats { gss_nodes: gss.states.len(), gss_edges: edge_count };
-                    return (accepted, stats);
+        };
+        enqueue_all(&s.frontier, &mut queue, &self.action);
+        while let Some((node, prod)) = queue.pop() {
+            let k = self.prods[prod as usize].rhs.len();
+            // All endpoints of length-k paths from `node`.
+            let mut layer = vec![node];
+            for _ in 0..k {
+                let mut next = Vec::new();
+                for v in layer {
+                    next.extend_from_slice(&s.edges[v]);
                 }
-                Some(t) => {
-                    let mut next: HashMap<u32, usize> = HashMap::new();
-                    for (&st, &node) in &frontier {
-                        if let Some(acts) = self.action[st as usize].get(&Some(t)) {
+                next.sort_unstable();
+                next.dedup();
+                layer = next;
+            }
+            for u in layer {
+                if !done.insert((node, prod, u)) {
+                    continue;
+                }
+                let lhs = self.prods[prod as usize].lhs;
+                let Some(&target) = self.goto_nt[s.states[u] as usize].get(&lhs) else {
+                    continue;
+                };
+                match s.frontier.get(&target) {
+                    Some(&w) => {
+                        if !s.edges[w].contains(&u) {
+                            s.edges[w].push(u);
+                            s.edge_count += 1;
+                            // New path through an existing node: re-run
+                            // frontier reductions (Farshi's fix — needed
+                            // for ε-rules and hidden left recursion).
+                            enqueue_all(&s.frontier, &mut queue, &self.action);
+                        }
+                    }
+                    None => {
+                        s.states.push(target);
+                        s.edges.push(vec![u]);
+                        let w = s.states.len() - 1;
+                        s.edge_count += 1;
+                        s.frontier.insert(target, w);
+                        if let Some(acts) = self.action[target as usize].get(&lookahead) {
                             for a in acts {
-                                if let Action::Shift(s) = a {
-                                    let w = *next.entry(*s).or_insert_with(|| gss.push(*s));
-                                    if !gss.edges[w].contains(&node) {
-                                        gss.edges[w].push(node);
-                                        edge_count += 1;
-                                    }
+                                if let Action::Reduce(p) = a {
+                                    queue.push((w, *p));
                                 }
                             }
                         }
                     }
-                    if next.is_empty() {
-                        let stats = GlrStats { gss_nodes: gss.states.len(), gss_edges: edge_count };
-                        return (false, stats);
-                    }
-                    frontier = next;
                 }
             }
         }
-        unreachable!("loop returns at EOF");
+    }
+}
+
+/// The owned state of an incremental GLR recognition: the graph-structured
+/// stack and its current frontier. Opaque; drive it through
+/// [`GlrParser::begin`], [`GlrParser::feed`], and [`GlrParser::accepted`].
+#[derive(Debug, Clone)]
+pub struct GlrSession {
+    /// LR state of each GSS node.
+    states: Vec<u32>,
+    /// Predecessor edges of each GSS node.
+    edges: Vec<Vec<usize>>,
+    /// Live stack tops: LR state → GSS node.
+    frontier: HashMap<u32, usize>,
+    edge_count: usize,
+    fed: usize,
+    dead: bool,
+}
+
+/// A saved GSS position: the frontier plus enough bookkeeping to truncate
+/// the stack back to it.
+///
+/// The GSS is append-only except at the frontier — later feeds add nodes at
+/// the end and edges only to (then-)frontier nodes — so a checkpoint stores
+/// the node count, the frontier map, and the edge-list length of each
+/// frontier node; rollback truncates all three. `O(frontier)` to take,
+/// `O(frontier + nodes rolled back)` to restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlrCheckpoint {
+    nodes: usize,
+    /// `(LR state, GSS node, edge-list length)` per frontier entry.
+    frontier: Vec<(u32, usize, usize)>,
+    edge_count: usize,
+    fed: usize,
+    dead: bool,
+}
+
+impl GlrCheckpoint {
+    /// Number of tokens fed when this checkpoint was taken.
+    pub fn tokens_fed(&self) -> usize {
+        self.fed
+    }
+}
+
+impl GlrSession {
+    /// Number of tokens fed so far.
+    pub fn tokens_fed(&self) -> usize {
+        self.fed
+    }
+
+    /// Has the session died (a token no stack could shift)?
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// GSS statistics for the prefix fed so far.
+    pub fn stats(&self) -> GlrStats {
+        GlrStats { gss_nodes: self.states.len(), gss_edges: self.edge_count }
+    }
+
+    /// Saves the current position: node count, frontier, and the frontier
+    /// nodes' edge-list lengths.
+    pub fn checkpoint(&self) -> GlrCheckpoint {
+        GlrCheckpoint {
+            nodes: self.states.len(),
+            frontier: self
+                .frontier
+                .iter()
+                .map(|(&st, &node)| (st, node, self.edges[node].len()))
+                .collect(),
+            edge_count: self.edge_count,
+            fed: self.fed,
+            dead: self.dead,
+        }
+    }
+
+    /// Restores a checkpoint: truncates the GSS to the saved node count,
+    /// trims the saved frontier nodes' edge lists (the only pre-checkpoint
+    /// nodes later phases may have extended), and reinstates the frontier.
+    ///
+    /// The restore is exact **only** for a checkpoint taken on this
+    /// session's current timeline (no rollback past its position since it
+    /// was taken). This layer cannot tell a stale or foreign checkpoint
+    /// with a plausible node count from a valid one — it would silently
+    /// install a frontier over a divergent stack; callers that need that
+    /// validation use the `derp::api` session layer, whose timeline guard
+    /// rejects invalidated checkpoints exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint records more GSS nodes than the session
+    /// currently holds.
+    pub fn rollback(&mut self, cp: &GlrCheckpoint) {
+        assert!(
+            cp.nodes <= self.states.len(),
+            "checkpoint for {} GSS nodes cannot restore a stack of {}",
+            cp.nodes,
+            self.states.len()
+        );
+        self.states.truncate(cp.nodes);
+        self.edges.truncate(cp.nodes);
+        self.frontier.clear();
+        for &(st, node, edge_len) in &cp.frontier {
+            self.edges[node].truncate(edge_len);
+            self.frontier.insert(st, node);
+        }
+        self.edge_count = cp.edge_count;
+        self.fed = cp.fed;
+        self.dead = cp.dead;
     }
 }
 
@@ -508,5 +649,96 @@ mod tests {
         assert!(ok);
         assert!(stats.gss_nodes > 0);
         assert!(stats.gss_edges > 0);
+    }
+
+    #[test]
+    fn incremental_feed_matches_batch() {
+        let p = arith();
+        for kinds in [
+            vec!["NUM", "+", "NUM", "*", "NUM"],
+            vec!["NUM", "+"],
+            vec!["(", "NUM", ")"],
+            vec![],
+            vec!["+", "NUM"],
+        ] {
+            let toks = p.kinds_to_tokens(&kinds).unwrap();
+            let batch = p.recognize(&toks);
+            let mut s = p.begin();
+            for &t in &toks {
+                p.feed(&mut s, t);
+            }
+            assert_eq!(p.accepted(&mut s), batch, "{kinds:?}");
+            assert_eq!(s.tokens_fed(), toks.len());
+        }
+    }
+
+    #[test]
+    fn acceptance_probe_leaves_no_trace() {
+        // Query acceptance after every token, then finish: the interleaved
+        // probes (EOF-lookahead reduce phases) must not change the verdict.
+        let p = arith();
+        let toks = p.kinds_to_tokens(&["(", "NUM", "+", "NUM", ")", "*", "NUM"]).unwrap();
+        let mut probed = p.begin();
+        let mut plain = p.begin();
+        for (i, &t) in toks.iter().enumerate() {
+            assert_eq!(p.accepted(&mut probed), p.recognize(&toks[..i]), "prefix {i}");
+            p.feed(&mut probed, t);
+            p.feed(&mut plain, t);
+        }
+        assert!(p.accepted(&mut probed));
+        assert_eq!(probed.stats().gss_nodes, plain.stats().gss_nodes);
+        assert_eq!(probed.stats().gss_edges, plain.stats().gss_edges);
+    }
+
+    #[test]
+    fn checkpoint_rollback_restores_frontier_and_stack() {
+        let p = arith();
+        let toks = p.kinds_to_tokens(&["NUM", "+", "NUM", "*", "NUM"]).unwrap();
+        let mut s = p.begin();
+        p.feed(&mut s, toks[0]);
+        let cp = s.checkpoint();
+        assert_eq!(cp.tokens_fed(), 1);
+        let baseline = s.stats();
+        // Speculate into a dead end: NUM + * …
+        p.feed(&mut s, toks[1]);
+        p.feed(&mut s, toks[3]);
+        assert!(s.is_dead());
+        s.rollback(&cp);
+        assert!(!s.is_dead());
+        assert_eq!(s.stats().gss_nodes, baseline.gss_nodes);
+        assert_eq!(s.stats().gss_edges, baseline.gss_edges);
+        assert!(p.accepted(&mut s), "NUM alone is a sentence");
+        // Resume down the real input.
+        for &t in &toks[1..] {
+            assert!(p.feed(&mut s, t));
+        }
+        assert!(p.accepted(&mut s));
+    }
+
+    #[test]
+    fn rollback_with_epsilon_rules_and_hidden_left_recursion() {
+        // The Farshi-fix stress shape: S → A S b | b, A → ε. Checkpoints in
+        // the middle of ε-driven frontier growth must restore exactly.
+        let mut g = CfgBuilder::new("S");
+        g.terminal("b");
+        g.rule("S", &["A", "S", "b"]);
+        g.rule("S", &["b"]);
+        g.rule("A", &[]);
+        let p = GlrParser::new(&g.build().unwrap());
+        let b = p.kinds_to_tokens(&["b"]).unwrap()[0];
+        let mut s = p.begin();
+        p.feed(&mut s, b);
+        p.feed(&mut s, b);
+        let cp = s.checkpoint();
+        for _ in 0..3 {
+            p.feed(&mut s, b);
+        }
+        assert!(p.accepted(&mut s), "bbbbb ∈ L");
+        s.rollback(&cp);
+        assert_eq!(s.tokens_fed(), 2);
+        assert!(p.accepted(&mut s), "bb ∈ L after rollback");
+        p.feed(&mut s, b);
+        p.feed(&mut s, b);
+        assert!(p.accepted(&mut s), "bbbb ∈ L after resume");
     }
 }

@@ -4,7 +4,16 @@
 //! `pwd-regex`) to a DFA. At each input position every rule's automaton runs
 //! in lockstep; the longest match wins, ties broken by rule order. This is
 //! the classic lex discipline, built entirely on Brzozowski derivatives.
+//!
+//! The primary interface is streaming: [`Lexer::source`] returns a
+//! [`TokenSource`](crate::TokenSource) that scans lazily and hands out
+//! zero-copy [`ScannedToken`](crate::ScannedToken)s, so a parser session can
+//! consume tokens as they are matched with no intermediate vector. The
+//! batch [`Lexer::tokenize`] is a thin shim that drains that stream into
+//! owned [`Lexeme`]s for callers that still want a slice.
 
+use crate::source::{ScannedToken, TokenSource};
+use crate::span::{Position, Span};
 use pwd_regex::{Dfa, Regex};
 use std::fmt;
 
@@ -21,17 +30,40 @@ pub struct Lexeme {
 }
 
 /// Error produced when no rule matches at some input position.
+///
+/// Carries the offending [`Span`] (byte offsets), the 1-based line/column
+/// [`Position`] of its start, and an owned copy of the offending slice.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LexError {
-    /// Byte offset where lexing got stuck.
-    pub offset: usize,
-    /// A short snippet of the offending input.
+    /// Byte range of the offending slice (up to a short window from the
+    /// stuck position).
+    pub span: Span,
+    /// Line/column of `span.start`.
+    pub position: Position,
+    /// The offending slice of input (the text `span` denotes).
     pub snippet: String,
+}
+
+impl LexError {
+    /// Builds the error for the stuck position `pos` in `input`.
+    pub(crate) fn at(input: &str, pos: usize) -> LexError {
+        let snippet: String = input[pos..].chars().take(12).collect();
+        LexError {
+            span: Span::new(pos, pos + snippet.len()),
+            position: Position::of(input, pos),
+            snippet,
+        }
+    }
+
+    /// Byte offset where lexing got stuck.
+    pub fn offset(&self) -> usize {
+        self.span.start
+    }
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "no token matches at byte {} (near {:?})", self.offset, self.snippet)
+        write!(f, "no token matches at {} (bytes {}): {:?}", self.position, self.span, self.snippet)
     }
 }
 
@@ -115,43 +147,117 @@ impl LexerBuilder {
 }
 
 impl Lexer {
+    /// Opens a streaming, zero-copy token source over `input`: tokens are
+    /// matched one pull at a time and borrowed straight out of the buffer.
+    ///
+    /// This is the fused-pipeline entry point — a parser session consuming
+    /// this source lexes and parses in one pass, with no intermediate
+    /// `Vec<Lexeme>` and no per-token `String`. Skip rules (whitespace,
+    /// comments) are consumed silently between pulls.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pwd_lex::{LexerBuilder, TokenSource};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let lexer = LexerBuilder::new()
+    ///     .rule("NUM", r"[0-9]+")?
+    ///     .skip("WS", r" +")?
+    ///     .build();
+    /// let mut src = lexer.source("1 23");
+    /// let t = src.next_token().unwrap()?;
+    /// assert_eq!((t.kind, t.text, t.span.start), ("NUM", "1", 0));
+    /// let t = src.next_token().unwrap()?;
+    /// assert_eq!((t.kind, t.text, t.span.start), ("NUM", "23", 2));
+    /// assert!(src.next_token().is_none());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn source<'l, 's>(&'l self, input: &'s str) -> SourceTokens<'l, 's> {
+        SourceTokens { lexer: self, input, pos: 0 }
+    }
+
     /// Tokenizes the whole input with maximal munch.
+    ///
+    /// A batch shim over [`source`](Lexer::source): drains the streaming
+    /// scan into owned [`Lexeme`]s. Prefer feeding the source directly to a
+    /// parser session when the vector itself is not needed.
     ///
     /// # Errors
     ///
     /// Returns [`LexError`] at the first position where no rule matches a
     /// non-empty prefix.
     pub fn tokenize(&self, input: &str) -> Result<Vec<Lexeme>, LexError> {
+        let mut src = self.source(input);
         let mut out = Vec::new();
-        let mut pos = 0;
-        while pos < input.len() {
-            let rest = &input[pos..];
-            let mut best: Option<(usize, usize)> = None; // (len, rule index)
-            for (i, rule) in self.rules.iter().enumerate() {
-                if let Some(len) = rule.dfa.longest_match(rest) {
-                    if len > 0 && best.map(|(bl, _)| len > bl).unwrap_or(true) {
-                        best = Some((len, i));
-                    }
-                }
-            }
-            match best {
-                None => {
-                    return Err(LexError { offset: pos, snippet: rest.chars().take(12).collect() });
-                }
-                Some((len, i)) => {
-                    let rule = &self.rules[i];
-                    if !rule.skip {
-                        out.push(Lexeme {
-                            kind: rule.name.clone(),
-                            text: rest[..len].to_string(),
-                            offset: pos,
-                        });
-                    }
-                    pos += len;
+        while let Some(item) = src.next_token() {
+            let t = item?;
+            out.push(Lexeme {
+                kind: t.kind.to_string(),
+                text: t.text.to_string(),
+                offset: t.span.start,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The longest match of any rule at the head of `rest`:
+    /// `(byte length, rule index)`, ties broken by rule order.
+    fn match_at(&self, rest: &str) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let Some(len) = rule.dfa.longest_match(rest) {
+                if len > 0 && best.map(|(bl, _)| len > bl).unwrap_or(true) {
+                    best = Some((len, i));
                 }
             }
         }
-        Ok(out)
+        best
+    }
+}
+
+/// The streaming scan state of one [`Lexer::source`] call: a cursor into
+/// the borrowed input, advanced one maximal-munch match per pull.
+#[derive(Clone)]
+pub struct SourceTokens<'l, 's> {
+    lexer: &'l Lexer,
+    input: &'s str,
+    pos: usize,
+}
+
+impl SourceTokens<'_, '_> {
+    /// Byte offset of the scan head (the start of the next match).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+}
+
+impl TokenSource for SourceTokens<'_, '_> {
+    fn next_token(&mut self) -> Option<Result<ScannedToken<'_>, LexError>> {
+        while self.pos < self.input.len() {
+            let rest = &self.input[self.pos..];
+            let Some((len, i)) = self.lexer.match_at(rest) else {
+                let err = LexError::at(self.input, self.pos);
+                // Advance past the offending character so error-tolerant
+                // consumers (diagnostics collectors) make progress instead
+                // of pulling the same error forever.
+                self.pos += rest.chars().next().map_or(1, char::len_utf8);
+                return Some(Err(err));
+            };
+            let start = self.pos;
+            self.pos += len;
+            let rule = &self.lexer.rules[i];
+            if rule.skip {
+                continue;
+            }
+            return Some(Ok(ScannedToken {
+                kind: &rule.name,
+                text: &self.input[start..start + len],
+                span: Span::new(start, start + len),
+            }));
+        }
+        None
     }
 }
 
@@ -211,8 +317,55 @@ mod tests {
     #[test]
     fn error_on_unknown_character() {
         let err = arith_lexer().tokenize("1 + §").unwrap_err();
-        assert_eq!(err.offset, 4);
-        assert!(err.to_string().contains("byte 4"));
+        assert_eq!(err.offset(), 4);
+        assert_eq!(err.span.start, 4);
+        assert_eq!(err.snippet, "§");
+        assert_eq!(err.position.to_string(), "1:5");
+        assert!(err.to_string().contains("bytes 4..6"), "{err}");
+        assert!(err.to_string().contains("§"), "{err}");
+    }
+
+    #[test]
+    fn error_reports_line_and_column() {
+        let err = arith_lexer().tokenize("1 + 2\n3 * §4").unwrap_err();
+        assert_eq!(err.position.line, 2);
+        assert_eq!(err.position.column, 5);
+        assert_eq!(err.snippet, "§4");
+        assert_eq!(err.span, crate::Span::new(10, 13));
+    }
+
+    #[test]
+    fn streaming_source_matches_tokenize() {
+        use crate::TokenSource;
+        let lexer = arith_lexer();
+        let input = "1 + 23 * (4)";
+        let batch = lexer.tokenize(input).unwrap();
+        let mut src = lexer.source(input);
+        let mut streamed = Vec::new();
+        while let Some(t) = src.next_token() {
+            let t = t.unwrap();
+            assert_eq!(t.span.slice(input), t.text, "span must denote the text");
+            streamed.push((t.kind.to_string(), t.text.to_string(), t.span.start));
+        }
+        let batch: Vec<_> = batch.into_iter().map(|l| (l.kind, l.text, l.offset)).collect();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn streaming_source_is_lazy_past_errors_and_resumes() {
+        use crate::TokenSource;
+        // Tokens before the bad byte stream out fine; the error only
+        // surfaces when the scan head reaches it, and the scan advances
+        // past the offending character so the stream is resumable.
+        let lexer = arith_lexer();
+        let mut src = lexer.source("12 § 34");
+        assert_eq!(src.next_token().unwrap().unwrap().text, "12");
+        assert_eq!(src.offset(), 2);
+        let err = src.next_token().unwrap().unwrap_err();
+        assert_eq!(err.span.start, 3);
+        let t = src.next_token().unwrap().unwrap();
+        assert_eq!((t.kind, t.text), ("NUM", "34"), "stream resumes after the error");
+        assert!(src.next_token().is_none());
     }
 
     #[test]

@@ -8,17 +8,28 @@
 //! the derivative-based regex engine of `pwd-regex` for the scanning
 //! automata.
 //!
+//! The streaming interface is primary: [`Lexer::source`] returns a
+//! [`TokenSource`] — a pull-based stream of zero-copy `(kind, span)` tokens
+//! over the borrowed input — which a parser session consumes token by token,
+//! fusing lex and parse into one pass. [`Lexer::tokenize`] is a batch shim
+//! over the same scan for callers that want an owned `Vec<Lexeme>`.
+//!
 //! # Quick start
 //!
 //! ```
-//! use pwd_lex::{tokenize_python, LexerBuilder};
+//! use pwd_lex::{tokenize_python, LexerBuilder, TokenSource};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Generic longest-match lexing:
 //! let lexer = LexerBuilder::new()
 //!     .rule("WORD", r"[a-z]+")?
 //!     .skip("WS", r" +")?
 //!     .build();
+//!
+//! // Streaming, zero-copy lexing:
+//! let mut src = lexer.source("ab cd");
+//! assert_eq!(src.next_token().unwrap()?.text, "ab");
+//!
+//! // Batch lexing (a shim over the stream):
 //! assert_eq!(lexer.tokenize("ab cd")?.len(), 2);
 //!
 //! // Python-like tokenization with layout tokens:
@@ -33,8 +44,10 @@
 
 mod lexer;
 mod python;
+mod source;
 mod span;
 
-pub use lexer::{LexError, Lexeme, Lexer, LexerBuilder};
+pub use lexer::{LexError, Lexeme, Lexer, LexerBuilder, SourceTokens};
 pub use python::{tokenize_python, PyLexError, KEYWORDS};
-pub use span::{LineMap, Position};
+pub use source::{KindSource, LexemeSource, ScannedToken, TokenSource};
+pub use span::{LineMap, Position, Span};

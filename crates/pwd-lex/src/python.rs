@@ -298,7 +298,10 @@ mod tests {
     #[test]
     fn unknown_character_is_an_error() {
         match tokenize_python("x = §\n") {
-            Err(PyLexError::Lex(e)) => assert!(e.offset > 0),
+            Err(PyLexError::Lex(e)) => {
+                assert!(e.span.start > 0);
+                assert_eq!(e.position.line, 1);
+            }
             other => panic!("expected lex error, got {other:?}"),
         }
     }

@@ -1,7 +1,66 @@
-//! Source positions: byte offsets to line/column mapping.
+//! Source positions: byte spans and offset → line/column mapping.
 //!
-//! Lexemes carry byte offsets; diagnostics want `line:col`. A [`LineMap`]
-//! indexes newline positions once and answers lookups in `O(log lines)`.
+//! The streaming pipeline talks in [`Span`]s — half-open byte ranges into
+//! the input buffer — so a token never needs to copy its text out of the
+//! source. Diagnostics want `line:col`; a [`LineMap`] indexes newline
+//! positions once and answers lookups in `O(log lines)`, and
+//! [`Position::of`] answers a single lookup without the index.
+
+/// A half-open byte range `start..end` into an input buffer.
+///
+/// This is the zero-copy currency of the streaming lexer: a
+/// [`TokenSource`](crate::TokenSource) hands out spans (plus the borrowed
+/// slice they denote) instead of owned strings.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_lex::Span;
+/// let s = Span::new(4, 9);
+/// assert_eq!(s.len(), 5);
+/// assert_eq!(s.slice("abcdHELLOxyz"), "HELLO");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span; `start` must not exceed `end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        debug_assert!(start <= end, "span {start}..{end} is inverted");
+        Span { start, end }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Is the span zero-width?
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The slice of `src` this span denotes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds or splits a UTF-8 character —
+    /// spans are only meaningful against the buffer they were produced from.
+    pub fn slice<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
 
 /// A 1-based line/column position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -10,6 +69,20 @@ pub struct Position {
     pub line: u32,
     /// 1-based column in characters.
     pub column: u32,
+}
+
+impl Position {
+    /// The line/column of a byte offset, computed by one linear scan of the
+    /// prefix (use [`LineMap`] when answering many lookups over one source).
+    /// Offsets past the end clamp to the end position.
+    pub fn of(src: &str, offset: usize) -> Position {
+        let offset = offset.min(src.len());
+        let prefix = &src[..offset];
+        let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
+        let line_start = prefix.rfind('\n').map_or(0, |i| i + 1);
+        let column = prefix[line_start..].chars().count() + 1;
+        Position { line: line as u32, column: column as u32 }
+    }
 }
 
 impl std::fmt::Display for Position {
@@ -110,5 +183,24 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(Position { line: 3, column: 7 }.to_string(), "3:7");
+        assert_eq!(Span::new(2, 9).to_string(), "2..9");
+    }
+
+    #[test]
+    fn span_slicing() {
+        let s = Span::new(3, 5);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(Span::new(4, 4).is_empty());
+        assert_eq!(s.slice("abcdef"), "de");
+    }
+
+    #[test]
+    fn position_of_matches_line_map() {
+        let src = "ab\ncdé\nf";
+        let map = LineMap::new(src);
+        for off in [0, 1, 2, 3, 7, 8, 99] {
+            assert_eq!(Position::of(src, off), map.position(off), "offset {off}");
+        }
     }
 }

@@ -8,9 +8,20 @@
 //! sessions, hosting any backend of `derp::api` (PWD improved/original,
 //! Earley, GLR) behind one service API.
 //!
+//! Two front ends share the infrastructure: the batch API
+//! ([`ParseService::submit_batch`]) for parse-these-inputs traffic, and the
+//! **live-session** API ([`ParseService::open_session`] →
+//! [`feed_chunk`](ParseService::feed_chunk) →
+//! [`checkpoint_session`](ParseService::checkpoint_session) /
+//! [`rollback_session`](ParseService::rollback_session) →
+//! [`finish_session`](ParseService::finish_session)) for streaming clients
+//! — REPLs, LSP servers, network parse protocols — that feed input in
+//! chunks, keep parser state alive across calls, and retract speculative
+//! prefixes by rolling back to a saved derivative.
+//!
 //! # Architecture
 //!
-//! Three layers, one per module:
+//! Four layers, one per module:
 //!
 //! * [`cache`] — a **sharded compiled-grammar cache**. Grammars are keyed by
 //!   the stable 64-bit [`Cfg::fingerprint`](pwd_grammar::Cfg::fingerprint);
@@ -27,6 +38,10 @@
 //!   fans a slice of inputs across a fixed worker pool (work-stealing over
 //!   an atomic cursor, so stragglers do not idle the other workers) and
 //!   collects per-input results *in input order* plus batch metrics.
+//! * [`live`] — the **streaming front end**. Sessions checked out of the
+//!   same pools, kept alive across calls in a registry, fed chunk by chunk
+//!   with per-chunk outcomes, checkpointed/rolled back for speculative
+//!   prefixes, and released back to a pool at finish.
 //!
 //! # Request lifecycle
 //!
@@ -71,10 +86,12 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod live;
 pub mod pool;
 pub mod service;
 
 pub use cache::{CacheMetrics, CachedGrammar, GrammarCache};
+pub use live::{CheckpointId, FeedReport, FinishReport, SessionId, SessionStatus};
 pub use pool::{PoolMetrics, PooledSession, SessionPool};
 pub use service::{
     BatchMetrics, BatchReport, Input, MemoEffectiveness, ParseOutcome, ParseService, ServeError,

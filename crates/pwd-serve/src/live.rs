@@ -1,0 +1,574 @@
+//! Live incremental sessions: the streaming front end of the service.
+//!
+//! The batch API ([`ParseService::submit_batch`]) answers "parse these
+//! inputs"; this module answers the shape a REPL, LSP server, or network
+//! parse protocol actually has — input arrives in chunks, the caller wants
+//! a verdict-so-far after each one, and speculative prefixes (editor
+//! lookahead, a line being typed) must be retractable without re-parsing
+//! the committed prefix:
+//!
+//! ```text
+//!   open_session(cfg)            ─► SessionId        (backend from a pool)
+//!   feed_chunk(id, input)        ─► FeedReport       (per-chunk outcome)
+//!   checkpoint_session(id)       ─► CheckpointId     (saved derivative)
+//!   rollback_session(id, cp)     ─► SessionStatus    (speculation undone)
+//!   finish_session(id)           ─► FinishReport     (backend → pool)
+//! ```
+//!
+//! Sessions ride the same infrastructure as batches: the backend is checked
+//! out of a slot pool (fork of the cached compiled prototype, or an idle
+//! epoch-reset session) and returned to a pool at finish, so a service
+//! serving a mix of batch and live traffic shares one set of warm arenas.
+//!
+//! Concurrency: a live session is **single-caller**. While one call is
+//! feeding a session, the session is temporarily out of the registry and
+//! concurrent calls for the same id get [`ServeError::UnknownSession`]; the
+//! registry lock itself is never held across engine work, so sessions never
+//! serialize against each other.
+
+use derp::api::{Checkpoint, FeedOutcome, Session};
+use pwd_grammar::Cfg;
+
+use crate::service::{Input, ParseService, ServeError};
+
+/// Handle to a live session on a [`ParseService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session {}", self.0)
+    }
+}
+
+/// Handle to a checkpoint of one live session (dense indices; a rollback
+/// discards all later checkpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CheckpointId(pub usize);
+
+/// A live session's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Tokens fed so far.
+    pub tokens_fed: usize,
+    /// Can some continuation still be accepted?
+    pub viable: bool,
+    /// Is the prefix fed so far a complete sentence?
+    pub prefix_is_sentence: bool,
+    /// Checkpoints currently restorable.
+    pub checkpoints: usize,
+}
+
+/// The result of feeding one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedReport {
+    /// Outcome after the chunk's last token.
+    pub outcome: FeedOutcome,
+    /// Tokens fed so far (chunks accumulate).
+    pub tokens_fed: usize,
+}
+
+/// The result of finishing a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinishReport {
+    /// Was the full fed input accepted?
+    pub accepted: bool,
+    /// Total tokens the session consumed.
+    pub tokens_fed: usize,
+}
+
+/// A session held across calls: the owned backend session plus its saved
+/// checkpoints, keyed into the service registry.
+pub(crate) struct LiveSession {
+    fingerprint: u64,
+    session: Session<'static>,
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl LiveSession {
+    fn status(&mut self) -> Result<SessionStatus, ServeError> {
+        Ok(SessionStatus {
+            tokens_fed: self.session.tokens_fed(),
+            viable: self.session.is_viable(),
+            prefix_is_sentence: self.session.prefix_is_sentence()?,
+            checkpoints: self.checkpoints.len(),
+        })
+    }
+}
+
+impl ParseService {
+    /// Opens a live incremental session for a grammar. The backend comes
+    /// from the same compiled-grammar cache and session pools as batch
+    /// traffic (compile at most once per service; warm opens are an epoch
+    /// reset away).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownBackend`] for a misconfigured service,
+    /// [`ServeError::Backend`] if the session cannot start.
+    pub fn open_session(&self, cfg: &Cfg) -> Result<SessionId, ServeError> {
+        let limit = self.config().max_live_sessions;
+        // Reserve a slot atomically (compare-and-swap): concurrent opens
+        // cannot race past the cap, and sessions checked out of the
+        // registry by an in-flight call still count.
+        if self
+            .live_count
+            .fetch_update(
+                std::sync::atomic::Ordering::AcqRel,
+                std::sync::atomic::Ordering::Acquire,
+                |n| (n < limit).then_some(n + 1),
+            )
+            .is_err()
+        {
+            return Err(ServeError::SessionLimit { limit });
+        }
+        let opened = (|| {
+            let (fingerprint, backend) = self.checkout_backend(cfg)?;
+            let session = Session::owned(backend)?;
+            Ok(LiveSession { fingerprint, session, checkpoints: Vec::new() })
+        })();
+        let live = match opened {
+            Ok(live) => live,
+            Err(e) => {
+                self.live_count.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                return Err(e);
+            }
+        };
+        let id = self.next_session.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.live.lock().expect("live registry poisoned").insert(id, live);
+        Ok(SessionId(id))
+    }
+
+    /// Takes a session out of the registry for exclusive use.
+    fn take(&self, id: SessionId) -> Result<LiveSession, ServeError> {
+        self.live
+            .lock()
+            .expect("live registry poisoned")
+            .remove(&id.0)
+            .ok_or(ServeError::UnknownSession { id: id.0 })
+    }
+
+    /// Puts a session back after exclusive use.
+    fn put(&self, id: SessionId, live: LiveSession) {
+        self.live.lock().expect("live registry poisoned").insert(id.0, live);
+    }
+
+    /// Feeds one chunk of input to a live session and reports the outcome
+    /// after its last token. Chunk boundaries are invisible to the parse —
+    /// any chunking of an input yields the same final state as feeding it
+    /// whole (the streaming/batch agreement property).
+    ///
+    /// Chunks are **atomic**: on a retryable error (an unknown terminal
+    /// kind) the session is rolled back to where it was before the chunk,
+    /// so no prefix of a failed chunk is consumed and a corrected resend
+    /// starts from a known position. If the session cannot be restored —
+    /// an engine resource limit tripped, leaving the arena full — it is
+    /// **closed** (the backend is recycled, and later calls for the id get
+    /// [`ServeError::UnknownSession`]) rather than left poisoned for the
+    /// client to retry forever. A chunk whose token kills the language is
+    /// not an error: the report says [`FeedOutcome::Dead`] and the session
+    /// stays open (for status, rollback, or finish).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`], or [`ServeError::Backend`] from the
+    /// engine.
+    pub fn feed_chunk(&self, id: SessionId, chunk: &Input) -> Result<FeedReport, ServeError> {
+        let mut live = self.take(id)?;
+        let fed = (|| {
+            // All-or-nothing: retract the partial prefix if any token fails.
+            let undo = live.session.checkpoint().map_err(|e| (e, false))?;
+            let outcome = match chunk {
+                Input::Kinds(kinds) => {
+                    let refs: Vec<&str> = kinds.iter().map(String::as_str).collect();
+                    live.session.feed_all(&refs)
+                }
+                Input::Lexemes(lexemes) => live.session.feed_lexemes(lexemes),
+            };
+            match outcome {
+                Ok(outcome) => Ok(outcome),
+                Err(e) => match live.session.rollback(&undo) {
+                    // Session intact, chunk fully retracted.
+                    Ok(()) => Err((e, false)),
+                    // Unrecoverable (e.g. node budget exhausted): close it.
+                    Err(_) => Err((e, true)),
+                },
+            }
+        })();
+        match fed {
+            Ok(outcome) => {
+                let report = FeedReport { outcome, tokens_fed: live.session.tokens_fed() };
+                self.put(id, live);
+                Ok(report)
+            }
+            Err((e, close)) => {
+                if close {
+                    self.close(live);
+                } else {
+                    self.put(id, live);
+                }
+                Err(ServeError::Backend(e))
+            }
+        }
+    }
+
+    /// Permanently removes a session: recycles its backend (the pool reset
+    /// clears even budget-exhausted arenas) and releases its cap slot.
+    fn close(&self, live: LiveSession) {
+        let (_verdict, backend) = live.session.finish_and_release();
+        if let Some(backend) = backend {
+            self.absorb_memo(&backend.metrics());
+            self.release_backend(live.fingerprint, backend);
+        }
+        self.live_count.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+    }
+
+    /// Saves the session's current position — for the PWD backend, the
+    /// derivative `D_{t1…tk}(L)` itself (one node id; nothing is copied).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`], or [`ServeError::Backend`].
+    pub fn checkpoint_session(&self, id: SessionId) -> Result<CheckpointId, ServeError> {
+        let mut live = self.take(id)?;
+        let cp = live.session.checkpoint();
+        let out = cp.map(|cp| {
+            live.checkpoints.push(cp);
+            CheckpointId(live.checkpoints.len() - 1)
+        });
+        self.put(id, live);
+        Ok(out?)
+    }
+
+    /// Rolls a live session back to a saved checkpoint, undoing every token
+    /// fed since (the speculative-prefix retraction path). Checkpoints
+    /// taken *after* the restored one are discarded — their positions no
+    /// longer exist.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`], [`ServeError::UnknownCheckpoint`],
+    /// or [`ServeError::Backend`].
+    pub fn rollback_session(
+        &self,
+        id: SessionId,
+        cp: CheckpointId,
+    ) -> Result<SessionStatus, ServeError> {
+        let mut live = self.take(id)?;
+        let out = (|| {
+            let saved = live
+                .checkpoints
+                .get(cp.0)
+                .ok_or(ServeError::UnknownCheckpoint { session: id.0, checkpoint: cp.0 })?;
+            live.session.rollback(saved)?;
+            live.checkpoints.truncate(cp.0 + 1);
+            live.status()
+        })();
+        self.put(id, live);
+        out
+    }
+
+    /// The session's current status (tokens fed, viability, sentence-hood,
+    /// live checkpoints).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`], or [`ServeError::Backend`].
+    pub fn session_status(&self, id: SessionId) -> Result<SessionStatus, ServeError> {
+        let mut live = self.take(id)?;
+        let out = live.status();
+        self.put(id, live);
+        out
+    }
+
+    /// Finishes a live session: reports the verdict over everything fed and
+    /// returns the backend to a session pool, where the next open (or batch
+    /// worker) reuses its warm arena via the O(1) epoch reset.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`], or [`ServeError::Backend`] (the
+    /// backend is still recycled).
+    pub fn finish_session(&self, id: SessionId) -> Result<FinishReport, ServeError> {
+        let live = self.take(id)?;
+        let tokens_fed = live.session.tokens_fed();
+        let (verdict, backend) = live.session.finish_and_release();
+        if let Some(backend) = backend {
+            // Fold the session's engine counters into the lifetime memo
+            // totals before reset wipes them.
+            self.absorb_memo(&backend.metrics());
+            self.release_backend(live.fingerprint, backend);
+        }
+        self.live_count.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+        self.count_input();
+        Ok(FinishReport { accepted: verdict?, tokens_fed })
+    }
+
+    /// Abandons a live session without a verdict: everything fed is
+    /// discarded and the backend is recycled into a pool. The escape hatch
+    /// for disconnected clients — without it, abandoned opens would pin
+    /// pooled backends forever.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`].
+    pub fn abort_session(&self, id: SessionId) -> Result<(), ServeError> {
+        let live = self.take(id)?;
+        self.close(live);
+        Ok(())
+    }
+
+    /// Number of live sessions currently open, including any momentarily
+    /// checked out by a call in flight.
+    pub fn live_sessions(&self) -> usize {
+        self.live_count.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use pwd_grammar::CfgBuilder;
+    use pwd_lex::Lexeme;
+
+    fn pairs() -> Cfg {
+        let mut g = CfgBuilder::new("S");
+        g.terminals(&["a", "b"]);
+        g.rule("S", &["a", "S", "b"]);
+        g.rule("S", &["a", "b"]);
+        g.build().unwrap()
+    }
+
+    fn service() -> ParseService {
+        ParseService::new(ServiceConfig { workers: 2, ..Default::default() })
+    }
+
+    #[test]
+    fn chunked_live_session_end_to_end() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        assert_eq!(service.live_sessions(), 1);
+
+        let r = service.feed_chunk(id, &Input::from_kinds(&["a", "a"])).unwrap();
+        assert_eq!(r.tokens_fed, 2);
+        assert_eq!(r.outcome, FeedOutcome::Viable { prefix_is_sentence: false });
+        let r = service.feed_chunk(id, &Input::from_kinds(&["b"])).unwrap();
+        assert_eq!(r.outcome, FeedOutcome::Viable { prefix_is_sentence: false });
+        let r = service.feed_chunk(id, &Input::from_kinds(&["b"])).unwrap();
+        assert_eq!(r.outcome, FeedOutcome::Viable { prefix_is_sentence: true });
+
+        let fin = service.finish_session(id).unwrap();
+        assert!(fin.accepted);
+        assert_eq!(fin.tokens_fed, 4);
+        assert_eq!(service.live_sessions(), 0);
+        assert!(matches!(service.session_status(id), Err(ServeError::UnknownSession { .. })));
+    }
+
+    #[test]
+    fn checkpoint_rollback_retracts_speculation() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a"])).unwrap();
+        let cp = service.checkpoint_session(id).unwrap();
+
+        // Speculate into a dead end…
+        let r = service.feed_chunk(id, &Input::from_kinds(&["b", "b", "b"])).unwrap();
+        assert_eq!(r.outcome, FeedOutcome::Dead);
+        let status = service.session_status(id).unwrap();
+        assert!(!status.viable);
+
+        // …retract, and resume down the real input.
+        let status = service.rollback_session(id, cp).unwrap();
+        assert!(status.viable);
+        assert_eq!(status.tokens_fed, 2);
+        service.feed_chunk(id, &Input::from_kinds(&["b", "b"])).unwrap();
+        let fin = service.finish_session(id).unwrap();
+        assert!(fin.accepted, "aabb after rollback");
+    }
+
+    #[test]
+    fn rollback_discards_later_checkpoints() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a"])).unwrap();
+        let cp1 = service.checkpoint_session(id).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a"])).unwrap();
+        let cp2 = service.checkpoint_session(id).unwrap();
+        let status = service.rollback_session(id, cp1).unwrap();
+        assert_eq!(status.checkpoints, 1, "cp2 must die with the rollback");
+        assert!(matches!(
+            service.rollback_session(id, cp2),
+            Err(ServeError::UnknownCheckpoint { .. })
+        ));
+        service.finish_session(id).unwrap();
+    }
+
+    #[test]
+    fn lexeme_chunks_reach_the_engine_with_text() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("ID");
+        g.rule("S", &["ID", "S"]);
+        g.rule("S", &["ID"]);
+        let cfg = g.build().unwrap();
+        let service = service();
+        let id = service.open_session(&cfg).unwrap();
+        let lex = |texts: &[&str], base: usize| {
+            Input::from_lexemes(
+                texts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| Lexeme {
+                        kind: "ID".into(),
+                        text: t.to_string(),
+                        offset: base + i,
+                    })
+                    .collect(),
+            )
+        };
+        service.feed_chunk(id, &lex(&["x", "y"], 0)).unwrap();
+        service.feed_chunk(id, &lex(&["z"], 2)).unwrap();
+        let fin = service.finish_session(id).unwrap();
+        assert!(fin.accepted);
+        assert_eq!(fin.tokens_fed, 3);
+    }
+
+    #[test]
+    fn finished_sessions_return_their_backend_to_a_pool() {
+        let service = service();
+        let cfg = pairs();
+        // Open/finish twice: the second open must reuse the first session's
+        // backend (pool reuse), not fork a fresh one.
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "b"])).unwrap();
+        assert!(service.finish_session(id).unwrap().accepted);
+        let id = service.open_session(&cfg).unwrap();
+        assert!(service.finish_session(id).unwrap().tokens_fed == 0);
+        let m = service.metrics();
+        assert_eq!(m.sessions.forked, 1, "{:?}", m.sessions);
+        assert!(m.sessions.reused >= 1, "{:?}", m.sessions);
+        assert_eq!(m.inputs, 2);
+    }
+
+    #[test]
+    fn per_chunk_errors_keep_the_session_alive() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a"])).unwrap();
+        let err = service.feed_chunk(id, &Input::from_kinds(&["NOPE"])).unwrap_err();
+        assert!(matches!(err, ServeError::Backend(_)), "{err}");
+        // The session survived the bad chunk; the good prefix is intact.
+        let status = service.session_status(id).unwrap();
+        assert_eq!(status.tokens_fed, 1);
+        service.feed_chunk(id, &Input::from_kinds(&["b"])).unwrap();
+        assert!(service.finish_session(id).unwrap().accepted);
+    }
+
+    #[test]
+    fn failed_chunks_are_atomic() {
+        // A chunk that errors mid-way must consume none of its tokens, so a
+        // corrected resend does not double-feed the good prefix.
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a"])).unwrap();
+        let err = service.feed_chunk(id, &Input::from_kinds(&["a", "NOPE", "b"])).unwrap_err();
+        assert!(matches!(err, ServeError::Backend(_)), "{err}");
+        assert_eq!(service.session_status(id).unwrap().tokens_fed, 1, "chunk rolled back whole");
+        // Resend the corrected chunk: exactly one extra "a" lands.
+        service.feed_chunk(id, &Input::from_kinds(&["a", "b", "b"])).unwrap();
+        let fin = service.finish_session(id).unwrap();
+        assert!(fin.accepted, "aabb");
+        assert_eq!(fin.tokens_fed, 4);
+    }
+
+    #[test]
+    fn abort_discards_the_session_and_recycles_the_backend() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a"])).unwrap();
+        service.abort_session(id).unwrap();
+        assert_eq!(service.live_sessions(), 0);
+        assert!(matches!(service.abort_session(id), Err(ServeError::UnknownSession { .. })));
+        // The aborted session's backend is back in a pool: the next open
+        // reuses it instead of forking.
+        let id = service.open_session(&cfg).unwrap();
+        service.finish_session(id).unwrap();
+        assert_eq!(service.metrics().sessions.forked, 1);
+    }
+
+    #[test]
+    fn session_limit_bounds_the_registry() {
+        let service = ParseService::new(ServiceConfig {
+            workers: 1,
+            max_live_sessions: 2,
+            ..Default::default()
+        });
+        let cfg = pairs();
+        let a = service.open_session(&cfg).unwrap();
+        let _b = service.open_session(&cfg).unwrap();
+        assert!(matches!(service.open_session(&cfg), Err(ServeError::SessionLimit { limit: 2 })));
+        // Finishing one frees a slot.
+        service.finish_session(a).unwrap();
+        assert!(service.open_session(&cfg).is_ok());
+    }
+
+    #[test]
+    fn live_sessions_contribute_to_lifetime_memo_metrics() {
+        let service = service();
+        let mut g = CfgBuilder::new("S");
+        g.terminal("x");
+        g.rule("S", &["x", "S"]);
+        g.rule("S", &["x"]);
+        let cfg = g.build().unwrap();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["x"; 12])).unwrap();
+        assert!(service.finish_session(id).unwrap().accepted);
+        let memo = service.metrics().memo;
+        assert!(
+            memo.memo_hits + memo.memo_misses > 0,
+            "live traffic must show up in lifetime memo totals: {memo:?}"
+        );
+    }
+
+    #[test]
+    fn live_and_batch_traffic_share_the_service() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a"])).unwrap();
+        // A batch lands while the session is live.
+        let report = service
+            .submit_batch(&cfg, &[Input::from_kinds(&["a", "b"]), Input::from_kinds(&["a"])])
+            .unwrap();
+        assert!(report.outcomes[0].as_ref().unwrap().accepted);
+        assert!(!report.outcomes[1].as_ref().unwrap().accepted);
+        // The live session is unaffected.
+        service.feed_chunk(id, &Input::from_kinds(&["b"])).unwrap();
+        assert!(service.finish_session(id).unwrap().accepted);
+    }
+
+    #[test]
+    fn every_roster_backend_serves_live_sessions() {
+        let cfg = pairs();
+        for &name in derp::api::BACKEND_NAMES {
+            let service = ParseService::new(ServiceConfig {
+                workers: 2,
+                backend: name.to_string(),
+                ..Default::default()
+            });
+            let id = service.open_session(&cfg).unwrap();
+            service.feed_chunk(id, &Input::from_kinds(&["a", "a"])).unwrap();
+            let cp = service.checkpoint_session(id).unwrap();
+            service.feed_chunk(id, &Input::from_kinds(&["a"])).unwrap();
+            service.rollback_session(id, cp).unwrap();
+            service.feed_chunk(id, &Input::from_kinds(&["b", "b"])).unwrap();
+            assert!(service.finish_session(id).unwrap().accepted, "{name}");
+        }
+    }
+}

@@ -34,6 +34,14 @@ impl PooledSession {
     pub fn backend(&mut self) -> &mut dyn Parser {
         &mut *self.backend
     }
+
+    /// Dissolves the checkout into its fingerprint and owned backend — the
+    /// escape hatch for holders that keep a session alive across calls
+    /// (the live-session API) and [`release`](SessionPool::release) it
+    /// back later.
+    pub fn into_parts(self) -> (u64, Box<dyn Parser>) {
+        (self.fingerprint, self.backend)
+    }
 }
 
 impl std::fmt::Debug for PooledSession {
@@ -71,11 +79,8 @@ impl SessionPool {
     /// available, otherwise a fresh fork of the shared prototype.
     pub fn checkout(&mut self, entry: &CachedGrammar) -> PooledSession {
         let fingerprint = entry.fingerprint();
-        let backend = match self.idle.get_mut(&fingerprint).and_then(Vec::pop) {
-            Some(b) => {
-                self.metrics.reused += 1;
-                b
-            }
+        let backend = match self.try_reuse(fingerprint) {
+            Some(b) => b,
             None => {
                 self.metrics.forked += 1;
                 entry.fork_session()
@@ -84,12 +89,28 @@ impl SessionPool {
         PooledSession { fingerprint, backend }
     }
 
+    /// Pops an idle session for the fingerprint, if any — the cheap half of
+    /// [`checkout`](SessionPool::checkout), used by callers that scan
+    /// several pools before paying for a fork.
+    pub fn try_reuse(&mut self, fingerprint: u64) -> Option<Box<dyn Parser>> {
+        let backend = self.idle.get_mut(&fingerprint).and_then(Vec::pop)?;
+        self.metrics.reused += 1;
+        Some(backend)
+    }
+
     /// Returns a session to the pool, clearing its per-parse state via the
     /// backend's `reset` (for PWD, the O(1) epoch bump — the arena is kept
     /// for the next checkout instead of being reallocated).
-    pub fn checkin(&mut self, mut session: PooledSession) {
-        session.backend.reset();
-        self.idle.entry(session.fingerprint).or_default().push(session.backend);
+    pub fn checkin(&mut self, session: PooledSession) {
+        self.release(session.fingerprint, session.backend);
+    }
+
+    /// Returns a bare backend (e.g. recovered from a finished live session
+    /// via [`PooledSession::into_parts`]) to the pool under its grammar
+    /// fingerprint, reset for the next checkout.
+    pub fn release(&mut self, fingerprint: u64, mut backend: Box<dyn Parser>) {
+        backend.reset();
+        self.idle.entry(fingerprint).or_default().push(backend);
     }
 
     /// Number of idle sessions currently pooled (across all grammars).

@@ -10,8 +10,9 @@
 use derp::api::{BackendError, BackendMetrics, ParseCount};
 use pwd_grammar::Cfg;
 use pwd_lex::Lexeme;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -27,6 +28,30 @@ pub enum ServeError {
         /// The rejected name.
         name: String,
     },
+    /// No live session with this id (never opened, already finished, or
+    /// currently being fed by another caller — live sessions are
+    /// single-caller).
+    UnknownSession {
+        /// The rejected session id.
+        id: u64,
+    },
+    /// The checkpoint id does not name a live checkpoint of this session
+    /// (out of range, or discarded by an earlier rollback).
+    UnknownCheckpoint {
+        /// The session the lookup ran against.
+        session: u64,
+        /// The rejected checkpoint id.
+        checkpoint: usize,
+    },
+    /// The backend rejected a session operation (unknown terminal kind,
+    /// engine resource limit, stale checkpoint).
+    Backend(BackendError),
+    /// Opening the session would exceed [`ServiceConfig::max_live_sessions`]
+    /// — finish or abort existing sessions first.
+    SessionLimit {
+        /// The configured cap.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -37,11 +62,27 @@ impl fmt::Display for ServeError {
                     derp::api::BACKEND_NAMES
                 })
             }
+            ServeError::UnknownSession { id } => {
+                write!(f, "no live session {id} (finished, never opened, or in use)")
+            }
+            ServeError::UnknownCheckpoint { session, checkpoint } => {
+                write!(f, "session {session} has no checkpoint {checkpoint}")
+            }
+            ServeError::Backend(e) => write!(f, "backend error: {e}"),
+            ServeError::SessionLimit { limit } => {
+                write!(f, "live session limit reached ({limit}); finish or abort sessions first")
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<BackendError> for ServeError {
+    fn from(e: BackendError) -> ServeError {
+        ServeError::Backend(e)
+    }
+}
 
 /// One input to parse: terminal kinds, or a lexeme stream when lexeme text
 /// matters (PWD memoizes derivatives by token *value*).
@@ -216,6 +257,11 @@ pub struct ServiceConfig {
     /// Also count derivations per input (a second engine pass; backends
     /// without forest support report [`ParseCount::Unsupported`]).
     pub count_parses: bool,
+    /// Upper bound on concurrently open live sessions — each holds a
+    /// pooled backend (for PWD, a full engine arena), so abandoned opens
+    /// must not accumulate without bound. Opens beyond the cap fail with
+    /// [`ServeError::SessionLimit`].
+    pub max_live_sessions: usize,
 }
 
 impl Default for ServiceConfig {
@@ -225,6 +271,7 @@ impl Default for ServiceConfig {
             shards: 8,
             backend: "pwd-improved".to_string(),
             count_parses: false,
+            max_live_sessions: 1024,
         }
     }
 }
@@ -259,6 +306,17 @@ pub struct ParseService {
     inputs_served: AtomicUsize,
     /// Lifetime engine cache-effectiveness totals (merged once per batch).
     memo_totals: Mutex<MemoEffectiveness>,
+    /// Live incremental sessions, keyed by id (see `crate::live`). An entry
+    /// is *absent* while a caller is feeding it (taken out of the map), so
+    /// the lock is never held across engine work.
+    pub(crate) live: Mutex<HashMap<u64, crate::live::LiveSession>>,
+    /// Monotonic live-session id source.
+    pub(crate) next_session: AtomicU64,
+    /// Open live sessions, **including** ones momentarily checked out of
+    /// the registry by a call in flight — the registry length undercounts
+    /// those, so the `max_live_sessions` cap is enforced on this counter
+    /// (atomically: reserve-then-open, release on finish/abort).
+    pub(crate) live_count: AtomicUsize,
 }
 
 impl ParseService {
@@ -276,6 +334,9 @@ impl ParseService {
             next_slot: AtomicUsize::new(0),
             inputs_served: AtomicUsize::new(0),
             memo_totals: Mutex::new(MemoEffectiveness::default()),
+            live: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            live_count: AtomicUsize::new(0),
         }
     }
 
@@ -390,6 +451,48 @@ impl ParseService {
                 memo,
             },
         })
+    }
+
+    /// Checks a backend out of the slot pools for the grammar (compiling it
+    /// on a cache miss), handing ownership to a live session. All slots are
+    /// scanned for an idle session before a fork is paid — a finished live
+    /// session may have been released into any of them.
+    pub(crate) fn checkout_backend(
+        &self,
+        cfg: &Cfg,
+    ) -> Result<(u64, Box<dyn derp::api::Parser>), ServeError> {
+        let (entry, _hit) = self.cache.get_or_compile(cfg)?;
+        let fingerprint = entry.fingerprint();
+        let base = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        for i in 0..self.slots.len() {
+            let slot = &self.slots[(base + i) % self.slots.len()];
+            if let Some(backend) = slot.lock().expect("worker pool poisoned").try_reuse(fingerprint)
+            {
+                return Ok((fingerprint, backend));
+            }
+        }
+        let slot = &self.slots[base % self.slots.len()];
+        let mut pool = slot.lock().expect("worker pool poisoned");
+        Ok(pool.checkout(&entry).into_parts())
+    }
+
+    /// Returns a backend recovered from a finished live session to a slot
+    /// pool (round-robin, like small batches).
+    pub(crate) fn release_backend(&self, fingerprint: u64, backend: Box<dyn derp::api::Parser>) {
+        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.slots[slot].lock().expect("worker pool poisoned").release(fingerprint, backend);
+    }
+
+    /// Counts one input toward the service-lifetime totals.
+    pub(crate) fn count_input(&self) {
+        self.inputs_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a finished live session's engine counters into the lifetime
+    /// memo-effectiveness totals (the batch path absorbs per input; live
+    /// sessions absorb once, at finish, before the backend is reset).
+    pub(crate) fn absorb_memo(&self, m: &BackendMetrics) {
+        self.memo_totals.lock().expect("memo totals poisoned").absorb(m);
     }
 
     /// Service-lifetime counters: cache hits/misses, session forks/reuses,

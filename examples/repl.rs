@@ -1,0 +1,74 @@
+//! Feed-as-you-type over the session API: tokens arrive one keystroke at a
+//! time, a checkpoint is taken before each, and a backspace rolls back to
+//! the previous checkpoint instead of re-parsing the line.
+//!
+//! This is the editor/REPL shape the streaming pipeline exists for: the
+//! parser state after `k` tokens is the derivative `D_{t1…tk}(L)` — a
+//! first-class value — so "undo the last token" is a pointer restore, not a
+//! re-parse, and "is the line complete?" is a nullability query on the
+//! current state.
+//!
+//! Run with: `cargo run --example repl -- "1 + ( 2 * 3 <del> <del> + 4 ) * 5"`
+//! (tokens separated by spaces; `<del>` is a backspace)
+
+use derp::api::{Checkpoint, Parser, PwdBackend, Session};
+use derp::grammar::grammars;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let script =
+        std::env::args().nth(1).unwrap_or_else(|| "1 + ( 2 * 3 <del> <del> + 4 ) * 5".to_string());
+    let lexer = grammars::arith::lexer();
+
+    let mut backend = PwdBackend::improved(&grammars::arith::cfg());
+    let mut session = Session::open(&mut backend as &mut dyn Parser)?;
+    // One checkpoint per committed token: undo_stack[k] restores the state
+    // *before* token k+1 was fed.
+    let mut undo_stack: Vec<Checkpoint> = Vec::new();
+    let mut line: Vec<String> = Vec::new();
+
+    println!("{:<10} {:<22} {:<10} {:<10}", "keystroke", "line", "viable?", "complete?");
+    for key in script.split_whitespace() {
+        if key == "<del>" {
+            let Some(cp) = undo_stack.pop() else {
+                println!("{key:<10} (nothing to delete)");
+                continue;
+            };
+            session.rollback(&cp)?;
+            line.pop();
+        } else {
+            // Each keystroke is lexed in isolation (single-token REPL
+            // grammar) and fed through the session.
+            let lexemes = lexer.tokenize(key)?;
+            for l in &lexemes {
+                undo_stack.push(session.checkpoint()?);
+                session.feed(&l.kind, &l.text)?;
+                line.push(l.text.clone());
+            }
+        }
+        let viable = session.is_viable();
+        let complete = session.prefix_is_sentence()?;
+        println!(
+            "{key:<10} {:<22} {:<10} {:<10}",
+            line.join(""),
+            if viable { "yes" } else { "no" },
+            if complete { "yes" } else { "no" },
+        );
+    }
+
+    let tokens = session.tokens_fed();
+    let accepted = session.finish()?;
+    println!(
+        "\nfinal line {:?} ({tokens} tokens after undos): {}",
+        line.join(""),
+        if accepted { "a complete expression" } else { "not a complete expression" }
+    );
+    if accepted {
+        match backend.parse_count(
+            &lexer.tokenize(&line.join(""))?.iter().map(|l| l.kind.as_str()).collect::<Vec<_>>(),
+        )? {
+            derp::api::ParseCount::Finite(n) => println!("parse trees: {n}"),
+            other => println!("parse trees: {other:?}"),
+        }
+    }
+    Ok(())
+}

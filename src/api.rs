@@ -1,20 +1,41 @@
-//! A backend-agnostic parser API over the three parser families.
+//! A backend-agnostic **streaming** parser API over the three parser
+//! families.
 //!
-//! The PWD engine ([`Compiled`] + [`ParseSession`]), the Earley baseline
-//! ([`EarleyParser`]) and the GLR baseline ([`GlrParser`]) historically
-//! exposed ad-hoc, incompatible interfaces, forcing every differential test
-//! and benchmark to carry per-backend driver code. This module gives all of
-//! them one lifecycle:
+//! The paper's central observation is that the parser state after `k`
+//! tokens is itself a first-class language — `D_{t1…tk}(L)` — which makes
+//! parsing with derivatives naturally streaming and checkpointable. This
+//! module makes that the shape of the whole system: every backend (the PWD
+//! engine, the Earley baseline, the GLR baseline) implements one
+//! incremental lifecycle, and batch parsing is a thin shim over it.
+//!
+//! ```text
+//!   text ──► TokenSource ──► Session ──► verdict / forest
+//!            (pwd-lex,        feed / feed_all
+//!             zero-copy       checkpoint / rollback
+//!             (kind, span))   finish
+//! ```
 //!
 //! 1. [`Recognizer::prepare`] — compile a backend from a [`Cfg`];
-//! 2. [`Recognizer::recognize`] / [`Recognizer::recognize_lexemes`] — run one
-//!    input (each run starts from a clean slate);
-//! 3. [`Parser::parse_count`] — count derivations, where supported;
-//! 4. [`Recognizer::reset`] — return to the post-compile state. For the PWD
-//!    backend this is the engine's O(1) epoch bump, so one compiled backend
-//!    can serve an arbitrary stream of inputs without rebuild cost; the
-//!    baselines are stateless and reset for free;
-//! 5. [`Recognizer::metrics`] — uniform work counters for comparison.
+//! 2. [`Session::open`] (or [`Session::owned`]) — start an incremental
+//!    parse: `feed` tokens as they arrive (straight from a streaming
+//!    [`TokenSource`] via [`Session::feed_source`] — no intermediate
+//!    `Vec<Lexeme>`), `checkpoint` a prefix, `rollback` a speculative
+//!    continuation, `finish` for the verdict;
+//! 3. [`Recognizer::recognize`] / [`Recognizer::recognize_lexemes`] /
+//!    [`Recognizer::recognize_source`] — batch shims, provided once as
+//!    default methods over the streaming hooks (each run starts from a
+//!    clean slate);
+//! 4. [`Parser::parse_count`] — count derivations, where supported;
+//! 5. [`Recognizer::reset`] — return to the post-compile state (for PWD the
+//!    O(1) epoch bump); [`Recognizer::metrics`] — uniform work counters.
+//!
+//! **Checkpoint = saved derivative.** For the PWD backend a [`Checkpoint`]
+//! is literally the derivative node after `k` tokens — the paper's
+//! `D_{t1…tk}(L)` made operational; saving it is saving one `NodeId`, and
+//! rolling back is a pointer restore that composes with the epoch-stamped
+//! memo state and the never-evicted class-template rows (all keyed by
+//! nodes, which survive). The baselines snapshot their own prefix state:
+//! Earley the chart prefix, GLR the graph-structured-stack frontier.
 //!
 //! # Examples
 //!
@@ -38,17 +59,45 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Stream with checkpoint/rollback — the REPL/LSP shape:
+//!
+//! ```
+//! use derp::api::{PwdBackend, Recognizer, Session};
+//! use derp::grammar::CfgBuilder;
+//!
+//! # fn main() -> Result<(), derp::api::BackendError> {
+//! let mut g = CfgBuilder::new("S");
+//! g.terminals(&["a", "b"]);
+//! g.rule("S", &["a", "S", "b"]);
+//! g.rule("S", &["a", "b"]);
+//! let cfg = g.build().expect("valid grammar");
+//! let mut backend = PwdBackend::improved(&cfg);
+//!
+//! let mut session = Session::open(&mut backend)?;
+//! session.feed_all(&["a", "a"])?;
+//! let cp = session.checkpoint()?; // the language after "aa", saved
+//! session.feed_all(&["a", "a"])?; // speculate…
+//! session.rollback(&cp)?; // …and rewind to the saved derivative
+//! session.feed_all(&["b", "b"])?;
+//! assert!(session.finish()?, "aabb is a sentence");
+//! # Ok(())
+//! # }
+//! ```
 
-use crate::core::{ParserConfig, PwdError};
-use crate::earley::{EarleyParser, EarleyStats};
+use crate::core::{ParserConfig, PwdError, SessionState};
+use crate::earley::{EarleyChart, EarleyParser, EarleyStats};
 use crate::glr::{GlrParser, GlrStats};
 use crate::grammar::{Cfg, Compiled};
 use crate::lex::Lexeme;
-use pwd_core::{ParseSession, Token};
 use std::fmt;
 
+pub use pwd_lex::{KindSource, LexemeSource, ScannedToken, Span, TokenSource};
+
 /// An error from a parser backend: a malformed grammar, an input token
-/// outside the grammar's alphabet, or an engine resource limit.
+/// outside the grammar's alphabet, a lifecycle misuse (feeding without an
+/// open session, restoring a foreign checkpoint), or an engine resource
+/// limit.
 ///
 /// A plain non-match is **not** an error — it is `Ok(false)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +111,18 @@ pub struct BackendError {
 impl BackendError {
     fn new(backend: &'static str, message: impl fmt::Display) -> BackendError {
         BackendError { backend, message: message.to_string() }
+    }
+
+    fn no_session(backend: &'static str) -> BackendError {
+        BackendError::new(backend, "no open session (call begin/Session::open first)")
+    }
+
+    fn stale_checkpoint(backend: &'static str) -> BackendError {
+        BackendError::new(
+            backend,
+            "checkpoint does not belong to the open session \
+             (taken in another session, or already rolled past)",
+        )
     }
 }
 
@@ -85,6 +146,134 @@ pub enum ParseCount {
     Unsupported,
 }
 
+/// The observable state of a session after feeding a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedOutcome {
+    /// The backend has not proven the prefix dead; for PWD this is precise
+    /// (some continuation *does* reach a sentence).
+    Viable {
+        /// Is the *current* prefix itself a sentence?
+        prefix_is_sentence: bool,
+    },
+    /// No continuation of the input can be accepted. Sticky until a
+    /// rollback to a pre-death checkpoint.
+    Dead,
+}
+
+impl FeedOutcome {
+    /// Is the session still viable after this feed?
+    pub fn is_viable(&self) -> bool {
+        matches!(self, FeedOutcome::Viable { .. })
+    }
+}
+
+/// A saved session position, restorable with [`Session::rollback`] (or the
+/// [`Recognizer::rollback`] hook).
+///
+/// For PWD this wraps the saved derivative node — checkpointing **is** the
+/// paper's "the state after `k` tokens is a language" made operational.
+/// Earley checkpoints are chart-prefix lengths; GLR checkpoints snapshot
+/// the GSS frontier. A checkpoint is valid for the session it was taken in,
+/// **on the timeline it was taken on**: rolling back to an earlier position
+/// invalidates every checkpoint taken after that position (the positions no
+/// longer exist), while checkpoints at or before it stay restorable, any
+/// number of times. Backends reject stale, foreign, or invalidated
+/// checkpoints with a [`BackendError`] — validation is exact, enforced by
+/// a per-session timeline guard shared by all backends.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Process-unique id of the session this checkpoint belongs to.
+    session: u64,
+    /// Tokens fed when the checkpoint was taken.
+    tokens: usize,
+    /// Timeline mark at that position (see `SessionGuard`).
+    mark: u64,
+    state: CheckpointState,
+}
+
+#[derive(Debug, Clone)]
+enum CheckpointState {
+    Pwd(crate::core::SessionCheckpoint),
+    Earley(crate::earley::EarleyCheckpoint),
+    Glr(crate::glr::GlrCheckpoint),
+}
+
+impl Checkpoint {
+    /// Number of tokens fed when this checkpoint was taken.
+    pub fn tokens_fed(&self) -> usize {
+        self.tokens
+    }
+}
+
+/// Per-session checkpoint bookkeeping, shared by every backend: a
+/// process-unique session id plus a **timeline** — one mark per fed-token
+/// position, where the mark records which "era" (count of rollbacks so
+/// far) wrote that position. Rollback bumps the era and truncates the
+/// timeline, so a checkpoint is admitted iff its position still exists
+/// *and* was written in the era the checkpoint saw — which exactly rejects
+/// the three invalid shapes (foreign session, position rolled past,
+/// position re-fed after a rollback) with no false rejections of the valid
+/// ones (restoring the same checkpoint repeatedly, or any checkpoint at or
+/// before every rollback target since it was taken).
+struct SessionGuard {
+    /// Process-unique session id (0 = no session open).
+    session: u64,
+    /// Rollbacks performed in this session (the current era).
+    era: u64,
+    /// `marks[k]` = era that wrote position `k`; `len - 1` = tokens fed.
+    marks: Vec<u64>,
+}
+
+impl SessionGuard {
+    /// No session open.
+    fn closed() -> SessionGuard {
+        SessionGuard { session: 0, era: 0, marks: Vec::new() }
+    }
+
+    /// Opens a fresh session with a process-unique id.
+    fn open() -> SessionGuard {
+        static NEXT_SESSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        SessionGuard {
+            session: NEXT_SESSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            era: 0,
+            marks: vec![0],
+        }
+    }
+
+    /// Records one fed token (call once per successful feed, dead or not).
+    fn on_feed(&mut self) {
+        self.marks.push(self.era);
+    }
+
+    /// Stamps a checkpoint at the current position.
+    fn stamp(&self, state: CheckpointState) -> Checkpoint {
+        Checkpoint {
+            session: self.session,
+            tokens: self.marks.len() - 1,
+            mark: *self.marks.last().expect("open guard has a mark"),
+            state,
+        }
+    }
+
+    /// Admits or rejects a checkpoint for restoration.
+    fn admit(&self, cp: &Checkpoint, backend: &'static str) -> Result<(), BackendError> {
+        if cp.session == self.session
+            && cp.tokens < self.marks.len()
+            && self.marks[cp.tokens] == cp.mark
+        {
+            Ok(())
+        } else {
+            Err(BackendError::stale_checkpoint(backend))
+        }
+    }
+
+    /// Records a rollback to `tokens` (call after the backend restored).
+    fn on_rollback(&mut self, tokens: usize) {
+        self.era += 1;
+        self.marks.truncate(tokens + 1);
+    }
+}
+
 /// Uniform per-backend instrumentation.
 ///
 /// `work` and `live_state` are backend-specific units — PWD counts `derive`
@@ -93,7 +282,8 @@ pub enum ParseCount {
 /// absolute cost, across backends.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BackendMetrics {
-    /// Inputs run through `recognize`/`parse_count` since `prepare`.
+    /// Inputs run through `recognize`/`parse_count`/sessions since
+    /// `prepare`.
     pub runs: u64,
     /// Work units spent on the most recent input.
     pub work: u64,
@@ -114,10 +304,22 @@ pub struct BackendMetrics {
     pub template_instantiations: u64,
 }
 
-/// A compiled recognizer with a uniform lifecycle.
+/// A compiled recognizer with a uniform **streaming** lifecycle.
+///
+/// The required methods are the streaming hooks — `begin`, `feed`,
+/// `checkpoint`/`rollback`, `end` — one incremental state machine every
+/// backend implements natively (PWD drives its derivative session, Earley
+/// grows a chart, GLR grows a graph-structured stack). Everything
+/// batch-shaped ([`recognize`](Recognizer::recognize),
+/// [`recognize_lexemes`](Recognizer::recognize_lexemes),
+/// [`recognize_source`](Recognizer::recognize_source)) is a provided
+/// default over those hooks, shared by all backends. Prefer driving the
+/// hooks through a [`Session`], which enforces the lifecycle.
 ///
 /// Implementations must make every `recognize*` call independent: each run
-/// observes the backend as freshly [`reset`](Recognizer::reset).
+/// observes the backend as freshly [`reset`](Recognizer::reset), and
+/// `begin` always starts from a clean slate (any previously open session is
+/// discarded).
 ///
 /// `Send + Sync` is a supertrait bound: a backend must be movable into a
 /// worker thread and shareable behind `Arc` (all mutation goes through
@@ -133,33 +335,142 @@ pub trait Recognizer: Send + Sync {
     /// A stable display name (`"pwd-improved"`, `"earley"`, …).
     fn name(&self) -> &'static str;
 
+    // ------------------------------------------------------------------
+    // Streaming hooks (the per-backend SPI)
+    // ------------------------------------------------------------------
+
+    /// Opens a streaming session from a clean slate, discarding any session
+    /// already open.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] for malformed grammars.
+    fn begin(&mut self) -> Result<(), BackendError>;
+
+    /// Feeds one token (kind + lexeme text) to the open session. Returns
+    /// whether the session is still viable (`false` = dead).
+    ///
+    /// This is deliberately the *cheap* hook: it must not pay for a
+    /// sentence-hood probe (which costs GLR a full end-of-input reduce
+    /// phase), so batch shims feed at full speed; callers that want the
+    /// rich [`FeedOutcome`] go through [`Session::feed`] or
+    /// [`Session::outcome`], which query
+    /// [`prefix_is_sentence`](Recognizer::prefix_is_sentence) on demand.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] for kinds outside the grammar's alphabet, engine
+    /// resource limits, or feeding without an open session. A token that
+    /// kills the language is *not* an error — it returns `Ok(false)`, and
+    /// the verdict stays retrievable.
+    fn feed(&mut self, kind: &str, text: &str) -> Result<bool, BackendError>;
+
+    /// Tokens fed to the open session (0 when none is open).
+    fn tokens_fed(&self) -> usize;
+
+    /// Can some continuation of the open session still be accepted?
+    /// (`true` when no session is open.)
+    fn is_viable(&self) -> bool;
+
+    /// Is the prefix fed so far a complete sentence?
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] if no session is open.
+    fn prefix_is_sentence(&mut self) -> Result<bool, BackendError>;
+
+    /// Saves the open session's position — for PWD, the current derivative
+    /// (one `NodeId`).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] if no session is open.
+    fn checkpoint(&mut self) -> Result<Checkpoint, BackendError>;
+
+    /// Restores a checkpoint taken earlier in the open session, on the
+    /// current timeline (a rollback invalidates every checkpoint taken
+    /// after its target position).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] for checkpoints from another session or backend,
+    /// for positions rolled past (whether or not re-fed since), or if no
+    /// session is open.
+    fn rollback(&mut self, cp: &Checkpoint) -> Result<(), BackendError>;
+
+    /// Closes the open session and returns whether the full fed input was
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] if no session is open.
+    fn end(&mut self) -> Result<bool, BackendError>;
+
+    // ------------------------------------------------------------------
+    // Batch shims (shared defaults over the streaming hooks)
+    // ------------------------------------------------------------------
+
     /// Does the grammar accept this sequence of terminal kinds?
+    ///
+    /// One streaming session under the hood: `begin`, `feed` each kind (as
+    /// its own text), `end`.
     ///
     /// # Errors
     ///
     /// [`BackendError`] for kinds outside the grammar's alphabet or engine
     /// resource limits; rejection is `Ok(false)`.
-    fn recognize(&mut self, kinds: &[&str]) -> Result<bool, BackendError>;
+    fn recognize(&mut self, kinds: &[&str]) -> Result<bool, BackendError> {
+        self.begin()?;
+        for k in kinds {
+            self.feed(k, k)?;
+        }
+        self.end()
+    }
 
     /// Does the grammar accept this lexeme stream?
     ///
-    /// The default forwards the lexeme *kinds* to
-    /// [`recognize`](Recognizer::recognize); backends that key work on
-    /// lexeme text (PWD's memo is keyed by token value) override this.
+    /// Lexeme *text* reaches the engine (PWD's parse-mode memo is keyed by
+    /// token value), via the same streaming session as
+    /// [`recognize`](Recognizer::recognize).
     ///
     /// # Errors
     ///
     /// Same as [`recognize`](Recognizer::recognize).
     fn recognize_lexemes(&mut self, lexemes: &[Lexeme]) -> Result<bool, BackendError> {
-        let kinds: Vec<&str> = lexemes.iter().map(|l| l.kind.as_str()).collect();
-        self.recognize(&kinds)
+        self.begin()?;
+        for l in lexemes {
+            self.feed(&l.kind, &l.text)?;
+        }
+        self.end()
+    }
+
+    /// Does the grammar accept this token stream? The fused-pipeline entry
+    /// point: tokens are pulled (and, for a streaming lexer source, matched)
+    /// one at a time and fed straight into the session — no intermediate
+    /// `Vec<Lexeme>` exists anywhere on this path.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] for lexing errors (wrapped), unknown kinds, and
+    /// engine resource limits.
+    fn recognize_source(&mut self, src: &mut dyn TokenSource) -> Result<bool, BackendError> {
+        self.begin()?;
+        while let Some(item) = src.next_token() {
+            let t = match item {
+                Ok(t) => t,
+                Err(e) => return Err(BackendError::new(self.name(), e)),
+            };
+            self.feed(t.kind, t.text)?;
+        }
+        self.end()
     }
 
     /// Returns the backend to its freshly-[`prepare`](Recognizer::prepare)d
     /// state. Cheap for every backend; for PWD it is a single epoch bump.
     fn reset(&mut self);
 
-    /// Instrumentation for the most recent run.
+    /// Instrumentation for the most recent run (live counters while a
+    /// session is open).
     fn metrics(&self) -> BackendMetrics;
 }
 
@@ -167,11 +478,16 @@ pub trait Recognizer: Send + Sync {
 pub trait Parser: Recognizer {
     /// Counts the parse trees of an input.
     ///
+    /// The default reports [`ParseCount::Unsupported`]; backends with a
+    /// parse forest (PWD) override it.
+    ///
     /// # Errors
     ///
     /// Same as [`Recognizer::recognize`]; a rejected input is
     /// `Ok(ParseCount::Finite(0))`.
-    fn parse_count(&mut self, kinds: &[&str]) -> Result<ParseCount, BackendError>;
+    fn parse_count(&mut self, _kinds: &[&str]) -> Result<ParseCount, BackendError> {
+        Ok(ParseCount::Unsupported)
+    }
 
     /// Clones this backend into an independent, freshly-reset instance
     /// without recompiling the grammar.
@@ -185,15 +501,252 @@ pub trait Parser: Recognizer {
 }
 
 // ---------------------------------------------------------------------
+// Session: the lifecycle façade
+// ---------------------------------------------------------------------
+
+enum BackendRef<'a> {
+    Borrowed(&'a mut dyn Parser),
+    Owned(Box<dyn Parser>),
+}
+
+impl BackendRef<'_> {
+    fn get(&mut self) -> &mut dyn Parser {
+        match self {
+            BackendRef::Borrowed(b) => *b,
+            BackendRef::Owned(b) => &mut **b,
+        }
+    }
+
+    fn get_ref(&self) -> &dyn Parser {
+        match self {
+            BackendRef::Borrowed(b) => *b,
+            BackendRef::Owned(b) => &**b,
+        }
+    }
+}
+
+/// An incremental parse over any [`Parser`] backend: the streaming façade
+/// of the unified API.
+///
+/// `open_session → feed/feed_all → checkpoint/rollback → finish`, with
+/// tokens arriving as kind/text pairs, lexeme slices, or — the fused
+/// pipeline — straight from a zero-copy [`TokenSource`]
+/// ([`feed_source`](Session::feed_source)).
+///
+/// A session either borrows its backend ([`Session::open`] — the
+/// single-caller shape) or owns it ([`Session::owned`] — the pooled-service
+/// shape, where the backend is recovered for reuse with
+/// [`finish_and_release`](Session::finish_and_release)).
+///
+/// **Checkpoint = saved derivative**: see [`Checkpoint`]. Speculative
+/// prefixes (editor lookahead, a REPL line being typed) are fed, and on
+/// retraction rolled back, without re-parsing the committed prefix.
+pub struct Session<'a> {
+    backend: BackendRef<'a>,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session borrowing `backend` (discarding any session already
+    /// open on it).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] for malformed grammars.
+    pub fn open(backend: &'a mut dyn Parser) -> Result<Session<'a>, BackendError> {
+        backend.begin()?;
+        Ok(Session { backend: BackendRef::Borrowed(backend) })
+    }
+
+    /// Opens a session that owns its backend — the shape a session pool
+    /// hands out, recovered at [`finish_and_release`](Session::finish_and_release).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] for malformed grammars (the backend is dropped).
+    pub fn owned(mut backend: Box<dyn Parser>) -> Result<Session<'static>, BackendError> {
+        backend.begin()?;
+        Ok(Session { backend: BackendRef::Owned(backend) })
+    }
+
+    /// The backend's display name.
+    pub fn name(&self) -> &'static str {
+        self.backend.get_ref().name()
+    }
+
+    /// Feeds one token and reports the rich outcome (viability plus
+    /// sentence-hood of the new prefix; the sentence probe runs on demand —
+    /// use the raw [`Recognizer::feed`] hook to skip it).
+    ///
+    /// # Errors
+    ///
+    /// See [`Recognizer::feed`].
+    pub fn feed(&mut self, kind: &str, text: &str) -> Result<FeedOutcome, BackendError> {
+        if !self.backend.get().feed(kind, text)? {
+            return Ok(FeedOutcome::Dead);
+        }
+        self.outcome()
+    }
+
+    /// Feeds one kind, using the kind as its own text.
+    ///
+    /// # Errors
+    ///
+    /// See [`Recognizer::feed`].
+    pub fn feed_kind(&mut self, kind: &str) -> Result<FeedOutcome, BackendError> {
+        self.feed(kind, kind)
+    }
+
+    /// Feeds a sequence of kinds; returns the outcome after the last one
+    /// (one sentence probe per call, not per token).
+    ///
+    /// # Errors
+    ///
+    /// See [`Recognizer::feed`].
+    pub fn feed_all(&mut self, kinds: &[&str]) -> Result<FeedOutcome, BackendError> {
+        let backend = self.backend.get();
+        for k in kinds {
+            backend.feed(k, k)?;
+        }
+        self.outcome()
+    }
+
+    /// Feeds a lexeme slice (kind + text per token); returns the outcome
+    /// after the last one (one sentence probe per call, not per token).
+    ///
+    /// # Errors
+    ///
+    /// See [`Recognizer::feed`].
+    pub fn feed_lexemes(&mut self, lexemes: &[Lexeme]) -> Result<FeedOutcome, BackendError> {
+        let backend = self.backend.get();
+        for l in lexemes {
+            backend.feed(&l.kind, &l.text)?;
+        }
+        self.outcome()
+    }
+
+    /// Drains a [`TokenSource`] into the session — the fused lex+parse
+    /// path: each token is matched, borrowed, fed, and dropped before the
+    /// next is pulled, with no intermediate vector.
+    ///
+    /// # Errors
+    ///
+    /// Lexing errors are wrapped in a [`BackendError`]; feeding errors as
+    /// in [`Recognizer::feed`].
+    pub fn feed_source(&mut self, src: &mut dyn TokenSource) -> Result<FeedOutcome, BackendError> {
+        let backend = self.backend.get();
+        while let Some(item) = src.next_token() {
+            let t = match item {
+                Ok(t) => t,
+                Err(e) => return Err(BackendError::new(backend.name(), e)),
+            };
+            backend.feed(t.kind, t.text)?;
+        }
+        self.outcome()
+    }
+
+    /// The current outcome (without feeding anything).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] if the backend lost its session (a bug).
+    pub fn outcome(&mut self) -> Result<FeedOutcome, BackendError> {
+        let backend = self.backend.get();
+        if !backend.is_viable() {
+            return Ok(FeedOutcome::Dead);
+        }
+        Ok(FeedOutcome::Viable { prefix_is_sentence: backend.prefix_is_sentence()? })
+    }
+
+    /// Is the prefix fed so far a complete sentence?
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] if the backend lost its session (a bug).
+    pub fn prefix_is_sentence(&mut self) -> Result<bool, BackendError> {
+        let backend = self.backend.get();
+        Ok(backend.is_viable() && backend.prefix_is_sentence()?)
+    }
+
+    /// Can some continuation still be accepted?
+    pub fn is_viable(&self) -> bool {
+        self.backend.get_ref().is_viable()
+    }
+
+    /// Tokens fed so far.
+    pub fn tokens_fed(&self) -> usize {
+        self.backend.get_ref().tokens_fed()
+    }
+
+    /// Saves the current position — for PWD, the derivative `D_{t1…tk}(L)`
+    /// itself.
+    ///
+    /// # Errors
+    ///
+    /// See [`Recognizer::checkpoint`].
+    pub fn checkpoint(&mut self) -> Result<Checkpoint, BackendError> {
+        self.backend.get().checkpoint()
+    }
+
+    /// Rolls back to a checkpoint taken earlier in this session, on the
+    /// current timeline. Checkpoints taken *after* the restored position
+    /// become invalid (and stay invalid even if the positions are re-fed);
+    /// the restored checkpoint itself, and any earlier one, can be
+    /// restored again.
+    ///
+    /// # Errors
+    ///
+    /// See [`Recognizer::rollback`].
+    pub fn rollback(&mut self, cp: &Checkpoint) -> Result<(), BackendError> {
+        self.backend.get().rollback(cp)
+    }
+
+    /// Closes the session: was the full fed input accepted?
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] if the backend lost its session (a bug).
+    pub fn finish(mut self) -> Result<bool, BackendError> {
+        self.backend.get().end()
+    }
+
+    /// Closes the session and, if the backend is owned, hands it back for
+    /// pooling/reuse (`None` for borrowed sessions — the caller still holds
+    /// the backend).
+    pub fn finish_and_release(mut self) -> (Result<bool, BackendError>, Option<Box<dyn Parser>>) {
+        let verdict = self.backend.get().end();
+        match self.backend {
+            BackendRef::Borrowed(_) => (verdict, None),
+            BackendRef::Owned(b) => (verdict, Some(b)),
+        }
+    }
+}
+
+impl fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("backend", &self.name())
+            .field("tokens_fed", &self.tokens_fed())
+            .field("viable", &self.is_viable())
+            .field("owned", &matches!(self.backend, BackendRef::Owned(_)))
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
 // PWD
 // ---------------------------------------------------------------------
 
 /// The PWD engine behind the uniform API: a [`Compiled`] grammar driven
-/// through [`ParseSession`], reusing one arena across runs via epoch reset.
+/// through the core engine's ownable session state, reusing one arena
+/// across runs via epoch reset.
 pub struct PwdBackend {
     compiled: Compiled,
     label: &'static str,
     runs: u64,
+    session: Option<SessionState>,
+    /// Stamps and validates checkpoints (a stale one would resurrect nodes
+    /// from a reset epoch).
+    guard: SessionGuard,
 }
 
 impl PwdBackend {
@@ -209,14 +762,20 @@ impl PwdBackend {
 
     /// Compiles an arbitrary engine configuration under a display label.
     pub fn with_config(cfg: &Cfg, config: ParserConfig, label: &'static str) -> PwdBackend {
-        PwdBackend { compiled: Compiled::compile(cfg, config), label, runs: 0 }
+        PwdBackend {
+            compiled: Compiled::compile(cfg, config),
+            label,
+            runs: 0,
+            session: None,
+            guard: SessionGuard::closed(),
+        }
     }
 
     /// Wraps an already-compiled engine (e.g. a clone of a cached
     /// [`Compiled`] template) without paying compilation again.
     pub fn from_compiled(mut compiled: Compiled, label: &'static str) -> PwdBackend {
         compiled.lang.reset();
-        PwdBackend { compiled, label, runs: 0 }
+        PwdBackend { compiled, label, runs: 0, session: None, guard: SessionGuard::closed() }
     }
 
     /// The underlying compiled engine, for backend-specific inspection.
@@ -224,7 +783,7 @@ impl PwdBackend {
         &self.compiled
     }
 
-    fn tokens(&mut self, kinds: &[&str]) -> Result<Vec<Token>, BackendError> {
+    fn tokens(&mut self, kinds: &[&str]) -> Result<Vec<crate::core::Token>, BackendError> {
         let label = self.label;
         kinds
             .iter()
@@ -250,21 +809,97 @@ impl Recognizer for PwdBackend {
         self.label
     }
 
-    fn recognize(&mut self, kinds: &[&str]) -> Result<bool, BackendError> {
-        let toks = self.tokens(kinds)?;
-        self.recognize_tokens(&toks)
+    fn begin(&mut self) -> Result<(), BackendError> {
+        self.session = None;
+        self.compiled.lang.reset();
+        self.runs += 1;
+        self.guard = SessionGuard::open();
+        let start = self.compiled.start;
+        let state = SessionState::start(&mut self.compiled.lang, start).map_err(|e| self.err(e))?;
+        self.session = Some(state);
+        Ok(())
     }
 
-    fn recognize_lexemes(&mut self, lexemes: &[Lexeme]) -> Result<bool, BackendError> {
-        // Keep lexeme text: PWD memoizes derivatives by token *value*.
-        let toks = self
+    fn feed(&mut self, kind: &str, text: &str) -> Result<bool, BackendError> {
+        // Interning happens here, at the memo boundary: the streaming lexer
+        // hands out borrowed text, and only the engine's interner turns it
+        // into a `TokKey` (value keying) or folds it into a `TermId` path
+        // (class keying).
+        let label = self.label;
+        let tok = self
             .compiled
-            .tokens_from_lexemes(lexemes)
-            .map_err(|e| BackendError::new(self.label, e))?;
-        self.recognize_tokens(&toks)
+            .token(kind, text)
+            .ok_or_else(|| BackendError::new(label, format!("unknown terminal {kind:?}")))?;
+        let Some(state) = self.session.as_mut() else {
+            return Err(BackendError::no_session(label));
+        };
+        // The core session counts the token even on a budget error, so the
+        // guard must too — count first, then feed.
+        self.guard.on_feed();
+        match state.feed(&mut self.compiled.lang, &tok) {
+            Ok(crate::core::FeedOutcome::Dead) => Ok(false),
+            Ok(crate::core::FeedOutcome::Viable { .. }) => Ok(true),
+            Err(e) => Err(BackendError::new(label, e)),
+        }
+    }
+
+    fn tokens_fed(&self) -> usize {
+        self.session.as_ref().map_or(0, SessionState::tokens_fed)
+    }
+
+    fn is_viable(&self) -> bool {
+        self.session.as_ref().is_none_or(SessionState::is_viable)
+    }
+
+    fn prefix_is_sentence(&mut self) -> Result<bool, BackendError> {
+        let Some(state) = self.session.as_ref() else {
+            return Err(BackendError::no_session(self.label));
+        };
+        Ok(state.prefix_is_sentence(&mut self.compiled.lang))
+    }
+
+    fn checkpoint(&mut self) -> Result<Checkpoint, BackendError> {
+        let Some(state) = self.session.as_ref() else {
+            return Err(BackendError::no_session(self.label));
+        };
+        Ok(self.guard.stamp(CheckpointState::Pwd(state.checkpoint())))
+    }
+
+    fn rollback(&mut self, cp: &Checkpoint) -> Result<(), BackendError> {
+        let Some(state) = self.session.as_mut() else {
+            return Err(BackendError::no_session(self.label));
+        };
+        let CheckpointState::Pwd(inner) = &cp.state else {
+            return Err(BackendError::stale_checkpoint(self.label));
+        };
+        self.guard.admit(cp, self.label)?;
+        if self.compiled.lang.budget_exhausted() {
+            // The arena is full; restoring the position would only re-trip
+            // the budget on the next feed. Refuse, so callers learn the
+            // session is unrecoverable instead of retrying forever.
+            return Err(BackendError::new(
+                self.label,
+                "node budget exhausted; the session cannot be resumed (reset the backend)",
+            ));
+        }
+        state.rollback(inner);
+        self.guard.on_rollback(cp.tokens);
+        Ok(())
+    }
+
+    fn end(&mut self) -> Result<bool, BackendError> {
+        let Some(state) = self.session.take() else {
+            return Err(BackendError::no_session(self.label));
+        };
+        self.guard = SessionGuard::closed();
+        let accepted = state.prefix_is_sentence(&mut self.compiled.lang);
+        state.finish(&mut self.compiled.lang);
+        Ok(accepted)
     }
 
     fn reset(&mut self) {
+        self.session = None;
+        self.guard = SessionGuard::closed();
         self.compiled.lang.reset();
     }
 
@@ -282,22 +917,6 @@ impl Recognizer for PwdBackend {
     }
 }
 
-impl PwdBackend {
-    /// The shared run path: epoch-reset, then drive one incremental session
-    /// over the tokens.
-    fn recognize_tokens(&mut self, toks: &[Token]) -> Result<bool, BackendError> {
-        self.compiled.lang.reset();
-        self.runs += 1;
-        let (label, start) = (self.label, self.compiled.start);
-        let mut session = ParseSession::start(&mut self.compiled.lang, start)
-            .map_err(|e| BackendError::new(label, e))?;
-        session.feed_all(toks).map_err(|e| BackendError::new(label, e))?;
-        let accepted = session.prefix_is_sentence();
-        session.finish();
-        Ok(accepted)
-    }
-}
-
 impl Parser for PwdBackend {
     fn fork(&self) -> Box<dyn Parser> {
         Box::new(PwdBackend::from_compiled(self.compiled.clone(), self.label))
@@ -305,6 +924,8 @@ impl Parser for PwdBackend {
 
     fn parse_count(&mut self, kinds: &[&str]) -> Result<ParseCount, BackendError> {
         let toks = self.tokens(kinds)?;
+        self.session = None;
+        self.guard = SessionGuard::closed();
         self.compiled.lang.reset();
         self.runs += 1;
         let start = self.compiled.start;
@@ -321,40 +942,121 @@ impl Parser for PwdBackend {
 // Earley
 // ---------------------------------------------------------------------
 
-/// The Earley baseline behind the uniform API.
+/// The Earley baseline behind the uniform API: the incremental chart is the
+/// session, a checkpoint is a chart-prefix length.
 pub struct EarleyBackend {
     parser: EarleyParser,
     runs: u64,
     last: EarleyStats,
+    chart: Option<EarleyChart>,
+    guard: SessionGuard,
+}
+
+impl EarleyBackend {
+    fn kind_to_token(&self, kind: &str) -> Result<u32, BackendError> {
+        self.parser.cfg().terminal_index(kind).ok_or_else(|| {
+            BackendError::new(
+                "earley",
+                format!("token {} has kind {kind:?} outside the grammar", self.tokens_fed()),
+            )
+        })
+    }
 }
 
 impl Recognizer for EarleyBackend {
     fn prepare(cfg: &Cfg) -> EarleyBackend {
-        EarleyBackend { parser: EarleyParser::new(cfg), runs: 0, last: EarleyStats::default() }
+        EarleyBackend {
+            parser: EarleyParser::new(cfg),
+            runs: 0,
+            last: EarleyStats::default(),
+            chart: None,
+            guard: SessionGuard::closed(),
+        }
     }
 
     fn name(&self) -> &'static str {
         "earley"
     }
 
-    fn recognize(&mut self, kinds: &[&str]) -> Result<bool, BackendError> {
-        let toks =
-            self.parser.kinds_to_tokens(kinds).map_err(|e| BackendError::new("earley", e))?;
+    fn begin(&mut self) -> Result<(), BackendError> {
         self.runs += 1;
-        let (ok, stats) = self.parser.recognize_with_stats(&toks);
-        self.last = stats;
-        Ok(ok)
+        self.guard = SessionGuard::open();
+        self.chart = Some(self.parser.begin());
+        Ok(())
+    }
+
+    fn feed(&mut self, kind: &str, _text: &str) -> Result<bool, BackendError> {
+        let tok = self.kind_to_token(kind)?;
+        let Some(chart) = self.chart.as_mut() else {
+            return Err(BackendError::no_session("earley"));
+        };
+        self.guard.on_feed();
+        Ok(self.parser.feed(chart, tok))
+    }
+
+    fn tokens_fed(&self) -> usize {
+        self.chart.as_ref().map_or(0, EarleyChart::tokens_fed)
+    }
+
+    fn is_viable(&self) -> bool {
+        self.chart.as_ref().is_none_or(|c| !c.is_dead())
+    }
+
+    fn prefix_is_sentence(&mut self) -> Result<bool, BackendError> {
+        let Some(chart) = self.chart.as_ref() else {
+            return Err(BackendError::no_session("earley"));
+        };
+        Ok(self.parser.accepted(chart))
+    }
+
+    fn checkpoint(&mut self) -> Result<Checkpoint, BackendError> {
+        let Some(chart) = self.chart.as_ref() else {
+            return Err(BackendError::no_session("earley"));
+        };
+        Ok(self.guard.stamp(CheckpointState::Earley(chart.checkpoint())))
+    }
+
+    fn rollback(&mut self, cp: &Checkpoint) -> Result<(), BackendError> {
+        let Some(chart) = self.chart.as_mut() else {
+            return Err(BackendError::no_session("earley"));
+        };
+        let CheckpointState::Earley(inner) = &cp.state else {
+            return Err(BackendError::stale_checkpoint("earley"));
+        };
+        self.guard.admit(cp, "earley")?;
+        chart.rollback(inner);
+        self.guard.on_rollback(cp.tokens);
+        Ok(())
+    }
+
+    fn end(&mut self) -> Result<bool, BackendError> {
+        let Some(chart) = self.chart.take() else {
+            return Err(BackendError::no_session("earley"));
+        };
+        self.guard = SessionGuard::closed();
+        self.last = chart.stats();
+        Ok(self.parser.accepted(&chart))
     }
 
     fn reset(&mut self) {
-        // Stateless between runs: the chart is rebuilt per input.
+        // Stateless between runs: the chart is rebuilt per session.
+        self.chart = None;
+        self.guard = SessionGuard::closed();
     }
 
     fn metrics(&self) -> BackendMetrics {
+        let stats;
+        let s = match &self.chart {
+            Some(c) => {
+                stats = c.stats();
+                &stats
+            }
+            None => &self.last,
+        };
         BackendMetrics {
             runs: self.runs,
-            work: self.last.total_items as u64,
-            live_state: self.last.set_sizes.iter().copied().max().unwrap_or(0) as u64,
+            work: s.total_items as u64,
+            live_state: s.set_sizes.iter().copied().max().unwrap_or(0) as u64,
             ..BackendMetrics::default()
         }
     }
@@ -366,11 +1068,9 @@ impl Parser for EarleyBackend {
             parser: self.parser.clone(),
             runs: 0,
             last: EarleyStats::default(),
+            chart: None,
+            guard: SessionGuard::closed(),
         })
-    }
-
-    fn parse_count(&mut self, _kinds: &[&str]) -> Result<ParseCount, BackendError> {
-        Ok(ParseCount::Unsupported)
     }
 }
 
@@ -378,39 +1078,125 @@ impl Parser for EarleyBackend {
 // GLR
 // ---------------------------------------------------------------------
 
-/// The GLR baseline behind the uniform API.
+/// The GLR baseline behind the uniform API: the incremental GSS is the
+/// session, a checkpoint snapshots the stack frontier.
 pub struct GlrBackend {
     parser: GlrParser,
     runs: u64,
     last: GlrStats,
+    session: Option<crate::glr::GlrSession>,
+    guard: SessionGuard,
+}
+
+impl GlrBackend {
+    fn kind_to_token(&self, kind: &str) -> Result<u32, BackendError> {
+        self.parser.terminal_index(kind).ok_or_else(|| {
+            BackendError::new(
+                "glr",
+                format!("token {} has kind {kind:?} outside the grammar", self.tokens_fed()),
+            )
+        })
+    }
 }
 
 impl Recognizer for GlrBackend {
     fn prepare(cfg: &Cfg) -> GlrBackend {
-        GlrBackend { parser: GlrParser::new(cfg), runs: 0, last: GlrStats::default() }
+        GlrBackend {
+            parser: GlrParser::new(cfg),
+            runs: 0,
+            last: GlrStats::default(),
+            session: None,
+            guard: SessionGuard::closed(),
+        }
     }
 
     fn name(&self) -> &'static str {
         "glr"
     }
 
-    fn recognize(&mut self, kinds: &[&str]) -> Result<bool, BackendError> {
-        let toks = self.parser.kinds_to_tokens(kinds).map_err(|e| BackendError::new("glr", e))?;
+    fn begin(&mut self) -> Result<(), BackendError> {
         self.runs += 1;
-        let (ok, stats) = self.parser.recognize_with_stats(&toks);
-        self.last = stats;
-        Ok(ok)
+        self.guard = SessionGuard::open();
+        self.session = Some(self.parser.begin());
+        Ok(())
+    }
+
+    fn feed(&mut self, kind: &str, _text: &str) -> Result<bool, BackendError> {
+        // Viability only — the sentence probe (a full EOF-lookahead reduce
+        // phase on a frontier snapshot) runs in `prefix_is_sentence`, on
+        // demand, so batch feeding never pays for it.
+        let tok = self.kind_to_token(kind)?;
+        let Some(session) = self.session.as_mut() else {
+            return Err(BackendError::no_session("glr"));
+        };
+        self.guard.on_feed();
+        Ok(self.parser.feed(session, tok))
+    }
+
+    fn tokens_fed(&self) -> usize {
+        self.session.as_ref().map_or(0, crate::glr::GlrSession::tokens_fed)
+    }
+
+    fn is_viable(&self) -> bool {
+        self.session.as_ref().is_none_or(|s| !s.is_dead())
+    }
+
+    fn prefix_is_sentence(&mut self) -> Result<bool, BackendError> {
+        let Some(session) = self.session.as_mut() else {
+            return Err(BackendError::no_session("glr"));
+        };
+        Ok(self.parser.accepted(session))
+    }
+
+    fn checkpoint(&mut self) -> Result<Checkpoint, BackendError> {
+        let Some(session) = self.session.as_ref() else {
+            return Err(BackendError::no_session("glr"));
+        };
+        Ok(self.guard.stamp(CheckpointState::Glr(session.checkpoint())))
+    }
+
+    fn rollback(&mut self, cp: &Checkpoint) -> Result<(), BackendError> {
+        let Some(session) = self.session.as_mut() else {
+            return Err(BackendError::no_session("glr"));
+        };
+        let CheckpointState::Glr(inner) = &cp.state else {
+            return Err(BackendError::stale_checkpoint("glr"));
+        };
+        self.guard.admit(cp, "glr")?;
+        session.rollback(inner);
+        self.guard.on_rollback(cp.tokens);
+        Ok(())
+    }
+
+    fn end(&mut self) -> Result<bool, BackendError> {
+        let Some(mut session) = self.session.take() else {
+            return Err(BackendError::no_session("glr"));
+        };
+        self.guard = SessionGuard::closed();
+        let accepted = self.parser.accepted(&mut session);
+        self.last = session.stats();
+        Ok(accepted)
     }
 
     fn reset(&mut self) {
-        // Stateless between runs: the GSS is rebuilt per input.
+        // Stateless between runs: the GSS is rebuilt per session.
+        self.session = None;
+        self.guard = SessionGuard::closed();
     }
 
     fn metrics(&self) -> BackendMetrics {
+        let stats;
+        let s = match &self.session {
+            Some(sess) => {
+                stats = sess.stats();
+                &stats
+            }
+            None => &self.last,
+        };
         BackendMetrics {
             runs: self.runs,
-            work: self.last.gss_nodes as u64,
-            live_state: self.last.gss_edges as u64,
+            work: s.gss_nodes as u64,
+            live_state: s.gss_edges as u64,
             ..BackendMetrics::default()
         }
     }
@@ -418,11 +1204,13 @@ impl Recognizer for GlrBackend {
 
 impl Parser for GlrBackend {
     fn fork(&self) -> Box<dyn Parser> {
-        Box::new(GlrBackend { parser: self.parser.clone(), runs: 0, last: GlrStats::default() })
-    }
-
-    fn parse_count(&mut self, _kinds: &[&str]) -> Result<ParseCount, BackendError> {
-        Ok(ParseCount::Unsupported)
+        Box::new(GlrBackend {
+            parser: self.parser.clone(),
+            runs: 0,
+            last: GlrStats::default(),
+            session: None,
+            guard: SessionGuard::closed(),
+        })
     }
 }
 
@@ -460,8 +1248,9 @@ pub fn backends(cfg: &Cfg) -> Vec<Box<dyn Parser>> {
 }
 
 // The whole point of the `Send + Sync` supertrait: compiled backends (and
-// boxed trait objects of them) can cross threads. Checked at compile time so
-// a regression fails the build.
+// boxed trait objects of them, sessions over them, and saved checkpoints)
+// can cross threads. Checked at compile time so a regression fails the
+// build.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<PwdBackend>();
@@ -469,6 +1258,8 @@ const _: () = {
     assert_send_sync::<GlrBackend>();
     assert_send_sync::<Box<dyn Parser>>();
     assert_send_sync::<Compiled>();
+    assert_send_sync::<Checkpoint>();
+    assert_send_sync::<Session<'static>>();
 };
 
 /// Runs one input through every backend and asserts they agree — the shared
@@ -505,6 +1296,14 @@ mod tests {
         g.terminal("a");
         g.rule("S", &["S", "S"]);
         g.rule("S", &["a"]);
+        g.build().expect("valid grammar")
+    }
+
+    fn matched_pairs() -> Cfg {
+        let mut g = CfgBuilder::new("S");
+        g.terminals(&["a", "b"]);
+        g.rule("S", &["a", "S", "b"]);
+        g.rule("S", &["a", "b"]);
         g.build().expect("valid grammar")
     }
 
@@ -559,5 +1358,202 @@ mod tests {
         let mut bs = backends(&cfg);
         assert!(unanimous(&mut bs, &["a", "a"], "catalan"));
         assert!(!unanimous(&mut bs, &[], "catalan"));
+    }
+
+    #[test]
+    fn every_backend_streams_with_checkpoint_rollback() {
+        let cfg = matched_pairs();
+        for backend in &mut backends(&cfg) {
+            let name = backend.name();
+            let mut s = Session::open(&mut **backend).unwrap();
+            assert_eq!(s.tokens_fed(), 0, "{name}");
+            s.feed_all(&["a", "a"]).unwrap();
+            let cp = s.checkpoint().unwrap();
+            assert_eq!(cp.tokens_fed(), 2, "{name}");
+            // Speculate into a dead end and retract.
+            let out = s.feed_all(&["b", "b", "b"]).unwrap();
+            assert_eq!(out, FeedOutcome::Dead, "{name}: aabbb has no continuation");
+            assert!(!s.is_viable(), "{name}");
+            s.rollback(&cp).unwrap();
+            assert!(s.is_viable(), "{name}");
+            assert_eq!(s.tokens_fed(), 2, "{name}");
+            // Resume down the real input.
+            let out = s.feed_all(&["b", "b"]).unwrap();
+            assert_eq!(out, FeedOutcome::Viable { prefix_is_sentence: true }, "{name}");
+            assert!(s.finish().unwrap(), "{name}: aabb after rollback");
+            // The backend is reusable for batch runs afterwards.
+            assert!(backend.recognize(&["a", "b"]).unwrap(), "{name}");
+        }
+    }
+
+    #[test]
+    fn streaming_prefix_verdicts_match_batch_for_every_backend() {
+        let cfg = matched_pairs();
+        let input = ["a", "a", "a", "b", "b", "b"];
+        for backend in &mut backends(&cfg) {
+            let name = backend.name();
+            // Batch verdicts for every prefix, first.
+            let expect: Vec<bool> =
+                (0..=input.len()).map(|i| backend.recognize(&input[..i]).unwrap()).collect();
+            let mut s = Session::open(&mut **backend).unwrap();
+            assert_eq!(s.prefix_is_sentence().unwrap(), expect[0], "{name} ε");
+            for (i, k) in input.iter().enumerate() {
+                s.feed_kind(k).unwrap();
+                assert_eq!(s.prefix_is_sentence().unwrap(), expect[i + 1], "{name} prefix {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_source_recognition_has_no_intermediate_vector() {
+        // Drive a streaming lexer source straight into each backend.
+        let mut g = CfgBuilder::new("S");
+        g.terminals(&["NUM", "PLUS"]);
+        g.rule("S", &["NUM"]);
+        g.rule("S", &["S", "PLUS", "NUM"]);
+        let cfg = g.build().unwrap();
+        let lexer = crate::lex::LexerBuilder::new()
+            .rule("NUM", "[0-9]+")
+            .unwrap()
+            .rule("PLUS", "\\+")
+            .unwrap()
+            .skip("WS", " +")
+            .unwrap()
+            .build();
+        for backend in &mut backends(&cfg) {
+            let name = backend.name();
+            let mut src = lexer.source("1 + 22 + 333");
+            assert!(backend.recognize_source(&mut src).unwrap(), "{name}");
+            let mut src = lexer.source("1 + + 2");
+            assert!(!backend.recognize_source(&mut src).unwrap(), "{name}");
+            let mut src = lexer.source("1 + §");
+            let err = backend.recognize_source(&mut src).unwrap_err();
+            assert!(err.message.contains("no token matches"), "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn stale_checkpoints_are_rejected() {
+        let cfg = catalan();
+        let mut backend = PwdBackend::improved(&cfg);
+        let cp = {
+            let mut s = Session::open(&mut backend).unwrap();
+            s.feed_kind("a").unwrap();
+            let cp = s.checkpoint().unwrap();
+            s.finish().unwrap();
+            cp
+        };
+        // A new session must not accept the old session's checkpoint: the
+        // epoch reset discarded its derivative.
+        let mut s = Session::open(&mut backend).unwrap();
+        let err = s.rollback(&cp).unwrap_err();
+        assert!(err.message.contains("checkpoint"), "{err}");
+        // Nor may a checkpoint cross backends.
+        let mut earley = EarleyBackend::prepare(&cfg);
+        let mut s2 = Session::open(&mut earley).unwrap();
+        assert!(s2.rollback(&cp).is_err());
+        // Nor restore a position the session has rolled back past.
+        let mut glr = GlrBackend::prepare(&cfg);
+        let mut s3 = Session::open(&mut glr).unwrap();
+        s3.feed_kind("a").unwrap();
+        let early = s3.checkpoint().unwrap();
+        s3.feed_kind("a").unwrap();
+        let late = s3.checkpoint().unwrap();
+        s3.rollback(&early).unwrap();
+        assert!(s3.rollback(&late).is_err(), "forward restore must be rejected");
+    }
+
+    #[test]
+    fn rollback_invalidates_later_checkpoints_even_after_refeed() {
+        // The timeline guard: after rolling back past a checkpoint's
+        // position, re-feeding up to (or beyond) that position must NOT
+        // resurrect it — the chart/GSS rebuilt there describes different
+        // tokens. Checkpoints at or before the rollback target stay
+        // restorable, repeatedly.
+        let cfg = matched_pairs();
+        for backend in &mut backends(&cfg) {
+            let name = backend.name();
+            let mut s = Session::open(&mut **backend).unwrap();
+            s.feed_kind("a").unwrap();
+            let cp1 = s.checkpoint().unwrap();
+            s.feed_kind("a").unwrap();
+            let cp2 = s.checkpoint().unwrap();
+            s.rollback(&cp1).unwrap();
+            s.feed_kind("b").unwrap(); // position 2 exists again, differently
+            assert!(s.rollback(&cp2).is_err(), "{name}: divergent re-feed must invalidate cp2");
+            s.rollback(&cp1).unwrap();
+            s.rollback(&cp1).unwrap(); // same checkpoint, restorable again
+            s.feed_kind("b").unwrap();
+            assert!(s.finish().unwrap(), "{name}: ab after the excursions");
+        }
+    }
+
+    #[test]
+    fn checkpoints_do_not_cross_backend_instances() {
+        // Session ids are process-unique, so two instances opened in
+        // lock-step (same generation count) still reject each other's
+        // checkpoints.
+        let cfg = catalan();
+        let mut a = PwdBackend::improved(&cfg);
+        let mut b = a.fork();
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.feed("a", "a").unwrap();
+        b.feed("a", "a").unwrap();
+        let cp = a.checkpoint().unwrap();
+        assert!(b.rollback(&cp).is_err(), "foreign checkpoint must be rejected");
+        a.rollback(&cp).unwrap();
+        assert!(a.end().unwrap());
+        let _ = b.end().unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_is_not_recoverable_by_rollback() {
+        let cfg = catalan();
+        let config = ParserConfig { max_nodes: Some(60), ..ParserConfig::improved() };
+        let mut backend = PwdBackend::with_config(&cfg, config, "pwd-budget");
+        backend.begin().unwrap();
+        let cp = backend.checkpoint().unwrap();
+        let mut tripped = false;
+        for _ in 0..500 {
+            match backend.feed("a", "a") {
+                Ok(_) => {}
+                Err(e) => {
+                    assert!(e.message.contains("budget"), "{e}");
+                    tripped = true;
+                    break;
+                }
+            }
+        }
+        assert!(tripped, "the node budget must trip on this input");
+        // The arena is full: rolling back cannot resume the session, and
+        // saying so beats letting callers retry forever.
+        let err = backend.rollback(&cp).unwrap_err();
+        assert!(err.message.contains("cannot be resumed"), "{err}");
+        // A reset clears the budget; the backend itself is fine.
+        backend.reset();
+        assert!(backend.recognize(&["a"]).unwrap());
+    }
+
+    #[test]
+    fn owned_sessions_release_their_backend() {
+        let cfg = catalan();
+        let backend = backend_by_name("pwd", &cfg).unwrap();
+        let mut s = Session::owned(backend).unwrap();
+        s.feed_all(&["a", "a"]).unwrap();
+        let (verdict, released) = s.finish_and_release();
+        assert!(verdict.unwrap());
+        let mut backend = released.expect("owned session returns its backend");
+        assert!(backend.recognize(&["a"]).unwrap(), "released backend is reusable");
+    }
+
+    #[test]
+    fn feeding_without_a_session_is_an_error() {
+        let cfg = catalan();
+        for backend in &mut backends(&cfg) {
+            let err = backend.feed("a", "a").unwrap_err();
+            assert!(err.message.contains("no open session"), "{}: {err}", backend.name());
+            assert!(backend.end().is_err(), "{}", backend.name());
+        }
     }
 }

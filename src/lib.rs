@@ -16,7 +16,10 @@
 //!
 //! On top of the re-exports, [`api`] defines the backend-agnostic
 //! [`Parser`]/[`Recognizer`] trait layer that drives all three parser
-//! families through one lifecycle (`prepare` → `recognize` → `reset`).
+//! families through one **streaming** lifecycle: text flows through a
+//! zero-copy [`api::TokenSource`] into an incremental [`api::Session`]
+//! (`open → feed → checkpoint/rollback → finish`), and the batch
+//! `recognize*` calls are thin shims over the same path.
 //!
 //! # Quick start
 //!
@@ -38,7 +41,10 @@
 
 pub mod api;
 
-pub use api::{BackendError, BackendMetrics, ParseCount, Parser, Recognizer};
+pub use api::{
+    BackendError, BackendMetrics, Checkpoint, FeedOutcome, ParseCount, Parser, Recognizer, Session,
+    TokenSource,
+};
 pub use pwd_core as core;
 pub use pwd_earley as earley;
 pub use pwd_glr as glr;

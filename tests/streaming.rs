@@ -1,0 +1,214 @@
+//! Streaming/batch agreement: chunked feeding with random chunk boundaries
+//! and random checkpoint/rollback interleavings is observationally
+//! identical to batch parsing — same verdict for all three backends (and
+//! both `MemoKeying` modes of PWD), and for PWD the same parse count and
+//! the same enumerated tree set.
+//!
+//! This is the correctness contract of the streaming pipeline: chunk
+//! boundaries are invisible (the derivative after `k` tokens does not know
+//! how the tokens arrived), and a rollback to a checkpoint erases the
+//! speculative suffix completely (the saved derivative *is* the state).
+
+use derp::api::{backend_by_name, Parser, Session};
+use derp::core::{EnumLimits, MemoKeying, ParseMode, ParserConfig, SessionState};
+use derp::grammar::{random_cfg, random_input, remove_useless, Cfg, Compiled, RandomCfgConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Feeds `kinds` to an open session in random chunks, injecting random
+/// speculative excursions — checkpoint, feed junk, rollback — between
+/// chunks. Each token is fed with a *unique* lexeme text so the class-keyed
+/// memo paths are exercised adversarially.
+fn stream_with_speculation(
+    session: &mut Session<'_>,
+    kinds: &[&str],
+    alphabet: &[String],
+    rng: &mut StdRng,
+) {
+    let mut i = 0;
+    let mut uniq = 0usize;
+    let feed_one = |session: &mut Session<'_>, kind: &str, uniq: &mut usize| {
+        *uniq += 1;
+        session.feed(kind, &format!("{kind}_{uniq}")).expect("valid kind feeds");
+    };
+    loop {
+        // Random speculative excursion (possibly dead, possibly fine).
+        if rng.random_bool(0.4) && !alphabet.is_empty() {
+            let cp = session.checkpoint().expect("checkpoint");
+            for _ in 0..rng.random_range(1..=3usize) {
+                let junk = &alphabet[rng.random_range(0..alphabet.len())];
+                feed_one(session, junk, &mut uniq);
+            }
+            session.rollback(&cp).expect("rollback to a live checkpoint");
+            assert_eq!(session.tokens_fed(), i, "rollback restores the position");
+        }
+        if i == kinds.len() {
+            break;
+        }
+        // Random chunk of real input.
+        let chunk = rng.random_range(1..=(kinds.len() - i).min(4));
+        for k in &kinds[i..i + chunk] {
+            feed_one(session, k, &mut uniq);
+        }
+        i += chunk;
+    }
+}
+
+fn shapes() -> RandomCfgConfig {
+    RandomCfgConfig::default()
+}
+
+/// All backends, plus PWD under both memo keyings: random chunking with
+/// random checkpoint/rollback interleavings produces the batch verdict.
+#[test]
+fn chunked_streaming_with_rollbacks_matches_batch_verdicts() {
+    let shape = shapes();
+    let mut checked = 0usize;
+    let mut accepted = 0usize;
+    for seed in 0..25 {
+        let Ok(cfg) = remove_useless(&random_cfg(&shape, seed)) else { continue };
+        let alphabet: Vec<String> =
+            (0..cfg.terminal_count()).map(|t| cfg.terminal_name(t as u32).to_string()).collect();
+        let mut arms: Vec<Box<dyn Parser>> = ["pwd-improved", "pwd-original", "earley", "glr"]
+            .iter()
+            .filter_map(|n| backend_by_name(n, &cfg))
+            .collect();
+        arms.push(Box::new(derp::api::PwdBackend::with_config(
+            &cfg,
+            ParserConfig { keying: MemoKeying::ByValue, ..ParserConfig::improved() },
+            "pwd-value-keyed",
+        )));
+        for input_seed in 0..10 {
+            let input = random_input(&cfg, 8, seed * 1000 + input_seed);
+            let kinds: Vec<&str> = input.iter().map(String::as_str).collect();
+            for backend in &mut arms {
+                let name = backend.name();
+                let batch = backend.recognize(&kinds).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed * 7919 + input_seed * 13 + checked as u64);
+                let mut session = Session::open(&mut **backend).unwrap();
+                stream_with_speculation(&mut session, &kinds, &alphabet, &mut rng);
+                assert_eq!(session.tokens_fed(), kinds.len(), "{name} fed everything");
+                let streamed = session.finish().unwrap();
+                assert_eq!(
+                    streamed, batch,
+                    "{name}: streaming disagrees with batch on {kinds:?} (seed {seed})\n{cfg}"
+                );
+                if streamed {
+                    accepted += 1;
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 500, "coverage sanity: {checked} cases");
+    assert!(accepted > 20, "acceptance sanity: {accepted} accepted of {checked}");
+}
+
+/// PWD, both keyings, parse mode: the chunked-with-rollbacks session yields
+/// byte-identical parse counts and tree sets to the batch path.
+#[test]
+fn chunked_streaming_with_rollbacks_matches_batch_counts_and_trees() {
+    let shape = RandomCfgConfig {
+        nonterminals: 3,
+        terminals: 2,
+        extra_productions: 4,
+        max_rhs: 3,
+        terminal_bias: 0.6,
+        epsilon_chance: 0.25,
+    };
+    let limits = EnumLimits { max_trees: 16, max_depth: 64 };
+    let mut compared = 0usize;
+    for seed in 500..525 {
+        let Ok(cfg) = remove_useless(&random_cfg(&shape, seed)) else { continue };
+        for keying in [MemoKeying::ByValue, MemoKeying::ByClass] {
+            for mode in [ParseMode::Recognize, ParseMode::Parse] {
+                let config = ParserConfig { keying, mode, ..ParserConfig::improved() };
+                let mut arm = Compiled::compile(&cfg, config);
+                for input_seed in 0..6 {
+                    let input = random_input(&cfg, 6, seed * 31 + input_seed);
+                    let kinds: Vec<&str> = input.iter().map(String::as_str).collect();
+                    compared += 1;
+                    compare_streamed_forest(
+                        &mut arm,
+                        &cfg,
+                        &kinds,
+                        mode,
+                        limits,
+                        seed * 7717 + input_seed,
+                    );
+                }
+            }
+        }
+    }
+    assert!(compared > 100, "coverage sanity: {compared}");
+}
+
+/// One comparison: batch verdict/count/trees vs a chunked session with
+/// checkpoint/rollback excursions on the same engine.
+fn compare_streamed_forest(
+    arm: &mut Compiled,
+    cfg: &Cfg,
+    kinds: &[&str],
+    mode: ParseMode,
+    limits: EnumLimits,
+    rng_seed: u64,
+) {
+    let start = arm.start;
+    // --- batch ---
+    arm.lang.reset();
+    let toks: Vec<derp::core::Token> =
+        kinds.iter().map(|k| arm.token(k, k).expect("grammar terminal")).collect();
+    let batch_ok = arm.lang.recognize(start, &toks).unwrap();
+    let (batch_count, batch_trees) = if batch_ok && mode == ParseMode::Parse {
+        arm.lang.reset();
+        let count = arm.lang.count_parses(start, &toks).unwrap();
+        arm.lang.reset();
+        let mut trees: Vec<String> = arm
+            .lang
+            .parse_trees(start, &toks, limits)
+            .unwrap()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        trees.sort();
+        (count, trees)
+    } else {
+        (None, Vec::new())
+    };
+
+    // --- streamed, chunked, with speculative excursions ---
+    arm.lang.reset();
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut state = SessionState::start(&mut arm.lang, start).unwrap();
+    let mut i = 0;
+    loop {
+        if rng.random_bool(0.4) && !toks.is_empty() {
+            let cp = state.checkpoint();
+            for _ in 0..rng.random_range(1..=2usize) {
+                let junk = &toks[rng.random_range(0..toks.len())];
+                let _ = state.feed(&mut arm.lang, junk).unwrap();
+            }
+            state.rollback(&cp);
+        }
+        if i == toks.len() {
+            break;
+        }
+        let chunk = rng.random_range(1..=(toks.len() - i).min(3));
+        for t in &toks[i..i + chunk] {
+            let _ = state.feed(&mut arm.lang, t).unwrap();
+        }
+        i += chunk;
+    }
+    let streamed_ok = state.prefix_is_sentence(&mut arm.lang);
+    assert_eq!(streamed_ok, batch_ok, "verdict: {kinds:?}\n{cfg}");
+    if streamed_ok && mode == ParseMode::Parse {
+        let forest = state.forest(&mut arm.lang).unwrap();
+        let streamed_count = arm.lang.count_of(forest);
+        let mut streamed_trees: Vec<String> =
+            arm.lang.trees_of(forest, limits).iter().map(|t| t.to_string()).collect();
+        streamed_trees.sort();
+        assert_eq!(streamed_count, batch_count, "parse count: {kinds:?}\n{cfg}");
+        assert_eq!(streamed_trees, batch_trees, "tree set: {kinds:?}\n{cfg}");
+    }
+    state.finish(&mut arm.lang);
+}
