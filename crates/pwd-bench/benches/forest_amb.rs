@@ -1,0 +1,120 @@
+//! Bench for the shared-forest tentpole: on a highly ambiguous grammar
+//! (`S → S S | a`, Catalan-many readings), exact ambiguity counting over
+//! the packed forest must beat bounded enumeration — the operation the old
+//! differential harness (and any client asking "how ambiguous is this?")
+//! had to pay — by an order of magnitude, while being *complete* where
+//! enumeration at 64 trees is silently truncated.
+//!
+//! Three timings per input size, all over the unified `Parser` API:
+//!
+//! * `construct_ns` — building the canonical shared forest;
+//! * `count_ns`    — exact tree counting on the built forest (memoized DAG
+//!   traversal, no enumeration);
+//! * `enum64_ns`   — bounded enumeration of 64 trees on the same forest.
+//!
+//! Emits one JSON line per size for the bench trajectory (also written to
+//! `BENCH_forest_amb.json` at the workspace root):
+//!
+//! ```text
+//! {"bench":"forest_amb","tokens":18,"count":"477638700","construct_ns":..,
+//!  "count_ns":..,"enum64_ns":..,"count_speedup":..}
+//! ```
+//!
+//! Run: `cargo bench -p pwd-bench --bench forest_amb`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use derp::api::{EnumLimits, ParseCount, ParseForest, Parser, PwdBackend};
+use pwd_grammar::grammars;
+use std::time::Instant;
+
+/// Best-of-rounds nanoseconds for one closure.
+fn best_ns(rounds: u32, mut f: impl FnMut()) -> u128 {
+    (0..rounds)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .min()
+        .expect("rounds > 0")
+}
+
+fn forest_for(backend: &mut PwdBackend, n: usize) -> ParseForest {
+    backend.parse_forest(&vec!["a"; n]).expect("catalan accepts a^n")
+}
+
+fn bench_forest_amb(c: &mut Criterion) {
+    let cfg = grammars::ambiguous::catalan();
+    let sizes = [12usize, 18];
+
+    let mut group = c.benchmark_group("forest_amb");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    for &n in &sizes {
+        let mut backend = PwdBackend::improved(&cfg);
+        let forest = forest_for(&mut backend, n);
+        group.bench_with_input(BenchmarkId::new("exact_count", n), &n, |b, _| {
+            b.iter(|| assert!(!forest.count().is_zero()))
+        });
+        group.bench_with_input(BenchmarkId::new("enum_64", n), &n, |b, _| {
+            b.iter(|| assert_eq!(forest.trees(EnumLimits::default()).len(), 64))
+        });
+    }
+    group.finish();
+
+    // JSON trajectory lines, measured outside criterion so the numbers are
+    // directly comparable round over round.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut lines = Vec::new();
+    for &n in &sizes {
+        let rounds = if smoke { 5 } else { 20 };
+        let mut backend = PwdBackend::improved(&cfg);
+        let construct_ns = best_ns(rounds, || {
+            let _ = forest_for(&mut backend, n);
+        });
+        let forest = forest_for(&mut backend, n);
+        let count = forest.count();
+        let count_ns = best_ns(rounds, || assert!(!forest.count().is_zero()));
+        let enum64_ns =
+            best_ns(rounds, || assert_eq!(forest.trees(EnumLimits::default()).len(), 64));
+        let speedup = enum64_ns as f64 / count_ns as f64;
+        let line = format!(
+            "{{\"bench\":\"forest_amb\",\"tokens\":{n},\"count\":\"{count}\",\
+             \"construct_ns\":{construct_ns},\"count_ns\":{count_ns},\
+             \"enum64_ns\":{enum64_ns},\"count_speedup\":{speedup:.3}}}"
+        );
+        println!("{line}");
+        lines.push(line);
+
+        if n == *sizes.last().expect("sizes nonempty") {
+            // The tentpole's point: the count is exact and *complete* on an
+            // input whose tree set enumeration silently truncates…
+            match count {
+                ParseCount::Finite(total) => assert!(
+                    total > EnumLimits::default().max_trees as u128,
+                    "gate input must exceed the enumeration cap (got {total})"
+                ),
+                other => panic!("catalan count must be finite, got {other:?}"),
+            }
+            // …and an order of magnitude faster than even the truncated
+            // enumeration (relaxed under --smoke for noisy CI runners; the
+            // JSON line above is still the recorded trajectory).
+            let gate = if smoke { 4.0 } else { 10.0 };
+            assert!(
+                speedup >= gate,
+                "exact counting must be ≥{gate}× bounded enumeration at 64 trees \
+                 ({n} tokens: {count_ns} vs {enum64_ns} ns)"
+            );
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_forest_amb.json");
+    if let Err(e) = std::fs::write(path, lines.join("\n") + "\n") {
+        eprintln!("note: could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_forest_amb);
+criterion_main!(benches);

@@ -91,7 +91,7 @@ fn main() {
         let start = pwd.start;
         let forest = pwd.lang.parse_forest(start, &toks).expect("accepted");
         let count = pwd.lang.count_of(forest);
-        csv_row(n, "ambiguity/parses", count.map(|c| c.to_string()).unwrap_or("inf".into()));
+        csv_row(n, "ambiguity/parses", count.to_string());
         csv_row(n, "ambiguity/forest_nodes", pwd.lang.forest_count());
     }
 }

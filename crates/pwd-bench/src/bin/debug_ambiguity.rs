@@ -38,8 +38,7 @@ fn main() {
         let toks = pwd.tokens_from_lexemes(&lexemes).unwrap();
         let start = pwd.start;
         match pwd.lang.count_parses(start, &toks) {
-            Ok(Some(n)) => println!("{n:>6}  {src:?}"),
-            Ok(None) => println!("   inf  {src:?}"),
+            Ok(n) => println!("{:>6}  {src:?}", n.to_string()),
             Err(e) => println!("  ERR({e})  {src:?}"),
         }
     }

@@ -2,12 +2,51 @@
 //! corpus — wall time, derive-call, and template counters for every
 //! `(mode × memo strategy × keying)` cell.
 //!
-//! Run: `cargo run --release -p pwd-bench --bin probe_keying [target_tokens]`
+//! With `--forest-dot [FILE]` it additionally renders the shared parse
+//! forest of a small, deliberately ambiguous expression as Graphviz DOT
+//! (ambiguity nodes draw as double circles), for visually pinpointing
+//! where an input's ambiguity lives: pipe through `dot -Tsvg` to look.
+//!
+//! Run: `cargo run --release -p pwd-bench --bin probe_keying [target_tokens]
+//!       [--forest-dot [FILE]]`
 
 use pwd_core::{MemoKeying, MemoStrategy, ParseMode, ParserConfig};
 use pwd_grammar::{gen, grammars, Compiled};
 
+/// Renders the canonical shared forest of `n+n*n+n` under the ambiguous
+/// expression grammar (E → E+E | E*E | n): 5 readings, one packed graph.
+fn forest_dot() -> String {
+    let mut c = Compiled::compile(&grammars::ambiguous::expr(), ParserConfig::improved());
+    let toks: Vec<_> = ["n", "+", "n", "*", "n", "+", "n"]
+        .iter()
+        .map(|k| c.token(k, k).expect("grammar terminal"))
+        .collect();
+    let start = c.start;
+    let root = c.lang.parse_forest(start, &toks).expect("ambiguous sentence parses");
+    let canon = c.lang.canonical_forest(root).expect("compiled grammars canonicalize");
+    eprintln!(
+        "forest of n+n*n+n: {} readings, {} packed nodes, depth {}, fingerprint {:016x}",
+        canon.count(),
+        canon.node_count(),
+        canon.depth(),
+        canon.fingerprint()
+    );
+    canon.to_dot()
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--forest-dot") {
+        let dot = forest_dot();
+        match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => {
+                std::fs::write(path, &dot).expect("write DOT file");
+                eprintln!("wrote {path}");
+            }
+            _ => print!("{dot}"),
+        }
+        return;
+    }
     let target: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
     let lx = grammars::pl0::lexer();
     let src = gen::pl0_source(target, 0xD1CE, 0.1);

@@ -23,8 +23,7 @@
 
 use crate::config::CompactionMode;
 use crate::expr::{ExprKind, Language, NodeId};
-use crate::forest::ForestNode;
-use crate::reduce::Reduce;
+use pwd_forest::{ForestNode, Reduce};
 use std::collections::HashMap;
 
 /// Fuel bound on the reassociation rule's recursion, which protects against
@@ -179,7 +178,7 @@ impl Language {
         enum AltRule {
             ReuseA,
             ReuseB,
-            MergeEps(crate::forest::ForestId, crate::forest::ForestId),
+            MergeEps(pwd_forest::ForestId, pwd_forest::ForestId),
             Keep,
         }
         let rule = match (&self.node(a).kind, &self.node(b).kind) {
@@ -420,8 +419,8 @@ impl Language {
 mod tests {
     use super::*;
     use crate::config::ParserConfig;
-    use crate::forest::EnumLimits;
     use crate::Tree;
+    use pwd_forest::EnumLimits;
 
     fn improved() -> Language {
         Language::new(ParserConfig::improved())

@@ -12,8 +12,8 @@
 use crate::config::{CompactionMode, MemoKeying, ParseMode};
 use crate::error::PwdError;
 use crate::expr::{ExprKind, Language, NodeId};
-use crate::forest::{EnumLimits, ForestId, ForestNode, Tree};
 use crate::token::{DeriveKey, Token};
+use pwd_forest::{CanonError, EnumLimits, ForestId, ForestNode, ParseForest, Tree, TreeCount};
 
 impl Language {
     // ------------------------------------------------------------------
@@ -103,18 +103,17 @@ impl Language {
         }
     }
 
-    /// Parses `tokens` and counts the parse trees (`None` = infinitely many).
+    /// Parses `tokens` and counts the parse trees — exactly, without
+    /// enumerating: [`TreeCount::Finite`] up to `u128`, an explicit
+    /// [`TreeCount::Overflow`] beyond, [`TreeCount::Infinite`] for
+    /// productive forest cycles.
     ///
     /// # Errors
     ///
     /// Same as [`parse_forest`](Language::parse_forest).
-    pub fn count_parses(
-        &mut self,
-        start: NodeId,
-        tokens: &[Token],
-    ) -> Result<Option<u128>, PwdError> {
+    pub fn count_parses(&mut self, start: NodeId, tokens: &[Token]) -> Result<TreeCount, PwdError> {
         let f = self.parse_forest(start, tokens)?;
-        Ok(self.forests.count_trees(f))
+        Ok(self.forests.count(f))
     }
 
     /// Enumerates trees out of a previously returned forest.
@@ -122,9 +121,29 @@ impl Language {
         self.forests.trees(forest, limits)
     }
 
-    /// Counts trees in a previously returned forest (`None` = infinite).
-    pub fn count_of(&self, forest: ForestId) -> Option<u128> {
-        self.forests.count_trees(forest)
+    /// Counts trees in a previously returned forest.
+    pub fn count_of(&self, forest: ForestId) -> TreeCount {
+        self.forests.count(forest)
+    }
+
+    /// The shared forest arena this language parses into. Forest ids
+    /// returned by [`parse_forest`](Language::parse_forest) index into it.
+    pub fn forest_store(&self) -> &pwd_forest::Forest {
+        &self.forests
+    }
+
+    /// Normalizes a previously returned forest into an owned, canonical
+    /// [`ParseForest`] — the cross-backend comparable form (see
+    /// [`pwd_forest::Forest::extract_canonical`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CanonError::Opaque`] for forests mapping an opaque
+    /// [`Reduce`](crate::Reduce) function over a highly ambiguous
+    /// subforest; grammars compiled from a CFG use structured labels and
+    /// always canonicalize.
+    pub fn canonical_forest(&self, forest: ForestId) -> Result<ParseForest, CanonError> {
+        self.forests.extract_canonical(forest)
     }
 
     /// Does a previously returned forest contain at least one finite tree?
@@ -420,14 +439,18 @@ impl Language {
     fn derived_eps(&mut self, parent: NodeId, tok: &Token) -> NodeId {
         match self.config.mode {
             ParseMode::Parse => {
-                let f = self.forests.alloc(ForestNode::Leaf(tok.clone()));
+                let leaf = pwd_forest::Leaf {
+                    kind: self.interner.term_name_arc(tok.term()),
+                    text: tok.lexeme.clone(),
+                };
+                let f = self.forests.alloc(ForestNode::Leaf(leaf));
                 let ph = self.placeholder(parent, tok, false);
                 self.patch(ph, crate::compact::Built::New(ExprKind::Eps(f)), ExprKind::Eps(f));
                 ph
             }
             ParseMode::Recognize => {
                 if self.config.naming {
-                    let f = ForestId(1); // canonical ε-tree forest
+                    let f = self.forest_eps_tree; // canonical ε-tree forest
                     let ph = self.placeholder(parent, tok, false);
                     self.patch(ph, crate::compact::Built::New(ExprKind::Eps(f)), ExprKind::Eps(f));
                     ph
@@ -452,7 +475,7 @@ impl Language {
             return f;
         }
         if !self.nullable(id) {
-            let f = ForestId(0); // canonical Nothing
+            let f = self.forest_nothing; // canonical no-parses forest
             self.null_parse_set(id, f);
             return f;
         }
@@ -462,7 +485,7 @@ impl Language {
                 s
             }
             ExprKind::Alt(a, b) => {
-                let ph = self.forests.alloc(ForestNode::Pending);
+                let ph = self.forests.reserve();
                 self.null_parse_set(id, ph);
                 let pa = self.parse_null(a);
                 let pb = self.parse_null(b);
@@ -470,7 +493,7 @@ impl Language {
                 ph
             }
             ExprKind::Cat(a, b) => {
-                let ph = self.forests.alloc(ForestNode::Pending);
+                let ph = self.forests.reserve();
                 self.null_parse_set(id, ph);
                 let pa = self.parse_null(a);
                 let pb = self.parse_null(b);
@@ -478,14 +501,14 @@ impl Language {
                 ph
             }
             ExprKind::Red(x, f) => {
-                let ph = self.forests.alloc(ForestNode::Pending);
+                let ph = self.forests.reserve();
                 self.null_parse_set(id, ph);
                 let px = self.parse_null(x);
                 self.forests.set(ph, ForestNode::Map(f, px));
                 ph
             }
             ExprKind::Delta(x) => {
-                let ph = self.forests.alloc(ForestNode::Pending);
+                let ph = self.forests.reserve();
                 self.null_parse_set(id, ph);
                 let px = self.parse_null(x);
                 self.forests.set(ph, ForestNode::Amb(vec![px]));

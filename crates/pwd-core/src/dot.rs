@@ -6,7 +6,7 @@
 //! compaction reshapes derivatives.
 
 use crate::expr::{ExprKind, Language, NodeId};
-use crate::forest::{ForestId, ForestNode};
+use pwd_forest::ForestId;
 use std::fmt::Write as _;
 
 impl Language {
@@ -40,7 +40,7 @@ impl Language {
             let node = self.node(id);
             let (shape, text) = match &node.kind {
                 ExprKind::Empty => ("plaintext", "∅".to_string()),
-                ExprKind::Eps(f) => ("plaintext", format!("ε[f{}]", f.0)),
+                ExprKind::Eps(f) => ("plaintext", format!("ε[f{}]", f.index())),
                 ExprKind::Term(t) => ("box", format!("tok {}", self.terminal_name(*t))),
                 ExprKind::Alt(..) => ("circle", "∪".to_string()),
                 ExprKind::Cat(..) => ("circle", "◦".to_string()),
@@ -82,40 +82,10 @@ impl Language {
     }
 
     /// Renders a parse forest in DOT format (ambiguity nodes as double
-    /// circles).
+    /// circles) — a thin delegate to the shared [`pwd_forest::Forest::to_dot`]
+    /// export, so every backend's forests draw identically.
     pub fn forest_to_dot(&self, root: ForestId) -> String {
-        let mut out = String::from("digraph forest {\n  rankdir=TB;\n");
-        let mut seen = vec![false; self.forest_count()];
-        let mut stack = vec![root];
-        while let Some(id) = stack.pop() {
-            if seen[id.0 as usize] {
-                continue;
-            }
-            seen[id.0 as usize] = true;
-            let (label, shape, children): (String, &str, Vec<ForestId>) = match self.forests.get(id)
-            {
-                ForestNode::Nothing => ("·".into(), "plaintext", vec![]),
-                ForestNode::Pending => ("…".into(), "plaintext", vec![]),
-                ForestNode::EpsTree => ("ε".into(), "plaintext", vec![]),
-                ForestNode::Leaf(t) => (format!("{:?}", t.lexeme()), "box", vec![]),
-                ForestNode::Const(t) => (format!("{t}"), "box", vec![]),
-                ForestNode::Pair(a, b) => ("•".into(), "circle", vec![*a, *b]),
-                ForestNode::Amb(alts) => ("amb".into(), "doublecircle", alts.clone()),
-                ForestNode::Map(f, x) => (format!("↪ {f:?}"), "diamond", vec![*x]),
-            };
-            let _ = writeln!(
-                out,
-                "  f{} [shape={shape} label=\"{}\"];",
-                id.0,
-                label.replace('"', "\\\"")
-            );
-            for c in children {
-                let _ = writeln!(out, "  f{} -> f{};", id.0, c.0);
-                stack.push(c);
-            }
-        }
-        out.push_str("}\n");
-        out
+        self.forests.to_dot(root)
     }
 }
 

@@ -11,11 +11,10 @@
 
 use crate::config::ParserConfig;
 use crate::error::PwdError;
-use crate::forest::{ForestId, ForestNode, ForestStore, Tree};
 use crate::metrics::Metrics;
 use crate::names::NameStore;
-use crate::reduce::Reduce;
 use crate::token::{DeriveKey, Interner, TermId, Token};
+use pwd_forest::{Forest, ForestId, ForestNode, Reduce, Tree};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -205,7 +204,7 @@ impl Node {
 #[derive(Debug, Clone)]
 pub struct Language {
     pub(crate) nodes: Vec<Node>,
-    pub(crate) forests: ForestStore,
+    pub(crate) forests: Forest,
     pub(crate) interner: Interner,
     pub(crate) config: ParserConfig,
     pub(crate) metrics: Metrics,
@@ -244,19 +243,20 @@ pub struct Language {
     pub(crate) initial_forests: Option<usize>,
     /// Canonical `Term` nodes, one per terminal.
     term_nodes: HashMap<TermId, NodeId>,
+    /// Canonical forest nodes: the no-parses forest and the `ε`-tree forest.
+    pub(crate) forest_nothing: ForestId,
+    pub(crate) forest_eps_tree: ForestId,
 }
 
 impl Language {
     /// Creates a language with the given engine configuration.
     pub fn new(config: ParserConfig) -> Language {
-        let mut forests = ForestStore::default();
-        let nothing = forests.alloc(ForestNode::Nothing);
-        let eps_tree = forests.alloc(ForestNode::EpsTree);
-        debug_assert_eq!(nothing, ForestId(0));
-        debug_assert_eq!(eps_tree, ForestId(1));
+        let mut forests = Forest::new();
+        let forest_nothing = forests.alloc(ForestNode::Empty);
+        let forest_eps_tree = forests.alloc(ForestNode::Eps);
         let mut nodes = Vec::with_capacity(64);
         nodes.push(Node::new(ExprKind::Empty)); // NodeId(0): canonical ∅
-        nodes.push(Node::new(ExprKind::Eps(eps_tree))); // NodeId(1): canonical ε
+        nodes.push(Node::new(ExprKind::Eps(forest_eps_tree))); // NodeId(1): canonical ε
         Language {
             nodes,
             forests,
@@ -275,6 +275,8 @@ impl Language {
             initial_nodes: None,
             initial_forests: None,
             term_nodes: HashMap::new(),
+            forest_nothing,
+            forest_eps_tree,
         }
     }
 
@@ -765,7 +767,7 @@ impl Language {
         let n = self.node(r);
         let head = match &n.kind {
             ExprKind::Empty => "∅".to_string(),
-            ExprKind::Eps(f) => format!("ε[{}]", f.0),
+            ExprKind::Eps(f) => format!("ε[{}]", f.index()),
             ExprKind::Term(t) => format!("tok {}", self.interner.term_name(*t)),
             ExprKind::Alt(a, b) => format!("∪({}, {})", a.0, b.0),
             ExprKind::Cat(a, b) => format!("◦({}, {})", a.0, b.0),

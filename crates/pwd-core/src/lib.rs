@@ -29,7 +29,7 @@
 //! The paper's running example, the left-recursive `L = (L ◦ L) ∪ c`:
 //!
 //! ```
-//! use pwd_core::{EnumLimits, Language};
+//! use pwd_core::{EnumLimits, Language, TreeCount};
 //!
 //! # fn main() -> Result<(), pwd_core::PwdError> {
 //! let mut lang = Language::default();
@@ -46,7 +46,7 @@
 //!
 //! // Highly ambiguous: 5 binary trees over 4 leaves (Catalan number C₃).
 //! lang.reset();
-//! assert_eq!(lang.count_parses(l, &input)?, Some(5));
+//! assert_eq!(lang.count_parses(l, &input)?, TreeCount::Finite(5));
 //! # Ok(())
 //! # }
 //! ```
@@ -60,23 +60,24 @@ mod derive;
 mod dot;
 mod error;
 mod expr;
-mod forest;
 mod memo;
 mod metrics;
 mod names;
 mod nullable;
 mod prune;
-mod reduce;
 mod session;
 mod token;
 
 pub use config::{CompactionMode, MemoKeying, MemoStrategy, NullStrategy, ParseMode, ParserConfig};
 pub use error::PwdError;
 pub use expr::{Language, NodeId};
-pub use forest::{EnumLimits, ForestId, Tree};
 pub use metrics::Metrics;
 pub use names::Name;
-pub use reduce::Reduce;
+pub use pwd_forest::Reduce;
+pub use pwd_forest::{
+    CanonError, EnumLimits, Forest, ForestId, ForestNode, ForestSummary, Leaf, ParseForest, Tree,
+    TreeCount,
+};
 pub use session::{FeedOutcome, ParseSession, SessionCheckpoint, SessionState};
 pub use token::{TermId, TokKey, Token};
 

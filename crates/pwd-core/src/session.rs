@@ -29,8 +29,8 @@
 use crate::config::CompactionMode;
 use crate::error::PwdError;
 use crate::expr::{Language, NodeId};
-use crate::forest::ForestId;
 use crate::token::Token;
+use pwd_forest::ForestId;
 
 /// The observable state of a session after feeding a token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -345,8 +345,8 @@ impl<'a> ParseSession<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::forest::EnumLimits;
     use crate::ParserConfig;
+    use pwd_forest::EnumLimits;
 
     fn ab_language() -> (Language, NodeId, Token, Token) {
         // S = a b | a S b  (matched pairs a^n b^n)

@@ -137,6 +137,12 @@ impl Interner {
         &self.term_names[id.0 as usize]
     }
 
+    /// The interned (shared) name of a terminal — the allocation-free way
+    /// to stamp forest leaves with their kind.
+    pub(crate) fn term_name_arc(&self, id: TermId) -> Arc<str> {
+        self.term_names[id.0 as usize].clone()
+    }
+
     pub(crate) fn term_count(&self) -> usize {
         self.term_names.len()
     }

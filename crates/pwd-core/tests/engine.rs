@@ -2,7 +2,7 @@
 
 use pwd_core::{
     CompactionMode, Language, MemoKeying, MemoStrategy, NodeId, NullStrategy, ParseMode,
-    ParserConfig, PwdError, Reduce, TermId, Token, Tree,
+    ParserConfig, PwdError, Reduce, TermId, Token, Tree, TreeCount,
 };
 
 /// Every meaningful engine configuration: 3 nullability × 3 compaction ×
@@ -146,7 +146,7 @@ fn catalan_parse_counts_all_configs() {
         for n in 1..=5usize {
             let toks = b.toks(&"a".repeat(n));
             let count = b.lang.count_parses(s, &toks).unwrap();
-            assert_eq!(count, Some(catalan[n - 1]), "{cfg:?} n={n}");
+            assert_eq!(count, TreeCount::Finite(catalan[n - 1]), "{cfg:?} n={n}");
             b.lang.reset();
         }
     }
@@ -164,7 +164,7 @@ fn worst_case_grammar_all_configs() {
         let body = b.lang.alt(ll, c);
         b.lang.define(l, body);
         let toks = b.toks("cccc");
-        assert_eq!(b.lang.count_parses(l, &toks).unwrap(), Some(5), "{cfg:?}");
+        assert_eq!(b.lang.count_parses(l, &toks).unwrap(), TreeCount::Finite(5), "{cfg:?}");
     }
 }
 
@@ -183,7 +183,7 @@ fn infinite_null_parses() {
         assert!(b.lang.recognize(s, &empty).unwrap(), "{cfg:?}");
         b.lang.reset();
         let count = b.lang.count_parses(s, &empty).unwrap();
-        assert_eq!(count, None, "{cfg:?}: infinitely many parses of ε");
+        assert_eq!(count, TreeCount::Infinite, "{cfg:?}: infinitely many parses of ε");
     }
 }
 
@@ -232,13 +232,14 @@ fn compaction_preserves_parse_trees() {
     };
     let inputs = ["b", "ab", "aab", "a", ""];
     for input in inputs {
-        let mut results: Vec<(bool, Option<u128>)> = Vec::new();
+        let mut results: Vec<(bool, TreeCount)> = Vec::new();
         for cfg in all_configs() {
             let (mut b, s) = build(cfg);
             let toks = b.toks(input);
             let ok = b.lang.recognize(s, &toks).unwrap();
             b.lang.reset();
-            let count = if ok { b.lang.count_parses(s, &toks).unwrap() } else { Some(0) };
+            let count =
+                if ok { b.lang.count_parses(s, &toks).unwrap() } else { TreeCount::Finite(0) };
             results.push((ok, count));
         }
         assert!(
@@ -439,7 +440,7 @@ fn single_token_parse_tree_is_leaf() {
     let a = b.t('a');
     let toks = b.toks("a");
     let tree = b.lang.parse_unique(a, &toks).unwrap().expect("unambiguous");
-    assert_eq!(tree, Tree::Leaf(toks[0].clone()));
+    assert_eq!(tree, Tree::leaf("a", "a"));
 }
 
 // ---------------------------------------------------------------------

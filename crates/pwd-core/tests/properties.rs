@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use pwd_core::{
     CompactionMode, Language, MemoKeying, MemoStrategy, NodeId, NullStrategy, ParserConfig, TermId,
-    Token,
+    Token, TreeCount,
 };
 
 /// A regular expression over a two-letter alphabet, used both as a PWD
@@ -162,7 +162,7 @@ proptest! {
             let toks = tokens(&mut lang, ta, tb, &s);
             let ok = lang.recognize(root, &toks).unwrap();
             lang.reset();
-            let count = if ok { lang.count_parses(root, &toks).unwrap() } else { Some(0) };
+            let count = if ok { lang.count_parses(root, &toks).unwrap() } else { TreeCount::Finite(0) };
             answers.push((ok, count));
         }
         prop_assert_eq!(answers[0].clone(), answers[1].clone());
@@ -187,7 +187,7 @@ proptest! {
                 .collect();
             let ok = lang.recognize(root, &toks).unwrap();
             lang.reset();
-            let count = if ok { lang.count_parses(root, &toks).unwrap() } else { Some(0) };
+            let count = if ok { lang.count_parses(root, &toks).unwrap() } else { TreeCount::Finite(0) };
             if keying == MemoKeying::ByValue {
                 prop_assert_eq!(ok, rx.matches(&s), "oracle: rx={:?} s={:?}", rx, s);
             }

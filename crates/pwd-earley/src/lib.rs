@@ -29,7 +29,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pwd_grammar::{analysis, Cfg, Symbol};
+use pwd_forest::{EnumLimits, ParseForest, Tree};
+use pwd_grammar::{analysis, build_sppf, Cfg, ProductionSpans, Symbol};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -330,164 +331,76 @@ impl EarleyChart {
     }
 }
 
-/// A derivation tree extracted from the Earley chart.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DerivTree {
-    /// A terminal leaf: `(terminal index, input position)`.
-    Leaf(u32, usize),
-    /// A nonterminal node: production index and children.
-    Node {
-        /// Index into [`Cfg::productions`].
-        prod: usize,
-        /// One child per right-hand-side symbol.
-        children: Vec<DerivTree>,
-    },
-}
-
-impl DerivTree {
-    /// Renders the tree with grammar names, s-expression style.
-    pub fn render(&self, cfg: &Cfg) -> String {
-        match self {
-            DerivTree::Leaf(t, _) => cfg.terminal_name(*t).to_string(),
-            DerivTree::Node { prod, children } => {
-                let p = &cfg.productions()[*prod];
-                let mut s = format!("({}", cfg.nonterminal_name(p.lhs));
-                for c in children {
-                    s.push(' ');
-                    s.push_str(&c.render(cfg));
-                }
-                s.push(')');
-                s
-            }
-        }
-    }
-
-    /// Number of terminal leaves.
-    pub fn leaves(&self) -> usize {
-        match self {
-            DerivTree::Leaf(..) => 1,
-            DerivTree::Node { children, .. } => children.iter().map(DerivTree::leaves).sum(),
-        }
-    }
-}
+// ---------------------------------------------------------------------
+// Shared parse forests (SPPF) from the chart
+// ---------------------------------------------------------------------
 
 impl EarleyParser {
-    /// Extracts **one** derivation tree for an accepted input by walking the
-    /// completed chart right to left (any derivation if ambiguous).
-    ///
-    /// Returns `None` if the input is not in the language.
-    pub fn parse_tree(&self, tokens: &[u32]) -> Option<DerivTree> {
-        let n = tokens.len();
-        // Re-run the recognizer, keeping the chart.
-        let chart = self.chart(tokens);
-        // A completed item (prod, origin, end) derives tokens[origin..end].
-        // Find the start production completing the whole input.
-        for &pi in self.cfg.productions_of(self.cfg.start()) {
-            if self.completed(&chart, pi, 0, n) {
-                return self.build(tokens, &chart, pi, 0, n, 0);
+    /// The derivation facts the completed chart proves: every completed
+    /// item `(p, origin) ∈ set[to]` is exactly the statement "production
+    /// `p` derives `tokens[origin..to)`" — the input of the shared SPPF
+    /// builder.
+    pub fn production_spans(&self, chart: &EarleyChart) -> ProductionSpans {
+        let mut spans = ProductionSpans::new();
+        for (to, set) in chart.seen.iter().enumerate() {
+            for item in set {
+                let p = &self.cfg.productions()[item.prod as usize];
+                if item.dot as usize == p.rhs.len() {
+                    spans.insert(item.prod as usize, item.origin as usize, to);
+                }
             }
         }
-        None
+        spans
     }
 
-    /// Full chart: for each end position, the set of items. One drive of
-    /// the incremental recognizer, keeping the membership sets.
-    fn chart(&self, tokens: &[u32]) -> Vec<HashSet<Item>> {
+    /// Builds the full shared parse forest of a fed chart: *all*
+    /// derivations, packed per `(nonterminal, span)` with ambiguity nodes —
+    /// cubic-sized where the tree set is exponential (or infinite). The
+    /// lexeme text of token `i` is `texts[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `texts.len() != tokens.len()`.
+    pub fn forest_from_chart(
+        &self,
+        chart: &EarleyChart,
+        tokens: &[u32],
+        texts: &[&str],
+    ) -> ParseForest {
+        let spans = self.production_spans(chart);
+        build_sppf(&self.cfg, tokens, texts, &spans)
+    }
+
+    /// Parses `tokens` and returns the shared forest of **all** its
+    /// derivations (the canonical empty forest for a rejected input).
+    /// Lexeme texts default to the terminal kind names.
+    pub fn parse_forest(&self, tokens: &[u32]) -> ParseForest {
         let mut chart = self.begin();
         for &t in tokens {
             self.feed(&mut chart, t);
         }
-        chart.seen
+        let texts: Vec<&str> = tokens.iter().map(|&t| self.cfg.terminal_name(t)).collect();
+        self.forest_from_chart(&chart, tokens, &texts)
     }
 
-    /// Is production `pi` completed over `[from, to)`?
-    fn completed(&self, chart: &[HashSet<Item>], pi: usize, from: usize, to: usize) -> bool {
-        let p = &self.cfg.productions()[pi];
-        chart[to].contains(&Item { prod: pi as u32, dot: p.rhs.len() as u32, origin: from as u32 })
-    }
-
-    /// Can nonterminal `nt` derive `tokens[from..to)` (some production
-    /// completed over that span)?
-    fn derives(&self, chart: &[HashSet<Item>], nt: u32, from: usize, to: usize) -> Option<usize> {
-        self.cfg.productions_of(nt).iter().copied().find(|&pi| self.completed(chart, pi, from, to))
-    }
-
-    /// Builds a derivation for production `pi` spanning `[from, to)` by
-    /// splitting the span right-to-left over the RHS symbols. `depth` guards
-    /// against pathological cyclic unit chains.
-    fn build(
-        &self,
-        tokens: &[u32],
-        chart: &[HashSet<Item>],
-        pi: usize,
-        from: usize,
-        to: usize,
-        depth: usize,
-    ) -> Option<DerivTree> {
-        if depth > 2 * (tokens.len() + self.cfg.nonterminal_count() + 2) {
-            return None;
-        }
-        let p = &self.cfg.productions()[pi];
-        let mut children = vec![None; p.rhs.len()];
-        if self.split(tokens, chart, &p.rhs.to_vec(), from, to, &mut children, 0, depth)? {
-            let children = children.into_iter().map(|c| c.expect("filled")).collect();
-            Some(DerivTree::Node { prod: pi, children })
-        } else {
-            None
-        }
-    }
-
-    /// Recursively assigns spans to `rhs[k..]` over `[from, to)`.
-    #[allow(clippy::too_many_arguments)]
-    fn split(
-        &self,
-        tokens: &[u32],
-        chart: &[HashSet<Item>],
-        rhs: &[Symbol],
-        from: usize,
-        to: usize,
-        out: &mut [Option<DerivTree>],
-        k: usize,
-        depth: usize,
-    ) -> Option<bool> {
-        if k == rhs.len() {
-            return Some(from == to);
-        }
-        match rhs[k] {
-            Symbol::T(t) => {
-                if from < to && tokens[from] == t {
-                    let leaf = DerivTree::Leaf(t, from);
-                    out[k] = Some(leaf);
-                    if self.split(tokens, chart, rhs, from + 1, to, out, k + 1, depth)? {
-                        return Some(true);
-                    }
-                    out[k] = None;
-                }
-                Some(false)
-            }
-            Symbol::N(nt) => {
-                for mid in from..=to {
-                    if let Some(pi) = self.derives(chart, nt, from, mid) {
-                        // Avoid infinite recursion on zero-width unit cycles:
-                        // only recurse with a depth budget.
-                        if let Some(sub) = self.build(tokens, chart, pi, from, mid, depth + 1) {
-                            out[k] = Some(sub);
-                            if self.split(tokens, chart, rhs, mid, to, out, k + 1, depth)? {
-                                return Some(true);
-                            }
-                            out[k] = None;
-                        }
-                    }
-                }
-                Some(false)
-            }
-        }
+    /// Extracts **one** derivation tree for an accepted input (any
+    /// derivation if ambiguous) — a shim over [`parse_forest`]
+    /// (EarleyParser::parse_forest) now that the chart builds full
+    /// forests. Returns `None` if the input is not in the language.
+    pub fn parse_tree(&self, tokens: &[u32]) -> Option<Tree> {
+        let forest = self.parse_forest(tokens);
+        // Deep enough for any minimal derivation (each derivation step
+        // spends a handful of forest levels; unit chains are bounded by
+        // the nonterminal count), yet bounded so cyclic forests terminate.
+        let depth = 4 * (tokens.len() + 2) * (self.cfg.nonterminal_count() + 3) + 256;
+        forest.trees(EnumLimits { max_trees: 1, max_depth: depth }).pop()
     }
 }
 
 #[cfg(test)]
 mod tree_tests {
     use super::*;
+    use pwd_forest::TreeCount;
 
     #[test]
     fn extracts_arithmetic_tree() {
@@ -496,9 +409,8 @@ mod tree_tests {
         let toks = p.kinds_to_tokens(&["NUM", "+", "NUM", "*", "NUM"]).unwrap();
         let tree = p.parse_tree(&toks).expect("accepted");
         assert_eq!(tree.leaves(), 5);
-        let rendered = tree.render(&cfg);
         // Precedence: the multiplication nests under the right T.
-        assert_eq!(rendered, "(E (E (T (F NUM))) + (T (T (F NUM)) * (F NUM)))");
+        assert_eq!(tree.to_string(), "(E (E (T (F NUM))) + (T (T (F NUM)) * (F NUM)))");
     }
 
     #[test]
@@ -512,7 +424,7 @@ mod tree_tests {
         let p = EarleyParser::new(&cfg);
         let toks = p.kinds_to_tokens(&["b"]).unwrap();
         let tree = p.parse_tree(&toks).expect("accepted");
-        assert_eq!(tree.render(&cfg), "(S (A) b)");
+        assert_eq!(tree.to_string(), "(S (A) b)");
     }
 
     #[test]
@@ -525,7 +437,7 @@ mod tree_tests {
         let p = EarleyParser::new(&cfg);
         let toks = p.kinds_to_tokens(&["c", "c", "c"]).unwrap();
         let tree = p.parse_tree(&toks).expect("accepted");
-        assert_eq!(tree.render(&cfg), "(L (L (L c) c) c)");
+        assert_eq!(tree.to_string(), "(L (L (L c) c) c)");
     }
 
     #[test]
@@ -534,14 +446,20 @@ mod tree_tests {
         let p = EarleyParser::new(&cfg);
         let toks = p.kinds_to_tokens(&["NUM", "+"]).unwrap();
         assert!(p.parse_tree(&toks).is_none());
+        assert!(!p.parse_forest(&toks).has_tree());
     }
 
     #[test]
-    fn ambiguous_grammar_yields_some_tree() {
+    fn ambiguous_grammar_builds_exact_forest() {
         let cfg = pwd_grammar::grammars::ambiguous::catalan();
         let p = EarleyParser::new(&cfg);
-        let toks = p.kinds_to_tokens(&["a", "a", "a"]).unwrap();
-        let tree = p.parse_tree(&toks).expect("accepted");
+        let catalan: [u128; 8] = [1, 1, 2, 5, 14, 42, 132, 429];
+        for n in 1..=8usize {
+            let toks = vec![0u32; n];
+            let forest = p.parse_forest(&toks);
+            assert_eq!(forest.count(), TreeCount::Finite(catalan[n - 1]), "n={n}");
+        }
+        let tree = p.parse_tree(&[0u32; 3]).expect("accepted");
         assert_eq!(tree.leaves(), 3);
     }
 
@@ -553,7 +471,7 @@ mod tree_tests {
         let toks: Vec<u32> = lexemes.iter().map(|l| cfg.terminal_index(&l.kind).unwrap()).collect();
         let tree = p.parse_tree(&toks).expect("accepted");
         assert_eq!(tree.leaves(), toks.len());
-        assert!(tree.render(&cfg).starts_with("(file_input"));
+        assert!(tree.to_string().starts_with("(file_input"));
     }
 }
 

@@ -1,0 +1,627 @@
+//! Canonicalization: one normal form for forests from every backend.
+//!
+//! Different parser families build structurally different forests for the
+//! same (grammar, input): the PWD engine's forests carry compaction-inserted
+//! reductions (`pair-left`, `reassoc`, `map-first`, production labels) over
+//! binary pair spines, while chart- and stack-based parsers build packed
+//! `(symbol, span)` nodes directly. This module normalizes both shapes into
+//! one **canonical packed form** — production-labeled nodes over hash-consed
+//! right-nested spines, with ambiguity nodes flattened, deduplicated, and
+//! hash-ordered — by *symbolically evaluating* the structured reductions at
+//! the forest level (no tree is ever enumerated, so the normalization stays
+//! polynomial in the packed graph even when the tree count is astronomical).
+//!
+//! Two canonical forests denote the same tree set iff they are structurally
+//! equal, so [`ParseForest::fingerprint`] equality replaces exponential
+//! tree-set comparison in the differential-testing harness. (For *cyclic* —
+//! infinitely ambiguous — forests the fingerprint is deterministic but only
+//! knot-placement-faithful; the harness compares counts there instead.)
+
+use crate::count::TreeCount;
+use crate::forest::{EnumLimits, Forest, ForestId, ForestNode};
+use crate::knot::{Knot, KnotTable};
+use crate::reduce::{Reduce, ReduceKind};
+use crate::tree::Tree;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Bound on enumerating through an opaque [`Reduce::func`] during
+/// canonicalization. Compiled grammars use structured labels and never hit
+/// this path.
+const FUNC_LIMIT: u128 = 512;
+
+/// Canonicalization failure: the forest maps an opaque user function over a
+/// subforest too ambiguous to enumerate through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanonError {
+    /// The named [`Reduce::func`] could not be evaluated symbolically.
+    Opaque(String),
+}
+
+impl fmt::Display for CanonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanonError::Opaque(name) => write!(
+                f,
+                "cannot canonicalize: opaque reduction {name:?} over an \
+                 unboundedly ambiguous subforest"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CanonError {}
+
+/// A self-contained parse result: an owned (canonical) forest plus its
+/// root. This is what [`Parser::parse_forest`] returns on every backend —
+/// count it, fingerprint it, enumerate top-k trees, or export DOT, without
+/// holding a borrow of the engine.
+///
+/// [`Parser::parse_forest`]: https://docs.rs/derp (the unified backend API)
+#[derive(Debug, Clone)]
+pub struct ParseForest {
+    forest: Forest,
+    root: ForestId,
+}
+
+/// The compact wire summary of a forest: what a parse service returns when
+/// the client wants ambiguity information but not the graph itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ForestSummary {
+    /// Exact tree count (`Finite`/`Overflow`/`Infinite`).
+    pub count: TreeCount,
+    /// Longest acyclic path in the forest graph.
+    pub depth: usize,
+    /// Nodes reachable from the root (the packed size, not the tree count).
+    pub node_count: usize,
+    /// Canonical structural fingerprint (equal forests ⇒ equal fingerprints).
+    pub fingerprint: u64,
+}
+
+impl ParseForest {
+    /// Wraps a forest and its root.
+    pub fn new(forest: Forest, root: ForestId) -> ParseForest {
+        ParseForest { forest, root }
+    }
+
+    /// The canonical empty result: a rejected input's "forest of no trees".
+    pub fn rejected() -> ParseForest {
+        let mut forest = Forest::hash_consed();
+        let root = forest.empty();
+        ParseForest { forest, root }
+    }
+
+    /// The underlying arena.
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// The root node.
+    pub fn root(&self) -> ForestId {
+        self.root
+    }
+
+    /// Does the forest contain at least one tree (i.e. was the input
+    /// accepted)?
+    pub fn has_tree(&self) -> bool {
+        self.forest.has_tree(self.root)
+    }
+
+    /// Exact tree count — see [`Forest::count`].
+    pub fn count(&self) -> TreeCount {
+        self.forest.count(self.root)
+    }
+
+    /// Bounded enumeration — see [`Forest::trees`].
+    pub fn trees(&self, limits: EnumLimits) -> Vec<Tree> {
+        self.forest.trees(self.root, limits)
+    }
+
+    /// The canonical structural fingerprint of the root.
+    pub fn fingerprint(&self) -> u64 {
+        self.forest.node_hash(self.root)
+    }
+
+    /// Nodes reachable from the root.
+    pub fn node_count(&self) -> usize {
+        self.forest.reachable_count(self.root)
+    }
+
+    /// Longest acyclic path from the root.
+    pub fn depth(&self) -> usize {
+        self.forest.depth(self.root)
+    }
+
+    /// The wire summary: count, depth, node count, fingerprint.
+    pub fn summary(&self) -> ForestSummary {
+        ForestSummary {
+            count: self.count(),
+            depth: self.depth(),
+            node_count: self.node_count(),
+            fingerprint: self.fingerprint(),
+        }
+    }
+
+    /// Graphviz DOT export of the forest graph — see [`Forest::to_dot`].
+    pub fn to_dot(&self) -> String {
+        self.forest.to_dot(self.root)
+    }
+
+    /// Exact structural equality with another parse forest, without
+    /// enumerating any tree. On cyclic forests this is a bisimulation-style
+    /// comparison (cycles are assumed equal when re-encountered).
+    pub fn structural_eq(&self, other: &ParseForest) -> bool {
+        let mut assumed: HashSet<(u32, u32)> = HashSet::new();
+        eq_nodes(&self.forest, self.root, &other.forest, other.root, &mut assumed)
+    }
+}
+
+fn eq_nodes(
+    fa: &Forest,
+    a: ForestId,
+    fb: &Forest,
+    b: ForestId,
+    assumed: &mut HashSet<(u32, u32)>,
+) -> bool {
+    if !assumed.insert((a.0, b.0)) {
+        return true; // already being compared (cycle) or already matched
+    }
+    match (fa.get(a), fb.get(b)) {
+        (ForestNode::Empty, ForestNode::Empty)
+        | (ForestNode::Eps, ForestNode::Eps)
+        | (ForestNode::Cycle, ForestNode::Cycle) => true,
+        (ForestNode::Leaf(x), ForestNode::Leaf(y)) => x == y,
+        (ForestNode::Const(x), ForestNode::Const(y)) => x == y,
+        (ForestNode::Pair(a1, a2), ForestNode::Pair(b1, b2)) => {
+            eq_nodes(fa, *a1, fb, *b1, assumed) && eq_nodes(fa, *a2, fb, *b2, assumed)
+        }
+        (ForestNode::Amb(xs), ForestNode::Amb(ys)) => {
+            xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|(x, y)| eq_nodes(fa, *x, fb, *y, assumed))
+        }
+        (ForestNode::Map(rx, x), ForestNode::Map(ry, y)) => {
+            eq_reduce(fa, rx, fb, ry, assumed) && eq_nodes(fa, *x, fb, *y, assumed)
+        }
+        _ => false,
+    }
+}
+
+fn eq_reduce(
+    fa: &Forest,
+    x: &Reduce,
+    fb: &Forest,
+    y: &Reduce,
+    assumed: &mut HashSet<(u32, u32)>,
+) -> bool {
+    match (&*x.0, &*y.0) {
+        (ReduceKind::Reassoc, ReduceKind::Reassoc) => true,
+        (ReduceKind::Label(n1, a1), ReduceKind::Label(n2, a2)) => n1 == n2 && a1 == a2,
+        (ReduceKind::Compose(g1, h1), ReduceKind::Compose(g2, h2)) => {
+            eq_reduce(fa, g1, fb, g2, assumed) && eq_reduce(fa, h1, fb, h2, assumed)
+        }
+        (ReduceKind::PairLeft(s1), ReduceKind::PairLeft(s2))
+        | (ReduceKind::PairRight(s1), ReduceKind::PairRight(s2)) => {
+            eq_nodes(fa, *s1, fb, *s2, assumed)
+        }
+        (ReduceKind::MapFirst(g1), ReduceKind::MapFirst(g2))
+        | (ReduceKind::MapSecond(g1), ReduceKind::MapSecond(g2)) => {
+            eq_reduce(fa, g1, fb, g2, assumed)
+        }
+        // Opaque functions have no structural identity across arenas.
+        (ReduceKind::Func(_, f1), ReduceKind::Func(_, f2)) => std::sync::Arc::ptr_eq(f1, f2),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The canonicalizer
+// ---------------------------------------------------------------------
+
+struct Canon<'a> {
+    src: &'a Forest,
+    /// `has_tree` over the source forest: unproductive subforests prune to
+    /// the canonical empty node.
+    has: Vec<bool>,
+    out: Forest,
+    memo: KnotTable<u32>,
+    spine_memo: HashMap<(u32, usize), Vec<Vec<ForestId>>>,
+}
+
+impl Forest {
+    /// Normalizes the forest rooted at `root` into an owned canonical
+    /// [`ParseForest`]: structured reductions evaluated symbolically,
+    /// production labels over exact spines, ambiguity flattened/deduped/
+    /// hash-ordered, everything hash-consed.
+    ///
+    /// # Errors
+    ///
+    /// [`CanonError::Opaque`] if the forest maps an opaque
+    /// [`Reduce::func`] over a subforest with more than a few hundred trees
+    /// (compiled grammars use structured labels and cannot hit this).
+    pub fn extract_canonical(&self, root: ForestId) -> Result<ParseForest, CanonError> {
+        let mut canon = Canon {
+            src: self,
+            has: self.has_vector(root),
+            out: Forest::hash_consed(),
+            memo: KnotTable::new(),
+            spine_memo: HashMap::new(),
+        };
+        let out_root = canon.norm(root)?;
+        Ok(ParseForest::new(canon.out, out_root))
+    }
+
+    /// The `has_tree` bit for every node, computed once for the
+    /// canonicalizer's productivity pruning.
+    fn has_vector(&self, root: ForestId) -> Vec<bool> {
+        // `analyze` is private to count.rs; recompute via the public
+        // fixpoint per reachable node would be quadratic, so expose the
+        // vector through a crate-internal hook.
+        self.has_tree_vector(root)
+    }
+}
+
+impl<'a> Canon<'a> {
+    fn norm(&mut self, f: ForestId) -> Result<ForestId, CanonError> {
+        match self.memo.enter(f.0, &mut self.out) {
+            Knot::Done(id) => return Ok(id),
+            // A cycle: the placeholder is patched when the region is done.
+            Knot::Cycle(ph) => return Ok(ph),
+            Knot::Fresh => {}
+        }
+        if !self.has[f.index()] {
+            let e = self.out.empty();
+            return Ok(self.memo.finish(f.0, &mut self.out, e));
+        }
+        let result = match self.src.get(f).clone() {
+            ForestNode::Empty | ForestNode::Cycle => Ok(self.out.empty()),
+            ForestNode::Eps => Ok(self.out.eps()),
+            ForestNode::Leaf(l) => Ok(self.out.leaf(&l.kind, &l.text)),
+            ForestNode::Const(t) => Ok(self.embed(&t)),
+            ForestNode::Pair(a, b) => {
+                let na = self.norm(a)?;
+                let nb = self.norm(b)?;
+                Ok(self.out.pair(na, nb))
+            }
+            ForestNode::Amb(alts) => {
+                let normed: Result<Vec<ForestId>, CanonError> =
+                    alts.iter().map(|a| self.norm(*a)).collect();
+                Ok(self.out.amb(normed?))
+            }
+            ForestNode::Map(red, x) => {
+                let nx = self.norm(x)?;
+                self.sym_apply(&red, nx)
+            }
+        };
+        let r = match result {
+            Ok(r) => r,
+            Err(e) => {
+                self.memo.abort(&f.0);
+                return Err(e);
+            }
+        };
+        // Tie any knot opened while this node was in progress.
+        Ok(self.memo.finish(f.0, &mut self.out, r))
+    }
+
+    /// Embeds a concrete tree as canonical nodes (labels become label
+    /// nodes over exact spines, so a constant tree and a structurally
+    /// built forest of the same tree cons to the same node).
+    fn embed(&mut self, t: &Tree) -> ForestId {
+        match t {
+            Tree::Empty => self.out.eps(),
+            Tree::Leaf(l) => self.out.leaf(&l.kind, &l.text),
+            Tree::Pair(a, b) => {
+                let na = self.embed(a);
+                let nb = self.embed(b);
+                self.out.pair(na, nb)
+            }
+            Tree::Node(label, kids) => {
+                let ids: Vec<ForestId> = kids.iter().map(|k| self.embed(k)).collect();
+                let spine = self.out.right_spine(&ids);
+                self.out.label(label, kids.len(), spine)
+            }
+        }
+    }
+
+    /// The shallow alternative list of a canonical node.
+    fn alts_of(&self, f: ForestId) -> Vec<ForestId> {
+        match self.out.get(f) {
+            ForestNode::Amb(alts) => alts.clone(),
+            _ => vec![f],
+        }
+    }
+
+    /// Applies a reduction *symbolically* to a canonical forest.
+    fn sym_apply(&mut self, red: &Reduce, cf: ForestId) -> Result<ForestId, CanonError> {
+        match &*red.0 {
+            ReduceKind::Compose(g, h) => {
+                let mid = self.sym_apply(h, cf)?;
+                self.sym_apply(g, mid)
+            }
+            ReduceKind::PairLeft(s) => {
+                let ns = self.norm(*s)?;
+                Ok(self.out.pair(ns, cf))
+            }
+            ReduceKind::PairRight(s) => {
+                let ns = self.norm(*s)?;
+                Ok(self.out.pair(cf, ns))
+            }
+            ReduceKind::Reassoc => {
+                let mut res = Vec::new();
+                for alt in self.alts_of(cf) {
+                    match self.out.get(alt).clone() {
+                        ForestNode::Pair(a, r) => {
+                            for inner in self.alts_of(r) {
+                                match self.out.get(inner).clone() {
+                                    ForestNode::Pair(b, c) => {
+                                        let ab = self.out.pair(a, b);
+                                        res.push(self.out.pair(ab, c));
+                                    }
+                                    _ => res.push(self.out.pair(a, inner)),
+                                }
+                            }
+                        }
+                        _ => res.push(alt),
+                    }
+                }
+                Ok(self.out.amb(res))
+            }
+            ReduceKind::MapFirst(g) => {
+                let mut res = Vec::new();
+                for alt in self.alts_of(cf) {
+                    match self.out.get(alt).clone() {
+                        ForestNode::Pair(a, b) => {
+                            let ga = self.sym_apply(g, a)?;
+                            res.push(self.out.pair(ga, b));
+                        }
+                        _ => res.push(alt),
+                    }
+                }
+                Ok(self.out.amb(res))
+            }
+            ReduceKind::MapSecond(g) => {
+                let mut res = Vec::new();
+                for alt in self.alts_of(cf) {
+                    match self.out.get(alt).clone() {
+                        ForestNode::Pair(a, b) => {
+                            let gb = self.sym_apply(g, b)?;
+                            res.push(self.out.pair(a, gb));
+                        }
+                        _ => res.push(alt),
+                    }
+                }
+                Ok(self.out.amb(res))
+            }
+            ReduceKind::Label(name, arity) => {
+                if *arity == 0 {
+                    let e = self.out.eps();
+                    return Ok(self.out.label(name, 0, e));
+                }
+                let lists = self.spine(cf, *arity);
+                let mut alts = Vec::with_capacity(lists.len());
+                for ls in lists {
+                    let sp = self.out.right_spine(&ls);
+                    alts.push(self.out.label(name, *arity, sp));
+                }
+                Ok(self.out.amb(alts))
+            }
+            ReduceKind::Func(name, f) => {
+                // Last resort: enumerate through the opaque function. Only
+                // sound when the subforest is small, finite, and *finished*
+                // — an in-progress knot under `cf` would count as empty
+                // here and silently truncate the cyclic alternatives.
+                if self.out.contains_cycle_node(cf) {
+                    return Err(CanonError::Opaque(name.to_string()));
+                }
+                match self.out.count(cf) {
+                    TreeCount::Finite(n) if n <= FUNC_LIMIT => {
+                        let limits = EnumLimits {
+                            max_trees: FUNC_LIMIT as usize + 1,
+                            max_depth: usize::MAX,
+                        };
+                        let trees = self.out.trees(cf, limits);
+                        let alts: Vec<ForestId> = trees
+                            .into_iter()
+                            .map(|t| {
+                                let mapped = f(t);
+                                self.embed(&mapped)
+                            })
+                            .collect();
+                        Ok(self.out.amb(alts))
+                    }
+                    _ => Err(CanonError::Opaque(name.to_string())),
+                }
+            }
+        }
+    }
+
+    /// Decomposes a canonical forest into `arity` spine components,
+    /// distributing ambiguity: one component list per distinct top-level
+    /// shape. Memoized per `(node, arity)`.
+    fn spine(&mut self, f: ForestId, arity: usize) -> Vec<Vec<ForestId>> {
+        if arity <= 1 {
+            return vec![vec![f]];
+        }
+        if let Some(cached) = self.spine_memo.get(&(f.0, arity)) {
+            return cached.clone();
+        }
+        let mut lists = Vec::new();
+        let mut saw_in_progress = false;
+        for alt in self.alts_of(f) {
+            match self.out.get(alt).clone() {
+                ForestNode::Pair(a, r) => {
+                    for rest in self.spine(r, arity - 1) {
+                        let mut ls = Vec::with_capacity(rest.len() + 1);
+                        ls.push(a);
+                        ls.extend(rest);
+                        lists.push(ls);
+                    }
+                }
+                // An in-progress knot: treat as an opaque component, but do
+                // not memoize a decomposition of a node still being built.
+                ForestNode::Cycle => {
+                    saw_in_progress = true;
+                    lists.push(vec![alt]);
+                }
+                // Early stop: the spine bottomed out (mirrors flatten).
+                _ => lists.push(vec![alt]),
+            }
+        }
+        if !saw_in_progress {
+            self.spine_memo.insert((f.0, arity), lists.clone());
+        }
+        lists
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_evaluates_labels_over_spines() {
+        // Map(Label(S,2), Amb{Pair(a,b), Pair(a,c)}) — the PWD shape —
+        // normalizes to Amb{(S a b), (S a c)} in packed form.
+        let mut fs = Forest::new();
+        let a = fs.alloc(ForestNode::Leaf(crate::Leaf::new("a", "a")));
+        let b = fs.alloc(ForestNode::Leaf(crate::Leaf::new("b", "b")));
+        let c = fs.alloc(ForestNode::Leaf(crate::Leaf::new("c", "c")));
+        let ab = fs.alloc(ForestNode::Pair(a, b));
+        let ac = fs.alloc(ForestNode::Pair(a, c));
+        let amb = fs.alloc(ForestNode::Amb(vec![ab, ac]));
+        let m = fs.alloc(ForestNode::Map(Reduce::label("S", 2), amb));
+        let canon = fs.extract_canonical(m).unwrap();
+        assert_eq!(canon.count(), TreeCount::Finite(2));
+        let mut strs: Vec<String> =
+            canon.trees(EnumLimits::default()).iter().map(|t| t.to_string()).collect();
+        strs.sort();
+        assert_eq!(strs, ["(S a b)", "(S a c)"]);
+    }
+
+    #[test]
+    fn equivalent_shapes_fingerprint_equal() {
+        // Shape 1: Map(Label(S,2), Pair(a, b)).
+        let mut f1 = Forest::new();
+        let a1 = f1.alloc(ForestNode::Leaf(crate::Leaf::new("a", "a")));
+        let b1 = f1.alloc(ForestNode::Leaf(crate::Leaf::new("b", "b")));
+        let p1 = f1.alloc(ForestNode::Pair(a1, b1));
+        let m1 = f1.alloc(ForestNode::Map(Reduce::label("S", 2), p1));
+        // Shape 2: the same denotation via pair-left over the right leaf
+        // (ε_a ◦ b compacted): Map(Label(S,2), Map(PairLeft(a), b)).
+        let mut f2 = Forest::new();
+        let a2 = f2.alloc(ForestNode::Leaf(crate::Leaf::new("a", "a")));
+        let b2 = f2.alloc(ForestNode::Leaf(crate::Leaf::new("b", "b")));
+        let pl = f2.alloc(ForestNode::Map(Reduce::pair_left(a2), b2));
+        let m2 = f2.alloc(ForestNode::Map(Reduce::label("S", 2), pl));
+        let c1 = f1.extract_canonical(m1).unwrap();
+        let c2 = f2.extract_canonical(m2).unwrap();
+        assert_eq!(c1.fingerprint(), c2.fingerprint());
+        assert!(c1.structural_eq(&c2));
+        // And a different denotation does not collide.
+        let mut f3 = Forest::new();
+        let a3 = f3.alloc(ForestNode::Leaf(crate::Leaf::new("a", "x")));
+        let b3 = f3.alloc(ForestNode::Leaf(crate::Leaf::new("b", "b")));
+        let p3 = f3.alloc(ForestNode::Pair(a3, b3));
+        let m3 = f3.alloc(ForestNode::Map(Reduce::label("S", 2), p3));
+        let c3 = f3.extract_canonical(m3).unwrap();
+        assert_ne!(c1.fingerprint(), c3.fingerprint());
+        assert!(!c1.structural_eq(&c3));
+    }
+
+    #[test]
+    fn reassoc_and_map_first_normalize_away() {
+        // ((a ◦ (b ◦ c)) ↪ reassoc) ↪ Label(S,2)  ≡  ((a.b).c) labeled.
+        let mut f1 = Forest::new();
+        let a = f1.alloc(ForestNode::Leaf(crate::Leaf::new("a", "a")));
+        let b = f1.alloc(ForestNode::Leaf(crate::Leaf::new("b", "b")));
+        let c = f1.alloc(ForestNode::Leaf(crate::Leaf::new("c", "c")));
+        let bc = f1.alloc(ForestNode::Pair(b, c));
+        let abc = f1.alloc(ForestNode::Pair(a, bc));
+        let re = f1.alloc(ForestNode::Map(Reduce::reassoc(), abc));
+        let m1 = f1.alloc(ForestNode::Map(Reduce::label("S", 2), re));
+        let mut f2 = Forest::new();
+        let a2 = f2.alloc(ForestNode::Leaf(crate::Leaf::new("a", "a")));
+        let b2 = f2.alloc(ForestNode::Leaf(crate::Leaf::new("b", "b")));
+        let c2 = f2.alloc(ForestNode::Leaf(crate::Leaf::new("c", "c")));
+        let ab2 = f2.alloc(ForestNode::Pair(a2, b2));
+        let abc2 = f2.alloc(ForestNode::Pair(ab2, c2));
+        let m2 = f2.alloc(ForestNode::Map(Reduce::label("S", 2), abc2));
+        let c1 = f1.extract_canonical(m1).unwrap();
+        let cc2 = f2.extract_canonical(m2).unwrap();
+        assert_eq!(c1.fingerprint(), cc2.fingerprint());
+        assert_eq!(c1.trees(EnumLimits::default()), cc2.trees(EnumLimits::default()));
+    }
+
+    #[test]
+    fn unproductive_branches_prune() {
+        let mut fs = Forest::new();
+        let a = fs.alloc(ForestNode::Leaf(crate::Leaf::new("a", "a")));
+        let dead = fs.alloc(ForestNode::Empty);
+        let dead_pair = fs.alloc(ForestNode::Pair(a, dead));
+        let amb = fs.alloc(ForestNode::Amb(vec![a, dead_pair]));
+        let canon = fs.extract_canonical(amb).unwrap();
+        assert_eq!(canon.count(), TreeCount::Finite(1));
+        // The canonical forest is just the leaf: one node.
+        assert_eq!(canon.node_count(), 1);
+    }
+
+    #[test]
+    fn cyclic_forests_canonicalize_without_diverging() {
+        let mut fs = Forest::new();
+        let leaf = fs.alloc(ForestNode::Leaf(crate::Leaf::new("a", "a")));
+        let amb = fs.reserve();
+        let pair = fs.alloc(ForestNode::Pair(amb, leaf));
+        fs.set(amb, ForestNode::Amb(vec![leaf, pair]));
+        let canon = fs.extract_canonical(amb).unwrap();
+        assert_eq!(canon.count(), TreeCount::Infinite);
+        assert!(canon.has_tree());
+        assert!(!canon.trees(EnumLimits { max_trees: 3, max_depth: 32 }).is_empty());
+    }
+
+    #[test]
+    fn opaque_func_small_forest_canonicalizes_large_errors() {
+        let mut fs = Forest::new();
+        let a = fs.alloc(ForestNode::Leaf(crate::Leaf::new("a", "a")));
+        let m = fs.alloc(ForestNode::Map(Reduce::func("wrap", |t| Tree::node("w", vec![t])), a));
+        let canon = fs.extract_canonical(m).unwrap();
+        assert_eq!(canon.trees(EnumLimits::default())[0].to_string(), "(w a)");
+
+        // An infinite subforest under an opaque func cannot canonicalize.
+        let mut fs = Forest::new();
+        let leaf = fs.alloc(ForestNode::Leaf(crate::Leaf::new("a", "a")));
+        let amb = fs.reserve();
+        let pair = fs.alloc(ForestNode::Pair(amb, leaf));
+        fs.set(amb, ForestNode::Amb(vec![leaf, pair]));
+        let m = fs.alloc(ForestNode::Map(Reduce::func("f", |t| t), amb));
+        assert!(matches!(fs.extract_canonical(m), Err(CanonError::Opaque(_))));
+    }
+
+    #[test]
+    fn opaque_func_on_a_cycle_errors_instead_of_truncating() {
+        // The func node sits *inside* the cycle: when it is normalized, its
+        // input is still an unpatched placeholder, so counting through it
+        // would silently report the cyclic alternatives as absent. This
+        // must error, not return a truncated forest.
+        let mut fs = Forest::new();
+        let leaf = fs.alloc(ForestNode::Leaf(crate::Leaf::new("a", "a")));
+        let amb = fs.reserve();
+        let m = fs.alloc(ForestNode::Map(Reduce::func("wrap", |t| Tree::node("w", vec![t])), amb));
+        fs.set(amb, ForestNode::Amb(vec![leaf, m]));
+        // The source forest really is infinite: a, (w a), (w (w a)), …
+        assert_eq!(fs.count(amb), TreeCount::Infinite);
+        assert!(matches!(fs.extract_canonical(amb), Err(CanonError::Opaque(_))));
+    }
+
+    #[test]
+    fn rejected_parse_forest_summary() {
+        let pf = ParseForest::rejected();
+        assert!(!pf.has_tree());
+        assert_eq!(pf.count(), TreeCount::Finite(0));
+        assert!(pf.trees(EnumLimits::default()).is_empty());
+        let s = pf.summary();
+        assert_eq!(s.count, TreeCount::Finite(0));
+        assert_eq!(s.node_count, 1);
+        // All rejected forests fingerprint identically.
+        assert_eq!(s.fingerprint, ParseForest::rejected().fingerprint());
+    }
+}

@@ -1,0 +1,728 @@
+//! The shared forest arena: nodes, hash-consed packing, and bounded
+//! enumeration.
+
+use crate::reduce::{Reduce, ReduceKind};
+use crate::tree::{Leaf, Tree};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Index of a node in a [`Forest`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ForestId(pub(crate) u32);
+
+impl ForestId {
+    /// The raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node of a shared parse forest.
+///
+/// The denotation of a node is a *set of trees*: `Pair` is the cross
+/// product, `Amb` the union, `Map` a reduction mapped over the set. Cycles
+/// are permitted (grammars with infinitely many parses of a word produce
+/// cyclic forests); a [`Cycle`](ForestNode::Cycle) node is the placeholder
+/// a cyclic region holds while mid-construction — one that survives
+/// construction denotes the empty set.
+#[derive(Debug, Clone)]
+pub enum ForestNode {
+    /// No parses.
+    Empty,
+    /// Exactly one parse: the empty tree `ε`.
+    Eps,
+    /// Exactly one parse: a token leaf.
+    Leaf(Leaf),
+    /// Exactly one parse: a constant tree (the `s` of `ε_s`).
+    Const(Tree),
+    /// The cross product of two forests (from `◦`).
+    Pair(ForestId, ForestId),
+    /// An ambiguity node: the union of the alternatives.
+    Amb(Vec<ForestId>),
+    /// A reduction mapped over a forest (from `↪`).
+    Map(Reduce, ForestId),
+    /// Placeholder while a cyclic region is mid-construction (see
+    /// [`Forest::reserve`]); inert (no parses) if left undefined.
+    Cycle,
+}
+
+/// Limits for enumerating trees out of a (possibly cyclic, possibly
+/// exponentially ambiguous) forest.
+///
+/// Enumeration is *bounded*: it returns at most `max_trees` trees and
+/// explores the forest graph to at most `max_depth` unrollings, so it always
+/// terminates even on cyclic forests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumLimits {
+    /// Maximum number of trees to produce.
+    pub max_trees: usize,
+    /// Maximum graph depth to unroll (guards against cyclic forests).
+    pub max_depth: usize,
+}
+
+impl Default for EnumLimits {
+    fn default() -> Self {
+        EnumLimits { max_trees: 64, max_depth: 256 }
+    }
+}
+
+/// Key under which a canonical constructor hash-conses a node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ConsKey {
+    Empty,
+    Eps,
+    Leaf(Leaf),
+    Const(Tree),
+    Pair(u32, u32),
+    Amb(Vec<u32>),
+    Label(Arc<str>, usize, u32),
+}
+
+/// An arena of shared-forest nodes.
+///
+/// Two construction disciplines coexist:
+///
+/// * **Raw** ([`Forest::new`]): [`alloc`](Forest::alloc) /
+///   [`set`](Forest::set) build nodes in place, placeholders and all — the
+///   shape an engine needs while tying cyclic knots token by token (the PWD
+///   core's arena works this way, and [`truncate`](Forest::truncate)
+///   supports its O(1)-ish epoch reset).
+/// * **Hash-consed** ([`Forest::hash_consed`]): the canonical constructors
+///   ([`leaf`](Forest::leaf), [`pair`](Forest::pair), [`amb`](Forest::amb),
+///   [`label`](Forest::label)) dedup structurally identical subforests to
+///   one node, which is what makes packed forests canonical and
+///   fingerprint-comparable across backends.
+///
+/// Every node carries a structural hash (computed bottom-up at
+/// construction), so [`node_hash`](Forest::node_hash) of a root is a
+/// fingerprint of the whole subgraph.
+#[derive(Debug, Default, Clone)]
+pub struct Forest {
+    nodes: Vec<ForestNode>,
+    hashes: Vec<u64>,
+    cons: Option<HashMap<ConsKey, ForestId>>,
+}
+
+/// Domain-separation tags for structural hashing.
+const H_EMPTY: u64 = 0x9e37_79b9_7f4a_7c15;
+const H_EPS: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const H_CYCLE: u64 = 0x1656_67b1_9e37_79f9;
+
+fn mix(a: u64, b: u64) -> u64 {
+    // SplitMix64-style avalanche over the running combination.
+    let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn hash_of(value: &impl Hash) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+impl Forest {
+    /// An empty raw arena (no hash-consing; supports `set`/`truncate`).
+    pub fn new() -> Forest {
+        Forest::default()
+    }
+
+    /// An empty hash-consed arena: the canonical constructors dedup
+    /// structurally identical nodes.
+    pub fn hash_consed() -> Forest {
+        Forest { nodes: Vec::new(), hashes: Vec::new(), cons: Some(HashMap::new()) }
+    }
+
+    /// Number of nodes allocated.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node stored at `id`.
+    pub fn get(&self, id: ForestId) -> &ForestNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// The structural hash of the subgraph rooted at `id`.
+    ///
+    /// Maintained only for **hash-consed** arenas (raw arenas — the engine
+    /// hot path — skip hashing entirely and report 0). Equal canonical
+    /// subgraphs have equal hashes; for acyclic forests the hash is
+    /// collision-resistant enough to serve as a fingerprint. Nodes involved
+    /// in cycles hash their back-edges as an opaque marker, so the hash is
+    /// deterministic but two *bisimilar* cyclic forests built with
+    /// different knot placements may hash differently.
+    pub fn node_hash(&self, id: ForestId) -> u64 {
+        self.hashes[id.0 as usize]
+    }
+
+    /// Allocates a node verbatim (no consing).
+    pub fn alloc(&mut self, node: ForestNode) -> ForestId {
+        // Raw arenas never read hashes; skipping the computation keeps the
+        // per-token engine path free of hashing (the PR 1 property).
+        let h = if self.cons.is_some() { self.compute_hash(&node) } else { 0 };
+        let id = ForestId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.hashes.push(h);
+        id
+    }
+
+    /// Allocates a [`Cycle`](ForestNode::Cycle) placeholder to be filled in
+    /// with [`set`](Forest::set) once the cyclic region is built.
+    pub fn reserve(&mut self) -> ForestId {
+        self.alloc(ForestNode::Cycle)
+    }
+
+    /// Overwrites a node in place (placeholder patching). The structural
+    /// hash is recomputed from the new children (hash-consed arenas only).
+    pub fn set(&mut self, id: ForestId, node: ForestNode) {
+        let h = if self.cons.is_some() { self.compute_hash(&node) } else { 0 };
+        self.nodes[id.0 as usize] = node;
+        self.hashes[id.0 as usize] = h;
+    }
+
+    /// Truncates the arena to `len` nodes — the engine-reset path. Only
+    /// meaningful for raw arenas; a hash-consed arena drops its stale cons
+    /// entries too (O(consed nodes)).
+    pub fn truncate(&mut self, len: usize) {
+        self.nodes.truncate(len);
+        self.hashes.truncate(len);
+        if let Some(cons) = &mut self.cons {
+            cons.retain(|_, id| (id.0 as usize) < len);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Canonical (hash-consing) constructors
+    // ------------------------------------------------------------------
+
+    fn consed(&mut self, key: ConsKey, node: ForestNode) -> ForestId {
+        if let Some(cons) = &self.cons {
+            if let Some(&id) = cons.get(&key) {
+                return id;
+            }
+        }
+        let id = self.alloc(node);
+        if let Some(cons) = &mut self.cons {
+            cons.insert(key, id);
+        }
+        id
+    }
+
+    /// The canonical no-parses node.
+    pub fn empty(&mut self) -> ForestId {
+        self.consed(ConsKey::Empty, ForestNode::Empty)
+    }
+
+    /// The canonical `ε`-tree node.
+    pub fn eps(&mut self) -> ForestId {
+        self.consed(ConsKey::Eps, ForestNode::Eps)
+    }
+
+    /// A token leaf node (consed by kind + text).
+    pub fn leaf(&mut self, kind: &str, text: &str) -> ForestId {
+        let leaf = Leaf::new(kind, text);
+        self.consed(ConsKey::Leaf(leaf.clone()), ForestNode::Leaf(leaf))
+    }
+
+    /// A constant-tree node.
+    pub fn constant(&mut self, tree: Tree) -> ForestId {
+        self.consed(ConsKey::Const(tree.clone()), ForestNode::Const(tree))
+    }
+
+    /// The cross product of two forests. Annihilates on an empty side.
+    pub fn pair(&mut self, a: ForestId, b: ForestId) -> ForestId {
+        if matches!(self.get(a), ForestNode::Empty) || matches!(self.get(b), ForestNode::Empty) {
+            return self.empty();
+        }
+        self.consed(ConsKey::Pair(a.0, b.0), ForestNode::Pair(a, b))
+    }
+
+    /// An ambiguity node over `alts`, canonicalized: nested `Amb`s are
+    /// spliced flat, empty alternatives dropped, duplicates removed, and the
+    /// survivors ordered by structural hash — so the same *set* of
+    /// alternatives always conses to the same node. Zero alternatives
+    /// collapse to [`empty`](Forest::empty), one to the alternative itself.
+    pub fn amb(&mut self, alts: Vec<ForestId>) -> ForestId {
+        let mut flat: Vec<ForestId> = Vec::with_capacity(alts.len());
+        for a in alts {
+            match self.get(a) {
+                ForestNode::Empty => {}
+                ForestNode::Amb(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(a),
+            }
+        }
+        flat.sort_by_key(|&a| (self.node_hash(a), a.0));
+        flat.dedup();
+        match flat.len() {
+            0 => self.empty(),
+            1 => flat[0],
+            _ => {
+                self.consed(ConsKey::Amb(flat.iter().map(|a| a.0).collect()), ForestNode::Amb(flat))
+            }
+        }
+    }
+
+    /// A production-label node: `Map(Label(name, arity), spine)`, consed by
+    /// `(name, arity, spine)`. Annihilates on an empty spine forest.
+    pub fn label(&mut self, name: &str, arity: usize, spine: ForestId) -> ForestId {
+        if matches!(self.get(spine), ForestNode::Empty) {
+            return self.empty();
+        }
+        let key = ConsKey::Label(Arc::from(name), arity, spine.0);
+        self.consed(key, ForestNode::Map(Reduce::label(name, arity), spine))
+    }
+
+    /// A generic reduction node (not consed — arbitrary reductions have no
+    /// structural identity).
+    pub fn map(&mut self, red: Reduce, inner: ForestId) -> ForestId {
+        self.alloc(ForestNode::Map(red, inner))
+    }
+
+    /// The right-nested pair spine of `parts` (`ε` for zero components) —
+    /// the canonical body shape a production label flattens.
+    pub fn right_spine(&mut self, parts: &[ForestId]) -> ForestId {
+        let mut iter = parts.iter().rev();
+        let Some(&last) = iter.next() else { return self.eps() };
+        let mut acc = last;
+        for &x in iter {
+            acc = self.pair(x, acc);
+        }
+        acc
+    }
+
+    /// Does the subgraph under `root` contain a [`ForestNode::Cycle`]
+    /// node (an unfinished knot, or the empty remnant of one)?
+    pub(crate) fn contains_cycle_node(&self, root: ForestId) -> bool {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        let mut succ = Vec::new();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.index()], true) {
+                continue;
+            }
+            if matches!(self.get(id), ForestNode::Cycle) {
+                return true;
+            }
+            succ.clear();
+            self.successors(id, &mut succ);
+            stack.extend(succ.iter().copied());
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Structural hashing
+    // ------------------------------------------------------------------
+
+    fn compute_hash(&self, node: &ForestNode) -> u64 {
+        match node {
+            ForestNode::Empty => H_EMPTY,
+            ForestNode::Eps => H_EPS,
+            ForestNode::Cycle => H_CYCLE,
+            ForestNode::Leaf(l) => mix(1, hash_of(l)),
+            ForestNode::Const(t) => mix(2, hash_of(t)),
+            ForestNode::Pair(a, b) => {
+                mix(3, mix(self.hashes[a.0 as usize], self.hashes[b.0 as usize]))
+            }
+            ForestNode::Amb(alts) => {
+                let mut h = 4u64;
+                for a in alts {
+                    h = mix(h, self.hashes[a.0 as usize]);
+                }
+                mix(5, h)
+            }
+            ForestNode::Map(red, x) => mix(6, mix(self.red_hash(red), self.hashes[x.0 as usize])),
+        }
+    }
+
+    fn red_hash(&self, red: &Reduce) -> u64 {
+        match &*red.0 {
+            ReduceKind::Compose(g, h) => mix(10, mix(self.red_hash(g), self.red_hash(h))),
+            ReduceKind::PairLeft(s) => mix(11, self.hashes[s.0 as usize]),
+            ReduceKind::PairRight(s) => mix(12, self.hashes[s.0 as usize]),
+            ReduceKind::Reassoc => 13,
+            ReduceKind::MapFirst(g) => mix(14, self.red_hash(g)),
+            ReduceKind::MapSecond(g) => mix(15, self.red_hash(g)),
+            ReduceKind::Label(name, arity) => mix(16, mix(hash_of(name), *arity as u64)),
+            ReduceKind::Func(name, _) => mix(17, hash_of(name)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reachability / shape statistics
+    // ------------------------------------------------------------------
+
+    /// Every node id referenced by `node` (children plus forests embedded
+    /// in reductions).
+    pub(crate) fn successors(&self, id: ForestId, out: &mut Vec<ForestId>) {
+        match self.get(id) {
+            ForestNode::Empty
+            | ForestNode::Eps
+            | ForestNode::Leaf(_)
+            | ForestNode::Const(_)
+            | ForestNode::Cycle => {}
+            ForestNode::Pair(a, b) => out.extend([*a, *b]),
+            ForestNode::Amb(alts) => out.extend(alts.iter().copied()),
+            ForestNode::Map(red, x) => {
+                out.push(*x);
+                red_refs(red, out);
+            }
+        }
+    }
+
+    /// Number of nodes reachable from `root` (reduction-embedded forests
+    /// included).
+    pub fn reachable_count(&self, root: ForestId) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        let mut succ = Vec::new();
+        let mut count = 0;
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.0 as usize], true) {
+                continue;
+            }
+            count += 1;
+            succ.clear();
+            self.successors(id, &mut succ);
+            stack.extend(succ.iter().copied());
+        }
+        count
+    }
+
+    /// Longest acyclic path from `root` (in edges); back-edges of cyclic
+    /// forests contribute zero. Iterative.
+    pub fn depth(&self, root: ForestId) -> usize {
+        // memo: None = unvisited; Some(None) = on stack; Some(Some(d)) = done.
+        let mut memo: Vec<Option<Option<usize>>> = vec![None; self.nodes.len()];
+        let mut stack: Vec<(ForestId, bool)> = vec![(root, false)];
+        let mut succ = Vec::new();
+        while let Some((id, post)) = stack.pop() {
+            let i = id.0 as usize;
+            if post {
+                succ.clear();
+                self.successors(id, &mut succ);
+                let d = succ
+                    .iter()
+                    .map(|s| match memo[s.0 as usize] {
+                        Some(Some(d)) => d + 1,
+                        _ => 0, // back-edge (still on stack) or unvisited via cycle
+                    })
+                    .max()
+                    .unwrap_or(0);
+                memo[i] = Some(Some(d));
+            } else {
+                match memo[i] {
+                    Some(Some(_)) => continue,
+                    Some(None) => continue, // already on stack (cycle)
+                    None => {}
+                }
+                memo[i] = Some(None);
+                stack.push((id, true));
+                succ.clear();
+                self.successors(id, &mut succ);
+                for s in &succ {
+                    if memo[s.0 as usize].is_none() {
+                        stack.push((*s, false));
+                    }
+                }
+            }
+        }
+        memo[root.0 as usize].flatten().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Enumeration
+    // ------------------------------------------------------------------
+
+    /// Enumerates up to `limits.max_trees` trees from `f`, exploring at
+    /// most `limits.max_depth` graph unrollings (so cyclic forests
+    /// terminate).
+    pub fn trees(&self, f: ForestId, limits: EnumLimits) -> Vec<Tree> {
+        self.enumerate(f, limits.max_depth, limits.max_trees)
+    }
+
+    fn enumerate(&self, f: ForestId, depth: usize, cap: usize) -> Vec<Tree> {
+        if depth == 0 || cap == 0 {
+            return Vec::new();
+        }
+        match self.get(f) {
+            ForestNode::Empty | ForestNode::Cycle => Vec::new(),
+            ForestNode::Eps => vec![Tree::Empty],
+            ForestNode::Leaf(l) => vec![Tree::Leaf(l.clone())],
+            ForestNode::Const(t) => vec![t.clone()],
+            ForestNode::Pair(a, b) => {
+                let left = self.enumerate(*a, depth - 1, cap);
+                if left.is_empty() {
+                    return Vec::new();
+                }
+                let right = self.enumerate(*b, depth - 1, cap);
+                let mut out = Vec::new();
+                'outer: for l in &left {
+                    for r in &right {
+                        out.push(Tree::pair(l.clone(), r.clone()));
+                        if out.len() >= cap {
+                            break 'outer;
+                        }
+                    }
+                }
+                out
+            }
+            ForestNode::Amb(alts) => {
+                let mut out = Vec::new();
+                for a in alts {
+                    let remaining = cap - out.len();
+                    if remaining == 0 {
+                        break;
+                    }
+                    out.extend(self.enumerate(*a, depth - 1, remaining));
+                }
+                out
+            }
+            ForestNode::Map(red, inner) => {
+                let mut out = Vec::new();
+                for t in self.enumerate(*inner, depth - 1, cap) {
+                    self.apply(red, t, depth - 1, &mut out);
+                    if out.len() >= cap {
+                        out.truncate(cap);
+                        break;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Applies a reduction to a tree, producing zero or more trees
+    /// (reductions that pair with a null-parse *forest* are one-to-many).
+    fn apply(&self, red: &Reduce, t: Tree, depth: usize, out: &mut Vec<Tree>) {
+        match &*red.0 {
+            ReduceKind::Compose(g, h) => {
+                let mut mid = Vec::new();
+                self.apply(h, t, depth, &mut mid);
+                for m in mid {
+                    self.apply(g, m, depth, out);
+                }
+            }
+            ReduceKind::PairLeft(s) => {
+                for l in self.enumerate(*s, depth, usize::MAX) {
+                    out.push(Tree::pair(l, t.clone()));
+                }
+            }
+            ReduceKind::PairRight(s) => {
+                for r in self.enumerate(*s, depth, usize::MAX) {
+                    out.push(Tree::pair(t.clone(), r));
+                }
+            }
+            ReduceKind::Reassoc => match t {
+                Tree::Pair(t1, rest) => match &*rest {
+                    Tree::Pair(t2, t3) => {
+                        out.push(Tree::Pair(Arc::new(Tree::Pair(t1, t2.clone())), t3.clone()))
+                    }
+                    _ => out.push(Tree::Pair(t1, rest)),
+                },
+                other => out.push(other),
+            },
+            ReduceKind::MapFirst(g) => match t {
+                Tree::Pair(a, b) => {
+                    let mut firsts = Vec::new();
+                    self.apply(g, (*a).clone(), depth, &mut firsts);
+                    for a2 in firsts {
+                        out.push(Tree::Pair(Arc::new(a2), b.clone()));
+                    }
+                }
+                other => out.push(other),
+            },
+            ReduceKind::MapSecond(g) => match t {
+                Tree::Pair(a, b) => {
+                    let mut seconds = Vec::new();
+                    self.apply(g, (*b).clone(), depth, &mut seconds);
+                    for b2 in seconds {
+                        out.push(Tree::Pair(a.clone(), Arc::new(b2)));
+                    }
+                }
+                other => out.push(other),
+            },
+            ReduceKind::Label(name, arity) => out.push(Reduce::flatten(t, *arity, name)),
+            ReduceKind::Func(_, f) => out.push(f(t)),
+        }
+    }
+}
+
+/// Forest ids referenced from inside a reduction.
+pub(crate) fn red_refs(red: &Reduce, out: &mut Vec<ForestId>) {
+    match &*red.0 {
+        ReduceKind::Compose(g, h) => {
+            red_refs(g, out);
+            red_refs(h, out);
+        }
+        ReduceKind::PairLeft(s) | ReduceKind::PairRight(s) => out.push(*s),
+        ReduceKind::MapFirst(g) | ReduceKind::MapSecond(g) => red_refs(g, out),
+        ReduceKind::Reassoc | ReduceKind::Label(..) | ReduceKind::Func(..) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_leaf_and_pair() {
+        let mut fs = Forest::new();
+        let a = fs.alloc(ForestNode::Leaf(Leaf::new("a", "a")));
+        let b = fs.alloc(ForestNode::Leaf(Leaf::new("b", "b")));
+        let p = fs.alloc(ForestNode::Pair(a, b));
+        let ts = fs.trees(p, EnumLimits::default());
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].to_string(), "(a . b)");
+        assert_eq!(ts[0].leaves(), 2);
+    }
+
+    #[test]
+    fn ambiguity_node_unions() {
+        let mut fs = Forest::new();
+        let a = fs.alloc(ForestNode::Leaf(Leaf::new("a", "a")));
+        let b = fs.alloc(ForestNode::Leaf(Leaf::new("b", "b")));
+        let amb = fs.alloc(ForestNode::Amb(vec![a, b]));
+        let ts = fs.trees(amb, EnumLimits::default());
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn map_applies_reduction() {
+        let mut fs = Forest::new();
+        let a = fs.alloc(ForestNode::Leaf(Leaf::new("a", "a")));
+        let red = Reduce::func("wrap", |t| Tree::node("w", vec![t]));
+        let m = fs.alloc(ForestNode::Map(red, a));
+        let ts = fs.trees(m, EnumLimits::default());
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].to_string(), "(w a)");
+    }
+
+    #[test]
+    fn pair_left_reduction_is_one_to_many() {
+        let mut fs = Forest::new();
+        let s1 = fs.alloc(ForestNode::Leaf(Leaf::new("x", "x")));
+        let s2 = fs.alloc(ForestNode::Leaf(Leaf::new("y", "y")));
+        let s = fs.alloc(ForestNode::Amb(vec![s1, s2]));
+        let u = fs.alloc(ForestNode::Leaf(Leaf::new("u", "u")));
+        let m = fs.alloc(ForestNode::Map(Reduce::pair_left(s), u));
+        let mut strs: Vec<String> =
+            fs.trees(m, EnumLimits::default()).iter().map(|t| t.to_string()).collect();
+        strs.sort();
+        assert_eq!(strs, ["(x . u)", "(y . u)"]);
+    }
+
+    #[test]
+    fn reassoc_rotates_pairs() {
+        let mut fs = Forest::new();
+        let a = fs.alloc(ForestNode::Leaf(Leaf::new("n", "1")));
+        let b = fs.alloc(ForestNode::Leaf(Leaf::new("n", "2")));
+        let c = fs.alloc(ForestNode::Leaf(Leaf::new("n", "3")));
+        let bc = fs.alloc(ForestNode::Pair(b, c));
+        let abc = fs.alloc(ForestNode::Pair(a, bc));
+        let m = fs.alloc(ForestNode::Map(Reduce::reassoc(), abc));
+        let ts = fs.trees(m, EnumLimits::default());
+        assert_eq!(ts[0].to_string(), "((1 . 2) . 3)");
+    }
+
+    #[test]
+    fn label_flattens_spines() {
+        let mut fs = Forest::hash_consed();
+        let a = fs.leaf("a", "a");
+        let b = fs.leaf("b", "b");
+        let spine = fs.pair(a, b);
+        let n = fs.label("S", 2, spine);
+        let ts = fs.trees(n, EnumLimits::default());
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].to_string(), "(S a b)");
+    }
+
+    #[test]
+    fn cyclic_forest_enumeration_terminates() {
+        let mut fs = Forest::new();
+        let leaf = fs.alloc(ForestNode::Leaf(Leaf::new("a", "a")));
+        let amb = fs.reserve();
+        let pair = fs.alloc(ForestNode::Pair(amb, leaf));
+        fs.set(amb, ForestNode::Amb(vec![leaf, pair]));
+        // Infinitely many trees: a, (a . a), ((a . a) . a), …
+        let ts = fs.trees(amb, EnumLimits { max_trees: 5, max_depth: 64 });
+        assert_eq!(ts.len(), 5);
+    }
+
+    #[test]
+    fn consing_dedups_structurally_identical_nodes() {
+        let mut fs = Forest::hash_consed();
+        let a1 = fs.leaf("a", "a");
+        let a2 = fs.leaf("a", "a");
+        assert_eq!(a1, a2);
+        let p1 = fs.pair(a1, a2);
+        let p2 = fs.pair(a2, a1);
+        assert_eq!(p1, p2);
+        let m1 = fs.amb(vec![p1, a1]);
+        let m2 = fs.amb(vec![a2, p2, p1]);
+        assert_eq!(m1, m2, "amb is order- and duplicate-insensitive");
+        let l1 = fs.label("S", 2, p1);
+        let l2 = fs.label("S", 2, p2);
+        assert_eq!(l1, l2);
+        assert_ne!(fs.label("S", 1, p1), l1, "arity is part of the identity");
+    }
+
+    #[test]
+    fn amb_collapses_trivial_cases() {
+        let mut fs = Forest::hash_consed();
+        let e = fs.empty();
+        let a = fs.leaf("a", "a");
+        assert_eq!(fs.amb(vec![]), e);
+        assert_eq!(fs.amb(vec![e]), e);
+        assert_eq!(fs.amb(vec![a, e]), a);
+        let b = fs.leaf("b", "b");
+        let u1 = fs.amb(vec![a, b]);
+        let nested = fs.amb(vec![u1, a]);
+        assert_eq!(nested, u1, "splicing + dedup keeps the flat set");
+        assert_eq!(fs.pair(a, e), e, "pair annihilates on empty");
+    }
+
+    #[test]
+    fn hashes_reflect_structure_not_ids() {
+        let mut f1 = Forest::hash_consed();
+        let mut f2 = Forest::hash_consed();
+        // Same structure built in different orders → same root hash.
+        let (a1, b1) = (f1.leaf("a", "a"), f1.leaf("b", "b"));
+        let (b2, a2) = (f2.leaf("b", "b"), f2.leaf("a", "a"));
+        let p1 = f1.pair(a1, b1);
+        let p2 = f2.pair(a2, b2);
+        assert_eq!(f1.node_hash(p1), f2.node_hash(p2));
+        let u1 = f1.amb(vec![p1, a1]);
+        let u2 = f2.amb(vec![a2, p2]);
+        assert_eq!(f1.node_hash(u1), f2.node_hash(u2), "amb order canonicalized by hash");
+        assert_ne!(f1.node_hash(p1), f1.node_hash(a1));
+    }
+
+    #[test]
+    fn depth_and_reachable_count() {
+        let mut fs = Forest::hash_consed();
+        let a = fs.leaf("a", "a");
+        let p = fs.pair(a, a);
+        let q = fs.pair(p, a);
+        assert_eq!(fs.depth(a), 0);
+        assert_eq!(fs.depth(q), 2);
+        assert_eq!(fs.reachable_count(q), 3, "sharing counted once");
+        // Cycles terminate.
+        let ph = fs.reserve();
+        let r = fs.alloc(ForestNode::Pair(ph, a));
+        fs.set(ph, ForestNode::Amb(vec![a, r]));
+        assert!(fs.depth(ph) <= 2);
+        assert_eq!(fs.reachable_count(ph), 3);
+    }
+}

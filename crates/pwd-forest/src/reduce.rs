@@ -1,12 +1,16 @@
-//! Reduction functions (`L ↪ f`).
+//! Reduction functions (`L ↪ f`) mapped over forests.
 //!
 //! The paper's compaction rules insert specific, structured reductions —
 //! pairing with a known tree, reassociation, mapping over one component of a
 //! pair, and composition (§4.3). Representing those as enum variants instead
-//! of opaque closures keeps compaction rewrites inspectable and testable;
-//! arbitrary user semantic actions are still supported via [`Reduce::func`].
+//! of opaque closures keeps compaction rewrites inspectable, testable, and —
+//! crucially for the shared-forest layer — *symbolically evaluable*: the
+//! canonicalizer can push a structured reduction through a forest without
+//! enumerating trees. Arbitrary user semantic actions are still supported
+//! via [`Reduce::func`] (canonicalized by bounded enumeration).
 
-use crate::forest::{ForestId, Tree};
+use crate::forest::ForestId;
+use crate::tree::Tree;
 use std::fmt;
 use std::sync::Arc;
 
@@ -37,6 +41,12 @@ pub(crate) enum ReduceKind {
     MapFirst(Reduce),
     /// `(t1, t2) ↦ (t1, f t2)` — right-child version, pre-parse only (§4.3.2).
     MapSecond(Reduce),
+    /// The structured production label of a compiled CFG: flattens the
+    /// right-nested pair spine of an arity-`k` production body into a
+    /// labeled AST node `(N t₁ … t_k)`. Unlike [`ReduceKind::Func`] this is
+    /// symbolically evaluable, which is what makes forests from different
+    /// backends canonically comparable.
+    Label(Arc<str>, usize),
     /// An arbitrary user function, tagged with a display name.
     Func(Arc<str>, Arc<dyn Fn(Tree) -> Tree + Send + Sync>),
 }
@@ -64,12 +74,25 @@ impl Reduce {
         Reduce(Arc::new(ReduceKind::MapSecond(f)))
     }
 
-    pub(crate) fn pair_left(s: ForestId) -> Reduce {
+    /// `u ↦ (s, u)` for each tree `s` of the referenced forest (which must
+    /// live in the same arena the reduction is applied in).
+    pub fn pair_left(s: ForestId) -> Reduce {
         Reduce(Arc::new(ReduceKind::PairLeft(s)))
     }
 
-    pub(crate) fn pair_right(s: ForestId) -> Reduce {
+    /// `u ↦ (u, s)` for each tree `s` of the referenced forest.
+    pub fn pair_right(s: ForestId) -> Reduce {
         Reduce(Arc::new(ReduceKind::PairRight(s)))
+    }
+
+    /// The structured production label `(name, arity)`: flattens an
+    /// arity-deep right-nested pair spine into `(name t₁ … t_arity)`.
+    ///
+    /// A spine that bottoms out early (a non-pair where a pair was
+    /// expected) contributes its remainder as the final child, mirroring
+    /// how compiled grammars flatten partially collapsed spines.
+    pub fn label(name: &str, arity: usize) -> Reduce {
+        Reduce(Arc::new(ReduceKind::Label(Arc::from(name), arity)))
     }
 
     /// An arbitrary user reduction with a display `name`.
@@ -77,8 +100,8 @@ impl Reduce {
     /// # Examples
     ///
     /// ```
-    /// use pwd_core::{Reduce, Tree};
-    /// let wrap = Reduce::func("wrap", |t| Tree::node("expr", vec![t]));
+    /// use pwd_forest::{Reduce, Tree};
+    /// let wrap = Reduce::func("wrap", |t| Tree::node("w", vec![t]));
     /// assert_eq!(format!("{wrap:?}"), "wrap");
     /// ```
     pub fn func(name: &str, f: impl Fn(Tree) -> Tree + Send + Sync + 'static) -> Reduce {
@@ -89,6 +112,30 @@ impl Reduce {
     /// equality); used by tests and graph printing, not by compaction.
     pub fn same(&self, other: &Reduce) -> bool {
         Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Applies the label-flattening semantics to one tree: pops up to
+    /// `arity - 1` pairs off the right spine and wraps the components.
+    pub(crate) fn flatten(t: Tree, arity: usize, name: &str) -> Tree {
+        if arity == 0 {
+            return Tree::node(name, vec![]);
+        }
+        let mut kids = Vec::with_capacity(arity);
+        let mut cur = t;
+        for _ in 0..arity.saturating_sub(1) {
+            match cur {
+                Tree::Pair(a, b) => {
+                    kids.push((*a).clone());
+                    cur = (*b).clone();
+                }
+                other => {
+                    cur = other;
+                    break;
+                }
+            }
+        }
+        kids.push(cur);
+        Tree::node(name, kids)
     }
 }
 
@@ -101,6 +148,7 @@ impl fmt::Debug for Reduce {
             ReduceKind::Reassoc => write!(f, "reassoc"),
             ReduceKind::MapFirst(g) => write!(f, "map-first({g:?})"),
             ReduceKind::MapSecond(g) => write!(f, "map-second({g:?})"),
+            ReduceKind::Label(name, arity) => write!(f, "{name}#{arity}"),
             ReduceKind::Func(name, _) => write!(f, "{name}"),
         }
     }
@@ -118,6 +166,7 @@ mod tests {
         assert_eq!(format!("{c:?}"), "(g ∘ f)");
         assert_eq!(format!("{:?}", Reduce::reassoc()), "reassoc");
         assert_eq!(format!("{:?}", Reduce::map_first(f)), "map-first(f)");
+        assert_eq!(format!("{:?}", Reduce::label("E", 3)), "E#3");
     }
 
     #[test]
@@ -127,5 +176,17 @@ mod tests {
         let g = Reduce::func("f", |t| t);
         assert!(f.same(&f2));
         assert!(!f.same(&g));
+    }
+
+    #[test]
+    fn flatten_pops_the_spine() {
+        let t = Tree::pair(
+            Tree::leaf("a", "1"),
+            Tree::pair(Tree::leaf("b", "2"), Tree::leaf("c", "3")),
+        );
+        assert_eq!(Reduce::flatten(t.clone(), 3, "N").to_string(), "(N 1 2 3)");
+        assert_eq!(Reduce::flatten(t, 2, "N").to_string(), "(N 1 (2 . 3))");
+        assert_eq!(Reduce::flatten(Tree::Empty, 0, "N").to_string(), "(N)");
+        assert_eq!(Reduce::flatten(Tree::Empty, 1, "N").to_string(), "(N ε)");
     }
 }

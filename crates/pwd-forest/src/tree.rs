@@ -1,0 +1,172 @@
+//! Concrete parse trees, shared by every backend.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A token leaf: a terminal kind plus the matched lexeme text.
+///
+/// Leaf identity is *textual* — two leaves with the same kind and text are
+/// equal regardless of which backend (or which interner) produced them —
+/// which is what lets forests from different parser families compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Leaf {
+    /// The terminal kind name (e.g. `"NUM"`).
+    pub kind: Arc<str>,
+    /// The lexeme text (e.g. `"42"`).
+    pub text: Arc<str>,
+}
+
+impl Leaf {
+    /// Builds a leaf from kind and text.
+    pub fn new(kind: &str, text: &str) -> Leaf {
+        Leaf { kind: Arc::from(kind), text: Arc::from(text) }
+    }
+}
+
+impl fmt::Display for Leaf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// A concrete parse tree.
+///
+/// `◦` produces [`Tree::Pair`], tokens produce [`Tree::Leaf`], `ε` produces
+/// [`Tree::Empty`], and reductions (user functions or the structured
+/// production labels of compiled grammars) build labeled [`Tree::Node`]s.
+///
+/// # Examples
+///
+/// ```
+/// use pwd_forest::Tree;
+/// let t = Tree::node("expr", vec![Tree::Empty]);
+/// assert_eq!(t.to_string(), "(expr ε)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Tree {
+    /// The empty (`ε`) tree.
+    Empty,
+    /// A token leaf.
+    Leaf(Leaf),
+    /// A pair produced by concatenation.
+    Pair(Arc<Tree>, Arc<Tree>),
+    /// A labeled node produced by a reduction.
+    Node(Arc<str>, Arc<[Tree]>),
+}
+
+impl Tree {
+    /// Builds a pair tree.
+    pub fn pair(a: Tree, b: Tree) -> Tree {
+        Tree::Pair(Arc::new(a), Arc::new(b))
+    }
+
+    /// Builds a labeled node.
+    pub fn node(label: &str, children: Vec<Tree>) -> Tree {
+        Tree::Node(Arc::from(label), Arc::from(children))
+    }
+
+    /// Builds a token leaf from kind and text.
+    pub fn leaf(kind: &str, text: &str) -> Tree {
+        Tree::Leaf(Leaf::new(kind, text))
+    }
+
+    /// Number of token leaves in the tree.
+    ///
+    /// Iterative (explicit worklist), so arbitrarily deep right-spine trees
+    /// — a linear parse of an `n`-token input nests `n` deep — cannot
+    /// overflow the call stack.
+    pub fn leaves(&self) -> usize {
+        let mut count = 0;
+        let mut stack: Vec<&Tree> = vec![self];
+        while let Some(t) = stack.pop() {
+            match t {
+                Tree::Empty => {}
+                Tree::Leaf(_) => count += 1,
+                Tree::Pair(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Tree::Node(_, kids) => stack.extend(kids.iter()),
+            }
+        }
+        count
+    }
+
+    /// The left-to-right sequence of leaf lexemes (the *yield*).
+    ///
+    /// Iterative, like [`leaves`](Tree::leaves): the worklist is pushed in
+    /// reverse so lexemes come out in input order.
+    pub fn fringe(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&Tree> = vec![self];
+        while let Some(t) = stack.pop() {
+            match t {
+                Tree::Empty => {}
+                Tree::Leaf(l) => out.push(l.text.to_string()),
+                Tree::Pair(a, b) => {
+                    stack.push(b);
+                    stack.push(a);
+                }
+                Tree::Node(_, kids) => stack.extend(kids.iter().rev()),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tree::Empty => write!(f, "ε"),
+            Tree::Leaf(l) => write!(f, "{}", l.text),
+            Tree::Pair(a, b) => write!(f, "({a} . {b})"),
+            Tree::Node(label, kids) => {
+                write!(f, "({label}")?;
+                for k in kids.iter() {
+                    write!(f, " {k}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fringe_and_leaves_in_order() {
+        let t = Tree::node(
+            "top",
+            vec![Tree::pair(Tree::leaf("a", "a"), Tree::Empty), Tree::leaf("b", "b")],
+        );
+        assert_eq!(t.fringe(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(t.leaves(), 2);
+    }
+
+    #[test]
+    fn deep_right_spine_does_not_overflow() {
+        // A million-deep right spine: the recursive version would blow the
+        // stack; the worklist version must not.
+        let mut t = Tree::Empty;
+        for _ in 0..1_000_000 {
+            t = Tree::Pair(Arc::new(Tree::leaf("a", "a")), Arc::new(t));
+        }
+        assert_eq!(t.leaves(), 1_000_000);
+        let fringe = t.fringe();
+        assert_eq!(fringe.len(), 1_000_000);
+        assert!(fringe.iter().all(|s| s == "a"));
+        // Drop iteratively too: unwind the spine without recursive Drop.
+        while let Tree::Pair(_, rest) = t {
+            t = Arc::try_unwrap(rest).unwrap_or(Tree::Empty);
+        }
+    }
+
+    #[test]
+    fn display_shapes() {
+        let t = Tree::pair(Tree::leaf("n", "1"), Tree::leaf("n", "2"));
+        assert_eq!(t.to_string(), "(1 . 2)");
+        assert_eq!(Tree::Empty.to_string(), "ε");
+    }
+}

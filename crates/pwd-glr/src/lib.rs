@@ -30,7 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pwd_grammar::{analysis, Cfg, Production, Symbol};
+use pwd_forest::ParseForest;
+use pwd_grammar::{analysis, build_sppf, Cfg, Production, ProductionSpans, Symbol};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
@@ -69,6 +70,8 @@ enum Action {
 /// A GLR parser with SLR(1) tables over a graph-structured stack.
 #[derive(Debug, Clone)]
 pub struct GlrParser {
+    /// The source grammar (kept for SPPF construction).
+    cfg: Cfg,
     /// Productions of the augmented grammar; the last one is `S' → S`.
     prods: Vec<Production>,
     /// ACTION[state][lookahead]; `None` lookahead = end of input.
@@ -192,6 +195,7 @@ impl GlrParser {
         }
 
         GlrParser {
+            cfg: cfg.clone(),
             prods,
             action,
             goto_nt,
@@ -199,6 +203,11 @@ impl GlrParser {
                 .map(|t| cfg.terminal_name(t as u32).to_string())
                 .collect(),
         }
+    }
+
+    /// The source grammar.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
     }
 
     /// Number of LR(0) states.
@@ -310,10 +319,12 @@ impl GlrParser {
         GlrSession {
             states: vec![0],
             edges: vec![Vec::new()],
+            pos: vec![0],
             frontier: HashMap::from([(0, 0)]),
             edge_count: 0,
             fed: 0,
             dead: false,
+            facts: Vec::new(),
         }
     }
 
@@ -325,7 +336,7 @@ impl GlrParser {
         if s.dead {
             return false;
         }
-        self.reduce_phase(s, Some(tok));
+        self.reduce_phase(s, Some(tok), s.fed - 1);
 
         // ---- shift phase ----
         let mut next: HashMap<u32, usize> = HashMap::new();
@@ -336,6 +347,7 @@ impl GlrParser {
                         let w = *next.entry(*target).or_insert_with(|| {
                             s.states.push(*target);
                             s.edges.push(Vec::new());
+                            s.pos.push(s.fed);
                             s.states.len() - 1
                         });
                         if !s.edges[w].contains(&node) {
@@ -366,7 +378,7 @@ impl GlrParser {
             return false;
         }
         let cp = s.checkpoint();
-        self.reduce_phase(s, None);
+        self.reduce_phase(s, None, s.fed);
         let accepted = s.frontier.keys().any(|&st| {
             self.action[st as usize].get(&None).is_some_and(|acts| acts.contains(&Action::Accept))
         });
@@ -377,7 +389,7 @@ impl GlrParser {
     /// The reduce phase at one input position: apply every reduction the
     /// lookahead admits, to a fixed point, growing the GSS frontier in
     /// place (Tomita with Farshi's fix).
-    fn reduce_phase(&self, s: &mut GlrSession, lookahead: Option<u32>) {
+    fn reduce_phase(&self, s: &mut GlrSession, lookahead: Option<u32>, pos: usize) {
         let mut queue: Vec<(usize, u32)> = Vec::new();
         let mut done: HashSet<(usize, u32, usize)> = HashSet::new();
         let enqueue_all = |frontier: &HashMap<u32, usize>,
@@ -411,6 +423,13 @@ impl GlrParser {
                 if !done.insert((node, prod, u)) {
                     continue;
                 }
+                // The length-k path from `node` back to `u` *is* the
+                // statement "prod derives tokens[pos(u)..pos)": record it
+                // as a derivation fact for SPPF construction (the
+                // augmented start production carries no forest content).
+                if (prod as usize) < self.cfg.productions().len() {
+                    s.facts.push((prod, s.pos[u] as u32, pos as u32));
+                }
                 let lhs = self.prods[prod as usize].lhs;
                 let Some(&target) = self.goto_nt[s.states[u] as usize].get(&lhs) else {
                     continue;
@@ -429,6 +448,7 @@ impl GlrParser {
                     None => {
                         s.states.push(target);
                         s.edges.push(vec![u]);
+                        s.pos.push(pos);
                         let w = s.states.len() - 1;
                         s.edge_count += 1;
                         s.frontier.insert(target, w);
@@ -446,6 +466,75 @@ impl GlrParser {
     }
 }
 
+// ---------------------------------------------------------------------
+// Shared parse forests (SPPF) from GSS reduction packing
+// ---------------------------------------------------------------------
+
+impl GlrParser {
+    /// The derivation facts the session's reductions have proven so far,
+    /// **including** the end-of-input reductions: the EOF reduce phase runs
+    /// on a frontier snapshot and is rolled back, so the session is
+    /// observably unchanged, but the final completions (which only fire
+    /// under the EOF lookahead) are captured.
+    pub fn session_spans(&self, s: &mut GlrSession) -> ProductionSpans {
+        let mut spans = ProductionSpans::new();
+        if s.dead {
+            // Post-death facts describe a prefix the input diverged from
+            // only after the killing token; the pre-shift GSS (and its
+            // facts) are still sound, so keep them — the builder's
+            // top-down walk from the (unreachable) root ignores them.
+            for &(p, i, j) in &s.facts {
+                spans.insert(p as usize, i as usize, j as usize);
+            }
+            return spans;
+        }
+        let cp = s.checkpoint();
+        self.reduce_phase(s, None, s.fed);
+        for &(p, i, j) in &s.facts {
+            spans.insert(p as usize, i as usize, j as usize);
+        }
+        s.rollback(&cp);
+        spans
+    }
+
+    /// Builds the shared forest of **all** derivations of the tokens fed to
+    /// `s` (packed per `(nonterminal, span)`), with `texts[i]` the lexeme
+    /// text of token `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `texts.len() != tokens.len()` or if `tokens` is not the
+    /// same length as what the session was fed (the recorded reduction
+    /// facts index positions of the *fed* stream).
+    pub fn forest_from_session(
+        &self,
+        s: &mut GlrSession,
+        tokens: &[u32],
+        texts: &[&str],
+    ) -> ParseForest {
+        assert_eq!(
+            tokens.len(),
+            s.tokens_fed(),
+            "token slice must match the {} tokens fed to the session",
+            s.tokens_fed()
+        );
+        let spans = self.session_spans(s);
+        build_sppf(&self.cfg, tokens, texts, &spans)
+    }
+
+    /// Parses `tokens` and returns the shared forest of all derivations
+    /// (the canonical empty forest for a rejected input). Lexeme texts
+    /// default to the terminal kind names.
+    pub fn parse_forest(&self, tokens: &[u32]) -> ParseForest {
+        let mut s = self.begin();
+        for &t in tokens {
+            self.feed(&mut s, t);
+        }
+        let texts: Vec<&str> = tokens.iter().map(|&t| self.cfg.terminal_name(t)).collect();
+        self.forest_from_session(&mut s, tokens, &texts)
+    }
+}
+
 /// The owned state of an incremental GLR recognition: the graph-structured
 /// stack and its current frontier. Opaque; drive it through
 /// [`GlrParser::begin`], [`GlrParser::feed`], and [`GlrParser::accepted`].
@@ -455,11 +544,17 @@ pub struct GlrSession {
     states: Vec<u32>,
     /// Predecessor edges of each GSS node.
     edges: Vec<Vec<usize>>,
+    /// Token position at which each GSS node became a stack top.
+    pos: Vec<usize>,
     /// Live stack tops: LR state → GSS node.
     frontier: HashMap<u32, usize>,
     edge_count: usize,
     fed: usize,
     dead: bool,
+    /// Derivation facts `(prod, from, to)` recorded by performed
+    /// reductions — the GSS packing, replayed as SPPF input. Append-only;
+    /// rollback truncates.
+    facts: Vec<(u32, u32, u32)>,
 }
 
 /// A saved GSS position: the frontier plus enough bookkeeping to truncate
@@ -478,6 +573,7 @@ pub struct GlrCheckpoint {
     edge_count: usize,
     fed: usize,
     dead: bool,
+    facts: usize,
 }
 
 impl GlrCheckpoint {
@@ -516,6 +612,7 @@ impl GlrSession {
             edge_count: self.edge_count,
             fed: self.fed,
             dead: self.dead,
+            facts: self.facts.len(),
         }
     }
 
@@ -544,6 +641,8 @@ impl GlrSession {
         );
         self.states.truncate(cp.nodes);
         self.edges.truncate(cp.nodes);
+        self.pos.truncate(cp.nodes);
+        self.facts.truncate(cp.facts);
         self.frontier.clear();
         for &(st, node, edge_len) in &cp.frontier {
             self.edges[node].truncate(edge_len);
@@ -558,7 +657,58 @@ impl GlrSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pwd_forest::{EnumLimits, TreeCount};
     use pwd_grammar::CfgBuilder;
+
+    #[test]
+    fn catalan_forest_counts_are_exact() {
+        let p = GlrParser::new(&pwd_grammar::grammars::ambiguous::catalan());
+        let catalan: [u128; 8] = [1, 1, 2, 5, 14, 42, 132, 429];
+        for n in 1..=8usize {
+            let forest = p.parse_forest(&vec![0u32; n]);
+            assert_eq!(forest.count(), TreeCount::Finite(catalan[n - 1]), "n={n}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_forest_tree_respects_precedence() {
+        let p = arith();
+        let toks = p.kinds_to_tokens(&["NUM", "+", "NUM", "*", "NUM"]).unwrap();
+        let forest = p.parse_forest(&toks);
+        assert_eq!(forest.count(), TreeCount::Finite(1));
+        let tree = forest.trees(EnumLimits::default()).pop().unwrap();
+        assert_eq!(tree.to_string(), "(E (E (T (F NUM))) + (T (T (F NUM)) * (F NUM)))");
+    }
+
+    #[test]
+    fn rejected_and_epsilon_forests() {
+        let p = arith();
+        let toks = p.kinds_to_tokens(&["NUM", "+"]).unwrap();
+        assert!(!p.parse_forest(&toks).has_tree());
+        // ε-containing grammar over the empty input.
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &[]);
+        g.rule("S", &["a"]);
+        let p = GlrParser::new(&g.build().unwrap());
+        let forest = p.parse_forest(&[]);
+        assert_eq!(forest.count(), TreeCount::Finite(1));
+        assert_eq!(forest.trees(EnumLimits::default())[0].to_string(), "(S)");
+    }
+
+    #[test]
+    fn probe_then_forest_still_exact() {
+        // Interleaved acceptance probes must not distort the fact set.
+        let p = GlrParser::new(&pwd_grammar::grammars::ambiguous::catalan());
+        let mut s = p.begin();
+        for _ in 0..5 {
+            p.feed(&mut s, 0);
+            let _ = p.accepted(&mut s);
+        }
+        let texts = ["a"; 5];
+        let forest = p.forest_from_session(&mut s, &[0; 5], &texts[..]);
+        assert_eq!(forest.count(), TreeCount::Finite(14));
+    }
 
     fn arith() -> GlrParser {
         GlrParser::new(&pwd_grammar::grammars::arith::cfg())

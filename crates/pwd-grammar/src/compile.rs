@@ -7,7 +7,7 @@
 //! direct pointers into the (cyclic) graph via `forward`/`define`.
 
 use crate::cfg::{Cfg, Symbol};
-use pwd_core::{Language, NodeId, ParserConfig, PwdError, Reduce, TermId, Token, Tree};
+use pwd_core::{Language, NodeId, ParserConfig, PwdError, Reduce, TermId, Token};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -94,12 +94,11 @@ impl Compiled {
                     })
                     .collect();
                 let body = lang.seq(&parts);
-                let name = cfg.nonterminal_name(p.lhs).to_string();
-                let arity = parts.len();
-                let node = lang.reduce(
-                    body,
-                    Reduce::func(&format!("{name}#{pi}"), move |t| flatten(t, arity, &name)),
-                );
+                // A *structured* production label (not an opaque closure):
+                // symbolically evaluable, so forests normalize to the same
+                // canonical packed form every backend's SPPF builder emits.
+                let node =
+                    lang.reduce(body, Reduce::label(cfg.nonterminal_name(p.lhs), parts.len()));
                 alternatives.push(node);
             }
             let body = lang.alts(&alternatives);
@@ -154,30 +153,6 @@ impl Compiled {
             Err(e) => Err(PwdError::Rejected { position: e.position, token: None }),
         }
     }
-}
-
-/// Flattens the right-nested pair spine of a production body into a labeled
-/// node: `(t1 . (t2 . t3))` with arity 3 becomes `(N t1 t2 t3)`.
-fn flatten(t: Tree, arity: usize, name: &str) -> Tree {
-    if arity == 0 {
-        return Tree::node(name, vec![]);
-    }
-    let mut kids = Vec::with_capacity(arity);
-    let mut cur = t;
-    for _ in 0..arity.saturating_sub(1) {
-        match cur {
-            Tree::Pair(a, b) => {
-                kids.push((*a).clone());
-                cur = (*b).clone();
-            }
-            other => {
-                cur = other;
-                break;
-            }
-        }
-    }
-    kids.push(cur);
-    Tree::node(name, kids)
 }
 
 #[cfg(test)]
@@ -257,7 +232,7 @@ mod tests {
         let mut c = Compiled::compile(&g.build().unwrap(), ParserConfig::improved());
         let start = c.start;
         let input = toks(&mut c, "a a a a");
-        assert_eq!(c.lang.count_parses(start, &input).unwrap(), Some(5));
+        assert_eq!(c.lang.count_parses(start, &input).unwrap(), pwd_core::TreeCount::Finite(5));
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod tests {
             let start = c.start;
             assert_eq!(
                 c.lang.count_parses(start, &toks).unwrap(),
-                Some(catalan_numbers[n - 1]),
+                pwd_core::TreeCount::Finite(catalan_numbers[n - 1]),
                 "n={n}"
             );
             c.lang.reset();
@@ -69,9 +69,9 @@ mod tests {
         };
         let t2 = mk(&mut c, &["+", "*"]);
         let start = c.start;
-        assert_eq!(c.lang.count_parses(start, &t2).unwrap(), Some(2));
+        assert_eq!(c.lang.count_parses(start, &t2).unwrap(), pwd_core::TreeCount::Finite(2));
         c.lang.reset();
         let t3 = mk(&mut c, &["+", "*", "+"]);
-        assert_eq!(c.lang.count_parses(start, &t3).unwrap(), Some(5));
+        assert_eq!(c.lang.count_parses(start, &t3).unwrap(), pwd_core::TreeCount::Finite(5));
     }
 }

@@ -222,7 +222,7 @@ mod tests {
             let start = c.start;
             assert_eq!(
                 c.lang.count_parses(start, &toks).unwrap(),
-                Some(1),
+                pwd_core::TreeCount::Finite(1),
                 "exactly one parse for {src}"
             );
             c.lang.reset();

@@ -35,12 +35,14 @@ pub mod gen;
 pub mod grammars;
 mod normalize;
 mod random;
+pub mod sppf;
 mod transform;
 
 pub use cfg::{Cfg, CfgBuilder, CfgError, Production, Symbol};
 pub use compile::{Compiled, UnknownTerminal};
 pub use normalize::{eliminate_epsilon, eliminate_units};
 pub use random::{random_cfg, random_input, RandomCfgConfig};
+pub use sppf::{build_sppf, ProductionSpans};
 pub use transform::{
     metrics, productive_nonterminals, remove_useless, GrammarMetrics, TransformError,
 };

@@ -1,0 +1,332 @@
+//! The shared SPPF builder: from *derivation facts* to a canonical packed
+//! forest.
+//!
+//! Chart- and stack-based parsers both end a run knowing, for each
+//! production `p` and span `[i, j)`, whether `p` derives `tokens[i..j)` —
+//! Earley reads it off completed chart items, GLR records it as reductions
+//! pack the graph-structured stack. By context-freeness that relation
+//! determines the *entire* set of derivations, so one builder can serve
+//! every backend: walk top-down from `(start, 0, n)`, split each production
+//! over its span against the fact set, and emit canonical
+//! production-labeled nodes over hash-consed spines — the same normal form
+//! `pwd_forest`'s canonicalizer produces from PWD's derivative forests,
+//! which is what makes forest fingerprints comparable across all three
+//! parser families.
+
+use crate::cfg::{Cfg, Symbol};
+use pwd_forest::{Forest, ForestId, Knot, KnotTable, ParseForest};
+use std::collections::HashSet;
+
+/// The derivation-fact set: which productions derive which input spans.
+///
+/// Backends populate it from their native structures (chart items, GSS
+/// reductions); [`build_sppf`] consumes it. Facts must be *sound* (every
+/// recorded `(p, i, j)` really derives `tokens[i..j)`); the builder
+/// revalidates splits against the set, so extra unreachable facts cost
+/// time, never correctness.
+#[derive(Debug, Default, Clone)]
+pub struct ProductionSpans {
+    set: HashSet<(u32, u32, u32)>,
+}
+
+impl ProductionSpans {
+    /// An empty fact set.
+    pub fn new() -> ProductionSpans {
+        ProductionSpans::default()
+    }
+
+    /// Records that production `prod` derives `tokens[from..to)`.
+    pub fn insert(&mut self, prod: usize, from: usize, to: usize) {
+        self.set.insert((prod as u32, from as u32, to as u32));
+    }
+
+    /// Does the fact set contain `(prod, from, to)`?
+    pub fn contains(&self, prod: usize, from: usize, to: usize) -> bool {
+        self.set.contains(&(prod as u32, from as u32, to as u32))
+    }
+
+    /// Number of recorded facts.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Is the fact set empty?
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+impl Extend<(usize, usize, usize)> for ProductionSpans {
+    fn extend<T: IntoIterator<Item = (usize, usize, usize)>>(&mut self, iter: T) {
+        for (p, i, j) in iter {
+            self.insert(p, i, j);
+        }
+    }
+}
+
+/// Builds the canonical shared parse forest of `tokens` from a derivation
+/// fact set (see [`ProductionSpans`]). `texts[i]` is the lexeme text of
+/// token `i` (leaf identity is `(kind, text)`, matching the PWD engine's
+/// lexeme-carrying leaves).
+///
+/// Returns the forest rooted at `(start, 0, n)`; if the facts do not
+/// derive the full input the root is the canonical empty node (count 0) —
+/// the same shape every backend reports for a rejected input.
+///
+/// # Panics
+///
+/// Panics if `texts.len() != tokens.len()`.
+pub fn build_sppf(
+    cfg: &Cfg,
+    tokens: &[u32],
+    texts: &[&str],
+    spans: &ProductionSpans,
+) -> ParseForest {
+    assert_eq!(tokens.len(), texts.len(), "one lexeme text per token");
+    let mut b = Builder {
+        cfg,
+        tokens,
+        texts,
+        spans,
+        forest: Forest::hash_consed(),
+        memo: KnotTable::new(),
+    };
+    let root = b.nt_node(cfg.start(), 0, tokens.len());
+    ParseForest::new(b.forest, root)
+}
+
+struct Builder<'a> {
+    cfg: &'a Cfg,
+    tokens: &'a [u32],
+    texts: &'a [&'a str],
+    spans: &'a ProductionSpans,
+    forest: Forest,
+    memo: KnotTable<(u32, u32, u32)>,
+}
+
+impl Builder<'_> {
+    /// The packed node for all derivations of `nt` over `[from, to)`.
+    /// Cycles (unit/ε cycles derive a span from itself) tie knots through
+    /// reserved placeholders, producing cyclic — infinitely ambiguous —
+    /// forests rather than diverging.
+    fn nt_node(&mut self, nt: u32, from: usize, to: usize) -> ForestId {
+        let key = (nt, from as u32, to as u32);
+        match self.memo.enter(key, &mut self.forest) {
+            Knot::Done(id) => return id,
+            Knot::Cycle(ph) => return ph,
+            Knot::Fresh => {}
+        }
+        let mut alts = Vec::new();
+        let name = self.cfg.nonterminal_name(nt).to_string();
+        for &pi in self.cfg.productions_of(nt) {
+            if !self.spans.contains(pi, from, to) {
+                continue;
+            }
+            let rhs = self.cfg.productions()[pi].rhs.clone();
+            let mut components = Vec::with_capacity(rhs.len());
+            let mut lists = Vec::new();
+            self.splits(&rhs, 0, from, to, &mut components, &mut lists);
+            for comps in lists {
+                let spine = self.forest.right_spine(&comps);
+                alts.push(self.forest.label(&name, rhs.len(), spine));
+            }
+        }
+        let r = self.forest.amb(alts);
+        self.memo.finish(key, &mut self.forest, r)
+    }
+
+    /// Enumerates every split of `rhs[k..]` over `[from, to)` admitted by
+    /// the fact set, pushing one component list per split into `lists`.
+    fn splits(
+        &mut self,
+        rhs: &[Symbol],
+        k: usize,
+        from: usize,
+        to: usize,
+        components: &mut Vec<ForestId>,
+        lists: &mut Vec<Vec<ForestId>>,
+    ) {
+        if k == rhs.len() {
+            if from == to {
+                lists.push(components.clone());
+            }
+            return;
+        }
+        match rhs[k] {
+            Symbol::T(t) => {
+                if from < to && self.tokens[from] == t {
+                    let kind = self.cfg.terminal_name(t).to_string();
+                    let leaf = self.forest.leaf(&kind, self.texts[from]);
+                    components.push(leaf);
+                    self.splits(rhs, k + 1, from + 1, to, components, lists);
+                    components.pop();
+                }
+            }
+            Symbol::N(m) => {
+                for mid in from..=to {
+                    if !self.nt_derives(m, from, mid) {
+                        continue;
+                    }
+                    let node = self.nt_node(m, from, mid);
+                    components.push(node);
+                    self.splits(rhs, k + 1, mid, to, components, lists);
+                    components.pop();
+                }
+            }
+        }
+    }
+
+    fn nt_derives(&self, nt: u32, from: usize, to: usize) -> bool {
+        self.cfg.productions_of(nt).iter().any(|&pi| self.spans.contains(pi, from, to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::CfgBuilder;
+    use pwd_forest::{EnumLimits, TreeCount};
+
+    /// Brute-force oracle: all true derivation facts for tiny grammars, by
+    /// checking every (production, span) with a recursive matcher.
+    fn oracle_spans(cfg: &Cfg, tokens: &[u32]) -> ProductionSpans {
+        fn sym_derives(
+            cfg: &Cfg,
+            sym: &Symbol,
+            toks: &[u32],
+            i: usize,
+            j: usize,
+            depth: usize,
+        ) -> bool {
+            if depth > 24 {
+                return false;
+            }
+            match sym {
+                Symbol::T(t) => j == i + 1 && toks[i] == *t,
+                Symbol::N(m) => cfg
+                    .productions_of(*m)
+                    .iter()
+                    .any(|&pi| prod_derives(cfg, pi, toks, i, j, depth + 1)),
+            }
+        }
+        fn prod_derives(
+            cfg: &Cfg,
+            pi: usize,
+            toks: &[u32],
+            i: usize,
+            j: usize,
+            depth: usize,
+        ) -> bool {
+            fn rest(
+                cfg: &Cfg,
+                rhs: &[Symbol],
+                toks: &[u32],
+                i: usize,
+                j: usize,
+                depth: usize,
+            ) -> bool {
+                match rhs {
+                    [] => i == j,
+                    [s, more @ ..] => (i..=j).any(|mid| {
+                        sym_derives(cfg, s, toks, i, mid, depth)
+                            && rest(cfg, more, toks, mid, j, depth)
+                    }),
+                }
+            }
+            if depth > 24 {
+                return false;
+            }
+            let rhs = cfg.productions()[pi].rhs.clone();
+            rest(cfg, &rhs, toks, i, j, depth)
+        }
+        let mut spans = ProductionSpans::new();
+        let n = tokens.len();
+        for pi in 0..cfg.productions().len() {
+            for i in 0..=n {
+                for j in i..=n {
+                    if prod_derives(cfg, pi, tokens, i, j, 0) {
+                        spans.insert(pi, i, j);
+                    }
+                }
+            }
+        }
+        spans
+    }
+
+    fn catalan_cfg() -> Cfg {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["S", "S"]);
+        g.rule("S", &["a"]);
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn catalan_counts_from_facts() {
+        let cfg = catalan_cfg();
+        let catalan: [u128; 7] = [1, 1, 2, 5, 14, 42, 132];
+        for n in 1..=7usize {
+            let tokens = vec![0u32; n];
+            let texts = vec!["a"; n];
+            let spans = oracle_spans(&cfg, &tokens);
+            let pf = build_sppf(&cfg, &tokens, &texts, &spans);
+            assert_eq!(pf.count(), TreeCount::Finite(catalan[n - 1]), "n={n}");
+        }
+    }
+
+    #[test]
+    fn trees_have_production_shape() {
+        let cfg = catalan_cfg();
+        let tokens = vec![0u32, 0];
+        let spans = oracle_spans(&cfg, &tokens);
+        let pf = build_sppf(&cfg, &tokens, &["x", "y"], &spans);
+        let ts = pf.trees(EnumLimits::default());
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].to_string(), "(S (S x) (S y))");
+        assert_eq!(ts[0].fringe(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn rejected_input_is_the_empty_forest() {
+        let cfg = catalan_cfg();
+        let spans = ProductionSpans::new();
+        let pf = build_sppf(&cfg, &[0], &["a"], &spans);
+        assert!(!pf.has_tree());
+        assert_eq!(pf.count(), TreeCount::Finite(0));
+    }
+
+    #[test]
+    fn epsilon_and_unit_cycles_build_cyclic_forests() {
+        // S → S | A, A → ε: infinitely many derivations of the empty word.
+        let mut g = CfgBuilder::new("S");
+        g.terminal("x");
+        g.rule("S", &["S"]);
+        g.rule("S", &["A"]);
+        g.rule("A", &[]);
+        let cfg = g.build().unwrap();
+        let spans = oracle_spans(&cfg, &[]);
+        // The oracle's depth cap records the unit fact (S → S over ε).
+        assert!(spans.contains(0, 0, 0), "unit cycle fact present");
+        let pf = build_sppf(&cfg, &[], &[], &spans);
+        assert_eq!(pf.count(), TreeCount::Infinite);
+        assert!(pf.has_tree());
+        assert!(!pf.trees(EnumLimits { max_trees: 4, max_depth: 32 }).is_empty());
+    }
+
+    #[test]
+    fn nullable_components_span_empty_ranges() {
+        // S → A b, A → ε | a.
+        let mut g = CfgBuilder::new("S");
+        g.terminals(&["a", "b"]);
+        g.rule("S", &["A", "b"]);
+        g.rule("A", &[]);
+        g.rule("A", &["a"]);
+        let cfg = g.build().unwrap();
+        let b = cfg.terminal_index("b").unwrap();
+        let tokens = vec![b];
+        let spans = oracle_spans(&cfg, &tokens);
+        let pf = build_sppf(&cfg, &tokens, &["b"], &spans);
+        assert_eq!(pf.count(), TreeCount::Finite(1));
+        assert_eq!(pf.trees(EnumLimits::default())[0].to_string(), "(S (A) b)");
+    }
+}

@@ -91,7 +91,9 @@ pub mod pool;
 pub mod service;
 
 pub use cache::{CacheMetrics, CachedGrammar, GrammarCache};
-pub use live::{CheckpointId, FeedReport, FinishReport, SessionId, SessionStatus};
+pub use live::{
+    CheckpointId, FeedReport, FinishForestReport, FinishReport, SessionId, SessionStatus,
+};
 pub use pool::{PoolMetrics, PooledSession, SessionPool};
 pub use service::{
     BatchMetrics, BatchReport, Input, MemoEffectiveness, ParseOutcome, ParseService, ServeError,

@@ -26,7 +26,7 @@
 //! registry lock itself is never held across engine work, so sessions never
 //! serialize against each other.
 
-use derp::api::{Checkpoint, FeedOutcome, Session};
+use derp::api::{Checkpoint, EnumLimits, FeedOutcome, ForestSummary, Session};
 use pwd_grammar::Cfg;
 
 use crate::service::{Input, ParseService, ServeError};
@@ -75,6 +75,21 @@ pub struct FinishReport {
     pub accepted: bool,
     /// Total tokens the session consumed.
     pub tokens_fed: usize,
+}
+
+/// The result of finishing a session with forest reporting
+/// ([`ParseService::finish_session_forest`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishForestReport {
+    /// Was the full fed input accepted (≥ 1 parse tree)?
+    pub accepted: bool,
+    /// Total tokens the session consumed.
+    pub tokens_fed: usize,
+    /// The shared-forest summary: exact count, depth, packed node count,
+    /// canonical fingerprint.
+    pub forest: ForestSummary,
+    /// Up to `top_k` rendered parse trees.
+    pub trees: Vec<String>,
 }
 
 /// A session held across calls: the owned backend session plus its saved
@@ -304,6 +319,45 @@ impl ParseService {
         Ok(FinishReport { accepted: verdict?, tokens_fed })
     }
 
+    /// Finishes a live session with a **parse result**, not just a verdict:
+    /// the canonical shared forest of everything fed is extracted and
+    /// summarized (exact ambiguity count, depth, packed size, fingerprint)
+    /// along with up to `top_k` rendered parse trees, and the backend
+    /// returns to a session pool. This is what lets a parse client receive
+    /// real ambiguity information — "this program has 42 readings, here are
+    /// the first three" — from one streaming session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`], or [`ServeError::Backend`] (the
+    /// backend is still recycled).
+    pub fn finish_session_forest(
+        &self,
+        id: SessionId,
+        top_k: usize,
+    ) -> Result<FinishForestReport, ServeError> {
+        let live = self.take(id)?;
+        let tokens_fed = live.session.tokens_fed();
+        let (forest, backend) = live.session.finish_forest_and_release();
+        if let Some(backend) = backend {
+            self.absorb_memo(&backend.metrics());
+            self.release_backend(live.fingerprint, backend);
+        }
+        self.live_count.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+        self.count_input();
+        let forest = forest?;
+        let summary = forest.summary();
+        let limits =
+            EnumLimits { max_trees: top_k, max_depth: forest.depth().saturating_mul(2) + 64 };
+        let trees = forest.trees(limits).iter().map(|t| t.to_string()).collect();
+        Ok(FinishForestReport {
+            accepted: !summary.count.is_zero(),
+            tokens_fed,
+            forest: summary,
+            trees,
+        })
+    }
+
     /// Abandons a live session without a verdict: everything fed is
     /// discarded and the backend is recycled into a pool. The escape hatch
     /// for disconnected clients — without it, abandoned opens would pin
@@ -434,6 +488,44 @@ mod tests {
         let fin = service.finish_session(id).unwrap();
         assert!(fin.accepted);
         assert_eq!(fin.tokens_fed, 3);
+    }
+
+    #[test]
+    fn live_sessions_finish_with_forests() {
+        let service = service();
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.rule("S", &["S", "S"]);
+        g.rule("S", &["a"]);
+        let cfg = g.build().unwrap();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a", "a"])).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a"])).unwrap();
+        let report = service.finish_session_forest(id, 2).unwrap();
+        assert!(report.accepted);
+        assert_eq!(report.tokens_fed, 5);
+        assert_eq!(report.forest.count, derp::api::ParseCount::Finite(14), "C4 = 14");
+        assert_eq!(report.trees.len(), 2);
+        assert_eq!(service.live_sessions(), 0);
+        // The backend was recycled like a plain finish.
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a"])).unwrap();
+        let report = service.finish_session_forest(id, 0).unwrap();
+        assert_eq!(report.forest.count, derp::api::ParseCount::Finite(1));
+        assert!(report.trees.is_empty());
+        assert_eq!(service.metrics().sessions.forked, 1, "second open reused the pool");
+    }
+
+    #[test]
+    fn rejected_live_sessions_report_empty_forests() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a"])).unwrap();
+        let report = service.finish_session_forest(id, 4).unwrap();
+        assert!(!report.accepted);
+        assert_eq!(report.forest.count, derp::api::ParseCount::Finite(0));
+        assert!(report.trees.is_empty());
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! workers), and returns per-input results in input order together with
 //! batch metrics.
 
-use derp::api::{BackendError, BackendMetrics, ParseCount};
+use derp::api::ForestSummary;
+use derp::api::{BackendError, BackendMetrics, EnumLimits, ParseCount, ParseForest};
 use pwd_grammar::Cfg;
 use pwd_lex::Lexeme;
 use std::collections::HashMap;
@@ -126,23 +127,66 @@ impl Input {
     }
 }
 
+/// Parses one input into its shared forest: one streaming session, lexeme
+/// texts reaching the engine where the input carries them.
+fn forest_of(
+    backend: &mut dyn derp::api::Parser,
+    input: &Input,
+) -> Result<ParseForest, BackendError> {
+    backend.begin()?;
+    match input {
+        Input::Kinds(kinds) => {
+            for k in kinds {
+                backend.feed(k, k)?;
+            }
+        }
+        Input::Lexemes(lexemes) => {
+            for l in lexemes {
+                backend.feed(&l.kind, &l.text)?;
+            }
+        }
+    }
+    backend.end_forest()
+}
+
+/// Renders up to `k` parse trees of a forest (depth-bounded so cyclic —
+/// infinitely ambiguous — forests terminate; acyclic forests always fit in
+/// their own graph depth).
+fn top_k_trees(forest: &ParseForest, k: usize) -> Vec<String> {
+    let limits = EnumLimits { max_trees: k, max_depth: forest.depth().saturating_mul(2) + 64 };
+    forest.trees(limits).iter().map(|t| t.to_string()).collect()
+}
+
 /// Runs one input on a checked-out backend, folding each engine run's cache
 /// counters into `memo` (every run resets the engine's metrics, so they must
-/// be read between runs, not after). Kind slices are only materialized where
-/// a trait call needs them — the hot lexeme path (`count_parses` off) does
-/// no per-input allocation here.
+/// be read between runs, not after). With forest reporting off, the hot
+/// lexeme path does no per-input allocation here; with it on, one forest
+/// pass serves the verdict, the exact count, the summary, and the top-k
+/// trees together.
 fn run_input(
     backend: &mut dyn derp::api::Parser,
     input: &Input,
-    count_parses: bool,
+    config: &ServiceConfig,
     memo: &mut MemoEffectiveness,
 ) -> Result<ParseOutcome, BackendError> {
+    if config.forests || config.top_k_trees > 0 {
+        let forest = forest_of(backend, input)?;
+        memo.absorb(&backend.metrics());
+        let summary = forest.summary();
+        let trees = (config.top_k_trees > 0).then(|| top_k_trees(&forest, config.top_k_trees));
+        return Ok(ParseOutcome {
+            accepted: !summary.count.is_zero(),
+            parse_count: config.count_parses.then_some(summary.count),
+            forest: config.forests.then_some(summary),
+            trees,
+        });
+    }
     let accepted = match input {
         Input::Kinds(_) => backend.recognize(&input.kind_refs())?,
         Input::Lexemes(l) => backend.recognize_lexemes(l)?,
     };
     memo.absorb(&backend.metrics());
-    let parse_count = match count_parses {
+    let parse_count = match config.count_parses {
         false => None,
         true => {
             let count = backend.parse_count(&input.kind_refs())?;
@@ -150,7 +194,7 @@ fn run_input(
             Some(count)
         }
     };
-    Ok(ParseOutcome { accepted, parse_count })
+    Ok(ParseOutcome { accepted, parse_count, forest: None, trees: None })
 }
 
 /// The result of parsing one input.
@@ -158,8 +202,16 @@ fn run_input(
 pub struct ParseOutcome {
     /// Did the grammar accept the input?
     pub accepted: bool,
-    /// Derivation count, when [`ServiceConfig::count_parses`] is set.
+    /// Exact parse-tree count, when [`ServiceConfig::count_parses`] is set
+    /// (with explicit [`ParseCount::Overflow`] / [`ParseCount::Infinite`]
+    /// outcomes — never a silent wrap).
     pub parse_count: Option<ParseCount>,
+    /// The shared-forest summary (count, depth, node count, canonical
+    /// fingerprint), when [`ServiceConfig::forests`] is set.
+    pub forest: Option<ForestSummary>,
+    /// Up to [`ServiceConfig::top_k_trees`] rendered parse trees, when that
+    /// is nonzero.
+    pub trees: Option<Vec<String>>,
 }
 
 /// Engine cache-effectiveness counters summed over the inputs of a batch
@@ -254,9 +306,15 @@ pub struct ServiceConfig {
     /// Backend name from the [`derp::api`] roster (`"pwd"` aliases
     /// `"pwd-improved"`); validated lazily at first use.
     pub backend: String,
-    /// Also count derivations per input (a second engine pass; backends
-    /// without forest support report [`ParseCount::Unsupported`]).
+    /// Also report the exact parse-tree count per input (all roster
+    /// backends support counting via their shared forests).
     pub count_parses: bool,
+    /// Report a [`ForestSummary`] per input: exact count, forest depth,
+    /// packed node count, and the canonical fingerprint clients can use to
+    /// compare parses across backends or service instances.
+    pub forests: bool,
+    /// Also render up to this many parse trees per input (0 = none).
+    pub top_k_trees: usize,
     /// Upper bound on concurrently open live sessions — each holds a
     /// pooled backend (for PWD, a full engine arena), so abandoned opens
     /// must not accumulate without bound. Opens beyond the cap fail with
@@ -271,6 +329,8 @@ impl Default for ServiceConfig {
             shards: 8,
             backend: "pwd-improved".to_string(),
             count_parses: false,
+            forests: false,
+            top_k_trees: 0,
             max_live_sessions: 1024,
         }
     }
@@ -384,7 +444,7 @@ impl ParseService {
 
         let n = inputs.len();
         let workers_used = self.config.workers.min(n).max(1);
-        let count_parses = self.config.count_parses;
+        let config = &self.config;
         let cursor = AtomicUsize::new(0);
         // Full batches take all slots anyway; smaller ones start at a
         // rotating offset so concurrent small batches use different pools.
@@ -410,8 +470,7 @@ impl ParseService {
                                 break;
                             }
                             let mut session = pool.checkout(entry);
-                            let res =
-                                run_input(session.backend(), &inputs[i], count_parses, &mut memo);
+                            let res = run_input(session.backend(), &inputs[i], config, &mut memo);
                             pool.checkin(session);
                             out.push((i, res));
                         }
@@ -682,6 +741,61 @@ mod tests {
         assert!(
             memo.template_shares + memo.template_instantiations > 0,
             "fresh lexemes of a repeated class must exercise the templates: {memo:?}"
+        );
+    }
+
+    #[test]
+    fn batch_forest_summaries_and_top_k_trees() {
+        let service = ParseService::new(ServiceConfig {
+            workers: 2,
+            forests: true,
+            top_k_trees: 3,
+            count_parses: true,
+            ..Default::default()
+        });
+        let cfg = catalan();
+        let report = service.submit_batch(&cfg, &a_inputs(&[10, 3, 0])).unwrap();
+        // n=10: C9 = 4862 readings — countable exactly, enumerable only
+        // partially; the summary carries the truth, the trees a sample.
+        let big = report.outcomes[0].as_ref().unwrap();
+        let summary = big.forest.expect("forests enabled");
+        assert_eq!(summary.count, ParseCount::Finite(4862));
+        assert!(summary.node_count > 0 && summary.depth > 0);
+        assert_eq!(big.parse_count, Some(ParseCount::Finite(4862)));
+        assert_eq!(big.trees.as_ref().unwrap().len(), 3);
+        assert!(big.accepted);
+        // Small and rejected inputs.
+        let small = report.outcomes[1].as_ref().unwrap();
+        assert_eq!(small.forest.unwrap().count, ParseCount::Finite(2));
+        assert_eq!(small.trees.as_ref().unwrap().len(), 2);
+        let rejected = report.outcomes[2].as_ref().unwrap();
+        assert!(!rejected.accepted);
+        assert_eq!(rejected.forest.unwrap().count, ParseCount::Finite(0));
+        assert!(rejected.trees.as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn forest_fingerprints_agree_across_service_backends() {
+        // The cross-backend promise at the service level: every roster
+        // backend reports the same canonical fingerprint for an input far
+        // too ambiguous to compare by tree sets.
+        let cfg = catalan();
+        let mut prints = Vec::new();
+        for &name in derp::api::BACKEND_NAMES {
+            let service = ParseService::new(ServiceConfig {
+                workers: 1,
+                backend: name.to_string(),
+                forests: true,
+                ..Default::default()
+            });
+            let report = service.submit_batch(&cfg, &a_inputs(&[9])).unwrap();
+            let summary = report.outcomes[0].as_ref().unwrap().forest.unwrap();
+            assert_eq!(summary.count, ParseCount::Finite(1430), "{name}: C8");
+            prints.push((name, summary.fingerprint));
+        }
+        assert!(
+            prints.windows(2).all(|w| w[0].1 == w[1].1),
+            "fingerprints must be backend-invariant: {prints:?}"
         );
     }
 

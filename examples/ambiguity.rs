@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let toks: Vec<_> = (0..n).map(|_| parser.token("a", "a").unwrap()).collect();
         let start = parser.start;
         let forest = parser.lang.parse_forest(start, &toks)?;
-        let count = parser.lang.count_of(forest).unwrap();
+        let count = parser.lang.count_of(forest);
         let forest_nodes = parser.lang.forest_count();
         println!("  n={n:>2}: {count:>8} parses, forest arena {forest_nodes:>6} nodes");
         parser.lang.reset();
@@ -51,8 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let start = parser.start;
     let forest = parser.lang.parse_forest(start, &[])?;
     match parser.lang.count_of(forest) {
-        None => println!("  infinitely many parses (cyclic forest), as expected"),
-        Some(c) => println!("  unexpectedly finite: {c}"),
+        derp::core::TreeCount::Infinite => {
+            println!("  infinitely many parses (cyclic forest), as expected")
+        }
+        other => println!("  unexpectedly finite: {other}"),
     }
     let sample = parser.lang.trees_of(forest, EnumLimits { max_trees: 3, max_depth: 8 });
     for t in sample {

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// `(E lhs op rhs)`, `(T lhs op rhs)`, `(F "(" e ")")`, `(F num)`, `(F - f)`.
 fn eval(t: &Tree) -> f64 {
     match t {
-        Tree::Leaf(tok) => tok.lexeme().parse().unwrap_or(0.0),
+        Tree::Leaf(tok) => tok.text.parse().unwrap_or(0.0),
         Tree::Node(label, kids) => match (label.as_ref(), kids.len()) {
             (_, 1) => eval(&kids[0]),
             ("E" | "T", 3) => {
@@ -51,7 +51,7 @@ fn eval(t: &Tree) -> f64 {
 
 fn op_text(t: &Tree) -> &str {
     match t {
-        Tree::Leaf(tok) => tok.lexeme(),
+        Tree::Leaf(tok) => &tok.text,
         _ => "?",
     }
 }

@@ -69,10 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     lang.define(s, body);
     let toks = vec![lang.token(a, "a"); 4];
     let forest = lang.parse_forest(s, &toks)?;
-    println!(
-        "S = (S ◦ S) ∪ a on a^4: {} parse trees (Catalan number C₃)",
-        lang.count_of(forest).unwrap()
-    );
+    println!("S = (S ◦ S) ∪ a on a^4: {} parse trees (Catalan number C₃)", lang.count_of(forest));
     for t in lang.trees_of(forest, EnumLimits { max_trees: 5, max_depth: 64 }) {
         println!("  {t}");
     }

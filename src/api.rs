@@ -88,10 +88,11 @@
 use crate::core::{ParserConfig, PwdError, SessionState};
 use crate::earley::{EarleyChart, EarleyParser, EarleyStats};
 use crate::glr::{GlrParser, GlrStats};
-use crate::grammar::{Cfg, Compiled};
+use crate::grammar::{build_sppf, Cfg, Compiled};
 use crate::lex::Lexeme;
 use std::fmt;
 
+pub use pwd_forest::{EnumLimits, ForestSummary, ParseForest, Tree, TreeCount};
 pub use pwd_lex::{KindSource, LexemeSource, ScannedToken, Span, TokenSource};
 
 /// An error from a parser backend: a malformed grammar, an input token
@@ -134,17 +135,13 @@ impl fmt::Display for BackendError {
 
 impl std::error::Error for BackendError {}
 
-/// The result of counting derivations of an input.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ParseCount {
-    /// The input has exactly this many parse trees (0 = rejected).
-    Finite(u128),
-    /// The grammar assigns infinitely many trees to this input.
-    Infinite,
-    /// The backend recognizes but cannot count (Earley and GLR here build no
-    /// shared parse forest).
-    Unsupported,
-}
+/// The result of counting the parse trees of an input: an exact `u128`
+/// ([`TreeCount::Finite`]; 0 = rejected), an explicit
+/// [`TreeCount::Overflow`] past 2¹²⁸, or [`TreeCount::Infinite`]. Every
+/// backend counts now that all three build shared parse forests — the old
+/// `Unsupported` variant (and its silent-overflow `usize` predecessor) is
+/// gone.
+pub use pwd_forest::TreeCount as ParseCount;
 
 /// The observable state of a session after feeding a token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -474,19 +471,72 @@ pub trait Recognizer: Send + Sync {
     fn metrics(&self) -> BackendMetrics;
 }
 
-/// A [`Recognizer`] that can also count derivations.
+/// A [`Recognizer`] that also builds **shared parse forests** — the
+/// ambiguity-node graphs under which PWD, Earley, and GLR are all cubic
+/// (the paper's Lemma-3 representation), lifted into one backend-agnostic
+/// API.
+///
+/// The one required forest hook is [`end_forest`](Parser::end_forest) (the
+/// forest-returning twin of [`Recognizer::end`]); batch
+/// [`parse_forest`](Parser::parse_forest) and the counting/enumeration
+/// conveniences are shared shims over it. Every forest comes back
+/// **canonical** ([`pwd_forest`]'s packed normal form), so forests from
+/// different backends for the same input compare by
+/// [`ParseForest::fingerprint`] — no tree enumeration, no exponential
+/// tree-set diffing.
 pub trait Parser: Recognizer {
-    /// Counts the parse trees of an input.
+    /// Closes the open session and returns the canonical shared parse
+    /// forest of everything fed — the forest of **all** derivations, packed
+    /// into a graph that stays polynomial where the tree count is
+    /// exponential (or infinite). A rejected input yields the canonical
+    /// empty forest (`count() == Finite(0)`), not an error.
     ///
-    /// The default reports [`ParseCount::Unsupported`]; backends with a
-    /// parse forest (PWD) override it.
+    /// # Errors
+    ///
+    /// [`BackendError`] if no session is open, or for engine resource
+    /// limits hit while extracting.
+    fn end_forest(&mut self) -> Result<ParseForest, BackendError>;
+
+    /// Parses a sequence of terminal kinds and returns its canonical
+    /// shared forest — one streaming session under the hood (`begin`,
+    /// `feed` each kind, [`end_forest`](Parser::end_forest)).
+    ///
+    /// # Errors
+    ///
+    /// As [`Recognizer::recognize`]; rejection is the empty forest.
+    fn parse_forest(&mut self, kinds: &[&str]) -> Result<ParseForest, BackendError> {
+        self.begin()?;
+        for k in kinds {
+            self.feed(k, k)?;
+        }
+        self.end_forest()
+    }
+
+    /// Counts the parse trees of an input — a shim over
+    /// [`parse_forest`](Parser::parse_forest): exact, never enumerating,
+    /// with explicit [`ParseCount::Overflow`] and
+    /// [`ParseCount::Infinite`] outcomes.
     ///
     /// # Errors
     ///
     /// Same as [`Recognizer::recognize`]; a rejected input is
     /// `Ok(ParseCount::Finite(0))`.
-    fn parse_count(&mut self, _kinds: &[&str]) -> Result<ParseCount, BackendError> {
-        Ok(ParseCount::Unsupported)
+    fn parse_count(&mut self, kinds: &[&str]) -> Result<ParseCount, BackendError> {
+        Ok(self.parse_forest(kinds)?.count())
+    }
+
+    /// Enumerates up to `limits.max_trees` parse trees of an input — a
+    /// shim over [`parse_forest`](Parser::parse_forest).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Recognizer::recognize`].
+    fn parse_trees(
+        &mut self,
+        kinds: &[&str],
+        limits: EnumLimits,
+    ) -> Result<Vec<Tree>, BackendError> {
+        Ok(self.parse_forest(kinds)?.trees(limits))
     }
 
     /// Clones this backend into an independent, freshly-reset instance
@@ -719,6 +769,29 @@ impl<'a> Session<'a> {
             BackendRef::Owned(b) => (verdict, Some(b)),
         }
     }
+
+    /// Closes the session and returns the canonical shared parse forest of
+    /// everything fed (the empty forest if the input was rejected) — the
+    /// streaming twin of [`Parser::parse_forest`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Parser::end_forest`].
+    pub fn finish_forest(mut self) -> Result<ParseForest, BackendError> {
+        self.backend.get().end_forest()
+    }
+
+    /// Closes the session with a forest and, if the backend is owned, hands
+    /// it back for pooling/reuse.
+    pub fn finish_forest_and_release(
+        mut self,
+    ) -> (Result<ParseForest, BackendError>, Option<Box<dyn Parser>>) {
+        let forest = self.backend.get().end_forest();
+        match self.backend {
+            BackendRef::Borrowed(_) => (forest, None),
+            BackendRef::Owned(b) => (forest, Some(b)),
+        }
+    }
 }
 
 impl fmt::Debug for Session<'_> {
@@ -781,18 +854,6 @@ impl PwdBackend {
     /// The underlying compiled engine, for backend-specific inspection.
     pub fn compiled(&self) -> &Compiled {
         &self.compiled
-    }
-
-    fn tokens(&mut self, kinds: &[&str]) -> Result<Vec<crate::core::Token>, BackendError> {
-        let label = self.label;
-        kinds
-            .iter()
-            .map(|k| {
-                self.compiled
-                    .token(k, k)
-                    .ok_or_else(|| BackendError::new(label, format!("unknown terminal {k:?}")))
-            })
-            .collect()
     }
 
     fn err(&self, e: PwdError) -> BackendError {
@@ -922,19 +983,25 @@ impl Parser for PwdBackend {
         Box::new(PwdBackend::from_compiled(self.compiled.clone(), self.label))
     }
 
-    fn parse_count(&mut self, kinds: &[&str]) -> Result<ParseCount, BackendError> {
-        let toks = self.tokens(kinds)?;
-        self.session = None;
+    fn end_forest(&mut self) -> Result<ParseForest, BackendError> {
+        let Some(state) = self.session.take() else {
+            return Err(BackendError::no_session(self.label));
+        };
         self.guard = SessionGuard::closed();
-        self.compiled.lang.reset();
-        self.runs += 1;
-        let start = self.compiled.start;
-        match self.compiled.lang.count_parses(start, &toks) {
-            Ok(Some(n)) => Ok(ParseCount::Finite(n)),
-            Ok(None) => Ok(ParseCount::Infinite),
-            Err(PwdError::Rejected { .. }) => Ok(ParseCount::Finite(0)),
-            Err(e) => Err(self.err(e)),
-        }
+        let accepted = state.prefix_is_sentence(&mut self.compiled.lang);
+        let result = if accepted {
+            // Extract the raw derivative forest (reductions and all) and
+            // normalize it into the canonical cross-backend form.
+            let root = state.forest(&mut self.compiled.lang).map_err(|e| self.err(e))?;
+            self.compiled
+                .lang
+                .canonical_forest(root)
+                .map_err(|e| BackendError::new(self.label, e))?
+        } else {
+            ParseForest::rejected()
+        };
+        state.finish(&mut self.compiled.lang);
+        Ok(result)
     }
 }
 
@@ -950,6 +1017,9 @@ pub struct EarleyBackend {
     last: EarleyStats,
     chart: Option<EarleyChart>,
     guard: SessionGuard,
+    /// Tokens fed to the open session (`(terminal index, lexeme text)`),
+    /// kept for SPPF leaves; rollback truncates in step with the chart.
+    fed: Vec<(u32, String)>,
 }
 
 impl EarleyBackend {
@@ -971,6 +1041,7 @@ impl Recognizer for EarleyBackend {
             last: EarleyStats::default(),
             chart: None,
             guard: SessionGuard::closed(),
+            fed: Vec::new(),
         }
     }
 
@@ -982,15 +1053,17 @@ impl Recognizer for EarleyBackend {
         self.runs += 1;
         self.guard = SessionGuard::open();
         self.chart = Some(self.parser.begin());
+        self.fed.clear();
         Ok(())
     }
 
-    fn feed(&mut self, kind: &str, _text: &str) -> Result<bool, BackendError> {
+    fn feed(&mut self, kind: &str, text: &str) -> Result<bool, BackendError> {
         let tok = self.kind_to_token(kind)?;
         let Some(chart) = self.chart.as_mut() else {
             return Err(BackendError::no_session("earley"));
         };
         self.guard.on_feed();
+        self.fed.push((tok, text.to_string()));
         Ok(self.parser.feed(chart, tok))
     }
 
@@ -1025,6 +1098,7 @@ impl Recognizer for EarleyBackend {
         };
         self.guard.admit(cp, "earley")?;
         chart.rollback(inner);
+        self.fed.truncate(cp.tokens);
         self.guard.on_rollback(cp.tokens);
         Ok(())
     }
@@ -1042,6 +1116,7 @@ impl Recognizer for EarleyBackend {
         // Stateless between runs: the chart is rebuilt per session.
         self.chart = None;
         self.guard = SessionGuard::closed();
+        self.fed.clear();
     }
 
     fn metrics(&self) -> BackendMetrics {
@@ -1070,7 +1145,24 @@ impl Parser for EarleyBackend {
             last: EarleyStats::default(),
             chart: None,
             guard: SessionGuard::closed(),
+            fed: Vec::new(),
         })
+    }
+
+    fn end_forest(&mut self) -> Result<ParseForest, BackendError> {
+        let Some(chart) = self.chart.take() else {
+            return Err(BackendError::no_session("earley"));
+        };
+        self.guard = SessionGuard::closed();
+        self.last = chart.stats();
+        // The completed chart *is* the derivation-fact set; the shared
+        // builder turns it into the canonical packed forest.
+        let spans = self.parser.production_spans(&chart);
+        let tokens: Vec<u32> = self.fed.iter().map(|(t, _)| *t).collect();
+        let texts: Vec<&str> = self.fed.iter().map(|(_, x)| x.as_str()).collect();
+        let forest = build_sppf(self.parser.cfg(), &tokens, &texts, &spans);
+        self.fed.clear();
+        Ok(forest)
     }
 }
 
@@ -1086,6 +1178,9 @@ pub struct GlrBackend {
     last: GlrStats,
     session: Option<crate::glr::GlrSession>,
     guard: SessionGuard,
+    /// Tokens fed to the open session (`(terminal index, lexeme text)`),
+    /// kept for SPPF leaves; rollback truncates in step with the GSS.
+    fed: Vec<(u32, String)>,
 }
 
 impl GlrBackend {
@@ -1107,6 +1202,7 @@ impl Recognizer for GlrBackend {
             last: GlrStats::default(),
             session: None,
             guard: SessionGuard::closed(),
+            fed: Vec::new(),
         }
     }
 
@@ -1118,10 +1214,11 @@ impl Recognizer for GlrBackend {
         self.runs += 1;
         self.guard = SessionGuard::open();
         self.session = Some(self.parser.begin());
+        self.fed.clear();
         Ok(())
     }
 
-    fn feed(&mut self, kind: &str, _text: &str) -> Result<bool, BackendError> {
+    fn feed(&mut self, kind: &str, text: &str) -> Result<bool, BackendError> {
         // Viability only — the sentence probe (a full EOF-lookahead reduce
         // phase on a frontier snapshot) runs in `prefix_is_sentence`, on
         // demand, so batch feeding never pays for it.
@@ -1130,6 +1227,7 @@ impl Recognizer for GlrBackend {
             return Err(BackendError::no_session("glr"));
         };
         self.guard.on_feed();
+        self.fed.push((tok, text.to_string()));
         Ok(self.parser.feed(session, tok))
     }
 
@@ -1164,6 +1262,7 @@ impl Recognizer for GlrBackend {
         };
         self.guard.admit(cp, "glr")?;
         session.rollback(inner);
+        self.fed.truncate(cp.tokens);
         self.guard.on_rollback(cp.tokens);
         Ok(())
     }
@@ -1182,6 +1281,7 @@ impl Recognizer for GlrBackend {
         // Stateless between runs: the GSS is rebuilt per session.
         self.session = None;
         self.guard = SessionGuard::closed();
+        self.fed.clear();
     }
 
     fn metrics(&self) -> BackendMetrics {
@@ -1210,7 +1310,24 @@ impl Parser for GlrBackend {
             last: GlrStats::default(),
             session: None,
             guard: SessionGuard::closed(),
+            fed: Vec::new(),
         })
+    }
+
+    fn end_forest(&mut self) -> Result<ParseForest, BackendError> {
+        let Some(mut session) = self.session.take() else {
+            return Err(BackendError::no_session("glr"));
+        };
+        self.guard = SessionGuard::closed();
+        // The GSS's recorded reductions (plus the EOF-probe completions)
+        // are the derivation facts; the shared builder packs them.
+        let spans = self.parser.session_spans(&mut session);
+        self.last = session.stats();
+        let tokens: Vec<u32> = self.fed.iter().map(|(t, _)| *t).collect();
+        let texts: Vec<&str> = self.fed.iter().map(|(_, x)| x.as_str()).collect();
+        let forest = build_sppf(self.parser.cfg(), &tokens, &texts, &spans);
+        self.fed.clear();
+        Ok(forest)
     }
 }
 
@@ -1286,6 +1403,54 @@ pub fn unanimous(backends: &mut [Box<dyn Parser>], kinds: &[&str], label: &str) 
     first
 }
 
+/// Runs one input through every backend's [`Parser::parse_forest`] and
+/// asserts the **forests** agree — the forest-native differential driver.
+///
+/// Tree counts must match exactly on every backend (including
+/// [`ParseCount::Overflow`] and [`ParseCount::Infinite`]); for
+/// non-`Infinite` counts the canonical fingerprints must match too
+/// (infinitely ambiguous forests are cyclic, where the fingerprint is
+/// knot-placement-sensitive, so agreement is asserted on the count alone).
+/// This verifies *all* derivations coincide, even when the tree set is far
+/// too large to enumerate — the comparison is cubic-sized-graph equality,
+/// never tree-set equality.
+///
+/// Returns the unanimous summary.
+///
+/// # Panics
+///
+/// Panics (with backend names and the input) if any backend errors or two
+/// backends disagree.
+pub fn unanimous_forests(
+    backends: &mut [Box<dyn Parser>],
+    kinds: &[&str],
+    label: &str,
+) -> ForestSummary {
+    let mut results: Vec<(&'static str, ForestSummary)> = Vec::with_capacity(backends.len());
+    for b in backends.iter_mut() {
+        let forest = b
+            .parse_forest(kinds)
+            .unwrap_or_else(|e| panic!("{label}: backend failed on {kinds:?}: {e}"));
+        results.push((b.name(), forest.summary()));
+    }
+    let (first_name, first) = results[0];
+    for &(name, summary) in &results[1..] {
+        assert_eq!(
+            first.count, summary.count,
+            "{label}: {first_name} and {name} disagree on the tree count of {kinds:?}"
+        );
+        if first.count != ParseCount::Infinite {
+            assert_eq!(
+                first.fingerprint, summary.fingerprint,
+                "{label}: {first_name} and {name} build different forests for {kinds:?} \
+                 (counts agree at {:?} but the canonical graphs differ)",
+                first.count
+            );
+        }
+    }
+    first
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1333,14 +1498,64 @@ mod tests {
     }
 
     #[test]
-    fn parse_counts_where_supported() {
+    fn parse_counts_on_every_backend() {
         let cfg = catalan();
-        let mut pwd = PwdBackend::improved(&cfg);
-        // 4 leaves => Catalan number C3 = 5 trees.
-        assert_eq!(pwd.parse_count(&["a", "a", "a", "a"]).unwrap(), ParseCount::Finite(5));
-        assert_eq!(pwd.parse_count(&[]).unwrap(), ParseCount::Finite(0));
-        let mut earley = EarleyBackend::prepare(&cfg);
-        assert_eq!(earley.parse_count(&["a"]).unwrap(), ParseCount::Unsupported);
+        for backend in &mut backends(&cfg) {
+            let name = backend.name();
+            // 4 leaves => Catalan number C3 = 5 trees.
+            assert_eq!(
+                backend.parse_count(&["a", "a", "a", "a"]).unwrap(),
+                ParseCount::Finite(5),
+                "{name}"
+            );
+            assert_eq!(backend.parse_count(&[]).unwrap(), ParseCount::Finite(0), "{name}");
+        }
+    }
+
+    #[test]
+    fn forests_agree_across_backends() {
+        let cfg = catalan();
+        let mut bs = backends(&cfg);
+        // n = 10 leaves => C9 = 4862 trees, far beyond the default
+        // enumeration cap of 64 — only forest-level comparison can check it.
+        let summary = unanimous_forests(&mut bs, &["a"; 10], "catalan-forests");
+        assert_eq!(summary.count, ParseCount::Finite(4862));
+        assert!(
+            summary.count.as_finite().unwrap() > EnumLimits::default().max_trees as u128,
+            "the agreement must cover counts past the enumeration cap"
+        );
+        // Small input: cross-check the actual enumerated tree sets too.
+        let mut tree_sets: Vec<Vec<String>> = Vec::new();
+        for b in &mut bs {
+            let mut ts: Vec<String> = b
+                .parse_trees(&["a", "a", "a"], EnumLimits::default())
+                .unwrap()
+                .iter()
+                .map(|t| t.to_string())
+                .collect();
+            ts.sort();
+            tree_sets.push(ts);
+        }
+        assert!(tree_sets.windows(2).all(|w| w[0] == w[1]), "{tree_sets:?}");
+        assert_eq!(tree_sets[0].len(), 2, "C2 = 2 trees over aaa");
+    }
+
+    #[test]
+    fn streaming_finish_forest_matches_batch() {
+        let cfg = catalan();
+        for backend in &mut backends(&cfg) {
+            let name = backend.name();
+            let batch = backend.parse_forest(&["a", "a", "a", "a"]).unwrap();
+            let mut s = Session::open(&mut **backend).unwrap();
+            s.feed_all(&["a", "a"]).unwrap();
+            let cp = s.checkpoint().unwrap();
+            s.feed_all(&["a", "a", "a"]).unwrap(); // speculate…
+            s.rollback(&cp).unwrap(); // …and retract
+            s.feed_all(&["a", "a"]).unwrap();
+            let streamed = s.finish_forest().unwrap();
+            assert_eq!(streamed.summary(), batch.summary(), "{name}");
+            assert_eq!(streamed.count(), ParseCount::Finite(5), "{name}: C3");
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use derp::core::{
     CompactionMode, EnumLimits, MemoKeying, MemoStrategy, NullStrategy, ParseMode, ParserConfig,
+    TreeCount,
 };
 use derp::grammar::{gen, grammars, Compiled};
 
@@ -106,7 +107,11 @@ fn catalan_counts_and_polynomial_forests() {
         let mut c = Compiled::compile(&cfg, ParserConfig::improved());
         let toks: Vec<_> = (0..n).map(|_| c.token("a", "a").unwrap()).collect();
         let start = c.start;
-        assert_eq!(c.lang.count_parses(start, &toks).unwrap(), Some(catalan[n - 1]), "n={n}");
+        assert_eq!(
+            c.lang.count_parses(start, &toks).unwrap(),
+            TreeCount::Finite(catalan[n - 1]),
+            "n={n}"
+        );
         forest_sizes.push(c.lang.forest_count() as f64);
     }
     // Forest growth must be polynomial even though counts are exponential:
@@ -129,7 +134,7 @@ fn infinitely_ambiguous_fringe_consistency() {
     let toks = vec![c.token("a", "a").unwrap(); 2];
     let start = c.start;
     let forest = c.lang.parse_forest(start, &toks).unwrap();
-    assert_eq!(c.lang.count_of(forest), None, "ε-cycles make this infinite");
+    assert_eq!(c.lang.count_of(forest), TreeCount::Infinite, "ε-cycles make this infinite");
     let trees = c.lang.trees_of(forest, EnumLimits { max_trees: 10, max_depth: 32 });
     assert!(!trees.is_empty());
     for t in trees {

@@ -1,13 +1,19 @@
 //! Cross-crate integration: the parser families (improved PWD, original-2011
-//! PWD, Earley, GLR) must agree on membership for every grammar in the
-//! corpus, over both generated-valid and randomly mutated inputs.
+//! PWD, Earley, GLR) must agree for every grammar in the corpus, over both
+//! generated-valid and randomly mutated inputs — and not just on
+//! *membership*: on ambiguous grammars the backends' **shared parse
+//! forests** must coincide, asserted by canonical-fingerprint equality
+//! (`unanimous_forests`), which compares cubic-sized ambiguity-node graphs
+//! instead of (possibly exponential, silently truncated) enumerated tree
+//! sets. Bounded tree-set comparison survives only as a cross-check on
+//! small inputs.
 //!
 //! All four backends are driven through the shared [`derp::api::Parser`]
 //! trait: one roster is prepared per grammar and reused across inputs (the
 //! PWD arms lean on the engine's O(1) epoch reset), so there is no
 //! per-backend driver code anywhere in this file.
 
-use derp::api::{backends, unanimous};
+use derp::api::{backends, unanimous, unanimous_forests, EnumLimits, ParseCount};
 use derp::grammar::{gen, grammars, CfgBuilder};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -40,6 +46,8 @@ fn agreement_on_arith_generated_valid() {
         let lexemes = lexer.tokenize(&src).unwrap();
         let kinds: Vec<&str> = lexemes.iter().map(|l| l.kind.as_str()).collect();
         assert!(unanimous(&mut bs, &kinds, "arith-valid"), "{src}");
+        let summary = unanimous_forests(&mut bs, &kinds, "arith-forest");
+        assert_eq!(summary.count, ParseCount::Finite(1), "arith is unambiguous: {src}");
     }
 }
 
@@ -53,6 +61,10 @@ fn agreement_on_json() {
         let lexemes = lexer.tokenize(&src).unwrap();
         let kinds: Vec<&str> = lexemes.iter().map(|l| l.kind.as_str()).collect();
         assert!(unanimous(&mut bs, &kinds, "json-valid"), "{src}");
+        // JSON is unambiguous: every backend's forest is the same 1-tree
+        // canonical graph.
+        let summary = unanimous_forests(&mut bs, &kinds, "json-forest");
+        assert_eq!(summary.count, ParseCount::Finite(1), "{src}");
     }
     // Mutations: drop/duplicate a token.
     let src = gen::json_source(40, 99);
@@ -81,9 +93,59 @@ fn agreement_on_ambiguous_grammars() {
             let len = rng.random_range(0..8usize);
             let kinds: Vec<&str> =
                 (0..len).map(|_| terms[rng.random_range(0..terms.len())].as_str()).collect();
-            unanimous(&mut bs, &kinds, "ambiguous");
+            // Forest-native agreement: identical exact counts on every
+            // backend, identical canonical fingerprints where finite.
+            unanimous_forests(&mut bs, &kinds, "ambiguous");
         }
     }
+}
+
+/// The headline property the old tree-set comparison could not check:
+/// on inputs whose exact ambiguity exceeds `EnumLimits::default().max_trees`
+/// (so bounded enumeration is silently incomplete), all four backends build
+/// the *same* forest — equal exact counts and equal canonical fingerprints,
+/// established without materializing a single tree set.
+#[test]
+fn forest_agreement_beyond_enumeration_limits() {
+    let cap = EnumLimits::default().max_trees as u128;
+
+    // S → S S | a over a^10: C₉ = 4862 readings.
+    let cfg = grammars::ambiguous::catalan();
+    let mut bs = backends(&cfg);
+    let summary = unanimous_forests(&mut bs, &["a"; 10], "catalan-a10");
+    assert_eq!(summary.count, ParseCount::Finite(4862));
+    assert!(4862 > cap, "the comparison covered an un-enumerable tree set");
+
+    // E → E + E | E * E | n over 9 operands: 1430 · 2⁸ binarizations ×
+    // operator choices — far past the cap as well.
+    let cfg = grammars::ambiguous::expr();
+    let mut bs = backends(&cfg);
+    let mut kinds = vec!["n"];
+    for i in 0..8 {
+        kinds.push(if i % 2 == 0 { "+" } else { "*" });
+        kinds.push("n");
+    }
+    let summary = unanimous_forests(&mut bs, &kinds, "expr-9-operands");
+    match summary.count {
+        ParseCount::Finite(n) => assert!(n > cap, "expr ambiguity {n} must exceed {cap}"),
+        other => panic!("expected a finite count, got {other:?}"),
+    }
+
+    // Cross-check on a small sibling input: the enumerated tree sets agree
+    // too (the fingerprint is not vacuously equal).
+    let mut sets: Vec<Vec<String>> = Vec::new();
+    for b in &mut bs {
+        let mut ts: Vec<String> = b
+            .parse_trees(&["n", "+", "n", "*", "n"], EnumLimits::default())
+            .unwrap()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        ts.sort();
+        sets.push(ts);
+    }
+    assert!(sets.windows(2).all(|w| w[0] == w[1]), "{sets:?}");
+    assert_eq!(sets[0].len(), 2, "n+n*n has exactly two readings");
 }
 
 #[test]

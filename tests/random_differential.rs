@@ -1,8 +1,14 @@
 //! Randomized differential testing: PWD (two configurations), Earley, and
 //! GLR over machine-generated grammars and inputs, all driven through the
-//! shared [`derp::api::Parser`] trait.
+//! shared [`derp::api::Parser`] trait — **forest-natively**: the widest
+//! nets assert canonical forest-fingerprint equality (cubic-sized graph
+//! comparison covering *all* derivations, however many), with exact counts
+//! compared even where forests are cyclic/infinite, and bounded tree-set
+//! equality kept only as a small-input cross-check.
 
-use derp::api::{backends, unanimous, ParseCount, Parser, PwdBackend};
+use derp::api::{
+    backends, unanimous_forests, EnumLimits as ApiLimits, ParseCount, Parser, PwdBackend,
+};
 use derp::core::{EnumLimits, MemoKeying, MemoStrategy, ParseMode, ParserConfig};
 use derp::earley::EarleyParser;
 use derp::grammar::{random_cfg, random_input, remove_useless, Compiled, RandomCfgConfig};
@@ -13,6 +19,7 @@ fn four_parsers_agree_on_random_grammars() {
     let shape = RandomCfgConfig::default();
     let mut checked = 0usize;
     let mut accepted = 0usize;
+    let mut past_cap = 0usize;
     for seed in 0..60 {
         let raw = random_cfg(&shape, seed);
         // GLR requires a productive grammar for meaningful FOLLOW sets;
@@ -22,14 +29,68 @@ fn four_parsers_agree_on_random_grammars() {
         for input_seed in 0..25 {
             let input = random_input(&cfg, 8, seed * 1000 + input_seed);
             let kinds: Vec<&str> = input.iter().map(String::as_str).collect();
-            if unanimous(&mut bs, &kinds, &format!("seed {seed}")) {
+            // Full forest agreement, not just the membership verdict:
+            // exact counts (incl. Overflow/Infinite) on all four backends,
+            // canonical fingerprints wherever the forest is finite.
+            let summary = unanimous_forests(&mut bs, &kinds, &format!("seed {seed}"));
+            if !summary.count.is_zero() {
                 accepted += 1;
+            }
+            if summary.count.as_finite().is_none_or(|n| n > 64) {
+                past_cap += 1; // cases the old bounded tree-set diff missed
             }
             checked += 1;
         }
     }
     assert!(checked > 1000, "coverage sanity: {checked} cases");
     assert!(accepted > 20, "acceptance sanity: {accepted} accepted of {checked}");
+    assert!(past_cap > 0, "sanity: some case must exceed the old enumeration cap");
+}
+
+/// Property (random grammars × random inputs): whenever the exact forest
+/// count is finite and within `EnumLimits::default().max_trees`, full
+/// enumeration produces exactly that many trees, each with the input as its
+/// fringe — across all three parser families × both PWD `MemoKeying` modes.
+#[test]
+fn forest_count_equals_enumeration_when_finite() {
+    let shape = RandomCfgConfig::default();
+    let cap = ApiLimits::default().max_trees as u128;
+    let mut verified = 0usize;
+    for seed in 500..540 {
+        let Ok(cfg) = remove_useless(&random_cfg(&shape, seed)) else { continue };
+        let mut arms: Vec<Box<dyn Parser>> = backends(&cfg);
+        for (keying, label) in
+            [(MemoKeying::ByValue, "pwd-value-keyed"), (MemoKeying::ByClass, "pwd-class-keyed")]
+        {
+            let config = ParserConfig { keying, ..ParserConfig::improved() };
+            arms.push(Box::new(PwdBackend::with_config(&cfg, config, label)));
+        }
+        for input_seed in 0..10 {
+            let input = random_input(&cfg, 7, seed * 917 + input_seed);
+            let kinds: Vec<&str> = input.iter().map(String::as_str).collect();
+            for arm in &mut arms {
+                let forest = arm.parse_forest(&kinds).unwrap();
+                let ParseCount::Finite(n) = forest.count() else { continue };
+                if n == 0 || n > cap {
+                    continue;
+                }
+                let limits =
+                    ApiLimits { max_trees: n as usize + 1, max_depth: forest.depth() * 2 + 64 };
+                let trees = forest.trees(limits);
+                assert_eq!(
+                    trees.len() as u128,
+                    n,
+                    "{}: count/enumeration mismatch on {kinds:?}\n{cfg}",
+                    arm.name()
+                );
+                for t in &trees {
+                    assert_eq!(t.fringe(), input, "{}: bad fringe in {t}", arm.name());
+                }
+                verified += 1;
+            }
+        }
+    }
+    assert!(verified > 100, "coverage sanity: {verified} finite-count cases verified");
 }
 
 #[test]
@@ -125,7 +186,7 @@ fn memo_keyings_are_observationally_identical_on_random_grammars() {
                             trees.sort();
                             (count, trees)
                         } else {
-                            (None, Vec::new())
+                            (derp::core::TreeCount::Finite(0), Vec::new())
                         };
                         results.push((ok, count, trees));
                     }
@@ -144,7 +205,9 @@ fn memo_keyings_are_observationally_identical_on_random_grammars() {
 }
 
 /// Both keyings agree with the Earley and GLR baselines through the shared
-/// differential driver, with the keying arms added to the standard roster.
+/// differential driver — forest-fingerprint equality with the keying arms
+/// added to the standard roster (class-keyed derivative sharing must be
+/// invisible in the forests, not just the verdicts).
 #[test]
 fn keyed_backends_agree_with_baselines_on_random_grammars() {
     let shape = RandomCfgConfig::default();
@@ -161,7 +224,7 @@ fn keyed_backends_agree_with_baselines_on_random_grammars() {
         for input_seed in 0..15 {
             let input = random_input(&cfg, 8, seed * 513 + input_seed);
             let kinds: Vec<&str> = input.iter().map(String::as_str).collect();
-            unanimous(&mut bs, &kinds, &format!("seed {seed}"));
+            unanimous_forests(&mut bs, &kinds, &format!("seed {seed}"));
             checked += 1;
         }
     }

@@ -173,7 +173,7 @@ fn compare_streamed_forest(
         trees.sort();
         (count, trees)
     } else {
-        (None, Vec::new())
+        (derp::core::TreeCount::Finite(0), Vec::new())
     };
 
     // --- streamed, chunked, with speculative excursions ---
@@ -211,4 +211,50 @@ fn compare_streamed_forest(
         assert_eq!(streamed_trees, batch_trees, "tree set: {kinds:?}\n{cfg}");
     }
     state.finish(&mut arm.lang);
+}
+
+/// Trait-level forest agreement: on every backend, a chunked session with
+/// speculative checkpoint/rollback excursions finishes with the *same
+/// canonical forest* (summary: exact count, depth, node count, fingerprint)
+/// as the batch `parse_forest` of the same input.
+#[test]
+fn streamed_forests_match_batch_forests_on_every_backend() {
+    let shape = RandomCfgConfig::default();
+    let mut compared = 0usize;
+    for seed in 700..715 {
+        let Ok(cfg) = remove_useless(&random_cfg(&shape, seed)) else { continue };
+        for name in ["pwd", "earley", "glr"] {
+            let mut backend = backend_by_name(name, &cfg).expect("roster name");
+            for input_seed in 0..6 {
+                let input = random_input(&cfg, 6, seed * 53 + input_seed);
+                let kinds: Vec<&str> = input.iter().map(String::as_str).collect();
+                let batch = backend.parse_forest(&kinds).unwrap().summary();
+                let mut rng = StdRng::seed_from_u64(seed * 977 + input_seed);
+                let mut session = Session::open(&mut *backend).unwrap();
+                let mut i = 0;
+                loop {
+                    if rng.random_bool(0.4) && !kinds.is_empty() {
+                        let cp = session.checkpoint().unwrap();
+                        for _ in 0..rng.random_range(1..=2usize) {
+                            let junk = kinds[rng.random_range(0..kinds.len())];
+                            session.feed(junk, junk).unwrap();
+                        }
+                        session.rollback(&cp).unwrap();
+                    }
+                    if i == kinds.len() {
+                        break;
+                    }
+                    let chunk = rng.random_range(1..=(kinds.len() - i).min(3));
+                    for k in &kinds[i..i + chunk] {
+                        session.feed(k, k).unwrap();
+                    }
+                    i += chunk;
+                }
+                let streamed = session.finish_forest().unwrap().summary();
+                assert_eq!(streamed, batch, "{name}: {kinds:?}\n{cfg}");
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 100, "coverage sanity: {compared}");
 }
