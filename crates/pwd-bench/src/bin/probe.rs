@@ -1,0 +1,452 @@
+//! One diagnostic probe binary, many subcommands — the consolidation of the
+//! former one-off bins (`debug_growth`, `debug_growth2`, `debug_ambiguity`,
+//! `debug_min`, `reset_probe`, `probe_keying`):
+//!
+//! ```text
+//! cargo run --release -p pwd-bench --bin probe -- growth [tokens]
+//! cargo run --release -p pwd-bench --bin probe -- units
+//! cargo run --release -p pwd-bench --bin probe -- ambiguity
+//! cargo run --release -p pwd-bench --bin probe -- min
+//! cargo run --release -p pwd-bench --bin probe -- reset
+//! cargo run --release -p pwd-bench --bin probe -- keying [tokens] [--forest-dot [FILE]]
+//! cargo run --release -p pwd-bench --bin probe -- automaton [tokens]
+//! ```
+//!
+//! * `growth` — per-token reachable-graph growth on the Python grammar.
+//! * `units` — reachable growth on degenerate repetitive programs.
+//! * `ambiguity` — parse-counts of Python snippets (ambiguity hunt).
+//! * `min` — minimal statement-list grammars, reachable size per shape.
+//! * `reset` — compile vs `reset()` vs reset+parse vs fresh+parse costs.
+//! * `keying` — memo-keying effectiveness matrix on lexeme-diverse PL/0;
+//!   `--forest-dot` renders an ambiguous forest as Graphviz instead.
+//! * `automaton` — lazy-automaton row occupancy and fallback stats on the
+//!   lexeme-diverse PL/0 corpus, across a sweep of row budgets.
+
+use pwd_bench::{python_cfg, python_corpus};
+use pwd_core::{AutomatonMode, MemoKeying, MemoStrategy, ParseMode, ParserConfig};
+use pwd_grammar::{gen, grammars, CfgBuilder, Compiled};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("growth") => growth(arg_usize(&args, 1, 200)),
+        Some("units") => units(),
+        Some("ambiguity") => ambiguity(),
+        Some("min") => min(),
+        Some("reset") => reset(),
+        Some("keying") => keying(&args[1..]),
+        Some("automaton") => automaton(arg_usize(&args, 1, 600)),
+        _ => {
+            eprintln!(
+                "usage: probe <growth [tokens] | units | ambiguity | min | reset | \
+                 keying [tokens] [--forest-dot [FILE]] | automaton [tokens]>"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn arg_usize(args: &[String], idx: usize, default: usize) -> usize {
+    args.get(idx).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Per-token reachable-graph growth on the Python grammar.
+fn growth(target: usize) {
+    let cfg = python_cfg();
+    let corpus = python_corpus(&[target]);
+    let file = &corpus[0];
+    let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+    let toks = pwd.tokens_from_lexemes(&file.lexemes).expect("terminals");
+    let start = pwd.start;
+    println!("initial grammar reachable: {}", pwd.lang.reachable_count(start));
+
+    for k in (10..=toks.len()).step_by((toks.len() / 12).max(10)) {
+        pwd.lang.reset();
+        let d = pwd.lang.derivative(start, &toks[..k]).expect("ok");
+        let reach = pwd.lang.reachable_count(d);
+        let m = pwd.lang.metrics();
+        println!(
+            "prefix {:>5}: reachable {:>8}  nodes_created {:>10}  per-token {:>8.0}",
+            k,
+            reach,
+            m.nodes_created,
+            m.nodes_created as f64 / k as f64,
+        );
+        println!("  census: {:?}", pwd.lang.kind_census(d));
+    }
+}
+
+/// Reachable growth on degenerate repetitive programs, plus the hottest
+/// structural patterns among live nodes for `pass`*16.
+fn units() {
+    let cfg = python_cfg();
+    {
+        let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+        let lexemes = pwd_lex::tokenize_python(&"pass\n".repeat(16)).unwrap();
+        let toks = pwd.tokens_from_lexemes(&lexemes).unwrap();
+        let start = pwd.start;
+        let d = pwd.lang.derivative(start, &toks).unwrap();
+        for line in pwd.lang.hot_patterns(d, 25) {
+            println!("{line}");
+        }
+        println!();
+    }
+    for (label, unit) in
+        [("pass", "pass\n"), ("assign", "x = 1\n"), ("call", "f(1)\n"), ("binop", "x = x + 1\n")]
+    {
+        println!("--- unit {label:?} ---");
+        for k in [4usize, 8, 16, 32, 64] {
+            let src = unit.repeat(k);
+            let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+            let lexemes = pwd_lex::tokenize_python(&src).unwrap();
+            let toks = pwd.tokens_from_lexemes(&lexemes).unwrap();
+            let start = pwd.start;
+            let d = pwd.lang.derivative(start, &toks).unwrap();
+            println!(
+                "  k={k:>3} tokens={:>4} reachable={:>6} census={:?}",
+                toks.len(),
+                pwd.lang.reachable_count(d),
+                pwd.lang.kind_census(d),
+            );
+        }
+    }
+}
+
+/// Parse-count of Python snippets (ambiguity hunt).
+fn ambiguity() {
+    let cfg = python_cfg();
+    let snippets = [
+        "x = 1\n",
+        "x = 1 + 2\n",
+        "x = f(1)\n",
+        "x = f(1, 2)\n",
+        "x = a.b\n",
+        "x = a[1]\n",
+        "x = a[1:2]\n",
+        "x = (1, 2)\n",
+        "x = [1, 2]\n",
+        "x = {1: 2}\n",
+        "x, y = 1, 2\n",
+        "if x:\n    pass\n",
+        "def f(a):\n    return a\n",
+        "for i in range(3):\n    pass\n",
+        "x = 'a' 'b'\n",
+        "x = lambda a: a\n",
+        "x = y if z else w\n",
+        "print(x)\n",
+        "x = a + b * c - d\n",
+        "x = f(g(h(1)))\n",
+        "pass\npass\npass\n",
+        "x = 1\ny = 2\nz = 3\n",
+    ];
+    for src in snippets {
+        let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+        let lexemes = pwd_lex::tokenize_python(src).unwrap();
+        let toks = pwd.tokens_from_lexemes(&lexemes).unwrap();
+        let start = pwd.start;
+        match pwd.lang.count_parses(start, &toks) {
+            Ok(n) => println!("{:>6}  {src:?}", n.to_string()),
+            Err(e) => println!("  ERR({e})  {src:?}"),
+        }
+    }
+}
+
+/// Minimal statement-list growth repros: reachable size per grammar shape.
+fn min() {
+    fn probe(label: &str, build: impl Fn(&mut CfgBuilder)) {
+        let mut g = CfgBuilder::new("S");
+        build(&mut g);
+        let cfg = g.build().unwrap();
+        let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+        print!("{label:<40}");
+        for k in [2usize, 4, 8, 16, 32] {
+            pwd.lang.reset();
+            let mut toks = Vec::new();
+            for _ in 0..k {
+                toks.push(pwd.token("p", "p").unwrap());
+                toks.push(pwd.token("n", "n").unwrap());
+            }
+            let start = pwd.start;
+            let d = pwd.lang.derivative(start, &toks).unwrap();
+            print!(" {:>6}", pwd.lang.reachable_count(d));
+        }
+        println!();
+    }
+
+    probe("S=ε|S T; T=p n", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["p", "n"]);
+    });
+    probe("S=ε|S T; T=U n; U=p", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["U", "n"]);
+        g.rule("U", &["p"]);
+    });
+    probe("S=T|S T; T=p n", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &["T"]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["p", "n"]);
+    });
+    probe("right rec: S=ε|T S; T=p n", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["T", "S"]);
+        g.rule("T", &["p", "n"]);
+    });
+    probe("S=ε|S T; T=A n; A=ε|p", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["A", "n"]);
+        g.rule("A", &[]);
+        g.rule("A", &["p"]);
+    });
+    probe("nested list: T=L n; L=p|L ; p", |g| {
+        g.terminals(&["p", "n", ";"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["L", "n"]);
+        g.rule("L", &["p"]);
+        g.rule("L", &["L", ";", "p"]);
+    });
+    probe("expr chain: T=E n; E=F|E + F; F=p", |g| {
+        g.terminals(&["p", "n", "+"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["E", "n"]);
+        g.rule("E", &["F"]);
+        g.rule("E", &["E", "+", "F"]);
+        g.rule("F", &["p"]);
+    });
+    probe("two stmt kinds", |g| {
+        g.terminals(&["p", "q", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["p", "n"]);
+        g.rule("T", &["q", "n"]);
+    });
+    probe("deep unary chain", |g| {
+        g.terminals(&["p", "n"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["A1", "n"]);
+        g.rule("A1", &["A2"]);
+        g.rule("A2", &["A3"]);
+        g.rule("A3", &["A4"]);
+        g.rule("A4", &["p"]);
+    });
+    probe("suite-like: T=p n|h n I S D", |g| {
+        // compound statement with a nested statement list (suite)
+        g.terminals(&["p", "n", "h", "I", "D"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["p", "n"]);
+        g.rule("T", &["h", "n", "I", "S", "D"]);
+    });
+    probe("python-like small core", |g| {
+        g.terminals(&["p", "n", ";", "=", "x", "+"]);
+        g.rule("S", &[]);
+        g.rule("S", &["S", "T"]);
+        g.rule("T", &["SS", "n"]);
+        g.rule("SS", &["Sm"]);
+        g.rule("SS", &["SS", ";", "Sm"]);
+        g.rule("Sm", &["p"]);
+        g.rule("Sm", &["E"]);
+        g.rule("Sm", &["E", "=", "E"]);
+        g.rule("E", &["F"]);
+        g.rule("E", &["E", "+", "F"]);
+        g.rule("F", &["x"]);
+    });
+}
+
+/// Micro-probe separating the costs behind the `reset_reuse` bench.
+fn reset() {
+    let cfg = python_cfg();
+    let corpus = python_corpus(&[200]);
+    let file = &corpus[0];
+
+    // compile-only cost
+    let t0 = Instant::now();
+    for _ in 0..50 {
+        let c = Compiled::compile(&cfg, ParserConfig::improved());
+        std::hint::black_box(&c);
+    }
+    println!("compile-only: {:?}/round", t0.elapsed() / 50);
+
+    let mut pwd = Compiled::compile(&cfg, ParserConfig::improved());
+    let toks = pwd.tokens_from_lexemes(&file.lexemes).unwrap();
+    let start = pwd.start;
+    // warmup
+    for _ in 0..3 {
+        pwd.lang.reset();
+        assert!(pwd.lang.recognize(start, &toks).unwrap());
+    }
+    // reset cost alone
+    let t0 = Instant::now();
+    for _ in 0..1000 {
+        pwd.lang.reset();
+    }
+    println!("reset-only: {:?}/round", t0.elapsed() / 1000);
+    // reset+parse
+    let t0 = Instant::now();
+    for _ in 0..30 {
+        pwd.lang.reset();
+        assert!(pwd.lang.recognize(start, &toks).unwrap());
+    }
+    println!("reset+parse: {:?}/round", t0.elapsed() / 30);
+    // fresh compile+parse
+    let t0 = Instant::now();
+    for _ in 0..30 {
+        let mut p = Compiled::compile(&cfg, ParserConfig::improved());
+        let tk = p.tokens_from_lexemes(&file.lexemes).unwrap();
+        assert!(p.lang.recognize(p.start, &tk).unwrap());
+    }
+    println!("fresh+parse: {:?}/round", t0.elapsed() / 30);
+}
+
+/// Renders the canonical shared forest of `n+n*n+n` under the ambiguous
+/// expression grammar (E → E+E | E*E | n): 5 readings, one packed graph.
+fn forest_dot() -> String {
+    let mut c = Compiled::compile(&grammars::ambiguous::expr(), ParserConfig::improved());
+    let toks: Vec<_> = ["n", "+", "n", "*", "n", "+", "n"]
+        .iter()
+        .map(|k| c.token(k, k).expect("grammar terminal"))
+        .collect();
+    let start = c.start;
+    let root = c.lang.parse_forest(start, &toks).expect("ambiguous sentence parses");
+    let canon = c.lang.canonical_forest(root).expect("compiled grammars canonicalize");
+    eprintln!(
+        "forest of n+n*n+n: {} readings, {} packed nodes, depth {}, fingerprint {:016x}",
+        canon.count(),
+        canon.node_count(),
+        canon.depth(),
+        canon.fingerprint()
+    );
+    canon.to_dot()
+}
+
+/// Memo-keying effectiveness matrix on the lexeme-diverse PL/0 corpus;
+/// `--forest-dot [FILE]` renders an ambiguous forest as Graphviz instead.
+fn keying(args: &[String]) {
+    if let Some(i) = args.iter().position(|a| a == "--forest-dot") {
+        let dot = forest_dot();
+        match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => {
+                std::fs::write(path, &dot).expect("write DOT file");
+                eprintln!("wrote {path}");
+            }
+            _ => print!("{dot}"),
+        }
+        return;
+    }
+    let target = arg_usize(args, 0, 600);
+    let lx = grammars::pl0::lexer();
+    let src = gen::pl0_source(target, 0xD1CE, 0.1);
+    let lexemes = lx.tokenize(&src).unwrap();
+    println!("tokens: {}", lexemes.len());
+    for mode in [ParseMode::Recognize, ParseMode::Parse] {
+        for memo in [MemoStrategy::SingleEntry, MemoStrategy::DualEntry, MemoStrategy::FullHash] {
+            for keying in [MemoKeying::ByValue, MemoKeying::ByClass] {
+                let cfg = ParserConfig { mode, keying, memo, ..ParserConfig::improved() };
+                let mut pwd = Compiled::compile(&grammars::pl0::cfg(), cfg);
+                let toks = pwd.tokens_from_lexemes(&lexemes).unwrap();
+                let start = pwd.start;
+                let run = |pwd: &mut Compiled| {
+                    pwd.lang.reset();
+                    match mode {
+                        ParseMode::Recognize => {
+                            assert!(pwd.lang.recognize(start, &toks).unwrap());
+                        }
+                        ParseMode::Parse => {
+                            pwd.lang.parse_forest(start, &toks).unwrap();
+                        }
+                    }
+                };
+                run(&mut pwd); // warm the prepass cache and template rows
+                let rounds = 20u32;
+                let t0 = Instant::now();
+                for _ in 0..rounds {
+                    run(&mut pwd);
+                }
+                let ns = t0.elapsed().as_nanos() / rounds as u128;
+                let m = *pwd.lang.metrics();
+                println!(
+                    "{mode:?}/{memo:?}/{keying:?}: ns={ns} calls={} uncached={} nodes={} \
+                     evict={} tmpl_rec={} tmpl_inst={} tmpl_share={}",
+                    m.derive_calls,
+                    m.derive_uncached,
+                    m.nodes_created,
+                    m.memo_evictions,
+                    m.templates_recorded,
+                    m.template_instantiations,
+                    m.template_shares,
+                );
+            }
+        }
+    }
+}
+
+/// Lazy-automaton row-occupancy and fallback stats on the lexeme-diverse
+/// PL/0 corpus: one warm engine per row budget, showing how many states a
+/// real grammar settles into, how dense the explored transition rows are,
+/// and what fraction of warm-pass tokens fall back to the interpreted path
+/// once the budget freezes the table.
+fn automaton(target: usize) {
+    let lx = grammars::pl0::lexer();
+    let src = gen::pl0_source(target, 0xD1CE, 0.1);
+    let lexemes = lx.tokenize(&src).unwrap();
+    println!("tokens: {}", lexemes.len());
+    for max_rows in [usize::MAX, 4096, 512, 64, 8, 2] {
+        let cfg = ParserConfig {
+            mode: ParseMode::Recognize,
+            keying: MemoKeying::ByClass,
+            automaton: AutomatonMode::Lazy,
+            automaton_max_rows: max_rows,
+            ..ParserConfig::improved()
+        };
+        let mut pwd = Compiled::compile(&grammars::pl0::cfg(), cfg);
+        let toks = pwd.tokens_from_lexemes(&lexemes).unwrap();
+        let start = pwd.start;
+        // Cold pass builds rows; warm pass shows the steady state.
+        pwd.lang.reset();
+        assert!(pwd.lang.recognize(start, &toks).unwrap());
+        let cold = *pwd.lang.metrics();
+        pwd.lang.reset();
+        assert!(pwd.lang.recognize(start, &toks).unwrap());
+        let warm = *pwd.lang.metrics();
+        let stats = pwd.lang.automaton_stats();
+        let budget =
+            if max_rows == usize::MAX { "unbounded".to_string() } else { max_rows.to_string() };
+        println!(
+            "budget {budget:>9}: states={:>5} stride={:>2} explored={:>6} occupancy={:>5.1}% \
+             accept_cached={:>5} dead={:>3} frozen={}",
+            stats.states,
+            stats.stride,
+            stats.explored_transitions,
+            stats.occupancy() * 100.0,
+            stats.accept_cached,
+            stats.dead_states,
+            stats.frozen,
+        );
+        println!(
+            "  cold: rows_built={:>5} table_hits={:>6} fallbacks={:>6} hit_ratio={:>5.1}%",
+            cold.auto_rows_built,
+            cold.auto_table_hits,
+            cold.auto_fallbacks,
+            cold.auto_hit_ratio() * 100.0,
+        );
+        println!(
+            "  warm: rows_built={:>5} table_hits={:>6} fallbacks={:>6} hit_ratio={:>5.1}%",
+            warm.auto_rows_built,
+            warm.auto_table_hits,
+            warm.auto_fallbacks,
+            warm.auto_hit_ratio() * 100.0,
+        );
+    }
+}

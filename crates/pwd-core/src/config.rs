@@ -91,6 +91,34 @@ pub enum MemoKeying {
     ByClass,
 }
 
+/// Whether `derive` results are additionally compiled into a lazy automaton
+/// (the third memoization tier, beyond the paper).
+///
+/// Class keying (tier two) made recognize-mode derivatives lexeme-independent,
+/// but the steady-state loop still walks the derivative graph and probes the
+/// memo for every token. The automaton takes the same step `pwd-regex` takes
+/// from `deriv.rs` to `dfa.rs`: derivative roots are interned into *states*
+/// by structural signature, each state caches a dense `TermId → state`
+/// transition row plus its nullability, and the recognize loop becomes a
+/// table walk — zero graph construction, memo probes, or hashing per token.
+///
+/// The automaton only engages where it is sound and free of observable
+/// effect: recognize mode, class keying, Definition-5 naming off (the same
+/// gate as the class-keyed memo — parse-mode derivatives embed lexemes, so
+/// their states never recur). Outside that configuration the axis is
+/// ignored, and results are byte-identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AutomatonMode {
+    /// Never build transition rows; always run the interpreted (class-keyed)
+    /// derive loop. The ablation baseline.
+    Off,
+    /// Build states and rows lazily as inputs explore them, up to
+    /// [`ParserConfig::automaton_max_rows`]; fall back to the interpreted
+    /// path transparently beyond the budget.
+    #[default]
+    Lazy,
+}
+
 /// Whether to build parse forests or only recognize (§2 vs §3).
 ///
 /// `Recognize` uses the paper's Figure-2 derivative for `◦` (two nodes per
@@ -137,6 +165,14 @@ pub struct ParserConfig {
     /// Abort parsing if more than this many grammar nodes are created
     /// (failure-injection and runaway protection).
     pub max_nodes: Option<usize>,
+    /// Lazily compile recognize-mode derivatives into a transition-table
+    /// automaton (the third memoization tier; see [`AutomatonMode`]).
+    pub automaton: AutomatonMode,
+    /// State/row budget for the lazy automaton: once this many states have
+    /// been interned, no further rows are built and unexplored transitions
+    /// run on the interpreted class-keyed path (re-entering the table
+    /// whenever the walk lands on an already-interned state).
+    pub automaton_max_rows: usize,
 }
 
 impl ParserConfig {
@@ -152,6 +188,8 @@ impl ParserConfig {
             naming: false,
             prepass_right_children: false,
             max_nodes: None,
+            automaton: AutomatonMode::Off,
+            automaton_max_rows: DEFAULT_AUTOMATON_MAX_ROWS,
         }
     }
 
@@ -174,6 +212,8 @@ impl ParserConfig {
             naming: false,
             prepass_right_children: true,
             max_nodes: None,
+            automaton: AutomatonMode::Lazy,
+            automaton_max_rows: DEFAULT_AUTOMATON_MAX_ROWS,
         }
     }
 
@@ -190,9 +230,17 @@ impl ParserConfig {
             naming: true,
             prepass_right_children: false,
             max_nodes: None,
+            automaton: AutomatonMode::Off,
+            automaton_max_rows: DEFAULT_AUTOMATON_MAX_ROWS,
         }
     }
 }
+
+/// Default state/row budget for the lazy automaton. Real grammars settle
+/// into a few dozen isomorphism classes of live derivatives; 4096 rows is
+/// two orders of magnitude of headroom while still bounding memory on
+/// adversarially state-rich grammars.
+pub const DEFAULT_AUTOMATON_MAX_ROWS: usize = 4096;
 
 impl Default for ParserConfig {
     fn default() -> Self {
@@ -221,6 +269,14 @@ mod tests {
     #[test]
     fn default_is_improved() {
         assert_eq!(ParserConfig::default(), ParserConfig::improved());
+    }
+
+    #[test]
+    fn automaton_axis_defaults() {
+        assert_eq!(ParserConfig::improved().automaton, AutomatonMode::Lazy);
+        assert_eq!(ParserConfig::original_2011().automaton, AutomatonMode::Off);
+        assert_eq!(ParserConfig::named_recognizer().automaton, AutomatonMode::Off);
+        assert_eq!(ParserConfig::improved().automaton_max_rows, DEFAULT_AUTOMATON_MAX_ROWS);
     }
 
     #[test]

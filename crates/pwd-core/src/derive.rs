@@ -46,7 +46,7 @@ impl Language {
     pub fn recognize(&mut self, start: NodeId, tokens: &[Token]) -> Result<bool, PwdError> {
         match self.run_derivatives(start, tokens)? {
             Err(_) => Ok(false),
-            Ok(final_node) => Ok(self.nullable(final_node)),
+            Ok(final_node) => Ok(self.accept_of(final_node)),
         }
     }
 
@@ -196,13 +196,31 @@ impl Language {
             self.prune_empty(0);
         }
         self.in_parse = true;
+        // The lazy-automaton walk state: the interned state of `cur`, when
+        // known. Interning the start node up front means a warm table serves
+        // from token 0.
+        let auto_active = self.automaton_active();
+        let mut cur_state = if auto_active { self.auto_intern(cur) } else { None };
         for (i, tok) in tokens.iter().enumerate() {
-            let generation_start = self.nodes.len();
             debug_assert_eq!(
                 tok.lexeme(),
                 self.interner.token_by_key(tok.key()).lexeme(),
                 "token was interned by a different Language"
             );
+            // Tier three: one dense-row lookup consumes the token — no
+            // derive call, no memo probe, no hashing, no allocation.
+            if let Some(st) = cur_state {
+                if let Some((next, ns, dead)) = self.auto_try_step(st, tok.term()) {
+                    if dead {
+                        self.in_parse = false;
+                        return Ok(Err(i));
+                    }
+                    cur = next;
+                    cur_state = Some(ns);
+                    continue;
+                }
+            }
+            let generation_start = self.nodes.len();
             cur = self.derive_node(cur, tok);
             if self.config.compaction == CompactionMode::SeparatePass {
                 cur = self.compact_pass(cur);
@@ -216,6 +234,21 @@ impl Language {
                     limit: self.config.max_nodes.unwrap_or(0),
                     at_token: i,
                 });
+            }
+            if auto_active {
+                // Interpreted step under an active automaton: intern the new
+                // derivative (post-prune, so its structure is final), record
+                // the explored transition, and canonicalize the walk onto
+                // the state's root so the next step reuses its caches.
+                self.metrics.auto_fallbacks += 1;
+                let ns = self.auto_intern(cur);
+                if let (Some(from), Some(to)) = (cur_state, ns) {
+                    self.auto_record(from, tok.term(), to);
+                }
+                if let Some(ns) = ns {
+                    cur = self.auto.roots[ns as usize];
+                }
+                cur_state = ns;
             }
             if self.is_empty_node(cur) {
                 self.in_parse = false;

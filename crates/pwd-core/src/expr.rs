@@ -137,6 +137,13 @@ pub(crate) struct Node {
     // --- parse-null memo, valid while `null_parse_epoch` is current ---
     pub(crate) null_parse_epoch: u32,
     pub(crate) null_parse: Option<ForestId>,
+    /// The lazy-automaton state this node is interned as, `NO_LINK` if none.
+    /// Not epoch-stamped: state identity is a structural fact, and interned
+    /// roots survive [`Language::reset`] (the automaton boundary keeps them
+    /// alive), so the mapping stays warm across parses. Cleared by
+    /// [`Language::invalidate_parse_state`] on the rare in-place kind
+    /// rewrite.
+    pub(crate) auto_state: u32,
 }
 
 impl Node {
@@ -161,6 +168,7 @@ impl Node {
             tmpl_row_len: 0,
             null_parse_epoch: 0,
             null_parse: None,
+            auto_state: NO_LINK,
         }
     }
 
@@ -233,6 +241,10 @@ pub struct Language {
     /// every parse; entries whose nodes die at [`reset`](Language::reset)
     /// are dropped there.
     pub(crate) prepass_cache: Vec<(NodeId, NodeId)>,
+    /// The lazy derivative automaton (see [`crate::automaton`]): interned
+    /// derivative states with dense transition rows and cached accept bits.
+    /// Like `class_pool`, warm state that survives [`reset`](Language::reset).
+    pub(crate) auto: crate::automaton::Automaton,
     /// True while `parse`/`derive` are running; gates the §4.3.1 right-child
     /// compaction rules, which are only valid on the initial grammar.
     pub(crate) in_parse: bool,
@@ -270,6 +282,7 @@ impl Language {
             memo_pool: Vec::new(),
             class_pool: Vec::new(),
             prepass_cache: Vec::new(),
+            auto: crate::automaton::Automaton::default(),
             in_parse: false,
             budget_hit: false,
             initial_nodes: None,
@@ -428,6 +441,8 @@ impl Language {
         n.null_epoch = 0;
         n.memo_epoch = 0;
         n.null_parse_epoch = 0;
+        let auto_state = n.auto_state;
+        n.auto_state = NO_LINK;
         let (row, len) = (n.tmpl_row, n.tmpl_row_len);
         if row != NO_LINK {
             // Kind rewrites are rare (placeholder patching, pruning), so an
@@ -435,6 +450,12 @@ impl Language {
             for e in &mut self.class_pool[row as usize..(row + len) as usize] {
                 e.epoch = 0;
             }
+        }
+        if auto_state != NO_LINK {
+            // States are interned post-prune on frozen structure, so a kind
+            // rewrite on an interned root should be impossible — but if one
+            // ever happens, drop the automaton rather than serve stale rows.
+            self.auto_node_invalidated(id, auto_state);
         }
     }
 
@@ -706,12 +727,20 @@ impl Language {
         let (Some(n), Some(f)) = (self.initial_nodes, self.initial_forests) else {
             return; // never parsed; nothing to reset
         };
-        // Roll the arenas back to the initial grammar. Capacity is retained;
+        // Roll the arenas back to the initial grammar — extended to the
+        // automaton boundary (the arena length at the last state intern),
+        // so interned state roots and their reachable subgraphs stay alive
+        // and every transition row built so far remains warm for the next
+        // parse. Their productivity marks are settled, so the
+        // start-of-parse prune pass never rewrites them, and their
+        // epoch-stamped memo state dies with the bump below like any other
+        // node's. With the automaton idle both boundaries are 0 and this is
+        // the plain initial-grammar truncation. Capacity is retained;
         // derived nodes own no per-parse heap (their dependency and memo
         // lists live in the shared pools below), so this drops only
         // reference counts on shared grammar structure.
-        self.nodes.truncate(n);
-        self.forests.truncate(f);
+        self.nodes.truncate(n.max(self.auto.boundary));
+        self.forests.truncate(f.max(self.auto.forest_boundary));
         // O(1): the pool entries are `Copy`, so `clear` is a length store.
         self.dep_pool.clear();
         self.memo_pool.clear();

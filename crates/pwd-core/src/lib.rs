@@ -18,7 +18,10 @@
 //! Beyond the paper, the memo can be keyed by terminal *class* instead of
 //! token value ([`MemoKeying`]), sharing derivatives across distinct lexemes
 //! — the difference between all-miss and all-hit caching on identifier-heavy
-//! inputs.
+//! inputs — and recognize-mode derivatives can additionally be compiled into
+//! a lazy transition-table automaton ([`AutomatonMode`]), making the
+//! steady-state recognize loop a dense table walk with no graph
+//! construction, memo probes, or hashing per token.
 //!
 //! It also carries the §3 complexity instrumentation: Definition-5 node
 //! naming, node-census metrics, and the recognizer-form derivative used by
@@ -54,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod automaton;
 mod compact;
 mod config;
 mod derive;
@@ -68,7 +72,11 @@ mod prune;
 mod session;
 mod token;
 
-pub use config::{CompactionMode, MemoKeying, MemoStrategy, NullStrategy, ParseMode, ParserConfig};
+pub use automaton::AutomatonStats;
+pub use config::{
+    AutomatonMode, CompactionMode, MemoKeying, MemoStrategy, NullStrategy, ParseMode, ParserConfig,
+    DEFAULT_AUTOMATON_MAX_ROWS,
+};
 pub use error::PwdError;
 pub use expr::{Language, NodeId};
 pub use metrics::Metrics;

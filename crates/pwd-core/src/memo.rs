@@ -50,6 +50,21 @@
 //! [`Language::reset`] invalidates every strategy's state (and all
 //! templates) with one counter bump — nothing re-hashes, clears, or walks
 //! anything between parses.
+//!
+//! # Tier three: the lazy derivative automaton
+//!
+//! The two memo layers above are tiers one and two of a three-tier derive
+//! path. In recognize mode under class keying, derivatives are additionally
+//! compiled — lazily, as recognition computes them anyway — into dense
+//! per-state transition rows ([`crate::AutomatonMode`]; see the
+//! `automaton` module). Where a class-keyed hit still costs a memo probe
+//! per token (node resolution, epoch check, key compare), a warm automaton
+//! consumes a token with one array index and answers end-of-input from a
+//! cached nullability bit. Unlike the epoch-stamped tiers, automaton state
+//! is a structural fact about the grammar's *language* and survives
+//! `reset` — the row budget ([`crate::ParserConfig::automaton_max_rows`])
+//! bounds it, with transparent fallback to the class-keyed path here when
+//! the table freezes or a transition is still unexplored.
 
 use crate::config::MemoStrategy;
 use crate::expr::{ClassEntry, Language, MemoEntry, Node, NodeId, NO_LINK};

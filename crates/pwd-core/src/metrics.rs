@@ -41,6 +41,14 @@ pub struct Metrics {
     /// Untainted template hits: a lexeme-independent derivative subgraph was
     /// shared verbatim with a new lexeme of the same terminal class.
     pub template_shares: u64,
+    /// Lazy-automaton states interned (one dense transition row each).
+    pub auto_rows_built: u64,
+    /// Tokens consumed by a transition-table hit: `state = row[term]`, no
+    /// derive call, no memo probe, no hashing.
+    pub auto_table_hits: u64,
+    /// Tokens consumed by the interpreted path while the automaton was
+    /// active — cold-table misses plus post-budget fallback steps.
+    pub auto_fallbacks: u64,
 }
 
 impl Metrics {
@@ -56,6 +64,17 @@ impl Metrics {
             0.0
         } else {
             self.derive_uncached as f64 / self.derive_calls as f64
+        }
+    }
+
+    /// Fraction of automaton-active token steps served by a transition-table
+    /// hit, in `[0, 1]` (0 when the automaton never engaged).
+    pub fn auto_hit_ratio(&self) -> f64 {
+        let total = self.auto_table_hits + self.auto_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.auto_table_hits as f64 / total as f64
         }
     }
 }

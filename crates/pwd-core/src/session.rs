@@ -128,6 +128,11 @@ impl SessionState {
             lang.prune_empty(0);
         }
         lang.in_parse = true;
+        if lang.automaton_active() {
+            // Intern the start node so a warm transition table serves this
+            // session from its very first feed.
+            let _ = lang.auto_intern(current);
+        }
         Ok(SessionState { current, fed: 0, dead: false, pruning })
     }
 
@@ -142,6 +147,24 @@ impl SessionState {
         if self.dead {
             self.fed += 1;
             return Ok(FeedOutcome::Dead);
+        }
+        // Tier three: when the current derivative is an interned automaton
+        // state with an explored row entry for this terminal, the feed is a
+        // table lookup — no derive, no memo probe, no allocation. The state
+        // mapping lives on the node, so this composes with checkpoint and
+        // rollback for free (a checkpoint is still just a `NodeId`).
+        let auto_active = lang.automaton_active();
+        let prev_state = if auto_active { lang.auto_state_of(self.current) } else { None };
+        if let Some(st) = prev_state {
+            if let Some((next, ns, dead)) = lang.auto_try_step(st, tok.term()) {
+                self.fed += 1;
+                self.current = next;
+                if dead {
+                    self.dead = true;
+                    return Ok(FeedOutcome::Dead);
+                }
+                return Ok(FeedOutcome::Viable { prefix_is_sentence: lang.auto_accept(ns) });
+            }
         }
         let generation_start = lang.nodes.len();
         self.current = lang.derive_node(self.current, tok);
@@ -160,11 +183,24 @@ impl SessionState {
                 at_token: self.fed - 1,
             });
         }
+        if auto_active {
+            // Interpreted feed under an active automaton: intern the fresh
+            // derivative (post-prune), record the explored transition, and
+            // canonicalize onto the state's root.
+            lang.metrics.auto_fallbacks += 1;
+            let ns = lang.auto_intern(self.current);
+            if let (Some(from), Some(to)) = (prev_state, ns) {
+                lang.auto_record(from, tok.term(), to);
+            }
+            if let Some(ns) = ns {
+                self.current = lang.auto.roots[ns as usize];
+            }
+        }
         if lang.is_empty_node(self.current) {
             self.dead = true;
             return Ok(FeedOutcome::Dead);
         }
-        Ok(FeedOutcome::Viable { prefix_is_sentence: lang.nullable(self.current) })
+        Ok(FeedOutcome::Viable { prefix_is_sentence: lang.accept_of(self.current) })
     }
 
     /// Feeds a slice of tokens; stops early if the language dies.
@@ -211,11 +247,12 @@ impl SessionState {
         self.dead = cp.dead;
     }
 
-    /// Is the prefix fed so far a complete sentence?
+    /// Is the prefix fed so far a complete sentence? O(1) when the current
+    /// derivative is an interned automaton state with a cached accept bit.
     pub fn prefix_is_sentence(&self, lang: &mut Language) -> bool {
         !self.dead && {
             let cur = self.current;
-            lang.nullable(cur)
+            lang.accept_of(cur)
         }
     }
 

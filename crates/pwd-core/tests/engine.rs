@@ -1,12 +1,16 @@
 //! Behavioral tests of the PWD engine across every configuration axis.
 
 use pwd_core::{
-    CompactionMode, Language, MemoKeying, MemoStrategy, NodeId, NullStrategy, ParseMode,
-    ParserConfig, PwdError, Reduce, TermId, Token, Tree, TreeCount,
+    AutomatonMode, CompactionMode, Language, MemoKeying, MemoStrategy, NodeId, NullStrategy,
+    ParseMode, ParserConfig, PwdError, Reduce, TermId, Token, Tree, TreeCount,
+    DEFAULT_AUTOMATON_MAX_ROWS,
 };
 
 /// Every meaningful engine configuration: 3 nullability × 3 compaction ×
 /// 2 memo strategies × 2 memo keyings (prepass toggled with compaction).
+/// All in parse mode, where the lazy automaton is inert by design — its
+/// recognize-mode behavior gets dedicated differential coverage in
+/// `tests/automaton_differential.rs` at the workspace root.
 fn all_configs() -> Vec<ParserConfig> {
     let mut out = Vec::new();
     for nullability in [NullStrategy::Naive, NullStrategy::Worklist, NullStrategy::Labeled] {
@@ -25,6 +29,8 @@ fn all_configs() -> Vec<ParserConfig> {
                             naming: false,
                             prepass_right_children: prepass,
                             max_nodes: None,
+                            automaton: AutomatonMode::Lazy,
+                            automaton_max_rows: DEFAULT_AUTOMATON_MAX_ROWS,
                         });
                     }
                 }

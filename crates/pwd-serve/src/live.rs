@@ -629,6 +629,31 @@ mod tests {
     }
 
     #[test]
+    fn dfa_live_sessions_fold_table_hits_into_lifetime_totals() {
+        let service = ParseService::new(ServiceConfig {
+            workers: 1,
+            backend: "pwd-dfa".to_string(),
+            ..Default::default()
+        });
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a", "b", "b"])).unwrap();
+        assert!(service.finish_session(id).unwrap().accepted);
+        let cold = service.metrics().memo;
+        assert!(cold.auto_rows_built > 0, "cold session interns states: {cold:?}");
+        // A second identical session reuses the pooled backend, whose
+        // compiled transition rows survive the epoch reset: all table hits,
+        // zero new rows.
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a", "b", "b"])).unwrap();
+        assert!(service.finish_session(id).unwrap().accepted);
+        let warm = service.metrics().memo;
+        assert_eq!(warm.auto_rows_built, cold.auto_rows_built, "warm session builds no rows");
+        assert!(warm.auto_table_hits > cold.auto_table_hits, "warm session walks the table");
+        assert!(warm.table_hit_ratio() > 0.0, "{warm:?}");
+    }
+
+    #[test]
     fn live_and_batch_traffic_share_the_service() {
         let service = service();
         let cfg = pairs();

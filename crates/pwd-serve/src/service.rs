@@ -231,6 +231,15 @@ pub struct MemoEffectiveness {
     /// Derivatives of a repeat terminal class re-instantiated along the
     /// patch path to fresh leaves (parse mode).
     pub template_instantiations: u64,
+    /// Lazy-automaton states interned (one dense transition row each) on
+    /// behalf of this grammar's traffic (recognize mode).
+    pub auto_rows_built: u64,
+    /// Tokens consumed by an automaton transition-table hit — the
+    /// zero-construction fast path of the recognize loop.
+    pub auto_table_hits: u64,
+    /// Tokens that fell back to the interpreted derive path while the
+    /// automaton was active (cold rows, or the row budget froze).
+    pub auto_fallbacks: u64,
 }
 
 impl MemoEffectiveness {
@@ -239,6 +248,9 @@ impl MemoEffectiveness {
         self.memo_misses += m.memo_misses;
         self.template_shares += m.template_shares;
         self.template_instantiations += m.template_instantiations;
+        self.auto_rows_built += m.auto_rows_built;
+        self.auto_table_hits += m.auto_table_hits;
+        self.auto_fallbacks += m.auto_fallbacks;
     }
 
     fn merge(&mut self, other: MemoEffectiveness) {
@@ -246,6 +258,9 @@ impl MemoEffectiveness {
         self.memo_misses += other.memo_misses;
         self.template_shares += other.template_shares;
         self.template_instantiations += other.template_instantiations;
+        self.auto_rows_built += other.auto_rows_built;
+        self.auto_table_hits += other.auto_table_hits;
+        self.auto_fallbacks += other.auto_fallbacks;
     }
 
     /// Fraction of derive calls served from a cache, in `[0, 1]` (0 when
@@ -256,6 +271,19 @@ impl MemoEffectiveness {
             0.0
         } else {
             self.memo_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of tokens consumed by the automaton's dense-table walk
+    /// rather than the interpreted derive path, in `[0, 1]` (0 when the
+    /// automaton never ran). The per-grammar table-hit rate: how DFA-like
+    /// this grammar's steady-state traffic became.
+    pub fn table_hit_ratio(&self) -> f64 {
+        let total = self.auto_table_hits + self.auto_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.auto_table_hits as f64 / total as f64
         }
     }
 }
@@ -645,6 +673,32 @@ mod tests {
             "pooled sessions must dominate forks on a warm service: {:?}",
             m.sessions
         );
+    }
+
+    #[test]
+    fn dfa_backend_reuses_automaton_rows_across_batches() {
+        let service = ParseService::new(ServiceConfig {
+            workers: 1,
+            backend: "pwd-dfa".to_string(),
+            ..Default::default()
+        });
+        let cfg = catalan();
+        let first = service.submit_batch(&cfg, &a_inputs(&[1, 2, 3, 4])).unwrap();
+        let m1 = first.metrics.memo;
+        assert!(m1.auto_rows_built > 0, "cold batch interns states: {m1:?}");
+        // The second batch replays warm prefixes on the pooled session: the
+        // lazy automaton's rows survive the epoch reset, so every token is
+        // a dense-table hit and no new rows are built.
+        let second = service.submit_batch(&cfg, &a_inputs(&[2, 3, 4, 4])).unwrap();
+        let m2 = second.metrics.memo;
+        assert_eq!(m2.auto_rows_built, 0, "pooled session keeps compiled rows: {m2:?}");
+        assert_eq!(m2.auto_fallbacks, 0, "warm traffic never leaves the table: {m2:?}");
+        assert!(m2.auto_table_hits > 0, "{m2:?}");
+        assert_eq!(m2.table_hit_ratio(), 1.0, "{m2:?}");
+        // Lifetime totals fold both batches.
+        let lifetime = service.metrics().memo;
+        assert_eq!(lifetime.auto_rows_built, m1.auto_rows_built);
+        assert_eq!(lifetime.auto_table_hits, m1.auto_table_hits + m2.auto_table_hits);
     }
 
     #[test]

@@ -85,7 +85,7 @@
 //! # }
 //! ```
 
-use crate::core::{ParserConfig, PwdError, SessionState};
+use crate::core::{ParseMode, ParserConfig, PwdError, SessionState};
 use crate::earley::{EarleyChart, EarleyParser, EarleyStats};
 use crate::glr::{GlrParser, GlrStats};
 use crate::grammar::{build_sppf, Cfg, Compiled};
@@ -299,6 +299,15 @@ pub struct BackendMetrics {
     /// Derivatives of a repeat terminal class re-instantiated along the
     /// patch path to fresh leaves (PWD class templates, parse mode only).
     pub template_instantiations: u64,
+    /// Lazy-automaton states interned, one dense transition row each (PWD
+    /// recognize mode with the automaton axis on; zero elsewhere).
+    pub auto_rows_built: u64,
+    /// Tokens consumed by an automaton transition-table hit — no derive
+    /// call, no memo probe, no hashing.
+    pub auto_table_hits: u64,
+    /// Tokens consumed by the interpreted path while the automaton was
+    /// active (cold-table misses plus post-budget fallback steps).
+    pub auto_fallbacks: u64,
 }
 
 /// A compiled recognizer with a uniform **streaming** lifecycle.
@@ -833,6 +842,16 @@ impl PwdBackend {
         PwdBackend::with_config(cfg, ParserConfig::original_2011(), "pwd-original")
     }
 
+    /// Compiles the improved configuration in recognize mode, where the
+    /// lazy derivative automaton DFA-izes the hot loop: steady-state
+    /// tokens are consumed by a dense transition-table walk instead of
+    /// graph construction. Recognition-only — [`Parser::end_forest`]
+    /// reports an error because recognize mode builds no forests.
+    pub fn dfa(cfg: &Cfg) -> PwdBackend {
+        let config = ParserConfig { mode: ParseMode::Recognize, ..ParserConfig::improved() };
+        PwdBackend::with_config(cfg, config, "pwd-dfa")
+    }
+
     /// Compiles an arbitrary engine configuration under a display label.
     pub fn with_config(cfg: &Cfg, config: ParserConfig, label: &'static str) -> PwdBackend {
         PwdBackend {
@@ -974,6 +993,9 @@ impl Recognizer for PwdBackend {
             memo_misses: m.derive_uncached,
             template_shares: m.template_shares,
             template_instantiations: m.template_instantiations,
+            auto_rows_built: m.auto_rows_built,
+            auto_table_hits: m.auto_table_hits,
+            auto_fallbacks: m.auto_fallbacks,
         }
     }
 }
@@ -984,6 +1006,12 @@ impl Parser for PwdBackend {
     }
 
     fn end_forest(&mut self) -> Result<ParseForest, BackendError> {
+        if self.compiled.lang.config().mode == ParseMode::Recognize {
+            return Err(BackendError::new(
+                self.label,
+                "recognize-mode backend builds no forests; use end() for the verdict",
+            ));
+        }
         let Some(state) = self.session.take() else {
             return Err(BackendError::no_session(self.label));
         };
@@ -1348,6 +1376,9 @@ pub fn backend_by_name(name: &str, cfg: &Cfg) -> Option<Box<dyn Parser>> {
     match name {
         "pwd" | "pwd-improved" => Some(Box::new(PwdBackend::improved(cfg))),
         "pwd-original" => Some(Box::new(PwdBackend::original_2011(cfg))),
+        // Recognition-only: table-walk recognize loop, no forests. Not in
+        // BACKEND_NAMES because the roster drives forest comparisons.
+        "pwd-dfa" => Some(Box::new(PwdBackend::dfa(cfg))),
         "earley" => Some(Box::new(EarleyBackend::prepare(cfg))),
         "glr" => Some(Box::new(GlrBackend::prepare(cfg))),
         _ => None,

@@ -51,6 +51,7 @@ fn tree_sets_invariant_across_configs() {
                         naming: false,
                         prepass_right_children: true,
                         max_nodes: None,
+                        ..ParserConfig::improved()
                     };
                     let got = tree_strings(&cfg, config, &input).expect("accepted");
                     assert_eq!(got, reference, "{config:?}");

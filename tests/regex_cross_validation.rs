@@ -1,0 +1,264 @@
+//! Cross-validation of the two derivative-based automata in the workspace:
+//! for *regular* grammars, the pwd-core lazy derivative automaton (grammar
+//! graph → dense transition rows, built lazily during recognition) must
+//! accept exactly the language of the pwd-regex `Dfa` (regex → DFA via
+//! Brzozowski derivatives, built eagerly). Each regular language is written
+//! once as a small regex AST and lowered both ways; membership is compared
+//! exhaustively over all strings up to a length bound, and pwd-regex's
+//! equivalence decision procedure (`equiv.rs`) is reused as the oracle for
+//! which language pairs must coincide.
+
+use derp::api::{PwdBackend, Recognizer};
+use derp::core::{AutomatonMode, MemoKeying, ParseMode, ParserConfig};
+use derp::grammar::{Cfg, CfgBuilder};
+use pwd_regex::{alt, cat, ch, eps, equivalent, star, Dfa, Regex};
+
+const ALPHABET: [char; 3] = ['a', 'b', 'c'];
+const KINDS: [&str; 3] = ["a", "b", "c"];
+const MAX_LEN: usize = 6;
+
+/// A regex AST small enough to lower to both representations. No `Empty`
+/// leaf: a CFG nonterminal with no productions is useless, and the empty
+/// language has no interesting membership to compare.
+#[derive(Clone)]
+enum Rx {
+    Ch(char),
+    Eps,
+    Cat(Box<Rx>, Box<Rx>),
+    Alt(Box<Rx>, Box<Rx>),
+    Star(Box<Rx>),
+}
+
+fn c(x: char) -> Rx {
+    Rx::Ch(x)
+}
+fn e() -> Rx {
+    Rx::Eps
+}
+fn k(a: Rx, b: Rx) -> Rx {
+    Rx::Cat(Box::new(a), Box::new(b))
+}
+fn k3(a: Rx, b: Rx, z: Rx) -> Rx {
+    k(k(a, b), z)
+}
+fn o(a: Rx, b: Rx) -> Rx {
+    Rx::Alt(Box::new(a), Box::new(b))
+}
+fn s(a: Rx) -> Rx {
+    Rx::Star(Box::new(a))
+}
+
+fn to_regex(rx: &Rx) -> Regex {
+    match rx {
+        Rx::Ch(x) => ch(*x),
+        Rx::Eps => eps(),
+        Rx::Cat(a, b) => cat(to_regex(a), to_regex(b)),
+        Rx::Alt(a, b) => alt(to_regex(a), to_regex(b)),
+        Rx::Star(a) => star(to_regex(a)),
+    }
+}
+
+/// Lowers the AST to CFG rules (preorder, so the root lands on `R0`),
+/// returning the nonterminal naming this subexpression. A star becomes the
+/// right-recursive pair `R → ε | A R` — a regular grammar, exactly the
+/// shape where the lazy automaton should reach a closed transition table.
+fn lower(rx: &Rx, g: &mut CfgBuilder, next: &mut usize) -> String {
+    let name = format!("R{next}");
+    *next += 1;
+    match rx {
+        Rx::Ch(x) => {
+            g.rule(&name, &[&x.to_string()]);
+        }
+        Rx::Eps => {
+            g.rule(&name, &[]);
+        }
+        Rx::Cat(a, b) => {
+            let an = lower(a, g, next);
+            let bn = lower(b, g, next);
+            g.rule(&name, &[&an, &bn]);
+        }
+        Rx::Alt(a, b) => {
+            let an = lower(a, g, next);
+            let bn = lower(b, g, next);
+            g.rule(&name, &[&an]);
+            g.rule(&name, &[&bn]);
+        }
+        Rx::Star(a) => {
+            let an = lower(a, g, next);
+            g.rule(&name, &[]);
+            g.rule(&name, &[&an, &name]);
+        }
+    }
+    name
+}
+
+fn to_cfg(rx: &Rx) -> Cfg {
+    let mut g = CfgBuilder::new("R0");
+    g.terminals(&KINDS);
+    let mut next = 0usize;
+    lower(rx, &mut g, &mut next);
+    g.build().unwrap()
+}
+
+fn dfa_recognizer(cfg: &Cfg, automaton: AutomatonMode, max_rows: usize) -> PwdBackend {
+    let config = ParserConfig {
+        mode: ParseMode::Recognize,
+        keying: MemoKeying::ByClass,
+        automaton,
+        automaton_max_rows: max_rows,
+        ..ParserConfig::improved()
+    };
+    PwdBackend::with_config(cfg, config, "pwd-regular")
+}
+
+/// All strings over the alphabet up to `MAX_LEN`, as index sequences.
+fn all_strings() -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new()];
+    let mut frontier = vec![Vec::new()];
+    for _ in 0..MAX_LEN {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for i in 0..ALPHABET.len() {
+                let mut v = w.clone();
+                v.push(i);
+                next.push(v);
+            }
+        }
+        out.extend(next.iter().cloned());
+        frontier = next;
+    }
+    out
+}
+
+fn text_of(w: &[usize]) -> String {
+    w.iter().map(|&i| ALPHABET[i]).collect()
+}
+
+fn kinds_of(w: &[usize]) -> Vec<&'static str> {
+    w.iter().map(|&i| KINDS[i]).collect()
+}
+
+/// The regular-language corpus: classic shapes exercising nesting, overlap
+/// of alternatives, nullable stars, and multi-character follow constraints.
+fn corpus() -> Vec<(&'static str, Rx)> {
+    vec![
+        ("a(b|c)*", k(c('a'), s(o(c('b'), c('c'))))),
+        ("(ab)*", s(k(c('a'), c('b')))),
+        ("(a|b)*abb", k3(s(o(c('a'), c('b'))), k(c('a'), c('b')), c('b'))),
+        ("a*b*", k(s(c('a')), s(c('b')))),
+        ("(a*b)*", s(k(s(c('a')), c('b')))),
+        ("(a|b)*", s(o(c('a'), c('b')))),
+        ("(a*b*c*)*", s(k3(s(c('a')), s(c('b')), s(c('c'))))),
+        ("a(ba)*", k(c('a'), s(k(c('b'), c('a'))))),
+        ("(ab)*a", k(s(k(c('a'), c('b'))), c('a'))),
+        ("eps|abc", o(e(), k3(c('a'), c('b'), c('c')))),
+        // Syntactically different but equivalent to "(a|b)*": exercises the
+        // positive direction of the equivalence oracle below.
+        ("(b|a)*", s(o(c('b'), c('a')))),
+    ]
+}
+
+/// Exhaustive membership agreement: for every corpus language and every
+/// string up to the length bound, the pwd-core lazy automaton (unbounded
+/// and budget-starved) and the pwd-regex DFA give the same verdict.
+#[test]
+fn lazy_automaton_accepts_same_language_as_regex_dfa() {
+    let strings = all_strings();
+    for (label, rx) in corpus() {
+        let dfa = Dfa::build(&to_regex(&rx));
+        let cfg = to_cfg(&rx);
+        let mut lazy = dfa_recognizer(&cfg, AutomatonMode::Lazy, usize::MAX);
+        let mut starved = dfa_recognizer(&cfg, AutomatonMode::Lazy, 2);
+        let mut interp = dfa_recognizer(&cfg, AutomatonMode::Off, usize::MAX);
+        let mut accepted = 0usize;
+        for w in &strings {
+            let expect = dfa.accepts(&text_of(w));
+            let kinds = kinds_of(w);
+            assert_eq!(lazy.recognize(&kinds).unwrap(), expect, "{label}: {:?}", text_of(w));
+            assert_eq!(starved.recognize(&kinds).unwrap(), expect, "{label} (starved): {kinds:?}");
+            assert_eq!(interp.recognize(&kinds).unwrap(), expect, "{label} (interp): {kinds:?}");
+            if expect {
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 0, "{label}: corpus language must accept something under MAX_LEN");
+        // The lazy automaton really did the recognizing: a regular grammar
+        // must close into a finite warm table that serves table hits.
+        let stats = lazy.compiled().lang.automaton_stats();
+        assert!(stats.states > 0, "{label}: no states interned: {stats:?}");
+        assert!(lazy.metrics().auto_table_hits > 0 || strings.is_empty(), "{label}");
+    }
+}
+
+/// For regular grammars the lazy automaton *closes*: after one exhaustive
+/// pass, a replay of every string is answered entirely from the table —
+/// zero new rows, zero interpreted fallbacks.
+#[test]
+fn regular_grammars_close_into_a_finite_warm_table() {
+    let strings = all_strings();
+    for (label, rx) in corpus() {
+        let cfg = to_cfg(&rx);
+        let mut lazy = dfa_recognizer(&cfg, AutomatonMode::Lazy, usize::MAX);
+        for w in &strings {
+            let _ = lazy.recognize(&kinds_of(w)).unwrap();
+        }
+        let cold = lazy.compiled().lang.automaton_stats();
+        assert!(!cold.frozen, "{label}: unbounded budget must never freeze");
+        let mut warm_rows = 0u64;
+        let mut warm_fallbacks = 0u64;
+        for w in &strings {
+            let _ = lazy.recognize(&kinds_of(w)).unwrap();
+            let m = lazy.metrics();
+            warm_rows += m.auto_rows_built;
+            warm_fallbacks += m.auto_fallbacks;
+        }
+        assert_eq!(warm_rows, 0, "{label}: warm replay built rows");
+        assert_eq!(warm_fallbacks, 0, "{label}: warm replay left the table");
+        let warm = lazy.compiled().lang.automaton_stats();
+        assert_eq!(warm.states, cold.states, "{label}: state count must be closed");
+    }
+}
+
+/// The `equiv.rs` decision procedure is the oracle for *pairs*: whenever it
+/// declares two corpus regexes equivalent, their grammar-side lazy automata
+/// agree on every string; whenever it declares them distinct, some string
+/// within the bound separates them and the grammar side separates them the
+/// same way.
+#[test]
+fn equivalence_oracle_carries_over_to_grammar_automata() {
+    let strings = all_strings();
+    let corpus = corpus();
+    let mut equivalent_pairs = 0usize;
+    let mut separated_pairs = 0usize;
+    for i in 0..corpus.len() {
+        for j in (i + 1)..corpus.len() {
+            let (la, ra) = (&corpus[i], &corpus[j]);
+            let same = equivalent(&to_regex(&la.1), &to_regex(&ra.1));
+            let mut pa = dfa_recognizer(&to_cfg(&la.1), AutomatonMode::Lazy, usize::MAX);
+            let mut pb = dfa_recognizer(&to_cfg(&ra.1), AutomatonMode::Lazy, usize::MAX);
+            let mut witness = None;
+            for w in &strings {
+                let kinds = kinds_of(w);
+                let (va, vb) = (pa.recognize(&kinds).unwrap(), pb.recognize(&kinds).unwrap());
+                if va != vb {
+                    witness = Some(text_of(w));
+                    break;
+                }
+            }
+            if same {
+                assert_eq!(
+                    witness, None,
+                    "equiv.rs says {} ≡ {} but the automata disagree",
+                    la.0, ra.0
+                );
+                equivalent_pairs += 1;
+            } else if witness.is_some() {
+                // Distinct languages, and the bound was deep enough to
+                // exhibit it — the common case for this corpus.
+                separated_pairs += 1;
+            }
+        }
+    }
+    assert!(separated_pairs > 20, "separation sanity: {separated_pairs}");
+    assert!(equivalent_pairs > 0, "the corpus plants at least one equivalent pair");
+}
