@@ -9,19 +9,15 @@
 //! the per-token cost the tentpole targets: memo probe + hash + epoch
 //! check per token (interpreted) vs one dense row index (table walk).
 //!
-//! Emits one machine-readable JSON line per corpus size (also written to
-//! `BENCH_automaton.json` at the workspace root):
-//!
-//! ```text
-//! {"bench":"automaton_throughput","tokens":..,"interp_ns":..,"table_ns":..,
-//!  "speedup":..,"interp_tokens_per_sec":..,"table_tokens_per_sec":..,
-//!  "rows_built":..,"table_hit_ratio":..,"fallback_rate":..}
-//! ```
+//! Emits machine-readable trajectory samples (also written to
+//! `BENCH_automaton.json` at the workspace root) in the shared
+//! [`pwd_bench::Trajectory`] schema.
 //!
 //! Run: `cargo bench -p pwd-bench --bench automaton_throughput`
 //! (CI: `-- --smoke` relaxes the gate for noisy shared runners.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwd_bench::Trajectory;
 use pwd_core::{AutomatonMode, MemoKeying, ParseMode, ParserConfig};
 use pwd_grammar::{gen, grammars, Compiled};
 use pwd_lex::Lexeme;
@@ -108,10 +104,10 @@ fn bench_automaton_throughput(c: &mut Criterion) {
     }
     group.finish();
 
-    // JSON trajectory lines, measured outside criterion so the two arms'
+    // Trajectory samples, measured outside criterion so the two arms'
     // numbers are directly comparable run over run.
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let mut lines = Vec::new();
+    let mut traj = Trajectory::new("automaton");
     for lexemes in &inputs {
         let tokens = lexemes.len();
         let rounds = if smoke { 20u32 } else { 40 };
@@ -120,19 +116,15 @@ fn bench_automaton_throughput(c: &mut Criterion) {
             measure(AutomatonMode::Lazy, lexemes, rounds);
         let speedup = interp_ns as f64 / table_ns as f64;
         let fallback_rate = fallbacks as f64 / (table_hits + fallbacks).max(1) as f64;
-        let line = format!(
-            "{{\"bench\":\"automaton_throughput\",\"tokens\":{tokens},\
-             \"interp_ns\":{interp_ns},\"table_ns\":{table_ns},\
-             \"speedup\":{speedup:.3},\
-             \"interp_tokens_per_sec\":{:.0},\"table_tokens_per_sec\":{:.0},\
-             \"rows_built\":{rows_built},\
-             \"table_hit_ratio\":{:.4},\"fallback_rate\":{fallback_rate:.4}}}",
-            tokens as f64 / (interp_ns as f64 / 1e9),
-            tokens as f64 / (table_ns as f64 / 1e9),
-            1.0 - fallback_rate,
+        traj.record(&format!("tokens={tokens}/interp_ns"), interp_ns as f64, "ns");
+        traj.record(&format!("tokens={tokens}/table_ns"), table_ns as f64, "ns");
+        traj.record(
+            &format!("tokens={tokens}/table_tokens_per_sec"),
+            (tokens as f64 / (table_ns as f64 / 1e9)).round(),
+            "tokens/s",
         );
-        println!("{line}");
-        lines.push(line);
+        traj.record(&format!("tokens={tokens}/rows_built"), rows_built as f64, "count");
+        traj.record(&format!("tokens={tokens}/fallback_rate"), fallback_rate, "ratio");
 
         // Warm steady state must be pure table walk: every token of the
         // measured runs is a dense-row hit, no interpreted fallbacks.
@@ -143,24 +135,25 @@ fn bench_automaton_throughput(c: &mut Criterion) {
         // the win with fixed per-parse costs): the table walk must be ≥5×
         // the interpreted class-keyed path in recognize tokens/sec. Under
         // `--smoke` (shared CI runners with noisy neighbors) the threshold
-        // relaxes to a sanity check — the JSON line above is still the
-        // recorded trajectory.
+        // relaxes to a sanity check — the recorded samples are the
+        // trajectory either way.
         let gate = if smoke { 1.5 } else { 5.0 };
         if tokens == inputs.last().map_or(0, Vec::len) {
+            traj.gate(&format!("tokens={tokens}/speedup"), speedup, "ratio", speedup >= gate);
+            traj.write(env!("CARGO_MANIFEST_DIR"));
             assert!(
                 speedup >= gate,
                 "table walk must be ≥{gate}× the interpreted recognize path on the \
                  lexeme-diverse corpus ({tokens} tokens: {interp_ns} vs {table_ns} ns)"
             );
+        } else {
+            traj.record(&format!("tokens={tokens}/speedup"), speedup, "ratio");
         }
     }
 
     // Persist the trajectory next to the workspace root for the CI artifact
     // and the repo's recorded history.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_automaton.json");
-    if let Err(e) = std::fs::write(path, lines.join("\n") + "\n") {
-        eprintln!("note: could not write {path}: {e}");
-    }
+    traj.write(env!("CARGO_MANIFEST_DIR"));
 }
 
 criterion_group!(benches, bench_automaton_throughput);

@@ -12,18 +12,15 @@
 //!   traversal, no enumeration);
 //! * `enum64_ns`   — bounded enumeration of 64 trees on the same forest.
 //!
-//! Emits one JSON line per size for the bench trajectory (also written to
-//! `BENCH_forest_amb.json` at the workspace root):
-//!
-//! ```text
-//! {"bench":"forest_amb","tokens":18,"count":"477638700","construct_ns":..,
-//!  "count_ns":..,"enum64_ns":..,"count_speedup":..}
-//! ```
+//! Emits machine-readable trajectory samples (also written to
+//! `BENCH_forest_amb.json` at the workspace root) in the shared
+//! [`pwd_bench::Trajectory`] schema.
 //!
 //! Run: `cargo bench -p pwd-bench --bench forest_amb`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use derp::api::{EnumLimits, ParseCount, ParseForest, Parser, PwdBackend};
+use pwd_bench::Trajectory;
 use pwd_grammar::grammars;
 use std::time::Instant;
 
@@ -64,10 +61,10 @@ fn bench_forest_amb(c: &mut Criterion) {
     }
     group.finish();
 
-    // JSON trajectory lines, measured outside criterion so the numbers are
+    // Trajectory samples, measured outside criterion so the numbers are
     // directly comparable round over round.
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let mut lines = Vec::new();
+    let mut traj = Trajectory::new("forest_amb");
     for &n in &sizes {
         let rounds = if smoke { 5 } else { 20 };
         let mut backend = PwdBackend::improved(&cfg);
@@ -80,13 +77,15 @@ fn bench_forest_amb(c: &mut Criterion) {
         let enum64_ns =
             best_ns(rounds, || assert_eq!(forest.trees(EnumLimits::default()).len(), 64));
         let speedup = enum64_ns as f64 / count_ns as f64;
-        let line = format!(
-            "{{\"bench\":\"forest_amb\",\"tokens\":{n},\"count\":\"{count}\",\
-             \"construct_ns\":{construct_ns},\"count_ns\":{count_ns},\
-             \"enum64_ns\":{enum64_ns},\"count_speedup\":{speedup:.3}}}"
-        );
-        println!("{line}");
-        lines.push(line);
+        // The exact ambiguity count rides along as a sample (Catalan
+        // numbers stay comfortably inside f64's exact-integer range at
+        // these sizes).
+        if let ParseCount::Finite(total) = count {
+            traj.record(&format!("tokens={n}/ambiguity_count"), total as f64, "trees");
+        }
+        traj.record(&format!("tokens={n}/construct_ns"), construct_ns as f64, "ns");
+        traj.record(&format!("tokens={n}/count_ns"), count_ns as f64, "ns");
+        traj.record(&format!("tokens={n}/enum64_ns"), enum64_ns as f64, "ns");
 
         if n == *sizes.last().expect("sizes nonempty") {
             // The tentpole's point: the count is exact and *complete* on an
@@ -100,20 +99,21 @@ fn bench_forest_amb(c: &mut Criterion) {
             }
             // …and an order of magnitude faster than even the truncated
             // enumeration (relaxed under --smoke for noisy CI runners; the
-            // JSON line above is still the recorded trajectory).
+            // recorded samples are the trajectory either way).
             let gate = if smoke { 4.0 } else { 10.0 };
+            traj.gate(&format!("tokens={n}/count_speedup"), speedup, "ratio", speedup >= gate);
+            traj.write(env!("CARGO_MANIFEST_DIR"));
             assert!(
                 speedup >= gate,
                 "exact counting must be ≥{gate}× bounded enumeration at 64 trees \
                  ({n} tokens: {count_ns} vs {enum64_ns} ns)"
             );
+        } else {
+            traj.record(&format!("tokens={n}/count_speedup"), speedup, "ratio");
         }
     }
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_forest_amb.json");
-    if let Err(e) = std::fs::write(path, lines.join("\n") + "\n") {
-        eprintln!("note: could not write {path}: {e}");
-    }
+    traj.write(env!("CARGO_MANIFEST_DIR"));
 }
 
 criterion_group!(benches, bench_forest_amb);

@@ -8,19 +8,14 @@
 //! derivatives across lexemes of one terminal (fully in recognize mode,
 //! via per-`(node, TermId)` templates in parse mode).
 //!
-//! Emits one machine-readable JSON line per corpus size for the bench
-//! trajectory (also written to `BENCH_lexeme_diverse.json` at the workspace
-//! root), e.g.:
-//!
-//! ```text
-//! {"bench":"lexeme_diverse","tokens":600,"value_recognize_ns":..,
-//!  "class_recognize_ns":..,"recognize_speedup":..,"recognize_tokens_per_sec":..,
-//!  "value_parse_ns":..,"class_parse_ns":..,"parse_speedup":..}
-//! ```
+//! Emits machine-readable trajectory samples (also written to
+//! `BENCH_lexeme_diverse.json` at the workspace root) in the shared
+//! [`pwd_bench::Trajectory`] schema.
 //!
 //! Run: `cargo bench -p pwd-bench --bench lexeme_diverse`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwd_bench::Trajectory;
 use pwd_core::{MemoKeying, ParseMode, ParserConfig};
 use pwd_grammar::{gen, grammars, Compiled};
 use pwd_lex::Lexeme;
@@ -102,9 +97,9 @@ fn bench_lexeme_diverse(c: &mut Criterion) {
     }
     group.finish();
 
-    // JSON trajectory lines, measured outside criterion so the numbers are
+    // Trajectory samples, measured outside criterion so the numbers are
     // directly comparable round over round.
-    let mut lines = Vec::new();
+    let mut traj = Trajectory::new("lexeme_diverse");
     for lexemes in &inputs {
         let tokens = lexemes.len();
         let rounds = 20u32;
@@ -114,28 +109,40 @@ fn bench_lexeme_diverse(c: &mut Criterion) {
         let class_par = measure(config(ParseMode::Parse, MemoKeying::ByClass), lexemes, rounds);
         let rec_speedup = value_rec as f64 / class_rec as f64;
         let par_speedup = value_par as f64 / class_par as f64;
-        let line = format!(
-            "{{\"bench\":\"lexeme_diverse\",\"tokens\":{tokens},\
-             \"value_recognize_ns\":{value_rec},\"class_recognize_ns\":{class_rec},\
-             \"recognize_speedup\":{rec_speedup:.3},\
-             \"recognize_tokens_per_sec\":{:.0},\
-             \"value_parse_ns\":{value_par},\"class_parse_ns\":{class_par},\
-             \"parse_speedup\":{par_speedup:.3}}}",
-            tokens as f64 / (class_rec as f64 / 1e9),
+        traj.record(&format!("tokens={tokens}/value_recognize_ns"), value_rec as f64, "ns");
+        traj.record(&format!("tokens={tokens}/class_recognize_ns"), class_rec as f64, "ns");
+        traj.record(
+            &format!("tokens={tokens}/recognize_tokens_per_sec"),
+            (tokens as f64 / (class_rec as f64 / 1e9)).round(),
+            "tokens/s",
         );
-        println!("{line}");
-        lines.push(line);
+        traj.record(&format!("tokens={tokens}/value_parse_ns"), value_par as f64, "ns");
+        traj.record(&format!("tokens={tokens}/class_parse_ns"), class_par as f64, "ns");
 
         // The tentpole gates, on the largest corpus (short inputs dilute
         // the win with fixed per-parse costs): class keying must at least
         // double recognize throughput on the mostly-unique-identifier
         // corpus and measurably improve parse mode (slack absorbs timer
         // noise). Under `--smoke` (shared CI runners with noisy
-        // neighbors), the thresholds relax to sanity checks — the JSON
-        // line above is still the recorded trajectory.
+        // neighbors), the thresholds relax to sanity checks — the recorded
+        // samples are the trajectory either way.
         let smoke = std::env::args().any(|a| a == "--smoke");
         let (rec_gate, par_gate) = if smoke { (1.2, 0.9) } else { (2.0, 1.05) };
-        if tokens == inputs.last().map_or(0, Vec::len) {
+        let gated = tokens == inputs.last().map_or(0, Vec::len);
+        if gated {
+            traj.gate(
+                &format!("tokens={tokens}/recognize_speedup"),
+                rec_speedup,
+                "ratio",
+                rec_speedup >= rec_gate,
+            );
+            traj.gate(
+                &format!("tokens={tokens}/parse_speedup"),
+                par_speedup,
+                "ratio",
+                par_speedup > par_gate,
+            );
+            traj.write(env!("CARGO_MANIFEST_DIR"));
             assert!(
                 rec_speedup >= rec_gate,
                 "class keying must be ≥{rec_gate}× in recognize mode on lexeme-diverse input \
@@ -146,15 +153,15 @@ fn bench_lexeme_diverse(c: &mut Criterion) {
                 "class templates must win in parse mode (>{par_gate}×) \
                  ({tokens} tokens: {value_par} vs {class_par} ns)"
             );
+        } else {
+            traj.record(&format!("tokens={tokens}/recognize_speedup"), rec_speedup, "ratio");
+            traj.record(&format!("tokens={tokens}/parse_speedup"), par_speedup, "ratio");
         }
     }
 
     // Persist the trajectory next to the workspace root for the CI artifact
     // and the repo's recorded history.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lexeme_diverse.json");
-    if let Err(e) = std::fs::write(path, lines.join("\n") + "\n") {
-        eprintln!("note: could not write {path}: {e}");
-    }
+    traj.write(env!("CARGO_MANIFEST_DIR"));
 }
 
 criterion_group!(benches, bench_lexeme_diverse);

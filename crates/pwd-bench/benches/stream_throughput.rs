@@ -14,20 +14,15 @@
 //! hide behind derivative work; parse-mode numbers ride along in the same
 //! JSON line.
 //!
-//! Emits one machine-readable JSON line per corpus size for the bench
-//! trajectory (also written to `BENCH_stream_throughput.json` at the
-//! workspace root), e.g.:
-//!
-//! ```text
-//! {"bench":"stream_throughput","tokens":1004,"materialized_ns":..,
-//!  "fused_ns":..,"fused_speedup":..,"fused_tokens_per_sec":..,
-//!  "parse_materialized_ns":..,"parse_fused_ns":..,"parse_fused_speedup":..}
-//! ```
+//! Emits machine-readable trajectory samples (also written to
+//! `BENCH_stream_throughput.json` at the workspace root) in the shared
+//! [`pwd_bench::Trajectory`] schema.
 //!
 //! Run: `cargo bench -p pwd-bench --bench stream_throughput`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use derp::api::{PwdBackend, Recognizer};
+use pwd_bench::Trajectory;
 use pwd_core::{MemoKeying, ParseMode, ParserConfig};
 use pwd_grammar::{gen, grammars, Cfg};
 use std::time::Instant;
@@ -121,48 +116,49 @@ fn bench_stream_throughput(c: &mut Criterion) {
     }
     group.finish();
 
-    // JSON trajectory lines, measured outside criterion so the numbers are
+    // Trajectory samples, measured outside criterion so the numbers are
     // directly comparable round over round.
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let mut lines = Vec::new();
+    let mut traj = Trajectory::new("stream_throughput");
     for (src, tokens) in &inputs {
         let rounds = if smoke { 12u32 } else { 30 };
         let (materialized, fused) = measure(&grammar, ParseMode::Recognize, &lexer, src, rounds);
         let (parse_mat, parse_fus) = measure(&grammar, ParseMode::Parse, &lexer, src, rounds);
         let speedup = materialized as f64 / fused as f64;
         let parse_speedup = parse_mat as f64 / parse_fus as f64;
-        let line = format!(
-            "{{\"bench\":\"stream_throughput\",\"tokens\":{tokens},\
-             \"materialized_ns\":{materialized},\"fused_ns\":{fused},\
-             \"fused_speedup\":{speedup:.3},\"fused_tokens_per_sec\":{:.0},\
-             \"parse_materialized_ns\":{parse_mat},\"parse_fused_ns\":{parse_fus},\
-             \"parse_fused_speedup\":{parse_speedup:.3}}}",
-            *tokens as f64 / (fused as f64 / 1e9),
+        traj.record(&format!("tokens={tokens}/materialized_ns"), materialized as f64, "ns");
+        traj.record(&format!("tokens={tokens}/fused_ns"), fused as f64, "ns");
+        traj.record(
+            &format!("tokens={tokens}/fused_tokens_per_sec"),
+            (*tokens as f64 / (fused as f64 / 1e9)).round(),
+            "tokens/s",
         );
-        println!("{line}");
-        lines.push(line);
+        traj.record(&format!("tokens={tokens}/parse_materialized_ns"), parse_mat as f64, "ns");
+        traj.record(&format!("tokens={tokens}/parse_fused_ns"), parse_fus as f64, "ns");
+        traj.record(&format!("tokens={tokens}/parse_fused_speedup"), parse_speedup, "ratio");
 
         // The tentpole gate, on the largest corpus: the fused path must be
         // at least as fast as materialize-then-parse — it does strictly
         // less work (no intermediate vector, no per-token Strings). Under
         // `--smoke` (shared CI runners) the threshold relaxes to a sanity
-        // check; the JSON line above is still the recorded trajectory.
+        // check; the recorded samples are the trajectory either way.
         let gate = if smoke { 0.8 } else { 1.0 };
         if tokens == &inputs.last().expect("nonempty corpus").1 {
+            traj.gate(&format!("tokens={tokens}/fused_speedup"), speedup, "ratio", speedup >= gate);
+            traj.write(env!("CARGO_MANIFEST_DIR"));
             assert!(
                 speedup >= gate,
                 "fused streaming must be ≥{gate}× vs materialized \
                  ({tokens} tokens: {materialized} vs {fused} ns)"
             );
+        } else {
+            traj.record(&format!("tokens={tokens}/fused_speedup"), speedup, "ratio");
         }
     }
 
     // Persist the trajectory next to the workspace root for the CI artifact
     // and the repo's recorded history.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream_throughput.json");
-    if let Err(e) = std::fs::write(path, lines.join("\n") + "\n") {
-        eprintln!("note: could not write {path}: {e}");
-    }
+    traj.write(env!("CARGO_MANIFEST_DIR"));
 }
 
 criterion_group!(benches, bench_stream_throughput);

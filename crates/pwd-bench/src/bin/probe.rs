@@ -10,6 +10,7 @@
 //! cargo run --release -p pwd-bench --bin probe -- reset
 //! cargo run --release -p pwd-bench --bin probe -- keying [tokens] [--forest-dot [FILE]]
 //! cargo run --release -p pwd-bench --bin probe -- automaton [tokens]
+//! cargo run --release -p pwd-bench --bin probe -- trace [tokens] [FILE]
 //! ```
 //!
 //! * `growth` — per-token reachable-graph growth on the Python grammar.
@@ -21,9 +22,14 @@
 //!   `--forest-dot` renders an ambiguous forest as Graphviz instead.
 //! * `automaton` — lazy-automaton row occupancy and fallback stats on the
 //!   lexeme-diverse PL/0 corpus, across a sweep of row budgets.
+//! * `trace` — traced end-to-end run on lexeme-diverse PL/0: writes a
+//!   Chrome `trace_event` JSON timeline (default `TRACE_pl0.json`; open in
+//!   `chrome://tracing` or Perfetto) and prints a per-phase time table.
 
 use pwd_bench::{python_cfg, python_corpus};
-use pwd_core::{AutomatonMode, MemoKeying, MemoStrategy, ParseMode, ParserConfig};
+use pwd_core::{
+    AutomatonMode, MemoKeying, MemoStrategy, ParseMode, ParserConfig, Phase, PhaseStats, TraceEvent,
+};
 use pwd_grammar::{gen, grammars, CfgBuilder, Compiled};
 use std::time::Instant;
 
@@ -37,10 +43,12 @@ fn main() {
         Some("reset") => reset(),
         Some("keying") => keying(&args[1..]),
         Some("automaton") => automaton(arg_usize(&args, 1, 600)),
+        Some("trace") => trace(arg_usize(&args, 1, 600), args.get(2).cloned()),
         _ => {
             eprintln!(
                 "usage: probe <growth [tokens] | units | ambiguity | min | reset | \
-                 keying [tokens] [--forest-dot [FILE]] | automaton [tokens]>"
+                 keying [tokens] [--forest-dot [FILE]] | automaton [tokens] | \
+                 trace [tokens] [FILE]>"
             );
             std::process::exit(2);
         }
@@ -439,14 +447,116 @@ fn automaton(target: usize) {
             cold.auto_rows_built,
             cold.auto_table_hits,
             cold.auto_fallbacks,
-            cold.auto_hit_ratio() * 100.0,
+            cold.auto_hit_ratio().unwrap_or(0.0) * 100.0,
         );
         println!(
             "  warm: rows_built={:>5} table_hits={:>6} fallbacks={:>6} hit_ratio={:>5.1}%",
             warm.auto_rows_built,
             warm.auto_table_hits,
             warm.auto_fallbacks,
-            warm.auto_hit_ratio() * 100.0,
+            warm.auto_hit_ratio().unwrap_or(0.0) * 100.0,
         );
     }
+}
+
+/// Traced end-to-end run on the lexeme-diverse PL/0 corpus. Two engine
+/// tracks share one timeline: track 0 lexes and recognizes through the
+/// lazy automaton (lex, derive, compact, nullable, auto_row spans); track 1
+/// builds the shared parse forest (derive, compact, forest spans). The
+/// stitched trace is written as Chrome `trace_event` JSON — load it in
+/// `chrome://tracing` or Perfetto — and the per-phase histograms are
+/// printed as a time table.
+fn trace(target: usize, out: Option<String>) {
+    let out = out.unwrap_or_else(|| "TRACE_pl0.json".to_string());
+    let grammar = grammars::pl0::cfg();
+    let lx = grammars::pl0::lexer();
+    let src = gen::pl0_source(target, 0xD1CE, 0.1);
+
+    // Track 0: lex + recognize with the lazy automaton building rows.
+    let rec_cfg = ParserConfig {
+        mode: ParseMode::Recognize,
+        keying: MemoKeying::ByClass,
+        automaton: AutomatonMode::Lazy,
+        ..ParserConfig::improved()
+    };
+    let mut rec = Compiled::compile(&grammar, rec_cfg);
+    rec.lang.enable_obs(true);
+    if !rec.lang.obs_enabled() {
+        eprintln!(
+            "observability hooks are compiled out — rebuild with the default \
+             `obs` feature (drop `--no-default-features`)"
+        );
+        std::process::exit(2);
+    }
+    // The engine stamps trace events relative to `enable_obs`; `zero`
+    // anchors the manual lex span and the second track to that timeline.
+    let zero = Instant::now();
+    let lexemes = lx.tokenize(&src).expect("generated PL/0 tokenizes");
+    let lex_ns = zero.elapsed().as_nanos() as u64;
+    println!("tokens: {}", lexemes.len());
+    let toks = rec.tokens_from_lexemes(&lexemes).expect("terminals");
+    let start = rec.start;
+    assert!(rec.lang.recognize(start, &toks).expect("corpus recognizes"));
+
+    // Track 1: forest construction in parse mode, on a fresh engine so the
+    // recognize track's caches don't hide the forest-building work.
+    let par_cfg = ParserConfig {
+        mode: ParseMode::Parse,
+        keying: MemoKeying::ByClass,
+        ..ParserConfig::improved()
+    };
+    let mut par = Compiled::compile(&grammar, par_cfg);
+    let par_offset = zero.elapsed().as_nanos() as u64;
+    par.lang.enable_obs(true);
+    let ptoks = par.tokens_from_lexemes(&lexemes).expect("terminals");
+    let pstart = par.start;
+    par.lang.parse_forest(pstart, &ptoks).expect("corpus parses");
+
+    // Stitch the tracks: the lex span leads track 0, the parse engine's
+    // events shift onto the shared clock and move to track 1.
+    let mut events = rec.lang.take_trace();
+    events.insert(
+        0,
+        TraceEvent { name: "lex".to_string(), cat: "lex", ts_ns: 0, dur_ns: lex_ns, tid: 0 },
+    );
+    for mut e in par.lang.take_trace() {
+        e.ts_ns += par_offset;
+        e.tid = 1;
+        events.push(e);
+    }
+
+    // Per-phase table over both engines plus the lex span.
+    let mut phases = PhaseStats::new();
+    phases.record(Phase::Lex, lex_ns);
+    if let Some(p) = rec.lang.obs_phases() {
+        phases.merge(p);
+    }
+    if let Some(p) = par.lang.obs_phases() {
+        phases.merge(p);
+    }
+    println!(
+        "{:<10} {:>8} {:>14} {:>12} {:>12}",
+        "phase", "spans", "total_ns", "mean_ns", "p99_ns"
+    );
+    for (phase, h) in phases.recorded() {
+        println!(
+            "{:<10} {:>8} {:>14} {:>12.0} {:>12}",
+            phase.as_str(),
+            h.count(),
+            h.sum(),
+            h.mean().unwrap_or(0.0),
+            h.quantile(0.99).unwrap_or(0),
+        );
+    }
+
+    let mut names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    std::fs::write(&out, pwd_obs::chrome_trace_json(&events)).expect("write trace file");
+    println!(
+        "wrote {} spans ({} distinct: {}) to {out}",
+        events.len(),
+        names.len(),
+        names.join(", ")
+    );
 }

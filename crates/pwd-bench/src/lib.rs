@@ -9,6 +9,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trajectory;
+
+pub use trajectory::Trajectory;
+
 use pwd_core::ParserConfig;
 use pwd_grammar::{gen, grammars, Cfg, Compiled};
 use pwd_lex::Lexeme;

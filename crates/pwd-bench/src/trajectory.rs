@@ -1,0 +1,145 @@
+//! The shared `BENCH_*.json` trajectory writer.
+//!
+//! Every Criterion bench that records a machine-readable trajectory at the
+//! workspace root used to hand-format its own JSON lines; this module is
+//! the one schema they all share now. Each line is one sample:
+//!
+//! ```text
+//! {"bench":"lexeme_diverse","name":"tokens=1019/recognize_speedup",
+//!  "value":2.31,"unit":"ratio","timestamp":"1754524800","gate":"pass"}
+//! ```
+//!
+//! * `bench` — the bench binary's name (also names the output file,
+//!   `BENCH_<bench>.json`).
+//! * `name` — the metric, with any corpus-size qualifier folded in.
+//! * `value`/`unit` — the measurement (`ns`, `tokens/s`, `ratio`, …).
+//! * `timestamp` — from the CI environment (`BENCH_TIMESTAMP`,
+//!   `SOURCE_DATE_EPOCH`, or `GITHUB_RUN_ID`, first set wins) so trajectory
+//!   lines from one CI run share one stamp; local runs fall back to wall
+//!   clock seconds.
+//! * `gate` — `"pass"`/`"fail"` when the sample is a gated threshold
+//!   check, `null` for plain measurements.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Accumulates samples for one bench and writes `BENCH_<bench>.json` at the
+/// workspace root.
+#[derive(Debug)]
+pub struct Trajectory {
+    bench: String,
+    timestamp: String,
+    records: Vec<String>,
+}
+
+/// One CI-run-stable timestamp: the first set variable of `BENCH_TIMESTAMP`,
+/// `SOURCE_DATE_EPOCH`, `GITHUB_RUN_ID`; otherwise wall-clock seconds.
+fn ci_timestamp() -> String {
+    for var in ["BENCH_TIMESTAMP", "SOURCE_DATE_EPOCH", "GITHUB_RUN_ID"] {
+        if let Ok(v) = std::env::var(var) {
+            if !v.is_empty() {
+                return v;
+            }
+        }
+    }
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs().to_string())
+        .unwrap_or_default()
+}
+
+impl Trajectory {
+    /// Starts a trajectory for `bench` (callers pass a plain identifier;
+    /// names are not JSON-escaped).
+    pub fn new(bench: &str) -> Trajectory {
+        Trajectory { bench: bench.to_string(), timestamp: ci_timestamp(), records: Vec::new() }
+    }
+
+    /// Records one plain measurement and echoes it to stdout.
+    pub fn record(&mut self, name: &str, value: f64, unit: &str) {
+        self.push(name, value, unit, None);
+    }
+
+    /// Records a gated threshold check (`passed` becomes `"pass"`/`"fail"`)
+    /// and echoes it to stdout. Recording happens *before* the caller
+    /// asserts, so a failed gate still leaves its evidence in the file.
+    pub fn gate(&mut self, name: &str, value: f64, unit: &str, passed: bool) {
+        self.push(name, value, unit, Some(passed));
+    }
+
+    fn push(&mut self, name: &str, value: f64, unit: &str, gate: Option<bool>) {
+        let gate = match gate {
+            None => "null".to_string(),
+            Some(true) => "\"pass\"".to_string(),
+            Some(false) => "\"fail\"".to_string(),
+        };
+        let line = format!(
+            "{{\"bench\":\"{}\",\"name\":\"{name}\",\"value\":{value},\"unit\":\"{unit}\",\
+             \"timestamp\":\"{}\",\"gate\":{gate}}}",
+            self.bench, self.timestamp,
+        );
+        println!("{line}");
+        self.records.push(line);
+    }
+
+    /// Lines recorded so far (primarily for tests and for benches that
+    /// merge a carried-over baseline).
+    pub fn lines(&self) -> &[String] {
+        &self.records
+    }
+
+    /// Prepends an already-formatted line (used to carry a baseline sample
+    /// from a previous run forward into the rewritten file).
+    pub fn carry_line(&mut self, line: String) {
+        self.records.insert(0, line);
+    }
+
+    /// Writes `BENCH_<bench>.json` at the workspace root; pass
+    /// `env!("CARGO_MANIFEST_DIR")`. A write failure is reported, not fatal
+    /// — the measurements were already printed.
+    pub fn write(&self, manifest_dir: &str) {
+        let path = format!("{manifest_dir}/../../BENCH_{}.json", self.bench);
+        if let Err(e) = std::fs::write(&path, self.records.join("\n") + "\n") {
+            eprintln!("note: could not write {path}: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_follow_the_stable_schema() {
+        let mut t = Trajectory::new("demo");
+        t.record("tokens=100/speed", 42.5, "tokens/s");
+        t.gate("tokens=100/speedup", 2.0, "ratio", true);
+        t.gate("tokens=100/overhead", 9.0, "percent", false);
+        let lines = t.lines();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"bench\":\"demo\",\"name\":\"tokens=100/speed\""));
+        assert!(lines[0].contains("\"value\":42.5,\"unit\":\"tokens/s\""));
+        assert!(lines[0].ends_with("\"gate\":null}"));
+        assert!(lines[1].ends_with("\"gate\":\"pass\"}"));
+        assert!(lines[2].ends_with("\"gate\":\"fail\"}"));
+        for line in lines {
+            assert!(line.contains("\"timestamp\":\""));
+        }
+    }
+
+    #[test]
+    fn write_lands_two_levels_above_the_manifest_dir() {
+        let root = std::env::temp_dir().join(format!("pwd-trajectory-{}", std::process::id()));
+        let manifest = root.join("crates").join("pwd-bench");
+        std::fs::create_dir_all(&manifest).unwrap();
+        let mut t = Trajectory::new("write_test");
+        t.record("n", 1.0, "count");
+        t.carry_line("{\"bench\":\"write_test\",\"name\":\"carried\"}".to_string());
+        t.write(manifest.to_str().unwrap());
+        let written = std::fs::read_to_string(root.join("BENCH_write_test.json")).unwrap();
+        let lines: Vec<&str> = written.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"carried\""), "carried line comes first");
+        assert!(lines[1].contains("\"name\":\"n\""));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -220,6 +220,7 @@ impl Language {
             }
             self.auto.stride = terms;
         }
+        let span = self.obs_start();
         let hash = self.auto_signature(id);
         // Exact collision check: candidate states under this hash must match
         // the canonical stream, not just the 64-bit digest.
@@ -234,10 +235,12 @@ impl Language {
         }
         if let Some(st) = found {
             self.nodes[id.index()].auto_state = st;
+            self.obs_end(pwd_obs::Phase::AutoRow, span);
             return Some(st);
         }
         if self.auto.roots.len() >= self.config.automaton_max_rows {
             self.auto.frozen = true;
+            self.obs_end(pwd_obs::Phase::AutoRow, span);
             return None;
         }
         let st = self.auto.roots.len() as u32;
@@ -256,6 +259,7 @@ impl Language {
         self.auto.forest_boundary = self.auto.forest_boundary.max(self.forests.len());
         self.nodes[id.index()].auto_state = st;
         self.metrics.auto_rows_built += 1;
+        self.obs_end(pwd_obs::Phase::AutoRow, span);
         Some(st)
     }
 

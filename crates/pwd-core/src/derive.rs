@@ -63,7 +63,10 @@ impl Language {
                 if !self.nullable(final_node) {
                     return Err(PwdError::Rejected { position: tokens.len(), token: None });
                 }
-                Ok(self.parse_null(final_node))
+                let span = self.obs_start();
+                let forest = self.parse_null(final_node);
+                self.obs_end(pwd_obs::Phase::Forest, span);
+                Ok(forest)
             }
         }
     }
@@ -221,12 +224,18 @@ impl Language {
                 }
             }
             let generation_start = self.nodes.len();
+            let span = self.obs_start();
             cur = self.derive_node(cur, tok);
+            self.obs_end(pwd_obs::Phase::Derive, span);
             if self.config.compaction == CompactionMode::SeparatePass {
+                let span = self.obs_start();
                 cur = self.compact_pass(cur);
+                self.obs_end(pwd_obs::Phase::Compact, span);
             }
             if pruning {
+                let span = self.obs_start();
                 self.prune_empty(generation_start);
+                self.obs_end(pwd_obs::Phase::Compact, span);
             }
             if self.budget_hit {
                 self.in_parse = false;

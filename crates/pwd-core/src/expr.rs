@@ -245,6 +245,12 @@ pub struct Language {
     /// derivative states with dense transition rows and cached accept bits.
     /// Like `class_pool`, warm state that survives [`reset`](Language::reset).
     pub(crate) auto: crate::automaton::Automaton,
+    /// The observability sink (see [`crate::obs`]): `None` — the cheap,
+    /// default state — means every span hook is a single branch; installed
+    /// via [`enable_obs`](Language::enable_obs), it carries per-phase
+    /// duration histograms and an optional trace buffer. Boxed so the
+    /// disabled engine pays one word.
+    pub(crate) obs: Option<Box<crate::obs::LangObs>>,
     /// True while `parse`/`derive` are running; gates the §4.3.1 right-child
     /// compaction rules, which are only valid on the initial grammar.
     pub(crate) in_parse: bool,
@@ -283,6 +289,7 @@ impl Language {
             class_pool: Vec::new(),
             prepass_cache: Vec::new(),
             auto: crate::automaton::Automaton::default(),
+            obs: None,
             in_parse: false,
             budget_hit: false,
             initial_nodes: None,
@@ -309,9 +316,11 @@ impl Language {
         &self.metrics
     }
 
-    /// Clears the instrumentation counters.
+    /// Clears the instrumentation counters (and any accumulated
+    /// observability phase data; an installed obs sink stays installed).
     pub fn reset_metrics(&mut self) {
         self.metrics = Metrics::default();
+        self.clear_obs_data();
     }
 
     /// Interns a terminal (token kind) by name.

@@ -68,6 +68,7 @@ mod memo;
 mod metrics;
 mod names;
 mod nullable;
+mod obs;
 mod prune;
 mod session;
 mod token;
@@ -86,6 +87,7 @@ pub use pwd_forest::{
     CanonError, EnumLimits, Forest, ForestId, ForestNode, ForestSummary, Leaf, ParseForest, Tree,
     TreeCount,
 };
+pub use pwd_obs::{Histogram, Phase, PhaseStats, TraceEvent};
 pub use session::{FeedOutcome, ParseSession, SessionCheckpoint, SessionState};
 pub use token::{TermId, TokKey, Token};
 

@@ -58,24 +58,19 @@ impl Metrics {
         self.derive_calls - self.derive_uncached
     }
 
-    /// Fraction of `derive` calls that were uncached, in `[0, 1]`.
-    pub fn uncached_ratio(&self) -> f64 {
-        if self.derive_calls == 0 {
-            0.0
-        } else {
-            self.derive_uncached as f64 / self.derive_calls as f64
-        }
+    /// Fraction of `derive` calls that were uncached, in `[0, 1]`, or
+    /// `None` when no `derive` calls ran — a ratio over an empty sample is
+    /// not 0% or 100%, it is undefined, and callers must not fold it into
+    /// averages as if it were data.
+    pub fn uncached_ratio(&self) -> Option<f64> {
+        (self.derive_calls != 0).then(|| self.derive_uncached as f64 / self.derive_calls as f64)
     }
 
     /// Fraction of automaton-active token steps served by a transition-table
-    /// hit, in `[0, 1]` (0 when the automaton never engaged).
-    pub fn auto_hit_ratio(&self) -> f64 {
+    /// hit, in `[0, 1]`, or `None` when the automaton never engaged.
+    pub fn auto_hit_ratio(&self) -> Option<f64> {
         let total = self.auto_table_hits + self.auto_fallbacks;
-        if total == 0 {
-            0.0
-        } else {
-            self.auto_table_hits as f64 / total as f64
-        }
+        (total != 0).then(|| self.auto_table_hits as f64 / total as f64)
     }
 }
 
@@ -84,14 +79,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn uncached_ratio_handles_zero() {
+    fn ratios_are_undefined_on_empty_samples() {
         let m = Metrics::default();
-        assert_eq!(m.uncached_ratio(), 0.0);
+        assert_eq!(m.uncached_ratio(), None);
+        assert_eq!(m.auto_hit_ratio(), None);
     }
 
     #[test]
     fn uncached_ratio_computes() {
         let m = Metrics { derive_calls: 10, derive_uncached: 4, ..Metrics::default() };
-        assert!((m.uncached_ratio() - 0.4).abs() < 1e-12);
+        assert!((m.uncached_ratio().unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auto_hit_ratio_computes() {
+        let m = Metrics { auto_table_hits: 3, auto_fallbacks: 1, ..Metrics::default() };
+        assert!((m.auto_hit_ratio().unwrap() - 0.75).abs() < 1e-12);
     }
 }

@@ -63,6 +63,7 @@ impl Language {
             return value;
         }
         self.metrics.nullable_runs += 1;
+        let span = self.obs_start();
         loop {
             self.run_label += 1;
             let mut changed = false;
@@ -71,6 +72,7 @@ impl Language {
                 break;
             }
         }
+        self.obs_end(pwd_obs::Phase::Nullable, span);
         self.null_state(id).0
     }
 
@@ -127,6 +129,7 @@ impl Language {
             return value;
         }
         self.metrics.nullable_runs += 1;
+        let span = self.obs_start();
         self.run_label += 1;
         let mut queue: Vec<NodeId> = Vec::new();
         let mut visited: Vec<NodeId> = Vec::new();
@@ -147,6 +150,7 @@ impl Language {
                 self.null_mut(v).null_definite = true;
             }
         }
+        self.obs_end(pwd_obs::Phase::Nullable, span);
         self.null_state(id).0
     }
 

@@ -167,12 +167,18 @@ impl SessionState {
             }
         }
         let generation_start = lang.nodes.len();
+        let span = lang.obs_start();
         self.current = lang.derive_node(self.current, tok);
+        lang.obs_end(pwd_obs::Phase::Derive, span);
         if lang.config.compaction == CompactionMode::SeparatePass {
+            let span = lang.obs_start();
             self.current = lang.compact_pass(self.current);
+            lang.obs_end(pwd_obs::Phase::Compact, span);
         }
         if self.pruning {
+            let span = lang.obs_start();
             lang.prune_empty(generation_start);
+            lang.obs_end(pwd_obs::Phase::Compact, span);
         }
         self.fed += 1;
         if lang.budget_hit {
@@ -280,7 +286,10 @@ impl SessionState {
         if !self.prefix_is_sentence(lang) {
             return Err(PwdError::Rejected { position: self.fed, token: None });
         }
-        Ok(lang.parse_null(self.current))
+        let span = lang.obs_start();
+        let forest = lang.parse_null(self.current);
+        lang.obs_end(pwd_obs::Phase::Forest, span);
+        Ok(forest)
     }
 
     /// Number of nodes reachable from the current derivative.

@@ -46,8 +46,10 @@ mod lexer;
 mod python;
 mod source;
 mod span;
+mod timed;
 
 pub use lexer::{LexError, Lexeme, Lexer, LexerBuilder, SourceTokens};
 pub use python::{tokenize_python, PyLexError, KEYWORDS};
 pub use source::{KindSource, LexemeSource, ScannedToken, TokenSource};
 pub use span::{LineMap, Position, Span};
+pub use timed::TimedSource;

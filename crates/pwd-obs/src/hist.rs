@@ -1,0 +1,211 @@
+//! Fixed-bucket power-of-two histograms with exact count and sum.
+
+/// Number of buckets: one per bit length of a `u64` value, plus bucket 0
+/// for the value `0` itself.
+pub(crate) const BUCKETS: usize = 64;
+
+/// A histogram over `u64` samples (nanoseconds, bytes, node counts, …)
+/// with 64 fixed power-of-two buckets and *exact* `count`/`sum`/`min`/`max`.
+///
+/// Bucket `i` (for `i ≥ 1`) holds samples whose bit length is `i`, i.e. the
+/// half-open range `[2^(i-1), 2^i)`; bucket 0 holds the sample `0`. The
+/// bucket layout is the same for every histogram, so merging across worker
+/// threads is element-wise addition and never loses a sample — the exact
+/// aggregates make additivity properties testable to the last unit.
+///
+/// Recording is a handful of integer ops (no floating point, no
+/// allocation); the struct is `Clone + Eq` so snapshots compare exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+/// Bucket index of a sample: its bit length, clamped to the last bucket.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Exact number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Has no samples been recorded?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// An upper bound for the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the inclusive
+    /// upper edge of the first bucket whose cumulative count reaches
+    /// `q · count`, clamped to the exact observed `max`. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Element-wise lossless merge: counts, sums, and every bucket add;
+    /// min/max tighten. The basis of cross-thread aggregation.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, samples in bucket)`,
+    /// in increasing bound order — the raw series exporters iterate.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (bucket_upper(i), c))
+    }
+}
+
+/// Inclusive upper bound of bucket `i`: `0` for bucket 0, else `2^i - 1`
+/// (`u64::MAX` for the last bucket).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 8, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), u64::MAX); // saturated
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        // Each sample lands in the bucket whose range covers it.
+        for v in [0u64, 1, 2, 3, 4, 5, 127, 128, 1 << 40, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(v <= bucket_upper(i), "v={v} bucket={i}");
+            if i > 1 {
+                assert!(v > bucket_upper(i - 1), "v={v} bucket={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((500..=1023).contains(&p50), "{p50}");
+        assert!((990..=1000).contains(&p99), "{p99}");
+        assert_eq!(h.quantile(0.0).unwrap(), 1);
+        assert_eq!(h.quantile(1.0).unwrap(), 1000, "clamped to observed max");
+    }
+
+    #[test]
+    fn merge_is_exactly_additive() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for (i, v) in [3u64, 0, 17, 290, 5, 5, 1 << 33].iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.record(*v);
+            whole.record(*v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+    }
+}

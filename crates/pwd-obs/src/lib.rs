@@ -1,0 +1,65 @@
+//! Observability primitives for the PWD stack: fixed-bucket histograms,
+//! per-phase span accounting, and two exporters (Chrome `trace_event` JSON
+//! and Prometheus-style text exposition).
+//!
+//! This crate is deliberately dependency-free and engine-agnostic: it knows
+//! nothing about derivatives, sessions, or services. The engine crates
+//! (`pwd-core`, `derp`, `pwd-serve`) thread these types through their hot
+//! paths behind the zero-overhead contract below.
+//!
+//! # The zero-overhead-when-off contract
+//!
+//! Instrumentation must never tax a parse that nobody is watching. The
+//! stack enforces that in two layers:
+//!
+//! 1. **Compile time** — the engine crates gate every hook behind a cargo
+//!    feature (`obs`, on by default). Built with `--no-default-features`,
+//!    the hook bodies reduce to constant `false` checks that the optimizer
+//!    deletes: no `Instant::now()`, no branch, no histogram in sight.
+//! 2. **Run time** — with the feature compiled in, every hook first checks
+//!    a per-object sink (`Option`-typed, `None` by default). Until
+//!    `enable_obs()` is called the only cost is one predictable branch on
+//!    an already-resident word; in particular no clock is read. The
+//!    `obs_overhead` bench (CI job of the same name) gates this at ≤2%
+//!    throughput regression on the lexeme-diverse corpus.
+//!
+//! Everything in this crate is therefore *pull*-oriented: the engine
+//! records into plain structs it owns; snapshots are taken, merged across
+//! threads, and exported only at the edges (probe, service exposition).
+//!
+//! # What lives where
+//!
+//! * [`Histogram`] — 64 power-of-two buckets with exact `count`/`sum` and
+//!   `min`/`max`; one struct serves both nanosecond latencies and sizes.
+//!   Merging two histograms is element-wise and lossless, so per-worker
+//!   recording needs no locks.
+//! * [`Phase`] / [`PhaseStats`] — the fixed span vocabulary (lex, derive,
+//!   compact, nullability fixpoint, automaton row build, forest build,
+//!   queue wait, execute, …) and one histogram per phase.
+//! * [`TraceEvent`] / [`chrome_trace_json`] — complete spans and the
+//!   `chrome://tracing` / Perfetto JSON exporter for single-parse
+//!   flamegraph-style inspection.
+//! * [`PromText`] — Prometheus text-format exposition builder (counters,
+//!   gauges, histograms with `_bucket`/`_sum`/`_count` series and labels).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod prom;
+mod span;
+mod trace;
+
+pub use hist::Histogram;
+pub use prom::PromText;
+pub use span::{Phase, PhaseStats, PHASE_COUNT};
+pub use trace::{chrome_trace_json, TraceEvent};
+
+// The exporters and stats are shared across service worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Histogram>();
+    assert_send_sync::<PhaseStats>();
+    assert_send_sync::<TraceEvent>();
+    assert_send_sync::<PromText>();
+};

@@ -1,0 +1,149 @@
+//! Prometheus text-format exposition: counters, gauges, and histogram
+//! series built from [`Histogram`] snapshots.
+
+use crate::Histogram;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Builder for a Prometheus text-exposition document.
+///
+/// Metric families may be emitted under the same name with different label
+/// sets (the `# HELP`/`# TYPE` header is written once per name);
+/// histograms expand into the conventional `_bucket{le="…"}` cumulative
+/// series plus `_sum` and `_count`.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    seen: HashSet<String>,
+}
+
+/// One label pair, `(name, value)`.
+pub type Label<'a> = (&'a str, &'a str);
+
+fn write_labels(out: &mut String, labels: &[Label<'_>], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels.iter().copied().chain(extra) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.seen.insert(name.to_string()) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    /// Emits one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[Label<'_>], value: u64) {
+        self.header(name, help, "counter");
+        self.out.push_str(name);
+        write_labels(&mut self.out, labels, None);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Emits one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[Label<'_>], value: f64) {
+        self.header(name, help, "gauge");
+        self.out.push_str(name);
+        write_labels(&mut self.out, labels, None);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Emits a full histogram family: cumulative `_bucket{le="…"}` series
+    /// over the histogram's non-empty buckets (plus `+Inf`), then `_sum`
+    /// and `_count` — all exact.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[Label<'_>], h: &Histogram) {
+        self.header(name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (upper, count) in h.buckets() {
+            cumulative += count;
+            let le = upper.to_string();
+            let _ = write!(self.out, "{name}_bucket");
+            write_labels(&mut self.out, labels, Some(("le", &le)));
+            let _ = writeln!(self.out, " {cumulative}");
+        }
+        let _ = write!(self.out, "{name}_bucket");
+        write_labels(&mut self.out, labels, Some(("le", "+Inf")));
+        let _ = writeln!(self.out, " {}", h.count());
+        let _ = write!(self.out, "{name}_sum");
+        write_labels(&mut self.out, labels, None);
+        let _ = writeln!(self.out, " {}", h.sum());
+        let _ = write!(self.out, "{name}_count");
+        write_labels(&mut self.out, labels, None);
+        let _ = writeln!(self.out, " {}", h.count());
+    }
+
+    /// The finished exposition document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut p = PromText::new();
+        p.counter("pwd_requests_total", "Requests served.", &[("backend", "pwd-improved")], 7);
+        p.counter("pwd_requests_total", "Requests served.", &[("backend", "earley")], 2);
+        p.gauge("pwd_live_sessions", "Open sessions.", &[], 3.0);
+        let text = p.finish();
+        assert_eq!(text.matches("# TYPE pwd_requests_total counter").count(), 1, "{text}");
+        assert!(text.contains("pwd_requests_total{backend=\"pwd-improved\"} 7"));
+        assert!(text.contains("pwd_requests_total{backend=\"earley\"} 2"));
+        assert!(text.contains("pwd_live_sessions 3"));
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_and_exact() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.histogram("req_ns", "Latency.", &[("backend", "glr")], &h);
+        let text = p.finish();
+        assert!(text.contains("# TYPE req_ns histogram"));
+        assert!(text.contains("req_ns_bucket{backend=\"glr\",le=\"1\"} 1"));
+        assert!(text.contains("req_ns_bucket{backend=\"glr\",le=\"3\"} 3"));
+        assert!(text.contains("req_ns_bucket{backend=\"glr\",le=\"127\"} 4"));
+        assert!(text.contains("req_ns_bucket{backend=\"glr\",le=\"+Inf\"} 4"));
+        assert!(text.contains("req_ns_sum{backend=\"glr\"} 106"));
+        assert!(text.contains("req_ns_count{backend=\"glr\"} 4"));
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let mut p = PromText::new();
+        p.counter("c", "h", &[("k", "a\"b\\c")], 1);
+        assert!(p.finish().contains("c{k=\"a\\\"b\\\\c\"} 1"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Chrome `trace_event` JSON export: complete (`ph:"X"`) spans that load
+//! directly in `chrome://tracing` or Perfetto.
+
+/// One complete span: a named interval on a (pid, tid) track. Timestamps
+/// are nanoseconds relative to whatever zero the recorder chose (trace
+/// viewers only care about relative placement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name, shown on the timeline (typically a [`Phase`](crate::Phase)
+    /// name or a request label).
+    pub name: String,
+    /// Category tag (the viewer can filter on it), e.g. `"engine"`,
+    /// `"serve"`.
+    pub cat: &'static str,
+    /// Start, nanoseconds from the recorder's zero.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Track id — one per thread/worker, so spans nest per track.
+    pub tid: u32,
+}
+
+impl TraceEvent {
+    /// A span on track 0 in category `"engine"`.
+    pub fn new(name: impl Into<String>, ts_ns: u64, dur_ns: u64) -> TraceEvent {
+        TraceEvent { name: name.into(), cat: "engine", ts_ns, dur_ns, tid: 0 }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders events as a Chrome `trace_event` JSON document (the object form,
+/// with a `traceEvents` array of `ph:"X"` complete events). Timestamps and
+/// durations are emitted in microseconds — the unit the format specifies —
+/// with fractional precision preserving the nanosecond samples.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, &e.name);
+        out.push_str("\",\"cat\":\"");
+        escape_into(&mut out, e.cat);
+        out.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&e.tid.to_string());
+        out.push_str(&format!(
+            ",\"ts\":{:.3},\"dur\":{:.3}}}",
+            e.ts_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_complete_events() {
+        let events = vec![
+            TraceEvent::new("derive", 0, 1500),
+            TraceEvent {
+                name: "exec \"q\"".into(),
+                cat: "serve",
+                ts_ns: 2000,
+                dur_ns: 500,
+                tid: 3,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"derive\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":0.000,\"dur\":1.500"));
+        assert!(json.contains("\"name\":\"exec \\\"q\\\"\""), "quotes escaped: {json}");
+        assert!(json.contains("\"tid\":3"));
+        // Balanced braces/brackets — a cheap structural validity check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(chrome_trace_json(&[]), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+    }
+}

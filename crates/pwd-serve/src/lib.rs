@@ -87,12 +87,14 @@
 
 pub mod cache;
 pub mod live;
+mod obs;
 pub mod pool;
 pub mod service;
 
 pub use cache::{CacheMetrics, CachedGrammar, GrammarCache};
 pub use live::{
-    CheckpointId, FeedReport, FinishForestReport, FinishReport, SessionId, SessionStatus,
+    CheckpointId, FeedReport, FinishForestReport, FinishReport, SessionId, SessionStats,
+    SessionStatus,
 };
 pub use pool::{PoolMetrics, PooledSession, SessionPool};
 pub use service::{

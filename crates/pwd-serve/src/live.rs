@@ -26,9 +26,12 @@
 //! registry lock itself is never held across engine work, so sessions never
 //! serialize against each other.
 
-use derp::api::{Checkpoint, EnumLimits, FeedOutcome, ForestSummary, Session};
+use derp::api::{BackendMetrics, Checkpoint, EnumLimits, FeedOutcome, ForestSummary, Session};
 use pwd_grammar::Cfg;
+use pwd_obs::{Phase, PhaseStats};
+use std::time::Instant;
 
+use crate::obs::ObsSamples;
 use crate::service::{Input, ParseService, ServeError};
 
 /// Handle to a live session on a [`ParseService`].
@@ -57,6 +60,52 @@ pub struct SessionStatus {
     pub prefix_is_sentence: bool,
     /// Checkpoints currently restorable.
     pub checkpoints: usize,
+    /// Cumulative resource stats for the session.
+    pub stats: SessionStats,
+}
+
+/// Cumulative per-session resource stats: how much input a session
+/// consumed, how it used the incremental API, and how large the engine
+/// state behind it grew. Tracked for every session (the counters are
+/// cheap); the batch path surfaces the same shape per input via
+/// [`ParseOutcome::stats`](crate::ParseOutcome::stats) when
+/// [`ServiceConfig::observability`](crate::ServiceConfig::observability)
+/// is set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Tokens fed over the session's lifetime (rollbacks reduce this — it
+    /// tracks the session's current position, like
+    /// [`SessionStatus::tokens_fed`]).
+    pub tokens_fed: usize,
+    /// Chunks successfully fed (a batch input counts as one chunk).
+    pub chunks: u64,
+    /// Checkpoints taken over the lifetime (rollback-discarded ones
+    /// included).
+    pub checkpoints_taken: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// Peak live engine state observed at a chunk or finish boundary
+    /// (PWD: live graph nodes after the last token).
+    pub peak_live_nodes: u64,
+    /// Peak resident arena bytes observed at a chunk or finish boundary
+    /// (zero for backends without an arena).
+    pub peak_arena_bytes: u64,
+}
+
+impl SessionStats {
+    /// Stats for one batch input, read off the engine metrics after its
+    /// run.
+    pub(crate) fn for_input(tokens: usize, m: &BackendMetrics) -> SessionStats {
+        let mut stats = SessionStats { tokens_fed: tokens, chunks: 1, ..SessionStats::default() };
+        stats.note_peaks(m);
+        stats
+    }
+
+    /// Folds an engine-metrics snapshot into the peak gauges.
+    pub(crate) fn note_peaks(&mut self, m: &BackendMetrics) {
+        self.peak_live_nodes = self.peak_live_nodes.max(m.live_state);
+        self.peak_arena_bytes = self.peak_arena_bytes.max(m.arena_bytes);
+    }
 }
 
 /// The result of feeding one chunk.
@@ -75,6 +124,8 @@ pub struct FinishReport {
     pub accepted: bool,
     /// Total tokens the session consumed.
     pub tokens_fed: usize,
+    /// Cumulative session resource stats.
+    pub stats: SessionStats,
 }
 
 /// The result of finishing a session with forest reporting
@@ -90,6 +141,8 @@ pub struct FinishForestReport {
     pub forest: ForestSummary,
     /// Up to `top_k` rendered parse trees.
     pub trees: Vec<String>,
+    /// Cumulative session resource stats.
+    pub stats: SessionStats,
 }
 
 /// A session held across calls: the owned backend session plus its saved
@@ -98,15 +151,18 @@ pub(crate) struct LiveSession {
     fingerprint: u64,
     session: Session<'static>,
     checkpoints: Vec<Checkpoint>,
+    stats: SessionStats,
 }
 
 impl LiveSession {
     fn status(&mut self) -> Result<SessionStatus, ServeError> {
+        self.stats.tokens_fed = self.session.tokens_fed();
         Ok(SessionStatus {
             tokens_fed: self.session.tokens_fed(),
             viable: self.session.is_viable(),
             prefix_is_sentence: self.session.prefix_is_sentence()?,
             checkpoints: self.checkpoints.len(),
+            stats: self.stats,
         })
     }
 }
@@ -138,9 +194,20 @@ impl ParseService {
             return Err(ServeError::SessionLimit { limit });
         }
         let opened = (|| {
-            let (fingerprint, backend) = self.checkout_backend(cfg)?;
+            let (fingerprint, mut backend) = self.checkout_backend(cfg)?;
+            if self.obs.enabled() {
+                // Arm the engine's phase histograms for the session's whole
+                // lifetime; they are absorbed (and the hooks disarmed) when
+                // the backend returns to a pool.
+                backend.set_obs(true);
+            }
             let session = Session::owned(backend)?;
-            Ok(LiveSession { fingerprint, session, checkpoints: Vec::new() })
+            Ok(LiveSession {
+                fingerprint,
+                session,
+                checkpoints: Vec::new(),
+                stats: SessionStats::default(),
+            })
         })();
         let live = match opened {
             Ok(live) => live,
@@ -189,6 +256,7 @@ impl ParseService {
     /// [`ServeError::UnknownSession`], or [`ServeError::Backend`] from the
     /// engine.
     pub fn feed_chunk(&self, id: SessionId, chunk: &Input) -> Result<FeedReport, ServeError> {
+        let t0 = self.obs.enabled().then(Instant::now);
         let mut live = self.take(id)?;
         let fed = (|| {
             // All-or-nothing: retract the partial prefix if any token fails.
@@ -212,6 +280,20 @@ impl ParseService {
         })();
         match fed {
             Ok(outcome) => {
+                live.stats.chunks += 1;
+                live.stats.tokens_fed = live.session.tokens_fed();
+                live.stats.note_peaks(&live.session.metrics());
+                if let Some(t0) = t0 {
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    let mut samples = ObsSamples::new();
+                    samples.request_ns.push(ns);
+                    // Chunk latency also lands in the phase family, so the
+                    // exposition shows it next to the engine's own phases.
+                    let mut phases = PhaseStats::new();
+                    phases.record(Phase::Chunk, ns);
+                    samples.phases = Some(phases);
+                    self.obs.fold(&self.config().backend, live.fingerprint, samples);
+                }
                 let report = FeedReport { outcome, tokens_fed: live.session.tokens_fed() };
                 self.put(id, live);
                 Ok(report)
@@ -231,11 +313,31 @@ impl ParseService {
     /// clears even budget-exhausted arenas) and releases its cap slot.
     fn close(&self, live: LiveSession) {
         let (_verdict, backend) = live.session.finish_and_release();
-        if let Some(backend) = backend {
-            self.absorb_memo(&backend.metrics());
+        if let Some(mut backend) = backend {
+            let m = backend.metrics();
+            self.absorb_memo(&m);
+            self.fold_session_obs(live.fingerprint, &m, None);
+            backend.set_obs(false);
             self.release_backend(live.fingerprint, backend);
         }
         self.live_count.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+    }
+
+    /// Folds a closing live session's accumulated engine phase histograms —
+    /// plus the finish-call latency, when timed — into the observability
+    /// store. A no-op with observability off.
+    fn fold_session_obs(&self, fingerprint: u64, m: &BackendMetrics, t0: Option<Instant>) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let mut samples = ObsSamples::new();
+        if let Some(t0) = t0 {
+            samples.request_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        if let Some(p) = &m.phases {
+            samples.absorb_phases(p);
+        }
+        self.obs.fold(&self.config().backend, fingerprint, samples);
     }
 
     /// Saves the session's current position — for the PWD backend, the
@@ -249,6 +351,7 @@ impl ParseService {
         let cp = live.session.checkpoint();
         let out = cp.map(|cp| {
             live.checkpoints.push(cp);
+            live.stats.checkpoints_taken += 1;
             CheckpointId(live.checkpoints.len() - 1)
         });
         self.put(id, live);
@@ -277,6 +380,7 @@ impl ParseService {
                 .ok_or(ServeError::UnknownCheckpoint { session: id.0, checkpoint: cp.0 })?;
             live.session.rollback(saved)?;
             live.checkpoints.truncate(cp.0 + 1);
+            live.stats.rollbacks += 1;
             live.status()
         })();
         self.put(id, live);
@@ -305,18 +409,25 @@ impl ParseService {
     /// [`ServeError::UnknownSession`], or [`ServeError::Backend`] (the
     /// backend is still recycled).
     pub fn finish_session(&self, id: SessionId) -> Result<FinishReport, ServeError> {
+        let t0 = self.obs.enabled().then(Instant::now);
         let live = self.take(id)?;
         let tokens_fed = live.session.tokens_fed();
+        let mut stats = live.stats;
+        stats.tokens_fed = tokens_fed;
         let (verdict, backend) = live.session.finish_and_release();
-        if let Some(backend) = backend {
+        if let Some(mut backend) = backend {
             // Fold the session's engine counters into the lifetime memo
             // totals before reset wipes them.
-            self.absorb_memo(&backend.metrics());
+            let m = backend.metrics();
+            self.absorb_memo(&m);
+            stats.note_peaks(&m);
+            self.fold_session_obs(live.fingerprint, &m, t0);
+            backend.set_obs(false);
             self.release_backend(live.fingerprint, backend);
         }
         self.live_count.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
         self.count_input();
-        Ok(FinishReport { accepted: verdict?, tokens_fed })
+        Ok(FinishReport { accepted: verdict?, tokens_fed, stats })
     }
 
     /// Finishes a live session with a **parse result**, not just a verdict:
@@ -336,11 +447,18 @@ impl ParseService {
         id: SessionId,
         top_k: usize,
     ) -> Result<FinishForestReport, ServeError> {
+        let t0 = self.obs.enabled().then(Instant::now);
         let live = self.take(id)?;
         let tokens_fed = live.session.tokens_fed();
+        let mut stats = live.stats;
+        stats.tokens_fed = tokens_fed;
         let (forest, backend) = live.session.finish_forest_and_release();
-        if let Some(backend) = backend {
-            self.absorb_memo(&backend.metrics());
+        if let Some(mut backend) = backend {
+            let m = backend.metrics();
+            self.absorb_memo(&m);
+            stats.note_peaks(&m);
+            self.fold_session_obs(live.fingerprint, &m, t0);
+            backend.set_obs(false);
             self.release_backend(live.fingerprint, backend);
         }
         self.live_count.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
@@ -355,6 +473,7 @@ impl ParseService {
             tokens_fed,
             forest: summary,
             trees,
+            stats,
         })
     }
 
@@ -650,7 +769,38 @@ mod tests {
         let warm = service.metrics().memo;
         assert_eq!(warm.auto_rows_built, cold.auto_rows_built, "warm session builds no rows");
         assert!(warm.auto_table_hits > cold.auto_table_hits, "warm session walks the table");
-        assert!(warm.table_hit_ratio() > 0.0, "{warm:?}");
+        assert!(warm.table_hit_ratio().unwrap() > 0.0, "{warm:?}");
+    }
+
+    #[test]
+    fn session_stats_track_chunks_checkpoints_and_rollbacks() {
+        let service = ParseService::new(ServiceConfig {
+            workers: 2,
+            observability: true,
+            ..Default::default()
+        });
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a"])).unwrap();
+        let cp = service.checkpoint_session(id).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["b"])).unwrap();
+        service.rollback_session(id, cp).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["b", "b"])).unwrap();
+        let status = service.session_status(id).unwrap();
+        assert_eq!(status.stats.chunks, 3);
+        assert_eq!(status.stats.checkpoints_taken, 1);
+        assert_eq!(status.stats.rollbacks, 1);
+        assert!(status.stats.peak_live_nodes > 0, "{:?}", status.stats);
+        let fin = service.finish_session(id).unwrap();
+        assert!(fin.accepted);
+        assert_eq!(fin.stats.tokens_fed, 4);
+        assert_eq!(fin.stats.chunks, 3);
+        assert!(fin.stats.peak_arena_bytes > 0, "{:?}", fin.stats);
+        // Live traffic shows up in the exposition: chunk latency rides the
+        // phase family, finish latency the request histogram.
+        let text = service.metrics_text();
+        assert!(text.contains("phase=\"chunk\""), "{text}");
+        assert!(text.contains("pwd_serve_request_duration_ns_count"), "{text}");
     }
 
     #[test]

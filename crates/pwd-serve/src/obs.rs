@@ -1,0 +1,174 @@
+//! Service-side observability: request/queue-wait/execute latency
+//! histograms keyed by `(backend, grammar fingerprint)`, merged engine
+//! phase histograms, and the Prometheus-style text exposition behind
+//! [`ParseService::metrics_text`](crate::ParseService::metrics_text).
+//!
+//! Recording is runtime-gated on [`ServiceConfig::observability`]
+//! (`crate::ServiceConfig`): while off (the default) no clock is read on
+//! the request path and the store stays empty. Workers batch their samples
+//! — one lock acquisition per request or batch, never per token.
+
+use pwd_obs::{Phase, PhaseStats, PromText};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+pub(crate) use pwd_obs::Histogram;
+
+/// Latency histograms plus merged engine phases for one
+/// `(backend, grammar)` key.
+#[derive(Debug, Clone)]
+pub(crate) struct KeyObs {
+    /// Whole-request wall time: one sample per `submit_batch` call, per
+    /// live-session chunk, and per live-session finish.
+    pub(crate) request: Histogram,
+    /// Per-input delay between batch arrival and a worker starting it
+    /// (pool-lock wait included).
+    pub(crate) queue_wait: Histogram,
+    /// Per-input engine execution time, once a worker picked it up.
+    pub(crate) execute: Histogram,
+    /// Engine-side phase histograms (derive/compact/nullable/auto-row/
+    /// forest) merged over every instrumented run for this key.
+    pub(crate) phases: PhaseStats,
+}
+
+impl KeyObs {
+    fn new() -> KeyObs {
+        KeyObs {
+            request: Histogram::new(),
+            queue_wait: Histogram::new(),
+            execute: Histogram::new(),
+            phases: PhaseStats::new(),
+        }
+    }
+}
+
+/// One worker's (or one live call's) locally-accumulated samples, folded
+/// into the shared store in a single lock acquisition.
+#[derive(Debug)]
+pub(crate) struct ObsSamples {
+    pub(crate) request_ns: Vec<u64>,
+    pub(crate) queue_wait_ns: Vec<u64>,
+    pub(crate) execute_ns: Vec<u64>,
+    pub(crate) phases: Option<PhaseStats>,
+}
+
+impl ObsSamples {
+    pub(crate) fn new() -> ObsSamples {
+        ObsSamples {
+            request_ns: Vec::new(),
+            queue_wait_ns: Vec::new(),
+            execute_ns: Vec::new(),
+            phases: None,
+        }
+    }
+
+    pub(crate) fn absorb_phases(&mut self, p: &PhaseStats) {
+        match &mut self.phases {
+            Some(mine) => mine.merge(p),
+            None => self.phases = Some(p.clone()),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.request_ns.is_empty()
+            && self.queue_wait_ns.is_empty()
+            && self.execute_ns.is_empty()
+            && self.phases.is_none()
+    }
+}
+
+/// The service-lifetime observability store.
+pub(crate) struct ServeObs {
+    enabled: bool,
+    keys: Mutex<HashMap<(String, u64), KeyObs>>,
+}
+
+impl ServeObs {
+    pub(crate) fn new(enabled: bool) -> ServeObs {
+        ServeObs { enabled, keys: Mutex::new(HashMap::new()) }
+    }
+
+    /// Is recording on? Callers must check before reading any clock.
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Folds one batch of locally-accumulated samples into the store.
+    pub(crate) fn fold(&self, backend: &str, fingerprint: u64, samples: ObsSamples) {
+        if !self.enabled || samples.is_empty() {
+            return;
+        }
+        let mut keys = self.keys.lock().expect("obs store poisoned");
+        let key = keys.entry((backend.to_string(), fingerprint)).or_insert_with(KeyObs::new);
+        for ns in samples.request_ns {
+            key.request.record(ns);
+        }
+        for ns in samples.queue_wait_ns {
+            key.queue_wait.record(ns);
+        }
+        for ns in samples.execute_ns {
+            key.execute.record(ns);
+        }
+        if let Some(p) = samples.phases {
+            key.phases.merge(&p);
+        }
+    }
+
+    /// Renders the per-key histogram families into an exposition document.
+    pub(crate) fn render(&self, prom: &mut PromText) {
+        let keys = self.keys.lock().expect("obs store poisoned");
+        // Deterministic output: sort keys so two snapshots of the same
+        // state are textually identical.
+        let mut entries: Vec<(&(String, u64), &KeyObs)> = keys.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        for ((backend, fingerprint), key) in entries {
+            let grammar = format!("{fingerprint:016x}");
+            let labels = [("backend", backend.as_str()), ("grammar", grammar.as_str())];
+            prom.histogram(
+                "pwd_serve_request_duration_ns",
+                "Whole-request wall time (batch submit, live chunk, or finish), nanoseconds.",
+                &labels,
+                &key.request,
+            );
+            prom.histogram(
+                "pwd_serve_queue_wait_ns",
+                "Per-input delay from batch arrival to worker pickup, nanoseconds.",
+                &labels,
+                &key.queue_wait,
+            );
+            prom.histogram(
+                "pwd_serve_execute_ns",
+                "Per-input engine execution time, nanoseconds.",
+                &labels,
+                &key.execute,
+            );
+            for phase in Phase::ALL {
+                let h = key.phases.get(phase);
+                if h.is_empty() {
+                    continue;
+                }
+                let labels = [
+                    ("backend", backend.as_str()),
+                    ("grammar", grammar.as_str()),
+                    ("phase", phase.as_str()),
+                ];
+                prom.histogram(
+                    "pwd_engine_phase_ns",
+                    "Engine-side per-phase durations, nanoseconds.",
+                    &labels,
+                    h,
+                );
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeObs")
+            .field("enabled", &self.enabled)
+            .field("keys", &self.keys.lock().expect("obs store poisoned").len())
+            .finish()
+    }
+}

@@ -18,7 +18,10 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::cache::{CacheMetrics, GrammarCache};
+use crate::live::SessionStats;
+use crate::obs::{ObsSamples, ServeObs};
 use crate::pool::{PoolMetrics, SessionPool};
+use pwd_obs::PromText;
 
 /// Service-level errors (per-input parse errors are reported per input in
 /// [`BatchReport::outcomes`], not here).
@@ -171,7 +174,8 @@ fn run_input(
 ) -> Result<ParseOutcome, BackendError> {
     if config.forests || config.top_k_trees > 0 {
         let forest = forest_of(backend, input)?;
-        memo.absorb(&backend.metrics());
+        let m = backend.metrics();
+        memo.absorb(&m);
         let summary = forest.summary();
         let trees = (config.top_k_trees > 0).then(|| top_k_trees(&forest, config.top_k_trees));
         return Ok(ParseOutcome {
@@ -179,22 +183,31 @@ fn run_input(
             parse_count: config.count_parses.then_some(summary.count),
             forest: config.forests.then_some(summary),
             trees,
+            stats: config.observability.then(|| SessionStats::for_input(input.len(), &m)),
         });
     }
     let accepted = match input {
         Input::Kinds(_) => backend.recognize(&input.kind_refs())?,
         Input::Lexemes(l) => backend.recognize_lexemes(l)?,
     };
-    memo.absorb(&backend.metrics());
+    let mut m = backend.metrics();
+    memo.absorb(&m);
     let parse_count = match config.count_parses {
         false => None,
         true => {
             let count = backend.parse_count(&input.kind_refs())?;
-            memo.absorb(&backend.metrics());
+            m = backend.metrics();
+            memo.absorb(&m);
             Some(count)
         }
     };
-    Ok(ParseOutcome { accepted, parse_count, forest: None, trees: None })
+    Ok(ParseOutcome {
+        accepted,
+        parse_count,
+        forest: None,
+        trees: None,
+        stats: config.observability.then(|| SessionStats::for_input(input.len(), &m)),
+    })
 }
 
 /// The result of parsing one input.
@@ -212,6 +225,9 @@ pub struct ParseOutcome {
     /// Up to [`ServiceConfig::top_k_trees`] rendered parse trees, when that
     /// is nonzero.
     pub trees: Option<Vec<String>>,
+    /// Per-input resource stats (tokens fed, peak live nodes, arena bytes),
+    /// when [`ServiceConfig::observability`] is set.
+    pub stats: Option<SessionStats>,
 }
 
 /// Engine cache-effectiveness counters summed over the inputs of a batch
@@ -263,28 +279,22 @@ impl MemoEffectiveness {
         self.auto_fallbacks += other.auto_fallbacks;
     }
 
-    /// Fraction of derive calls served from a cache, in `[0, 1]` (0 when
-    /// nothing ran).
-    pub fn hit_ratio(&self) -> f64 {
+    /// Fraction of derive calls served from a cache, in `[0, 1]`, or `None`
+    /// when no derive calls ran — an undefined ratio, not a 0% hit rate
+    /// (memo-less backends and empty batches would otherwise read as
+    /// pathologically cold caches).
+    pub fn hit_ratio(&self) -> Option<f64> {
         let total = self.memo_hits + self.memo_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.memo_hits as f64 / total as f64
-        }
+        (total != 0).then(|| self.memo_hits as f64 / total as f64)
     }
 
     /// Fraction of tokens consumed by the automaton's dense-table walk
-    /// rather than the interpreted derive path, in `[0, 1]` (0 when the
-    /// automaton never ran). The per-grammar table-hit rate: how DFA-like
-    /// this grammar's steady-state traffic became.
-    pub fn table_hit_ratio(&self) -> f64 {
+    /// rather than the interpreted derive path, in `[0, 1]`, or `None` when
+    /// the automaton never ran. The per-grammar table-hit rate: how
+    /// DFA-like this grammar's steady-state traffic became.
+    pub fn table_hit_ratio(&self) -> Option<f64> {
         let total = self.auto_table_hits + self.auto_fallbacks;
-        if total == 0 {
-            0.0
-        } else {
-            self.auto_table_hits as f64 / total as f64
-        }
+        (total != 0).then(|| self.auto_table_hits as f64 / total as f64)
     }
 }
 
@@ -348,6 +358,12 @@ pub struct ServiceConfig {
     /// must not accumulate without bound. Opens beyond the cap fail with
     /// [`ServeError::SessionLimit`].
     pub max_live_sessions: usize,
+    /// Record request/queue-wait/execute latency histograms and engine
+    /// phase timings, exposed via [`ParseService::metrics_text`] and
+    /// [`ParseOutcome::stats`]. Off by default: with it off the service
+    /// reads no clocks beyond the existing per-batch wall timer and arms no
+    /// engine hooks.
+    pub observability: bool,
 }
 
 impl Default for ServiceConfig {
@@ -360,6 +376,7 @@ impl Default for ServiceConfig {
             forests: false,
             top_k_trees: 0,
             max_live_sessions: 1024,
+            observability: false,
         }
     }
 }
@@ -394,6 +411,9 @@ pub struct ParseService {
     inputs_served: AtomicUsize,
     /// Lifetime engine cache-effectiveness totals (merged once per batch).
     memo_totals: Mutex<MemoEffectiveness>,
+    /// Latency/phase histogram store, keyed by (backend, grammar
+    /// fingerprint). Inert unless [`ServiceConfig::observability`] is set.
+    pub(crate) obs: ServeObs,
     /// Live incremental sessions, keyed by id (see `crate::live`). An entry
     /// is *absent* while a caller is feeding it (taken out of the map), so
     /// the lock is never held across engine work.
@@ -415,6 +435,7 @@ impl ParseService {
         config.shards = config.shards.max(1);
         let cache = GrammarCache::new(config.shards, &config.backend);
         let slots = (0..config.workers).map(|_| Mutex::new(SessionPool::new())).collect();
+        let obs = ServeObs::new(config.observability);
         ParseService {
             config,
             cache,
@@ -422,6 +443,7 @@ impl ParseService {
             next_slot: AtomicUsize::new(0),
             inputs_served: AtomicUsize::new(0),
             memo_totals: Mutex::new(MemoEffectiveness::default()),
+            obs,
             live: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             live_count: AtomicUsize::new(0),
@@ -482,8 +504,10 @@ impl ParseService {
             0
         };
 
-        type WorkerOut = (Vec<(usize, Result<ParseOutcome, BackendError>)>, MemoEffectiveness);
-        let mut per_worker: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let obs_on = self.obs.enabled();
+        type WorkerOut =
+            (Vec<(usize, Result<ParseOutcome, BackendError>)>, MemoEffectiveness, ObsSamples);
+        let per_worker: Vec<WorkerOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers_used)
                 .map(|w| {
                     let (entry, cursor) = (&entry, &cursor);
@@ -492,29 +516,52 @@ impl ParseService {
                         let mut pool = slot.lock().expect("worker pool poisoned");
                         let mut out = Vec::new();
                         let mut memo = MemoEffectiveness::default();
+                        let mut samples = ObsSamples::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
                             let mut session = pool.checkout(entry);
-                            let res = run_input(session.backend(), &inputs[i], config, &mut memo);
+                            let res = if obs_on {
+                                // Queue wait = batch arrival to worker pickup;
+                                // execute = the engine run itself. Engine phase
+                                // histograms are armed for exactly this input
+                                // and folded into the worker-local samples.
+                                let picked = Instant::now();
+                                session.backend().set_obs(true);
+                                let res =
+                                    run_input(session.backend(), &inputs[i], config, &mut memo);
+                                samples
+                                    .queue_wait_ns
+                                    .push(picked.duration_since(t0).as_nanos() as u64);
+                                samples.execute_ns.push(picked.elapsed().as_nanos() as u64);
+                                if let Some(p) = session.backend().metrics().phases {
+                                    samples.absorb_phases(&p);
+                                }
+                                session.backend().set_obs(false);
+                                res
+                            } else {
+                                run_input(session.backend(), &inputs[i], config, &mut memo)
+                            };
                             pool.checkin(session);
                             out.push((i, res));
                         }
-                        (out, memo)
+                        (out, memo, samples)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("parse worker panicked")).collect()
         });
 
-        let per_worker_inputs: Vec<usize> = per_worker.iter().map(|(c, _)| c.len()).collect();
+        let per_worker_inputs: Vec<usize> = per_worker.iter().map(|(c, _, _)| c.len()).collect();
+        let fingerprint = entry.fingerprint();
         let mut memo = MemoEffectiveness::default();
         let mut outcomes: Vec<Option<Result<ParseOutcome, BackendError>>> = vec![None; n];
-        for (chunk, worker_memo) in &mut per_worker {
-            memo.merge(*worker_memo);
-            for (i, res) in chunk.drain(..) {
+        for (chunk, worker_memo, samples) in per_worker {
+            memo.merge(worker_memo);
+            self.obs.fold(&self.config.backend, fingerprint, samples);
+            for (i, res) in chunk {
                 outcomes[i] = Some(res);
             }
         }
@@ -523,6 +570,11 @@ impl ParseService {
 
         self.inputs_served.fetch_add(n, Ordering::Relaxed);
         self.memo_totals.lock().expect("memo totals poisoned").merge(memo);
+        if obs_on {
+            let mut batch = ObsSamples::new();
+            batch.request_ns.push(t0.elapsed().as_nanos() as u64);
+            self.obs.fold(&self.config.backend, fingerprint, batch);
+        }
         let accepted = outcomes.iter().filter(|r| matches!(r, Ok(o) if o.accepted)).count();
         let errors = outcomes.iter().filter(|r| r.is_err()).count();
         Ok(BatchReport {
@@ -599,6 +651,98 @@ impl ParseService {
             inputs: self.inputs_served.load(Ordering::Relaxed) as u64,
             memo: *self.memo_totals.lock().expect("memo totals poisoned"),
         }
+    }
+
+    /// Renders the service's lifetime metrics as a Prometheus-style text
+    /// exposition document: always-on counters (inputs served, cache and
+    /// pool activity, memo effectiveness, live-session gauge), plus — when
+    /// [`ServiceConfig::observability`] is set — request/queue-wait/execute
+    /// latency histograms and engine phase timings labelled by backend and
+    /// grammar fingerprint.
+    pub fn metrics_text(&self) -> String {
+        let m = self.metrics();
+        let mut prom = PromText::new();
+        let labels = [("backend", self.config.backend.as_str())];
+        prom.counter(
+            "pwd_serve_inputs_total",
+            "Inputs served over the service lifetime.",
+            &labels,
+            m.inputs,
+        );
+        prom.counter(
+            "pwd_serve_cache_hits_total",
+            "Compiled-grammar cache hits.",
+            &labels,
+            m.cache.hits,
+        );
+        prom.counter(
+            "pwd_serve_cache_misses_total",
+            "Compiled-grammar cache misses (compiles).",
+            &labels,
+            m.cache.misses,
+        );
+        prom.counter(
+            "pwd_serve_sessions_forked_total",
+            "Engine sessions created by forking a cached prototype.",
+            &labels,
+            m.sessions.forked,
+        );
+        prom.counter(
+            "pwd_serve_sessions_reused_total",
+            "Pooled engine sessions reused via epoch reset.",
+            &labels,
+            m.sessions.reused,
+        );
+        prom.gauge(
+            "pwd_serve_live_sessions",
+            "Currently open live (incremental) sessions.",
+            &labels,
+            self.live_count.load(Ordering::Relaxed) as f64,
+        );
+        prom.counter(
+            "pwd_engine_memo_hits_total",
+            "Derive calls answered from the memo tables.",
+            &labels,
+            m.memo.memo_hits,
+        );
+        prom.counter(
+            "pwd_engine_memo_misses_total",
+            "Derive calls that missed every cache.",
+            &labels,
+            m.memo.memo_misses,
+        );
+        prom.counter(
+            "pwd_engine_template_shares_total",
+            "Derivative subgraphs shared via the class-template layer.",
+            &labels,
+            m.memo.template_shares,
+        );
+        prom.counter(
+            "pwd_engine_template_instantiations_total",
+            "Class-template derivatives re-instantiated to fresh leaves.",
+            &labels,
+            m.memo.template_instantiations,
+        );
+        prom.counter(
+            "pwd_engine_auto_rows_built_total",
+            "Lazy-automaton states interned.",
+            &labels,
+            m.memo.auto_rows_built,
+        );
+        prom.counter(
+            "pwd_engine_auto_table_hits_total",
+            "Tokens consumed by a dense transition-table hit.",
+            &labels,
+            m.memo.auto_table_hits,
+        );
+        prom.counter(
+            "pwd_engine_auto_fallbacks_total",
+            "Tokens that fell back to the interpreted derive path.",
+            &labels,
+            m.memo.auto_fallbacks,
+        );
+        self.obs.render(&mut prom);
+        prom.finish()
     }
 }
 
@@ -694,7 +838,7 @@ mod tests {
         assert_eq!(m2.auto_rows_built, 0, "pooled session keeps compiled rows: {m2:?}");
         assert_eq!(m2.auto_fallbacks, 0, "warm traffic never leaves the table: {m2:?}");
         assert!(m2.auto_table_hits > 0, "{m2:?}");
-        assert_eq!(m2.table_hit_ratio(), 1.0, "{m2:?}");
+        assert_eq!(m2.table_hit_ratio(), Some(1.0), "{m2:?}");
         // Lifetime totals fold both batches.
         let lifetime = service.metrics().memo;
         assert_eq!(lifetime.auto_rows_built, m1.auto_rows_built);
@@ -753,7 +897,8 @@ mod tests {
         let memo = report.metrics.memo;
         assert!(memo.memo_misses > 0, "real derivation work happened: {memo:?}");
         assert!(memo.memo_hits > 0, "repeated tokens must hit the memo: {memo:?}");
-        assert!(memo.hit_ratio() > 0.0 && memo.hit_ratio() < 1.0, "{memo:?}");
+        let ratio = memo.hit_ratio().unwrap();
+        assert!(ratio > 0.0 && ratio < 1.0, "{memo:?}");
         let lifetime = service.metrics().memo;
         assert_eq!(lifetime, memo, "one batch served, so lifetime == batch");
 
@@ -851,6 +996,41 @@ mod tests {
             prints.windows(2).all(|w| w[0].1 == w[1].1),
             "fingerprints must be backend-invariant: {prints:?}"
         );
+    }
+
+    #[test]
+    fn metrics_text_exposes_counters_and_latency_histograms() {
+        let service = ParseService::new(ServiceConfig {
+            workers: 2,
+            observability: true,
+            ..Default::default()
+        });
+        let report = service.submit_batch(&catalan(), &a_inputs(&[3, 4, 5])).unwrap();
+        let stats = report.outcomes[0].as_ref().unwrap().stats.expect("observability is on");
+        assert_eq!(stats.tokens_fed, 3);
+        assert!(stats.peak_live_nodes > 0, "{stats:?}");
+        let text = service.metrics_text();
+        assert!(text.contains("pwd_serve_inputs_total{backend=\"pwd-improved\"} 3"), "{text}");
+        assert!(text.contains("# TYPE pwd_serve_request_duration_ns histogram"), "{text}");
+        // Per-input latencies carry both the backend and the grammar label.
+        assert!(
+            text.contains("pwd_serve_execute_ns_count{backend=\"pwd-improved\",grammar="),
+            "{text}"
+        );
+        assert!(text.contains("pwd_serve_queue_wait_ns_bucket"), "{text}");
+        // The engine's own instrumented phases ride along — but only when
+        // the hooks are compiled in (absent under `--no-default-features`).
+        assert_eq!(text.contains("pwd_engine_phase_ns"), cfg!(feature = "obs"), "{text}");
+    }
+
+    #[test]
+    fn observability_off_keeps_outcomes_and_exposition_lean() {
+        let service = ParseService::new(ServiceConfig { workers: 1, ..Default::default() });
+        let report = service.submit_batch(&catalan(), &a_inputs(&[3])).unwrap();
+        assert!(report.outcomes[0].as_ref().unwrap().stats.is_none());
+        let text = service.metrics_text();
+        assert!(text.contains("pwd_serve_inputs_total"), "{text}");
+        assert!(!text.contains("pwd_serve_request_duration_ns"), "{text}");
     }
 
     #[test]

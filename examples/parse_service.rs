@@ -30,7 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("corpus:  {files} files, {total_tokens} tokens total\n");
 
     let workers = std::thread::available_parallelism().map_or(4, usize::from);
-    let service = ParseService::new(ServiceConfig { workers, ..Default::default() });
+    let service =
+        ParseService::new(ServiceConfig { workers, observability: true, ..Default::default() });
 
     for round in 1..=3 {
         let t0 = Instant::now();
@@ -51,6 +52,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let out = out.as_ref().map_err(|e| e.clone())?;
             assert!(out.accepted, "generated corpus must parse");
         }
+        if round == 3 {
+            let stats = report.outcomes[0].as_ref().map_err(|e| e.clone())?.stats;
+            if let Some(s) = stats {
+                println!(
+                    "  per-input stats (first input): {} tokens, peak {} live nodes, \
+                     peak {} arena bytes",
+                    s.tokens_fed, s.peak_live_nodes, s.peak_arena_bytes,
+                );
+            }
+        }
     }
 
     let m = service.metrics();
@@ -66,11 +77,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  derive memo:    {:.1}% hit ({} hits / {} misses), templates: {} shared, {} instantiated",
-        m.memo.hit_ratio() * 100.0,
+        m.memo.hit_ratio().unwrap_or(0.0) * 100.0,
         m.memo.memo_hits,
         m.memo.memo_misses,
         m.memo.template_shares,
         m.memo.template_instantiations
     );
+
+    // The same lifetime totals — plus the request/queue/execute latency
+    // histograms and per-phase engine timings the observability layer
+    // collected — in Prometheus exposition format, ready to scrape.
+    println!("\nmetrics exposition (ParseService::metrics_text()):");
+    print!("{}", service.metrics_text());
     Ok(())
 }

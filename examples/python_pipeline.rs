@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  derive uncached     {:>12} ({:.1}%)",
         m.derive_uncached,
-        100.0 * m.uncached_ratio()
+        100.0 * m.uncached_ratio().unwrap_or(0.0)
     );
     println!("  nullable? calls     {:>12}", m.nullable_calls);
     println!("  fixed-point runs    {:>12}", m.nullable_runs);

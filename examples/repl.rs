@@ -21,6 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut backend = PwdBackend::improved(&grammars::arith::cfg());
     let mut session = Session::open(&mut backend as &mut dyn Parser)?;
+    // Collect per-phase latency histograms for the end-of-run snapshot
+    // (compiled out entirely under `--no-default-features`).
+    session.set_obs(true);
     // One checkpoint per committed token: undo_stack[k] restores the state
     // *before* token k+1 was fed.
     let mut undo_stack: Vec<Checkpoint> = Vec::new();
@@ -56,12 +59,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let tokens = session.tokens_fed();
+    // Snapshot the phase histograms while the session is still open — the
+    // snapshot covers exactly the keystrokes fed above.
+    let phases = session.metrics().phases;
     let accepted = session.finish()?;
     println!(
         "\nfinal line {:?} ({tokens} tokens after undos): {}",
         line.join(""),
         if accepted { "a complete expression" } else { "not a complete expression" }
     );
+    if let Some(phases) = &phases {
+        println!("\nend-of-run phase timings:");
+        println!("  {:<10} {:>6} {:>12} {:>10}", "phase", "spans", "total_ns", "mean_ns");
+        for (phase, h) in phases.recorded() {
+            println!(
+                "  {:<10} {:>6} {:>12} {:>10.0}",
+                phase.as_str(),
+                h.count(),
+                h.sum(),
+                h.mean().unwrap_or(0.0),
+            );
+        }
+    }
     if accepted {
         match backend.parse_count(
             &lexer.tokenize(&line.join(""))?.iter().map(|l| l.kind.as_str()).collect::<Vec<_>>(),

@@ -94,6 +94,7 @@ use std::fmt;
 
 pub use pwd_forest::{EnumLimits, ForestSummary, ParseForest, Tree, TreeCount};
 pub use pwd_lex::{KindSource, LexemeSource, ScannedToken, Span, TokenSource};
+pub use pwd_obs::{Histogram, Phase, PhaseStats};
 
 /// An error from a parser backend: a malformed grammar, an input token
 /// outside the grammar's alphabet, a lifecycle misuse (feeding without an
@@ -277,7 +278,7 @@ impl SessionGuard {
 /// calls and grammar nodes, Earley counts chart items, GLR counts
 /// graph-structured-stack nodes and edges — so they compare *growth*, not
 /// absolute cost, across backends.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BackendMetrics {
     /// Inputs run through `recognize`/`parse_count`/sessions since
     /// `prepare`.
@@ -308,6 +309,15 @@ pub struct BackendMetrics {
     /// Tokens consumed by the interpreted path while the automaton was
     /// active (cold-table misses plus post-budget fallback steps).
     pub auto_fallbacks: u64,
+    /// Approximate resident bytes of the backend's live parse state (PWD:
+    /// the node/forest arenas plus their side pools; zero for backends
+    /// without an arena).
+    pub arena_bytes: u64,
+    /// Snapshot of the per-phase latency histograms, present iff
+    /// observability is enabled on the backend
+    /// ([`Recognizer::set_obs`]). Boxed so the common disabled case adds
+    /// one word, not ten histograms.
+    pub phases: Option<Box<PhaseStats>>,
 }
 
 /// A compiled recognizer with a uniform **streaming** lifecycle.
@@ -474,6 +484,22 @@ pub trait Recognizer: Send + Sync {
     /// Returns the backend to its freshly-[`prepare`](Recognizer::prepare)d
     /// state. Cheap for every backend; for PWD it is a single epoch bump.
     fn reset(&mut self);
+
+    /// Enables or disables per-phase latency observability on this backend.
+    ///
+    /// When enabled, [`metrics`](Recognizer::metrics) carries a
+    /// [`PhaseStats`] snapshot in [`BackendMetrics::phases`]: power-of-two
+    /// duration histograms over the backend's instrumented phases (PWD:
+    /// derive/compact/nullable/automaton-row/forest; the baselines: one
+    /// derive-equivalent span per feed plus forest extraction). Disabling
+    /// discards accumulated phase data. Backends honor the zero-overhead
+    /// contract of `pwd-obs`: while disabled (the default) no clock is
+    /// read, and with the `obs` cargo feature off the hooks compile away
+    /// entirely — this method is then a no-op and `phases` stays `None`.
+    ///
+    /// The default implementation is a no-op, for recognizers without
+    /// instrumentation.
+    fn set_obs(&mut self, _enabled: bool) {}
 
     /// Instrumentation for the most recent run (live counters while a
     /// session is open).
@@ -736,6 +762,18 @@ impl<'a> Session<'a> {
         self.backend.get_ref().tokens_fed()
     }
 
+    /// Enables or disables observability on the underlying backend (see
+    /// [`Recognizer::set_obs`]).
+    pub fn set_obs(&mut self, enabled: bool) {
+        self.backend.get().set_obs(enabled);
+    }
+
+    /// The backend's live instrumentation counters (and, with observability
+    /// enabled, its per-phase latency histograms).
+    pub fn metrics(&self) -> BackendMetrics {
+        self.backend.get_ref().metrics()
+    }
+
     /// Saves the current position — for PWD, the derivative `D_{t1…tk}(L)`
     /// itself.
     ///
@@ -983,6 +1021,14 @@ impl Recognizer for PwdBackend {
         self.compiled.lang.reset();
     }
 
+    fn set_obs(&mut self, enabled: bool) {
+        if enabled {
+            self.compiled.lang.enable_obs(false);
+        } else {
+            self.compiled.lang.disable_obs();
+        }
+    }
+
     fn metrics(&self) -> BackendMetrics {
         let m = self.compiled.lang.metrics();
         BackendMetrics {
@@ -996,6 +1042,8 @@ impl Recognizer for PwdBackend {
             auto_rows_built: m.auto_rows_built,
             auto_table_hits: m.auto_table_hits,
             auto_fallbacks: m.auto_fallbacks,
+            arena_bytes: self.compiled.lang.arena_bytes() as u64,
+            phases: self.compiled.lang.obs_phases().map(|p| Box::new(p.clone())),
         }
     }
 }
@@ -1034,6 +1082,45 @@ impl Parser for PwdBackend {
 }
 
 // ---------------------------------------------------------------------
+// Baseline observability helpers
+// ---------------------------------------------------------------------
+
+// The baselines keep their own `Option<Box<PhaseStats>>` sink (the PWD
+// engine's lives inside `Language`); these two helpers enforce the same
+// zero-overhead contract — no clock read without a sink, nothing at all
+// without the `obs` feature.
+#[inline]
+fn obs_start(obs: &Option<Box<PhaseStats>>) -> Option<std::time::Instant> {
+    #[cfg(feature = "obs")]
+    if obs.is_some() {
+        return Some(std::time::Instant::now());
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = obs;
+    None
+}
+
+#[inline]
+fn obs_end(obs: &mut Option<Box<PhaseStats>>, phase: Phase, started: Option<std::time::Instant>) {
+    #[cfg(feature = "obs")]
+    if let (Some(stats), Some(t0)) = (obs.as_deref_mut(), started) {
+        stats.record(phase, t0.elapsed().as_nanos() as u64);
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = (obs, phase, started);
+}
+
+#[inline]
+fn obs_install(obs: &mut Option<Box<PhaseStats>>, enabled: bool) {
+    #[cfg(feature = "obs")]
+    {
+        *obs = enabled.then(|| Box::new(PhaseStats::new()));
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = (obs, enabled);
+}
+
+// ---------------------------------------------------------------------
 // Earley
 // ---------------------------------------------------------------------
 
@@ -1048,6 +1135,8 @@ pub struct EarleyBackend {
     /// Tokens fed to the open session (`(terminal index, lexeme text)`),
     /// kept for SPPF leaves; rollback truncates in step with the chart.
     fed: Vec<(u32, String)>,
+    /// Per-phase latency histograms, present iff observability is enabled.
+    obs: Option<Box<PhaseStats>>,
 }
 
 impl EarleyBackend {
@@ -1070,6 +1159,7 @@ impl Recognizer for EarleyBackend {
             chart: None,
             guard: SessionGuard::closed(),
             fed: Vec::new(),
+            obs: None,
         }
     }
 
@@ -1092,7 +1182,10 @@ impl Recognizer for EarleyBackend {
         };
         self.guard.on_feed();
         self.fed.push((tok, text.to_string()));
-        Ok(self.parser.feed(chart, tok))
+        let span = obs_start(&self.obs);
+        let viable = self.parser.feed(chart, tok);
+        obs_end(&mut self.obs, Phase::Derive, span);
+        Ok(viable)
     }
 
     fn tokens_fed(&self) -> usize {
@@ -1147,6 +1240,10 @@ impl Recognizer for EarleyBackend {
         self.fed.clear();
     }
 
+    fn set_obs(&mut self, enabled: bool) {
+        obs_install(&mut self.obs, enabled);
+    }
+
     fn metrics(&self) -> BackendMetrics {
         let stats;
         let s = match &self.chart {
@@ -1160,6 +1257,7 @@ impl Recognizer for EarleyBackend {
             runs: self.runs,
             work: s.total_items as u64,
             live_state: s.set_sizes.iter().copied().max().unwrap_or(0) as u64,
+            phases: self.obs.clone(),
             ..BackendMetrics::default()
         }
     }
@@ -1174,6 +1272,7 @@ impl Parser for EarleyBackend {
             chart: None,
             guard: SessionGuard::closed(),
             fed: Vec::new(),
+            obs: None,
         })
     }
 
@@ -1185,10 +1284,12 @@ impl Parser for EarleyBackend {
         self.last = chart.stats();
         // The completed chart *is* the derivation-fact set; the shared
         // builder turns it into the canonical packed forest.
+        let span = obs_start(&self.obs);
         let spans = self.parser.production_spans(&chart);
         let tokens: Vec<u32> = self.fed.iter().map(|(t, _)| *t).collect();
         let texts: Vec<&str> = self.fed.iter().map(|(_, x)| x.as_str()).collect();
         let forest = build_sppf(self.parser.cfg(), &tokens, &texts, &spans);
+        obs_end(&mut self.obs, Phase::Forest, span);
         self.fed.clear();
         Ok(forest)
     }
@@ -1209,6 +1310,8 @@ pub struct GlrBackend {
     /// Tokens fed to the open session (`(terminal index, lexeme text)`),
     /// kept for SPPF leaves; rollback truncates in step with the GSS.
     fed: Vec<(u32, String)>,
+    /// Per-phase latency histograms, present iff observability is enabled.
+    obs: Option<Box<PhaseStats>>,
 }
 
 impl GlrBackend {
@@ -1231,6 +1334,7 @@ impl Recognizer for GlrBackend {
             session: None,
             guard: SessionGuard::closed(),
             fed: Vec::new(),
+            obs: None,
         }
     }
 
@@ -1256,7 +1360,10 @@ impl Recognizer for GlrBackend {
         };
         self.guard.on_feed();
         self.fed.push((tok, text.to_string()));
-        Ok(self.parser.feed(session, tok))
+        let span = obs_start(&self.obs);
+        let viable = self.parser.feed(session, tok);
+        obs_end(&mut self.obs, Phase::Derive, span);
+        Ok(viable)
     }
 
     fn tokens_fed(&self) -> usize {
@@ -1312,6 +1419,10 @@ impl Recognizer for GlrBackend {
         self.fed.clear();
     }
 
+    fn set_obs(&mut self, enabled: bool) {
+        obs_install(&mut self.obs, enabled);
+    }
+
     fn metrics(&self) -> BackendMetrics {
         let stats;
         let s = match &self.session {
@@ -1325,6 +1436,7 @@ impl Recognizer for GlrBackend {
             runs: self.runs,
             work: s.gss_nodes as u64,
             live_state: s.gss_edges as u64,
+            phases: self.obs.clone(),
             ..BackendMetrics::default()
         }
     }
@@ -1339,6 +1451,7 @@ impl Parser for GlrBackend {
             session: None,
             guard: SessionGuard::closed(),
             fed: Vec::new(),
+            obs: None,
         })
     }
 
@@ -1349,11 +1462,13 @@ impl Parser for GlrBackend {
         self.guard = SessionGuard::closed();
         // The GSS's recorded reductions (plus the EOF-probe completions)
         // are the derivation facts; the shared builder packs them.
+        let span = obs_start(&self.obs);
         let spans = self.parser.session_spans(&mut session);
         self.last = session.stats();
         let tokens: Vec<u32> = self.fed.iter().map(|(t, _)| *t).collect();
         let texts: Vec<&str> = self.fed.iter().map(|(_, x)| x.as_str()).collect();
         let forest = build_sppf(self.parser.cfg(), &tokens, &texts, &spans);
+        obs_end(&mut self.obs, Phase::Forest, span);
         self.fed.clear();
         Ok(forest)
     }

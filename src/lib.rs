@@ -50,4 +50,5 @@ pub use pwd_earley as earley;
 pub use pwd_glr as glr;
 pub use pwd_grammar as grammar;
 pub use pwd_lex as lex;
+pub use pwd_obs as obs;
 pub use pwd_regex as regex;
