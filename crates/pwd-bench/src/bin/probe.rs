@@ -11,6 +11,7 @@
 //! cargo run --release -p pwd-bench --bin probe -- keying [tokens] [--forest-dot [FILE]]
 //! cargo run --release -p pwd-bench --bin probe -- automaton [tokens]
 //! cargo run --release -p pwd-bench --bin probe -- trace [tokens] [FILE]
+//! cargo run --release -p pwd-bench --bin probe -- diagnose FILE [backend]
 //! ```
 //!
 //! * `growth` — per-token reachable-graph growth on the Python grammar.
@@ -25,6 +26,9 @@
 //! * `trace` — traced end-to-end run on lexeme-diverse PL/0: writes a
 //!   Chrome `trace_event` JSON timeline (default `TRACE_pl0.json`; open in
 //!   `chrome://tracing` or Perfetto) and prints a per-phase time table.
+//! * `diagnose` — parses a PL/0 source file with bounded-budget error
+//!   recovery and prints rustc-style spanned diagnostics for every repair;
+//!   exit code 0 = clean, 1 = diagnostics emitted, 2 = usage/IO error.
 
 use pwd_bench::{python_cfg, python_corpus};
 use pwd_core::{
@@ -44,11 +48,12 @@ fn main() {
         Some("keying") => keying(&args[1..]),
         Some("automaton") => automaton(arg_usize(&args, 1, 600)),
         Some("trace") => trace(arg_usize(&args, 1, 600), args.get(2).cloned()),
+        Some("diagnose") => diagnose(args.get(1).cloned(), args.get(2).cloned()),
         _ => {
             eprintln!(
                 "usage: probe <growth [tokens] | units | ambiguity | min | reset | \
                  keying [tokens] [--forest-dot [FILE]] | automaton [tokens] | \
-                 trace [tokens] [FILE]>"
+                 trace [tokens] [FILE] | diagnose FILE [backend]>"
             );
             std::process::exit(2);
         }
@@ -559,4 +564,63 @@ fn trace(target: usize, out: Option<String>) {
         names.len(),
         names.join(", ")
     );
+}
+
+/// Parses a PL/0 source file with bounded-budget error recovery and prints
+/// one rustc-style block (severity, message, line:column caret frame,
+/// expected-set help) per diagnostic. Exit code 0 when the file is clean,
+/// 1 when any diagnostic was emitted, 2 on usage or I/O errors.
+fn diagnose(path: Option<String>, backend_name: Option<String>) {
+    use derp::{RecoveryBudget, Session, Severity};
+
+    let Some(path) = path else {
+        eprintln!("usage: probe diagnose FILE [backend]");
+        eprintln!("backends: {:?}", derp::api::BACKEND_NAMES);
+        std::process::exit(2);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let name = backend_name.as_deref().unwrap_or("pwd-improved");
+    let Some(mut backend) = derp::api::backend_by_name(name, &grammars::pl0::cfg()) else {
+        eprintln!("unknown backend {name:?}; expected one of {:?}", derp::api::BACKEND_NAMES);
+        std::process::exit(2);
+    };
+
+    let lexer = grammars::pl0::lexer();
+    let mut tokens = lexer.source(&src);
+    let mut session = Session::open(backend.as_mut()).expect("fresh backend opens a session");
+    session.enable_recovery(RecoveryBudget::default());
+    if let Err(e) = session.feed_source(&mut tokens) {
+        eprintln!("internal parser error: {e}");
+        std::process::exit(2);
+    }
+    let (accepted, diagnostics) = match session.finish_with_diagnostics() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("internal parser error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    for d in &diagnostics {
+        println!("{}\n", d.render(&src));
+    }
+    let count = |s: Severity| diagnostics.iter().filter(|d| d.severity == s).count();
+    let (errors, warnings, notes) =
+        (count(Severity::Error), count(Severity::Warning), count(Severity::Note));
+    if diagnostics.is_empty() {
+        println!("{path}: clean — {} ({name})", if accepted { "accepted" } else { "rejected" });
+        std::process::exit(if accepted { 0 } else { 1 });
+    }
+    println!(
+        "{path}: {errors} error(s), {warnings} warning(s), {notes} note(s); \
+         parse {} after repair ({name})",
+        if accepted { "recovered" } else { "failed" }
+    );
+    std::process::exit(1);
 }

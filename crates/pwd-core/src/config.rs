@@ -236,6 +236,61 @@ impl ParserConfig {
     }
 }
 
+/// Budget and cost model for bounded-effort error recovery.
+///
+/// Recovery itself runs in the session layer (`derp::recover`) because it
+/// drives checkpoints and trial feeds through the backend-agnostic session
+/// interface; the budget lives here, next to the other engine knobs, so
+/// every layer — core, API, serve — shares one vocabulary for "how hard to
+/// try".
+///
+/// The cost model: each applied repair charges its kind's cost
+/// (`skip_cost` / `insert_cost` / `substitute_cost`) against `max_cost`,
+/// and the total number of applied repairs is additionally capped by
+/// `max_repairs`. When either limit is reached the parse degrades to the
+/// recovery-off behavior (the session goes dead on the next unrepairable
+/// token) and a final `note`-severity diagnostic records the exhaustion.
+/// Skipping is deliberately the most expensive repair: insertion and
+/// substitution keep the token stream aligned, while a run of skips is
+/// panic-mode recovery (discard input until a synchronizing terminal) and
+/// should only win when nothing cheaper is viable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryBudget {
+    /// Maximum number of repairs applied in one parse.
+    pub max_repairs: u32,
+    /// Maximum total repair cost in one parse.
+    pub max_cost: u32,
+    /// Cost of skipping one input token (panic-mode step).
+    pub skip_cost: u32,
+    /// Cost of inserting one expected token.
+    pub insert_cost: u32,
+    /// Cost of substituting an expected token for the input token.
+    pub substitute_cost: u32,
+    /// Maximum number of candidate repair tokens probed per failure point.
+    pub max_candidates: usize,
+    /// Tokens of real input a candidate repair must survive (when that much
+    /// input remains) to be preferred; breaks ties toward repairs that keep
+    /// the parse alive longest.
+    pub lookahead: usize,
+}
+
+impl Default for RecoveryBudget {
+    /// Generous defaults: enough for a handful of independent errors in one
+    /// file (16 repairs, total cost 48) without letting an adversarial
+    /// input degenerate into an unbounded repair search.
+    fn default() -> Self {
+        RecoveryBudget {
+            max_repairs: 16,
+            max_cost: 48,
+            skip_cost: 2,
+            insert_cost: 1,
+            substitute_cost: 1,
+            max_candidates: 16,
+            lookahead: 4,
+        }
+    }
+}
+
 /// Default state/row budget for the lazy automaton. Real grammars settle
 /// into a few dozen isomorphism classes of live derivatives; 4096 rows is
 /// two orders of magnitude of headroom while still bounding memory on

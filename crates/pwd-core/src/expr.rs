@@ -316,6 +316,15 @@ impl Language {
         &self.metrics
     }
 
+    /// Counts `n` recovery trial derivatives — cloned session states fed a
+    /// candidate repair token to test its viability. The session layer
+    /// drives the probing (it owns checkpoints and the repair search); the
+    /// counter lives here with the other derive accounting so one snapshot
+    /// describes the whole engine.
+    pub fn note_recovery_probes(&mut self, n: u64) {
+        self.metrics.recovery_probes += n;
+    }
+
     /// Clears the instrumentation counters (and any accumulated
     /// observability phase data; an installed obs sink stays installed).
     pub fn reset_metrics(&mut self) {

@@ -76,7 +76,7 @@ mod token;
 pub use automaton::AutomatonStats;
 pub use config::{
     AutomatonMode, CompactionMode, MemoKeying, MemoStrategy, NullStrategy, ParseMode, ParserConfig,
-    DEFAULT_AUTOMATON_MAX_ROWS,
+    RecoveryBudget, DEFAULT_AUTOMATON_MAX_ROWS,
 };
 pub use error::PwdError;
 pub use expr::{Language, NodeId};

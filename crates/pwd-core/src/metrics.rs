@@ -49,6 +49,10 @@ pub struct Metrics {
     /// Tokens consumed by the interpreted path while the automaton was
     /// active — cold-table misses plus post-budget fallback steps.
     pub auto_fallbacks: u64,
+    /// Error-recovery trial derivatives: cloned session states fed one
+    /// candidate repair token to test its viability (zero on clean input —
+    /// recovery only probes after a dead feed).
+    pub recovery_probes: u64,
 }
 
 impl Metrics {

@@ -86,6 +86,17 @@ impl Language {
         self.obs.as_ref().map(|o| &o.phases)
     }
 
+    /// Records an externally timed span under `phase` — for layers above
+    /// the engine (e.g. error recovery in `derp::api`) whose work spans
+    /// several engine calls. Histogram-only: no trace event is emitted,
+    /// because the caller's clock zero is not this engine's. A no-op until
+    /// [`enable_obs`](Language::enable_obs) installs a sink.
+    pub fn note_phase(&mut self, phase: Phase, nanos: u64) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.phases.record(phase, nanos);
+        }
+    }
+
     /// Drains the captured trace spans (empty unless
     /// [`enable_obs`](Language::enable_obs) was called with `trace`).
     /// Timestamps are nanoseconds since tracing was enabled.

@@ -197,6 +197,31 @@ impl EarleyParser {
         !chart.sets[i + 1].is_empty()
     }
 
+    /// The terminals the chart's frontier can scan next — exactly the set
+    /// of tokens for which [`feed`](EarleyParser::feed) would produce a
+    /// non-empty set. Sorted and deduplicated. This is the candidate set
+    /// for chart re-seeding error recovery: on a dead feed, the recoverer
+    /// rolls the chart back to the failure frontier and re-seeds it by
+    /// feeding one of these.
+    pub fn expected_terminals(&self, chart: &EarleyChart) -> Vec<u32> {
+        let mut out: Vec<u32> = chart
+            .sets
+            .last()
+            .expect("chart has a frontier")
+            .iter()
+            .filter_map(|item| {
+                let p = &self.cfg.productions()[item.prod as usize];
+                match p.rhs.get(item.dot as usize) {
+                    Some(Symbol::T(t)) => Some(*t),
+                    _ => None,
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Does the chart's current frontier accept the prefix fed so far?
     pub fn accepted(&self, chart: &EarleyChart) -> bool {
         chart.sets.last().expect("chart has a frontier").iter().any(|item| {
@@ -652,6 +677,34 @@ mod tests {
         }
         assert!(p.accepted(&chart));
         assert_eq!(chart.stats().set_sizes.len(), toks.len() + 1);
+    }
+
+    #[test]
+    fn expected_terminals_predict_viable_feeds() {
+        let p = arith();
+        let toks = p.kinds_to_tokens(&["NUM", "+"]).unwrap();
+        let mut chart = p.begin();
+        for &t in &toks {
+            p.feed(&mut chart, t);
+        }
+        let expected = p.expected_terminals(&chart);
+        assert!(!expected.is_empty());
+        for t in 0..p.cfg().terminal_count() as u32 {
+            let mut probe = chart.clone();
+            assert_eq!(
+                p.feed(&mut probe, t),
+                expected.contains(&t),
+                "terminal {} ({})",
+                t,
+                p.cfg().terminal_name(t)
+            );
+        }
+        // A dead frontier expects nothing.
+        let bad = p.kinds_to_tokens(&[")"]).unwrap();
+        let mut dead = p.begin();
+        p.feed(&mut dead, bad[0]);
+        assert!(dead.is_dead());
+        assert!(p.expected_terminals(&dead).is_empty());
     }
 
     #[test]

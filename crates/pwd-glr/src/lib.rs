@@ -368,6 +368,25 @@ impl GlrParser {
         true
     }
 
+    /// The terminals for which the session's frontier has *any* table
+    /// action (shift or reduce) — a cheap superset of the tokens a
+    /// [`feed`](GlrParser::feed) would survive, since a reduction admitted
+    /// by the lookahead may still leave no stack that can shift it. Sorted
+    /// and deduplicated. This is the candidate set for GSS frontier repair:
+    /// the recovery driver trial-feeds each candidate (checkpoint, feed,
+    /// rollback) and keeps the ones that actually shift.
+    pub fn expected_terminals(&self, s: &GlrSession) -> Vec<u32> {
+        let mut out: Vec<u32> = s
+            .frontier
+            .keys()
+            .flat_map(|&st| self.action[st as usize].keys())
+            .filter_map(|la| *la)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Does the session accept the prefix fed so far?
     ///
     /// Runs the end-of-input reduce phase on a frontier snapshot and rolls
@@ -838,6 +857,28 @@ mod tests {
         assert!(p.accepted(&mut probed));
         assert_eq!(probed.stats().gss_nodes, plain.stats().gss_nodes);
         assert_eq!(probed.stats().gss_edges, plain.stats().gss_edges);
+    }
+
+    #[test]
+    fn expected_terminals_cover_every_viable_feed() {
+        let p = arith();
+        let toks = p.kinds_to_tokens(&["NUM", "+"]).unwrap();
+        let mut s = p.begin();
+        for &t in &toks {
+            p.feed(&mut s, t);
+        }
+        let expected = p.expected_terminals(&s);
+        assert!(!expected.is_empty());
+        // Soundness of the superset: every terminal a feed survives is
+        // listed (trial feeds restore the session via checkpoint/rollback).
+        for t in 0..p.cfg().terminal_count() as u32 {
+            let cp = s.checkpoint();
+            let viable = p.feed(&mut s, t);
+            s.rollback(&cp);
+            if viable {
+                assert!(expected.contains(&t), "viable terminal {t} missing");
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub struct Compiled {
     pub start: NodeId,
     term_ids: Vec<TermId>,
     term_by_name: HashMap<String, TermId>,
+    term_names: Vec<String>,
 }
 
 /// Error produced when a token kind is not a terminal of the grammar.
@@ -106,7 +107,15 @@ impl Compiled {
         }
 
         let start = nts[cfg.start() as usize];
-        Compiled { lang, start, term_ids, term_by_name }
+        let term_names =
+            (0..cfg.terminal_count()).map(|t| cfg.terminal_name(t as u32).to_string()).collect();
+        Compiled { lang, start, term_ids, term_by_name, term_names }
+    }
+
+    /// Every terminal kind name of the grammar, in CFG index order — the
+    /// candidate alphabet error recovery probes derivatives against.
+    pub fn terminal_names(&self) -> &[String] {
+        &self.term_names
     }
 
     /// Creates a token of the named terminal kind, or `None` if the kind is

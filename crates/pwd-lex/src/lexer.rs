@@ -59,6 +59,13 @@ impl LexError {
     pub fn offset(&self) -> usize {
         self.span.start
     }
+
+    /// Renders the error rustc-style against its source buffer, through the
+    /// shared [`SourceMap::render_span`](crate::SourceMap::render_span)
+    /// caret renderer (one code path with recovery diagnostics).
+    pub fn render(&self, src: &str) -> String {
+        format!("error: {self}\n{}", crate::SourceMap::new(src).render_span(self.span))
+    }
 }
 
 impl fmt::Display for LexError {
@@ -366,6 +373,17 @@ mod tests {
         let t = src.next_token().unwrap().unwrap();
         assert_eq!((t.kind, t.text), ("NUM", "34"), "stream resumes after the error");
         assert!(src.next_token().is_none());
+    }
+
+    #[test]
+    fn render_uses_the_shared_caret_path() {
+        let src = "1 + 2\n3 * §4";
+        let err = arith_lexer().tokenize(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.starts_with("error: no token matches at 2:5"), "{rendered}");
+        assert!(rendered.contains(" --> 2:5"), "{rendered}");
+        assert!(rendered.contains("2 | 3 * §4"), "{rendered}");
+        assert!(rendered.ends_with("    ^^"), "{rendered}");
     }
 
     #[test]

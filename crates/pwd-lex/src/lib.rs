@@ -51,5 +51,5 @@ mod timed;
 pub use lexer::{LexError, Lexeme, Lexer, LexerBuilder, SourceTokens};
 pub use python::{tokenize_python, PyLexError, KEYWORDS};
 pub use source::{KindSource, LexemeSource, ScannedToken, TokenSource};
-pub use span::{LineMap, Position, Span};
+pub use span::{LineMap, Position, SourceMap, Span};
 pub use timed::TimedSource;

@@ -1,10 +1,15 @@
-//! Source positions: byte spans and offset → line/column mapping.
+//! Source positions: byte spans, offset → line/column mapping, and the
+//! shared caret renderer.
 //!
 //! The streaming pipeline talks in [`Span`]s — half-open byte ranges into
 //! the input buffer — so a token never needs to copy its text out of the
-//! source. Diagnostics want `line:col`; a [`LineMap`] indexes newline
+//! source. Diagnostics want `line:col`; a [`SourceMap`] indexes newline
 //! positions once and answers lookups in `O(log lines)`, and
-//! [`Position::of`] answers a single lookup without the index.
+//! [`Position::of`] answers a single lookup without the index. Both run
+//! through one line/column code path ([`SourceMap::position_of`]), so a lex
+//! error and a recovery diagnostic can never disagree about where an offset
+//! is. [`SourceMap::render_span`] is the one rustc-style caret renderer
+//! every consumer (recovery diagnostics, `probe diagnose`, the repl) shares.
 
 /// A half-open byte range `start..end` into an input buffer.
 ///
@@ -73,15 +78,13 @@ pub struct Position {
 
 impl Position {
     /// The line/column of a byte offset, computed by one linear scan of the
-    /// prefix (use [`LineMap`] when answering many lookups over one source).
-    /// Offsets past the end clamp to the end position.
+    /// prefix (use [`SourceMap`] when answering many lookups over one
+    /// source). Offsets past the end clamp to the end position.
+    ///
+    /// This is a shim over [`SourceMap::position_of`] — the single
+    /// line/column code path shared with the indexed map.
     pub fn of(src: &str, offset: usize) -> Position {
-        let offset = offset.min(src.len());
-        let prefix = &src[..offset];
-        let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
-        let line_start = prefix.rfind('\n').map_or(0, |i| i + 1);
-        let column = prefix[line_start..].chars().count() + 1;
-        Position { line: line as u32, column: column as u32 }
+        SourceMap::position_of(src, offset)
     }
 }
 
@@ -91,36 +94,40 @@ impl std::fmt::Display for Position {
     }
 }
 
-/// Precomputed newline index for byte-offset → line/column conversion.
+/// Precomputed newline index for byte-offset → line/column conversion, plus
+/// the shared caret renderer for spanned diagnostics.
 ///
 /// # Examples
 ///
 /// ```
-/// use pwd_lex::{LineMap, Position};
-/// let map = LineMap::new("ab\ncdé\nf");
+/// use pwd_lex::{Position, SourceMap};
+/// let map = SourceMap::new("ab\ncdé\nf");
 /// assert_eq!(map.position(0), Position { line: 1, column: 1 });
 /// assert_eq!(map.position(3), Position { line: 2, column: 1 });
 /// // é is multi-byte; column counts characters.
 /// assert_eq!(map.position(7), Position { line: 2, column: 4 });
 /// ```
 #[derive(Debug, Clone)]
-pub struct LineMap {
+pub struct SourceMap {
     /// Byte offsets at which each line starts.
     line_starts: Vec<usize>,
     /// The source (owned) for character-accurate column computation.
     src: String,
 }
 
-impl LineMap {
+/// The historical name of [`SourceMap`], kept as an alias.
+pub type LineMap = SourceMap;
+
+impl SourceMap {
     /// Indexes the newlines of `src`.
-    pub fn new(src: &str) -> LineMap {
+    pub fn new(src: &str) -> SourceMap {
         let mut line_starts = vec![0];
         for (i, b) in src.bytes().enumerate() {
             if b == b'\n' {
                 line_starts.push(i + 1);
             }
         }
-        LineMap { line_starts, src: src.to_string() }
+        SourceMap { line_starts, src: src.to_string() }
     }
 
     /// Number of lines (at least 1, even for empty input).
@@ -137,8 +144,64 @@ impl LineMap {
             Err(i) => i - 1,
         };
         let start = self.line_starts[line];
-        let column = self.src[start..offset].chars().count() + 1;
-        Position { line: line as u32 + 1, column: column as u32 }
+        Position { line: line as u32 + 1, column: Self::column_at(&self.src, start, offset) }
+    }
+
+    /// One-shot offset → line/column without building an index: the shared
+    /// code path behind [`Position::of`] and every ad-hoc lookup (e.g.
+    /// [`LexError`](crate::LexError) construction). Offsets past the end
+    /// clamp to the end position.
+    pub fn position_of(src: &str, offset: usize) -> Position {
+        let offset = offset.min(src.len());
+        let prefix = &src[..offset];
+        let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
+        let line_start = prefix.rfind('\n').map_or(0, |i| i + 1);
+        Position { line: line as u32, column: Self::column_at(src, line_start, offset) }
+    }
+
+    /// 1-based character column of `offset` within the line starting at
+    /// `line_start` — the one column computation both lookups share.
+    fn column_at(src: &str, line_start: usize, offset: usize) -> u32 {
+        src[line_start..offset].chars().count() as u32 + 1
+    }
+
+    /// The text of a 1-based line, without its trailing newline. Lines past
+    /// the end return `""`.
+    pub fn line_text(&self, line: u32) -> &str {
+        let Some(&start) = self.line_starts.get(line.saturating_sub(1) as usize) else {
+            return "";
+        };
+        let end =
+            self.line_starts.get(line as usize).map_or(self.src.len(), |&next| next - 1).max(start);
+        &self.src[start..end]
+    }
+
+    /// Renders a span rustc-style: a `--> line:col` header, the source line,
+    /// and a caret underline. Spans reaching past the first line are clamped
+    /// to it; zero-width spans render one caret (a cursor, e.g. "expected
+    /// here"). This is the single caret renderer shared by recovery
+    /// diagnostics, lex-error display, `probe diagnose`, and the repl.
+    ///
+    /// ```text
+    ///  --> 2:5
+    ///   |
+    /// 2 | var x = 1;
+    ///   |     ^
+    /// ```
+    pub fn render_span(&self, span: Span) -> String {
+        let pos = self.position(span.start);
+        let text = self.line_text(pos.line);
+        let gutter = pos.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let lead = " ".repeat(pos.column as usize - 1);
+        let line_end = self.line_starts[pos.line as usize - 1] + text.len();
+        let width = Span::new(span.start, span.end.min(line_end).max(span.start))
+            .slice(&self.src)
+            .chars()
+            .count()
+            .max(1);
+        let carets = "^".repeat(width);
+        format!(" --> {pos}\n{pad} |\n{gutter} | {text}\n{pad} | {lead}{carets}")
     }
 }
 
@@ -148,7 +211,7 @@ mod tests {
 
     #[test]
     fn empty_source() {
-        let m = LineMap::new("");
+        let m = SourceMap::new("");
         assert_eq!(m.lines(), 1);
         assert_eq!(m.position(0), Position { line: 1, column: 1 });
         assert_eq!(m.position(99), Position { line: 1, column: 1 });
@@ -156,7 +219,7 @@ mod tests {
 
     #[test]
     fn multi_line() {
-        let m = LineMap::new("one\ntwo\nthree\n");
+        let m = SourceMap::new("one\ntwo\nthree\n");
         assert_eq!(m.lines(), 4);
         assert_eq!(m.position(0).line, 1);
         assert_eq!(m.position(4), Position { line: 2, column: 1 });
@@ -166,7 +229,7 @@ mod tests {
 
     #[test]
     fn newline_boundary_belongs_to_old_line() {
-        let m = LineMap::new("ab\ncd");
+        let m = SourceMap::new("ab\ncd");
         assert_eq!(m.position(2), Position { line: 1, column: 3 });
         assert_eq!(m.position(3), Position { line: 2, column: 1 });
     }
@@ -175,7 +238,7 @@ mod tests {
     fn integrates_with_lexer_offsets() {
         let src = "x = 1\ny = foo(2)\n";
         let lexemes = crate::tokenize_python(src).unwrap();
-        let map = LineMap::new(src);
+        let map = SourceMap::new(src);
         let foo = lexemes.iter().find(|l| l.text == "foo").unwrap();
         assert_eq!(map.position(foo.offset), Position { line: 2, column: 5 });
     }
@@ -196,11 +259,41 @@ mod tests {
     }
 
     #[test]
-    fn position_of_matches_line_map() {
+    fn position_of_matches_source_map() {
         let src = "ab\ncdé\nf";
-        let map = LineMap::new(src);
+        let map = SourceMap::new(src);
         for off in [0, 1, 2, 3, 7, 8, 99] {
             assert_eq!(Position::of(src, off), map.position(off), "offset {off}");
         }
+    }
+
+    #[test]
+    fn line_text_lookup() {
+        let m = SourceMap::new("one\ntwo\nthree");
+        assert_eq!(m.line_text(1), "one");
+        assert_eq!(m.line_text(2), "two");
+        assert_eq!(m.line_text(3), "three");
+        assert_eq!(m.line_text(9), "");
+    }
+
+    #[test]
+    fn render_span_points_at_the_span() {
+        let m = SourceMap::new("let x = 1;\nlet y == 2;\n");
+        let rendered = m.render_span(Span::new(17, 19));
+        assert_eq!(rendered, " --> 2:7\n  |\n2 | let y == 2;\n  |       ^^");
+    }
+
+    #[test]
+    fn render_span_zero_width_shows_cursor() {
+        let m = SourceMap::new("ab\n");
+        let rendered = m.render_span(Span::new(2, 2));
+        assert_eq!(rendered, " --> 1:3\n  |\n1 | ab\n  |   ^");
+    }
+
+    #[test]
+    fn render_span_clamps_to_first_line() {
+        let m = SourceMap::new("abc\ndef\n");
+        let rendered = m.render_span(Span::new(1, 6));
+        assert_eq!(rendered, " --> 1:2\n  |\n1 | abc\n  |  ^^");
     }
 }

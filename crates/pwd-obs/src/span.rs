@@ -32,10 +32,14 @@ pub enum Phase {
     Request,
     /// A streaming chunk fed through a live session.
     Chunk,
+    /// An error-recovery episode: candidate probing plus repair selection
+    /// after a dead feed (only recorded when recovery actually engages, so
+    /// clean parses never touch the clock for it).
+    Recover,
 }
 
 /// Number of [`Phase`] variants (the length of [`Phase::ALL`]).
-pub const PHASE_COUNT: usize = 10;
+pub const PHASE_COUNT: usize = 11;
 
 impl Phase {
     /// Every phase, in declaration order (= index order).
@@ -50,6 +54,7 @@ impl Phase {
         Phase::Execute,
         Phase::Request,
         Phase::Chunk,
+        Phase::Recover,
     ];
 
     /// Dense index of the phase, in `0..PHASE_COUNT`.
@@ -71,6 +76,7 @@ impl Phase {
             Phase::Execute => "execute",
             Phase::Request => "request",
             Phase::Chunk => "chunk",
+            Phase::Recover => "recover",
         }
     }
 }

@@ -1,0 +1,148 @@
+//! Deterministic fault injection for chaos-testing the service.
+//!
+//! A [`FaultPlan`] maps *batch input indices* to [`Fault`]s. When a plan is
+//! passed to [`submit_batch_with_faults`], the worker that picks up a
+//! planned index fails it in the planned way — a real `panic!` through the
+//! `catch_unwind` boundary, a budget-exhaustion error, or a genuine
+//! unknown-kind backend rejection standing in for a lex error — instead of
+//! parsing it. Everything downstream (quarantine, structured
+//! [`ServeError`]s, metrics counters) is the *production* machinery; the
+//! plan only decides where the lightning strikes.
+//!
+//! Keying by input index makes plans deterministic and replayable: the same
+//! plan over the same batch fails the same requests, regardless of worker
+//! count, work-stealing order, or timing. [`FaultPlan::scatter`] derives a
+//! pseudo-random (but seed-stable) spread for large batches.
+//!
+//! [`submit_batch_with_faults`]: crate::ParseService::submit_batch_with_faults
+//! [`ServeError`]: crate::ServeError
+
+use std::collections::BTreeMap;
+
+/// One injected failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The worker panics while running the input. Exercises the
+    /// `catch_unwind` boundary and session quarantine; surfaces as
+    /// [`ServeError::WorkerPanicked`](crate::ServeError::WorkerPanicked).
+    Panic,
+    /// The request's budget is reported exhausted before any engine work.
+    /// Surfaces as
+    /// [`ServeError::BudgetExceeded`](crate::ServeError::BudgetExceeded).
+    BudgetExhaustion,
+    /// The input is replaced by a token whose kind no grammar contains,
+    /// driving the backend's real unknown-kind rejection path. Surfaces as
+    /// [`ServeError::Backend`](crate::ServeError::Backend).
+    LexError,
+}
+
+/// A deterministic fault schedule for one batch, keyed by input index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: BTreeMap<usize, Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, the batch runs normally.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `fault` for the input at `index` (replacing any fault
+    /// already planned there). Chainable.
+    pub fn inject(mut self, index: usize, fault: Fault) -> FaultPlan {
+        self.faults.insert(index, fault);
+        self
+    }
+
+    /// A seed-stable spread of `count` faults over a batch of `inputs`,
+    /// cycling through all three fault kinds. Indices come from a
+    /// splitmix64 walk, so the same `(seed, inputs, count)` always plans
+    /// the same faults; at most one fault lands per input, so the planned
+    /// count is exact (`count` is clamped to `inputs`).
+    pub fn scatter(seed: u64, inputs: usize, count: usize) -> FaultPlan {
+        const KINDS: [Fault; 3] = [Fault::Panic, Fault::BudgetExhaustion, Fault::LexError];
+        let mut plan = FaultPlan::none();
+        if inputs == 0 {
+            return plan;
+        }
+        let mut state = seed;
+        let mut next = move || {
+            // splitmix64: a full-period mixer, so the index walk cannot
+            // short-cycle no matter the seed.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let target = count.min(inputs);
+        let mut kind = 0;
+        while plan.faults.len() < target {
+            let index = (next() % inputs as u64) as usize;
+            if plan.faults.contains_key(&index) {
+                continue;
+            }
+            plan.faults.insert(index, KINDS[kind % KINDS.len()]);
+            kind += 1;
+        }
+        plan
+    }
+
+    /// The fault planned for input `index`, if any.
+    pub fn fault_for(&self, index: usize) -> Option<Fault> {
+        self.faults.get(&index).copied()
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Is the plan empty (a normal batch)?
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterates the planned `(index, fault)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Fault)> + '_ {
+        self.faults.iter().map(|(&i, &f)| (i, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_is_deterministic_and_exact() {
+        let a = FaultPlan::scatter(42, 1000, 50);
+        let b = FaultPlan::scatter(42, 1000, 50);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().all(|(i, _)| i < 1000));
+        let c = FaultPlan::scatter(43, 1000, 50);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn scatter_clamps_to_the_batch() {
+        let plan = FaultPlan::scatter(7, 3, 50);
+        assert_eq!(plan.len(), 3, "one fault per input at most");
+        assert_eq!(FaultPlan::scatter(7, 0, 50).len(), 0);
+    }
+
+    #[test]
+    fn inject_chains_and_replaces() {
+        let plan = FaultPlan::none()
+            .inject(2, Fault::Panic)
+            .inject(5, Fault::LexError)
+            .inject(2, Fault::BudgetExhaustion);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.fault_for(2), Some(Fault::BudgetExhaustion));
+        assert_eq!(plan.fault_for(5), Some(Fault::LexError));
+        assert_eq!(plan.fault_for(0), None);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+}

@@ -19,9 +19,24 @@
 //! chunks, keep parser state alive across calls, and retract speculative
 //! prefixes by rolling back to a saved derivative.
 //!
+//! The service is **fault-hardened**: every per-input run executes inside
+//! a `catch_unwind` boundary, so a panicking backend costs exactly one
+//! failed request ([`ServeError::WorkerPanicked`]) — the pooled session it
+//! was using is quarantined rather than reused, the worker keeps draining
+//! the batch, and quarantine/panic counters surface in
+//! [`ParseService::metrics_text`]. Per-request token and wall-clock
+//! budgets ([`ServiceConfig::max_tokens_per_input`],
+//! [`ServiceConfig::time_budget`]) cancel runaway parses with structured
+//! errors, and [`ServiceConfig::recovery`] runs inputs through `derp`'s
+//! bounded-budget error recovery, attaching spanned diagnostics to each
+//! outcome. The [`fault`] module's deterministic [`FaultPlan`] injects
+//! panics, budget exhaustion, and lex errors by input index so chaos tests
+//! can prove N faults cost exactly N failed requests and zero lost
+//! workers.
+//!
 //! # Architecture
 //!
-//! Four layers, one per module:
+//! Five layers, one per module:
 //!
 //! * [`cache`] — a **sharded compiled-grammar cache**. Grammars are keyed by
 //!   the stable 64-bit [`Cfg::fingerprint`](pwd_grammar::Cfg::fingerprint);
@@ -42,6 +57,9 @@
 //!   same pools, kept alive across calls in a registry, fed chunk by chunk
 //!   with per-chunk outcomes, checkpointed/rolled back for speculative
 //!   prefixes, and released back to a pool at finish.
+//! * [`fault`] — **deterministic fault injection**: a [`FaultPlan`] keyed
+//!   by batch input index drives real panics, budget exhaustion, and lex
+//!   errors through the production failure paths for chaos testing.
 //!
 //! # Request lifecycle
 //!
@@ -86,20 +104,22 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fault;
 pub mod live;
 mod obs;
 pub mod pool;
 pub mod service;
 
 pub use cache::{CacheMetrics, CachedGrammar, GrammarCache};
+pub use fault::{Fault, FaultPlan};
 pub use live::{
     CheckpointId, FeedReport, FinishForestReport, FinishReport, SessionId, SessionStats,
     SessionStatus,
 };
 pub use pool::{PoolMetrics, PooledSession, SessionPool};
 pub use service::{
-    BatchMetrics, BatchReport, Input, MemoEffectiveness, ParseOutcome, ParseService, ServeError,
-    ServiceConfig, ServiceMetrics,
+    BatchMetrics, BatchReport, BudgetKind, Input, MemoEffectiveness, ParseOutcome, ParseService,
+    ServeError, ServiceConfig, ServiceMetrics,
 };
 
 // Everything the service shares across threads must be Send + Sync; checked

@@ -8,23 +8,49 @@
 //! batch metrics.
 
 use derp::api::ForestSummary;
-use derp::api::{BackendError, BackendMetrics, EnumLimits, ParseCount, ParseForest};
+use derp::api::{BackendError, BackendMetrics, EnumLimits, ParseCount, ParseForest, Session};
+use derp::{Diagnostic, RecoveryBudget};
 use pwd_grammar::Cfg;
 use pwd_lex::Lexeme;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::cache::{CacheMetrics, GrammarCache};
+use crate::fault::{Fault, FaultPlan};
 use crate::live::SessionStats;
 use crate::obs::{ObsSamples, ServeObs};
 use crate::pool::{PoolMetrics, SessionPool};
 use pwd_obs::PromText;
 
-/// Service-level errors (per-input parse errors are reported per input in
-/// [`BatchReport::outcomes`], not here).
+/// Which per-request budget ([`ServiceConfig::max_tokens_per_input`] /
+/// [`ServiceConfig::time_budget`]) a cancelled input ran out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The input had more tokens than the per-request cap.
+    Tokens,
+    /// The parse exceeded its wall-clock allowance and was cancelled
+    /// between tokens.
+    Time,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetKind::Tokens => "token",
+            BudgetKind::Time => "time",
+        })
+    }
+}
+
+/// Errors of the serving layer. Batch-level failures (unknown backend)
+/// fail [`ParseService::submit_batch`] itself; per-input failures —
+/// backend errors, caught worker panics, budget cancellations — are
+/// reported per input in [`BatchReport::outcomes`] so one bad request
+/// never takes down its batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The configured backend name is not in the `derp::api` roster.
@@ -56,6 +82,24 @@ pub enum ServeError {
         /// The configured cap.
         limit: usize,
     },
+    /// A worker caught a panic while running this input. The pooled
+    /// session that was executing it is *quarantined* — dropped on the
+    /// floor instead of being checked back in, since a panic may have
+    /// left its engine state inconsistent — and the worker keeps serving
+    /// the rest of the batch.
+    WorkerPanicked {
+        /// The panic payload, rendered to text.
+        message: String,
+    },
+    /// The input exceeded a per-request budget and the parse was
+    /// cancelled (before it started for [`BudgetKind::Tokens`], between
+    /// tokens for [`BudgetKind::Time`]).
+    BudgetExceeded {
+        /// Which budget ran out.
+        kind: BudgetKind,
+        /// The configured limit: a token count, or milliseconds.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -75,6 +119,16 @@ impl fmt::Display for ServeError {
             ServeError::Backend(e) => write!(f, "backend error: {e}"),
             ServeError::SessionLimit { limit } => {
                 write!(f, "live session limit reached ({limit}); finish or abort sessions first")
+            }
+            ServeError::WorkerPanicked { message } => {
+                write!(f, "worker panicked while parsing (session quarantined): {message}")
+            }
+            ServeError::BudgetExceeded { kind, limit } => {
+                let unit = match kind {
+                    BudgetKind::Tokens => "tokens",
+                    BudgetKind::Time => "ms",
+                };
+                write!(f, "per-request {kind} budget exceeded ({limit} {unit}); parse cancelled")
             }
         }
     }
@@ -160,20 +214,108 @@ fn top_k_trees(forest: &ParseForest, k: usize) -> Vec<String> {
     forest.trees(limits).iter().map(|t| t.to_string()).collect()
 }
 
-/// Runs one input on a checked-out backend, folding each engine run's cache
-/// counters into `memo` (every run resets the engine's metrics, so they must
-/// be read between runs, not after). With forest reporting off, the hot
-/// lexeme path does no per-input allocation here; with it on, one forest
-/// pass serves the verdict, the exact count, the summary, and the top-k
-/// trees together.
-fn run_input(
+/// How often (in tokens) a wall-clock budget is re-checked while feeding.
+/// Reading the clock is tens of nanoseconds against microseconds of parse
+/// work per token, but a stride keeps the check off the hot path entirely
+/// for the common short inputs.
+const DEADLINE_STRIDE: usize = 64;
+
+/// Renders a caught panic payload to text for
+/// [`ServeError::WorkerPanicked`]. `panic!` with a message produces a
+/// `&str` or `String` payload; anything else (a `panic_any`) is opaque.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The structured error for a parse cancelled by the wall-clock budget.
+fn time_exceeded(config: &ServiceConfig) -> ServeError {
+    ServeError::BudgetExceeded {
+        kind: BudgetKind::Time,
+        limit: config.time_budget.map_or(0, |d| d.as_millis() as u64),
+    }
+}
+
+/// Feeds every token of `input` through an open-session `begin`/`feed`
+/// loop, cancelling between tokens once `deadline` passes. The caller
+/// closes the session (`end` / `end_forest`); on cancellation the session
+/// is abandoned mid-parse and the pool's checkin `reset` reclaims it.
+fn feed_under_deadline(
+    backend: &mut dyn derp::api::Parser,
+    input: &Input,
+    deadline: Instant,
+    config: &ServiceConfig,
+) -> Result<(), ServeError> {
+    backend.begin()?;
+    let check = |i: usize| -> Result<(), ServeError> {
+        if i.is_multiple_of(DEADLINE_STRIDE) && Instant::now() > deadline {
+            return Err(time_exceeded(config));
+        }
+        Ok(())
+    };
+    match input {
+        Input::Kinds(kinds) => {
+            for (i, k) in kinds.iter().enumerate() {
+                check(i)?;
+                backend.feed(k, k)?;
+            }
+        }
+        Input::Lexemes(lexemes) => {
+            for (i, l) in lexemes.iter().enumerate() {
+                check(i)?;
+                backend.feed(&l.kind, &l.text)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs one input through a recovering [`Session`]: malformed tokens are
+/// repaired within [`ServiceConfig::recovery`]'s budget instead of killing
+/// the request, and the spanned [`Diagnostic`]s ride along in the outcome.
+/// A wall-clock budget, when configured, cancels between feed strides.
+fn run_recovering(
     backend: &mut dyn derp::api::Parser,
     input: &Input,
     config: &ServiceConfig,
     memo: &mut MemoEffectiveness,
-) -> Result<ParseOutcome, BackendError> {
-    if config.forests || config.top_k_trees > 0 {
-        let forest = forest_of(backend, input)?;
+    budget: RecoveryBudget,
+) -> Result<ParseOutcome, ServeError> {
+    let deadline = config.time_budget.map(|d| Instant::now() + d);
+    let mut session = Session::open(&mut *backend)?;
+    session.enable_recovery(budget);
+    let check = |deadline: Option<Instant>| -> Result<(), ServeError> {
+        match deadline {
+            Some(dl) if Instant::now() > dl => Err(time_exceeded(config)),
+            _ => Ok(()),
+        }
+    };
+    match input {
+        Input::Kinds(kinds) => {
+            let refs: Vec<&str> = kinds.iter().map(String::as_str).collect();
+            for chunk in refs.chunks(DEADLINE_STRIDE) {
+                check(deadline)?;
+                session.feed_all(chunk)?;
+            }
+        }
+        Input::Lexemes(lexemes) => {
+            for chunk in lexemes.chunks(DEADLINE_STRIDE) {
+                check(deadline)?;
+                session.feed_lexemes(chunk)?;
+            }
+        }
+    }
+    check(deadline)?;
+    // Counting rides the forest path: a recovered parse has no meaningful
+    // batch `parse_count` shim to fall back on (it would re-parse the raw,
+    // unrepaired input).
+    if config.forests || config.top_k_trees > 0 || config.count_parses {
+        let (forest, diagnostics) = session.finish_forest_diagnostics()?;
         let m = backend.metrics();
         memo.absorb(&m);
         let summary = forest.summary();
@@ -184,11 +326,76 @@ fn run_input(
             forest: config.forests.then_some(summary),
             trees,
             stats: config.observability.then(|| SessionStats::for_input(input.len(), &m)),
+            diagnostics: Some(diagnostics),
         });
     }
-    let accepted = match input {
-        Input::Kinds(_) => backend.recognize(&input.kind_refs())?,
-        Input::Lexemes(l) => backend.recognize_lexemes(l)?,
+    let (accepted, diagnostics) = session.finish_with_diagnostics()?;
+    let m = backend.metrics();
+    memo.absorb(&m);
+    Ok(ParseOutcome {
+        accepted,
+        parse_count: None,
+        forest: None,
+        trees: None,
+        stats: config.observability.then(|| SessionStats::for_input(input.len(), &m)),
+        diagnostics: Some(diagnostics),
+    })
+}
+
+/// Runs one input on a checked-out backend, folding each engine run's cache
+/// counters into `memo` (every run resets the engine's metrics, so they must
+/// be read between runs, not after). With forest reporting off, the hot
+/// lexeme path does no per-input allocation here; with it on, one forest
+/// pass serves the verdict, the exact count, the summary, and the top-k
+/// trees together. Per-request budgets are enforced here: the token cap
+/// rejects oversized inputs before any engine work, and the wall-clock
+/// budget cancels runaway parses between tokens.
+fn run_input(
+    backend: &mut dyn derp::api::Parser,
+    input: &Input,
+    config: &ServiceConfig,
+    memo: &mut MemoEffectiveness,
+) -> Result<ParseOutcome, ServeError> {
+    if config.max_tokens_per_input > 0 && input.len() > config.max_tokens_per_input {
+        return Err(ServeError::BudgetExceeded {
+            kind: BudgetKind::Tokens,
+            limit: config.max_tokens_per_input as u64,
+        });
+    }
+    if let Some(budget) = config.recovery {
+        return run_recovering(backend, input, config, memo, budget);
+    }
+    let deadline = config.time_budget.map(|d| Instant::now() + d);
+    if config.forests || config.top_k_trees > 0 {
+        let forest = match deadline {
+            None => forest_of(backend, input)?,
+            Some(dl) => {
+                feed_under_deadline(backend, input, dl, config)?;
+                backend.end_forest()?
+            }
+        };
+        let m = backend.metrics();
+        memo.absorb(&m);
+        let summary = forest.summary();
+        let trees = (config.top_k_trees > 0).then(|| top_k_trees(&forest, config.top_k_trees));
+        return Ok(ParseOutcome {
+            accepted: !summary.count.is_zero(),
+            parse_count: config.count_parses.then_some(summary.count),
+            forest: config.forests.then_some(summary),
+            trees,
+            stats: config.observability.then(|| SessionStats::for_input(input.len(), &m)),
+            diagnostics: None,
+        });
+    }
+    let accepted = match deadline {
+        None => match input {
+            Input::Kinds(_) => backend.recognize(&input.kind_refs())?,
+            Input::Lexemes(l) => backend.recognize_lexemes(l)?,
+        },
+        Some(dl) => {
+            feed_under_deadline(backend, input, dl, config)?;
+            backend.end()?
+        }
     };
     let mut m = backend.metrics();
     memo.absorb(&m);
@@ -207,6 +414,7 @@ fn run_input(
         forest: None,
         trees: None,
         stats: config.observability.then(|| SessionStats::for_input(input.len(), &m)),
+        diagnostics: None,
     })
 }
 
@@ -228,6 +436,10 @@ pub struct ParseOutcome {
     /// Per-input resource stats (tokens fed, peak live nodes, arena bytes),
     /// when [`ServiceConfig::observability`] is set.
     pub stats: Option<SessionStats>,
+    /// Spanned diagnostics from error recovery, when
+    /// [`ServiceConfig::recovery`] is set (`Some(vec![])` for clean
+    /// inputs). `None` means recovery was off for this request.
+    pub diagnostics: Option<Vec<Diagnostic>>,
 }
 
 /// Engine cache-effectiveness counters summed over the inputs of a batch
@@ -328,8 +540,10 @@ pub struct BatchMetrics {
 pub struct BatchReport {
     /// One entry per input, in the order submitted. A rejected input is
     /// `Ok(ParseOutcome { accepted: false, .. })`; `Err` is reserved for
-    /// malformed inputs (unknown terminal kinds) and engine resource limits.
-    pub outcomes: Vec<Result<ParseOutcome, BackendError>>,
+    /// malformed inputs (unknown terminal kinds), engine resource limits,
+    /// per-request budget cancellations, and caught worker panics — one
+    /// failing input never fails its batch.
+    pub outcomes: Vec<Result<ParseOutcome, ServeError>>,
     /// Batch-level metrics.
     pub metrics: BatchMetrics,
 }
@@ -364,6 +578,21 @@ pub struct ServiceConfig {
     /// reads no clocks beyond the existing per-batch wall timer and arms no
     /// engine hooks.
     pub observability: bool,
+    /// Per-request token cap (`0` = unlimited). Inputs longer than this
+    /// are rejected with [`ServeError::BudgetExceeded`] before any engine
+    /// work runs.
+    pub max_tokens_per_input: usize,
+    /// Per-request wall-clock budget (`None` = unlimited). A parse still
+    /// running past it is cancelled between tokens with
+    /// [`ServeError::BudgetExceeded`]; the abandoned session is reclaimed
+    /// by the pool's epoch reset, not quarantined.
+    pub time_budget: Option<Duration>,
+    /// Bounded-budget error recovery (`None` = off). When set, inputs run
+    /// through `derp`'s recovering [`Session`]: malformed tokens are
+    /// repaired within this budget instead of failing the request, and
+    /// each outcome carries its [`Diagnostic`]s
+    /// ([`ParseOutcome::diagnostics`]).
+    pub recovery: Option<RecoveryBudget>,
 }
 
 impl Default for ServiceConfig {
@@ -377,6 +606,9 @@ impl Default for ServiceConfig {
             top_k_trees: 0,
             max_live_sessions: 1024,
             observability: false,
+            max_tokens_per_input: 0,
+            time_budget: None,
+            recovery: None,
         }
     }
 }
@@ -392,6 +624,19 @@ pub struct ServiceMetrics {
     pub inputs: u64,
     /// Engine cache effectiveness summed over every input ever served.
     pub memo: MemoEffectiveness,
+    /// Worker panics caught (each one quarantined a pooled session and
+    /// failed exactly one request).
+    pub panics_caught: u64,
+    /// Pooled sessions discarded after a caught panic instead of being
+    /// checked back in.
+    pub sessions_quarantined: u64,
+    /// Requests cancelled by a per-request token or wall-clock budget.
+    pub budget_cancelled: u64,
+    /// Requests whose error recovery applied at least one repair (emitted
+    /// at least one diagnostic).
+    pub inputs_recovered: u64,
+    /// Total diagnostics emitted by error recovery across all requests.
+    pub diagnostics_emitted: u64,
 }
 
 /// A thread-safe, batched parse service: sharded compiled-grammar cache +
@@ -409,6 +654,17 @@ pub struct ParseService {
     /// submitters spread over the pools instead of all queueing on slot 0.
     next_slot: AtomicUsize,
     inputs_served: AtomicUsize,
+    /// Worker panics caught (== sessions quarantined; kept separate so a
+    /// future non-quarantining recovery path can diverge them).
+    panics_caught: AtomicU64,
+    /// Pooled sessions dropped after a caught panic.
+    sessions_quarantined: AtomicU64,
+    /// Requests cancelled by a per-request budget.
+    budget_cancelled: AtomicU64,
+    /// Requests repaired by error recovery (≥ 1 diagnostic).
+    inputs_recovered: AtomicU64,
+    /// Diagnostics emitted by error recovery, totalled.
+    diagnostics_emitted: AtomicU64,
     /// Lifetime engine cache-effectiveness totals (merged once per batch).
     memo_totals: Mutex<MemoEffectiveness>,
     /// Latency/phase histogram store, keyed by (backend, grammar
@@ -442,6 +698,11 @@ impl ParseService {
             slots,
             next_slot: AtomicUsize::new(0),
             inputs_served: AtomicUsize::new(0),
+            panics_caught: AtomicU64::new(0),
+            sessions_quarantined: AtomicU64::new(0),
+            budget_cancelled: AtomicU64::new(0),
+            inputs_recovered: AtomicU64::new(0),
+            diagnostics_emitted: AtomicU64::new(0),
             memo_totals: Mutex::new(MemoEffectiveness::default()),
             obs,
             live: Mutex::new(HashMap::new()),
@@ -460,15 +721,12 @@ impl ParseService {
     ///
     /// # Errors
     ///
-    /// [`ServeError`] for service-level failures; per-input parse errors
-    /// surface in the returned outcome.
-    pub fn submit(
-        &self,
-        cfg: &Cfg,
-        input: &Input,
-    ) -> Result<Result<ParseOutcome, BackendError>, ServeError> {
+    /// [`ServeError`] — service-level failures (unknown backend) and
+    /// per-input failures (backend errors, budget cancellations, caught
+    /// panics) alike, since the batch has exactly one input.
+    pub fn submit(&self, cfg: &Cfg, input: &Input) -> Result<ParseOutcome, ServeError> {
         let mut report = self.submit_batch(cfg, std::slice::from_ref(input))?;
-        Ok(report.outcomes.pop().expect("batch of one has one outcome"))
+        report.outcomes.pop().expect("batch of one has one outcome")
     }
 
     /// Fans `inputs` across the worker pool and returns per-input results in
@@ -481,14 +739,27 @@ impl ParseService {
     /// # Errors
     ///
     /// [`ServeError`] for service-level failures (unknown backend). Per-input
-    /// failures (unknown terminal kind, engine budget) are reported in
-    /// [`BatchReport::outcomes`] without failing the batch.
-    ///
-    /// # Panics
-    ///
-    /// Propagates panics from worker threads (a panicking backend is a bug,
-    /// not an input error).
+    /// failures — unknown terminal kinds, engine limits, per-request budget
+    /// cancellations, and even backend panics (caught, with the pooled
+    /// session quarantined) — are reported in [`BatchReport::outcomes`]
+    /// without failing the batch or losing a worker.
     pub fn submit_batch(&self, cfg: &Cfg, inputs: &[Input]) -> Result<BatchReport, ServeError> {
+        self.submit_batch_with_faults(cfg, inputs, &FaultPlan::none())
+    }
+
+    /// [`submit_batch`](ParseService::submit_batch) with deterministic
+    /// fault injection: each input whose index appears in `plan` fails in
+    /// the planned way (worker panic, budget exhaustion, lex error)
+    /// *inside* the worker, exercising the same catch/quarantine/report
+    /// machinery real faults do. The contract chaos tests lean on: N
+    /// planned faults cost exactly N failed requests — every other input
+    /// parses normally and no worker is lost.
+    pub fn submit_batch_with_faults(
+        &self,
+        cfg: &Cfg,
+        inputs: &[Input],
+        plan: &FaultPlan,
+    ) -> Result<BatchReport, ServeError> {
         let t0 = Instant::now();
         let (entry, cache_hit) = self.cache.get_or_compile(cfg)?;
 
@@ -506,11 +777,12 @@ impl ParseService {
 
         let obs_on = self.obs.enabled();
         type WorkerOut =
-            (Vec<(usize, Result<ParseOutcome, BackendError>)>, MemoEffectiveness, ObsSamples);
+            (Vec<(usize, Result<ParseOutcome, ServeError>)>, MemoEffectiveness, ObsSamples);
         let per_worker: Vec<WorkerOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers_used)
                 .map(|w| {
                     let (entry, cursor) = (&entry, &cursor);
+                    let (panics, quarantined) = (&self.panics_caught, &self.sessions_quarantined);
                     let slot = &self.slots[(slot_base + w) % self.slots.len()];
                     scope.spawn(move || {
                         let mut pool = slot.lock().expect("worker pool poisoned");
@@ -523,41 +795,98 @@ impl ParseService {
                                 break;
                             }
                             let mut session = pool.checkout(entry);
-                            let res = if obs_on {
-                                // Queue wait = batch arrival to worker pickup;
-                                // execute = the engine run itself. Engine phase
-                                // histograms are armed for exactly this input
-                                // and folded into the worker-local samples.
-                                let picked = Instant::now();
-                                session.backend().set_obs(true);
-                                let res =
-                                    run_input(session.backend(), &inputs[i], config, &mut memo);
-                                samples
-                                    .queue_wait_ns
-                                    .push(picked.duration_since(t0).as_nanos() as u64);
-                                samples.execute_ns.push(picked.elapsed().as_nanos() as u64);
-                                if let Some(p) = session.backend().metrics().phases {
-                                    samples.absorb_phases(&p);
+                            let fault = plan.fault_for(i);
+                            // The unwind boundary. Anything that panics in
+                            // here — a backend bug, or an injected fault —
+                            // becomes one failed request; the session that
+                            // was running it is quarantined below, and the
+                            // worker moves on to the next input.
+                            let run = catch_unwind(AssertUnwindSafe(
+                                || -> Result<ParseOutcome, ServeError> {
+                                    match fault {
+                                        Some(Fault::Panic) => {
+                                            panic!("injected fault: panic on input {i}")
+                                        }
+                                        Some(Fault::BudgetExhaustion) => {
+                                            return Err(ServeError::BudgetExceeded {
+                                                kind: BudgetKind::Tokens,
+                                                limit: 0,
+                                            });
+                                        }
+                                        Some(Fault::LexError) => {
+                                            // A genuine backend rejection: the
+                                            // NUL-framed kind is outside every
+                                            // grammar alphabet, so this travels
+                                            // the real unknown-kind error path.
+                                            let err = session
+                                                .backend()
+                                                .recognize(&["\u{0}injected-lex-error\u{0}"])
+                                                .expect_err("control kind is in no alphabet");
+                                            return Err(ServeError::Backend(err));
+                                        }
+                                        None => {}
+                                    }
+                                    if obs_on {
+                                        // Queue wait = batch arrival to worker
+                                        // pickup; execute = the engine run
+                                        // itself. Engine phase histograms are
+                                        // armed for exactly this input and
+                                        // folded into the worker-local samples.
+                                        let picked = Instant::now();
+                                        session.backend().set_obs(true);
+                                        let res = run_input(
+                                            session.backend(),
+                                            &inputs[i],
+                                            config,
+                                            &mut memo,
+                                        );
+                                        samples
+                                            .queue_wait_ns
+                                            .push(picked.duration_since(t0).as_nanos() as u64);
+                                        samples.execute_ns.push(picked.elapsed().as_nanos() as u64);
+                                        if let Some(p) = session.backend().metrics().phases {
+                                            samples.absorb_phases(&p);
+                                        }
+                                        session.backend().set_obs(false);
+                                        res
+                                    } else {
+                                        run_input(session.backend(), &inputs[i], config, &mut memo)
+                                    }
+                                },
+                            ));
+                            match run {
+                                Ok(res) => {
+                                    pool.checkin(session);
+                                    out.push((i, res));
                                 }
-                                session.backend().set_obs(false);
-                                res
-                            } else {
-                                run_input(session.backend(), &inputs[i], config, &mut memo)
-                            };
-                            pool.checkin(session);
-                            out.push((i, res));
+                                Err(payload) => {
+                                    // Quarantine: a panic may have left the
+                                    // engine's arenas inconsistent, so the
+                                    // session is dropped, never re-pooled.
+                                    drop(session);
+                                    panics.fetch_add(1, Ordering::Relaxed);
+                                    quarantined.fetch_add(1, Ordering::Relaxed);
+                                    let message = panic_text(payload.as_ref());
+                                    out.push((i, Err(ServeError::WorkerPanicked { message })));
+                                }
+                            }
                         }
                         (out, memo, samples)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("parse worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().expect("worker infrastructure panicked outside the unwind boundary")
+                })
+                .collect()
         });
 
         let per_worker_inputs: Vec<usize> = per_worker.iter().map(|(c, _, _)| c.len()).collect();
         let fingerprint = entry.fingerprint();
         let mut memo = MemoEffectiveness::default();
-        let mut outcomes: Vec<Option<Result<ParseOutcome, BackendError>>> = vec![None; n];
+        let mut outcomes: Vec<Option<Result<ParseOutcome, ServeError>>> = vec![None; n];
         for (chunk, worker_memo, samples) in per_worker {
             memo.merge(worker_memo);
             self.obs.fold(&self.config.backend, fingerprint, samples);
@@ -577,6 +906,24 @@ impl ParseService {
         }
         let accepted = outcomes.iter().filter(|r| matches!(r, Ok(o) if o.accepted)).count();
         let errors = outcomes.iter().filter(|r| r.is_err()).count();
+        let (mut cancelled, mut recovered, mut diags) = (0u64, 0u64, 0u64);
+        for res in &outcomes {
+            match res {
+                Ok(o) => {
+                    if let Some(d) = &o.diagnostics {
+                        if !d.is_empty() {
+                            recovered += 1;
+                            diags += d.len() as u64;
+                        }
+                    }
+                }
+                Err(ServeError::BudgetExceeded { .. }) => cancelled += 1,
+                Err(_) => {}
+            }
+        }
+        self.budget_cancelled.fetch_add(cancelled, Ordering::Relaxed);
+        self.inputs_recovered.fetch_add(recovered, Ordering::Relaxed);
+        self.diagnostics_emitted.fetch_add(diags, Ordering::Relaxed);
         Ok(BatchReport {
             outcomes,
             metrics: BatchMetrics {
@@ -650,6 +997,11 @@ impl ParseService {
             sessions,
             inputs: self.inputs_served.load(Ordering::Relaxed) as u64,
             memo: *self.memo_totals.lock().expect("memo totals poisoned"),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            sessions_quarantined: self.sessions_quarantined.load(Ordering::Relaxed),
+            budget_cancelled: self.budget_cancelled.load(Ordering::Relaxed),
+            inputs_recovered: self.inputs_recovered.load(Ordering::Relaxed),
+            diagnostics_emitted: self.diagnostics_emitted.load(Ordering::Relaxed),
         }
     }
 
@@ -740,6 +1092,36 @@ impl ParseService {
             "Tokens that fell back to the interpreted derive path.",
             &labels,
             m.memo.auto_fallbacks,
+        );
+        prom.counter(
+            "pwd_serve_worker_panics_total",
+            "Worker panics caught at the per-input unwind boundary.",
+            &labels,
+            m.panics_caught,
+        );
+        prom.counter(
+            "pwd_serve_sessions_quarantined_total",
+            "Pooled sessions discarded after a caught panic.",
+            &labels,
+            m.sessions_quarantined,
+        );
+        prom.counter(
+            "pwd_serve_budget_cancelled_total",
+            "Requests cancelled by a per-request token or time budget.",
+            &labels,
+            m.budget_cancelled,
+        );
+        prom.counter(
+            "pwd_serve_inputs_recovered_total",
+            "Requests repaired by error recovery (>= 1 diagnostic).",
+            &labels,
+            m.inputs_recovered,
+        );
+        prom.counter(
+            "pwd_serve_diagnostics_total",
+            "Diagnostics emitted by error recovery.",
+            &labels,
+            m.diagnostics_emitted,
         );
         self.obs.render(&mut prom);
         prom.finish()
@@ -853,9 +1235,147 @@ mod tests {
             vec![Input::from_kinds(&["a"]), Input::from_kinds(&["NOPE"]), Input::from_kinds(&[])];
         let report = service.submit_batch(&cfg, &inputs).unwrap();
         assert!(report.outcomes[0].as_ref().unwrap().accepted);
-        assert!(report.outcomes[1].as_ref().unwrap_err().message.contains("NOPE"));
+        let err = report.outcomes[1].as_ref().unwrap_err();
+        assert!(matches!(err, ServeError::Backend(_)), "{err:?}");
+        assert!(err.to_string().contains("NOPE"));
         assert!(!report.outcomes[2].as_ref().unwrap().accepted);
         assert_eq!(report.metrics.errors, 1);
+    }
+
+    #[test]
+    fn injected_panic_is_caught_quarantined_and_survivable() {
+        let service = ParseService::new(ServiceConfig { workers: 2, ..Default::default() });
+        let cfg = catalan();
+        let plan = FaultPlan::none().inject(1, Fault::Panic);
+        let report =
+            service.submit_batch_with_faults(&cfg, &a_inputs(&[1, 2, 3, 4]), &plan).unwrap();
+        // Exactly the planned input failed, with a structured error.
+        let err = report.outcomes[1].as_ref().unwrap_err();
+        assert!(
+            matches!(err, ServeError::WorkerPanicked { message } if message.contains("injected")),
+            "{err:?}"
+        );
+        for i in [0, 2, 3] {
+            assert!(report.outcomes[i].as_ref().unwrap().accepted, "input {i} must still parse");
+        }
+        assert_eq!(report.metrics.errors, 1);
+        let m = service.metrics();
+        assert_eq!(m.panics_caught, 1);
+        assert_eq!(m.sessions_quarantined, 1);
+        // The service keeps serving after the quarantine.
+        let clean = service.submit_batch(&cfg, &a_inputs(&[2, 2])).unwrap();
+        assert!(clean.outcomes.iter().all(|o| o.as_ref().unwrap().accepted));
+        let text = service.metrics_text();
+        assert!(
+            text.contains("pwd_serve_worker_panics_total{backend=\"pwd-improved\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pwd_serve_sessions_quarantined_total{backend=\"pwd-improved\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn token_budget_rejects_oversized_inputs_before_parsing() {
+        let service = ParseService::new(ServiceConfig {
+            workers: 2,
+            max_tokens_per_input: 3,
+            ..Default::default()
+        });
+        let report = service.submit_batch(&catalan(), &a_inputs(&[2, 5, 3])).unwrap();
+        assert!(report.outcomes[0].as_ref().unwrap().accepted);
+        assert_eq!(
+            report.outcomes[1].as_ref().unwrap_err(),
+            &ServeError::BudgetExceeded { kind: BudgetKind::Tokens, limit: 3 }
+        );
+        assert!(report.outcomes[2].as_ref().unwrap().accepted, "exactly at the cap is fine");
+        assert_eq!(service.metrics().budget_cancelled, 1);
+        let text = service.metrics_text();
+        assert!(
+            text.contains("pwd_serve_budget_cancelled_total{backend=\"pwd-improved\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn time_budget_cancels_runaway_parses_between_tokens() {
+        let service = ParseService::new(ServiceConfig {
+            workers: 1,
+            time_budget: Some(Duration::ZERO),
+            ..Default::default()
+        });
+        // A zero allowance trips the very first deadline check, making the
+        // cancellation deterministic without needing a pathological input.
+        let report = service.submit_batch(&catalan(), &a_inputs(&[64])).unwrap();
+        assert!(
+            matches!(
+                report.outcomes[0].as_ref().unwrap_err(),
+                ServeError::BudgetExceeded { kind: BudgetKind::Time, .. }
+            ),
+            "{:?}",
+            report.outcomes[0]
+        );
+        assert_eq!(service.metrics().budget_cancelled, 1);
+        // The abandoned mid-parse session was reclaimed by the pool's epoch
+        // reset, not leaked or quarantined: the next request reuses it.
+        let clean = service.submit_batch(&catalan(), &a_inputs(&[0])).unwrap();
+        assert!(!clean.outcomes[0].as_ref().unwrap().accepted, "ε is rejected, not errored");
+        assert_eq!(service.metrics().sessions_quarantined, 0);
+        assert!(service.metrics().sessions.reused >= 1, "{:?}", service.metrics().sessions);
+    }
+
+    #[test]
+    fn recovery_repairs_malformed_inputs_and_reports_diagnostics() {
+        let mut g = CfgBuilder::new("S");
+        g.terminal("a");
+        g.terminal("b");
+        g.rule("S", &["a", "b"]);
+        g.rule("S", &["a", "b", "S"]);
+        let cfg = g.build().unwrap();
+        let service = ParseService::new(ServiceConfig {
+            workers: 2,
+            recovery: Some(derp::RecoveryBudget::default()),
+            ..Default::default()
+        });
+        let inputs = vec![
+            Input::from_kinds(&["a", "b"]),               // clean
+            Input::from_kinds(&["a", "a", "b"]),          // needs one repair
+            Input::from_kinds(&["a", "NOT-A-KIND", "b"]), // unknown kind, repaired
+        ];
+        let report = service.submit_batch(&cfg, &inputs).unwrap();
+        let clean = report.outcomes[0].as_ref().unwrap();
+        assert!(clean.accepted);
+        assert_eq!(clean.diagnostics.as_deref(), Some(&[][..]), "clean input: no diagnostics");
+        for i in [1, 2] {
+            let out = report.outcomes[i].as_ref().unwrap();
+            assert!(out.accepted, "input {i} must be repaired into acceptance");
+            assert!(!out.diagnostics.as_deref().unwrap().is_empty(), "input {i}");
+        }
+        let m = service.metrics();
+        assert_eq!(m.inputs_recovered, 2);
+        assert!(m.diagnostics_emitted >= 2);
+        let text = service.metrics_text();
+        assert!(
+            text.contains("pwd_serve_inputs_recovered_total{backend=\"pwd-improved\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("pwd_serve_diagnostics_total"), "{text}");
+    }
+
+    #[test]
+    fn recovery_counts_parses_through_the_forest() {
+        let service = ParseService::new(ServiceConfig {
+            workers: 1,
+            count_parses: true,
+            recovery: Some(derp::RecoveryBudget::default()),
+            ..Default::default()
+        });
+        let report = service.submit_batch(&catalan(), &a_inputs(&[4])).unwrap();
+        let out = report.outcomes[0].as_ref().unwrap();
+        assert!(out.accepted);
+        assert_eq!(out.parse_count, Some(ParseCount::Finite(5)), "C3 on a clean input");
+        assert_eq!(out.diagnostics.as_deref(), Some(&[][..]));
     }
 
     #[test]

@@ -76,7 +76,13 @@ fn service_results_match_single_threaded_baseline() {
                         let res = o
                             .as_ref()
                             .map(|out| (out.accepted, out.parse_count.expect("count_parses is on")))
-                            .map_err(|e| e.to_string());
+                            // Unwrap the service's `Backend` wrapper so error
+                            // strings stay byte-comparable with the baseline's
+                            // bare backend errors.
+                            .map_err(|e| match e {
+                                pwd_serve::ServeError::Backend(b) => b.to_string(),
+                                other => other.to_string(),
+                            });
                         render(&res)
                     })
                     .collect();

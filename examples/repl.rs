@@ -8,11 +8,47 @@
 //! re-parse, and "is the line complete?" is a nullability query on the
 //! current state.
 //!
+//! When a keystroke kills the line, the REPL does what an editor would:
+//! it runs a recovery-enabled side parse over the current line and renders
+//! the resulting [`derp::Diagnostic`]s live, carets and all, while the main
+//! session stays checkpointed at the last good state.
+//!
 //! Run with: `cargo run --example repl -- "1 + ( 2 * 3 <del> <del> + 4 ) * 5"`
 //! (tokens separated by spaces; `<del>` is a backspace)
 
 use derp::api::{Checkpoint, Parser, PwdBackend, Session};
 use derp::grammar::grammars;
+use derp::RecoveryBudget;
+
+/// Live diagnosis of a malformed line: a fresh recovery session repairs the
+/// line within the default budget and the repairs are rendered as
+/// rustc-style diagnostics against the line's source text.
+fn diagnose_line(lexer: &derp::lex::Lexer, src: &str) {
+    let mut backend = PwdBackend::improved(&grammars::arith::cfg());
+    let mut session = match Session::open(&mut backend as &mut dyn Parser) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("  (diagnosis unavailable: {e})");
+            return;
+        }
+    };
+    session.enable_recovery(RecoveryBudget::default());
+    let mut source = lexer.source(src);
+    let diags = session
+        .feed_source(&mut source)
+        .and_then(|_| session.finish_with_diagnostics())
+        .map(|(_, diags)| diags);
+    match diags {
+        Ok(diags) => {
+            for d in &diags {
+                for line in d.render(src).lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+        Err(e) => println!("  (diagnosis failed: {e})"),
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let script =
@@ -56,6 +92,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if viable { "yes" } else { "no" },
             if complete { "yes" } else { "no" },
         );
+        // Live diagnostics: the moment a keystroke makes the line
+        // unviable, show what recovery would repair — exactly the red
+        // squiggle an editor draws while you keep typing.
+        if !viable {
+            diagnose_line(&lexer, &line.join(""));
+        }
     }
 
     let tokens = session.tokens_fed();

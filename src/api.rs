@@ -85,11 +85,12 @@
 //! # }
 //! ```
 
-use crate::core::{ParseMode, ParserConfig, PwdError, SessionState};
+use crate::core::{ParseMode, ParserConfig, PwdError, RecoveryBudget, SessionState};
 use crate::earley::{EarleyChart, EarleyParser, EarleyStats};
 use crate::glr::{GlrParser, GlrStats};
 use crate::grammar::{build_sppf, Cfg, Compiled};
 use crate::lex::Lexeme;
+use crate::recover::{self, Diagnostic, InputToken, RecoveryState};
 use std::fmt;
 
 pub use pwd_forest::{EnumLimits, ForestSummary, ParseForest, Tree, TreeCount};
@@ -108,11 +109,32 @@ pub struct BackendError {
     pub backend: &'static str,
     /// Human-readable description.
     pub message: String,
+    /// The structured cause: an input token kind outside the grammar's
+    /// alphabet. Kept private (with the [`is_unknown_kind`]
+    /// accessor) because it is a *classification*, not free-form data —
+    /// error recovery repairs unknown-kind feeds (the session state is
+    /// untouched when they are raised) and must never retry any other
+    /// error shape.
+    ///
+    /// [`is_unknown_kind`]: BackendError::is_unknown_kind
+    unknown_kind: bool,
 }
 
 impl BackendError {
     fn new(backend: &'static str, message: impl fmt::Display) -> BackendError {
-        BackendError { backend, message: message.to_string() }
+        BackendError { backend, message: message.to_string(), unknown_kind: false }
+    }
+
+    fn unknown_kind(backend: &'static str, message: impl fmt::Display) -> BackendError {
+        BackendError { backend, message: message.to_string(), unknown_kind: true }
+    }
+
+    /// Was this error raised because a fed token's kind is not a terminal
+    /// of the grammar? Such errors are raised *before* any session state
+    /// changes, so the session remains usable — error recovery relies on
+    /// exactly that to substitute or skip the offending token.
+    pub fn is_unknown_kind(&self) -> bool {
+        self.unknown_kind
     }
 
     fn no_session(backend: &'static str) -> BackendError {
@@ -501,6 +523,31 @@ pub trait Recognizer: Send + Sync {
     /// instrumentation.
     fn set_obs(&mut self, _enabled: bool) {}
 
+    /// The token kinds the open session can consume next — error
+    /// recovery's candidate set, sorted for determinism. Empty when no
+    /// session is open, when the session is dead, or for recognizers
+    /// without the capability (the default).
+    ///
+    /// Each backend answers from its own state representation: PWD
+    /// trial-derives a cloned session state w.r.t. every grammar terminal
+    /// (each probe counted in the engine's `recovery_probes` metric),
+    /// Earley reads the exact expected set off its chart frontier, and
+    /// GLR reports the terminals its GSS frontier can actually shift
+    /// (trial shifts on the raw session, below the checkpoint guard).
+    /// The result is exact for grammars without useless symbols: `feed`
+    /// of a reported kind returns viable.
+    fn expected_kinds(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Accounts an externally timed error-recovery episode (nanoseconds)
+    /// under the backend's [`Phase::Recover`] histogram, when
+    /// observability is enabled. Recovery lives above the backends (in
+    /// `derp::recover`), so the backends cannot time it themselves; the
+    /// driver hands the measured span down through this hook. The default
+    /// discards it.
+    fn record_recover_span(&mut self, _nanos: u64) {}
+
     /// Instrumentation for the most recent run (live counters while a
     /// session is open).
     fn metrics(&self) -> BackendMetrics;
@@ -626,8 +673,21 @@ impl BackendRef<'_> {
 /// **Checkpoint = saved derivative**: see [`Checkpoint`]. Speculative
 /// prefixes (editor lookahead, a REPL line being typed) are fed, and on
 /// retraction rolled back, without re-parsing the committed prefix.
+///
+/// **Error recovery** is a per-session opt-in
+/// ([`enable_recovery`](Session::enable_recovery)): with a
+/// [`RecoveryBudget`] installed, every feed path repairs dead feeds
+/// (substitute / insert / skip, scored by lookahead survival — see
+/// [`crate::recover`]) instead of going dead, accumulating one spanned
+/// [`Diagnostic`] per repair, surfaced incrementally via
+/// [`diagnostics`](Session::diagnostics) and finally via
+/// [`finish_with_diagnostics`](Session::finish_with_diagnostics) /
+/// [`finish_forest_diagnostics`](Session::finish_forest_diagnostics).
+/// With recovery off (the default) nothing changes — not even a
+/// checkpoint is taken per feed.
 pub struct Session<'a> {
     backend: BackendRef<'a>,
+    recovery: Option<RecoveryState>,
 }
 
 impl<'a> Session<'a> {
@@ -639,7 +699,7 @@ impl<'a> Session<'a> {
     /// [`BackendError`] for malformed grammars.
     pub fn open(backend: &'a mut dyn Parser) -> Result<Session<'a>, BackendError> {
         backend.begin()?;
-        Ok(Session { backend: BackendRef::Borrowed(backend) })
+        Ok(Session { backend: BackendRef::Borrowed(backend), recovery: None })
     }
 
     /// Opens a session that owns its backend — the shape a session pool
@@ -650,7 +710,55 @@ impl<'a> Session<'a> {
     /// [`BackendError`] for malformed grammars (the backend is dropped).
     pub fn owned(mut backend: Box<dyn Parser>) -> Result<Session<'static>, BackendError> {
         backend.begin()?;
-        Ok(Session { backend: BackendRef::Owned(backend) })
+        Ok(Session { backend: BackendRef::Owned(backend), recovery: None })
+    }
+
+    /// Turns on bounded-budget error recovery for the rest of this
+    /// session. Subsequent feeds repair dead and unknown-kind tokens
+    /// within `budget` (see [`crate::recover`] for the cost model) and
+    /// record a [`Diagnostic`] per repair. Clean input is unaffected —
+    /// byte-identical verdicts and forests, one extra checkpoint per feed.
+    pub fn enable_recovery(&mut self, budget: RecoveryBudget) {
+        self.recovery = Some(RecoveryState::new(budget));
+    }
+
+    /// Is error recovery enabled on this session?
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// The diagnostics accumulated so far — live during feeding, so a
+    /// REPL/LSP loop can surface errors per keystroke. Empty when
+    /// recovery is off or the input has been clean.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        self.recovery.as_ref().map_or(&[], |r| &r.diagnostics)
+    }
+
+    /// Drains the accumulated diagnostics (they stop being returned by
+    /// the `finish_*_diagnostics` closers).
+    pub fn take_diagnostics(&mut self) -> Vec<Diagnostic> {
+        self.recovery.as_mut().map_or_else(Vec::new, |r| std::mem::take(&mut r.diagnostics))
+    }
+
+    /// Feeds a pre-tokenized slice through the recovery driver, giving
+    /// each token the next few as lookahead for repair scoring.
+    fn feed_recovering_slice(&mut self, toks: &[InputToken<'_>]) -> Result<(), BackendError> {
+        let rs = self.recovery.as_mut().expect("recovery enabled on this path");
+        let la = rs.budget.lookahead;
+        for i in 0..toks.len() {
+            let end = (i + 1 + la).min(toks.len());
+            recover::feed_recovering(self.backend.get(), rs, &toks[i], &toks[i + 1..end])?;
+        }
+        Ok(())
+    }
+
+    /// Runs the end-of-input repair (recovery on, viable, incomplete →
+    /// bounded insertion search) before a closer computes the verdict.
+    fn pre_finish(&mut self) -> Result<(), BackendError> {
+        if let Some(rs) = self.recovery.as_mut() {
+            recover::repair_eof(self.backend.get(), rs)?;
+        }
+        Ok(())
     }
 
     /// The backend's display name.
@@ -666,7 +774,14 @@ impl<'a> Session<'a> {
     ///
     /// See [`Recognizer::feed`].
     pub fn feed(&mut self, kind: &str, text: &str) -> Result<FeedOutcome, BackendError> {
-        if !self.backend.get().feed(kind, text)? {
+        let viable = match self.recovery.as_mut() {
+            Some(rs) => {
+                let tok = InputToken::new(kind, text, None);
+                recover::feed_recovering(self.backend.get(), rs, &tok, &[])?
+            }
+            None => self.backend.get().feed(kind, text)?,
+        };
+        if !viable {
             return Ok(FeedOutcome::Dead);
         }
         self.outcome()
@@ -688,6 +803,11 @@ impl<'a> Session<'a> {
     ///
     /// See [`Recognizer::feed`].
     pub fn feed_all(&mut self, kinds: &[&str]) -> Result<FeedOutcome, BackendError> {
+        if self.recovery.is_some() {
+            let toks: Vec<InputToken> = kinds.iter().map(|k| InputToken::new(k, k, None)).collect();
+            self.feed_recovering_slice(&toks)?;
+            return self.outcome();
+        }
         let backend = self.backend.get();
         for k in kinds {
             backend.feed(k, k)?;
@@ -702,6 +822,20 @@ impl<'a> Session<'a> {
     ///
     /// See [`Recognizer::feed`].
     pub fn feed_lexemes(&mut self, lexemes: &[Lexeme]) -> Result<FeedOutcome, BackendError> {
+        if self.recovery.is_some() {
+            let toks: Vec<InputToken> = lexemes
+                .iter()
+                .map(|l| {
+                    InputToken::new(
+                        &l.kind,
+                        &l.text,
+                        Some(Span::new(l.offset, l.offset + l.text.len())),
+                    )
+                })
+                .collect();
+            self.feed_recovering_slice(&toks)?;
+            return self.outcome();
+        }
         let backend = self.backend.get();
         for l in lexemes {
             backend.feed(&l.kind, &l.text)?;
@@ -718,6 +852,24 @@ impl<'a> Session<'a> {
     /// Lexing errors are wrapped in a [`BackendError`]; feeding errors as
     /// in [`Recognizer::feed`].
     pub fn feed_source(&mut self, src: &mut dyn TokenSource) -> Result<FeedOutcome, BackendError> {
+        if self.recovery.is_some() {
+            // Recovery needs lookahead and owned tokens, so this path
+            // trades the zero-copy fusion for a buffered drain. Lex errors
+            // become diagnostics (the streaming lexer resynchronizes past
+            // the bad bytes itself) instead of aborting the parse.
+            let mut toks = Vec::new();
+            while let Some(item) = src.next_token() {
+                match item {
+                    Ok(t) => toks.push(InputToken::owned(t.kind, t.text, Some(t.span))),
+                    Err(e) => {
+                        let rs = self.recovery.as_mut().expect("recovery checked above");
+                        rs.note_lex_error(&e);
+                    }
+                }
+            }
+            self.feed_recovering_slice(&toks)?;
+            return self.outcome();
+        }
         let backend = self.backend.get();
         while let Some(item) = src.next_token() {
             let t = match item {
@@ -803,14 +955,31 @@ impl<'a> Session<'a> {
     ///
     /// [`BackendError`] if the backend lost its session (a bug).
     pub fn finish(mut self) -> Result<bool, BackendError> {
+        self.pre_finish()?;
         self.backend.get().end()
+    }
+
+    /// Closes the session and returns the verdict together with every
+    /// diagnostic recovery recorded — the recovery-aware twin of
+    /// [`finish`](Session::finish). With recovery off the diagnostics are
+    /// always empty.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] if the backend lost its session (a bug).
+    pub fn finish_with_diagnostics(mut self) -> Result<(bool, Vec<Diagnostic>), BackendError> {
+        self.pre_finish()?;
+        let diags = self.take_diagnostics();
+        let verdict = self.backend.get().end()?;
+        Ok((verdict, diags))
     }
 
     /// Closes the session and, if the backend is owned, hands it back for
     /// pooling/reuse (`None` for borrowed sessions — the caller still holds
     /// the backend).
     pub fn finish_and_release(mut self) -> (Result<bool, BackendError>, Option<Box<dyn Parser>>) {
-        let verdict = self.backend.get().end();
+        let pre = self.pre_finish();
+        let verdict = pre.and(self.backend.get().end());
         match self.backend {
             BackendRef::Borrowed(_) => (verdict, None),
             BackendRef::Owned(b) => (verdict, Some(b)),
@@ -825,7 +994,26 @@ impl<'a> Session<'a> {
     ///
     /// See [`Parser::end_forest`].
     pub fn finish_forest(mut self) -> Result<ParseForest, BackendError> {
+        self.pre_finish()?;
         self.backend.get().end_forest()
+    }
+
+    /// Closes the session and returns the canonical forest of the
+    /// (possibly repaired) input **and** the diagnostics explaining every
+    /// repair — the `(Forest, Vec<Diagnostic>)` shape of a
+    /// recovery-aware parse. A prefix recovery could not complete yields
+    /// the empty forest plus the diagnostics that got it there.
+    ///
+    /// # Errors
+    ///
+    /// See [`Parser::end_forest`].
+    pub fn finish_forest_diagnostics(
+        mut self,
+    ) -> Result<(ParseForest, Vec<Diagnostic>), BackendError> {
+        self.pre_finish()?;
+        let diags = self.take_diagnostics();
+        let forest = self.backend.get().end_forest()?;
+        Ok((forest, diags))
     }
 
     /// Closes the session with a forest and, if the backend is owned, hands
@@ -833,7 +1021,8 @@ impl<'a> Session<'a> {
     pub fn finish_forest_and_release(
         mut self,
     ) -> (Result<ParseForest, BackendError>, Option<Box<dyn Parser>>) {
-        let forest = self.backend.get().end_forest();
+        let pre = self.pre_finish();
+        let forest = pre.and(self.backend.get().end_forest());
         match self.backend {
             BackendRef::Borrowed(_) => (forest, None),
             BackendRef::Owned(b) => (forest, Some(b)),
@@ -944,10 +1133,9 @@ impl Recognizer for PwdBackend {
         // into a `TokKey` (value keying) or folds it into a `TermId` path
         // (class keying).
         let label = self.label;
-        let tok = self
-            .compiled
-            .token(kind, text)
-            .ok_or_else(|| BackendError::new(label, format!("unknown terminal {kind:?}")))?;
+        let tok = self.compiled.token(kind, text).ok_or_else(|| {
+            BackendError::unknown_kind(label, format!("unknown terminal {kind:?}"))
+        })?;
         let Some(state) = self.session.as_mut() else {
             return Err(BackendError::no_session(label));
         };
@@ -1027,6 +1215,45 @@ impl Recognizer for PwdBackend {
         } else {
             self.compiled.lang.disable_obs();
         }
+    }
+
+    fn expected_kinds(&mut self) -> Vec<String> {
+        // Derivative-based candidate discovery: clone the session state
+        // (one small Copy-able struct — the arena is shared) and trial-feed
+        // each grammar terminal. A candidate is expected iff its derivative
+        // from the current state is non-empty, which for PWD is *precise*
+        // viability. Warm automaton rows and memo entries make repeat
+        // probes cheap.
+        let Some(state) = self.session.as_ref() else {
+            return Vec::new();
+        };
+        if !state.is_viable() || self.compiled.lang.budget_exhausted() {
+            return Vec::new();
+        }
+        let names: Vec<String> = self.compiled.terminal_names().to_vec();
+        let mut out = Vec::new();
+        let mut probes = 0u64;
+        for name in names {
+            let Some(tok) = self.compiled.token(&name, &name) else {
+                continue;
+            };
+            let state = self.session.as_ref().expect("session checked above");
+            let mut trial = state.clone();
+            probes += 1;
+            if matches!(
+                trial.feed(&mut self.compiled.lang, &tok),
+                Ok(crate::core::FeedOutcome::Viable { .. })
+            ) {
+                out.push(name);
+            }
+        }
+        self.compiled.lang.note_recovery_probes(probes);
+        out.sort();
+        out
+    }
+
+    fn record_recover_span(&mut self, nanos: u64) {
+        self.compiled.lang.note_phase(Phase::Recover, nanos);
     }
 
     fn metrics(&self) -> BackendMetrics {
@@ -1142,7 +1369,7 @@ pub struct EarleyBackend {
 impl EarleyBackend {
     fn kind_to_token(&self, kind: &str) -> Result<u32, BackendError> {
         self.parser.cfg().terminal_index(kind).ok_or_else(|| {
-            BackendError::new(
+            BackendError::unknown_kind(
                 "earley",
                 format!("token {} has kind {kind:?} outside the grammar", self.tokens_fed()),
             )
@@ -1244,6 +1471,32 @@ impl Recognizer for EarleyBackend {
         obs_install(&mut self.obs, enabled);
     }
 
+    fn expected_kinds(&mut self) -> Vec<String> {
+        // The chart frontier carries the expected set directly: every item
+        // with a terminal after its dot. Exact — a scan of a reported
+        // terminal always yields a non-empty next set.
+        let Some(chart) = self.chart.as_ref() else {
+            return Vec::new();
+        };
+        if chart.is_dead() {
+            return Vec::new();
+        }
+        let mut names: Vec<String> = self
+            .parser
+            .expected_terminals(chart)
+            .into_iter()
+            .map(|t| self.parser.cfg().terminal_name(t).to_string())
+            .collect();
+        names.sort();
+        names
+    }
+
+    fn record_recover_span(&mut self, nanos: u64) {
+        if let Some(stats) = self.obs.as_deref_mut() {
+            stats.record(Phase::Recover, nanos);
+        }
+    }
+
     fn metrics(&self) -> BackendMetrics {
         let stats;
         let s = match &self.chart {
@@ -1317,7 +1570,7 @@ pub struct GlrBackend {
 impl GlrBackend {
     fn kind_to_token(&self, kind: &str) -> Result<u32, BackendError> {
         self.parser.terminal_index(kind).ok_or_else(|| {
-            BackendError::new(
+            BackendError::unknown_kind(
                 "glr",
                 format!("token {} has kind {kind:?} outside the grammar", self.tokens_fed()),
             )
@@ -1421,6 +1674,37 @@ impl Recognizer for GlrBackend {
 
     fn set_obs(&mut self, enabled: bool) {
         obs_install(&mut self.obs, enabled);
+    }
+
+    fn expected_kinds(&mut self) -> Vec<String> {
+        // The SLR action table over the GSS frontier gives a cheap
+        // superset (a reduce chain may strand every stack); filter it down
+        // to the terminals that actually shift by trial-feeding the raw
+        // session — below the api-level checkpoint guard, so user
+        // checkpoints are unaffected.
+        let Some(session) = self.session.as_mut() else {
+            return Vec::new();
+        };
+        if session.is_dead() {
+            return Vec::new();
+        }
+        let candidates = self.parser.expected_terminals(session);
+        let mut names = Vec::new();
+        for t in candidates {
+            let cp = session.checkpoint();
+            if self.parser.feed(session, t) {
+                names.push(self.parser.cfg().terminal_name(t).to_string());
+            }
+            session.rollback(&cp);
+        }
+        names.sort();
+        names
+    }
+
+    fn record_recover_span(&mut self, nanos: u64) {
+        if let Some(stats) = self.obs.as_deref_mut() {
+            stats.record(Phase::Recover, nanos);
+        }
     }
 
     fn metrics(&self) -> BackendMetrics {

@@ -19,7 +19,10 @@
 //! families through one **streaming** lifecycle: text flows through a
 //! zero-copy [`api::TokenSource`] into an incremental [`api::Session`]
 //! (`open → feed → checkpoint/rollback → finish`), and the batch
-//! `recognize*` calls are thin shims over the same path.
+//! `recognize*` calls are thin shims over the same path. The [`recover`]
+//! module adds bounded-budget error recovery on top: sessions opt in with
+//! [`api::Session::enable_recovery`] and get repaired parses plus spanned
+//! [`Diagnostic`]s instead of a dead session on malformed input.
 //!
 //! # Quick start
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod recover;
 
 pub use api::{
     BackendError, BackendMetrics, Checkpoint, FeedOutcome, ParseCount, Parser, Recognizer, Session,
@@ -52,3 +56,4 @@ pub use pwd_grammar as grammar;
 pub use pwd_lex as lex;
 pub use pwd_obs as obs;
 pub use pwd_regex as regex;
+pub use recover::{Diagnostic, RecoveryBudget, Repair, RepairKind, Severity};
