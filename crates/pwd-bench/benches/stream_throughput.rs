@@ -135,24 +135,37 @@ fn bench_stream_throughput(c: &mut Criterion) {
         );
         traj.record(&format!("tokens={tokens}/parse_materialized_ns"), parse_mat as f64, "ns");
         traj.record(&format!("tokens={tokens}/parse_fused_ns"), parse_fus as f64, "ns");
-        traj.record(&format!("tokens={tokens}/parse_fused_speedup"), parse_speedup, "ratio");
 
-        // The tentpole gate, on the largest corpus: the fused path must be
-        // at least as fast as materialize-then-parse — it does strictly
-        // less work (no intermediate vector, no per-token Strings). Under
-        // `--smoke` (shared CI runners) the threshold relaxes to a sanity
-        // check; the recorded samples are the trajectory either way.
-        let gate = if smoke { 0.8 } else { 1.0 };
+        // The tentpole gates, on the largest corpus: the fused path does
+        // strictly less work than materialize-then-parse (no intermediate
+        // vector, no per-token Strings), so it must be at least on par in
+        // both modes — within a 5% noise allowance, since single-digit-µs
+        // runs jitter even under best-of-N. Under `--smoke` (shared CI
+        // runners) the threshold relaxes to a sanity check; the recorded
+        // samples are the trajectory either way.
+        let gate = if smoke { 0.8 } else { 0.95 };
         if tokens == &inputs.last().expect("nonempty corpus").1 {
             traj.gate(&format!("tokens={tokens}/fused_speedup"), speedup, "ratio", speedup >= gate);
+            traj.gate(
+                &format!("tokens={tokens}/parse_fused_speedup"),
+                parse_speedup,
+                "ratio",
+                parse_speedup >= gate,
+            );
             traj.write(env!("CARGO_MANIFEST_DIR"));
             assert!(
                 speedup >= gate,
                 "fused streaming must be ≥{gate}× vs materialized \
                  ({tokens} tokens: {materialized} vs {fused} ns)"
             );
+            assert!(
+                parse_speedup >= gate,
+                "fused parse-mode streaming must be ≥{gate}× vs materialized \
+                 ({tokens} tokens: {parse_mat} vs {parse_fus} ns)"
+            );
         } else {
             traj.record(&format!("tokens={tokens}/fused_speedup"), speedup, "ratio");
+            traj.record(&format!("tokens={tokens}/parse_fused_speedup"), parse_speedup, "ratio");
         }
     }
 

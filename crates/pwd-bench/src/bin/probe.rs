@@ -12,6 +12,7 @@
 //! cargo run --release -p pwd-bench --bin probe -- automaton [tokens]
 //! cargo run --release -p pwd-bench --bin probe -- trace [tokens] [FILE]
 //! cargo run --release -p pwd-bench --bin probe -- diagnose FILE [backend]
+//! cargo run --release -p pwd-bench --bin probe -- splice FILE [backend]
 //! ```
 //!
 //! * `growth` — per-token reachable-graph growth on the Python grammar.
@@ -29,6 +30,11 @@
 //! * `diagnose` — parses a PL/0 source file with bounded-budget error
 //!   recovery and prints rustc-style spanned diagnostics for every repair;
 //!   exit code 0 = clean, 1 = diagnostics emitted, 2 = usage/IO error.
+//! * `splice` — feeds a PL/0 source file into an incremental session, then
+//!   replays a deterministic edit script (single-token replacements
+//!   sweeping the buffer, two passes) printing per-edit latency, the
+//!   checkpoint-ladder rung each splice re-entered from, and the
+//!   refed/reused token split; exit code 2 = usage/IO error.
 
 use pwd_bench::{python_cfg, python_corpus};
 use pwd_core::{
@@ -49,11 +55,13 @@ fn main() {
         Some("automaton") => automaton(arg_usize(&args, 1, 600)),
         Some("trace") => trace(arg_usize(&args, 1, 600), args.get(2).cloned()),
         Some("diagnose") => diagnose(args.get(1).cloned(), args.get(2).cloned()),
+        Some("splice") => splice(args.get(1).cloned(), args.get(2).cloned()),
         _ => {
             eprintln!(
                 "usage: probe <growth [tokens] | units | ambiguity | min | reset | \
                  keying [tokens] [--forest-dot [FILE]] | automaton [tokens] | \
-                 trace [tokens] [FILE] | diagnose FILE [backend]>"
+                 trace [tokens] [FILE] | diagnose FILE [backend] | \
+                 splice FILE [backend]>"
             );
             std::process::exit(2);
         }
@@ -623,4 +631,109 @@ fn diagnose(path: Option<String>, backend_name: Option<String>) {
         if accepted { "recovered" } else { "failed" }
     );
     std::process::exit(1);
+}
+
+/// Feeds a PL/0 source file into an incremental session and replays a
+/// deterministic edit script: single-token same-kind replacements sweeping
+/// the buffer decile by decile, two passes. Pass 1 swaps each target for a
+/// donor lexeme of the same kind; pass 2 restores the original text —
+/// showing cold-ladder and warm-ladder (re-anchored rung) behavior on the
+/// same positions. Per edit: latency, the rung the splice re-entered from,
+/// the rollback distance, the refed/reused split, and the convergence
+/// point, followed by the session's cumulative splice counters.
+fn splice(path: Option<String>, backend_name: Option<String>) {
+    use derp::Session;
+
+    let Some(path) = path else {
+        eprintln!("usage: probe splice FILE [backend]");
+        eprintln!("backends: {:?} or \"pwd-dfa\"", derp::api::BACKEND_NAMES);
+        std::process::exit(2);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    // The recognize-mode automaton backend by default: it witnesses state
+    // signatures, so the convergence fast path is visible in the output.
+    let name = backend_name.as_deref().unwrap_or("pwd-dfa");
+    let Some(mut backend) = derp::api::backend_by_name(name, &grammars::pl0::cfg()) else {
+        eprintln!(
+            "unknown backend {name:?}; expected one of {:?} or \"pwd-dfa\"",
+            derp::api::BACKEND_NAMES
+        );
+        std::process::exit(2);
+    };
+    let lexer = grammars::pl0::lexer();
+    let lexemes = match lexer.tokenize(&src) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{path}: lex error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let n = lexemes.len();
+    if n < 10 {
+        eprintln!("{path}: need at least 10 tokens to sweep, got {n}");
+        std::process::exit(2);
+    }
+
+    let mut session = Session::open(backend.as_mut()).expect("fresh backend opens a session");
+    session.enable_incremental().expect("incremental on a fresh session");
+    let t0 = Instant::now();
+    if let Err(e) = session.feed_lexemes(&lexemes) {
+        eprintln!("{path}: parse error: {e}");
+        std::process::exit(2);
+    }
+    println!("{path}: fed {n} tokens in {:?} ({name})", t0.elapsed());
+    println!(
+        "{:>4} {:>6} {:>10} {:>6} {:>6} {:>6} {:>7} {:>9}",
+        "pass", "at", "ns", "rung", "dist", "refed", "reused", "converged"
+    );
+    for pass in 1..=2u32 {
+        for decile in 1..10usize {
+            let at = n * decile / 10;
+            let target = &lexemes[at];
+            let donor = lexemes
+                .iter()
+                .find(|l| l.kind == target.kind && l.text != target.text)
+                .map_or_else(|| target.text.clone(), |l| l.text.clone());
+            let text = if pass == 1 { donor } else { target.text.clone() };
+            let t0 = Instant::now();
+            let out = match session.splice_tokens(at, 1, &[(target.kind.as_str(), text.as_str())]) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("splice at {at} failed: {e}");
+                    std::process::exit(2);
+                }
+            };
+            println!(
+                "{:>4} {:>6} {:>10} {:>6} {:>6} {:>6} {:>7} {:>9}",
+                pass,
+                at,
+                t0.elapsed().as_nanos(),
+                out.rung,
+                at - out.rung,
+                out.refed,
+                out.reused,
+                out.converged_at.map_or_else(|| "-".to_string(), |c| c.to_string()),
+            );
+        }
+    }
+    let m = session.metrics();
+    println!(
+        "cumulative: refed={} reused={} ladder_rollback_distance={}",
+        m.tokens_refed, m.tokens_reused, m.ladder_rollback_distance
+    );
+    match session.finish() {
+        Ok(accepted) => {
+            println!("final verdict: {}", if accepted { "accepted" } else { "rejected" })
+        }
+        Err(e) => {
+            eprintln!("finish failed: {e}");
+            std::process::exit(2);
+        }
+    }
 }

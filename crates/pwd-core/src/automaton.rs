@@ -106,6 +106,15 @@ pub(crate) struct Automaton {
     frozen: bool,
     /// Scratch buffer for signature streams (reused across interns).
     scratch: Vec<u32>,
+    /// Digest cache for [`Language::state_signature`]'s interpreted path,
+    /// keyed by resolved node id. Sound because a node's *language* never
+    /// changes in place during a parse (kind rewrites are language-
+    /// preserving pruning/merging), so a cached digest keeps witnessing
+    /// language equality; cleared on arena truncation ([`Language::reset`])
+    /// where node ids are reused, and on any in-place kind rewrite, where
+    /// ancestors' streams go structurally stale (a missed-convergence cost,
+    /// but cheap to rule out entirely since rewrites are rare).
+    pub(crate) digests: HashMap<u32, (u64, u32)>,
 }
 
 impl Automaton {
@@ -158,6 +167,37 @@ impl AutomatonStats {
             self.explored_transitions as f64 / slots as f64
         }
     }
+}
+
+/// A comparable identity of a derivative state, for detecting that two
+/// parse positions carry the *same language* — the convergence test behind
+/// incremental edit splicing (equal signatures at the same token alignment
+/// mean the suffix refeed can stop early).
+///
+/// Two representations, never equal across each other:
+///
+/// - [`State`](StateSignature::State): the interned automaton state id —
+///   exact (interning is backed by a full canonical-stream comparison) and
+///   `O(1)` to obtain when the lazy automaton is active and the node is
+///   interned.
+/// - [`Digest`](StateSignature::Digest): the 64-bit FNV-1a hash of the
+///   node's canonical signature stream plus the stream length. Equal
+///   digests are equal languages up to a ~2⁻⁶⁴ hash collision; callers use
+///   this as a *fast path*, never as the source of truth for verdicts (a
+///   wrong jump is caught by nothing, so the risk budget is the same one
+///   already accepted for the automaton's intern hash pre-filter — which
+///   additionally verifies streams; here the stream-length check narrows
+///   collisions to same-length streams).
+///
+/// Mixed representations across an edit (one side interned, the other not)
+/// simply never compare equal — a lost fast-path opportunity, never an
+/// unsoundness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateSignature {
+    /// An interned lazy-automaton state id (exact).
+    State(u32),
+    /// FNV-1a digest of the canonical signature stream, plus stream length.
+    Digest(u64, u32),
 }
 
 impl Language {
@@ -362,6 +402,34 @@ impl Language {
         }
         self.auto.scratch = scratch;
         hash
+    }
+
+    /// The [`StateSignature`] of the derivative rooted at `id`: the interned
+    /// automaton state id when the lazy automaton is active and the node is
+    /// interned (`O(1)`), the canonical-stream digest otherwise.
+    ///
+    /// Only meaningful as an equality witness between two positions of the
+    /// *same* `Language` within one epoch (state ids and node structure are
+    /// engine-local). Callers gate on recognize mode themselves: equal
+    /// signatures witness equal *languages*, not equal forests, so parse
+    /// mode must not use them to skip work.
+    pub fn state_signature(&mut self, id: NodeId) -> StateSignature {
+        if self.automaton_active() {
+            if let Some(st) = self.auto_state_of(id) {
+                return StateSignature::State(st);
+            }
+        }
+        // Derivative states are memoized nodes, so the same id recurs at
+        // every aligned reparse position — cache the DFS so incremental
+        // refeeds over already-digested territory are O(1) per token.
+        let id = self.resolve(id);
+        if let Some(&(hash, len)) = self.auto.digests.get(&id.0) {
+            return StateSignature::Digest(hash, len);
+        }
+        let hash = self.auto_signature(id);
+        let len = self.auto.scratch.len() as u32;
+        self.auto.digests.insert(id.0, (hash, len));
+        StateSignature::Digest(hash, len)
     }
 
     /// Clears the automaton and every node's state mapping. The correctness

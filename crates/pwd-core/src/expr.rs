@@ -475,6 +475,9 @@ impl Language {
             // ever happens, drop the automaton rather than serve stale rows.
             self.auto_node_invalidated(id, auto_state);
         }
+        // Cached signature digests of this node's ancestors embed the old
+        // kind; drop them all rather than track reachability.
+        self.auto.digests.clear();
     }
 
     /// Follows `Ref` forwarding to the representative node.
@@ -759,6 +762,9 @@ impl Language {
         // reference counts on shared grammar structure.
         self.nodes.truncate(n.max(self.auto.boundary));
         self.forests.truncate(f.max(self.auto.forest_boundary));
+        // Truncation reuses node ids, so cached signature digests must die
+        // with the nodes they described.
+        self.auto.digests.clear();
         // O(1): the pool entries are `Copy`, so `clear` is a length store.
         self.dep_pool.clear();
         self.memo_pool.clear();

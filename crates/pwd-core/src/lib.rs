@@ -73,7 +73,7 @@ mod prune;
 mod session;
 mod token;
 
-pub use automaton::AutomatonStats;
+pub use automaton::{AutomatonStats, StateSignature};
 pub use config::{
     AutomatonMode, CompactionMode, MemoKeying, MemoStrategy, NullStrategy, ParseMode, ParserConfig,
     RecoveryBudget, DEFAULT_AUTOMATON_MAX_ROWS,

@@ -92,6 +92,16 @@ impl SessionCheckpoint {
     pub fn tokens_fed(&self) -> usize {
         self.fed
     }
+
+    /// The same saved derivative state re-stamped at a different position —
+    /// the edit-splicing re-anchor primitive (the checkpoint analogue of
+    /// [`SessionState::set_tokens_fed`]). Sound only when the caller has
+    /// proved the state at `fed` on the current timeline equals this saved
+    /// state (equal [`StateSignature`](crate::StateSignature)s at an
+    /// aligned position, plus an identical suffix up to `fed`).
+    pub fn at_position(&self, fed: usize) -> SessionCheckpoint {
+        SessionCheckpoint { fed, ..*self }
+    }
 }
 
 /// The ownable state of an incremental parse: no borrow of the
@@ -251,6 +261,17 @@ impl SessionState {
         self.current = cp.current;
         self.fed = cp.fed;
         self.dead = cp.dead;
+    }
+
+    /// Overrides the fed-token count without touching the derivative.
+    ///
+    /// The re-alignment primitive under edit splicing: when an edit changes
+    /// the prefix *length* but a memoized pre-edit state is known to carry
+    /// the same language (equal
+    /// [`StateSignature`](crate::StateSignature)s), the restored state's
+    /// position is re-stamped to the post-edit token count.
+    pub fn set_tokens_fed(&mut self, fed: usize) {
+        self.fed = fed;
     }
 
     /// Is the prefix fed so far a complete sentence? O(1) when the current

@@ -212,15 +212,38 @@ impl Lexer {
     /// The longest match of any rule at the head of `rest`:
     /// `(byte length, rule index)`, ties broken by rule order.
     fn match_at(&self, rest: &str) -> Option<(usize, usize)> {
+        self.match_at_scanned(rest).0
+    }
+
+    /// [`match_at`](Lexer::match_at) plus the *scan extent*: the furthest
+    /// byte any rule's automaton examined while deciding, whether it matched
+    /// or not. The winner at this position is a pure function of exactly
+    /// `rest[..extent]` — the load-bearing fact for incremental relexing
+    /// ([`SourceBuffer::splice`](crate::SourceBuffer::splice)): an edit that
+    /// stays clear of every decision's scan window cannot change any token.
+    pub(crate) fn match_at_scanned(&self, rest: &str) -> (Option<(usize, usize)>, usize) {
         let mut best: Option<(usize, usize)> = None;
+        let mut extent = 0;
         for (i, rule) in self.rules.iter().enumerate() {
-            if let Some(len) = rule.dfa.longest_match(rest) {
+            let (m, scanned) = rule.dfa.longest_match_scanned(rest);
+            extent = extent.max(scanned);
+            if let Some(len) = m {
                 if len > 0 && best.map(|(bl, _)| len > bl).unwrap_or(true) {
                     best = Some((len, i));
                 }
             }
         }
-        best
+        (best, extent)
+    }
+
+    /// Name of rule `i` (the token kind it produces).
+    pub(crate) fn rule_name(&self, i: usize) -> &str {
+        &self.rules[i].name
+    }
+
+    /// Is rule `i` a skip rule (matches discarded)?
+    pub(crate) fn rule_is_skip(&self, i: usize) -> bool {
+        self.rules[i].skip
     }
 }
 

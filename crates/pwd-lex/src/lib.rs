@@ -42,12 +42,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffer;
 mod lexer;
 mod python;
 mod source;
 mod span;
 mod timed;
 
+pub use buffer::{SourceBuffer, TokenEdit};
 pub use lexer::{LexError, Lexeme, Lexer, LexerBuilder, SourceTokens};
 pub use python::{tokenize_python, PyLexError, KEYWORDS};
 pub use source::{KindSource, LexemeSource, ScannedToken, TokenSource};

@@ -135,6 +135,39 @@ impl SourceMap {
         self.line_starts.len()
     }
 
+    /// The source text this map indexes.
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// Replaces the byte range `start..end` with `replacement`, repairing
+    /// the newline index incrementally: line starts before the edit are
+    /// kept, starts inside the damaged range are rebuilt from the
+    /// replacement text, and starts after it are shifted by the length
+    /// delta. Equivalent to (but cheaper than) re-indexing from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start..end` is out of bounds, inverted, or splits a UTF-8
+    /// character (same contract as `String::replace_range`).
+    pub fn splice(&mut self, start: usize, end: usize, replacement: &str) {
+        let delta = replacement.len() as isize - (end - start) as isize;
+        // Keep line starts at or before the edit: a start exactly at `start`
+        // is the position *after* a preceding newline, which survives.
+        let lo = self.line_starts.partition_point(|&s| s <= start);
+        let hi = self.line_starts.partition_point(|&s| s <= end);
+        let mut tail: Vec<usize> =
+            self.line_starts[hi..].iter().map(|&s| (s as isize + delta) as usize).collect();
+        self.line_starts.truncate(lo);
+        for (i, b) in replacement.bytes().enumerate() {
+            if b == b'\n' {
+                self.line_starts.push(start + i + 1);
+            }
+        }
+        self.line_starts.append(&mut tail);
+        self.src.replace_range(start..end, replacement);
+    }
+
     /// The 1-based line/column of a byte offset. Offsets past the end map to
     /// the end position.
     pub fn position(&self, offset: usize) -> Position {

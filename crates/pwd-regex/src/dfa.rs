@@ -264,9 +264,21 @@ impl Dfa {
     /// Length (in chars) of the longest prefix of `input` accepted by the
     /// automaton, if any prefix (including the empty one) is accepted.
     pub fn longest_match(&self, input: &str) -> Option<usize> {
+        self.longest_match_scanned(input).0
+    }
+
+    /// Like [`longest_match`](Dfa::longest_match), but also reports how far
+    /// the scan *looked*: the byte length of the prefix examined before the
+    /// automaton stopped (missing transition, dead state, or end of input —
+    /// the stopping character itself counts as examined). The match decision
+    /// is a pure function of exactly those bytes, which is what an
+    /// incremental relexer needs to bound the damage of an edit.
+    pub fn longest_match_scanned(&self, input: &str) -> (Option<usize>, usize) {
         let mut st = self.start;
         let mut best = if self.is_accepting(st) { Some(0) } else { None };
+        let mut scanned = 0;
         for (i, c) in input.char_indices() {
+            scanned = i + c.len_utf8();
             match self.step(st, c) {
                 Some(next) => st = next,
                 None => break,
@@ -278,7 +290,7 @@ impl Dfa {
                 best = Some(i + c.len_utf8());
             }
         }
-        best
+        (best, scanned)
     }
 }
 

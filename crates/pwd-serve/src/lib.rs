@@ -114,7 +114,7 @@ pub use cache::{CacheMetrics, CachedGrammar, GrammarCache};
 pub use fault::{Fault, FaultPlan};
 pub use live::{
     CheckpointId, FeedReport, FinishForestReport, FinishReport, SessionId, SessionStats,
-    SessionStatus,
+    SessionStatus, SpliceReport,
 };
 pub use pool::{PoolMetrics, PooledSession, SessionPool};
 pub use service::{

@@ -90,6 +90,16 @@ pub struct SessionStats {
     /// Peak resident arena bytes observed at a chunk or finish boundary
     /// (zero for backends without an arena).
     pub peak_arena_bytes: u64,
+    /// Edit splices applied ([`ParseService::splice_session`]).
+    pub splices: u64,
+    /// Tokens splices did **not** refeed (reused prefix plus
+    /// convergence-skipped suffix), cumulative.
+    pub tokens_reused: u64,
+    /// Tokens splices refed through the engine, cumulative.
+    pub tokens_refed: u64,
+    /// Total distance between each splice's damage start and the
+    /// checkpoint-ladder rung it restored, cumulative.
+    pub ladder_rollback_distance: u64,
 }
 
 impl SessionStats {
@@ -115,6 +125,30 @@ pub struct FeedReport {
     pub outcome: FeedOutcome,
     /// Tokens fed so far (chunks accumulate).
     pub tokens_fed: usize,
+}
+
+/// The result of splicing an edit into a live session
+/// ([`ParseService::splice_session`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpliceReport {
+    /// Outcome after the splice (over the whole post-edit stream).
+    pub outcome: FeedOutcome,
+    /// Tokens fed after the splice (the post-edit stream length).
+    pub tokens_fed: usize,
+    /// Position of the checkpoint-ladder rung the engine restored —
+    /// everything at or below it was reused outright.
+    pub rung: usize,
+    /// Tokens actually refed through the engine for this splice.
+    pub refed: usize,
+    /// Tokens *not* refed: the reused prefix plus any convergence-skipped
+    /// suffix.
+    pub reused: usize,
+    /// Post-edit position where the engine state converged with the
+    /// memoized pre-edit state and refeeding stopped early, if it did.
+    pub converged_at: Option<usize>,
+    /// Stored checkpoints still restorable after the splice (ones above
+    /// the restored rung were discarded, as with a rollback).
+    pub checkpoints: usize,
 }
 
 /// The result of finishing a session.
@@ -201,7 +235,11 @@ impl ParseService {
                 // the backend returns to a pool.
                 backend.set_obs(true);
             }
-            let session = Session::owned(backend)?;
+            let mut session = Session::owned(backend)?;
+            // Live sessions are incremental by construction: edits can be
+            // spliced in via `splice_session` with damage-region reuse, and
+            // the per-feed bookkeeping is cheap next to chunked traffic.
+            session.enable_incremental()?;
             Ok(LiveSession {
                 fingerprint,
                 session,
@@ -385,6 +423,102 @@ impl ParseService {
         })();
         self.put(id, live);
         out
+    }
+
+    /// Splices an edit into a live session's already-fed token stream:
+    /// replaces `remove` tokens starting at position `at` with `insert`,
+    /// re-deriving only what the damage invalidates. The engine rolls back
+    /// to the nearest checkpoint-ladder rung at or below `at` and refeeds
+    /// from there; in PWD recognize mode the refeed additionally stops
+    /// early once the post-edit derivative state converges with the
+    /// memoized pre-edit state. Compared to rollback-and-refeed by hand,
+    /// the caller sends only the edit, not the suffix.
+    ///
+    /// Stored checkpoints follow the same timeline semantics as
+    /// [`rollback_session`](ParseService::rollback_session): checkpoints at
+    /// positions above the restored rung are discarded — those positions
+    /// were re-derived and no longer exist on the session's timeline.
+    ///
+    /// An out-of-range edit (`at + remove` beyond the fed stream) fails
+    /// with the session untouched. A mid-refeed engine error **closes**
+    /// the session: the edit would otherwise be half-applied, leaving a
+    /// stream the client cannot reconstruct.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`], or [`ServeError::Backend`] from the
+    /// engine.
+    pub fn splice_session(
+        &self,
+        id: SessionId,
+        at: usize,
+        remove: usize,
+        insert: &Input,
+    ) -> Result<SpliceReport, ServeError> {
+        let t0 = self.obs.enabled().then(Instant::now);
+        let mut live = self.take(id)?;
+        // The engine validates the range before touching anything; compute
+        // the same predicate here so the error path knows whether the
+        // session is still pristine (put back) or mid-splice (close).
+        let in_range = at.checked_add(remove).is_some_and(|end| end <= live.session.tokens_fed());
+        let pairs: Vec<(&str, &str)> = match insert {
+            Input::Kinds(kinds) => kinds.iter().map(|k| (k.as_str(), k.as_str())).collect(),
+            Input::Lexemes(lexemes) => {
+                lexemes.iter().map(|l| (l.kind.as_str(), l.text.as_str())).collect()
+            }
+        };
+        match live.session.splice_tokens(at, remove, &pairs) {
+            Ok(out) => {
+                // Checkpoints are position-sorted (each new one is at or
+                // beyond the last), so "above the rung" is a suffix.
+                let keep = live.checkpoints.partition_point(|c| c.tokens_fed() <= out.rung);
+                live.checkpoints.truncate(keep);
+                live.stats.splices += 1;
+                live.stats.tokens_fed = live.session.tokens_fed();
+                let m = live.session.metrics();
+                live.stats.tokens_reused = m.tokens_reused;
+                live.stats.tokens_refed = m.tokens_refed;
+                live.stats.ladder_rollback_distance = m.ladder_rollback_distance;
+                live.stats.note_peaks(&m);
+                self.splices.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.splice_tokens_reused
+                    .fetch_add(out.reused as u64, std::sync::atomic::Ordering::Relaxed);
+                self.splice_tokens_refed
+                    .fetch_add(out.refed as u64, std::sync::atomic::Ordering::Relaxed);
+                self.splice_ladder_distance
+                    .fetch_add((at - out.rung) as u64, std::sync::atomic::Ordering::Relaxed);
+                if let Some(t0) = t0 {
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    let mut samples = ObsSamples::new();
+                    samples.request_ns.push(ns);
+                    // Splice latency lands in the chunk phase family: it is
+                    // the incremental analogue of feeding a chunk.
+                    let mut phases = PhaseStats::new();
+                    phases.record(Phase::Chunk, ns);
+                    samples.phases = Some(phases);
+                    self.obs.fold(&self.config().backend, live.fingerprint, samples);
+                }
+                let report = SpliceReport {
+                    outcome: out.outcome,
+                    tokens_fed: live.session.tokens_fed(),
+                    rung: out.rung,
+                    refed: out.refed,
+                    reused: out.reused,
+                    converged_at: out.converged_at,
+                    checkpoints: live.checkpoints.len(),
+                };
+                self.put(id, live);
+                Ok(report)
+            }
+            Err(e) => {
+                if in_range {
+                    self.close(live);
+                } else {
+                    self.put(id, live);
+                }
+                Err(ServeError::Backend(e))
+            }
+        }
     }
 
     /// The session's current status (tokens fed, viability, sentence-hood,
@@ -837,5 +971,115 @@ mod tests {
             service.feed_chunk(id, &Input::from_kinds(&["b", "b"])).unwrap();
             assert!(service.finish_session(id).unwrap().accepted, "{name}");
         }
+    }
+
+    #[test]
+    fn splice_edits_a_live_session_in_place() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        // aabb is a sentence; splice the middle to grow it to aaabbb.
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a", "b", "b"])).unwrap();
+        let r = service.splice_session(id, 2, 0, &Input::from_kinds(&["a", "b"])).unwrap();
+        assert_eq!(r.tokens_fed, 6);
+        assert_eq!(r.outcome, FeedOutcome::Viable { prefix_is_sentence: true });
+        assert!(r.refed <= 6 - r.rung, "{r:?}");
+        assert_eq!(r.reused + r.refed, 6, "{r:?}");
+        let status = service.session_status(id).unwrap();
+        assert_eq!(status.stats.splices, 1);
+        assert_eq!(status.stats.tokens_reused + status.stats.tokens_refed, 6);
+        let fin = service.finish_session(id).unwrap();
+        assert!(fin.accepted, "aaabbb after splice");
+        assert_eq!(fin.tokens_fed, 6);
+    }
+
+    #[test]
+    fn splice_deletes_and_replaces_tokens() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a", "a", "b", "b", "b"])).unwrap();
+        // Delete one nesting level: aaabbb -> aabb.
+        let r = service.splice_session(id, 2, 2, &Input::from_kinds(&[])).unwrap();
+        assert_eq!(r.tokens_fed, 4);
+        assert_eq!(r.outcome, FeedOutcome::Viable { prefix_is_sentence: true });
+        assert!(service.finish_session(id).unwrap().accepted, "aabb after deletion");
+    }
+
+    #[test]
+    fn splice_discards_checkpoints_above_the_restored_rung() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        let cp0 = service.checkpoint_session(id).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a"])).unwrap();
+        let cp2 = service.checkpoint_session(id).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["b", "b"])).unwrap();
+        let cp4 = service.checkpoint_session(id).unwrap();
+
+        // Damage starts at 3: the engine restores a rung at or below 3, so
+        // cp4 dies; cp0 (position 0, always at or below any rung) survives.
+        let r = service.splice_session(id, 3, 1, &Input::from_kinds(&["b"])).unwrap();
+        assert!(r.rung <= 3, "{r:?}");
+        assert!(r.checkpoints <= 2, "cp4 must die with the splice: {r:?}");
+        assert!(matches!(
+            service.rollback_session(id, cp4),
+            Err(ServeError::UnknownCheckpoint { .. })
+        ));
+        let status = service.rollback_session(id, cp0).unwrap();
+        assert_eq!(status.tokens_fed, 0);
+        let _ = cp2; // validity depends on the rung position; not asserted
+        service.abort_session(id).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_splice_leaves_the_session_untouched() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a"])).unwrap();
+        let err = service.splice_session(id, 1, 5, &Input::from_kinds(&["b"]));
+        assert!(matches!(err, Err(ServeError::Backend(_))), "{err:?}");
+        // Still open and still at position 2.
+        let status = service.session_status(id).unwrap();
+        assert_eq!(status.tokens_fed, 2);
+        assert_eq!(status.stats.splices, 0);
+        service.feed_chunk(id, &Input::from_kinds(&["b", "b"])).unwrap();
+        assert!(service.finish_session(id).unwrap().accepted);
+    }
+
+    #[test]
+    fn every_roster_backend_splices_live_sessions() {
+        let cfg = pairs();
+        for &name in derp::api::BACKEND_NAMES {
+            let service = ParseService::new(ServiceConfig {
+                workers: 2,
+                backend: name.to_string(),
+                ..Default::default()
+            });
+            let id = service.open_session(&cfg).unwrap();
+            service.feed_chunk(id, &Input::from_kinds(&["a", "b"])).unwrap();
+            let r = service.splice_session(id, 1, 0, &Input::from_kinds(&["a", "b"])).unwrap();
+            assert_eq!(r.tokens_fed, 4, "{name}");
+            assert!(service.finish_session(id).unwrap().accepted, "aabb via splice on {name}");
+        }
+    }
+
+    #[test]
+    fn splice_counters_reach_the_metrics_exposition() {
+        let service = service();
+        let cfg = pairs();
+        let id = service.open_session(&cfg).unwrap();
+        service.feed_chunk(id, &Input::from_kinds(&["a", "a", "b", "b"])).unwrap();
+        service.splice_session(id, 2, 0, &Input::from_kinds(&["a", "b"])).unwrap();
+        service.finish_session(id).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.splices, 1);
+        assert_eq!(m.splice_tokens_reused + m.splice_tokens_refed, 6, "{m:?}");
+        let text = service.metrics_text();
+        assert!(text.contains("pwd_serve_splices_total"), "{text}");
+        assert!(text.contains("pwd_serve_splice_tokens_reused_total"), "{text}");
+        assert!(text.contains("pwd_serve_splice_tokens_refed_total"), "{text}");
+        assert!(text.contains("pwd_serve_splice_ladder_distance_total"), "{text}");
     }
 }

@@ -637,6 +637,16 @@ pub struct ServiceMetrics {
     pub inputs_recovered: u64,
     /// Total diagnostics emitted by error recovery across all requests.
     pub diagnostics_emitted: u64,
+    /// Edit splices applied to live sessions.
+    pub splices: u64,
+    /// Tokens splices avoided refeeding (reused prefix plus
+    /// convergence-skipped suffix), totalled over all splices.
+    pub splice_tokens_reused: u64,
+    /// Tokens splices refed through the engine, totalled.
+    pub splice_tokens_refed: u64,
+    /// Total distance (in tokens) between each splice's damage start and
+    /// the checkpoint-ladder rung it restored.
+    pub splice_ladder_distance: u64,
 }
 
 /// A thread-safe, batched parse service: sharded compiled-grammar cache +
@@ -665,6 +675,15 @@ pub struct ParseService {
     inputs_recovered: AtomicU64,
     /// Diagnostics emitted by error recovery, totalled.
     diagnostics_emitted: AtomicU64,
+    /// Edit splices applied to live sessions.
+    pub(crate) splices: AtomicU64,
+    /// Tokens splices avoided refeeding, totalled.
+    pub(crate) splice_tokens_reused: AtomicU64,
+    /// Tokens splices refed through the engine, totalled.
+    pub(crate) splice_tokens_refed: AtomicU64,
+    /// Splice rollback distances (damage start minus restored rung),
+    /// totalled.
+    pub(crate) splice_ladder_distance: AtomicU64,
     /// Lifetime engine cache-effectiveness totals (merged once per batch).
     memo_totals: Mutex<MemoEffectiveness>,
     /// Latency/phase histogram store, keyed by (backend, grammar
@@ -703,6 +722,10 @@ impl ParseService {
             budget_cancelled: AtomicU64::new(0),
             inputs_recovered: AtomicU64::new(0),
             diagnostics_emitted: AtomicU64::new(0),
+            splices: AtomicU64::new(0),
+            splice_tokens_reused: AtomicU64::new(0),
+            splice_tokens_refed: AtomicU64::new(0),
+            splice_ladder_distance: AtomicU64::new(0),
             memo_totals: Mutex::new(MemoEffectiveness::default()),
             obs,
             live: Mutex::new(HashMap::new()),
@@ -1002,6 +1025,10 @@ impl ParseService {
             budget_cancelled: self.budget_cancelled.load(Ordering::Relaxed),
             inputs_recovered: self.inputs_recovered.load(Ordering::Relaxed),
             diagnostics_emitted: self.diagnostics_emitted.load(Ordering::Relaxed),
+            splices: self.splices.load(Ordering::Relaxed),
+            splice_tokens_reused: self.splice_tokens_reused.load(Ordering::Relaxed),
+            splice_tokens_refed: self.splice_tokens_refed.load(Ordering::Relaxed),
+            splice_ladder_distance: self.splice_ladder_distance.load(Ordering::Relaxed),
         }
     }
 
@@ -1122,6 +1149,30 @@ impl ParseService {
             "Diagnostics emitted by error recovery.",
             &labels,
             m.diagnostics_emitted,
+        );
+        prom.counter(
+            "pwd_serve_splices_total",
+            "Edit splices applied to live sessions.",
+            &labels,
+            m.splices,
+        );
+        prom.counter(
+            "pwd_serve_splice_tokens_reused_total",
+            "Tokens splices avoided refeeding (reused prefix + converged suffix).",
+            &labels,
+            m.splice_tokens_reused,
+        );
+        prom.counter(
+            "pwd_serve_splice_tokens_refed_total",
+            "Tokens splices refed through the engine.",
+            &labels,
+            m.splice_tokens_refed,
+        );
+        prom.counter(
+            "pwd_serve_splice_ladder_distance_total",
+            "Splice rollback distances (damage start minus restored rung), totalled.",
+            &labels,
+            m.splice_ladder_distance,
         );
         self.obs.render(&mut prom);
         prom.finish()

@@ -13,7 +13,13 @@
 //! the resulting [`derp::Diagnostic`]s live, carets and all, while the main
 //! session stays checkpointed at the last good state.
 //!
-//! Run with: `cargo run --example repl -- "1 + ( 2 * 3 <del> <del> + 4 ) * 5"`
+//! Mid-line edits use the incremental splice path instead of retyping:
+//! `<splice:AT:REMOVE:TEXT>` replaces `REMOVE` tokens at position `AT` with
+//! the tokens of `TEXT` (lexed without spaces), and the session re-derives
+//! only from the nearest checkpoint-ladder rung below the damage.
+//!
+//! Run with:
+//! `cargo run --example repl -- "1 + ( 2 * 3 <del> <del> + 4 ) * 5 <splice:3:3:6*7>"`
 //! (tokens separated by spaces; `<del>` is a backspace)
 
 use derp::api::{Checkpoint, Parser, PwdBackend, Session};
@@ -51,12 +57,16 @@ fn diagnose_line(lexer: &derp::lex::Lexer, src: &str) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let script =
-        std::env::args().nth(1).unwrap_or_else(|| "1 + ( 2 * 3 <del> <del> + 4 ) * 5".to_string());
+    let script = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "1 + ( 2 * 3 <del> <del> + 4 ) * 5 <splice:3:3:6*7>".to_string());
     let lexer = grammars::arith::lexer();
 
     let mut backend = PwdBackend::improved(&grammars::arith::cfg());
     let mut session = Session::open(&mut backend as &mut dyn Parser)?;
+    // Arm the edit-splicing machinery (checkpoint ladder + refeed
+    // bookkeeping) so `<splice:...>` commands re-derive only the damage.
+    session.enable_incremental()?;
     // Collect per-phase latency histograms for the end-of-run snapshot
     // (compiled out entirely under `--no-default-features`).
     session.set_obs(true);
@@ -74,6 +84,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             session.rollback(&cp)?;
             line.pop();
+        } else if let Some(spec) = key.strip_prefix("<splice:").and_then(|s| s.strip_suffix('>')) {
+            let mut parts = spec.splitn(3, ':');
+            let parsed = match (parts.next(), parts.next(), parts.next()) {
+                (Some(at), Some(remove), Some(text)) => at
+                    .parse::<usize>()
+                    .ok()
+                    .zip(remove.parse::<usize>().ok())
+                    .map(|(at, remove)| (at, remove, text)),
+                _ => None,
+            };
+            let Some((at, remove, text)) = parsed else {
+                println!("{key:<10} (malformed splice; want <splice:AT:REMOVE:TEXT>)");
+                continue;
+            };
+            let lexemes = lexer.tokenize(text)?;
+            let pairs: Vec<(&str, &str)> =
+                lexemes.iter().map(|l| (l.kind.as_str(), l.text.as_str())).collect();
+            match session.splice_tokens(at, remove, &pairs) {
+                Ok(out) => {
+                    // Same timeline rule as rollback: undo checkpoints above
+                    // the restored rung no longer exist.
+                    while undo_stack.last().is_some_and(|cp| cp.tokens_fed() > out.rung) {
+                        undo_stack.pop();
+                    }
+                    line.splice(at..at + remove, lexemes.iter().map(|l| l.text.clone()));
+                    let converged =
+                        out.converged_at.map_or(String::new(), |k| format!(", converged at {k}"));
+                    println!(
+                        "{key:<10} spliced: rung {}, refed {}, reused {}{converged}",
+                        out.rung, out.refed, out.reused,
+                    );
+                }
+                Err(e) => {
+                    println!("{key:<10} (splice failed: {e})");
+                    continue;
+                }
+            }
         } else {
             // Each keystroke is lexed in isolation (single-token REPL
             // grammar) and fed through the session.

@@ -93,8 +93,11 @@ use crate::lex::Lexeme;
 use crate::recover::{self, Diagnostic, InputToken, RecoveryState};
 use std::fmt;
 
+pub use crate::core::StateSignature;
 pub use pwd_forest::{EnumLimits, ForestSummary, ParseForest, Tree, TreeCount};
-pub use pwd_lex::{KindSource, LexemeSource, ScannedToken, Span, TokenSource};
+pub use pwd_lex::{
+    KindSource, LexemeSource, ScannedToken, SourceBuffer, Span, TokenEdit, TokenSource,
+};
 pub use pwd_obs::{Histogram, Phase, PhaseStats};
 
 /// An error from a parser backend: a malformed grammar, an input token
@@ -292,6 +295,19 @@ impl SessionGuard {
         self.era += 1;
         self.marks.truncate(tokens + 1);
     }
+
+    /// Extends the timeline to `tokens` positions, stamping the current era
+    /// on every position added — the bookkeeping for a splice *convergence
+    /// jump*, which lands the session at a position whose intermediate marks
+    /// were never individually fed on this timeline. Checkpoints stamped at
+    /// the new positions afterwards admit normally; checkpoints from before
+    /// the jump's rollback stay invalidated (their eras are gone).
+    fn extend_to(&mut self, tokens: usize) {
+        self.marks.truncate(tokens + 1);
+        while self.marks.len() < tokens + 1 {
+            self.marks.push(self.era);
+        }
+    }
 }
 
 /// Uniform per-backend instrumentation.
@@ -335,6 +351,20 @@ pub struct BackendMetrics {
     /// the node/forest arenas plus their side pools; zero for backends
     /// without an arena).
     pub arena_bytes: u64,
+    /// Tokens an edit splice did **not** refeed (prefix below the ladder
+    /// rung plus suffix skipped by a convergence jump), cumulative over the
+    /// session. Populated by the [`Session`] splice layer
+    /// ([`Session::splice_tokens`]); zero for sessions without incremental
+    /// mode.
+    pub tokens_reused: u64,
+    /// Tokens an edit splice refed through the backend (rung→damage
+    /// catch-up, inserted tokens, and suffix tokens fed before
+    /// convergence), cumulative over the session.
+    pub tokens_refed: u64,
+    /// Total distance (in tokens) between each splice's damage start and
+    /// the checkpoint-ladder rung it restored — the rollback overshoot the
+    /// bounded ladder paid, cumulative over the session.
+    pub ladder_rollback_distance: u64,
     /// Snapshot of the per-phase latency histograms, present iff
     /// observability is enabled on the backend
     /// ([`Recognizer::set_obs`]). Boxed so the common disabled case adds
@@ -548,6 +578,59 @@ pub trait Recognizer: Send + Sync {
     /// discards it.
     fn record_recover_span(&mut self, _nanos: u64) {}
 
+    /// A comparable identity of the open session's parser state, when the
+    /// backend can witness one **soundly**: equal signatures must imply the
+    /// two states give identical verdicts on every continuation. The
+    /// [`Session`] splice layer compares these across an edit for its
+    /// convergence fast path — once the post-edit state provably matches
+    /// the memoized pre-edit state at the same token alignment, the rest of
+    /// the suffix need not be refed.
+    ///
+    /// `None` (the default) simply disables the fast path; splices still
+    /// work by refeeding from the nearest checkpoint-ladder rung. The PWD
+    /// backend answers in recognize mode (exact interned automaton state
+    /// ids when the automaton axis is on, graph-isomorphism digests
+    /// otherwise); parse mode stays `None` because equal recognize
+    /// structure does not imply equal *forests*.
+    fn state_signature(&mut self) -> Option<StateSignature> {
+        None
+    }
+
+    /// Restores `cp` — a checkpoint taken at a **later** position of the
+    /// open session whose state is known (by signature equality at an
+    /// aligned position) to be exactly what refeeding the remaining suffix
+    /// would rebuild — and restamps the session at `tokens` fed tokens.
+    ///
+    /// This is the splice convergence jump, the one restoration that
+    /// deliberately bypasses the timeline guard's position admission (the
+    /// jump target was invalidated by the splice's own rollback; only the
+    /// session identity is checked). It must never be exposed to callers
+    /// directly — [`Session::splice_tokens`] is the sole sound caller.
+    /// Backends without an O(1) restorable state keep the default, which
+    /// refuses; the splice then degrades to refeeding the suffix from the
+    /// nearest rung (for Earley that refeed *is* chart-prefix reuse, for
+    /// GLR re-entry from the saved GSS frontier).
+    fn splice_restore(&mut self, _cp: &Checkpoint, _tokens: usize) -> Result<(), BackendError> {
+        Err(BackendError::new(self.name(), "backend does not support the splice convergence jump"))
+    }
+
+    /// Re-stamps `cp` — a checkpoint from a timeline the splice's rollback
+    /// invalidated — onto the **current** timeline at position `tokens`,
+    /// returning a checkpoint that admits through the normal
+    /// [`rollback`](Recognizer::rollback) path.
+    ///
+    /// Only sound after a successful [`splice_restore`] convergence jump,
+    /// for old checkpoints at or beyond the convergence point (their states
+    /// provably recur on the new timeline, shifted by the edit's length
+    /// delta): this is how [`Session::splice_tokens`] keeps the checkpoint
+    /// ladder dense across the jumped-over region, so repeated edits keep
+    /// paying rung-local refeeds instead of degrading as rungs thin out.
+    /// `None` (the default) skips the densification; the splice still
+    /// works.
+    fn reanchor_checkpoint(&mut self, _cp: &Checkpoint, _tokens: usize) -> Option<Checkpoint> {
+        None
+    }
+
     /// Instrumentation for the most recent run (live counters while a
     /// session is open).
     fn metrics(&self) -> BackendMetrics;
@@ -685,9 +768,90 @@ impl BackendRef<'_> {
 /// [`finish_forest_diagnostics`](Session::finish_forest_diagnostics).
 /// With recovery off (the default) nothing changes — not even a
 /// checkpoint is taken per feed.
+///
+/// **Incremental reparse** is a second per-session opt-in
+/// ([`enable_incremental`](Session::enable_incremental)): the session then
+/// remembers its fed tokens, maintains a bounded, evenly-spaced
+/// *checkpoint ladder* over them, and supports
+/// [`splice_tokens`](Session::splice_tokens) /
+/// [`splice`](Session::splice) — apply a text or token edit and bring the
+/// parse up to date by rolling back only to the nearest rung at or before
+/// the damage and refeeding the relexed window, instead of reparsing from
+/// scratch. See [`SpliceOutcome`] for what each splice reports.
 pub struct Session<'a> {
     backend: BackendRef<'a>,
     recovery: Option<RecoveryState>,
+    incremental: Option<IncrementalState>,
+}
+
+/// Upper bound on checkpoint-ladder rungs per session. When the ladder
+/// fills, the rung stride doubles and every rung off the new stride is
+/// dropped — the ladder stays evenly spaced and bounded while the worst
+/// rollback overshoot stays within one stride of the damage point.
+const MAX_RUNGS: usize = 256;
+
+/// The per-session bookkeeping behind [`Session::splice_tokens`]: the fed
+/// token history (the splice coordinate system), the memoized per-position
+/// state signatures (the convergence fast path's oracle), and the
+/// checkpoint ladder (the bounded set of rollback targets).
+struct IncrementalState {
+    /// Every fed token as `(kind, text)`; `history.len()` tracks
+    /// `tokens_fed` exactly.
+    history: Vec<(String, String)>,
+    /// `sigs[k]` = backend state signature after `k` tokens (`None` when
+    /// the backend cannot witness one soundly); always `history.len() + 1`
+    /// entries.
+    sigs: Vec<Option<StateSignature>>,
+    /// Ladder rungs `(position, checkpoint)`, sorted by position; rung 0 at
+    /// position 0 always exists, so every splice has a restorable target.
+    ladder: Vec<(usize, Checkpoint)>,
+    /// Current rung spacing (doubles when the ladder would exceed
+    /// [`MAX_RUNGS`]).
+    stride: usize,
+    /// Cumulative splice counters, surfaced through [`Session::metrics`].
+    tokens_reused: u64,
+    tokens_refed: u64,
+    ladder_rollback_distance: u64,
+}
+
+impl IncrementalState {
+    /// Halves the ladder density (doubling the laying stride) until the
+    /// rung count is back under [`MAX_RUNGS`]. Thins by entry index, not
+    /// position alignment: rungs re-anchored after a convergence jump sit
+    /// at delta-shifted (possibly unaligned) positions and must survive
+    /// proportionally.
+    fn enforce_rung_cap(&mut self) {
+        while self.ladder.len() > MAX_RUNGS {
+            self.stride *= 2;
+            let mut idx = 0usize;
+            self.ladder.retain(|_| {
+                idx += 1;
+                (idx - 1).is_multiple_of(2)
+            });
+        }
+    }
+}
+
+/// What one [`Session::splice_tokens`] / [`Session::splice`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpliceOutcome {
+    /// Position (tokens fed) of the checkpoint-ladder rung the splice
+    /// restored — the reparse re-entry point.
+    pub rung: usize,
+    /// Tokens refed through the backend: rung→damage catch-up, the
+    /// inserted tokens, and suffix tokens fed before convergence.
+    pub refed: usize,
+    /// Tokens of the new stream *not* refed (prefix below the rung plus
+    /// suffix skipped by a convergence jump).
+    pub reused: usize,
+    /// New-stream position at which the convergence fast path proved the
+    /// post-edit state equal to the memoized pre-edit state and jumped to
+    /// the saved end state, skipping the rest of the suffix; `None` when
+    /// the splice refed to the end.
+    pub converged_at: Option<usize>,
+    /// The session outcome after the splice (same as
+    /// [`Session::outcome`]).
+    pub outcome: FeedOutcome,
 }
 
 impl<'a> Session<'a> {
@@ -699,7 +863,7 @@ impl<'a> Session<'a> {
     /// [`BackendError`] for malformed grammars.
     pub fn open(backend: &'a mut dyn Parser) -> Result<Session<'a>, BackendError> {
         backend.begin()?;
-        Ok(Session { backend: BackendRef::Borrowed(backend), recovery: None })
+        Ok(Session { backend: BackendRef::Borrowed(backend), recovery: None, incremental: None })
     }
 
     /// Opens a session that owns its backend — the shape a session pool
@@ -710,7 +874,7 @@ impl<'a> Session<'a> {
     /// [`BackendError`] for malformed grammars (the backend is dropped).
     pub fn owned(mut backend: Box<dyn Parser>) -> Result<Session<'static>, BackendError> {
         backend.begin()?;
-        Ok(Session { backend: BackendRef::Owned(backend), recovery: None })
+        Ok(Session { backend: BackendRef::Owned(backend), recovery: None, incremental: None })
     }
 
     /// Turns on bounded-budget error recovery for the rest of this
@@ -718,8 +882,57 @@ impl<'a> Session<'a> {
     /// within `budget` (see [`crate::recover`] for the cost model) and
     /// record a [`Diagnostic`] per repair. Clean input is unaffected —
     /// byte-identical verdicts and forests, one extra checkpoint per feed.
+    ///
+    /// Recovery and incremental splicing are mutually exclusive (a repair
+    /// rewrites the fed stream out from under the splice history); enabling
+    /// recovery turns incremental mode off.
     pub fn enable_recovery(&mut self, budget: RecoveryBudget) {
         self.recovery = Some(RecoveryState::new(budget));
+        self.incremental = None;
+    }
+
+    /// Turns on incremental reparse for this session: subsequent feeds are
+    /// remembered (kind + text), a bounded checkpoint ladder is maintained
+    /// over them, and edits can be applied with
+    /// [`splice_tokens`](Session::splice_tokens) /
+    /// [`splice`](Session::splice) instead of reparsing from scratch.
+    ///
+    /// Must be called on a fresh session (no tokens fed). Mutually
+    /// exclusive with error recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] if tokens were already fed or recovery is enabled.
+    pub fn enable_incremental(&mut self) -> Result<(), BackendError> {
+        if self.recovery.is_some() {
+            return Err(BackendError::new(
+                self.name(),
+                "incremental splicing and error recovery are mutually exclusive on a session",
+            ));
+        }
+        if self.backend.get_ref().tokens_fed() != 0 {
+            return Err(BackendError::new(
+                self.name(),
+                "enable_incremental requires a fresh session (no tokens fed)",
+            ));
+        }
+        let cp0 = self.backend.get().checkpoint()?;
+        let sig0 = self.backend.get().state_signature();
+        self.incremental = Some(IncrementalState {
+            history: Vec::new(),
+            sigs: vec![sig0],
+            ladder: vec![(0, cp0)],
+            stride: 1,
+            tokens_reused: 0,
+            tokens_refed: 0,
+            ladder_rollback_distance: 0,
+        });
+        Ok(())
+    }
+
+    /// Is incremental reparse enabled on this session?
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental.is_some()
     }
 
     /// Is error recovery enabled on this session?
@@ -766,6 +979,59 @@ impl<'a> Session<'a> {
         self.backend.get_ref().name()
     }
 
+    /// Feeds one token through the backend and, in incremental mode,
+    /// records it in the splice bookkeeping. Every non-recovery feed path
+    /// funnels through here (recovery and incremental are mutually
+    /// exclusive, so recovery paths never need the bookkeeping).
+    fn feed_tracked(&mut self, kind: &str, text: &str) -> Result<bool, BackendError> {
+        let viable = self.backend.get().feed(kind, text)?;
+        if self.incremental.is_some() {
+            self.note_feed(kind, text)?;
+        }
+        Ok(viable)
+    }
+
+    /// Incremental-mode bookkeeping for one successfully fed token:
+    /// remember it, memoize the post-feed state signature, and keep the
+    /// checkpoint ladder bounded and evenly spaced.
+    fn note_feed(&mut self, kind: &str, text: &str) -> Result<(), BackendError> {
+        let sig = self.backend.get().state_signature();
+        let fed = self.backend.get_ref().tokens_fed();
+        let inc = self.incremental.as_mut().expect("incremental enabled on this path");
+        inc.history.push((kind.to_string(), text.to_string()));
+        inc.sigs.push(sig);
+        debug_assert_eq!(inc.history.len(), fed, "splice history tracks the backend exactly");
+        if fed.is_multiple_of(inc.stride) {
+            let cp = self.backend.get().checkpoint()?;
+            let inc = self.incremental.as_mut().expect("checked above");
+            inc.ladder.push((fed, cp));
+            inc.enforce_rung_cap();
+        }
+        Ok(())
+    }
+
+    /// Refeeds the already-recorded token at history position `pos` during
+    /// a splice. The history entry is already in place, so this is
+    /// [`feed_tracked`](Session::feed_tracked) minus the push: backend
+    /// feed, in-place signature overwrite, rung-laying.
+    fn refeed_recorded(&mut self, pos: usize) -> Result<(), BackendError> {
+        let inc = self.incremental.as_ref().expect("incremental enabled on this path");
+        let (kind, text) = inc.history[pos].clone();
+        self.backend.get().feed(&kind, &text)?;
+        let sig = self.backend.get().state_signature();
+        let fed = self.backend.get_ref().tokens_fed();
+        debug_assert_eq!(fed, pos + 1, "refeed tracks the backend exactly");
+        let inc = self.incremental.as_mut().expect("checked above");
+        inc.sigs[pos + 1] = sig;
+        if fed.is_multiple_of(inc.stride) {
+            let cp = self.backend.get().checkpoint()?;
+            let inc = self.incremental.as_mut().expect("checked above");
+            inc.ladder.push((fed, cp));
+            inc.enforce_rung_cap();
+        }
+        Ok(())
+    }
+
     /// Feeds one token and reports the rich outcome (viability plus
     /// sentence-hood of the new prefix; the sentence probe runs on demand —
     /// use the raw [`Recognizer::feed`] hook to skip it).
@@ -779,7 +1045,7 @@ impl<'a> Session<'a> {
                 let tok = InputToken::new(kind, text, None);
                 recover::feed_recovering(self.backend.get(), rs, &tok, &[])?
             }
-            None => self.backend.get().feed(kind, text)?,
+            None => self.feed_tracked(kind, text)?,
         };
         if !viable {
             return Ok(FeedOutcome::Dead);
@@ -808,9 +1074,8 @@ impl<'a> Session<'a> {
             self.feed_recovering_slice(&toks)?;
             return self.outcome();
         }
-        let backend = self.backend.get();
         for k in kinds {
-            backend.feed(k, k)?;
+            self.feed_tracked(k, k)?;
         }
         self.outcome()
     }
@@ -836,9 +1101,8 @@ impl<'a> Session<'a> {
             self.feed_recovering_slice(&toks)?;
             return self.outcome();
         }
-        let backend = self.backend.get();
         for l in lexemes {
-            backend.feed(&l.kind, &l.text)?;
+            self.feed_tracked(&l.kind, &l.text)?;
         }
         self.outcome()
     }
@@ -870,13 +1134,12 @@ impl<'a> Session<'a> {
             self.feed_recovering_slice(&toks)?;
             return self.outcome();
         }
-        let backend = self.backend.get();
         while let Some(item) = src.next_token() {
             let t = match item {
                 Ok(t) => t,
-                Err(e) => return Err(BackendError::new(backend.name(), e)),
+                Err(e) => return Err(BackendError::new(self.name(), e)),
             };
-            backend.feed(t.kind, t.text)?;
+            self.feed_tracked(t.kind, t.text)?;
         }
         self.outcome()
     }
@@ -921,9 +1184,18 @@ impl<'a> Session<'a> {
     }
 
     /// The backend's live instrumentation counters (and, with observability
-    /// enabled, its per-phase latency histograms).
+    /// enabled, its per-phase latency histograms). In incremental mode the
+    /// session overlays its cumulative splice counters
+    /// ([`BackendMetrics::tokens_reused`], [`BackendMetrics::tokens_refed`],
+    /// [`BackendMetrics::ladder_rollback_distance`]).
     pub fn metrics(&self) -> BackendMetrics {
-        self.backend.get_ref().metrics()
+        let mut m = self.backend.get_ref().metrics();
+        if let Some(inc) = &self.incremental {
+            m.tokens_reused = inc.tokens_reused;
+            m.tokens_refed = inc.tokens_refed;
+            m.ladder_rollback_distance = inc.ladder_rollback_distance;
+        }
+        m
     }
 
     /// Saves the current position — for PWD, the derivative `D_{t1…tk}(L)`
@@ -946,7 +1218,227 @@ impl<'a> Session<'a> {
     ///
     /// See [`Recognizer::rollback`].
     pub fn rollback(&mut self, cp: &Checkpoint) -> Result<(), BackendError> {
-        self.backend.get().rollback(cp)
+        self.backend.get().rollback(cp)?;
+        if let Some(inc) = self.incremental.as_mut() {
+            // The splice history follows the timeline: positions after the
+            // restored one no longer exist, and neither do the ladder rungs
+            // that pointed at them.
+            inc.history.truncate(cp.tokens_fed());
+            inc.sigs.truncate(cp.tokens_fed() + 1);
+            inc.ladder.retain(|(pos, _)| *pos <= cp.tokens_fed());
+        }
+        Ok(())
+    }
+
+    /// Applies a token-level edit to the fed stream — replace
+    /// `remove` tokens starting at position `at` with `insert` — and brings
+    /// the parse up to date with maximal reuse outside the damaged region.
+    ///
+    /// The reparse re-enters from the nearest checkpoint-ladder rung at or
+    /// before `at` (PWD restores the saved derivative; Earley the chart
+    /// prefix; GLR the saved GSS frontier) and refeeds only from there.
+    /// While refeeding the undamaged suffix, backends that witness sound
+    /// state signatures ([`Recognizer::state_signature`]) get the
+    /// **convergence fast path**: the moment the post-edit state equals the
+    /// memoized pre-edit state at the same token alignment, the session
+    /// jumps straight to the saved pre-edit end state instead of refeeding
+    /// the rest — a single-token edit in a large buffer then costs a
+    /// handful of feeds, not half the buffer.
+    ///
+    /// Checkpoints the caller took at or before the rung stay restorable;
+    /// checkpoints after it are invalidated — exactly the
+    /// [`rollback`](Session::rollback) timeline semantics, because the
+    /// rung restore *is* a rollback.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] if incremental mode is off, the range exceeds the
+    /// fed stream, a kind is outside the grammar, or the backend hits a
+    /// resource limit mid-refeed (the session should then be discarded).
+    pub fn splice_tokens(
+        &mut self,
+        at: usize,
+        remove: usize,
+        insert: &[(&str, &str)],
+    ) -> Result<SpliceOutcome, BackendError> {
+        let name = self.name();
+        let Some(inc) = self.incremental.as_ref() else {
+            return Err(BackendError::new(
+                name,
+                "splice requires enable_incremental() on a fresh session",
+            ));
+        };
+        let len = inc.history.len();
+        if at + remove > len {
+            return Err(BackendError::new(
+                name,
+                format!("splice range {at}..{} exceeds the {len} fed tokens", at + remove),
+            ));
+        }
+        if remove == 0 && insert.is_empty() {
+            let outcome = self.outcome()?;
+            return Ok(SpliceOutcome {
+                rung: at,
+                refed: 0,
+                reused: len,
+                converged_at: None,
+                outcome,
+            });
+        }
+        if at == len && remove == 0 {
+            // Pure append: the current state is already the re-entry point.
+            for (k, t) in insert {
+                self.feed_tracked(k, t)?;
+            }
+            let inc = self.incremental.as_mut().expect("checked above");
+            inc.tokens_refed += insert.len() as u64;
+            inc.tokens_reused += len as u64;
+            let outcome = self.outcome()?;
+            return Ok(SpliceOutcome {
+                rung: at,
+                refed: insert.len(),
+                reused: len,
+                converged_at: None,
+                outcome,
+            });
+        }
+
+        // The pre-edit end state: the convergence jump's landing target.
+        let end_cp = self.backend.get().checkpoint()?;
+
+        // Nearest ladder rung at or before the damage start (rung 0 always
+        // exists).
+        let inc = self.incremental.as_mut().expect("checked above");
+        let idx = inc.ladder.partition_point(|(pos, _)| *pos <= at);
+        let (rung_pos, rung_cp) = inc.ladder[idx - 1].clone();
+
+        // Roll back first: admission is checked before any state is
+        // mutated, so a refused rollback leaves the session exactly as it
+        // was — and the bookkeeping below can then edit in place instead of
+        // detaching the whole suffix. A same-length edit costs O(refeed
+        // window), not O(suffix): the only per-splice O(suffix) work left
+        // is a memcpy of the `Copy` signature slice.
+        self.backend.get().rollback(&rung_cp)?;
+
+        let inc = self.incremental.as_mut().expect("checked above");
+        let ladder_suffix = inc.ladder.split_off(idx);
+        inc.ladder_rollback_distance += (at - rung_pos) as u64;
+
+        let new_len = len - remove + insert.len();
+        // Old-position signatures at and beyond the damage, snapshotted for
+        // the convergence compare (the in-place edit below shifts them and
+        // the refeed overwrites them).
+        let old_sigs: Vec<Option<StateSignature>> = inc.sigs[at..].to_vec();
+        // Edit the recorded stream in place. Signature positions after each
+        // removed token die; the inserted tokens' slots are placeholders
+        // the refeed below always overwrites (inserted tokens are always
+        // refed); everything beyond shifts by the edit's length delta.
+        inc.history.splice(
+            at..at + remove,
+            insert.iter().map(|(k, t)| ((*k).to_string(), (*t).to_string())),
+        );
+        inc.sigs.splice(at + 1..at + 1 + remove, std::iter::repeat_n(None, insert.len()));
+
+        let mut refed = 0usize;
+        // Catch-up (undamaged tokens between the rung and the edit) plus
+        // the inserted tokens — all already in the history.
+        for pos in rung_pos..at + insert.len() {
+            self.refeed_recorded(pos)?;
+            refed += 1;
+        }
+        // The undamaged suffix, with a convergence check before each feed.
+        let mut converged_at = None;
+        for new_pos in at + insert.len()..new_len {
+            // Old-coordinate position aligned with the current state.
+            let old_pos = new_pos + remove - insert.len();
+            if old_pos > rung_pos {
+                let inc = self.incremental.as_ref().expect("checked above");
+                let cur = inc.sigs[new_pos];
+                let old = old_sigs[old_pos - at];
+                if let (Some(cur), Some(old)) = (cur, old) {
+                    // Equal signatures ⇒ equal languages ⇒ feeding the
+                    // identical remaining suffix must land on the saved
+                    // pre-edit end state. Jump there — the history and the
+                    // shifted signature tail are already in place. A
+                    // backend that refuses the jump just keeps refeeding.
+                    if cur == old && self.backend.get().splice_restore(&end_cp, new_len).is_ok() {
+                        converged_at = Some(new_pos);
+                        // Keep the ladder dense across the jumped-over
+                        // range: from the convergence point on, the old
+                        // timeline's states recur on the new one (shifted
+                        // by the edit's length delta), so the old rungs
+                        // there are re-stamped onto the current timeline
+                        // instead of being thrown away. Without this,
+                        // repeated edits thin the ladder above each edit
+                        // point and later splices pay ever-longer
+                        // catch-up refeeds.
+                        let mut revived: Vec<(usize, Checkpoint)> = Vec::new();
+                        for (pos, cp) in &ladder_suffix {
+                            if *pos < old_pos {
+                                continue;
+                            }
+                            let shifted = pos + insert.len() - remove;
+                            if shifted >= new_len {
+                                continue;
+                            }
+                            if let Some(re) = self.backend.get().reanchor_checkpoint(cp, shifted) {
+                                revived.push((shifted, re));
+                            }
+                        }
+                        // The landing position itself is always a rung.
+                        let cp = self.backend.get().checkpoint()?;
+                        revived.push((new_len, cp));
+                        let inc = self.incremental.as_mut().expect("checked above");
+                        inc.ladder.extend(revived);
+                        inc.enforce_rung_cap();
+                        break;
+                    }
+                }
+            }
+            self.refeed_recorded(new_pos)?;
+            refed += 1;
+        }
+
+        let inc = self.incremental.as_mut().expect("checked above");
+        debug_assert_eq!(inc.history.len(), new_len, "splice rebuilt the full token stream");
+        inc.tokens_refed += refed as u64;
+        inc.tokens_reused += (new_len - refed) as u64;
+        let outcome = self.outcome()?;
+        Ok(SpliceOutcome { rung: rung_pos, refed, reused: new_len - refed, converged_at, outcome })
+    }
+
+    /// Applies a text edit — replace bytes `start..end` of `buf` with
+    /// `replacement` — by splicing the buffer (incremental relex of a
+    /// bounded window, see [`SourceBuffer::splice`]) and then splicing the
+    /// resulting token edit into the parse via
+    /// [`splice_tokens`](Session::splice_tokens). The buffer and the
+    /// session must have been kept in step (the session fed exactly the
+    /// buffer's lexemes).
+    ///
+    /// # Errors
+    ///
+    /// Lexing errors are wrapped in a [`BackendError`] with the buffer
+    /// unchanged; see [`splice_tokens`](Session::splice_tokens) for the
+    /// rest. If the *parse* splice fails after the buffer committed, the
+    /// buffer and session are out of step — discard the session.
+    pub fn splice(
+        &mut self,
+        buf: &mut SourceBuffer<'_>,
+        start: usize,
+        end: usize,
+        replacement: &str,
+    ) -> Result<SpliceOutcome, BackendError> {
+        if self.incremental.is_none() {
+            return Err(BackendError::new(
+                self.name(),
+                "splice requires enable_incremental() on a fresh session",
+            ));
+        }
+        let edit =
+            buf.splice(start, end, replacement).map_err(|e| BackendError::new(self.name(), e))?;
+        let pairs: Vec<(&str, &str)> =
+            edit.inserted.iter().map(|l| (l.kind.as_str(), l.text.as_str())).collect();
+        self.splice_tokens(edit.start, edit.removed, &pairs)
     }
 
     /// Closes the session: was the full fed input accepted?
@@ -1256,6 +1748,63 @@ impl Recognizer for PwdBackend {
         self.compiled.lang.note_phase(Phase::Recover, nanos);
     }
 
+    fn state_signature(&mut self) -> Option<StateSignature> {
+        // Sound only in recognize mode: equal recognize structure does not
+        // imply equal *forests* (parse-mode states carry partial parse
+        // trees the signature cannot see), and Definition-5 naming makes
+        // nodes position-dependent, defeating cross-position comparison.
+        let cfg = self.compiled.lang.config();
+        if cfg.mode != ParseMode::Recognize || cfg.naming {
+            return None;
+        }
+        let current = self.session.as_ref()?.current();
+        Some(self.compiled.lang.state_signature(current))
+    }
+
+    fn splice_restore(&mut self, cp: &Checkpoint, tokens: usize) -> Result<(), BackendError> {
+        let Some(state) = self.session.as_mut() else {
+            return Err(BackendError::no_session(self.label));
+        };
+        let CheckpointState::Pwd(inner) = &cp.state else {
+            return Err(BackendError::stale_checkpoint(self.label));
+        };
+        // Deliberately below the timeline guard's position admission — the
+        // jump target was invalidated by the splice's own rollback; only
+        // session identity is checked. The arena is append-only within a
+        // session, so the saved node is still alive.
+        if cp.session != self.guard.session {
+            return Err(BackendError::stale_checkpoint(self.label));
+        }
+        if self.compiled.lang.budget_exhausted() {
+            return Err(BackendError::new(
+                self.label,
+                "node budget exhausted; the session cannot be resumed (reset the backend)",
+            ));
+        }
+        state.rollback(inner);
+        state.set_tokens_fed(tokens);
+        self.guard.extend_to(tokens);
+        Ok(())
+    }
+
+    fn reanchor_checkpoint(&mut self, cp: &Checkpoint, tokens: usize) -> Option<Checkpoint> {
+        if cp.session != self.guard.session {
+            return None;
+        }
+        let CheckpointState::Pwd(inner) = &cp.state else { return None };
+        // The saved node is still alive (append-only arena); only the
+        // position and timeline mark need re-stamping. The mark at `tokens`
+        // exists because the convergence jump's `extend_to` already wrote
+        // the current era up to the landing position.
+        let mark = *self.guard.marks.get(tokens)?;
+        Some(Checkpoint {
+            session: cp.session,
+            tokens,
+            mark,
+            state: CheckpointState::Pwd(inner.at_position(tokens)),
+        })
+    }
+
     fn metrics(&self) -> BackendMetrics {
         let m = self.compiled.lang.metrics();
         BackendMetrics {
@@ -1270,6 +1819,9 @@ impl Recognizer for PwdBackend {
             auto_table_hits: m.auto_table_hits,
             auto_fallbacks: m.auto_fallbacks,
             arena_bytes: self.compiled.lang.arena_bytes() as u64,
+            tokens_reused: 0,
+            tokens_refed: 0,
+            ladder_rollback_distance: 0,
             phases: self.compiled.lang.obs_phases().map(|p| Box::new(p.clone())),
         }
     }
@@ -1807,6 +2359,7 @@ const _: () = {
     assert_send_sync::<Compiled>();
     assert_send_sync::<Checkpoint>();
     assert_send_sync::<Session<'static>>();
+    assert_send_sync::<SpliceOutcome>();
 };
 
 /// Runs one input through every backend and asserts they agree — the shared
@@ -2200,5 +2753,161 @@ mod tests {
             assert!(err.message.contains("no open session"), "{}: {err}", backend.name());
             assert!(backend.end().is_err(), "{}", backend.name());
         }
+    }
+
+    #[test]
+    fn splice_matches_scratch_on_every_backend() {
+        let cfg = matched_pairs();
+        let mut roster: Vec<Box<dyn Parser>> = backends(&cfg);
+        roster.push(backend_by_name("pwd-dfa", &cfg).unwrap());
+        for backend in &mut roster {
+            let name = backend.name();
+            let mut scratch = backend.fork();
+            let mut s = Session::open(&mut **backend).unwrap();
+            s.enable_incremental().unwrap();
+            let mut model: Vec<&str> = vec!["a", "a", "a", "b", "b", "b"];
+            s.feed_all(&model).unwrap();
+            let edits: [(usize, usize, &[&str]); 4] =
+                [(1, 1, &[]), (0, 0, &["a"]), (3, 0, &["a", "b"]), (2, 2, &["b"])];
+            for (at, remove, insert) in edits {
+                let pairs: Vec<(&str, &str)> = insert.iter().map(|k| (*k, *k)).collect();
+                let out = s.splice_tokens(at, remove, &pairs).unwrap();
+                model.splice(at..at + remove, insert.iter().copied());
+                assert_eq!(out.refed + out.reused, model.len(), "{name}: {out:?}");
+                assert_eq!(s.tokens_fed(), model.len(), "{name}");
+                assert_eq!(
+                    s.prefix_is_sentence().unwrap(),
+                    scratch.recognize(&model).unwrap(),
+                    "{name}: spliced verdict diverged from scratch on {model:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_jump_skips_the_suffix() {
+        // Both recognize-mode PWD arms: the lazy automaton (exact interned
+        // state ids) and the interpreted engine (graph digests).
+        let cfg = catalan();
+        let interp = ParserConfig {
+            mode: ParseMode::Recognize,
+            automaton: crate::core::AutomatonMode::Off,
+            ..ParserConfig::improved()
+        };
+        let mut arms: Vec<Box<dyn Parser>> = vec![
+            Box::new(PwdBackend::dfa(&cfg)),
+            Box::new(PwdBackend::with_config(&cfg, interp, "pwd-recognize-interp")),
+        ];
+        for backend in &mut arms {
+            let name = backend.name();
+            let mut s = Session::open(&mut **backend).unwrap();
+            s.enable_incremental().unwrap();
+            s.feed_all(&["a"; 400]).unwrap();
+            // Replace one mid-buffer token with one of the same class: the
+            // post-edit state matches the memoized pre-edit state at the
+            // first aligned position, so the splice jumps to the saved end
+            // state instead of refeeding the 199-token suffix.
+            let out = s.splice_tokens(200, 1, &[("a", "a")]).unwrap();
+            assert!(out.converged_at.is_some(), "{name}: {out:?}");
+            assert!(out.refed <= 2, "{name}: expected an immediate jump, got {out:?}");
+            assert!(out.reused >= 398, "{name}: {out:?}");
+            assert_eq!(s.tokens_fed(), 400, "{name}");
+            assert!(s.finish().unwrap(), "{name}");
+        }
+    }
+
+    #[test]
+    fn splice_follows_rollback_timeline_semantics() {
+        let cfg = matched_pairs();
+        for backend in &mut backends(&cfg) {
+            let name = backend.name();
+            let mut s = Session::open(&mut **backend).unwrap();
+            s.enable_incremental().unwrap();
+            s.feed_kind("a").unwrap();
+            let below = s.checkpoint().unwrap(); // position 1
+            s.feed_all(&["a", "a", "b", "b"]).unwrap();
+            let above = s.checkpoint().unwrap(); // position 5
+            s.feed_kind("b").unwrap();
+            // Damage at position 4: the rung restore rolls back past
+            // `above`, which must invalidate it — same timeline semantics
+            // as an explicit rollback.
+            let out = s.splice_tokens(4, 1, &[("b", "b")]).unwrap();
+            assert!(out.rung <= 4, "{name}: {out:?}");
+            assert_eq!(s.tokens_fed(), 6, "{name}");
+            assert!(s.prefix_is_sentence().unwrap(), "{name}: aaabbb");
+            assert!(
+                s.rollback(&above).is_err(),
+                "{name}: a checkpoint above the splice damage must be invalidated"
+            );
+            s.rollback(&below).unwrap();
+            assert_eq!(s.tokens_fed(), 1, "{name}");
+            s.feed_kind("b").unwrap();
+            assert!(s.finish().unwrap(), "{name}: ab after the excursions");
+        }
+    }
+
+    #[test]
+    fn splice_preconditions_are_enforced() {
+        let cfg = catalan();
+        let mut backend = PwdBackend::improved(&cfg);
+        {
+            let mut s = Session::open(&mut backend).unwrap();
+            let err = s.splice_tokens(0, 0, &[("a", "a")]).unwrap_err();
+            assert!(err.message.contains("enable_incremental"), "{err}");
+            s.feed_kind("a").unwrap();
+            let err = s.enable_incremental().unwrap_err();
+            assert!(err.message.contains("fresh"), "{err}");
+        }
+        {
+            let mut s = Session::open(&mut backend).unwrap();
+            s.enable_recovery(RecoveryBudget::default());
+            let err = s.enable_incremental().unwrap_err();
+            assert!(err.message.contains("mutually exclusive"), "{err}");
+        }
+        {
+            let mut s = Session::open(&mut backend).unwrap();
+            s.enable_incremental().unwrap();
+            s.feed_kind("a").unwrap();
+            let err = s.splice_tokens(1, 1, &[]).unwrap_err();
+            assert!(err.message.contains("exceeds"), "{err}");
+            s.enable_recovery(RecoveryBudget::default());
+            assert!(!s.incremental_enabled(), "enabling recovery turns incremental off");
+        }
+    }
+
+    #[test]
+    fn text_splice_through_source_buffer() {
+        let mut g = CfgBuilder::new("S");
+        g.terminals(&["NUM", "PLUS"]);
+        g.rule("S", &["NUM"]);
+        g.rule("S", &["S", "PLUS", "NUM"]);
+        let cfg = g.build().unwrap();
+        let lexer = crate::lex::LexerBuilder::new()
+            .rule("NUM", "[0-9]+")
+            .unwrap()
+            .rule("PLUS", "\\+")
+            .unwrap()
+            .skip("WS", " +")
+            .unwrap()
+            .build();
+        let mut backend = PwdBackend::improved(&cfg);
+        let mut buf = SourceBuffer::new(&lexer, "1 + 22 + 333").unwrap();
+        let mut s = Session::open(&mut backend).unwrap();
+        s.enable_incremental().unwrap();
+        s.feed_lexemes(&buf.lexemes()).unwrap();
+        // "22" -> "4 + 5": one NUM becomes NUM PLUS NUM.
+        let out = s.splice(&mut buf, 4, 6, "4 + 5").unwrap();
+        assert_eq!(buf.text(), "1 + 4 + 5 + 333");
+        assert_eq!(s.tokens_fed(), 7);
+        assert_eq!(out.refed + out.reused, 7, "{out:?}");
+        assert!(s.prefix_is_sentence().unwrap());
+        // Delete the " +" after the 5: two adjacent NUMs, which the
+        // grammar rejects — the splice must carry the death through.
+        let out = s.splice(&mut buf, 9, 11, "").unwrap();
+        assert_eq!(buf.text(), "1 + 4 + 5 333");
+        assert_eq!(out.outcome, FeedOutcome::Dead);
+        let m = s.metrics();
+        assert!(m.tokens_refed > 0, "{m:?}");
+        assert!(m.tokens_reused > 0, "{m:?}");
     }
 }
